@@ -1,0 +1,48 @@
+#include "bench/bench_env.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dexa {
+namespace bench_env {
+
+namespace {
+[[noreturn]] void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "bench setup failed at %s: %s\n", what,
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace
+
+const Environment& GetEnvironment() {
+  static Environment* env = [] {
+    auto* out = new Environment();
+    auto corpus = BuildCorpus();
+    if (!corpus.ok()) Die("BuildCorpus", corpus.status());
+    out->corpus = std::move(corpus).value();
+
+    auto workflows = GenerateWorkflowCorpus(out->corpus);
+    if (!workflows.ok()) Die("GenerateWorkflowCorpus", workflows.status());
+    out->workflows = std::move(workflows).value();
+
+    auto provenance = BuildProvenanceCorpus(out->corpus, out->workflows);
+    if (!provenance.ok()) Die("BuildProvenanceCorpus", provenance.status());
+    out->provenance = std::move(provenance).value();
+
+    out->pool = std::make_unique<AnnotatedInstancePool>(
+        HarvestPool(out->provenance, *out->corpus.registry,
+                    *out->corpus.ontology));
+
+    ExampleGenerator generator(out->corpus.ontology.get(), out->pool.get());
+    auto annotated = AnnotateRegistry(generator, *out->corpus.registry);
+    if (!annotated.ok()) Die("AnnotateRegistry", annotated.status());
+
+    Status retired = RetireDecayedModules(out->corpus);
+    if (!retired.ok()) Die("RetireDecayedModules", retired);
+    return out;
+  }();
+  return *env;
+}
+
+}  // namespace bench_env
+}  // namespace dexa

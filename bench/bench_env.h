@@ -1,0 +1,31 @@
+#ifndef DEXA_BENCH_BENCH_ENV_H_
+#define DEXA_BENCH_BENCH_ENV_H_
+
+// Shared setup for the benchmark harnesses: builds the full evaluation
+// environment once per binary (corpus, workflow corpus, provenance, pool,
+// registry annotations; decayed modules retired).
+
+#include <memory>
+
+#include "core/example_generator.h"
+#include "corpus/corpus.h"
+#include "provenance/workflow_corpus.h"
+
+namespace dexa {
+namespace bench_env {
+
+struct Environment {
+  Corpus corpus;
+  WorkflowCorpus workflows;
+  ProvenanceCorpus provenance;
+  std::unique_ptr<AnnotatedInstancePool> pool;
+};
+
+/// Builds the environment on first use; aborts with a diagnostic on any
+/// pipeline failure (the benches cannot run without it).
+const Environment& GetEnvironment();
+
+}  // namespace bench_env
+}  // namespace dexa
+
+#endif  // DEXA_BENCH_BENCH_ENV_H_

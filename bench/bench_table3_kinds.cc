@@ -1,0 +1,58 @@
+// Regenerates Table 3 of the paper ("Kinds of data manipulation carried out
+// by the scientific modules"), plus corpus-construction micro-benchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench/bench_env.h"
+#include "common/table.h"
+
+namespace dexa {
+namespace {
+
+void PrintTable3() {
+  const auto& env = bench_env::GetEnvironment();
+  std::map<ModuleKind, int> census;
+  for (const std::string& id : env.corpus.available_ids) {
+    census[(*env.corpus.registry->Find(id))->spec().kind]++;
+  }
+  TablePrinter table({"Kind of data manipulation", "# of modules"});
+  for (ModuleKind kind :
+       {ModuleKind::kFormatTransformation, ModuleKind::kDataRetrieval,
+        ModuleKind::kMappingIdentifiers, ModuleKind::kFiltering,
+        ModuleKind::kDataAnalysis}) {
+    table.AddRow({ModuleKindName(kind), std::to_string(census[kind])});
+  }
+  table.Print(std::cout,
+              "Table 3: Kinds of data manipulation carried out by the "
+              "scientific modules.");
+  std::cout << "(paper: 53 / 51 / 62 / 27 / 59)\n\n";
+}
+
+void BM_BuildCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    auto corpus = BuildCorpus();
+    benchmark::DoNotOptimize(corpus);
+  }
+}
+BENCHMARK(BM_BuildCorpus);
+
+void BM_BuildKnowledgeBase(benchmark::State& state) {
+  for (auto _ : state) {
+    KnowledgeBase kb(42);
+    benchmark::DoNotOptimize(kb.proteins().size());
+  }
+}
+BENCHMARK(BM_BuildKnowledgeBase);
+
+}  // namespace
+}  // namespace dexa
+
+int main(int argc, char** argv) {
+  dexa::PrintTable3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

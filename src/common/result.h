@@ -1,0 +1,71 @@
+#ifndef DEXA_COMMON_RESULT_H_
+#define DEXA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dexa {
+
+/// A value-or-error holder in the style of arrow::Result / absl::StatusOr.
+///
+/// A `Result<T>` is either OK and holds a `T`, or holds a non-OK `Status`.
+/// Accessing the value of an errored result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`. Intentionally implicit so
+  /// functions can `return value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an errored result from a non-OK status. Intentionally
+  /// implicit so functions can `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` if this result is an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define DEXA_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto DEXA_CONCAT_(_dexa_res_, __LINE__) = (expr);  \
+  if (!DEXA_CONCAT_(_dexa_res_, __LINE__).ok())      \
+    return DEXA_CONCAT_(_dexa_res_, __LINE__).status(); \
+  lhs = std::move(DEXA_CONCAT_(_dexa_res_, __LINE__)).value()
+
+#define DEXA_CONCAT_INNER_(a, b) a##b
+#define DEXA_CONCAT_(a, b) DEXA_CONCAT_INNER_(a, b)
+
+}  // namespace dexa
+
+#endif  // DEXA_COMMON_RESULT_H_

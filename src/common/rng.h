@@ -1,0 +1,70 @@
+#ifndef DEXA_COMMON_RNG_H_
+#define DEXA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dexa {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// splitmix64). Every stochastic component in dexa takes an explicit `Rng`
+/// or seed so the whole evaluation is reproducible bit-for-bit; there is no
+/// global RNG state anywhere in the library.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool NextBool(double p = 0.5);
+
+  /// Uniformly selects an index into a container of `size` elements.
+  size_t NextIndex(size_t size) { return static_cast<size_t>(NextBelow(size)); }
+
+  /// Random string of length `len` drawn from `alphabet`.
+  std::string NextString(size_t len, const std::string& alphabet);
+
+  /// Derives a child generator; children with distinct tags are independent
+  /// streams, so components can be re-seeded stably regardless of call order.
+  Rng Fork(uint64_t tag) const;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextIndex(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// splitmix64 step; exposed for stable hashing/derivation uses.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Stable 64-bit hash of a string (FNV-1a). Used where deterministic,
+/// platform-independent hashing is required (std::hash is not stable).
+uint64_t StableHash64(const std::string& s);
+
+/// Combines two stable hashes.
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace dexa
+
+#endif  // DEXA_COMMON_RNG_H_

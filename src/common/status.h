@@ -1,0 +1,101 @@
+#ifndef DEXA_COMMON_STATUS_H_
+#define DEXA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dexa {
+
+/// Status codes used across the library. Modeled after the RocksDB/Arrow
+/// status idiom: operations that can fail return a `Status` (or a
+/// `Result<T>`, see result.h) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument is malformed or violates a precondition.
+  /// Module invocations reject invalid input combinations with this code;
+  /// the example generator treats it as "abnormal termination" (Section 3.2
+  /// of the paper) and discards the combination.
+  kInvalidArgument = 1,
+  /// A referenced entity (concept, module, accession, ...) does not exist.
+  kNotFound = 2,
+  /// An entity being created already exists.
+  kAlreadyExists = 3,
+  /// The operation is not possible in the current state (e.g., invoking a
+  /// module whose provider retired it — "module volatility" in the paper).
+  kUnavailable = 4,
+  /// Internal invariant violation; indicates a bug in dexa itself.
+  kInternal = 5,
+  /// Parsing of a textual artifact (ontology DSL, record format) failed.
+  kParseError = 6,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case
+/// (no allocation); error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function.
+#define DEXA_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::dexa::Status _dexa_status = (expr);         \
+    if (!_dexa_status.ok()) return _dexa_status;  \
+  } while (false)
+
+}  // namespace dexa
+
+#endif  // DEXA_COMMON_STATUS_H_

@@ -1,0 +1,61 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dexa {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os, const std::string& title) const {
+  os << ToString(title);
+}
+
+std::string TablePrinter::ToString(const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  if (!title.empty()) os << title << "\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string FormatFixed(double v, int digits) {
+  return StrFormat("%.*f", digits, v);
+}
+
+std::string Bar(size_t count, size_t max_count, size_t max_width) {
+  if (max_count == 0) return "";
+  size_t w = (count * max_width + max_count - 1) / max_count;
+  return std::string(w, '#');
+}
+
+}  // namespace dexa

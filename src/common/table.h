@@ -1,0 +1,46 @@
+#ifndef DEXA_COMMON_TABLE_H_
+#define DEXA_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dexa {
+
+/// Fixed-width ASCII table printer used by the benchmark harnesses to print
+/// the reproduced paper tables/figures in a uniform layout.
+///
+/// Usage:
+///   TablePrinter t({"# of modules", "% of modules", "Completeness"});
+///   t.AddRow({"236", "93.65", "1"});
+///   t.Print(std::cout, "Table 1: Data examples completeness.");
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (with a rule under the header) preceded by `title`.
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+  /// Renders to a string (used in tests).
+  std::string ToString(const std::string& title = "") const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places ("0.47", "93.65").
+std::string FormatFixed(double v, int digits);
+
+/// Renders `count` as a horizontal bar of '#' characters scaled so that
+/// `max_count` maps to `max_width` characters. Used for figure-style output.
+std::string Bar(size_t count, size_t max_count, size_t max_width = 40);
+
+}  // namespace dexa
+
+#endif  // DEXA_COMMON_TABLE_H_

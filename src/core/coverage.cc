@@ -1,0 +1,79 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dexa {
+
+CoverageReport CoverageAnalyzer::Analyze(const ModuleSpec& spec,
+                                         const DataExampleSet& examples) const {
+  ModulePartitions partitions = partitioner_.PartitionModule(spec);
+  CoverageReport report;
+  report.input_partitions = partitions.InputCount();
+  report.output_partitions = partitions.OutputCount();
+
+  // --- Input coverage.
+  std::set<std::pair<size_t, ConceptId>> covered_inputs;
+  for (const DataExample& example : examples) {
+    for (size_t i = 0; i < spec.inputs.size() && i < example.inputs.size();
+         ++i) {
+      ConceptId partition = kInvalidConcept;
+      if (i < example.input_partitions.size() &&
+          example.input_partitions[i] != kInvalidConcept) {
+        partition = example.input_partitions[i];
+      } else if (!example.inputs[i].is_null()) {
+        partition = classifier_.Classify(example.inputs[i],
+                                         spec.inputs[i].semantic_type);
+      }
+      if (partition == kInvalidConcept) continue;
+      const auto& declared = partitions.inputs[i].partitions;
+      if (std::find(declared.begin(), declared.end(), partition) !=
+          declared.end()) {
+        covered_inputs.emplace(i, partition);
+      }
+    }
+  }
+  report.covered_input_partitions = covered_inputs.size();
+
+  // --- Output coverage.
+  std::set<std::pair<size_t, ConceptId>> covered_outputs;
+  for (const DataExample& example : examples) {
+    for (size_t o = 0; o < spec.outputs.size() && o < example.outputs.size();
+         ++o) {
+      const Value& value = example.outputs[o];
+      const auto& declared = partitions.outputs[o].partitions;
+      auto mark = [&](ConceptId partition) {
+        if (partition == kInvalidConcept) return;
+        if (std::find(declared.begin(), declared.end(), partition) !=
+            declared.end()) {
+          covered_outputs.emplace(o, partition);
+        }
+      };
+      // Whole-value classification handles scalars, homogeneous lists and
+      // list-shaped leaf concepts (PeptideMassList).
+      ConceptId whole =
+          classifier_.Classify(value, spec.outputs[o].semantic_type);
+      if (whole != kInvalidConcept) {
+        mark(whole);
+      } else if (value.is_list()) {
+        // Mixed lists (e.g. a link module emitting several identifier
+        // namespaces) can cover several partitions; classify per element.
+        for (const Value& element : value.AsList()) {
+          mark(classifier_.Classify(element, spec.outputs[o].semantic_type));
+        }
+      }
+    }
+  }
+  report.covered_output_partitions = covered_outputs.size();
+
+  for (size_t o = 0; o < partitions.outputs.size(); ++o) {
+    for (ConceptId partition : partitions.outputs[o].partitions) {
+      if (covered_outputs.count({o, partition}) == 0) {
+        report.uncovered_outputs.push_back(partition);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dexa

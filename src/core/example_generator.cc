@@ -1,0 +1,140 @@
+#include "core/example_generator.h"
+
+namespace dexa {
+
+namespace {
+
+/// A candidate value for one input parameter: the partition it covers plus
+/// the selected instance.
+struct Candidate {
+  ConceptId partition;
+  Value value;
+};
+
+}  // namespace
+
+Result<GenerationOutcome> ExampleGenerator::Generate(
+    const Module& module) const {
+  const ModuleSpec& spec = module.spec();
+  const Ontology& ontology = partitioner_.ontology();
+  GenerationOutcome outcome;
+
+  // Step 1 + 2: partition every input domain and select one instance per
+  // coverable partition.
+  std::vector<std::vector<Candidate>> candidates(spec.inputs.size());
+  for (size_t i = 0; i < spec.inputs.size(); ++i) {
+    const Parameter& param = spec.inputs[i];
+    ParameterPartitions partitions = partitioner_.Partition(param);
+    outcome.stats.input_partitions += partitions.partitions.size();
+    for (ConceptId partition : partitions.partitions) {
+      Result<Value> instance = Status::NotFound("unset");
+      if (options_.use_realization) {
+        instance = pool_->GetInstanceCompatible(partition,
+                                                param.structural_type);
+      } else {
+        // Ablation: accept an instance of the partition or of any of its
+        // sub-concepts (ignoring realization semantics).
+        for (ConceptId d : ontology.Descendants(partition)) {
+          instance = pool_->GetInstanceCompatible(d, param.structural_type);
+          if (instance.ok()) break;
+        }
+      }
+      if (!instance.ok()) continue;  // Partition not coverable from the pool.
+      ++outcome.stats.coverable_input_partitions;
+      candidates[i].push_back(
+          Candidate{partition, std::move(instance).value()});
+    }
+    if (param.optional && options_.include_null_for_optional) {
+      candidates[i].push_back(Candidate{kInvalidConcept, Value::Null()});
+    }
+    if (candidates[i].empty()) {
+      // A required input with no coverable partition: the module cannot be
+      // invoked at all, so its annotation is empty (the paper's pool always
+      // covered the inputs; this arises with impoverished pools).
+      return outcome;
+    }
+  }
+
+  // Step 3 + 4: invoke over combinations; keep normal terminations.
+  std::vector<size_t> odometer(spec.inputs.size(), 0);
+  const bool pin_tail = !options_.full_cartesian;
+  for (;;) {
+    if (outcome.stats.combinations_tried >= options_.max_combinations) break;
+    ++outcome.stats.combinations_tried;
+
+    DataExample example;
+    example.inputs.reserve(spec.inputs.size());
+    example.input_partitions.reserve(spec.inputs.size());
+    for (size_t i = 0; i < spec.inputs.size(); ++i) {
+      const Candidate& candidate = candidates[i][odometer[i]];
+      example.inputs.push_back(candidate.value);
+      example.input_partitions.push_back(candidate.partition);
+    }
+    auto outputs = module.Invoke(example.inputs);
+    if (outputs.ok()) {
+      example.outputs = std::move(outputs).value();
+      outcome.examples.push_back(std::move(example));
+    } else if (outputs.status().IsInvalidArgument() ||
+               outputs.status().IsNotFound()) {
+      // Abnormal termination: discard the combination (Section 3.2).
+      ++outcome.stats.invocation_errors;
+    } else {
+      return outputs.status();  // Unavailable/internal: a real failure.
+    }
+
+    // Advance the odometer.
+    size_t wheel = 0;
+    if (pin_tail) {
+      // Pinned strategy: only the first input enumerates its candidates.
+      if (spec.inputs.empty() || ++odometer[0] >= candidates[0].size()) break;
+      continue;
+    }
+    for (;;) {
+      if (wheel >= odometer.size()) break;
+      if (++odometer[wheel] < candidates[wheel].size()) break;
+      odometer[wheel] = 0;
+      ++wheel;
+    }
+    if (wheel >= odometer.size()) break;  // Odometer wrapped: done.
+    if (spec.inputs.empty()) break;       // Nullary module: one invocation.
+  }
+
+  outcome.stats.examples = outcome.examples.size();
+  return outcome;
+}
+
+Result<DataExampleSet> ExampleGenerator::ReplayInputs(
+    const Module& module, const DataExampleSet& examples) const {
+  DataExampleSet out;
+  for (const DataExample& reference : examples) {
+    auto outputs = module.Invoke(reference.inputs);
+    if (!outputs.ok()) {
+      if (outputs.status().IsInvalidArgument() ||
+          outputs.status().IsNotFound()) {
+        continue;
+      }
+      return outputs.status();
+    }
+    DataExample example;
+    example.inputs = reference.inputs;
+    example.input_partitions = reference.input_partitions;
+    example.outputs = std::move(outputs).value();
+    out.push_back(std::move(example));
+  }
+  return out;
+}
+
+Result<size_t> AnnotateRegistry(const ExampleGenerator& generator,
+                                ModuleRegistry& registry) {
+  size_t annotated = 0;
+  for (const ModulePtr& module : registry.AvailableModules()) {
+    auto outcome = generator.Generate(*module);
+    if (!outcome.ok()) return outcome.status();
+    DEXA_RETURN_IF_ERROR(registry.SetDataExamples(
+        module->spec().id, std::move(outcome->examples)));
+    ++annotated;
+  }
+  return annotated;
+}
+
+}  // namespace dexa

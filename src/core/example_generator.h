@@ -1,0 +1,93 @@
+#ifndef DEXA_CORE_EXAMPLE_GENERATOR_H_
+#define DEXA_CORE_EXAMPLE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/partitioner.h"
+#include "modules/data_example.h"
+#include "modules/module.h"
+#include "modules/registry.h"
+#include "pool/instance_pool.h"
+
+namespace dexa {
+
+/// Tuning knobs for the data-example generator; the defaults implement the
+/// paper's heuristic, the alternatives exist for the ablation benches.
+struct GeneratorOptions {
+  /// Hard cap on input combinations enumerated for one module.
+  size_t max_combinations = 4096;
+
+  /// Realization semantics (Section 3.2): pick pool instances of the
+  /// partition concept itself, never of a strict sub-concept. The ablation
+  /// disables this to measure what annotating with arbitrary (possibly more
+  /// specific) instances does to completeness.
+  bool use_realization = true;
+
+  /// When false, only the first input keeps all its partitions and every
+  /// other input is pinned to its first coverable partition ("pinned"
+  /// strategy) instead of the full cartesian product. Ablation knob for the
+  /// cost/completeness trade-off of combination enumeration.
+  bool full_cartesian = true;
+
+  /// Also try null for optional inputs (Section 2: optional parameters may
+  /// carry null values).
+  bool include_null_for_optional = true;
+};
+
+/// Statistics the generator reports alongside the examples.
+struct GenerationStats {
+  size_t input_partitions = 0;
+  size_t coverable_input_partitions = 0;  ///< Partitions with a pool instance.
+  size_t combinations_tried = 0;
+  size_t invocation_errors = 0;  ///< Combinations discarded per Section 3.2.
+  size_t examples = 0;
+};
+
+/// The generated annotation for one module.
+struct GenerationOutcome {
+  DataExampleSet examples;
+  GenerationStats stats;
+};
+
+/// The paper's heuristic for generating data examples (Section 3.2):
+///  1. partition the domain of every input by its semantic annotation;
+///  2. select a realization instance per partition from the annotated pool
+///     (structurally compatible with the parameter);
+///  3. invoke the module on every combination of selected values;
+///  4. keep a data example for each combination that terminated normally.
+class ExampleGenerator {
+ public:
+  ExampleGenerator(const Ontology* ontology, const AnnotatedInstancePool* pool,
+                   GeneratorOptions options = {})
+      : partitioner_(ontology), pool_(pool), options_(options) {}
+
+  /// Generates `∆(m)` for `module`. Fails only on internal errors; a module
+  /// for which no combination terminates normally yields an empty set.
+  Result<GenerationOutcome> Generate(const Module& module) const;
+
+  /// Invokes `module` on the input vectors of `examples` (e.g. examples of
+  /// another module being compared, Section 6) and returns the examples it
+  /// produces; combinations the module rejects are skipped.
+  Result<DataExampleSet> ReplayInputs(const Module& module,
+                                      const DataExampleSet& examples) const;
+
+  const DomainPartitioner& partitioner() const { return partitioner_; }
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  DomainPartitioner partitioner_;
+  const AnnotatedInstancePool* pool_;
+  GeneratorOptions options_;
+};
+
+/// Runs `generator` over every available module of `registry` and stores
+/// the resulting data examples back into the registry (step 2 of the
+/// architecture in Figure 3). Returns the number of modules annotated.
+Result<size_t> AnnotateRegistry(const ExampleGenerator& generator,
+                                ModuleRegistry& registry);
+
+}  // namespace dexa
+
+#endif  // DEXA_CORE_EXAMPLE_GENERATOR_H_

@@ -1,0 +1,152 @@
+#include "core/instance_classifier.h"
+
+#include "common/strings.h"
+#include "formats/alphabet.h"
+#include "formats/sniffer.h"
+#include "kb/accessions.h"
+
+namespace dexa {
+
+namespace {
+
+bool IsTermInstance(const std::string& s, const char* prefix) {
+  return StartsWith(s, prefix) && Contains(s, " ! ");
+}
+
+/// Leaf-level membership test by concept name. Strings only; structured
+/// values are handled in Matches().
+bool StringMatchesConcept(const std::string& s, const std::string& concept_name) {
+  // Identifier namespaces.
+  if (concept_name == "UniprotAccession") return IsUniprotAccession(s);
+  if (concept_name == "PDBAccession") return IsPdbAccession(s);
+  if (concept_name == "EMBLAccession") return IsEmblAccession(s);
+  if (concept_name == "KEGGGeneId") return IsKeggGeneId(s);
+  if (concept_name == "EnzymeId") return IsEnzymeId(s);
+  if (concept_name == "GlycanId") return IsGlycanId(s);
+  if (concept_name == "LigandId") return IsLigandId(s);
+  if (concept_name == "CompoundId") return IsCompoundId(s);
+  if (concept_name == "PathwayId") return IsPathwayId(s);
+  if (concept_name == "GOTermId") return IsGoTermId(s);
+
+  // Sequences: alphabet analysis, preferring the most restrictive class.
+  if (concept_name == "DNASequence") {
+    return !s.empty() && ClassifySequence(s) == SeqAlphabet::kDna;
+  }
+  if (concept_name == "RNASequence") {
+    return !s.empty() && ClassifySequence(s) == SeqAlphabet::kRna;
+  }
+  if (concept_name == "ProteinSequence") {
+    return !s.empty() && ClassifySequence(s) == SeqAlphabet::kProtein &&
+           IsValidSequence(s, SeqAlphabet::kProtein);
+  }
+
+  // Records and reports: format sniffing.
+  static constexpr const char* kSniffed[] = {
+      "FastaRecord",    "UniprotRecord",  "EMBLRecord",
+      "GenBankRecord",  "PDBRecord",      "KEGGGeneRecord",
+      "EnzymeRecord",   "GlycanRecord",   "LigandRecord",
+      "CompoundRecord", "PathwayRecord",  "GORecord",
+      "InterProRecord", "PfamRecord",     "DiseaseRecord",
+      "AlignmentReport", "IdentificationReport", "StatisticsReport",
+  };
+  for (const char* name : kSniffed) {
+    if (concept_name == name) return SniffFormat(s) == name;
+  }
+
+  // Ontology terms: "<SOURCE>:<id> ! <label>".
+  if (concept_name == "GOTerm") return IsTermInstance(s, "GO:");
+  if (concept_name == "PathwayConcept") return IsTermInstance(s, "PW:");
+  if (concept_name == "DiseaseTerm") return IsTermInstance(s, "DOID:");
+  if (concept_name == "AnatomyTerm") return IsTermInstance(s, "UBERON:");
+  if (concept_name == "ChemicalTerm") return IsTermInstance(s, "CHEBI:");
+  if (concept_name == "PhenotypeTerm") return IsTermInstance(s, "HP:");
+
+  // Controlled vocabularies for parameter-ish strings.
+  if (concept_name == "AlgorithmName") {
+    static constexpr const char* kPrograms[] = {"blastp", "blastn", "blastx",
+                                                "fasta", "ssearch"};
+    for (const char* p : kPrograms) {
+      if (s == p) return true;
+    }
+    return false;
+  }
+  if (concept_name == "DatabaseName") {
+    static constexpr const char* kDatabases[] = {
+        "uniprot", "embl", "pdb", "kegg", "genbank",
+        // Term sources double as database names (GetTermSource outputs).
+        "GO", "PW", "DOID", "UBERON", "CHEBI", "HP"};
+    for (const char* d : kDatabases) {
+      if (s == d) return true;
+    }
+    return false;
+  }
+
+  if (concept_name == "TextDocument") {
+    // Free text: multiple words, not matching any structured grammar.
+    return Contains(s, " ") && SniffFormat(s).empty();
+  }
+
+  // Unrecognized concept: accept any non-empty string.
+  return !s.empty();
+}
+
+}  // namespace
+
+InstanceClassifier::InstanceClassifier(const Ontology* ontology)
+    : ontology_(ontology) {
+  text_document_ = ontology->Find("TextDocument");
+}
+
+bool InstanceClassifier::Matches(const Value& value,
+                                 ConceptId concept_id) const {
+  if (value.is_null()) return false;
+  const std::string& name = ontology_->NameOf(concept_id);
+  if (value.is_string()) return StringMatchesConcept(value.AsString(), name);
+  if (value.is_double() || value.is_int()) {
+    // Numeric parameters and measures.
+    return name == "ErrorTolerance" || name == "ThresholdValue" ||
+           name == "SequenceLength" || name == "MolecularMass" ||
+           name == "Score" || name == "Fraction" || name == "Count" ||
+           name == "Parameter" || name == "Measure" ||
+           name == "BioinformaticsData";
+  }
+  if (value.is_list()) {
+    // A list instantiates a concept if its elements do (PeptideMassList is
+    // the special list-shaped leaf: a list of masses).
+    if (name == "PeptideMassList") {
+      if (value.AsList().empty()) return false;
+      for (const Value& v : value.AsList()) {
+        if (!v.is_double()) return false;
+      }
+      return true;
+    }
+    if (value.AsList().empty()) return false;
+    for (const Value& v : value.AsList()) {
+      if (!Matches(v, concept_id)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+ConceptId InstanceClassifier::Classify(const Value& value,
+                                       ConceptId declared) const {
+  if (value.is_null() || declared == kInvalidConcept) return kInvalidConcept;
+  // Try the partitions of the declared concept, most derived first: the
+  // partition list is in pre-order, so reverse iteration visits leaves
+  // before their ancestors.
+  std::vector<ConceptId> partitions = ontology_->Partitions(declared);
+  ConceptId fallback = kInvalidConcept;
+  for (auto it = partitions.rbegin(); it != partitions.rend(); ++it) {
+    ConceptId candidate = *it;
+    if (candidate == declared) {
+      fallback = declared;  // Realizable declared concept: weakest match.
+      continue;
+    }
+    if (Matches(value, candidate)) return candidate;
+  }
+  if (fallback != kInvalidConcept && Matches(value, fallback)) return fallback;
+  return kInvalidConcept;
+}
+
+}  // namespace dexa

@@ -1,0 +1,43 @@
+#ifndef DEXA_CORE_INSTANCE_CLASSIFIER_H_
+#define DEXA_CORE_INSTANCE_CLASSIFIER_H_
+
+#include "ontology/ontology.h"
+#include "types/value.h"
+
+namespace dexa {
+
+/// Assigns ontology concepts to raw data values. Used in two places:
+///  * output-partition coverage (Section 3.3): deciding which partition of
+///    an output parameter's domain a produced value belongs to;
+///  * pool harvesting: refining a coarse parameter annotation (e.g.
+///    "Accession") to the most specific concept a provenance value
+///    instantiates, so the pool obeys realization semantics.
+///
+/// Classification is grammar/format-based: accession grammars
+/// (kb/accessions.h), flat-file sniffing (formats/sniffer.h), sequence
+/// alphabet analysis, and term/parameter shape checks.
+class InstanceClassifier {
+ public:
+  explicit InstanceClassifier(const Ontology* ontology);
+
+  /// The most specific partition of `declared` (per Ontology::Partitions)
+  /// that `value` instantiates; `declared` itself when the value matches no
+  /// finer recognizer but `declared` is realizable; kInvalidConcept when
+  /// nothing fits (e.g. declared is covered and no sub-concept matches).
+  ConceptId Classify(const Value& value, ConceptId declared) const;
+
+  /// True if `value` matches the recognizer for `concept` (leaf-level
+  /// membership test). Concepts without a dedicated recognizer accept any
+  /// non-null value.
+  bool Matches(const Value& value, ConceptId concept_id) const;
+
+ private:
+  const Ontology* ontology_;
+
+  // Cached concept ids (kInvalidConcept when absent from the ontology).
+  ConceptId text_document_;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_CORE_INSTANCE_CLASSIFIER_H_

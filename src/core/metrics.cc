@@ -1,0 +1,31 @@
+#include "core/metrics.h"
+
+#include <set>
+
+namespace dexa {
+
+Result<BehaviorMetrics> EvaluateBehaviorMetrics(
+    const Module& module, const DataExampleSet& examples) {
+  const BehaviorGroundTruth* truth = module.ground_truth();
+  if (truth == nullptr) {
+    return Status::InvalidArgument("module '" + module.spec().name +
+                                   "' exposes no behavior ground truth");
+  }
+  BehaviorMetrics metrics;
+  metrics.num_classes = truth->num_classes();
+  metrics.num_examples = static_cast<int>(examples.size());
+
+  std::set<int> covered;
+  for (const DataExample& example : examples) {
+    int cls = truth->ClassOf(example.inputs);
+    if (covered.count(cls) > 0) {
+      ++metrics.redundant_examples;  // A prior example already covers cls.
+    } else {
+      covered.insert(cls);
+    }
+  }
+  metrics.classes_covered = static_cast<int>(covered.size());
+  return metrics;
+}
+
+}  // namespace dexa

@@ -1,0 +1,44 @@
+#ifndef DEXA_CORE_METRICS_H_
+#define DEXA_CORE_METRICS_H_
+
+#include "common/result.h"
+#include "modules/data_example.h"
+#include "modules/module.h"
+
+namespace dexa {
+
+/// Completeness and conciseness of a data-example set with respect to a
+/// module's ground-truth behavior classes (Section 4.2). Ground truth comes
+/// from the module's documentation (BehaviorGroundTruth) — exactly the
+/// evaluation protocol of the paper, where classes of behavior were
+/// identified from module specifications with a domain expert.
+struct BehaviorMetrics {
+  int num_classes = 0;        ///< #classes(m).
+  int classes_covered = 0;    ///< #classesCovered(∆(m), m).
+  int num_examples = 0;       ///< #∆(m).
+  int redundant_examples = 0; ///< #redundantExamples(∆(m), m).
+
+  /// completeness(m) = #classesCovered / #classes.
+  double completeness() const {
+    return num_classes == 0 ? 1.0
+                            : static_cast<double>(classes_covered) /
+                                  static_cast<double>(num_classes);
+  }
+  /// conciseness(m) = 1 - #redundantExamples / #∆(m).
+  double conciseness() const {
+    return num_examples == 0 ? 1.0
+                             : 1.0 - static_cast<double>(redundant_examples) /
+                                         static_cast<double>(num_examples);
+  }
+};
+
+/// Evaluates `examples` against `module`'s ground truth. Two examples are
+/// redundant when they exercise the same behavior class; a class is covered
+/// when at least one example exercises it. Fails with InvalidArgument if
+/// the module exposes no ground truth.
+Result<BehaviorMetrics> EvaluateBehaviorMetrics(const Module& module,
+                                                const DataExampleSet& examples);
+
+}  // namespace dexa
+
+#endif  // DEXA_CORE_METRICS_H_

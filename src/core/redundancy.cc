@@ -1,0 +1,179 @@
+#include "core/redundancy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+#include "formats/term_instance.h"
+#include "formats/alphabet.h"
+#include "formats/sniffer.h"
+#include "kb/accessions.h"
+
+namespace dexa {
+
+bool RedundancyReport::SameCluster(size_t i, size_t j) const {
+  for (const std::vector<size_t>& cluster : clusters) {
+    bool has_i = std::find(cluster.begin(), cluster.end(), i) != cluster.end();
+    bool has_j = std::find(cluster.begin(), cluster.end(), j) != cluster.end();
+    if (has_i || has_j) return has_i && has_j;
+  }
+  return false;
+}
+
+namespace {
+
+bool IsPermutationOf(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  std::string sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+/// The relationship of one output string to the example's string inputs, or
+/// "" when no linkage relation holds.
+std::string RelationToInputs(const std::string& output,
+                             const std::vector<Value>& inputs,
+                             bool qualify_contained) {
+  for (const Value& input : inputs) {
+    if (!input.is_string()) continue;
+    const std::string& in = input.AsString();
+    if (output == in || output == Trim(in)) return "echo";
+    if (ToLower(output) == ToLower(in)) return "case";
+    if (!output.empty() && Contains(in, output)) {
+      if (!qualify_contained) return "contained";
+      // Qualify the extraction by what was extracted: pulling a Uniprot
+      // accession out of a record is a different behavior than pulling an
+      // EC number out.
+      std::string id_namespace = ClassifyAccession(output);
+      return id_namespace.empty() ? "contained" : "contained:" + id_namespace;
+    }
+    if (IsPermutationOf(output, in)) return "perm";
+  }
+  return "";
+}
+
+/// Order-of-magnitude bucket for numeric outputs: different buckets are a
+/// cheap signal of different computations (e.g. a per-residue average vs a
+/// whole-molecule mass).
+std::string MagnitudeBucket(double v) {
+  double magnitude = std::floor(std::log10(std::abs(v) + 1.0));
+  return std::to_string(static_cast<int>(magnitude));
+}
+
+/// Shape features of one output value, ignoring concrete content.
+std::string ShapeOf(const Value& value, bool use_magnitude) {
+  if (value.is_null()) return "null";
+  if (value.is_bool()) return "bool";
+  if (value.is_int()) {
+    if (!use_magnitude) return "int";
+    return "int:e" + MagnitudeBucket(static_cast<double>(value.AsInt()));
+  }
+  if (value.is_double()) {
+    if (!use_magnitude) return "num";
+    return "num:e" + MagnitudeBucket(value.AsDouble());
+  }
+  if (value.is_list()) {
+    const auto& items = value.AsList();
+    if (items.empty()) return "list<empty>";
+    return "list<" + ShapeOf(items[0], use_magnitude) + ">";
+  }
+  const std::string& s = value.AsString();
+  std::string sniffed = SniffFormat(s);
+  if (!sniffed.empty()) return "fmt:" + sniffed;
+  std::string id_namespace = ClassifyAccession(s);
+  if (!id_namespace.empty()) return "id:" + id_namespace;
+  if (!TermId(s).empty()) return "term";
+  if (!s.empty() && IsValidSequence(s, SeqAlphabet::kDna)) return "seq:dna";
+  if (!s.empty() && IsValidSequence(s, SeqAlphabet::kRna)) return "seq:rna";
+  if (!s.empty() && IsValidSequence(s, SeqAlphabet::kProtein)) {
+    return "seq:protein";
+  }
+  return "text";
+}
+
+}  // namespace
+
+std::string RedundancyDetector::Fingerprint(const ModuleSpec& spec,
+                                            const DataExample& example) const {
+  (void)spec;
+  std::string fingerprint;
+  // Which optional inputs were absent (a different invocation mode is a
+  // different behavior, cf. default-parameter code paths).
+  fingerprint += "nulls:";
+  for (const Value& input : example.inputs) {
+    fingerprint += input.is_null() ? '1' : '0';
+  }
+  for (const Value& output : example.outputs) {
+    fingerprint += "|";
+    if (options_.use_relations) {
+      if (output.is_string()) {
+        std::string relation = RelationToInputs(
+            output.AsString(), example.inputs, options_.qualify_contained);
+        if (!relation.empty()) {
+          fingerprint += "rel:" + relation;
+          continue;
+        }
+      }
+      if (output.is_list() && !output.AsList().empty() &&
+          output.AsList()[0].is_string()) {
+        std::string relation =
+            RelationToInputs(output.AsList()[0].AsString(), example.inputs,
+                             options_.qualify_contained);
+        if (!relation.empty()) {
+          fingerprint += "list<rel:" + relation + ">";
+          continue;
+        }
+      }
+    }
+    fingerprint += ShapeOf(output, options_.use_magnitude);
+  }
+  return fingerprint;
+}
+
+RedundancyReport RedundancyDetector::Detect(
+    const ModuleSpec& spec, const DataExampleSet& examples) const {
+  RedundancyReport report;
+  std::map<std::string, size_t> cluster_of;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    std::string fingerprint = Fingerprint(spec, examples[i]);
+    auto [it, inserted] =
+        cluster_of.emplace(fingerprint, report.clusters.size());
+    if (inserted) report.clusters.emplace_back();
+    report.clusters[it->second].push_back(i);
+  }
+  return report;
+}
+
+Result<RedundancyQuality> EvaluateRedundancyDetection(
+    const Module& module, const DataExampleSet& examples,
+    const RedundancyReport& report) {
+  const BehaviorGroundTruth* truth = module.ground_truth();
+  if (truth == nullptr) {
+    return Status::InvalidArgument("module '" + module.spec().name +
+                                   "' exposes no behavior ground truth");
+  }
+  std::vector<int> actual_class;
+  actual_class.reserve(examples.size());
+  for (const DataExample& example : examples) {
+    actual_class.push_back(truth->ClassOf(example.inputs));
+  }
+  RedundancyQuality quality;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    for (size_t j = i + 1; j < examples.size(); ++j) {
+      bool actual = actual_class[i] == actual_class[j];
+      bool predicted = report.SameCluster(i, j);
+      if (actual && predicted) {
+        ++quality.true_positive_pairs;
+      } else if (!actual && predicted) {
+        ++quality.false_positive_pairs;
+      } else if (actual && !predicted) {
+        ++quality.false_negative_pairs;
+      }
+    }
+  }
+  return quality;
+}
+
+}  // namespace dexa

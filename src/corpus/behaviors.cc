@@ -1,0 +1,610 @@
+#include "corpus/behaviors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "formats/alphabet.h"
+#include "formats/entity_records.h"
+#include "formats/kegg_flat.h"
+#include "formats/sniffer.h"
+#include "kb/render.h"
+
+namespace dexa {
+
+const char* RecordKindConcept(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kUniprot:
+      return "UniprotRecord";
+    case RecordKind::kFasta:
+      return "FastaRecord";
+    case RecordKind::kEmbl:
+      return "EMBLRecord";
+    case RecordKind::kGenBank:
+      return "GenBankRecord";
+    case RecordKind::kPdb:
+      return "PDBRecord";
+    case RecordKind::kKeggGene:
+      return "KEGGGeneRecord";
+    case RecordKind::kEnzyme:
+      return "EnzymeRecord";
+    case RecordKind::kGlycan:
+      return "GlycanRecord";
+    case RecordKind::kLigand:
+      return "LigandRecord";
+    case RecordKind::kCompound:
+      return "CompoundRecord";
+    case RecordKind::kPathway:
+      return "PathwayRecord";
+    case RecordKind::kGo:
+      return "GORecord";
+    case RecordKind::kInterPro:
+      return "InterProRecord";
+    case RecordKind::kPfam:
+      return "PfamRecord";
+    case RecordKind::kDisease:
+      return "DiseaseRecord";
+  }
+  return "Record";
+}
+
+Result<std::string> RetrieveRecord(const KnowledgeBase& kb, RecordKind kind,
+                                   const std::string& accession) {
+  switch (kind) {
+    case RecordKind::kUniprot: {
+      auto protein = kb.FindProtein(accession);
+      if (!protein.ok()) return protein.status();
+      return RenderUniprot(SequenceDataFromProtein(**protein));
+    }
+    case RecordKind::kFasta: {
+      auto protein = kb.FindProtein(accession);
+      if (!protein.ok()) return protein.status();
+      return RenderFasta(SequenceDataFromProtein(**protein));
+    }
+    case RecordKind::kEmbl: {
+      auto protein = kb.FindProteinByEmbl(accession);
+      if (!protein.ok()) return protein.status();
+      auto gene = kb.FindGene((*protein)->gene_id);
+      if (!gene.ok()) return gene.status();
+      SequenceData data = SequenceDataFromGene(**gene);
+      data.accession = accession;  // Serve under the EMBL accession.
+      return RenderEmbl(data);
+    }
+    case RecordKind::kGenBank: {
+      auto protein = kb.FindProteinByEmbl(accession);
+      if (!protein.ok()) return protein.status();
+      auto gene = kb.FindGene((*protein)->gene_id);
+      if (!gene.ok()) return gene.status();
+      SequenceData data = SequenceDataFromGene(**gene);
+      data.accession = accession;
+      return RenderGenBank(data);
+    }
+    case RecordKind::kPdb: {
+      auto protein = kb.FindProteinByPdb(accession);
+      if (!protein.ok()) return protein.status();
+      SequenceData data = SequenceDataFromProtein(**protein);
+      data.accession = accession;
+      return RenderPdb(data);
+    }
+    case RecordKind::kKeggGene: {
+      auto gene = kb.FindGene(accession);
+      if (!gene.ok()) return gene.status();
+      return RenderGeneRecord(GeneRecordFrom(**gene));
+    }
+    case RecordKind::kEnzyme: {
+      auto enzyme = kb.FindEnzyme(accession);
+      if (!enzyme.ok()) return enzyme.status();
+      return RenderEnzymeRecord(EnzymeRecordFrom(**enzyme));
+    }
+    case RecordKind::kGlycan: {
+      auto glycan = kb.FindGlycan(accession);
+      if (!glycan.ok()) return glycan.status();
+      return RenderGlycanRecord(GlycanRecordFrom(**glycan));
+    }
+    case RecordKind::kLigand: {
+      auto ligand = kb.FindLigand(accession);
+      if (!ligand.ok()) return ligand.status();
+      return RenderLigandRecord(LigandRecordFrom(**ligand));
+    }
+    case RecordKind::kCompound: {
+      auto compound = kb.FindCompound(accession);
+      if (!compound.ok()) return compound.status();
+      return RenderCompoundRecord(CompoundRecordFrom(**compound));
+    }
+    case RecordKind::kPathway: {
+      auto pathway = kb.FindPathway(accession);
+      if (!pathway.ok()) return pathway.status();
+      return RenderPathwayRecord(PathwayRecordFrom(**pathway));
+    }
+    case RecordKind::kGo: {
+      auto term = kb.FindGoTerm(accession);
+      if (!term.ok()) return term.status();
+      return RenderGoTerm(GoTermFrom(**term));
+    }
+    case RecordKind::kInterPro: {
+      // Served per protein: the protein's first InterPro entry.
+      auto protein = kb.FindProtein(accession);
+      if (!protein.ok()) return protein.status();
+      if ((*protein)->interpro_ids.empty()) {
+        return Status::NotFound("protein has no InterPro annotation");
+      }
+      auto entry = kb.FindInterPro((*protein)->interpro_ids[0]);
+      if (!entry.ok()) return entry.status();
+      return RenderInterProRecord(InterProRecordFrom(**entry));
+    }
+    case RecordKind::kPfam: {
+      auto protein = kb.FindProtein(accession);
+      if (!protein.ok()) return protein.status();
+      if ((*protein)->pfam_ids.empty()) {
+        return Status::NotFound("protein has no Pfam annotation");
+      }
+      auto entry = kb.FindPfam((*protein)->pfam_ids[0]);
+      if (!entry.ok()) return entry.status();
+      return RenderPfamRecord(PfamRecordFrom(**entry));
+    }
+    case RecordKind::kDisease: {
+      // Served per gene: the first disease referencing the gene.
+      for (const DiseaseEntity& disease : kb.diseases()) {
+        for (const std::string& gene_id : disease.gene_ids) {
+          if (gene_id == accession) {
+            return RenderDiseaseRecord(DiseaseRecordFrom(disease));
+          }
+        }
+      }
+      return Status::NotFound("no disease references gene '" + accession +
+                              "'");
+    }
+  }
+  return Status::Internal("unhandled record kind");
+}
+
+const char* SeqFormatConcept(SeqFormat format) {
+  switch (format) {
+    case SeqFormat::kFasta:
+      return "FastaRecord";
+    case SeqFormat::kUniprot:
+      return "UniprotRecord";
+    case SeqFormat::kEmbl:
+      return "EMBLRecord";
+    case SeqFormat::kGenBank:
+      return "GenBankRecord";
+    case SeqFormat::kPdb:
+      return "PDBRecord";
+  }
+  return "SequenceRecord";
+}
+
+Result<SequenceData> ParseSequenceRecordAny(const std::string& text,
+                                            SeqFormat* format_out) {
+  std::string sniffed = SniffFormat(text);
+  SeqFormat format;
+  if (sniffed == "FastaRecord") {
+    format = SeqFormat::kFasta;
+  } else if (sniffed == "UniprotRecord") {
+    format = SeqFormat::kUniprot;
+  } else if (sniffed == "EMBLRecord") {
+    format = SeqFormat::kEmbl;
+  } else if (sniffed == "GenBankRecord") {
+    format = SeqFormat::kGenBank;
+  } else if (sniffed == "PDBRecord") {
+    format = SeqFormat::kPdb;
+  } else {
+    return Status::InvalidArgument("not a sequence record (sniffed '" +
+                                   sniffed + "')");
+  }
+  if (format_out != nullptr) *format_out = format;
+  switch (format) {
+    case SeqFormat::kFasta:
+      return ParseFasta(text);
+    case SeqFormat::kUniprot:
+      return ParseUniprot(text);
+    case SeqFormat::kEmbl:
+      return ParseEmbl(text);
+    case SeqFormat::kGenBank:
+      return ParseGenBank(text);
+    case SeqFormat::kPdb:
+      return ParsePdb(text);
+  }
+  return Status::Internal("unhandled sequence format");
+}
+
+std::string RenderSequenceData(const SequenceData& data, SeqFormat format) {
+  switch (format) {
+    case SeqFormat::kFasta:
+      return RenderFasta(data);
+    case SeqFormat::kUniprot:
+      return RenderUniprot(data);
+    case SeqFormat::kEmbl:
+      return RenderEmbl(data);
+    case SeqFormat::kGenBank:
+      return RenderGenBank(data);
+    case SeqFormat::kPdb:
+      return RenderPdb(data);
+  }
+  return "";
+}
+
+Result<std::string> ExtractPrimaryId(const std::string& record) {
+  std::string sniffed = SniffFormat(record);
+  if (sniffed.empty()) {
+    return Status::InvalidArgument("unrecognized record format");
+  }
+  // Sequence formats: full parse.
+  SeqFormat format;
+  auto data = ParseSequenceRecordAny(record, &format);
+  if (data.ok()) return data->accession;
+  // KEGG family: ENTRY id.
+  auto kegg = ParseKeggFlat(record);
+  if (kegg.ok()) {
+    std::string entry = kegg->GetFirst("ENTRY");
+    size_t space = entry.find(' ');
+    std::string id = space == std::string::npos ? entry : entry.substr(0, space);
+    if (StartsWith(entry, "EC ")) {
+      // Enzyme entries carry "EC <number>".
+      std::vector<std::string> tokens = Split(entry, ' ');
+      if (tokens.size() >= 2) return tokens[1];
+    }
+    if (!id.empty()) return id;
+    return Status::InvalidArgument("KEGG record without ENTRY id");
+  }
+  // Stanza formats (GO / InterPro / Pfam): shared line-prefix extraction.
+  for (const std::string& line : SplitLines(record)) {
+    std::string trimmed = Trim(line);
+    if (StartsWith(trimmed, "id: ")) return trimmed.substr(4);
+    if (StartsWith(trimmed, "AC   ")) return Trim(trimmed.substr(5));
+    if (StartsWith(trimmed, "#=GF AC   ")) return Trim(trimmed.substr(10));
+  }
+  return Status::InvalidArgument("no primary id found in record");
+}
+
+Result<std::string> ExtractEntryName(const std::string& record) {
+  std::string sniffed = SniffFormat(record);
+  if (sniffed.empty()) {
+    return Status::InvalidArgument("unrecognized record format");
+  }
+  auto data = ParseSequenceRecordAny(record);
+  if (data.ok()) return data->name;
+  auto kegg = ParseKeggFlat(record);
+  if (kegg.ok()) {
+    std::string name = kegg->GetFirst("NAME");
+    if (!name.empty()) return name;
+    return Status::InvalidArgument("KEGG record without NAME");
+  }
+  for (const std::string& line : SplitLines(record)) {
+    std::string trimmed = Trim(line);
+    if (StartsWith(trimmed, "name: ")) return trimmed.substr(6);
+    if (StartsWith(trimmed, "NA   ")) return Trim(trimmed.substr(5));
+    if (StartsWith(trimmed, "#=GF ID   ")) return Trim(trimmed.substr(10));
+  }
+  return Status::InvalidArgument("no entry name found in record");
+}
+
+Result<std::string> SummarizeRecordLine(const std::string& record) {
+  auto id = ExtractPrimaryId(record);
+  if (!id.ok()) return id.status();
+  auto name = ExtractEntryName(record);
+  if (!name.ok()) return name.status();
+  return *id + " " + *name;
+}
+
+Result<std::string> ExtractSequenceText(const std::string& record) {
+  auto data = ParseSequenceRecordAny(record);
+  if (!data.ok()) return data.status();
+  if (data->sequence.empty()) {
+    return Status::InvalidArgument("record carries no sequence");
+  }
+  return data->sequence;
+}
+
+Result<std::string> LookupSequenceForAccession(const KnowledgeBase& kb,
+                                               const std::string& accession) {
+  if (auto protein = kb.FindProtein(accession); protein.ok()) {
+    return (*protein)->sequence;
+  }
+  if (auto protein = kb.FindProteinByPdb(accession); protein.ok()) {
+    return (*protein)->sequence;
+  }
+  if (auto protein = kb.FindProteinByEmbl(accession); protein.ok()) {
+    auto gene = kb.FindGene((*protein)->gene_id);
+    if (!gene.ok()) return gene.status();
+    return (*gene)->dna_sequence;
+  }
+  if (auto gene = kb.FindGene(accession); gene.ok()) {
+    return (*gene)->dna_sequence;
+  }
+  return Status::NotFound("no sequence database knows accession '" +
+                          accession + "'");
+}
+
+namespace {
+
+bool IsWeakBase(char c) { return c == 'A' || c == 'T' || c == 'U'; }
+bool IsStrongBase(char c) { return c == 'G' || c == 'C'; }
+
+size_t CountChar(const std::string& s, char c) {
+  return static_cast<size_t>(std::count(s.begin(), s.end(), c));
+}
+
+}  // namespace
+
+double NucleotideStatistic(NucStat stat, const std::string& sequence) {
+  const double n = static_cast<double>(sequence.size());
+  switch (stat) {
+    case NucStat::kGcContent:
+      return GcContent(sequence);
+    case NucStat::kAtContent: {
+      if (sequence.empty()) return 0.0;
+      size_t at = 0;
+      for (char c : sequence) {
+        if (IsWeakBase(c)) ++at;
+      }
+      return static_cast<double>(at) / n;
+    }
+    case NucStat::kCountA:
+      return static_cast<double>(CountChar(sequence, 'A'));
+    case NucStat::kCountC:
+      return static_cast<double>(CountChar(sequence, 'C'));
+    case NucStat::kCountG:
+      return static_cast<double>(CountChar(sequence, 'G'));
+    case NucStat::kCountCgDinucleotide: {
+      size_t count = 0;
+      for (size_t i = 0; i + 1 < sequence.size(); ++i) {
+        if (sequence[i] == 'C' && sequence[i + 1] == 'G') ++count;
+      }
+      return static_cast<double>(count);
+    }
+    case NucStat::kPurineCount:
+      return static_cast<double>(CountChar(sequence, 'A') +
+                                 CountChar(sequence, 'G'));
+    case NucStat::kPyrimidineCount:
+      return static_cast<double>(sequence.size() - CountChar(sequence, 'A') -
+                                 CountChar(sequence, 'G'));
+    case NucStat::kShannonEntropy: {
+      if (sequence.empty()) return 0.0;
+      double entropy = 0.0;
+      for (char c : std::string("ACGTU")) {
+        double p = static_cast<double>(CountChar(sequence, c)) / n;
+        if (p > 0.0) entropy -= p * std::log2(p);
+      }
+      return entropy;
+    }
+    case NucStat::kLinguisticComplexity: {
+      if (sequence.size() < 3) return 0.0;
+      std::set<std::string> trimers;
+      for (size_t i = 0; i + 3 <= sequence.size(); ++i) {
+        trimers.insert(sequence.substr(i, 3));
+      }
+      double possible =
+          std::min(static_cast<double>(sequence.size() - 2), 64.0);
+      return static_cast<double>(trimers.size()) / possible;
+    }
+    case NucStat::kMaxHomopolymerRun: {
+      size_t best = 0;
+      size_t run = 0;
+      char prev = '\0';
+      for (char c : sequence) {
+        run = (c == prev) ? run + 1 : 1;
+        prev = c;
+        best = std::max(best, run);
+      }
+      return static_cast<double>(best);
+    }
+    case NucStat::kGcSkew: {
+      double g = static_cast<double>(CountChar(sequence, 'G'));
+      double c = static_cast<double>(CountChar(sequence, 'C'));
+      return (g + c) == 0.0 ? 0.0 : (g - c) / (g + c);
+    }
+    case NucStat::kChecksum:
+      return static_cast<double>(StableHash64(sequence) % 1000000);
+    case NucStat::kBasicMeltingTemp: {
+      double weak = 0.0;
+      double strong = 0.0;
+      for (char c : sequence) {
+        if (IsWeakBase(c)) weak += 1.0;
+        if (IsStrongBase(c)) strong += 1.0;
+      }
+      return 2.0 * weak + 4.0 * strong;
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Per-residue property tables for the protein-side calculations.
+double ResidueHydrophobicity(char c) {
+  // Kyte-Doolittle-ish values.
+  switch (c) {
+    case 'I': return 4.5;
+    case 'V': return 4.2;
+    case 'L': return 3.8;
+    case 'F': return 2.8;
+    case 'C': return 2.5;
+    case 'M': return 1.9;
+    case 'A': return 1.8;
+    case 'G': return -0.4;
+    case 'T': return -0.7;
+    case 'S': return -0.8;
+    case 'W': return -0.9;
+    case 'Y': return -1.3;
+    case 'P': return -1.6;
+    case 'H': return -3.2;
+    case 'E': return -3.5;
+    case 'Q': return -3.5;
+    case 'D': return -3.5;
+    case 'N': return -3.5;
+    case 'K': return -3.9;
+    case 'R': return -4.5;
+  }
+  return 0.0;
+}
+
+double ResidueCharge(char c) {
+  switch (c) {
+    case 'K':
+    case 'R':
+      return 1.0;
+    case 'H':
+      return 0.1;
+    case 'D':
+    case 'E':
+      return -1.0;
+  }
+  return 0.0;
+}
+
+/// Evaluates `fn` over the residues of `seq`, or — for long sequences — a
+/// deterministic sample of every 7th residue (the hidden second behavior
+/// class of the under-partitioned analysis modules).
+template <typename Fn>
+double AccumulateResidues(const std::string& seq, bool sampled, Fn fn) {
+  double total = 0.0;
+  size_t used = 0;
+  size_t step = sampled ? 7 : 1;
+  for (size_t i = 0; i < seq.size(); i += step) {
+    total += fn(seq[i]);
+    ++used;
+  }
+  if (sampled && used > 0) {
+    total *= static_cast<double>(seq.size()) / static_cast<double>(used);
+  }
+  return total;
+}
+
+}  // namespace
+
+double SequenceProperty(SeqProperty property, const std::string& sequence) {
+  SeqAlphabet alphabet = ClassifySequence(sequence);
+  const bool sampled = sequence.size() > kLongSequenceThreshold;
+  switch (property) {
+    case SeqProperty::kMolecularWeight: {
+      if (alphabet == SeqAlphabet::kDna) {
+        return 327.0 * static_cast<double>(sequence.size());
+      }
+      if (alphabet == SeqAlphabet::kRna) {
+        return 343.0 * static_cast<double>(sequence.size());
+      }
+      if (!sampled) return ProteinMass(sequence);
+      return AccumulateResidues(sequence, true, [](char c) {
+        return ProteinMass(std::string_view(&c, 1));
+      });
+    }
+    case SeqProperty::kIsoelectricPoint: {
+      if (alphabet != SeqAlphabet::kProtein) return 7.0;
+      double charge =
+          AccumulateResidues(sequence, sampled, ResidueCharge);
+      return 7.0 + charge / (static_cast<double>(sequence.size()) + 1.0) * 10.0;
+    }
+    case SeqProperty::kHydrophobicity: {
+      if (alphabet != SeqAlphabet::kProtein) return 0.0;
+      double total =
+          AccumulateResidues(sequence, sampled, ResidueHydrophobicity);
+      return total / static_cast<double>(sequence.size());
+    }
+    case SeqProperty::kAromaticity: {
+      if (alphabet != SeqAlphabet::kProtein) {
+        return GcContent(sequence);  // Nucleotide proxy.
+      }
+      double count = AccumulateResidues(sequence, sampled, [](char c) {
+        return (c == 'F' || c == 'W' || c == 'Y') ? 1.0 : 0.0;
+      });
+      return count / static_cast<double>(sequence.size());
+    }
+    case SeqProperty::kInstabilityIndex: {
+      if (alphabet != SeqAlphabet::kProtein) {
+        return NucleotideStatistic(NucStat::kMaxHomopolymerRun, sequence);
+      }
+      double total = AccumulateResidues(sequence, sampled, [](char c) {
+        return std::abs(ResidueHydrophobicity(c)) + ResidueCharge(c);
+      });
+      return total / static_cast<double>(sequence.size()) * 10.0;
+    }
+    case SeqProperty::kAliphaticIndex: {
+      if (alphabet != SeqAlphabet::kProtein) return 0.0;
+      double count = AccumulateResidues(sequence, sampled, [](char c) {
+        if (c == 'A') return 1.0;
+        if (c == 'V') return 2.9;
+        if (c == 'I' || c == 'L') return 3.9;
+        return 0.0;
+      });
+      return count / static_cast<double>(sequence.size()) * 100.0;
+    }
+    case SeqProperty::kChargeAtPh7: {
+      if (alphabet != SeqAlphabet::kProtein) {
+        return -static_cast<double>(sequence.size());  // Backbone charge.
+      }
+      return AccumulateResidues(sequence, sampled, ResidueCharge);
+    }
+    case SeqProperty::kExtinctionCoefficient: {
+      if (alphabet != SeqAlphabet::kProtein) return 0.0;
+      double total = AccumulateResidues(sequence, sampled, [](char c) {
+        if (c == 'W') return 5500.0;
+        if (c == 'Y') return 1490.0;
+        if (c == 'C') return 125.0;
+        return 0.0;
+      });
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<std::string> MinePathwayConcepts(const KnowledgeBase& kb,
+                                             const std::string& text) {
+  std::vector<std::string> out;
+  for (const PathwayEntity& pathway : kb.pathways()) {
+    if (Contains(text, pathway.pathway_id) || Contains(text, pathway.name)) {
+      std::string value = "PW:" + pathway.pathway_id.substr(5) + " ! " +
+                          pathway.name;
+      if (std::find(out.begin(), out.end(), value) == out.end()) {
+        out.push_back(value);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> MineGeneIds(const KnowledgeBase& kb,
+                                     const std::string& text) {
+  std::vector<std::string> out;
+  for (const GeneEntity& gene : kb.genes()) {
+    if (Contains(text, gene.symbol)) {
+      if (std::find(out.begin(), out.end(), gene.gene_id) == out.end()) {
+        out.push_back(gene.gene_id);
+      }
+    }
+  }
+  return out;
+}
+
+Result<AlignmentReportData> HomologySearch(const KnowledgeBase& kb,
+                                           const std::string& accession,
+                                           const std::string& program,
+                                           const std::string& database,
+                                           size_t max_hits) {
+  auto query = kb.FindProtein(accession);
+  if (!query.ok()) return query.status();
+  auto homologs = kb.Homologs(accession);
+  if (!homologs.ok()) return homologs.status();
+
+  AlignmentReportData report;
+  report.program = program;
+  report.database = database;
+  report.query_accession = accession;
+  for (const ProteinEntity* hit : *homologs) {
+    if (report.hits.size() >= max_hits) break;
+    double similarity = kb.Similarity(**query, *hit);
+    AlignmentHit entry;
+    entry.accession = hit->accession;
+    entry.description = hit->name;
+    entry.identity = similarity;
+    entry.score = similarity * static_cast<double>(hit->sequence.size());
+    entry.evalue = std::pow(10.0, -10.0 * similarity);
+    report.hits.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace dexa

@@ -1,0 +1,109 @@
+#ifndef DEXA_CORPUS_BUILDER_INTERNAL_H_
+#define DEXA_CORPUS_BUILDER_INTERNAL_H_
+
+// Internal to the corpus library: shared machinery between the available-
+// module builder (corpus.cc) and the decayed-module builder
+// (corpus_retired.cc). Not part of the public dexa API.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "corpus/corpus.h"
+#include "corpus/synthetic_module.h"
+
+namespace dexa {
+namespace corpus_internal {
+
+/// Incrementally assembles the corpus registry. Collects the first error
+/// (construction is table-driven; errors indicate corpus bugs).
+class CorpusBuilder {
+ public:
+  explicit CorpusBuilder(Corpus* corpus) : corpus_(corpus) {}
+
+  const KnowledgeBase& kb() const { return *corpus_->kb; }
+  std::shared_ptr<const KnowledgeBase> kb_ptr() const { return corpus_->kb; }
+  ModuleRegistry& registry() { return *corpus_->registry; }
+
+  /// Concept lookup; records an error on a missing concept.
+  ConceptId C(const std::string& name) {
+    auto id = corpus_->ontology->Require(name);
+    if (!id.ok()) {
+      Fail(id.status());
+      return kInvalidConcept;
+    }
+    return *id;
+  }
+
+  /// Parameter shorthand.
+  Parameter P(std::string name, StructuralType type,
+              const std::string& concept_name, bool optional = false) {
+    Parameter param;
+    param.name = std::move(name);
+    param.structural_type = std::move(type);
+    param.semantic_type = C(concept_name);
+    param.optional = optional;
+    return param;
+  }
+
+  /// Creates, registers and tracks a module. `popular_eligible` feeds the
+  /// popularity quota (Section 5 phase 1: modules recognizable by name).
+  void Add(bool decayed, ModuleKind kind, std::string name,
+           std::vector<Parameter> inputs, std::vector<Parameter> outputs,
+           SyntheticModule::Behavior behavior, int num_classes = 1,
+           LambdaGroundTruth::ClassFn class_of = nullptr,
+           bool popular_eligible = false);
+
+  void Fail(const Status& status) {
+    if (status_.ok()) status_ = status;
+  }
+  const Status& status() const { return status_; }
+
+ private:
+  Corpus* corpus_;
+  Status status_;
+  int next_id_ = 0;
+  int popular_assigned_ = 0;
+};
+
+/// Wraps a string result as a single-output value vector.
+inline Result<std::vector<Value>> One(Result<std::string> result) {
+  if (!result.ok()) return result.status();
+  return std::vector<Value>{Value::Str(std::move(result).value())};
+}
+
+inline Result<std::vector<Value>> OneValue(Value value) {
+  return std::vector<Value>{std::move(value)};
+}
+
+/// Wraps a list of strings as a single list-valued output.
+inline Result<std::vector<Value>> OneList(std::vector<std::string> items) {
+  std::vector<Value> values;
+  values.reserve(items.size());
+  for (std::string& item : items) values.push_back(Value::Str(std::move(item)));
+  return std::vector<Value>{Value::ListOf(std::move(values))};
+}
+
+/// Parity of the trailing digits of an identifier ("P00042" -> 0,
+/// "hsa:10043" -> 1). Drives the deterministic behavior drift of the
+/// "v1_" legacy modules: they disagree with their current counterparts
+/// exactly on odd-parity entities.
+int IdDigitsParity(const std::string& id);
+
+/// Registers the 27 filtering modules (corpus_filters.cc).
+void AddFilterModules(CorpusBuilder& builder);
+
+/// Registers the 59 data-analysis modules (corpus_analysis.cc).
+void AddAnalysisModules(CorpusBuilder& builder);
+
+/// Registers the 72 decayed modules (16 with equivalent current
+/// counterparts, 23 with overlapping ones, 33 with none;
+/// corpus_retired.cc).
+void AddRetiredModules(CorpusBuilder& builder);
+
+}  // namespace corpus_internal
+}  // namespace dexa
+
+#endif  // DEXA_CORPUS_BUILDER_INTERNAL_H_

@@ -1,0 +1,467 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "corpus/behaviors.h"
+#include "corpus/builder_internal.h"
+#include "formats/alphabet.h"
+#include "formats/reports.h"
+#include "kb/accessions.h"
+
+namespace dexa {
+namespace corpus_internal {
+
+namespace {
+
+const StructuralType kStr = StructuralType::String();
+const StructuralType kDouble = StructuralType::Double();
+const StructuralType kStrList = StructuralType::List(StructuralType::String());
+const StructuralType kDoubleList =
+    StructuralType::List(StructuralType::Double());
+
+Status RequireNucleotide(const std::string& seq) {
+  if (seq.empty() || (!IsValidSequence(seq, SeqAlphabet::kDna) &&
+                      !IsValidSequence(seq, SeqAlphabet::kRna))) {
+    return Status::InvalidArgument("not a nucleotide sequence");
+  }
+  return Status::OK();
+}
+
+Status RequireProtein(const std::string& seq) {
+  if (seq.empty() || ClassifySequence(seq) != SeqAlphabet::kProtein ||
+      !IsValidSequence(seq, SeqAlphabet::kProtein)) {
+    return Status::InvalidArgument("not a protein sequence");
+  }
+  return Status::OK();
+}
+
+Status RequireAnySequence(const std::string& seq) {
+  if (seq.empty() || !IsValidSequence(seq, SeqAlphabet::kProtein)) {
+    // Protein alphabet is the superset of DNA; RNA adds U.
+    if (!IsValidSequence(seq, SeqAlphabet::kRna)) {
+      return Status::InvalidArgument("not a biological sequence");
+    }
+  }
+  return Status::OK();
+}
+
+/// Behavior classes of the under-partitioned whole-sequence analyses:
+/// DNA / RNA / short protein / long protein.
+int BioSequenceClass(const std::vector<Value>& in) {
+  const std::string& seq = in[0].AsString();
+  switch (ClassifySequence(seq)) {
+    case SeqAlphabet::kDna:
+      return 0;
+    case SeqAlphabet::kRna:
+      return 1;
+    case SeqAlphabet::kProtein:
+      return seq.size() > kLongSequenceThreshold ? 3 : 2;
+  }
+  return 2;
+}
+
+/// Classes of the nucleotide analyses with a hidden long-sequence split.
+int NucleotideLengthClass(const std::vector<Value>& in) {
+  const std::string& seq = in[0].AsString();
+  bool long_seq = seq.size() > kLongSequenceThreshold;
+  if (ClassifySequence(seq) == SeqAlphabet::kDna) return long_seq ? 1 : 0;
+  return long_seq ? 3 : 2;
+}
+
+/// Classes of the record summarizers: fasta, pdb, then
+/// uniprot/embl/genbank each split by the hidden length threshold.
+int RecordLengthClass(const std::vector<Value>& in) {
+  const std::string& record = in[0].AsString();
+  SeqFormat format;
+  auto data = ParseSequenceRecordAny(record, &format);
+  size_t length = data.ok() ? data->sequence.size() : 0;
+  bool long_seq = length > kLongSequenceThreshold;
+  switch (format) {
+    case SeqFormat::kFasta:
+      return 0;
+    case SeqFormat::kPdb:
+      return 1;
+    case SeqFormat::kUniprot:
+      return long_seq ? 5 : 2;
+    case SeqFormat::kEmbl:
+      return long_seq ? 6 : 3;
+    case SeqFormat::kGenBank:
+      return long_seq ? 7 : 4;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void AddAnalysisModules(CorpusBuilder& b) {
+  using KbPtr = std::shared_ptr<const KnowledgeBase>;
+  KbPtr kb = b.kb_ptr();
+
+  // --- E1. Nucleotide statistics x28 (conciseness 0.5: DNA and RNA
+  // partitions share one code path). Two providers per statistic.
+  struct StatRow {
+    const char* function;
+    NucStat stat;
+    const char* out_concept;
+    bool integral;
+  };
+  static const StatRow kStatRows[] = {
+      {"ComputeGcContent", NucStat::kGcContent, "Fraction", false},
+      {"ComputeAtContent", NucStat::kAtContent, "Fraction", false},
+      {"CountAdenine", NucStat::kCountA, "Count", true},
+      {"CountCytosine", NucStat::kCountC, "Count", true},
+      {"CountGuanine", NucStat::kCountG, "Count", true},
+      {"CountCpG", NucStat::kCountCgDinucleotide, "Count", true},
+      {"CountPurines", NucStat::kPurineCount, "Count", true},
+      {"CountPyrimidines", NucStat::kPyrimidineCount, "Count", true},
+      {"ComputeEntropy", NucStat::kShannonEntropy, "Score", false},
+      {"ComputeComplexity", NucStat::kLinguisticComplexity, "Fraction", false},
+      {"MaxHomopolymerRun", NucStat::kMaxHomopolymerRun, "Count", true},
+      {"ComputeGcSkew", NucStat::kGcSkew, "Fraction", false},
+      {"NucChecksum", NucStat::kChecksum, "Count", true},
+      {"ComputeMeltingTemp", NucStat::kBasicMeltingTemp, "Score", false},
+  };
+  for (const StatRow& row : kStatRows) {
+    for (const char* provider : {"EBI", "EMBOSS"}) {
+      StructuralType out_type = row.integral ? StructuralType::Integer() : kDouble;
+      b.Add(false, ModuleKind::kDataAnalysis,
+            std::string(provider) + "_" + row.function,
+            {b.P("sequence", kStr, "NucleotideSequence")},
+            {b.P("value", out_type, row.out_concept)},
+            [stat = row.stat, integral = row.integral](
+                const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              DEXA_RETURN_IF_ERROR(RequireNucleotide(in[0].AsString()));
+              double value = NucleotideStatistic(stat, in[0].AsString());
+              if (integral) {
+                return corpus_internal::OneValue(
+                    Value::Int(static_cast<int64_t>(std::llround(value))));
+              }
+              return corpus_internal::OneValue(Value::Real(value));
+            });
+    }
+  }
+
+  // --- E2. Alphabet-uniform whole-sequence utilities x4 (conciseness
+  // 0.33: 3 BiologicalSequence partitions, one code path).
+  b.Add(false, ModuleKind::kDataAnalysis, "GetSequenceLength",
+        {b.P("sequence", kStr, "BiologicalSequence")},
+        {b.P("length", StructuralType::Integer(), "SequenceLength")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          DEXA_RETURN_IF_ERROR(RequireAnySequence(in[0].AsString()));
+          return OneValue(Value::Int(static_cast<int64_t>(in[0].AsString().size())));
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "ReverseSequence",
+        {b.P("sequence", kStr, "BiologicalSequence")},
+        {b.P("reversed", kStr, "BiologicalSequence")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          DEXA_RETURN_IF_ERROR(RequireAnySequence(in[0].AsString()));
+          std::string reversed(in[0].AsString().rbegin(),
+                               in[0].AsString().rend());
+          return One(reversed);
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "AnySequenceChecksum",
+        {b.P("sequence", kStr, "BiologicalSequence")},
+        {b.P("checksum", StructuralType::Integer(), "Count")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          DEXA_RETURN_IF_ERROR(RequireAnySequence(in[0].AsString()));
+          return OneValue(
+              Value::Int(static_cast<int64_t>(StableHash64(in[0].AsString()) % 1000000)));
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "ResidueDiversity",
+        {b.P("sequence", kStr, "BiologicalSequence")},
+        {b.P("diversity", kDouble, "Fraction")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          DEXA_RETURN_IF_ERROR(RequireAnySequence(in[0].AsString()));
+          const std::string& seq = in[0].AsString();
+          std::set<char> distinct(seq.begin(), seq.end());
+          return OneValue(Value::Real(static_cast<double>(distinct.size()) /
+                                      static_cast<double>(seq.size())));
+        });
+
+  // --- E3. Physico-chemical properties x8 (completeness 0.75: documented
+  // classes DNA / RNA / short protein / long protein; the long-protein
+  // sampled estimator is invisible to the ontology partitioning).
+  struct PropertyRow {
+    const char* name;
+    SeqProperty property;
+    const char* out_concept;
+  };
+  static const PropertyRow kPropertyRows[] = {
+      {"ComputeMolecularWeight", SeqProperty::kMolecularWeight, "MolecularMass"},
+      {"ComputeIsoelectricPoint", SeqProperty::kIsoelectricPoint, "Score"},
+      {"ComputeHydrophobicity", SeqProperty::kHydrophobicity, "Score"},
+      {"ComputeAromaticity", SeqProperty::kAromaticity, "Fraction"},
+      {"ComputeInstabilityIndex", SeqProperty::kInstabilityIndex, "Score"},
+      {"ComputeAliphaticIndex", SeqProperty::kAliphaticIndex, "Score"},
+      {"ComputeChargeAtPh7", SeqProperty::kChargeAtPh7, "Score"},
+      {"ComputeExtinctionCoeff", SeqProperty::kExtinctionCoefficient, "Score"},
+  };
+  for (const PropertyRow& row : kPropertyRows) {
+    b.Add(false, ModuleKind::kDataAnalysis, row.name,
+          {b.P("sequence", kStr, "BiologicalSequence")},
+          {b.P("value", kDouble, row.out_concept)},
+          [property = row.property](
+              const std::vector<Value>& in) -> Result<std::vector<Value>> {
+            DEXA_RETURN_IF_ERROR(RequireAnySequence(in[0].AsString()));
+            return OneValue(
+                Value::Real(SequenceProperty(property, in[0].AsString())));
+          },
+          4, BioSequenceClass);
+  }
+
+  // --- E4. Record summarizers x4 (completeness 0.625: 8 documented
+  // classes over 5 SequenceRecord partitions).
+  for (const char* name : {"EBI_SummarizeRecord", "EBI_RecordStatistics",
+                           "NCBI_ValidateRecord", "EBI_ProfileRecord"}) {
+    b.Add(false, ModuleKind::kDataAnalysis, name,
+          {b.P("record", kStr, "SequenceRecord")},
+          {b.P("report", kStr, "StatisticsReport")},
+          [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+            SeqFormat format;
+            auto data = ParseSequenceRecordAny(in[0].AsString(), &format);
+            if (!data.ok()) return data.status();
+            StatisticsReportData report;
+            report.title = data->accession;
+            bool sampled = data->sequence.size() > kLongSequenceThreshold;
+            report.stats.emplace_back("length",
+                                      static_cast<double>(data->sequence.size()));
+            report.stats.emplace_back(
+                "weight", SequenceProperty(SeqProperty::kMolecularWeight,
+                                           data->sequence));
+            report.stats.emplace_back("sampled", sampled ? 1.0 : 0.0);
+            return One(RenderStatisticsReport(report));
+          },
+          8, RecordLengthClass);
+  }
+
+  // --- E5. Nucleotide models x2 (completeness 0.5: 4 documented classes
+  // over 2 NucleotideSequence partitions).
+  b.Add(false, ModuleKind::kDataAnalysis, "EBI_PredictSecondaryStructure",
+        {b.P("sequence", kStr, "NucleotideSequence")},
+        {b.P("report", kStr, "StatisticsReport")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          DEXA_RETURN_IF_ERROR(RequireNucleotide(in[0].AsString()));
+          const std::string& seq = in[0].AsString();
+          StatisticsReportData report;
+          report.title = "secondary-structure";
+          report.stats.emplace_back("paired_fraction",
+                                    NucleotideStatistic(NucStat::kGcContent, seq));
+          report.stats.emplace_back("loops",
+                                    NucleotideStatistic(NucStat::kMaxHomopolymerRun, seq));
+          return One(RenderStatisticsReport(report));
+        },
+        4, NucleotideLengthClass);
+  b.Add(false, ModuleKind::kDataAnalysis, "EBI_ComputeMeltingCurve",
+        {b.P("sequence", kStr, "NucleotideSequence")},
+        {b.P("midpoint", kDouble, "Score")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          DEXA_RETURN_IF_ERROR(RequireNucleotide(in[0].AsString()));
+          const std::string& seq = in[0].AsString();
+          double base = NucleotideStatistic(NucStat::kBasicMeltingTemp, seq);
+          if (seq.size() > kLongSequenceThreshold) {
+            base = 81.5 + 41.0 * GcContent(seq);  // Long-template model.
+          }
+          return OneValue(Value::Real(base));
+        },
+        4, NucleotideLengthClass);
+
+  // --- E6. Flagship analyses (13 modules; Identify and SearchSimple are
+  // the paper's running examples).
+  // Identify's error tolerance is optional (Section 2: optional inputs may
+  // carry null values); the default-tolerance path is a documented second
+  // behavior class.
+  b.Add(false, ModuleKind::kDataAnalysis, "Identify",
+        {b.P("peptide_masses", kDoubleList, "PeptideMassList"),
+         b.P("error", kDouble, "ErrorTolerance", /*optional=*/true)},
+        {b.P("report", kStr, "IdentificationReport")},
+        [kb](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          double tolerance = in[1].is_null() ? 5.0 : in[1].AsDouble();
+          if (tolerance <= 0.0 || tolerance > 20.0) {
+            return Status::InvalidArgument("error tolerance out of range");
+          }
+          std::vector<double> masses;
+          for (const Value& v : in[0].AsList()) masses.push_back(v.AsDouble());
+          auto match = kb->IdentifyByPeptideMasses(masses, tolerance);
+          if (!match.ok()) return match.status();
+          IdentificationReportData report;
+          report.matched_accession = match->protein->accession;
+          report.score = match->score;
+          report.error_tolerance = tolerance;
+          report.peptide_count = masses.size();
+          return One(RenderIdentificationReport(report));
+        },
+        2,
+        [](const std::vector<Value>& in) { return in[1].is_null() ? 1 : 0; });
+  b.Add(false, ModuleKind::kDataAnalysis, "EBI_SearchSimple",
+        {b.P("record", kStr, "UniprotRecord"),
+         b.P("program", kStr, "AlgorithmName"),
+         b.P("database", kStr, "DatabaseName")},
+        {b.P("report", kStr, "AlignmentReport")},
+        [kb](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          const std::string& program = in[1].AsString();
+          if (program != "blastp" && program != "fasta" &&
+              program != "ssearch") {
+            return Status::InvalidArgument("program unsuitable for proteins");
+          }
+          const std::string& database = in[2].AsString();
+          if (database != "uniprot" && database != "pdb") {
+            return Status::InvalidArgument("database unsuitable for proteins");
+          }
+          auto data = ParseUniprot(in[0].AsString());
+          if (!data.ok()) return data.status();
+          auto report = HomologySearch(*kb, data->accession, program, database);
+          if (!report.ok()) return report.status();
+          return One(RenderAlignmentReport(*report));
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "GetHomologous",
+        {b.P("accession", kStr, "UniprotAccession")},
+        {b.P("homologs", kStrList, "UniprotAccession")},
+        [kb](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          auto homologs = kb->Homologs(in[0].AsString());
+          if (!homologs.ok()) return homologs.status();
+          std::vector<std::string> ids;
+          for (const ProteinEntity* protein : *homologs) {
+            ids.push_back(protein->accession);
+          }
+          if (ids.empty()) return Status::NotFound("no homologs found");
+          return OneList(std::move(ids));
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "GetMostSimilarProtein",
+        {b.P("accession", kStr, "UniprotAccession")},
+        {b.P("best_match", kStr, "UniprotAccession")},
+        [kb](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          auto homologs = kb->Homologs(in[0].AsString());
+          if (!homologs.ok()) return homologs.status();
+          if (homologs->empty()) return Status::NotFound("no homologs found");
+          return One((*homologs)[0]->accession);
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "GetConcept",
+        {b.P("document", kStr, "TextDocument")},
+        {b.P("concepts", kStrList, "PathwayConcept")},
+        [kb](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          auto concepts = MinePathwayConcepts(*kb, in[0].AsString());
+          if (concepts.empty()) {
+            return Status::NotFound("no pathway concepts mentioned");
+          }
+          return OneList(std::move(concepts));
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "ExtractGeneMentions",
+        {b.P("document", kStr, "TextDocument")},
+        {b.P("genes", kStrList, "KEGGGeneId")},
+        [kb](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          auto genes = MineGeneIds(*kb, in[0].AsString());
+          if (genes.empty()) return Status::NotFound("no gene mentions found");
+          return OneList(std::move(genes));
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "DigestProtein",
+        {b.P("sequence", kStr, "ProteinSequence")},
+        {b.P("masses", kDoubleList, "PeptideMassList")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          DEXA_RETURN_IF_ERROR(RequireProtein(in[0].AsString()));
+          const std::string& seq = in[0].AsString();
+          std::vector<Value> masses;
+          size_t start = 0;
+          for (size_t i = 0; i < seq.size(); ++i) {
+            if (seq[i] == 'K' || seq[i] == 'R') {
+              masses.push_back(
+                  Value::Real(ProteinMass(seq.substr(start, i - start + 1))));
+              start = i + 1;
+            }
+          }
+          if (start < seq.size()) {
+            masses.push_back(Value::Real(ProteinMass(seq.substr(start))));
+          }
+          return OneValue(Value::ListOf(std::move(masses)));
+        });
+  for (const char* provider : {"EBI", "EMBOSS"}) {
+    b.Add(false, ModuleKind::kDataAnalysis,
+          std::string(provider) + "_TranslateDNA",
+          {b.P("dna", kStr, "DNASequence")},
+          {b.P("protein", kStr, "ProteinSequence")},
+          [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+            if (!IsValidSequence(in[0].AsString(), SeqAlphabet::kDna)) {
+              return Status::InvalidArgument("not a DNA sequence");
+            }
+            std::string protein = Translate(in[0].AsString());
+            if (protein.empty()) {
+              return Status::InvalidArgument("no open reading frame");
+            }
+            return One(protein);
+          });
+  }
+  b.Add(false, ModuleKind::kDataAnalysis, "ComputeProteinMass",
+        {b.P("sequence", kStr, "ProteinSequence")},
+        {b.P("mass", kDouble, "MolecularMass")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          DEXA_RETURN_IF_ERROR(RequireProtein(in[0].AsString()));
+          return OneValue(Value::Real(ProteinMass(in[0].AsString())));
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "CompareSequences",
+        {b.P("first", kStr, "NucleotideSequence"),
+         b.P("second", kStr, "NucleotideSequence")},
+        {b.P("identity", kDouble, "Score")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          const std::string& a = in[0].AsString();
+          const std::string& bseq = in[1].AsString();
+          DEXA_RETURN_IF_ERROR(RequireNucleotide(a));
+          DEXA_RETURN_IF_ERROR(RequireNucleotide(bseq));
+          if (ClassifySequence(a) != ClassifySequence(bseq)) {
+            // DNA vs RNA comparison is rejected: the abnormal-termination
+            // combination case of Section 3.2.
+            return Status::InvalidArgument("sequences use different alphabets");
+          }
+          size_t len = std::min(a.size(), bseq.size());
+          if (len == 0) return Status::InvalidArgument("empty sequence");
+          size_t same = 0;
+          for (size_t i = 0; i < len; ++i) {
+            if (a[i] == bseq[i]) ++same;
+          }
+          return OneValue(Value::Real(static_cast<double>(same) /
+                                      static_cast<double>(len)));
+        },
+        2,
+        [](const std::vector<Value>& in) {
+          return ClassifySequence(in[0].AsString()) == SeqAlphabet::kDna ? 0 : 1;
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "AlignPair",
+        {b.P("first", kStr, "ProteinSequence"),
+         b.P("second", kStr, "ProteinSequence")},
+        {b.P("score", kDouble, "Score")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          DEXA_RETURN_IF_ERROR(RequireProtein(in[0].AsString()));
+          DEXA_RETURN_IF_ERROR(RequireProtein(in[1].AsString()));
+          const std::string& a = in[0].AsString();
+          const std::string& bseq = in[1].AsString();
+          size_t len = std::min(a.size(), bseq.size());
+          size_t same = 0;
+          for (size_t i = 0; i < len; ++i) {
+            if (a[i] == bseq[i]) ++same;
+          }
+          return OneValue(Value::Real(100.0 * static_cast<double>(same) /
+                                      static_cast<double>(std::max(a.size(), bseq.size()))));
+        });
+  b.Add(false, ModuleKind::kDataAnalysis, "ComputeCodonUsage",
+        {b.P("dna", kStr, "DNASequence")},
+        {b.P("report", kStr, "StatisticsReport")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          if (!IsValidSequence(in[0].AsString(), SeqAlphabet::kDna)) {
+            return Status::InvalidArgument("not a DNA sequence");
+          }
+          const std::string& seq = in[0].AsString();
+          StatisticsReportData report;
+          report.title = "codon-usage";
+          for (const char* codon : {"ATG", "TAA", "GCT", "AAA"}) {
+            size_t count = 0;
+            for (size_t i = 0; i + 3 <= seq.size(); i += 3) {
+              if (seq.compare(i, 3, codon) == 0) ++count;
+            }
+            report.stats.emplace_back(codon, static_cast<double>(count));
+          }
+          return One(RenderStatisticsReport(report));
+        });
+}
+
+}  // namespace corpus_internal
+}  // namespace dexa

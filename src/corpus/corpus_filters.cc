@@ -1,0 +1,288 @@
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "corpus/behaviors.h"
+#include "corpus/builder_internal.h"
+#include "formats/alphabet.h"
+#include "formats/entity_records.h"
+#include "formats/sequence_record.h"
+
+namespace dexa {
+namespace corpus_internal {
+
+namespace {
+
+const StructuralType kStr = StructuralType::String();
+const StructuralType kStrList = StructuralType::List(StructuralType::String());
+
+/// A predicate over a single list element; parse failures surface as
+/// InvalidArgument, aborting the whole invocation (a filter fed garbage
+/// terminates abnormally rather than silently dropping everything).
+using ElementPredicate = std::function<Result<bool>(const std::string&)>;
+
+SyntheticModule::Behavior ListFilterBehavior(ElementPredicate predicate) {
+  return [predicate](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+    if (!in[0].is_list()) {
+      return Status::InvalidArgument("filter expects a list input");
+    }
+    std::vector<Value> kept;
+    for (const Value& element : in[0].AsList()) {
+      if (!element.is_string()) {
+        return Status::InvalidArgument("filter expects string elements");
+      }
+      auto keep = predicate(element.AsString());
+      if (!keep.ok()) return keep.status();
+      if (*keep) kept.push_back(element);
+    }
+    return std::vector<Value>{Value::ListOf(std::move(kept))};
+  };
+}
+
+/// Behavior classes of the under-partitioned list filters: element alphabet
+/// plus the hidden long-sequence split (5 classes over 3 ontology
+/// partitions).
+int SequenceListClass(const std::vector<Value>& in) {
+  if (!in[0].is_list() || in[0].AsList().empty()) return 4;
+  size_t max_len = 0;
+  SeqAlphabet alphabet = SeqAlphabet::kProtein;
+  for (const Value& element : in[0].AsList()) {
+    if (!element.is_string()) continue;
+    max_len = std::max(max_len, element.AsString().size());
+    alphabet = ClassifySequence(element.AsString());
+  }
+  bool long_list = max_len > kLongSequenceThreshold;
+  switch (alphabet) {
+    case SeqAlphabet::kDna:
+      return long_list ? 1 : 0;
+    case SeqAlphabet::kRna:
+      return long_list ? 3 : 2;
+    case SeqAlphabet::kProtein:
+      return 4;
+  }
+  return 4;
+}
+
+Result<double> ParsedMass(const std::string& record) {
+  if (auto compound = ParseCompoundRecord(record); compound.ok()) {
+    return compound->mass;
+  }
+  if (auto glycan = ParseGlycanRecord(record); glycan.ok()) {
+    return glycan->mass;
+  }
+  return Status::InvalidArgument("record carries no MASS field");
+}
+
+}  // namespace
+
+void AddFilterModules(CorpusBuilder& b) {
+  // --- Under-partitioned sequence-list filters (completeness 0.6):
+  // documented with five classes of behavior, three of which the
+  // ontology-derived examples can reach.
+  auto entropy_keep = [](const std::string& seq) -> Result<bool> {
+    if (seq.empty()) return false;
+    std::set<char> distinct(seq.begin(), seq.end());
+    return distinct.size() >= 3;
+  };
+  for (const char* name :
+       {"EBI_FilterLowComplexity", "DDBJ_FilterLowComplexity",
+        "EBI_FilterInformative", "NCBI_FilterInformative"}) {
+    b.Add(false, ModuleKind::kFiltering, name,
+          {b.P("sequences", kStrList, "BiologicalSequence")},
+          {b.P("kept", kStrList, "BiologicalSequence")},
+          ListFilterBehavior(entropy_keep), 5, SequenceListClass);
+  }
+
+  // --- Organism filters: the predicate is visible in the data examples
+  // (kept elements share one organism), so every simulated user identifies
+  // these (Section 5).
+  struct OrganismRow {
+    const char* name;
+    const char* element_concept;
+    const char* organism;
+  };
+  static const OrganismRow kOrganismRows[] = {
+      {"EBI_FilterHumanProteins", "UniprotRecord", "Homo sapiens"},
+      {"KEGG_FilterMouseGenes", "KEGGGeneRecord", "Mus musculus"},
+      {"EBI_FilterYeastProteins", "UniprotRecord", "Saccharomyces cerevisiae"},
+      {"KEGG_FilterHumanPathways", "PathwayRecord", "Homo sapiens"},
+      {"EBI_FilterFlyProteins", "FastaRecord", "Drosophila melanogaster"},
+  };
+  for (const OrganismRow& row : kOrganismRows) {
+    std::string organism = row.organism;
+    b.Add(false, ModuleKind::kFiltering, row.name,
+          {b.P("records", kStrList, row.element_concept)},
+          {b.P("kept", kStrList, row.element_concept)},
+          ListFilterBehavior([organism](const std::string& record) -> Result<bool> {
+            if (auto data = ParseSequenceRecordAny(record); data.ok()) {
+              return data->organism == organism;
+            }
+            if (auto gene = ParseGeneRecord(record); gene.ok()) {
+              return gene->organism == organism;
+            }
+            if (auto pathway = ParsePathwayRecord(record); pathway.ok()) {
+              return pathway->organism == organism;
+            }
+            return Status::InvalidArgument("unsupported record format");
+          }));
+  }
+
+  // --- Length-threshold filters (identifiable by users 2 and 3).
+  struct LengthRow {
+    const char* name;
+    const char* element_concept;
+    size_t threshold;
+    bool keep_long;
+    bool parse_record;
+  };
+  static const LengthRow kLengthRows[] = {
+      {"EBI_FilterLongProteins", "ProteinSequence", 120, true, false},
+      {"EBI_FilterShortDNA", "DNASequence", 400, false, false},
+      {"EBI_FilterLongFasta", "FastaRecord", 120, true, true},
+      {"DDBJ_FilterLongGenes", "EMBLRecord", 400, true, true},
+  };
+  for (const LengthRow& row : kLengthRows) {
+    size_t threshold = row.threshold;
+    bool keep_long = row.keep_long;
+    bool parse_record = row.parse_record;
+    b.Add(false, ModuleKind::kFiltering, row.name,
+          {b.P("items", kStrList, row.element_concept)},
+          {b.P("kept", kStrList, row.element_concept)},
+          ListFilterBehavior([threshold, keep_long, parse_record](
+                                 const std::string& item) -> Result<bool> {
+            size_t length = item.size();
+            if (parse_record) {
+              auto data = ParseSequenceRecordAny(item);
+              if (!data.ok()) return data.status();
+              length = data->sequence.size();
+            }
+            return keep_long ? length >= threshold : length <= threshold;
+          }));
+  }
+
+  // --- Numeric-threshold filters (identifiable by user 3).
+  for (const auto& [name, concept_name, threshold] :
+       {std::tuple{"KEGG_FilterHeavyCompounds", "CompoundRecord", 400.0},
+        std::tuple{"KEGG_FilterHeavyGlycans", "GlycanRecord", 500.0}}) {
+    double cut = threshold;
+    b.Add(false, ModuleKind::kFiltering, name,
+          {b.P("records", kStrList, concept_name)},
+          {b.P("kept", kStrList, concept_name)},
+          ListFilterBehavior([cut](const std::string& record) -> Result<bool> {
+            auto mass = ParsedMass(record);
+            if (!mass.ok()) return mass.status();
+            return *mass >= cut;
+          }));
+  }
+  b.Add(false, ModuleKind::kFiltering, "EBI_FilterSignificantHits",
+        {b.P("report", kStr, "AlignmentReport")},
+        {b.P("filtered", kStr, "AlignmentReport")},
+        [](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          auto report = ParseAlignmentReport(in[0].AsString());
+          if (!report.ok()) return report.status();
+          AlignmentReportData out = *report;
+          out.hits.clear();
+          for (const AlignmentHit& hit : report->hits) {
+            if (hit.evalue <= 1e-5) out.hits.push_back(hit);
+          }
+          return One(RenderAlignmentReport(out));
+        });
+
+  // --- Opaque filters: predicates no simulated user's repertoire explains
+  // (the majority case the paper reports for filtering modules).
+  b.Add(false, ModuleKind::kFiltering, "EBI_FilterGcBand",
+        {b.P("sequences", kStrList, "DNASequence")},
+        {b.P("kept", kStrList, "DNASequence")},
+        ListFilterBehavior([](const std::string& seq) -> Result<bool> {
+          double gc = GcContent(seq);
+          return gc >= 0.2 && gc <= 0.8;
+        }));
+  b.Add(false, ModuleKind::kFiltering, "EBI_FilterHighEntropySeqs",
+        {b.P("sequences", kStrList, "ProteinSequence")},
+        {b.P("kept", kStrList, "ProteinSequence")},
+        ListFilterBehavior([](const std::string& seq) -> Result<bool> {
+          std::set<char> distinct(seq.begin(), seq.end());
+          return distinct.size() >= 15;
+        }));
+  b.Add(false, ModuleKind::kFiltering, "DDBJ_FilterEvenEntries",
+        {b.P("records", kStrList, "UniprotRecord")},
+        {b.P("kept", kStrList, "UniprotRecord")},
+        ListFilterBehavior([](const std::string& record) -> Result<bool> {
+          auto data = ParseSequenceRecordAny(record);
+          if (!data.ok()) return data.status();
+          return IdDigitsParity(data->accession) == 0;
+        }));
+  b.Add(false, ModuleKind::kFiltering, "EBI_FilterPalindromic",
+        {b.P("sequences", kStrList, "DNASequence")},
+        {b.P("kept", kStrList, "DNASequence")},
+        ListFilterBehavior([](const std::string& seq) -> Result<bool> {
+          return Contains(seq, "GATC");
+        }));
+  b.Add(false, ModuleKind::kFiltering, "EBI_FilterModelOrganisms",
+        {b.P("records", kStrList, "UniprotRecord")},
+        {b.P("kept", kStrList, "UniprotRecord")},
+        ListFilterBehavior([](const std::string& record) -> Result<bool> {
+          auto data = ParseSequenceRecordAny(record);
+          if (!data.ok()) return data.status();
+          return data->organism == "Homo sapiens" ||
+                 data->organism == "Saccharomyces cerevisiae";
+        }));
+  b.Add(false, ModuleKind::kFiltering, "EBI_FilterKmerRich",
+        {b.P("sequences", kStrList, "DNASequence")},
+        {b.P("kept", kStrList, "DNASequence")},
+        ListFilterBehavior([](const std::string& seq) -> Result<bool> {
+          std::set<std::string> trimers;
+          for (size_t i = 0; i + 3 <= seq.size(); ++i) {
+            trimers.insert(seq.substr(i, 3));
+          }
+          return trimers.size() >= 40;
+        }));
+  b.Add(false, ModuleKind::kFiltering, "EBI_FilterTryptophanRich",
+        {b.P("sequences", kStrList, "ProteinSequence")},
+        {b.P("kept", kStrList, "ProteinSequence")},
+        ListFilterBehavior([](const std::string& seq) -> Result<bool> {
+          return std::count(seq.begin(), seq.end(), 'W') >= 3;
+        }));
+  b.Add(false, ModuleKind::kFiltering, "KEGG_FilterReferenceCompounds",
+        {b.P("records", kStrList, "CompoundRecord")},
+        {b.P("kept", kStrList, "CompoundRecord")},
+        ListFilterBehavior([](const std::string& record) -> Result<bool> {
+          auto compound = ParseCompoundRecord(record);
+          if (!compound.ok()) return compound.status();
+          // Keeps the curated "reference" entries (even-numbered ids) —
+          // invisible from the record contents themselves.
+          return IdDigitsParity(compound->compound_id) == 0;
+        }));
+  b.Add(false, ModuleKind::kFiltering, "EBI_FilterEvenAccessions",
+        {b.P("accessions", kStrList, "UniprotAccession")},
+        {b.P("kept", kStrList, "UniprotAccession")},
+        ListFilterBehavior([](const std::string& acc) -> Result<bool> {
+          return IdDigitsParity(acc) == 0;
+        }));
+  b.Add(false, ModuleKind::kFiltering, "KEGG_FilterPathwayRich",
+        {b.P("records", kStrList, "KEGGGeneRecord")},
+        {b.P("kept", kStrList, "KEGGGeneRecord")},
+        ListFilterBehavior([](const std::string& record) -> Result<bool> {
+          auto gene = ParseGeneRecord(record);
+          if (!gene.ok()) return gene.status();
+          return gene->pathway_ids.size() >= 2;
+        }));
+  b.Add(false, ModuleKind::kFiltering, "EBI_FilterCodonAligned",
+        {b.P("records", kStrList, "UniprotRecord")},
+        {b.P("kept", kStrList, "UniprotRecord")},
+        ListFilterBehavior([](const std::string& record) -> Result<bool> {
+          auto data = ParseSequenceRecordAny(record);
+          if (!data.ok()) return data.status();
+          // Keeps entries whose length is a whole number of codons — a
+          // predicate no participant repertoire explains.
+          return data->sequence.size() % 3 == 0;
+        }));
+}
+
+}  // namespace corpus_internal
+}  // namespace dexa

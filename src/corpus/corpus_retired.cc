@@ -1,0 +1,342 @@
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "corpus/behaviors.h"
+#include "corpus/builder_internal.h"
+#include "corpus/term_values.h"
+#include "formats/alphabet.h"
+#include "formats/reports.h"
+#include "kb/accessions.h"
+
+namespace dexa {
+namespace corpus_internal {
+
+namespace {
+
+const StructuralType kStr = StructuralType::String();
+const StructuralType kStrList = StructuralType::List(StructuralType::String());
+const StructuralType kDoubleList =
+    StructuralType::List(StructuralType::Double());
+
+/// Copies the interface of an available module (fresh name) and delegates
+/// behavior, optionally post-processing the outputs. This models the
+/// retired KEGG SOAP services whose REST twins stayed online (Section 6) —
+/// the twin's interface and behavior were identical.
+void AddDelegatingTwin(
+    CorpusBuilder& b, const std::string& twin_name,
+    const std::string& target_name,
+    std::function<Result<std::vector<Value>>(const std::vector<Value>&,
+                                             std::vector<Value>)>
+        post = nullptr) {
+  auto target = b.registry().FindByName(target_name);
+  if (!target.ok()) {
+    b.Fail(Status::Internal("retired-twin target '" + target_name +
+                            "' missing: " + target.status().ToString()));
+    return;
+  }
+  ModulePtr target_module = *target;
+  const ModuleSpec& spec = target_module->spec();
+  b.Add(true, spec.kind, twin_name, spec.inputs, spec.outputs,
+        [target_module, post](const std::vector<Value>& in)
+            -> Result<std::vector<Value>> {
+          auto out = target_module->Invoke(in);
+          if (!out.ok()) return out;
+          if (post == nullptr) return out;
+          return post(in, std::move(out).value());
+        });
+}
+
+/// Inserts a legacy annotation line before a flat-file terminator.
+std::string WithLegacyLine(const std::string& record) {
+  if (Contains(record, "\n//\n")) {
+    size_t pos = record.rfind("\n//\n");
+    return record.substr(0, pos) + "\nCC   legacy annotation" +
+           record.substr(pos);
+  }
+  if (Contains(record, "\n///\n")) {
+    size_t pos = record.rfind("\n///\n");
+    return record.substr(0, pos) + "\nREMARK      legacy" + record.substr(pos);
+  }
+  return record + ";legacy\n";
+}
+
+/// Drift rule of the "v1_" legacy record services: records of odd-parity
+/// entities carried an extra annotation line the current services dropped.
+void AddDriftingRecordTwin(CorpusBuilder& b, const std::string& twin_name,
+                           const std::string& target_name) {
+  AddDelegatingTwin(
+      b, twin_name, target_name,
+      [](const std::vector<Value>& in,
+         std::vector<Value> out) -> Result<std::vector<Value>> {
+        if (IdDigitsParity(in[0].AsString()) == 1 && out[0].is_string()) {
+          out[0] = Value::Str(WithLegacyLine(out[0].AsString()));
+        }
+        return out;
+      });
+}
+
+/// Case-drifting twin for id-mapping services.
+void AddDriftingMappingTwin(CorpusBuilder& b, const std::string& twin_name,
+                            const std::string& target_name, bool upper) {
+  AddDelegatingTwin(
+      b, twin_name, target_name,
+      [upper](const std::vector<Value>& in,
+              std::vector<Value> out) -> Result<std::vector<Value>> {
+        if (IdDigitsParity(in[0].AsString()) == 1 && out[0].is_string()) {
+          out[0] = Value::Str(upper ? ToUpper(out[0].AsString())
+                                    : ToLower(out[0].AsString()));
+        }
+        return out;
+      });
+}
+
+}  // namespace
+
+void AddRetiredModules(CorpusBuilder& b) {
+  using KbPtr = std::shared_ptr<const KnowledgeBase>;
+  KbPtr kb = b.kb_ptr();
+
+  // ------------------------------------------------------------------
+  // 16 retired modules with exactly equivalent current counterparts: the
+  // interrupted KEGG SOAP endpoints whose REST twins remain (the paper's
+  // Section 6 example).
+  AddDelegatingTwin(b, "soap_binfo", "binfo");
+  AddDelegatingTwin(b, "soap_link", "link");
+  AddDelegatingTwin(b, "soap_get_genes_by_pathway", "get_genes_by_pathway");
+  AddDelegatingTwin(b, "soap_get_compounds_by_pathway",
+                    "get_compounds_by_pathway");
+  AddDelegatingTwin(b, "soap_get_pathways_by_gene", "get_pathways_by_gene");
+  AddDelegatingTwin(b, "soap_get_pathways_by_compound",
+                    "get_pathways_by_compound");
+  AddDelegatingTwin(b, "soap_get_genes_by_enzyme", "get_genes_by_enzyme");
+  AddDelegatingTwin(b, "soap_get_enzymes_by_compound",
+                    "get_enzymes_by_compound");
+  AddDelegatingTwin(b, "soap_get_targets_by_ligand", "get_targets_by_ligand");
+  AddDelegatingTwin(b, "soap_get_orthologs", "get_orthologs");
+  AddDelegatingTwin(b, "soap_get_genes_by_go_term", "get_genes_by_go_term");
+  AddDelegatingTwin(b, "soap_GetKEGGGeneRecord", "KEGG_GetKEGGGeneRecord");
+  AddDelegatingTwin(b, "soap_GetPathwayRecord", "KEGG_GetPathwayRecord");
+  AddDelegatingTwin(b, "soap_GetCompoundRecord", "KEGG_GetCompoundRecord");
+  AddDelegatingTwin(b, "soap_GetEnzymeRecord", "KEGG_GetEnzymeRecord");
+  AddDelegatingTwin(b, "soap_GetGlycanRecord", "KEGG_GetGlycanRecord");
+
+  // ------------------------------------------------------------------
+  // 23 retired modules with overlapping current counterparts: legacy "v1"
+  // versions that agree with the current services on part of the domain.
+  AddDriftingRecordTwin(b, "v1_GetUniprotRecord", "EBI_GetUniprotRecord");
+  AddDriftingRecordTwin(b, "v1_GetFastaRecord", "EBI_GetFastaRecord");
+  AddDriftingRecordTwin(b, "v1_GetKEGGGeneRecord", "KEGG_GetKEGGGeneRecord");
+  AddDriftingRecordTwin(b, "v1_GetPathwayRecord", "KEGG_GetPathwayRecord");
+  AddDriftingRecordTwin(b, "v1_GetEMBLRecord", "EBI_GetEMBLRecord");
+  AddDriftingRecordTwin(b, "v1_GetCompoundRecord", "KEGG_GetCompoundRecord");
+  AddDriftingRecordTwin(b, "v1_GetEnzymeRecord", "KEGG_GetEnzymeRecord");
+  AddDriftingRecordTwin(b, "v1_GetGORecord", "EBI_GetGORecord");
+  AddDriftingRecordTwin(b, "v1_GetGlycanRecord", "KEGG_GetGlycanRecord");
+  AddDriftingRecordTwin(b, "v1_GetLigandRecord", "EBI_GetLigandRecord");
+  // PDB ids carry no useful digits; the drift keys on the protein behind
+  // the structure.
+  AddDelegatingTwin(
+      b, "v1_GetPDBRecord", "EBI_GetPDBRecord",
+      [kb](const std::vector<Value>& in,
+           std::vector<Value> out) -> Result<std::vector<Value>> {
+        auto protein = kb->FindProteinByPdb(in[0].AsString());
+        if (protein.ok() && IdDigitsParity((*protein)->accession) == 1) {
+          out[0] = Value::Str(WithLegacyLine(out[0].AsString()));
+        }
+        return out;
+      });
+
+  AddDriftingMappingTwin(b, "v1_Uniprot2KeggGene", "EBI_Uniprot2KeggGene",
+                         /*upper=*/true);
+  AddDriftingMappingTwin(b, "v1_KeggGene2Uniprot", "EBI_KeggGene2Uniprot",
+                         /*upper=*/false);
+  AddDriftingMappingTwin(b, "v1_Uniprot2EMBL", "EBI_Uniprot2EMBL",
+                         /*upper=*/false);
+  AddDelegatingTwin(
+      b, "v1_Gene2Pathways", "EBI_Gene2Pathways",
+      [](const std::vector<Value>& in,
+         std::vector<Value> out) -> Result<std::vector<Value>> {
+        (void)in;
+        // The legacy endpoint returned only the primary pathway.
+        if (out[0].is_list() && out[0].AsList().size() > 1) {
+          out[0] = Value::ListOf({out[0].AsList()[0]});
+        }
+        return out;
+      });
+
+  auto odd_length_lowercase =
+      [](const std::vector<Value>& in,
+         std::vector<Value> out) -> Result<std::vector<Value>> {
+    if (in[0].AsString().size() % 2 == 1 && out[0].is_string()) {
+      out[0] = Value::Str(ToLower(out[0].AsString()));
+    }
+    return out;
+  };
+  AddDelegatingTwin(b, "v1_Transcribe", "EBI_Transcribe",
+                    odd_length_lowercase);
+  AddDelegatingTwin(b, "v1_ReverseComplement", "EBI_ReverseComplement",
+                    odd_length_lowercase);
+  AddDelegatingTwin(
+      b, "v1_AnyToFasta", "EBI_AnyToFasta",
+      [](const std::vector<Value>& in,
+         std::vector<Value> out) -> Result<std::vector<Value>> {
+        auto data = ParseSequenceRecordAny(in[0].AsString());
+        if (data.ok() && IdDigitsParity(data->accession) == 1) {
+          // The legacy converter dropped the organism from the header.
+          SequenceData stripped = *data;
+          stripped.organism.clear();
+          out[0] = Value::Str(RenderFasta(stripped));
+        }
+        return out;
+      });
+  AddDelegatingTwin(
+      b, "v1_GetHomologous", "GetHomologous",
+      [](const std::vector<Value>& in,
+         std::vector<Value> out) -> Result<std::vector<Value>> {
+        if (IdDigitsParity(in[0].AsString()) == 1 && out[0].is_list() &&
+            !out[0].AsList().empty()) {
+          std::vector<Value> items = out[0].AsList();
+          items.pop_back();
+          out[0] = Value::ListOf(std::move(items));
+        }
+        return out;
+      });
+  AddDelegatingTwin(
+      b, "v1_DigestProtein", "DigestProtein",
+      [](const std::vector<Value>& in,
+         std::vector<Value> out) -> Result<std::vector<Value>> {
+        if (in[0].AsString().size() % 2 == 1 && out[0].is_list() &&
+            !out[0].AsList().empty()) {
+          std::vector<Value> masses = out[0].AsList();
+          masses.pop_back();
+          out[0] = Value::ListOf(std::move(masses));
+        }
+        return out;
+      });
+  AddDelegatingTwin(
+      b, "v1_TranslateDNA", "EBI_TranslateDNA",
+      [](const std::vector<Value>& in,
+         std::vector<Value> out) -> Result<std::vector<Value>> {
+        if ((in[0].AsString().size() / 3) % 2 == 1 && out[0].is_string()) {
+          out[0] = Value::Str(ToLower(out[0].AsString()));
+        }
+        return out;
+      });
+  AddDelegatingTwin(
+      b, "v1_GetTermLabel", "GetTermLabel",
+      [](const std::vector<Value>& in,
+         std::vector<Value> out) -> Result<std::vector<Value>> {
+        if (TermSource(in[0].AsString()) != "GO" && out[0].is_string()) {
+          out[0] = Value::Str(ToUpper(out[0].AsString()));
+        }
+        return out;
+      });
+
+  // The Figure 7 module: a retired sequence fetcher with no exact-signature
+  // counterpart; GetBiologicalSequence subsumes it contextually.
+  b.Add(true, ModuleKind::kDataRetrieval, "GetGeneSequence",
+        {b.P("accession", kStr, "EMBLAccession")},
+        {b.P("sequence", kStr, "DNASequence")},
+        [kb](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+          auto protein = kb->FindProteinByEmbl(in[0].AsString());
+          if (!protein.ok()) return protein.status();
+          auto gene = kb->FindGene((*protein)->gene_id);
+          if (!gene.ok()) return gene.status();
+          return One((*gene)->dna_sequence);
+        });
+
+  // ------------------------------------------------------------------
+  // 33 retired modules with no suitable substitute: legacy one-off
+  // analyses whose signatures (or behaviors) nothing in the current corpus
+  // reproduces.
+  enum class LegacyOut { kText, kCount, kReport };
+  struct LegacyRow {
+    const char* name;
+    const char* in_concept;
+    bool list_input;
+    LegacyOut out;
+  };
+  static const LegacyRow kLegacyRows[] = {
+      {"legacy_disease_term_profile", "DiseaseTerm", false, LegacyOut::kText},
+      {"legacy_disease_term_score", "DiseaseTerm", false, LegacyOut::kCount},
+      {"legacy_anatomy_term_profile", "AnatomyTerm", false, LegacyOut::kText},
+      {"legacy_anatomy_usage", "AnatomyTerm", false, LegacyOut::kReport},
+      {"legacy_chemical_similarity", "ChemicalTerm", false, LegacyOut::kCount},
+      {"legacy_chemical_profile", "ChemicalTerm", false, LegacyOut::kReport},
+      {"legacy_phenotype_match", "PhenotypeTerm", false, LegacyOut::kCount},
+      {"legacy_phenotype_profile", "PhenotypeTerm", false, LegacyOut::kText},
+      {"legacy_go_term_depth", "GOTerm", false, LegacyOut::kCount},
+      {"legacy_go_term_profile", "GOTerm", false, LegacyOut::kReport},
+      {"legacy_pathway_concept_rank", "PathwayConcept", false,
+       LegacyOut::kCount},
+      {"legacy_pathway_concept_notes", "PathwayConcept", false,
+       LegacyOut::kText},
+      {"legacy_text_sentiment", "TextDocument", false, LegacyOut::kCount},
+      {"legacy_text_keywords", "TextDocument", false, LegacyOut::kText},
+      {"legacy_text_readability", "TextDocument", false, LegacyOut::kReport},
+      {"legacy_protein_disorder", "ProteinSequence", false, LegacyOut::kReport},
+      {"legacy_protein_signal_peptide", "ProteinSequence", false,
+       LegacyOut::kText},
+      {"legacy_dna_curvature", "DNASequence", false, LegacyOut::kReport},
+      {"legacy_dna_promoter_scan", "DNASequence", false, LegacyOut::kText},
+      {"legacy_rna_fold_energy", "RNASequence", false, LegacyOut::kReport},
+      {"legacy_rna_loop_scan", "RNASequence", false, LegacyOut::kText},
+      {"legacy_protein_interactions", "UniprotAccession", false,
+       LegacyOut::kText},
+      {"legacy_protein_citations", "UniprotAccession", false,
+       LegacyOut::kReport},
+      {"legacy_gene_expression", "KEGGGeneId", false, LegacyOut::kReport},
+      {"legacy_gene_neighbors", "KEGGGeneId", false, LegacyOut::kText},
+      {"legacy_pathway_flux", "PathwayId", false, LegacyOut::kReport},
+      {"legacy_compound_toxicity", "CompoundId", false, LegacyOut::kReport},
+      {"legacy_glycan_branching", "GlycanId", false, LegacyOut::kReport},
+      {"legacy_ligand_docking", "LigandId", false, LegacyOut::kReport},
+      {"legacy_enzyme_kinetics", "EnzymeId", false, LegacyOut::kReport},
+      {"legacy_go_term_usage", "GOTermId", false, LegacyOut::kReport},
+      {"legacy_structure_quality", "PDBAccession", false, LegacyOut::kReport},
+      {"legacy_embl_release_notes", "EMBLAccession", false, LegacyOut::kText},
+  };
+  for (const LegacyRow& row : kLegacyRows) {
+    StructuralType in_type = row.list_input ? kStrList : kStr;
+    Parameter out_param;
+    switch (row.out) {
+      case LegacyOut::kText:
+        out_param = b.P("result", kStr, "TextDocument");
+        break;
+      case LegacyOut::kCount:
+        out_param = b.P("result", StructuralType::Integer(), "Count");
+        break;
+      case LegacyOut::kReport:
+        out_param = b.P("result", kStr, "StatisticsReport");
+        break;
+    }
+    LegacyOut out_kind = row.out;
+    std::string name = row.name;
+    b.Add(true, ModuleKind::kDataAnalysis, name,
+          {b.P("input", in_type, row.in_concept)}, {out_param},
+          [out_kind, name](const std::vector<Value>& in)
+              -> Result<std::vector<Value>> {
+            uint64_t digest = HashCombine(StableHash64(name),
+                                          StableHash64(in[0].ToString()));
+            switch (out_kind) {
+              case LegacyOut::kText:
+                return One("legacy analysis fingerprint " +
+                           std::to_string(digest % 100000));
+              case LegacyOut::kCount:
+                return OneValue(Value::Int(static_cast<int64_t>(digest % 997)));
+              case LegacyOut::kReport: {
+                StatisticsReportData report;
+                report.title = name;
+                report.stats.emplace_back("signal",
+                                          static_cast<double>(digest % 100));
+                return One(RenderStatisticsReport(report));
+              }
+            }
+            return Status::Internal("unhandled legacy output kind");
+          });
+  }
+}
+
+}  // namespace corpus_internal
+}  // namespace dexa

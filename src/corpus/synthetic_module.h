@@ -1,0 +1,66 @@
+#ifndef DEXA_CORPUS_SYNTHETIC_MODULE_H_
+#define DEXA_CORPUS_SYNTHETIC_MODULE_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "modules/module.h"
+
+namespace dexa {
+
+/// Ground truth backed by a classification lambda (corpus modules declare
+/// their documented behavior classes this way).
+class LambdaGroundTruth : public BehaviorGroundTruth {
+ public:
+  using ClassFn = std::function<int(const std::vector<Value>&)>;
+
+  LambdaGroundTruth(int num_classes, ClassFn class_of)
+      : num_classes_(num_classes), class_of_(std::move(class_of)) {}
+
+  int num_classes() const override { return num_classes_; }
+  int ClassOf(const std::vector<Value>& inputs) const override {
+    return class_of_(inputs);
+  }
+
+ private:
+  int num_classes_;
+  ClassFn class_of_;
+};
+
+/// A corpus module: spec + behavior lambda + documented ground truth.
+/// The behavior closure captures a const KnowledgeBase (shared) — exactly
+/// the situation of the paper's modules, which are thin front-ends over
+/// remote databases.
+class SyntheticModule : public Module {
+ public:
+  using Behavior =
+      std::function<Result<std::vector<Value>>(const std::vector<Value>&)>;
+
+  SyntheticModule(ModuleSpec spec, Behavior behavior, int num_classes,
+                  LambdaGroundTruth::ClassFn class_of)
+      : Module(std::move(spec)),
+        behavior_(std::move(behavior)),
+        truth_(num_classes, std::move(class_of)) {}
+
+  /// Convenience for single-behavior-class modules.
+  SyntheticModule(ModuleSpec spec, Behavior behavior)
+      : SyntheticModule(std::move(spec), std::move(behavior), 1,
+                        [](const std::vector<Value>&) { return 0; }) {}
+
+  const BehaviorGroundTruth* ground_truth() const override { return &truth_; }
+
+ protected:
+  Result<std::vector<Value>> InvokeImpl(
+      const std::vector<Value>& inputs) const override {
+    return behavior_(inputs);
+  }
+
+ private:
+  Behavior behavior_;
+  LambdaGroundTruth truth_;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_CORPUS_SYNTHETIC_MODULE_H_

@@ -1,0 +1,64 @@
+#include "corpus/term_values.h"
+
+#include "common/strings.h"
+
+namespace dexa {
+
+std::string MakeGoTermValue(const KnowledgeBase& kb, size_t i) {
+  const auto& terms = kb.go_terms();
+  const GoTermEntity& term = terms[i % terms.size()];
+  // go_id is "GO:NNNNNNN"; strip the source for MakeTermInstance.
+  return MakeTermInstance("GO", term.go_id.substr(3), term.name);
+}
+
+std::string MakePathwayConceptValue(const KnowledgeBase& kb, size_t i) {
+  const auto& pathways = kb.pathways();
+  const PathwayEntity& pathway = pathways[i % pathways.size()];
+  // pathway_id is "path:hsaNNNNN"; use the organism-qualified tail.
+  return MakeTermInstance("PW", pathway.pathway_id.substr(5), pathway.name);
+}
+
+std::string MakeDiseaseTermValue(const KnowledgeBase& kb, size_t i) {
+  const auto& diseases = kb.diseases();
+  const DiseaseEntity& disease = diseases[i % diseases.size()];
+  return MakeTermInstance("DOID", disease.disease_id.substr(1), disease.name);
+}
+
+namespace {
+struct FixedTerm {
+  const char* id;
+  const char* label;
+};
+}  // namespace
+
+std::string MakeAnatomyTermValue(size_t i) {
+  static constexpr FixedTerm kTerms[] = {
+      {"0002107", "hepatic lobe"},    {"0000955", "brain cortex"},
+      {"0002048", "lung parenchyma"}, {"0000948", "heart ventricle"},
+      {"0002113", "kidney medulla"},
+  };
+  const FixedTerm& term = kTerms[i % std::size(kTerms)];
+  return MakeTermInstance("UBERON", term.id, term.label);
+}
+
+std::string MakeChemicalTermValue(size_t i) {
+  static constexpr FixedTerm kTerms[] = {
+      {"17234", "glucose moiety"},   {"16541", "protein polymer"},
+      {"33709", "amino acid unit"},  {"18059", "lipid droplet"},
+      {"36080", "polypeptide chain"},
+  };
+  const FixedTerm& term = kTerms[i % std::size(kTerms)];
+  return MakeTermInstance("CHEBI", term.id, term.label);
+}
+
+std::string MakePhenotypeTermValue(size_t i) {
+  static constexpr FixedTerm kTerms[] = {
+      {"0001250", "recurrent seizures"}, {"0001631", "septal defect"},
+      {"0002721", "immune deficiency"},  {"0001943", "impaired glycemia"},
+      {"0003002", "breast neoplasm"},
+  };
+  const FixedTerm& term = kTerms[i % std::size(kTerms)];
+  return MakeTermInstance("HP", term.id, term.label);
+}
+
+}  // namespace dexa

@@ -1,0 +1,26 @@
+#ifndef DEXA_CORPUS_TERM_VALUES_H_
+#define DEXA_CORPUS_TERM_VALUES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/term_instance.h"
+#include "kb/knowledge_base.h"
+
+namespace dexa {
+
+/// Canonical term instances per OntologyTerm leaf concept, derived from the
+/// knowledge base where it has matching entities (GO terms, pathways,
+/// diseases) and from fixed controlled vocabularies otherwise (anatomy,
+/// chemical, phenotype). Index `i` cycles through the vocabulary.
+std::string MakeGoTermValue(const KnowledgeBase& kb, size_t i);
+std::string MakePathwayConceptValue(const KnowledgeBase& kb, size_t i);
+std::string MakeDiseaseTermValue(const KnowledgeBase& kb, size_t i);
+std::string MakeAnatomyTermValue(size_t i);
+std::string MakeChemicalTermValue(size_t i);
+std::string MakePhenotypeTermValue(size_t i);
+
+}  // namespace dexa
+
+#endif  // DEXA_CORPUS_TERM_VALUES_H_

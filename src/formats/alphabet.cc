@@ -1,0 +1,170 @@
+#include "formats/alphabet.h"
+
+#include <array>
+#include <cassert>
+#include <unordered_map>
+
+namespace dexa {
+
+const char* SeqAlphabetName(SeqAlphabet a) {
+  switch (a) {
+    case SeqAlphabet::kDna:
+      return "DNA";
+    case SeqAlphabet::kRna:
+      return "RNA";
+    case SeqAlphabet::kProtein:
+      return "Protein";
+  }
+  return "Unknown";
+}
+
+std::string_view AlphabetChars(SeqAlphabet a) {
+  switch (a) {
+    case SeqAlphabet::kDna:
+      return "ACGT";
+    case SeqAlphabet::kRna:
+      return "ACGU";
+    case SeqAlphabet::kProtein:
+      return "ACDEFGHIKLMNPQRSTVWY";
+  }
+  return "";
+}
+
+bool IsValidSequence(std::string_view seq, SeqAlphabet a) {
+  std::string_view chars = AlphabetChars(a);
+  for (char c : seq) {
+    if (chars.find(c) == std::string_view::npos) return false;
+  }
+  return true;
+}
+
+SeqAlphabet ClassifySequence(std::string_view seq, SeqAlphabet fallback) {
+  if (!seq.empty() && IsValidSequence(seq, SeqAlphabet::kDna)) {
+    return SeqAlphabet::kDna;
+  }
+  if (!seq.empty() && IsValidSequence(seq, SeqAlphabet::kRna)) {
+    return SeqAlphabet::kRna;
+  }
+  if (!seq.empty() && IsValidSequence(seq, SeqAlphabet::kProtein)) {
+    return SeqAlphabet::kProtein;
+  }
+  return fallback;
+}
+
+std::string Transcribe(std::string_view dna) {
+  assert(IsValidSequence(dna, SeqAlphabet::kDna));
+  std::string out(dna);
+  for (char& c : out) {
+    if (c == 'T') c = 'U';
+  }
+  return out;
+}
+
+std::string ReverseTranscribe(std::string_view rna) {
+  assert(IsValidSequence(rna, SeqAlphabet::kRna));
+  std::string out(rna);
+  for (char& c : out) {
+    if (c == 'U') c = 'T';
+  }
+  return out;
+}
+
+std::string ReverseComplementDna(std::string_view dna) {
+  assert(IsValidSequence(dna, SeqAlphabet::kDna));
+  std::string out;
+  out.reserve(dna.size());
+  for (auto it = dna.rbegin(); it != dna.rend(); ++it) {
+    switch (*it) {
+      case 'A':
+        out.push_back('T');
+        break;
+      case 'T':
+        out.push_back('A');
+        break;
+      case 'G':
+        out.push_back('C');
+        break;
+      case 'C':
+        out.push_back('G');
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Standard genetic code over RNA codons.
+const std::unordered_map<std::string, char>& CodonTable() {
+  static const auto* table = new std::unordered_map<std::string, char>{
+      {"UUU", 'F'}, {"UUC", 'F'}, {"UUA", 'L'}, {"UUG", 'L'}, {"CUU", 'L'},
+      {"CUC", 'L'}, {"CUA", 'L'}, {"CUG", 'L'}, {"AUU", 'I'}, {"AUC", 'I'},
+      {"AUA", 'I'}, {"AUG", 'M'}, {"GUU", 'V'}, {"GUC", 'V'}, {"GUA", 'V'},
+      {"GUG", 'V'}, {"UCU", 'S'}, {"UCC", 'S'}, {"UCA", 'S'}, {"UCG", 'S'},
+      {"CCU", 'P'}, {"CCC", 'P'}, {"CCA", 'P'}, {"CCG", 'P'}, {"ACU", 'T'},
+      {"ACC", 'T'}, {"ACA", 'T'}, {"ACG", 'T'}, {"GCU", 'A'}, {"GCC", 'A'},
+      {"GCA", 'A'}, {"GCG", 'A'}, {"UAU", 'Y'}, {"UAC", 'Y'}, {"UAA", '*'},
+      {"UAG", '*'}, {"CAU", 'H'}, {"CAC", 'H'}, {"CAA", 'Q'}, {"CAG", 'Q'},
+      {"AAU", 'N'}, {"AAC", 'N'}, {"AAA", 'K'}, {"AAG", 'K'}, {"GAU", 'D'},
+      {"GAC", 'D'}, {"GAA", 'E'}, {"GAG", 'E'}, {"UGU", 'C'}, {"UGC", 'C'},
+      {"UGA", '*'}, {"UGG", 'W'}, {"CGU", 'R'}, {"CGC", 'R'}, {"CGA", 'R'},
+      {"CGG", 'R'}, {"AGU", 'S'}, {"AGC", 'S'}, {"AGA", 'R'}, {"AGG", 'R'},
+      {"GGU", 'G'}, {"GGC", 'G'}, {"GGA", 'G'}, {"GGG", 'G'},
+  };
+  return *table;
+}
+
+}  // namespace
+
+std::string Translate(std::string_view nucleotides) {
+  std::string rna;
+  if (IsValidSequence(nucleotides, SeqAlphabet::kDna)) {
+    rna = Transcribe(nucleotides);
+  } else {
+    rna = std::string(nucleotides);
+  }
+  std::string protein;
+  const auto& table = CodonTable();
+  for (size_t i = 0; i + 3 <= rna.size(); i += 3) {
+    auto it = table.find(rna.substr(i, 3));
+    if (it == table.end()) break;  // Invalid codon terminates translation.
+    if (it->second == '*') break;
+    protein.push_back(it->second);
+  }
+  return protein;
+}
+
+double GcContent(std::string_view nucleotides) {
+  if (nucleotides.empty()) return 0.0;
+  size_t gc = 0;
+  for (char c : nucleotides) {
+    if (c == 'G' || c == 'C') ++gc;
+  }
+  return static_cast<double>(gc) / static_cast<double>(nucleotides.size());
+}
+
+double ProteinMass(std::string_view protein) {
+  // Average residue masses (Da), as used in peptide-mass fingerprinting.
+  static constexpr struct {
+    char residue;
+    double mass;
+  } kMasses[] = {
+      {'A', 71.08},  {'C', 103.14}, {'D', 115.09}, {'E', 129.12},
+      {'F', 147.18}, {'G', 57.05},  {'H', 137.14}, {'I', 113.16},
+      {'K', 128.17}, {'L', 113.16}, {'M', 131.19}, {'N', 114.10},
+      {'P', 97.12},  {'Q', 128.13}, {'R', 156.19}, {'S', 87.08},
+      {'T', 101.10}, {'V', 99.13},  {'W', 186.21}, {'Y', 163.18},
+  };
+  double total = 18.02;  // Water.
+  for (char c : protein) {
+    for (const auto& m : kMasses) {
+      if (m.residue == c) {
+        total += m.mass;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace dexa

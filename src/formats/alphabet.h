@@ -1,0 +1,53 @@
+#ifndef DEXA_FORMATS_ALPHABET_H_
+#define DEXA_FORMATS_ALPHABET_H_
+
+#include <string>
+#include <string_view>
+
+namespace dexa {
+
+/// Residue alphabets of biological sequences.
+enum class SeqAlphabet {
+  kDna,      // ACGT
+  kRna,      // ACGU
+  kProtein,  // 20 amino acids
+};
+
+const char* SeqAlphabetName(SeqAlphabet a);
+
+/// The residue characters of `a` ("ACGT", "ACGU", "ACDEFGHIKLMNPQRSTVWY").
+std::string_view AlphabetChars(SeqAlphabet a);
+
+/// True if every character of `seq` belongs to the alphabet (uppercase).
+bool IsValidSequence(std::string_view seq, SeqAlphabet a);
+
+/// Classifies a raw sequence: DNA if only ACGT, RNA if only ACGU with at
+/// least one U, protein otherwise (if valid protein); nullopt-like result is
+/// expressed by returning `fallback`.
+SeqAlphabet ClassifySequence(std::string_view seq,
+                             SeqAlphabet fallback = SeqAlphabet::kProtein);
+
+/// DNA -> RNA transcription (T -> U). Requires a valid DNA sequence.
+std::string Transcribe(std::string_view dna);
+
+/// RNA -> DNA back-transcription (U -> T). Requires a valid RNA sequence.
+std::string ReverseTranscribe(std::string_view rna);
+
+/// Reverse complement of a DNA sequence.
+std::string ReverseComplementDna(std::string_view dna);
+
+/// Translates DNA/RNA to protein using the standard genetic code, reading
+/// frame 0, stopping at the first stop codon. Incomplete trailing codons are
+/// ignored.
+std::string Translate(std::string_view nucleotides);
+
+/// Fraction of G/C residues in a nucleotide sequence (0 for empty input).
+double GcContent(std::string_view nucleotides);
+
+/// Monoisotopic-ish molecular weight of a protein sequence (didactic
+/// approximation: sum of per-residue average masses + water).
+double ProteinMass(std::string_view protein);
+
+}  // namespace dexa
+
+#endif  // DEXA_FORMATS_ALPHABET_H_

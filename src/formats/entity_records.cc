@@ -1,0 +1,345 @@
+#include "formats/entity_records.h"
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "formats/kegg_flat.h"
+
+namespace dexa {
+
+namespace {
+
+/// Requires a non-empty ENTRY field whose first token is returned.
+Result<std::string> EntryId(const KeggFlatRecord& record,
+                            std::string_view what) {
+  std::string entry = record.GetFirst("ENTRY");
+  if (entry.empty()) {
+    return Status::ParseError(std::string(what) + ": missing ENTRY");
+  }
+  size_t space = entry.find(' ');
+  return space == std::string::npos ? entry : entry.substr(0, space);
+}
+
+Result<double> ParseMassField(const KeggFlatRecord& record,
+                              std::string_view what) {
+  std::string raw = record.GetFirst("MASS");
+  if (raw.empty()) return Status::ParseError(std::string(what) + ": no MASS");
+  double mass;
+  if (!ParseDouble(raw, &mass)) {
+    return Status::ParseError(std::string(what) + ": bad MASS '" + raw + "'");
+  }
+  return mass;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Gene --
+
+std::string RenderGeneRecord(const GeneRecordData& data) {
+  KeggFlatRecord record;
+  record.Add("ENTRY", data.gene_id + "  CDS");
+  record.Add("NAME", data.symbol);
+  record.Add("DEFINITION", data.definition);
+  record.Add("ORGANISM", data.organism);
+  record.AddAll("PATHWAY", data.pathway_ids);
+  record.AddAll("GO", data.go_term_ids);
+  return RenderKeggFlat(record);
+}
+
+Result<GeneRecordData> ParseGeneRecord(std::string_view text) {
+  auto record = ParseKeggFlat(text);
+  if (!record.ok()) return record.status();
+  GeneRecordData data;
+  auto id = EntryId(*record, "gene");
+  if (!id.ok()) return id.status();
+  data.gene_id = *id;
+  data.symbol = record->GetFirst("NAME");
+  data.definition = record->GetFirst("DEFINITION");
+  data.organism = record->GetFirst("ORGANISM");
+  data.pathway_ids = record->Get("PATHWAY");
+  data.go_term_ids = record->Get("GO");
+  return data;
+}
+
+// --------------------------------------------------------------- Enzyme --
+
+std::string RenderEnzymeRecord(const EnzymeRecordData& data) {
+  KeggFlatRecord record;
+  record.Add("ENTRY", "EC " + data.ec_number + "  Enzyme");
+  record.Add("NAME", data.name);
+  record.Add("REACTION", data.reaction);
+  record.AddAll("SUBSTRATE", data.substrate_ids);
+  record.AddAll("PRODUCT", data.product_ids);
+  record.AddAll("GENES", data.gene_ids);
+  return RenderKeggFlat(record);
+}
+
+Result<EnzymeRecordData> ParseEnzymeRecord(std::string_view text) {
+  auto record = ParseKeggFlat(text);
+  if (!record.ok()) return record.status();
+  EnzymeRecordData data;
+  std::string entry = record->GetFirst("ENTRY");
+  if (!StartsWith(entry, "EC ")) {
+    return Status::ParseError("enzyme: ENTRY must start with 'EC '");
+  }
+  std::string rest = entry.substr(3);
+  size_t space = rest.find(' ');
+  data.ec_number = space == std::string::npos ? rest : rest.substr(0, space);
+  data.name = record->GetFirst("NAME");
+  data.reaction = record->GetFirst("REACTION");
+  data.substrate_ids = record->Get("SUBSTRATE");
+  data.product_ids = record->Get("PRODUCT");
+  data.gene_ids = record->Get("GENES");
+  return data;
+}
+
+// --------------------------------------------------------------- Glycan --
+
+std::string RenderGlycanRecord(const GlycanRecordData& data) {
+  KeggFlatRecord record;
+  record.Add("ENTRY", data.glycan_id + "  Glycan");
+  record.Add("NAME", data.name);
+  record.Add("COMPOSITION", data.composition);
+  record.Add("MASS", FormatFixed(data.mass, 2));
+  return RenderKeggFlat(record);
+}
+
+Result<GlycanRecordData> ParseGlycanRecord(std::string_view text) {
+  auto record = ParseKeggFlat(text);
+  if (!record.ok()) return record.status();
+  GlycanRecordData data;
+  auto id = EntryId(*record, "glycan");
+  if (!id.ok()) return id.status();
+  data.glycan_id = *id;
+  data.name = record->GetFirst("NAME");
+  data.composition = record->GetFirst("COMPOSITION");
+  auto mass = ParseMassField(*record, "glycan");
+  if (!mass.ok()) return mass.status();
+  data.mass = *mass;
+  return data;
+}
+
+// --------------------------------------------------------------- Ligand --
+
+std::string RenderLigandRecord(const LigandRecordData& data) {
+  KeggFlatRecord record;
+  record.Add("ENTRY", data.ligand_id + "  Ligand");
+  record.Add("NAME", data.name);
+  record.Add("FORMULA", data.formula);
+  record.Add("MASS", FormatFixed(data.mass, 2));
+  record.AddAll("TARGET", data.target_accessions);
+  return RenderKeggFlat(record);
+}
+
+Result<LigandRecordData> ParseLigandRecord(std::string_view text) {
+  auto record = ParseKeggFlat(text);
+  if (!record.ok()) return record.status();
+  LigandRecordData data;
+  auto id = EntryId(*record, "ligand");
+  if (!id.ok()) return id.status();
+  data.ligand_id = *id;
+  data.name = record->GetFirst("NAME");
+  data.formula = record->GetFirst("FORMULA");
+  auto mass = ParseMassField(*record, "ligand");
+  if (!mass.ok()) return mass.status();
+  data.mass = *mass;
+  data.target_accessions = record->Get("TARGET");
+  return data;
+}
+
+// ------------------------------------------------------------- Compound --
+
+std::string RenderCompoundRecord(const CompoundRecordData& data) {
+  KeggFlatRecord record;
+  record.Add("ENTRY", data.compound_id + "  Compound");
+  record.Add("NAME", data.name);
+  record.Add("FORMULA", data.formula);
+  record.Add("MASS", FormatFixed(data.mass, 2));
+  record.AddAll("PATHWAY", data.pathway_ids);
+  return RenderKeggFlat(record);
+}
+
+Result<CompoundRecordData> ParseCompoundRecord(std::string_view text) {
+  auto record = ParseKeggFlat(text);
+  if (!record.ok()) return record.status();
+  CompoundRecordData data;
+  auto id = EntryId(*record, "compound");
+  if (!id.ok()) return id.status();
+  data.compound_id = *id;
+  data.name = record->GetFirst("NAME");
+  data.formula = record->GetFirst("FORMULA");
+  auto mass = ParseMassField(*record, "compound");
+  if (!mass.ok()) return mass.status();
+  data.mass = *mass;
+  data.pathway_ids = record->Get("PATHWAY");
+  return data;
+}
+
+// -------------------------------------------------------------- Pathway --
+
+std::string RenderPathwayRecord(const PathwayRecordData& data) {
+  KeggFlatRecord record;
+  record.Add("ENTRY", data.pathway_id + "  Pathway");
+  record.Add("NAME", data.name);
+  record.Add("ORGANISM", data.organism);
+  record.AddAll("GENE", data.gene_ids);
+  record.AddAll("COMPOUND", data.compound_ids);
+  return RenderKeggFlat(record);
+}
+
+Result<PathwayRecordData> ParsePathwayRecord(std::string_view text) {
+  auto record = ParseKeggFlat(text);
+  if (!record.ok()) return record.status();
+  PathwayRecordData data;
+  auto id = EntryId(*record, "pathway");
+  if (!id.ok()) return id.status();
+  data.pathway_id = *id;
+  data.name = record->GetFirst("NAME");
+  data.organism = record->GetFirst("ORGANISM");
+  data.gene_ids = record->Get("GENE");
+  data.compound_ids = record->Get("COMPOUND");
+  return data;
+}
+
+// -------------------------------------------------------------- GO term --
+
+std::string RenderGoTerm(const GoTermData& data) {
+  std::string out = "[Term]\n";
+  out += "id: " + data.go_id + "\n";
+  out += "name: " + data.name + "\n";
+  out += "namespace: " + data.nspace + "\n";
+  out += "def: \"" + data.definition + "\"\n";
+  return out;
+}
+
+Result<GoTermData> ParseGoTerm(std::string_view text) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || Trim(lines[0]) != "[Term]") {
+    return Status::ParseError("GO: missing [Term] stanza header");
+  }
+  GoTermData data;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string line = Trim(lines[i]);
+    if (line.empty()) continue;
+    if (StartsWith(line, "id: ")) {
+      data.go_id = line.substr(4);
+    } else if (StartsWith(line, "name: ")) {
+      data.name = line.substr(6);
+    } else if (StartsWith(line, "namespace: ")) {
+      data.nspace = line.substr(11);
+    } else if (StartsWith(line, "def: ")) {
+      std::string def = line.substr(5);
+      if (def.size() >= 2 && def.front() == '"' && def.back() == '"') {
+        def = def.substr(1, def.size() - 2);
+      }
+      data.definition = def;
+    } else {
+      return Status::ParseError("GO: unknown line '" + line + "'");
+    }
+  }
+  if (data.go_id.empty()) return Status::ParseError("GO: missing id");
+  return data;
+}
+
+// ------------------------------------------------------------- InterPro --
+
+std::string RenderInterProRecord(const InterProRecordData& data) {
+  std::string out;
+  out += "AC   " + data.interpro_id + "\n";
+  out += "NA   " + data.name + "\n";
+  out += "TY   " + data.entry_type + "\n";
+  for (const std::string& member : data.member_accessions) {
+    out += "MB   " + member + "\n";
+  }
+  out += "//\n";
+  return out;
+}
+
+Result<InterProRecordData> ParseInterProRecord(std::string_view text) {
+  InterProRecordData data;
+  bool terminated = false;
+  for (const std::string& line : SplitLines(text)) {
+    if (line == "//") {
+      terminated = true;
+      break;
+    }
+    if (StartsWith(line, "AC   ")) {
+      data.interpro_id = Trim(line.substr(5));
+    } else if (StartsWith(line, "NA   ")) {
+      data.name = Trim(line.substr(5));
+    } else if (StartsWith(line, "TY   ")) {
+      data.entry_type = Trim(line.substr(5));
+    } else if (StartsWith(line, "MB   ")) {
+      data.member_accessions.push_back(Trim(line.substr(5)));
+    } else if (!Trim(line).empty()) {
+      return Status::ParseError("InterPro: unknown line '" + line + "'");
+    }
+  }
+  if (!terminated) return Status::ParseError("InterPro: missing terminator");
+  if (data.interpro_id.empty()) {
+    return Status::ParseError("InterPro: missing AC line");
+  }
+  return data;
+}
+
+// ----------------------------------------------------------------- Pfam --
+
+std::string RenderPfamRecord(const PfamRecordData& data) {
+  std::string out;
+  out += "#=GF AC   " + data.pfam_id + "\n";
+  out += "#=GF ID   " + data.name + "\n";
+  out += "#=GF CL   " + data.clan + "\n";
+  out += "#=GF DE   " + data.description + "\n";
+  out += "//\n";
+  return out;
+}
+
+Result<PfamRecordData> ParsePfamRecord(std::string_view text) {
+  PfamRecordData data;
+  bool terminated = false;
+  for (const std::string& line : SplitLines(text)) {
+    if (line == "//") {
+      terminated = true;
+      break;
+    }
+    if (StartsWith(line, "#=GF AC   ")) {
+      data.pfam_id = Trim(line.substr(10));
+    } else if (StartsWith(line, "#=GF ID   ")) {
+      data.name = Trim(line.substr(10));
+    } else if (StartsWith(line, "#=GF CL   ")) {
+      data.clan = Trim(line.substr(10));
+    } else if (StartsWith(line, "#=GF DE   ")) {
+      data.description = Trim(line.substr(10));
+    } else if (!Trim(line).empty()) {
+      return Status::ParseError("Pfam: unknown line '" + line + "'");
+    }
+  }
+  if (!terminated) return Status::ParseError("Pfam: missing terminator");
+  if (data.pfam_id.empty()) return Status::ParseError("Pfam: missing AC");
+  return data;
+}
+
+// -------------------------------------------------------------- Disease --
+
+std::string RenderDiseaseRecord(const DiseaseRecordData& data) {
+  KeggFlatRecord record;
+  record.Add("ENTRY", data.disease_id + "  Disease");
+  record.Add("NAME", data.name);
+  record.Add("DESCRIPTION", data.description);
+  record.AddAll("GENE", data.gene_ids);
+  return RenderKeggFlat(record);
+}
+
+Result<DiseaseRecordData> ParseDiseaseRecord(std::string_view text) {
+  auto record = ParseKeggFlat(text);
+  if (!record.ok()) return record.status();
+  DiseaseRecordData data;
+  auto id = EntryId(*record, "disease");
+  if (!id.ok()) return id.status();
+  data.disease_id = *id;
+  data.name = record->GetFirst("NAME");
+  data.description = record->GetFirst("DESCRIPTION");
+  data.gene_ids = record->Get("GENE");
+  return data;
+}
+
+}  // namespace dexa

@@ -1,0 +1,127 @@
+#ifndef DEXA_FORMATS_ENTITY_RECORDS_H_
+#define DEXA_FORMATS_ENTITY_RECORDS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dexa {
+
+/// Typed contents of the non-sequence database records served by the
+/// synthetic knowledge base. Each struct has a deterministic flat-file
+/// rendering (KEGG-style for the KEGG family, OBO-style for GO terms,
+/// Pfam/InterPro/Disease-style stanzas otherwise) and a parser that accepts
+/// exactly the renderer's output.
+
+/// KEGG gene entry ("hsa:7157" style ids).
+struct GeneRecordData {
+  std::string gene_id;
+  std::string symbol;
+  std::string organism;
+  std::string definition;
+  std::vector<std::string> pathway_ids;
+  std::vector<std::string> go_term_ids;
+};
+std::string RenderGeneRecord(const GeneRecordData& data);
+Result<GeneRecordData> ParseGeneRecord(std::string_view text);
+
+/// KEGG/ENZYME entry ("1.1.1.1" EC numbers).
+struct EnzymeRecordData {
+  std::string ec_number;
+  std::string name;
+  std::string reaction;
+  std::vector<std::string> substrate_ids;  ///< Compound ids.
+  std::vector<std::string> product_ids;    ///< Compound ids.
+  std::vector<std::string> gene_ids;
+};
+std::string RenderEnzymeRecord(const EnzymeRecordData& data);
+Result<EnzymeRecordData> ParseEnzymeRecord(std::string_view text);
+
+/// KEGG GLYCAN entry ("G00001").
+struct GlycanRecordData {
+  std::string glycan_id;
+  std::string name;
+  std::string composition;
+  double mass = 0.0;
+};
+std::string RenderGlycanRecord(const GlycanRecordData& data);
+Result<GlycanRecordData> ParseGlycanRecord(std::string_view text);
+
+/// Ligand entry ("L000001").
+struct LigandRecordData {
+  std::string ligand_id;
+  std::string name;
+  std::string formula;
+  double mass = 0.0;
+  std::vector<std::string> target_accessions;  ///< Uniprot accessions.
+};
+std::string RenderLigandRecord(const LigandRecordData& data);
+Result<LigandRecordData> ParseLigandRecord(std::string_view text);
+
+/// KEGG COMPOUND entry ("C00001").
+struct CompoundRecordData {
+  std::string compound_id;
+  std::string name;
+  std::string formula;
+  double mass = 0.0;
+  std::vector<std::string> pathway_ids;
+};
+std::string RenderCompoundRecord(const CompoundRecordData& data);
+Result<CompoundRecordData> ParseCompoundRecord(std::string_view text);
+
+/// KEGG PATHWAY entry ("path:hsa04110").
+struct PathwayRecordData {
+  std::string pathway_id;
+  std::string name;
+  std::string organism;
+  std::vector<std::string> gene_ids;
+  std::vector<std::string> compound_ids;
+};
+std::string RenderPathwayRecord(const PathwayRecordData& data);
+Result<PathwayRecordData> ParsePathwayRecord(std::string_view text);
+
+/// GO term ("GO:0008150"), rendered as an OBO stanza.
+struct GoTermData {
+  std::string go_id;
+  std::string name;
+  std::string nspace;  ///< biological_process / molecular_function / ...
+  std::string definition;
+};
+std::string RenderGoTerm(const GoTermData& data);
+Result<GoTermData> ParseGoTerm(std::string_view text);
+
+/// InterPro entry ("IPR000001").
+struct InterProRecordData {
+  std::string interpro_id;
+  std::string name;
+  std::string entry_type;  ///< Family / Domain / Site.
+  std::vector<std::string> member_accessions;
+};
+std::string RenderInterProRecord(const InterProRecordData& data);
+Result<InterProRecordData> ParseInterProRecord(std::string_view text);
+
+/// Pfam entry ("PF00001").
+struct PfamRecordData {
+  std::string pfam_id;
+  std::string name;
+  std::string clan;
+  std::string description;
+};
+std::string RenderPfamRecord(const PfamRecordData& data);
+Result<PfamRecordData> ParsePfamRecord(std::string_view text);
+
+/// Disease entry ("H00001").
+struct DiseaseRecordData {
+  std::string disease_id;
+  std::string name;
+  std::string description;
+  std::vector<std::string> gene_ids;
+};
+std::string RenderDiseaseRecord(const DiseaseRecordData& data);
+Result<DiseaseRecordData> ParseDiseaseRecord(std::string_view text);
+
+}  // namespace dexa
+
+#endif  // DEXA_FORMATS_ENTITY_RECORDS_H_

@@ -1,0 +1,91 @@
+#include "formats/kegg_flat.h"
+
+#include "common/strings.h"
+
+namespace dexa {
+
+namespace {
+const std::vector<std::string>& EmptyValues() {
+  static const auto* empty = new std::vector<std::string>();
+  return *empty;
+}
+constexpr size_t kKeyColumns = 12;
+}  // namespace
+
+const std::vector<std::string>& KeggFlatRecord::Get(
+    std::string_view key) const {
+  for (const auto& [k, values] : fields) {
+    if (k == key) return values;
+  }
+  return EmptyValues();
+}
+
+std::string KeggFlatRecord::GetFirst(std::string_view key) const {
+  const auto& values = Get(key);
+  return values.empty() ? std::string() : values[0];
+}
+
+void KeggFlatRecord::Add(std::string key, std::string value) {
+  fields.emplace_back(std::move(key),
+                      std::vector<std::string>{std::move(value)});
+}
+
+void KeggFlatRecord::AddAll(std::string key, std::vector<std::string> values) {
+  if (values.empty()) return;
+  fields.emplace_back(std::move(key), std::move(values));
+}
+
+std::string RenderKeggFlat(const KeggFlatRecord& record) {
+  std::string out;
+  for (const auto& [key, values] : record.fields) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i == 0) {
+        out += key;
+        if (key.size() < kKeyColumns) {
+          out += std::string(kKeyColumns - key.size(), ' ');
+        } else {
+          out += ' ';
+        }
+      } else {
+        out += std::string(kKeyColumns, ' ');
+      }
+      out += values[i];
+      out += '\n';
+    }
+  }
+  out += "///\n";
+  return out;
+}
+
+Result<KeggFlatRecord> ParseKeggFlat(std::string_view text) {
+  KeggFlatRecord record;
+  bool terminated = false;
+  for (const std::string& line : SplitLines(text)) {
+    if (line == "///") {
+      terminated = true;
+      break;
+    }
+    if (Trim(line).empty()) continue;
+    if (line[0] == ' ') {
+      // Continuation of the previous key.
+      if (record.fields.empty()) {
+        return Status::ParseError("KEGG: continuation line before any key");
+      }
+      record.fields.back().second.push_back(Trim(line));
+      continue;
+    }
+    size_t key_end = line.find(' ');
+    if (key_end == std::string::npos) {
+      return Status::ParseError("KEGG: key line without value: '" + line +
+                                "'");
+    }
+    std::string key = line.substr(0, key_end);
+    std::string value = Trim(line.substr(key_end));
+    record.Add(std::move(key), std::move(value));
+  }
+  if (!terminated) return Status::ParseError("KEGG: missing '///' terminator");
+  if (record.fields.empty()) return Status::ParseError("KEGG: empty record");
+  return record;
+}
+
+}  // namespace dexa

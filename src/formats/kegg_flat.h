@@ -1,0 +1,49 @@
+#ifndef DEXA_FORMATS_KEGG_FLAT_H_
+#define DEXA_FORMATS_KEGG_FLAT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dexa {
+
+/// Generic KEGG-style flat-file block: 12-column keys, continuation lines
+/// indented, terminated by "///".
+///
+///   ENTRY       hsa:7157          CDS
+///   NAME        TP53
+///   PATHWAY     path:hsa04110
+///               path:hsa04115
+///   ///
+///
+/// All KEGG-family records (gene, enzyme, glycan, ligand, compound, pathway)
+/// render into and parse out of this structure.
+struct KeggFlatRecord {
+  /// Ordered key -> values multimap; a key appears once, with one string per
+  /// physical line.
+  std::vector<std::pair<std::string, std::vector<std::string>>> fields;
+
+  /// Returns the values for `key`, or an empty vector.
+  const std::vector<std::string>& Get(std::string_view key) const;
+
+  /// First value for `key`, or "".
+  std::string GetFirst(std::string_view key) const;
+
+  /// Appends a single-line field.
+  void Add(std::string key, std::string value);
+
+  /// Appends a multi-line field (omitted entirely if `values` is empty).
+  void AddAll(std::string key, std::vector<std::string> values);
+};
+
+/// Renders with the canonical 12-column layout and trailing "///".
+std::string RenderKeggFlat(const KeggFlatRecord& record);
+
+/// Parses the layout produced by RenderKeggFlat.
+Result<KeggFlatRecord> ParseKeggFlat(std::string_view text);
+
+}  // namespace dexa
+
+#endif  // DEXA_FORMATS_KEGG_FLAT_H_

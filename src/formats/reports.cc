@@ -1,0 +1,167 @@
+#include "formats/reports.h"
+
+#include "common/strings.h"
+
+namespace dexa {
+
+// ----------------------------------------------------- Alignment report --
+
+std::string RenderAlignmentReport(const AlignmentReportData& data) {
+  std::string out;
+  out += "PROGRAM  " + data.program + "\n";
+  out += "DATABASE " + data.database + "\n";
+  out += "QUERY    " + data.query_accession + "\n";
+  out += StrFormat("HITS     %zu\n", data.hits.size());
+  for (const AlignmentHit& hit : data.hits) {
+    out += StrFormat("HIT %s score=%.1f evalue=%.3g identity=%.3f %s\n",
+                     hit.accession.c_str(), hit.score, hit.evalue,
+                     hit.identity, hit.description.c_str());
+  }
+  out += "END\n";
+  return out;
+}
+
+Result<AlignmentReportData> ParseAlignmentReport(std::string_view text) {
+  AlignmentReportData data;
+  bool terminated = false;
+  for (const std::string& line : SplitLines(text)) {
+    if (line == "END") {
+      terminated = true;
+      break;
+    }
+    if (StartsWith(line, "PROGRAM  ")) {
+      data.program = Trim(line.substr(9));
+    } else if (StartsWith(line, "DATABASE ")) {
+      data.database = Trim(line.substr(9));
+    } else if (StartsWith(line, "QUERY    ")) {
+      data.query_accession = Trim(line.substr(9));
+    } else if (StartsWith(line, "HITS     ")) {
+      // Count line is redundant with the HIT lines; validated below.
+    } else if (StartsWith(line, "HIT ")) {
+      // HIT <acc> score=<s> evalue=<e> identity=<i> <description...>
+      std::vector<std::string> tokens;
+      for (const std::string& t : Split(line.substr(4), ' ')) {
+        if (!t.empty()) tokens.push_back(t);
+      }
+      if (tokens.size() < 4) {
+        return Status::ParseError("alignment: malformed HIT line");
+      }
+      AlignmentHit hit;
+      hit.accession = tokens[0];
+      auto field = [&](const std::string& token, const char* prefix,
+                       double* out_value) -> Status {
+        if (!StartsWith(token, prefix)) {
+          return Status::ParseError("alignment: expected '" +
+                                    std::string(prefix) + "' in HIT line");
+        }
+        if (!ParseDouble(token.substr(std::string(prefix).size()),
+                         out_value)) {
+          return Status::ParseError("alignment: bad number in '" + token +
+                                    "'");
+        }
+        return Status::OK();
+      };
+      DEXA_RETURN_IF_ERROR(field(tokens[1], "score=", &hit.score));
+      DEXA_RETURN_IF_ERROR(field(tokens[2], "evalue=", &hit.evalue));
+      DEXA_RETURN_IF_ERROR(field(tokens[3], "identity=", &hit.identity));
+      if (tokens.size() > 4) {
+        hit.description = Join(
+            std::vector<std::string>(tokens.begin() + 4, tokens.end()), " ");
+      }
+      data.hits.push_back(std::move(hit));
+    } else if (!Trim(line).empty()) {
+      return Status::ParseError("alignment: unknown line '" + line + "'");
+    }
+  }
+  if (!terminated) return Status::ParseError("alignment: missing END");
+  return data;
+}
+
+// ------------------------------------------------ Identification report --
+
+std::string RenderIdentificationReport(const IdentificationReportData& data) {
+  std::string out;
+  out += "IDENTIFICATION REPORT\n";
+  out += "MATCH     " + data.matched_accession + "\n";
+  out += StrFormat("SCORE     %.2f\n", data.score);
+  out += StrFormat("TOLERANCE %.2f%%\n", data.error_tolerance);
+  out += StrFormat("PEPTIDES  %zu\n", data.peptide_count);
+  return out;
+}
+
+Result<IdentificationReportData> ParseIdentificationReport(
+    std::string_view text) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || lines[0] != "IDENTIFICATION REPORT") {
+    return Status::ParseError("identification: missing header");
+  }
+  IdentificationReportData data;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (StartsWith(line, "MATCH     ")) {
+      data.matched_accession = Trim(line.substr(10));
+    } else if (StartsWith(line, "SCORE     ")) {
+      if (!ParseDouble(line.substr(10), &data.score)) {
+        return Status::ParseError("identification: bad SCORE");
+      }
+    } else if (StartsWith(line, "TOLERANCE ")) {
+      std::string tolerance = Trim(line.substr(10));
+      if (EndsWith(tolerance, "%")) tolerance.pop_back();
+      if (!ParseDouble(tolerance, &data.error_tolerance)) {
+        return Status::ParseError("identification: bad TOLERANCE");
+      }
+    } else if (StartsWith(line, "PEPTIDES  ")) {
+      int64_t count;
+      if (!ParseInt64(line.substr(10), &count) || count < 0) {
+        return Status::ParseError("identification: bad PEPTIDES");
+      }
+      data.peptide_count = static_cast<size_t>(count);
+    } else if (!Trim(line).empty()) {
+      return Status::ParseError("identification: unknown line '" + line + "'");
+    }
+  }
+  return data;
+}
+
+// -------------------------------------------------- Statistics report ----
+
+std::string RenderStatisticsReport(const StatisticsReportData& data) {
+  std::string out = "STATISTICS " + data.title + "\n";
+  for (const auto& [key, value] : data.stats) {
+    out += StrFormat("%-24s %.6g\n", key.c_str(), value);
+  }
+  out += "END\n";
+  return out;
+}
+
+Result<StatisticsReportData> ParseStatisticsReport(std::string_view text) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || !StartsWith(lines[0], "STATISTICS ")) {
+    return Status::ParseError("statistics: missing header");
+  }
+  StatisticsReportData data;
+  data.title = Trim(lines[0].substr(11));
+  bool terminated = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line == "END") {
+      terminated = true;
+      break;
+    }
+    if (Trim(line).empty()) continue;
+    size_t split = line.find_last_of(' ');
+    if (split == std::string::npos) {
+      return Status::ParseError("statistics: malformed line '" + line + "'");
+    }
+    std::string key = Trim(line.substr(0, split));
+    double value;
+    if (!ParseDouble(line.substr(split + 1), &value)) {
+      return Status::ParseError("statistics: bad value in '" + line + "'");
+    }
+    data.stats.emplace_back(std::move(key), value);
+  }
+  if (!terminated) return Status::ParseError("statistics: missing END");
+  return data;
+}
+
+}  // namespace dexa

@@ -1,0 +1,54 @@
+#ifndef DEXA_FORMATS_REPORTS_H_
+#define DEXA_FORMATS_REPORTS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dexa {
+
+/// One hit in an alignment (homology-search) report.
+struct AlignmentHit {
+  std::string accession;
+  std::string description;
+  double score = 0.0;
+  double evalue = 0.0;
+  double identity = 0.0;  ///< Fraction in [0,1].
+};
+
+/// BLAST-style alignment report: the output of homology-search modules such
+/// as the paper's SearchSimple / GetHomologous.
+struct AlignmentReportData {
+  std::string program;   ///< e.g. "blastp".
+  std::string database;  ///< e.g. "uniprot".
+  std::string query_accession;
+  std::vector<AlignmentHit> hits;
+};
+std::string RenderAlignmentReport(const AlignmentReportData& data);
+Result<AlignmentReportData> ParseAlignmentReport(std::string_view text);
+
+/// Output of peptide-mass-fingerprint identification (the paper's Identify
+/// module): the best-matching protein for a list of peptide masses.
+struct IdentificationReportData {
+  std::string matched_accession;
+  double score = 0.0;
+  double error_tolerance = 0.0;  ///< Percentage used for matching.
+  size_t peptide_count = 0;
+};
+std::string RenderIdentificationReport(const IdentificationReportData& data);
+Result<IdentificationReportData> ParseIdentificationReport(
+    std::string_view text);
+
+/// Generic key/value statistics block produced by analysis modules.
+struct StatisticsReportData {
+  std::string title;
+  std::vector<std::pair<std::string, double>> stats;
+};
+std::string RenderStatisticsReport(const StatisticsReportData& data);
+Result<StatisticsReportData> ParseStatisticsReport(std::string_view text);
+
+}  // namespace dexa
+
+#endif  // DEXA_FORMATS_REPORTS_H_

@@ -1,0 +1,405 @@
+#include "formats/sequence_record.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace dexa {
+
+bool operator==(const SequenceData& a, const SequenceData& b) {
+  return a.accession == b.accession && a.name == b.name &&
+         a.organism == b.organism && a.description == b.description &&
+         a.sequence == b.sequence && a.alphabet == b.alphabet;
+}
+
+namespace {
+
+/// Units keyword for a LOCUS/ID style length field.
+const char* LengthUnits(SeqAlphabet a) {
+  return a == SeqAlphabet::kProtein ? "AA" : "BP";
+}
+
+const char* MoleculeToken(SeqAlphabet a) {
+  switch (a) {
+    case SeqAlphabet::kDna:
+      return "DNA";
+    case SeqAlphabet::kRna:
+      return "RNA";
+    case SeqAlphabet::kProtein:
+      return "PRT";
+  }
+  return "UNK";
+}
+
+Result<SeqAlphabet> AlphabetFromToken(std::string_view token) {
+  if (token == "DNA") return SeqAlphabet::kDna;
+  if (token == "RNA") return SeqAlphabet::kRna;
+  if (token == "PRT") return SeqAlphabet::kProtein;
+  return Status::ParseError("unknown molecule token '" + std::string(token) +
+                            "'");
+}
+
+/// Renders `seq` in blocks of 10 residues, 6 blocks per line, with the given
+/// left margin — the EMBL/Uniprot sequence-paragraph layout.
+std::string RenderBlockedSequence(std::string_view seq, const char* margin) {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); i += 60) {
+    out += margin;
+    std::string_view line = seq.substr(i, 60);
+    for (size_t j = 0; j < line.size(); j += 10) {
+      if (j > 0) out += ' ';
+      out += line.substr(j, 10);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// Strips spaces and digits from sequence-paragraph lines.
+std::string UnblockSequence(const std::vector<std::string>& lines,
+                            size_t first, size_t last) {
+  std::string seq;
+  for (size_t i = first; i < last; ++i) {
+    for (char c : lines[i]) {
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        seq.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      }
+    }
+  }
+  return seq;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- FASTA --
+
+std::string RenderFasta(const SequenceData& data) {
+  std::string out = ">" + data.accession;
+  if (!data.name.empty()) out += " " + data.name;
+  if (!data.description.empty()) out += " " + data.description;
+  if (!data.organism.empty()) out += " [" + data.organism + "]";
+  out += "\n";
+  for (const std::string& line : WrapFixed(data.sequence, 60)) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<SequenceData> ParseFasta(std::string_view text) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || lines[0].empty() || lines[0][0] != '>') {
+    return Status::ParseError("FASTA: missing '>' header line");
+  }
+  SequenceData data;
+  std::string header = lines[0].substr(1);
+  // Trailing "[organism]".
+  size_t ob = header.rfind('[');
+  if (ob != std::string::npos && EndsWith(Trim(header), "]")) {
+    data.organism = Trim(header.substr(ob + 1, header.rfind(']') - ob - 1));
+    header = Trim(header.substr(0, ob));
+  } else {
+    header = Trim(header);
+  }
+  std::vector<std::string> tokens = Split(header, ' ');
+  if (tokens.empty() || tokens[0].empty()) {
+    return Status::ParseError("FASTA: empty accession");
+  }
+  data.accession = tokens[0];
+  if (tokens.size() > 1) data.name = tokens[1];
+  if (tokens.size() > 2) {
+    data.description =
+        Join(std::vector<std::string>(tokens.begin() + 2, tokens.end()), " ");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string line = Trim(lines[i]);
+    if (line.empty()) continue;
+    data.sequence += line;
+  }
+  data.alphabet = ClassifySequence(data.sequence);
+  return data;
+}
+
+// -------------------------------------------------------------- Uniprot --
+
+std::string RenderUniprot(const SequenceData& data) {
+  std::string out;
+  out += StrFormat("ID   %-20s Reviewed; %8zu %s.\n", data.name.c_str(),
+                   data.sequence.size(), LengthUnits(data.alphabet));
+  out += "AC   " + data.accession + ";\n";
+  out += "DE   RecName: Full=" + data.description + ";\n";
+  out += "OS   " + data.organism + ".\n";
+  out += StrFormat("SQ   SEQUENCE %8zu %s; %10.0f MW;\n", data.sequence.size(),
+                   LengthUnits(data.alphabet),
+                   std::floor(ProteinMass(data.sequence)));
+  out += RenderBlockedSequence(data.sequence, "     ");
+  out += "//\n";
+  return out;
+}
+
+Result<SequenceData> ParseUniprot(std::string_view text) {
+  std::vector<std::string> lines = SplitLines(text);
+  SequenceData data;
+  size_t seq_start = lines.size();
+  size_t seq_end = lines.size();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (StartsWith(line, "ID   ")) {
+      std::string rest = Trim(line.substr(5));
+      size_t space = rest.find(' ');
+      data.name = rest.substr(0, space);
+    } else if (StartsWith(line, "AC   ")) {
+      std::string acc = Trim(line.substr(5));
+      if (EndsWith(acc, ";")) acc.pop_back();
+      data.accession = acc;
+    } else if (StartsWith(line, "DE   ")) {
+      std::string de = Trim(line.substr(5));
+      if (StartsWith(de, "RecName: Full=")) de = de.substr(14);
+      if (EndsWith(de, ";")) de.pop_back();
+      data.description = de;
+    } else if (StartsWith(line, "OS   ")) {
+      std::string os_line = Trim(line.substr(5));
+      if (EndsWith(os_line, ".")) os_line.pop_back();
+      data.organism = os_line;
+    } else if (StartsWith(line, "SQ   ")) {
+      seq_start = i + 1;
+    } else if (line == "//") {
+      seq_end = i;
+      break;
+    }
+  }
+  if (data.accession.empty()) {
+    return Status::ParseError("Uniprot: missing AC line");
+  }
+  if (seq_start >= lines.size()) {
+    return Status::ParseError("Uniprot: missing SQ paragraph");
+  }
+  data.sequence = UnblockSequence(lines, seq_start, seq_end);
+  data.alphabet = ClassifySequence(data.sequence);
+  return data;
+}
+
+// ----------------------------------------------------------------- EMBL --
+
+std::string RenderEmbl(const SequenceData& data) {
+  std::string out;
+  out += StrFormat("ID   %s; SV 1; linear; %s; STD; %zu %s.\n",
+                   data.name.c_str(), MoleculeToken(data.alphabet),
+                   data.sequence.size(), LengthUnits(data.alphabet));
+  out += "AC   " + data.accession + ";\n";
+  out += "DE   " + data.description + "\n";
+  out += "OS   " + data.organism + "\n";
+  out += StrFormat("SQ   Sequence %zu %s;\n", data.sequence.size(),
+                   LengthUnits(data.alphabet));
+  out += RenderBlockedSequence(data.sequence, "     ");
+  out += "//\n";
+  return out;
+}
+
+Result<SequenceData> ParseEmbl(std::string_view text) {
+  std::vector<std::string> lines = SplitLines(text);
+  SequenceData data;
+  bool saw_id = false;
+  size_t seq_start = lines.size();
+  size_t seq_end = lines.size();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (StartsWith(line, "ID   ")) {
+      saw_id = true;
+      std::vector<std::string> parts = Split(line.substr(5), ';');
+      if (parts.size() < 4) return Status::ParseError("EMBL: malformed ID");
+      data.name = Trim(parts[0]);
+      auto alpha = AlphabetFromToken(Trim(parts[3]));
+      if (!alpha.ok()) return alpha.status();
+      data.alphabet = *alpha;
+    } else if (StartsWith(line, "AC   ")) {
+      std::string acc = Trim(line.substr(5));
+      if (EndsWith(acc, ";")) acc.pop_back();
+      data.accession = acc;
+    } else if (StartsWith(line, "DE   ")) {
+      data.description = Trim(line.substr(5));
+    } else if (StartsWith(line, "OS   ")) {
+      data.organism = Trim(line.substr(5));
+    } else if (StartsWith(line, "SQ   ")) {
+      seq_start = i + 1;
+    } else if (line == "//") {
+      seq_end = i;
+      break;
+    }
+  }
+  if (!saw_id) return Status::ParseError("EMBL: missing ID line");
+  if (seq_start >= lines.size()) {
+    return Status::ParseError("EMBL: missing SQ paragraph");
+  }
+  data.sequence = UnblockSequence(lines, seq_start, seq_end);
+  return data;
+}
+
+// -------------------------------------------------------------- GenBank --
+
+std::string RenderGenBank(const SequenceData& data) {
+  std::string units = data.alphabet == SeqAlphabet::kProtein ? "aa" : "bp";
+  std::string out;
+  out += StrFormat("LOCUS       %-16s %8zu %s    %s     linear\n",
+                   data.name.c_str(), data.sequence.size(), units.c_str(),
+                   MoleculeToken(data.alphabet));
+  out += "DEFINITION  " + data.description + ".\n";
+  out += "ACCESSION   " + data.accession + "\n";
+  out += "SOURCE      " + data.organism + "\n";
+  out += "ORIGIN\n";
+  const std::string lower = ToLower(data.sequence);
+  for (size_t i = 0; i < lower.size(); i += 60) {
+    out += StrFormat("%9zu", i + 1);
+    std::string_view line = std::string_view(lower).substr(i, 60);
+    for (size_t j = 0; j < line.size(); j += 10) {
+      out += ' ';
+      out += line.substr(j, 10);
+    }
+    out += '\n';
+  }
+  out += "//\n";
+  return out;
+}
+
+Result<SequenceData> ParseGenBank(std::string_view text) {
+  std::vector<std::string> lines = SplitLines(text);
+  SequenceData data;
+  bool saw_locus = false;
+  size_t seq_start = lines.size();
+  size_t seq_end = lines.size();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (StartsWith(line, "LOCUS")) {
+      saw_locus = true;
+      std::vector<std::string> tokens;
+      for (const std::string& t : Split(Trim(line.substr(5)), ' ')) {
+        if (!t.empty()) tokens.push_back(t);
+      }
+      if (tokens.size() < 4) return Status::ParseError("GenBank: bad LOCUS");
+      data.name = tokens[0];
+      auto alpha = AlphabetFromToken(tokens[3]);
+      if (!alpha.ok()) return alpha.status();
+      data.alphabet = *alpha;
+    } else if (StartsWith(line, "DEFINITION  ")) {
+      std::string def = Trim(line.substr(12));
+      if (EndsWith(def, ".")) def.pop_back();
+      data.description = def;
+    } else if (StartsWith(line, "ACCESSION   ")) {
+      data.accession = Trim(line.substr(12));
+    } else if (StartsWith(line, "SOURCE      ")) {
+      data.organism = Trim(line.substr(12));
+    } else if (StartsWith(line, "ORIGIN")) {
+      seq_start = i + 1;
+    } else if (line == "//") {
+      seq_end = i;
+      break;
+    }
+  }
+  if (!saw_locus) return Status::ParseError("GenBank: missing LOCUS line");
+  if (seq_start >= lines.size()) {
+    return Status::ParseError("GenBank: missing ORIGIN paragraph");
+  }
+  data.sequence = UnblockSequence(lines, seq_start, seq_end);
+  return data;
+}
+
+// ------------------------------------------------------------------ PDB --
+
+namespace {
+
+/// Residue <-> 3-letter code tables for SEQRES lines.
+constexpr struct {
+  char one;
+  const char* three;
+} kProteinCodes[] = {
+    {'A', "ALA"}, {'C', "CYS"}, {'D', "ASP"}, {'E', "GLU"}, {'F', "PHE"},
+    {'G', "GLY"}, {'H', "HIS"}, {'I', "ILE"}, {'K', "LYS"}, {'L', "LEU"},
+    {'M', "MET"}, {'N', "ASN"}, {'P', "PRO"}, {'Q', "GLN"}, {'R', "ARG"},
+    {'S', "SER"}, {'T', "THR"}, {'V', "VAL"}, {'W', "TRP"}, {'Y', "TYR"},
+};
+
+std::string ThreeLetter(char residue, SeqAlphabet a) {
+  if (a == SeqAlphabet::kProtein) {
+    for (const auto& c : kProteinCodes) {
+      if (c.one == residue) return c.three;
+    }
+    return "UNK";
+  }
+  // Nucleotide chains use " DA"/" DC"... for DNA and single letters for RNA.
+  if (a == SeqAlphabet::kDna) return std::string(" D") + residue;
+  return std::string("  ") + residue;
+}
+
+Result<char> OneLetter(const std::string& code) {
+  for (const auto& c : kProteinCodes) {
+    if (code == c.three) return c.one;
+  }
+  if (code.size() == 2 && code[0] == 'D') return code[1];  // DNA "DA" etc.
+  if (code.size() == 1) return code[0];                    // RNA.
+  return Status::ParseError("PDB: unknown residue code '" + code + "'");
+}
+
+}  // namespace
+
+std::string RenderPdb(const SequenceData& data) {
+  std::string out;
+  out += StrFormat("HEADER    %-40s%s\n", "MACROMOLECULE",
+                   data.accession.c_str());
+  out += "TITLE     " + data.description + "\n";
+  out += "COMPND    MOL_ID: 1; MOLECULE: " + data.name +
+         "; ORGANISM: " + data.organism + "\n";
+  size_t line_no = 1;
+  for (size_t i = 0; i < data.sequence.size(); i += 13) {
+    out += StrFormat("SEQRES %3zu A %4zu ", line_no++, data.sequence.size());
+    std::string_view chunk = std::string_view(data.sequence).substr(i, 13);
+    for (size_t j = 0; j < chunk.size(); ++j) {
+      if (j > 0) out += ' ';
+      out += StrFormat("%3s", ThreeLetter(chunk[j], data.alphabet).c_str());
+    }
+    out += '\n';
+  }
+  out += "END\n";
+  return out;
+}
+
+Result<SequenceData> ParsePdb(std::string_view text) {
+  std::vector<std::string> lines = SplitLines(text);
+  SequenceData data;
+  bool saw_header = false;
+  for (const std::string& line : lines) {
+    if (StartsWith(line, "HEADER")) {
+      saw_header = true;
+      std::string rest = Trim(line.substr(6));
+      size_t last_space = rest.rfind(' ');
+      data.accession = last_space == std::string::npos
+                           ? rest
+                           : rest.substr(last_space + 1);
+    } else if (StartsWith(line, "TITLE     ")) {
+      data.description = Trim(line.substr(10));
+    } else if (StartsWith(line, "COMPND    ")) {
+      for (const std::string& part : Split(line.substr(10), ';')) {
+        std::string field = Trim(part);
+        if (StartsWith(field, "MOLECULE: ")) data.name = field.substr(10);
+        if (StartsWith(field, "ORGANISM: ")) data.organism = field.substr(10);
+      }
+    } else if (StartsWith(line, "SEQRES")) {
+      // Columns: SEQRES <ln> <chain> <len> <codes...>
+      std::vector<std::string> tokens;
+      for (const std::string& t : Split(Trim(line.substr(6)), ' ')) {
+        if (!t.empty()) tokens.push_back(t);
+      }
+      if (tokens.size() < 3) return Status::ParseError("PDB: bad SEQRES");
+      for (size_t i = 3; i < tokens.size(); ++i) {
+        auto residue = OneLetter(tokens[i]);
+        if (!residue.ok()) return residue.status();
+        data.sequence.push_back(*residue);
+      }
+    }
+  }
+  if (!saw_header) return Status::ParseError("PDB: missing HEADER line");
+  data.alphabet = ClassifySequence(data.sequence);
+  return data;
+}
+
+}  // namespace dexa

@@ -1,0 +1,53 @@
+#ifndef DEXA_FORMATS_SEQUENCE_RECORD_H_
+#define DEXA_FORMATS_SEQUENCE_RECORD_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "formats/alphabet.h"
+
+namespace dexa {
+
+/// The canonical content of a sequence database entry, independent of its
+/// flat-file serialization. Format-transformation modules parse one
+/// serialization into this struct and render another — the "shim" role the
+/// paper highlights (Section 5, Format transformation).
+struct SequenceData {
+  std::string accession;     ///< Primary accession, e.g. "P12345".
+  std::string name;          ///< Entry name / locus, e.g. "CYC_HUMAN".
+  std::string organism;      ///< Species, e.g. "Homo sapiens".
+  std::string description;   ///< Free-text description line.
+  std::string sequence;      ///< Residues, uppercase, unwrapped.
+  SeqAlphabet alphabet = SeqAlphabet::kProtein;
+};
+
+bool operator==(const SequenceData& a, const SequenceData& b);
+
+/// Serializations of SequenceData. Renderers are deterministic; parsers
+/// accept exactly what the corresponding renderer produces plus benign
+/// whitespace variation, and fail with ParseError otherwise.
+///
+/// FASTA:   >ACC NAME DESCRIPTION / wrapped residues
+std::string RenderFasta(const SequenceData& data);
+Result<SequenceData> ParseFasta(std::string_view text);
+
+/// Uniprot-style flat file: ID/AC/DE/OS/SQ stanza, '//' terminator.
+std::string RenderUniprot(const SequenceData& data);
+Result<SequenceData> ParseUniprot(std::string_view text);
+
+/// EMBL-style flat file: ID/AC/DE/OS/SQ with numbered sequence lines.
+std::string RenderEmbl(const SequenceData& data);
+Result<SequenceData> ParseEmbl(std::string_view text);
+
+/// GenBank-style flat file: LOCUS/DEFINITION/ACCESSION/SOURCE/ORIGIN.
+std::string RenderGenBank(const SequenceData& data);
+Result<SequenceData> ParseGenBank(std::string_view text);
+
+/// PDB-style header: HEADER/TITLE/COMPND/SEQRES lines.
+std::string RenderPdb(const SequenceData& data);
+Result<SequenceData> ParsePdb(std::string_view text);
+
+}  // namespace dexa
+
+#endif  // DEXA_FORMATS_SEQUENCE_RECORD_H_

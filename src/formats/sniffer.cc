@@ -1,0 +1,48 @@
+#include "formats/sniffer.h"
+
+#include "common/strings.h"
+#include "formats/kegg_flat.h"
+
+namespace dexa {
+
+std::string SniffFormat(std::string_view text) {
+  std::string trimmed = Trim(text);
+  if (trimmed.empty()) return "";
+
+  if (trimmed[0] == '>') return "FastaRecord";
+  if (StartsWith(trimmed, "[Term]")) return "GORecord";
+  if (StartsWith(trimmed, "#=GF AC")) return "PfamRecord";
+  if (StartsWith(trimmed, "AC   IPR")) return "InterProRecord";
+  if (StartsWith(trimmed, "LOCUS")) return "GenBankRecord";
+  if (StartsWith(trimmed, "HEADER")) return "PDBRecord";
+  if (StartsWith(trimmed, "PROGRAM  ")) return "AlignmentReport";
+  if (StartsWith(trimmed, "IDENTIFICATION REPORT")) {
+    return "IdentificationReport";
+  }
+  if (StartsWith(trimmed, "STATISTICS ")) return "StatisticsReport";
+
+  if (StartsWith(trimmed, "ID   ")) {
+    // Uniprot and EMBL both open with an ID line; EMBL's carries "; SV ".
+    if (Contains(trimmed, "; SV ")) return "EMBLRecord";
+    return "UniprotRecord";
+  }
+
+  if (StartsWith(trimmed, "ENTRY")) {
+    // KEGG family: the ENTRY line's trailing keyword names the database.
+    auto record = ParseKeggFlat(text);
+    if (!record.ok()) return "";
+    std::string entry = record->GetFirst("ENTRY");
+    if (EndsWith(entry, "CDS")) return "KEGGGeneRecord";
+    if (EndsWith(entry, "Enzyme")) return "EnzymeRecord";
+    if (EndsWith(entry, "Glycan")) return "GlycanRecord";
+    if (EndsWith(entry, "Ligand")) return "LigandRecord";
+    if (EndsWith(entry, "Compound")) return "CompoundRecord";
+    if (EndsWith(entry, "Pathway")) return "PathwayRecord";
+    if (EndsWith(entry, "Disease")) return "DiseaseRecord";
+    return "";
+  }
+
+  return "";
+}
+
+}  // namespace dexa

@@ -1,0 +1,21 @@
+#ifndef DEXA_FORMATS_SNIFFER_H_
+#define DEXA_FORMATS_SNIFFER_H_
+
+#include <string>
+#include <string_view>
+
+namespace dexa {
+
+/// Identifies the flat-file format of `text` and returns the name of the
+/// corresponding myGrid concept ("FastaRecord", "UniprotRecord",
+/// "KEGGGeneRecord", "GORecord", "AlignmentReport", ...), or "" if the text
+/// matches no known format.
+///
+/// The sniffer powers the simulated users of Section 5 (a user "recognizes"
+/// an output they have seen before) and the validation of format-
+/// transformation modules.
+std::string SniffFormat(std::string_view text);
+
+}  // namespace dexa
+
+#endif  // DEXA_FORMATS_SNIFFER_H_

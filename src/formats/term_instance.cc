@@ -1,0 +1,36 @@
+#include "formats/term_instance.h"
+
+#include "common/strings.h"
+
+namespace dexa {
+
+std::string MakeTermInstance(std::string_view source, std::string_view id,
+                             std::string_view label) {
+  return std::string(source) + ":" + std::string(id) + " ! " +
+         std::string(label);
+}
+
+bool IsTermOfSource(std::string_view s, std::string_view source) {
+  return StartsWith(s, std::string(source) + ":") && Contains(s, " ! ");
+}
+
+std::string TermId(std::string_view s) {
+  size_t bang = s.find(" ! ");
+  if (bang == std::string_view::npos) return "";
+  return std::string(s.substr(0, bang));
+}
+
+std::string TermSource(std::string_view s) {
+  std::string id = TermId(s);
+  size_t colon = id.find(':');
+  if (colon == std::string::npos) return "";
+  return id.substr(0, colon);
+}
+
+std::string TermLabel(std::string_view s) {
+  size_t bang = s.find(" ! ");
+  if (bang == std::string_view::npos) return "";
+  return std::string(s.substr(bang + 3));
+}
+
+}  // namespace dexa

@@ -1,0 +1,32 @@
+#ifndef DEXA_FORMATS_TERM_INSTANCE_H_
+#define DEXA_FORMATS_TERM_INSTANCE_H_
+
+#include <string>
+#include <string_view>
+
+namespace dexa {
+
+/// Instances of the OntologyTerm concepts are strings of the form
+/// "<SOURCE>:<id> ! <label>" (the OBO cross-reference notation), e.g.
+/// "GO:0008150 ! protein folding" or "PW:hsa00100 ! Cell cycle".
+/// These helpers construct and dissect such instances.
+
+/// Builds a term instance string.
+std::string MakeTermInstance(std::string_view source, std::string_view id,
+                             std::string_view label);
+
+/// True if `s` is a term instance of the given source prefix.
+bool IsTermOfSource(std::string_view s, std::string_view source);
+
+/// The "<SOURCE>:<id>" part, or "" if malformed.
+std::string TermId(std::string_view s);
+
+/// The "<SOURCE>" part, or "" if malformed.
+std::string TermSource(std::string_view s);
+
+/// The label part, or "" if malformed.
+std::string TermLabel(std::string_view s);
+
+}  // namespace dexa
+
+#endif  // DEXA_FORMATS_TERM_INSTANCE_H_

@@ -1,0 +1,66 @@
+#ifndef DEXA_KB_ACCESSIONS_H_
+#define DEXA_KB_ACCESSIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dexa {
+
+/// Deterministic accession grammars for every identifier namespace in the
+/// myGrid ontology. `Make*` produces the i-th accession of a namespace;
+/// `Is*` validates the grammar (used by identifier-typed module inputs to
+/// reject values from the wrong namespace, and by the user-study detectors
+/// to recognize identifier kinds).
+///
+/// The grammars follow the real-world shapes: Uniprot "P12345",
+/// PDB "1AB2", EMBL "AB123456", KEGG gene "hsa:10042", EC "1.2.3.4",
+/// glycan "G00001", ligand "L00001", compound "C00001",
+/// pathway "path:hsa00042", GO "GO:0000042".
+
+std::string MakeUniprotAccession(uint64_t i);
+bool IsUniprotAccession(std::string_view s);
+
+std::string MakePdbAccession(uint64_t i);
+bool IsPdbAccession(std::string_view s);
+
+std::string MakeEmblAccession(uint64_t i);
+bool IsEmblAccession(std::string_view s);
+
+std::string MakeKeggGeneId(uint64_t i, std::string_view organism_code);
+bool IsKeggGeneId(std::string_view s);
+
+std::string MakeEnzymeId(uint64_t i);
+bool IsEnzymeId(std::string_view s);
+
+std::string MakeGlycanId(uint64_t i);
+bool IsGlycanId(std::string_view s);
+
+std::string MakeLigandId(uint64_t i);
+bool IsLigandId(std::string_view s);
+
+std::string MakeCompoundId(uint64_t i);
+bool IsCompoundId(std::string_view s);
+
+std::string MakePathwayId(uint64_t i, std::string_view organism_code);
+bool IsPathwayId(std::string_view s);
+
+std::string MakeGoTermId(uint64_t i);
+bool IsGoTermId(std::string_view s);
+
+std::string MakeInterProId(uint64_t i);
+bool IsInterProId(std::string_view s);
+
+std::string MakePfamId(uint64_t i);
+bool IsPfamId(std::string_view s);
+
+std::string MakeDiseaseId(uint64_t i);
+bool IsDiseaseId(std::string_view s);
+
+/// Returns the name of the Accession sub-concept whose grammar `s` matches
+/// ("UniprotAccession", "KEGGGeneId", ...), or "" if none matches.
+std::string ClassifyAccession(std::string_view s);
+
+}  // namespace dexa
+
+#endif  // DEXA_KB_ACCESSIONS_H_

@@ -1,0 +1,123 @@
+#ifndef DEXA_KB_ENTITIES_H_
+#define DEXA_KB_ENTITIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dexa {
+
+/// Entity structs of the synthetic knowledge base. Every cross-reference
+/// field holds ids that resolve inside the same KnowledgeBase instance, so
+/// retrieval and mapping modules always see an internally consistent
+/// universe (the stand-in for Uniprot/KEGG/PDB/... in the paper's
+/// evaluation).
+
+struct ProteinEntity {
+  std::string accession;       ///< Uniprot accession, primary key.
+  std::string name;            ///< Entry name, e.g. "KIN1_HUMAN".
+  std::string organism;
+  std::string description;
+  std::string sequence;        ///< Amino-acid residues.
+  std::string pdb_accession;   ///< "" if no structure.
+  std::string embl_accession;  ///< Coding nucleotide entry.
+  std::string gene_id;         ///< KEGG gene encoding this protein.
+  std::vector<std::string> go_term_ids;
+  std::vector<std::string> interpro_ids;
+  std::vector<std::string> pfam_ids;
+  std::vector<double> peptide_masses;  ///< Tryptic-digest masses.
+  int family = 0;  ///< Homology family index; same family = homologous.
+};
+
+struct GeneEntity {
+  std::string gene_id;  ///< KEGG gene id, primary key.
+  std::string symbol;
+  std::string organism;
+  std::string organism_code;  ///< "hsa", "mmu", ...
+  std::string definition;
+  std::string protein_accession;  ///< Product.
+  std::string dna_sequence;       ///< Coding sequence.
+  std::vector<std::string> pathway_ids;
+  std::vector<std::string> go_term_ids;
+};
+
+struct PathwayEntity {
+  std::string pathway_id;
+  std::string name;
+  std::string organism;
+  std::vector<std::string> gene_ids;
+  std::vector<std::string> compound_ids;
+};
+
+struct GoTermEntity {
+  std::string go_id;
+  std::string name;
+  std::string nspace;  ///< biological_process / molecular_function / ...
+  std::string definition;
+};
+
+struct EnzymeEntity {
+  std::string ec_number;
+  std::string name;
+  std::string reaction;
+  std::vector<std::string> substrate_ids;
+  std::vector<std::string> product_ids;
+  std::vector<std::string> gene_ids;
+};
+
+struct GlycanEntity {
+  std::string glycan_id;
+  std::string name;
+  std::string composition;
+  double mass = 0.0;
+};
+
+struct LigandEntity {
+  std::string ligand_id;
+  std::string name;
+  std::string formula;
+  double mass = 0.0;
+  std::vector<std::string> target_accessions;
+};
+
+struct CompoundEntity {
+  std::string compound_id;
+  std::string name;
+  std::string formula;
+  double mass = 0.0;
+  std::vector<std::string> pathway_ids;
+};
+
+struct DiseaseEntity {
+  std::string disease_id;
+  std::string name;
+  std::string description;
+  std::vector<std::string> gene_ids;
+};
+
+struct InterProEntity {
+  std::string interpro_id;
+  std::string name;
+  std::string entry_type;
+  std::vector<std::string> member_accessions;
+};
+
+struct PfamEntity {
+  std::string pfam_id;
+  std::string name;
+  std::string clan;
+  std::string description;
+};
+
+/// A synthetic literature abstract; the corpus for text-mining modules.
+struct DocumentEntity {
+  std::string doc_id;  ///< "PMID:1000001"-style.
+  std::string text;
+  std::vector<std::string> mentioned_gene_symbols;
+  std::vector<std::string> mentioned_pathway_ids;
+  std::vector<std::string> mentioned_go_ids;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_KB_ENTITIES_H_

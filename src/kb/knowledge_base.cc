@@ -1,0 +1,644 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "formats/alphabet.h"
+#include "kb/accessions.h"
+
+namespace dexa {
+
+namespace {
+
+struct Organism {
+  const char* name;
+  const char* code;
+};
+
+constexpr Organism kOrganisms[] = {
+    {"Homo sapiens", "hsa"},
+    {"Mus musculus", "mmu"},
+    {"Drosophila melanogaster", "dme"},
+    {"Saccharomyces cerevisiae", "sce"},
+    {"Escherichia coli", "eco"},
+};
+
+// Pathway names are all multi-word: term labels derived from them must be
+// recognizable as free text by the instance classifier.
+constexpr const char* kPathwayNames[] = {
+    "Cell cycle",          "Apoptosis signaling",  "Glycolysis pathway",
+    "Citrate cycle",       "Oxidative phosphorylation",
+    "DNA replication",     "Mismatch repair",      "Base excision repair",
+    "MAPK signaling",      "Wnt signaling",        "Notch signaling",
+    "p53 signaling",       "mTOR signaling",       "Insulin signaling",
+    "Calcium signaling",   "Fatty acid synthesis", "Purine metabolism",
+    "Pyrimidine metabolism", "Amino sugar metabolism", "Proteasome degradation",
+};
+
+constexpr const char* kProcessWords[] = {
+    "regulation", "transport",  "binding",    "biosynthesis", "catabolism",
+    "signaling",  "repair",     "replication", "folding",     "localization",
+    "assembly",   "maturation", "secretion",  "degradation",  "activation",
+};
+
+constexpr const char* kSubstrateWords[] = {
+    "protein",  "DNA",      "RNA",       "lipid",     "glucose",
+    "membrane", "ribosome", "chromatin", "nucleotide", "peptide",
+};
+
+constexpr const char* kGoNamespaces[] = {
+    "biological_process",
+    "molecular_function",
+    "cellular_component",
+};
+
+constexpr const char* kEnzymeSuffixes[] = {
+    "dehydrogenase", "kinase",     "transferase", "hydrolase",
+    "isomerase",     "ligase",     "oxidase",     "reductase",
+    "phosphatase",   "synthetase",
+};
+
+constexpr const char* kDiseaseWords[] = {
+    "carcinoma", "anemia",    "dystrophy", "syndrome",
+    "deficiency", "neuropathy", "lymphoma", "sclerosis",
+};
+
+/// DNA codon (reverse of the standard genetic code) per amino acid, chosen
+/// so that Translate(ConcatCodons(protein)) == protein.
+const char* CodonFor(char residue) {
+  switch (residue) {
+    case 'A': return "GCT";
+    case 'C': return "TGT";
+    case 'D': return "GAT";
+    case 'E': return "GAA";
+    case 'F': return "TTT";
+    case 'G': return "GGT";
+    case 'H': return "CAT";
+    case 'I': return "ATT";
+    case 'K': return "AAA";
+    case 'L': return "CTT";
+    case 'M': return "ATG";
+    case 'N': return "AAT";
+    case 'P': return "CCT";
+    case 'Q': return "CAA";
+    case 'R': return "CGT";
+    case 'S': return "TCT";
+    case 'T': return "ACT";
+    case 'V': return "GTT";
+    case 'W': return "TGG";
+    case 'Y': return "TAT";
+  }
+  return "GCT";
+}
+
+std::string DnaFromProtein(std::string_view protein) {
+  std::string dna = "ATG";  // Start codon (also codes the leading M).
+  for (char residue : protein) dna += CodonFor(residue);
+  dna += "TAA";  // Stop.
+  return dna;
+}
+
+/// "C6H12O6"-style molecular formula.
+std::string MakeFormula(Rng& rng) {
+  return StrFormat("C%dH%dN%dO%d", static_cast<int>(rng.NextInt(2, 30)),
+                   static_cast<int>(rng.NextInt(4, 60)),
+                   static_cast<int>(rng.NextInt(0, 8)),
+                   static_cast<int>(rng.NextInt(1, 12)));
+}
+
+/// Tryptic digest: cleave after K or R; returns average masses of peptides.
+std::vector<double> DigestMasses(std::string_view protein) {
+  std::vector<double> masses;
+  size_t start = 0;
+  for (size_t i = 0; i < protein.size(); ++i) {
+    if (protein[i] == 'K' || protein[i] == 'R') {
+      masses.push_back(ProteinMass(protein.substr(start, i - start + 1)));
+      start = i + 1;
+    }
+  }
+  if (start < protein.size()) {
+    masses.push_back(ProteinMass(protein.substr(start)));
+  }
+  return masses;
+}
+
+std::string MakeSymbol(Rng& rng) {
+  std::string symbol = rng.NextString(3, "ABCDEFGHIKLMNPRSTVWY");
+  symbol += static_cast<char>('0' + rng.NextInt(1, 9));
+  return symbol;
+}
+
+}  // namespace
+
+KnowledgeBase::KnowledgeBase(uint64_t seed,
+                             const KnowledgeBaseOptions& options)
+    : seed_(seed) {
+  BuildGoTerms(options.num_go_terms);
+  BuildCompounds(options.num_compounds);
+  BuildPathways(options.num_pathways);
+  BuildProteinsAndGenes(options.num_proteins, options.num_families);
+  BuildEnzymes(options.num_enzymes);
+  BuildGlycans(options.num_glycans);
+  BuildLigands(options.num_ligands);
+  BuildDiseases(options.num_diseases);
+  BuildInterProAndPfam(options.num_interpro, options.num_pfam);
+  BuildDocuments(options.num_documents);
+  BuildIndexes();
+}
+
+void KnowledgeBase::BuildGoTerms(size_t count) {
+  Rng rng = Rng(seed_).Fork(1);
+  go_terms_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    GoTermEntity term;
+    term.go_id = MakeGoTermId(1000 + i);
+    std::string process = kProcessWords[rng.NextIndex(std::size(kProcessWords))];
+    std::string substrate =
+        kSubstrateWords[rng.NextIndex(std::size(kSubstrateWords))];
+    term.name = substrate + " " + process;
+    term.nspace = kGoNamespaces[i % std::size(kGoNamespaces)];
+    term.definition = "The " + process + " of " + substrate +
+                      " as observed in controlled assays.";
+    go_terms_.push_back(std::move(term));
+  }
+}
+
+void KnowledgeBase::BuildCompounds(size_t count) {
+  Rng rng = Rng(seed_).Fork(2);
+  compounds_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    CompoundEntity compound;
+    compound.compound_id = MakeCompoundId(100 + i);
+    compound.name =
+        std::string(kSubstrateWords[rng.NextIndex(std::size(kSubstrateWords))]) +
+        "-" + std::to_string(100 + i);
+    compound.formula = MakeFormula(rng);
+    // Deterministic spread over [100, 900): downstream mass-threshold
+    // filters see values on both sides of their cut-offs.
+    compound.mass = 100.0 + static_cast<double>((211 * i) % 800);
+    compounds_.push_back(std::move(compound));
+  }
+}
+
+void KnowledgeBase::BuildPathways(size_t count) {
+  pathways_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    PathwayEntity pathway;
+    const Organism& organism = kOrganisms[i % std::size(kOrganisms)];
+    pathway.pathway_id = MakePathwayId(100 + i, organism.code);
+    pathway.name = kPathwayNames[i % std::size(kPathwayNames)];
+    pathway.organism = organism.name;
+    // Compounds participating in the pathway: deterministic round-robin so
+    // every compound belongs to at least one pathway.
+    size_t num_compounds = 2 + i % 3;
+    for (size_t j = 0; j < num_compounds && !compounds_.empty(); ++j) {
+      size_t target = (2 * i + j) % compounds_.size();
+      pathway.compound_ids.push_back(compounds_[target].compound_id);
+      compounds_[target].pathway_ids.push_back(pathway.pathway_id);
+    }
+    pathways_.push_back(std::move(pathway));
+  }
+}
+
+void KnowledgeBase::BuildProteinsAndGenes(size_t count, size_t num_families) {
+  Rng rng = Rng(seed_).Fork(4);
+  if (num_families == 0) num_families = 1;
+
+  // Family consensus sequences; members mutate the consensus, which yields
+  // genuine within-family sequence identity for Similarity(). Lengths are a
+  // deterministic spread over [80, 200) so downstream length-threshold
+  // filters see values on both sides of their cut-offs.
+  std::vector<std::string> consensus;
+  consensus.reserve(num_families);
+  for (size_t f = 0; f < num_families; ++f) {
+    size_t len = 80 + (f * 37) % 120;
+    consensus.push_back(
+        "M" + rng.NextString(len, std::string(AlphabetChars(SeqAlphabet::kProtein))));
+  }
+
+  proteins_.reserve(count);
+  genes_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t family = i % num_families;
+    int rank = static_cast<int>(i / num_families);
+
+    ProteinEntity protein;
+    protein.accession = MakeUniprotAccession(i);
+    protein.family = static_cast<int>(family);
+    const Organism& organism = kOrganisms[i % std::size(kOrganisms)];
+    protein.organism = organism.name;
+
+    std::string symbol = MakeSymbol(rng);
+    protein.name = symbol + "_" + ToUpper(organism.code);
+    protein.description =
+        std::string(kSubstrateWords[rng.NextIndex(std::size(kSubstrateWords))]) +
+        " " + kProcessWords[rng.NextIndex(std::size(kProcessWords))] +
+        " protein " + symbol;
+
+    // Mutate the family consensus: 8*(rank+1) point mutations, so the
+    // identity spread within a family covers a wide range (homology-search
+    // reports then contain both strong and weak hits).
+    std::string seq = consensus[family];
+    for (int m = 0; m < 8 * (rank + 1); ++m) {
+      size_t pos = 1 + rng.NextIndex(seq.size() - 1);
+      std::string_view alphabet = AlphabetChars(SeqAlphabet::kProtein);
+      seq[pos] = alphabet[rng.NextIndex(alphabet.size())];
+    }
+    protein.sequence = seq;
+    protein.peptide_masses = DigestMasses(seq);
+
+    protein.pdb_accession = MakePdbAccession(i);
+    protein.embl_accession = MakeEmblAccession(i);
+    protein.gene_id = MakeKeggGeneId(i, organism.code);
+
+    // Deterministic round-robin cross-links: entity 0 is always referenced,
+    // so canonical pool instances resolve everywhere.
+    size_t num_go = 1 + i % 3;
+    for (size_t j = 0; j < num_go && !go_terms_.empty(); ++j) {
+      protein.go_term_ids.push_back(
+          go_terms_[(i + j * 7) % go_terms_.size()].go_id);
+    }
+    size_t ipr_index = i % 30;
+    protein.interpro_ids.push_back(MakeInterProId(1000 + ipr_index));
+    protein.pfam_ids.push_back(MakePfamId(100 + ipr_index));
+
+    GeneEntity gene;
+    gene.gene_id = protein.gene_id;
+    gene.symbol = symbol;
+    gene.organism = organism.name;
+    gene.organism_code = organism.code;
+    gene.definition = protein.description;
+    gene.protein_accession = protein.accession;
+    gene.dna_sequence = DnaFromProtein(seq.substr(1));  // ATG codes the M.
+    gene.go_term_ids = protein.go_term_ids;
+
+    // Attach the gene to 1-3 pathways, round-robin so pathway 0 is covered.
+    size_t num_pathways = 1 + i % 3;
+    for (size_t j = 0; j < num_pathways && !pathways_.empty(); ++j) {
+      size_t target = (i + j * 11) % pathways_.size();
+      gene.pathway_ids.push_back(pathways_[target].pathway_id);
+      pathways_[target].gene_ids.push_back(gene.gene_id);
+    }
+
+    proteins_.push_back(std::move(protein));
+    genes_.push_back(std::move(gene));
+  }
+}
+
+void KnowledgeBase::BuildEnzymes(size_t count) {
+  Rng rng = Rng(seed_).Fork(5);
+  enzymes_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    EnzymeEntity enzyme;
+    enzyme.ec_number = MakeEnzymeId(i);
+    enzyme.name =
+        std::string(kSubstrateWords[rng.NextIndex(std::size(kSubstrateWords))]) +
+        " " + kEnzymeSuffixes[rng.NextIndex(std::size(kEnzymeSuffixes))];
+    // Deterministic substrate/product/gene links covering the low indexes,
+    // so compound 0 and gene 0 always resolve through enzymes.
+    if (!compounds_.empty()) {
+      enzyme.substrate_ids.push_back(
+          compounds_[(2 * i) % compounds_.size()].compound_id);
+      enzyme.product_ids.push_back(
+          compounds_[(2 * i + 1) % compounds_.size()].compound_id);
+    }
+    enzyme.reaction = Join(enzyme.substrate_ids, " + ") + " <=> " +
+                      Join(enzyme.product_ids, " + ");
+    size_t num_genes = 1 + i % 3;
+    for (size_t j = 0; j < num_genes && !genes_.empty(); ++j) {
+      enzyme.gene_ids.push_back(genes_[(3 * i + j) % genes_.size()].gene_id);
+    }
+    enzymes_.push_back(std::move(enzyme));
+  }
+}
+
+void KnowledgeBase::BuildGlycans(size_t count) {
+  Rng rng = Rng(seed_).Fork(6);
+  glycans_.reserve(count);
+  static constexpr const char* kMonomers[] = {"Glc", "Gal", "Man", "GlcNAc",
+                                              "Fuc", "Xyl"};
+  for (size_t i = 0; i < count; ++i) {
+    GlycanEntity glycan;
+    glycan.glycan_id = MakeGlycanId(100 + i);
+    size_t units = 2 + rng.NextIndex(4);
+    std::vector<std::string> parts;
+    for (size_t j = 0; j < units; ++j) {
+      parts.push_back(StrFormat(
+          "(%s)%d", kMonomers[rng.NextIndex(std::size(kMonomers))],
+          static_cast<int>(1 + rng.NextIndex(3))));
+    }
+    glycan.composition = Join(parts, " ");
+    glycan.name = "glycan " + std::to_string(100 + i);
+    glycan.mass = 300.0 + static_cast<double>((167 * i) % 600);
+    glycans_.push_back(std::move(glycan));
+  }
+}
+
+void KnowledgeBase::BuildLigands(size_t count) {
+  Rng rng = Rng(seed_).Fork(7);
+  ligands_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    LigandEntity ligand;
+    ligand.ligand_id = MakeLigandId(100 + i);
+    ligand.name = "ligand-" + std::to_string(100 + i);
+    ligand.formula = MakeFormula(rng);
+    ligand.mass = 80.0 + rng.NextDouble() * 600.0;
+    size_t num_targets = 1 + i % 3;
+    for (size_t j = 0; j < num_targets && !proteins_.empty(); ++j) {
+      ligand.target_accessions.push_back(
+          proteins_[(2 * i + j) % proteins_.size()].accession);
+    }
+    ligands_.push_back(std::move(ligand));
+  }
+}
+
+void KnowledgeBase::BuildDiseases(size_t count) {
+  Rng rng = Rng(seed_).Fork(8);
+  diseases_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    DiseaseEntity disease;
+    disease.disease_id = MakeDiseaseId(100 + i);
+    std::string kind = kDiseaseWords[rng.NextIndex(std::size(kDiseaseWords))];
+    disease.name = "hereditary " + kind + " type " + std::to_string(1 + i % 9);
+    size_t num_genes = 1 + i % 3;
+    for (size_t j = 0; j < num_genes && !genes_.empty(); ++j) {
+      disease.gene_ids.push_back(genes_[(3 * i + j) % genes_.size()].gene_id);
+    }
+    disease.description =
+        "A " + kind + " associated with variants in " +
+        Join(disease.gene_ids, ", ") + ".";
+    diseases_.push_back(std::move(disease));
+  }
+}
+
+void KnowledgeBase::BuildInterProAndPfam(size_t interpro_count,
+                                         size_t pfam_count) {
+  Rng rng = Rng(seed_).Fork(9);
+  static constexpr const char* kEntryTypes[] = {"Family", "Domain", "Site"};
+  interpro_.reserve(interpro_count);
+  for (size_t i = 0; i < interpro_count; ++i) {
+    InterProEntity entry;
+    entry.interpro_id = MakeInterProId(1000 + i);
+    entry.name =
+        std::string(kSubstrateWords[rng.NextIndex(std::size(kSubstrateWords))]) +
+        " domain " + std::to_string(i);
+    entry.entry_type = kEntryTypes[i % std::size(kEntryTypes)];
+    for (const ProteinEntity& protein : proteins_) {
+      for (const std::string& id : protein.interpro_ids) {
+        if (id == entry.interpro_id) {
+          entry.member_accessions.push_back(protein.accession);
+        }
+      }
+    }
+    interpro_.push_back(std::move(entry));
+  }
+  pfam_.reserve(pfam_count);
+  for (size_t i = 0; i < pfam_count; ++i) {
+    PfamEntity entry;
+    entry.pfam_id = MakePfamId(100 + i);
+    entry.name = "PF-" +
+                 std::string(kProcessWords[rng.NextIndex(std::size(kProcessWords))]);
+    entry.clan = "CL" + ZeroPad(i % 16, 4);
+    entry.description = "Protein family " + std::to_string(i) +
+                        " grouped by shared domain architecture.";
+    pfam_.push_back(std::move(entry));
+  }
+}
+
+void KnowledgeBase::BuildDocuments(size_t count) {
+  Rng rng = Rng(seed_).Fork(10);
+  documents_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    DocumentEntity doc;
+    doc.doc_id = "PMID:" + std::to_string(1000001 + i);
+    size_t num_genes = 1 + rng.NextIndex(3);
+    std::string text;
+    for (size_t j = 0; j < num_genes && !genes_.empty(); ++j) {
+      const GeneEntity& gene = genes_[rng.NextIndex(genes_.size())];
+      doc.mentioned_gene_symbols.push_back(gene.symbol);
+      text += "Expression of " + gene.symbol + " was measured in " +
+              gene.organism + " samples. ";
+      if (!gene.pathway_ids.empty()) {
+        const std::string& pathway_id = gene.pathway_ids[0];
+        doc.mentioned_pathway_ids.push_back(pathway_id);
+        text += "The product participates in pathway " + pathway_id + ". ";
+      }
+      if (!gene.go_term_ids.empty()) {
+        doc.mentioned_go_ids.push_back(gene.go_term_ids[0]);
+        text += "Annotated with " + gene.go_term_ids[0] + ". ";
+      }
+    }
+    text += "These observations suggest a role in " +
+            std::string(kProcessWords[rng.NextIndex(std::size(kProcessWords))]) +
+            ".";
+    doc.text = std::move(text);
+    documents_.push_back(std::move(doc));
+  }
+}
+
+void KnowledgeBase::BuildIndexes() {
+  for (size_t i = 0; i < proteins_.size(); ++i) {
+    protein_by_accession_[proteins_[i].accession] = i;
+    if (!proteins_[i].pdb_accession.empty()) {
+      protein_by_pdb_[proteins_[i].pdb_accession] = i;
+    }
+    protein_by_embl_[proteins_[i].embl_accession] = i;
+  }
+  for (size_t i = 0; i < genes_.size(); ++i) gene_by_id_[genes_[i].gene_id] = i;
+  for (size_t i = 0; i < pathways_.size(); ++i) {
+    pathway_by_id_[pathways_[i].pathway_id] = i;
+  }
+  for (size_t i = 0; i < go_terms_.size(); ++i) go_by_id_[go_terms_[i].go_id] = i;
+  for (size_t i = 0; i < enzymes_.size(); ++i) {
+    enzyme_by_id_[enzymes_[i].ec_number] = i;
+  }
+  for (size_t i = 0; i < glycans_.size(); ++i) {
+    glycan_by_id_[glycans_[i].glycan_id] = i;
+  }
+  for (size_t i = 0; i < ligands_.size(); ++i) {
+    ligand_by_id_[ligands_[i].ligand_id] = i;
+  }
+  for (size_t i = 0; i < compounds_.size(); ++i) {
+    compound_by_id_[compounds_[i].compound_id] = i;
+  }
+  for (size_t i = 0; i < diseases_.size(); ++i) {
+    disease_by_id_[diseases_[i].disease_id] = i;
+  }
+  for (size_t i = 0; i < interpro_.size(); ++i) {
+    interpro_by_id_[interpro_[i].interpro_id] = i;
+  }
+  for (size_t i = 0; i < pfam_.size(); ++i) pfam_by_id_[pfam_[i].pfam_id] = i;
+  for (size_t i = 0; i < documents_.size(); ++i) {
+    document_by_id_[documents_[i].doc_id] = i;
+  }
+}
+
+namespace {
+template <typename Entity>
+Result<const Entity*> Lookup(
+    const std::unordered_map<std::string, size_t>& index,
+    const std::vector<Entity>& entities, std::string_view id,
+    const char* what) {
+  auto it = index.find(std::string(id));
+  if (it == index.end()) {
+    return Status::NotFound(std::string(what) + " '" + std::string(id) +
+                            "' not found");
+  }
+  return &entities[it->second];
+}
+}  // namespace
+
+Result<const ProteinEntity*> KnowledgeBase::FindProtein(
+    std::string_view accession) const {
+  return Lookup(protein_by_accession_, proteins_, accession, "protein");
+}
+
+Result<const ProteinEntity*> KnowledgeBase::FindProteinByPdb(
+    std::string_view pdb) const {
+  return Lookup(protein_by_pdb_, proteins_, pdb, "PDB entry");
+}
+
+Result<const ProteinEntity*> KnowledgeBase::FindProteinByEmbl(
+    std::string_view embl) const {
+  return Lookup(protein_by_embl_, proteins_, embl, "EMBL entry");
+}
+
+Result<const GeneEntity*> KnowledgeBase::FindGene(
+    std::string_view gene_id) const {
+  return Lookup(gene_by_id_, genes_, gene_id, "gene");
+}
+
+Result<const PathwayEntity*> KnowledgeBase::FindPathway(
+    std::string_view pathway_id) const {
+  return Lookup(pathway_by_id_, pathways_, pathway_id, "pathway");
+}
+
+Result<const GoTermEntity*> KnowledgeBase::FindGoTerm(
+    std::string_view go_id) const {
+  return Lookup(go_by_id_, go_terms_, go_id, "GO term");
+}
+
+Result<const EnzymeEntity*> KnowledgeBase::FindEnzyme(
+    std::string_view ec_number) const {
+  return Lookup(enzyme_by_id_, enzymes_, ec_number, "enzyme");
+}
+
+Result<const GlycanEntity*> KnowledgeBase::FindGlycan(
+    std::string_view glycan_id) const {
+  return Lookup(glycan_by_id_, glycans_, glycan_id, "glycan");
+}
+
+Result<const LigandEntity*> KnowledgeBase::FindLigand(
+    std::string_view ligand_id) const {
+  return Lookup(ligand_by_id_, ligands_, ligand_id, "ligand");
+}
+
+Result<const CompoundEntity*> KnowledgeBase::FindCompound(
+    std::string_view compound_id) const {
+  return Lookup(compound_by_id_, compounds_, compound_id, "compound");
+}
+
+Result<const DiseaseEntity*> KnowledgeBase::FindDisease(
+    std::string_view disease_id) const {
+  return Lookup(disease_by_id_, diseases_, disease_id, "disease");
+}
+
+Result<const InterProEntity*> KnowledgeBase::FindInterPro(
+    std::string_view interpro_id) const {
+  return Lookup(interpro_by_id_, interpro_, interpro_id, "InterPro entry");
+}
+
+Result<const PfamEntity*> KnowledgeBase::FindPfam(
+    std::string_view pfam_id) const {
+  return Lookup(pfam_by_id_, pfam_, pfam_id, "Pfam entry");
+}
+
+Result<const DocumentEntity*> KnowledgeBase::FindDocument(
+    std::string_view doc_id) const {
+  return Lookup(document_by_id_, documents_, doc_id, "document");
+}
+
+Result<std::vector<const ProteinEntity*>> KnowledgeBase::Homologs(
+    std::string_view accession) const {
+  auto protein = FindProtein(accession);
+  if (!protein.ok()) return protein.status();
+  std::vector<const ProteinEntity*> out;
+  for (const ProteinEntity& candidate : proteins_) {
+    if (candidate.family == (*protein)->family &&
+        candidate.accession != (*protein)->accession) {
+      out.push_back(&candidate);
+    }
+  }
+  const ProteinEntity* query = *protein;
+  std::sort(out.begin(), out.end(),
+            [&](const ProteinEntity* a, const ProteinEntity* b) {
+              double sa = Similarity(*query, *a);
+              double sb = Similarity(*query, *b);
+              if (sa != sb) return sa > sb;
+              return a->accession < b->accession;
+            });
+  return out;
+}
+
+double KnowledgeBase::Similarity(const ProteinEntity& a,
+                                 const ProteinEntity& b) const {
+  if (a.accession == b.accession) return 1.0;
+  if (a.family != b.family) return 0.0;
+  // Same family implies same consensus, hence equal sequence lengths;
+  // compute actual residue identity.
+  const std::string& sa = a.sequence;
+  const std::string& sb = b.sequence;
+  size_t len = std::min(sa.size(), sb.size());
+  if (len == 0) return 0.0;
+  size_t same = 0;
+  for (size_t i = 0; i < len; ++i) {
+    if (sa[i] == sb[i]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(len);
+}
+
+Result<KnowledgeBase::PeptideMatch> KnowledgeBase::IdentifyByPeptideMasses(
+    const std::vector<double>& peptide_masses,
+    double tolerance_percent) const {
+  if (peptide_masses.empty()) {
+    return Status::InvalidArgument("peptide mass list is empty");
+  }
+  const ProteinEntity* best = nullptr;
+  double best_score = 0.0;
+  for (const ProteinEntity& protein : proteins_) {
+    size_t matched = 0;
+    for (double query_mass : peptide_masses) {
+      for (double reference_mass : protein.peptide_masses) {
+        double tolerance = reference_mass * tolerance_percent / 100.0;
+        if (std::abs(query_mass - reference_mass) <= tolerance) {
+          ++matched;
+          break;
+        }
+      }
+    }
+    double score =
+        static_cast<double>(matched) / static_cast<double>(peptide_masses.size());
+    if (score > best_score ||
+        (score == best_score && best != nullptr && score > 0.0 &&
+         protein.accession < best->accession)) {
+      best = &protein;
+      best_score = score;
+    }
+  }
+  if (best == nullptr || best_score == 0.0) {
+    return Status::NotFound("no protein matches the peptide masses");
+  }
+  return PeptideMatch{best, best_score};
+}
+
+std::vector<std::string> KnowledgeBase::AllGeneSymbols() const {
+  std::vector<std::string> out;
+  out.reserve(genes_.size());
+  for (const GeneEntity& gene : genes_) out.push_back(gene.symbol);
+  return out;
+}
+
+}  // namespace dexa

@@ -1,0 +1,153 @@
+#ifndef DEXA_KB_KNOWLEDGE_BASE_H_
+#define DEXA_KB_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "kb/entities.h"
+
+namespace dexa {
+
+/// Sizing knobs for a synthetic knowledge base.
+struct KnowledgeBaseOptions {
+  size_t num_proteins = 240;
+  size_t num_pathways = 40;
+  size_t num_go_terms = 90;
+  size_t num_enzymes = 36;
+  size_t num_glycans = 30;
+  size_t num_ligands = 30;
+  size_t num_compounds = 72;
+  size_t num_diseases = 24;
+  size_t num_interpro = 30;
+  size_t num_pfam = 30;
+  size_t num_documents = 60;
+  /// Homology families the proteins fall into. Kept coprime with the
+  /// 5-organism cycle so every family spans several organisms (orthologs
+  /// then live in different organisms, as in real corpora).
+  size_t num_families = 29;
+};
+
+/// The deterministic synthetic universe standing in for the remote
+/// life-science databases the paper's modules query (Uniprot, KEGG, PDB,
+/// EMBL, GO, ...). Construction from a seed builds every entity and every
+/// cross-link; all lookups afterwards are read-only and hash-indexed.
+///
+/// Guarantees:
+///  * Each gene has exactly one protein product and vice versa.
+///  * Cross-references resolve: pathway.gene_ids, enzyme.gene_ids,
+///    ligand.target_accessions, disease.gene_ids, ... all exist.
+///  * Proteins are grouped into homology families; `Homologs()` and
+///    `Similarity()` expose family structure for alignment-style modules.
+///  * Every entity id follows its namespace grammar (see kb/accessions.h).
+class KnowledgeBase {
+ public:
+  explicit KnowledgeBase(uint64_t seed,
+                         const KnowledgeBaseOptions& options = {});
+
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  const std::vector<ProteinEntity>& proteins() const { return proteins_; }
+  const std::vector<GeneEntity>& genes() const { return genes_; }
+  const std::vector<PathwayEntity>& pathways() const { return pathways_; }
+  const std::vector<GoTermEntity>& go_terms() const { return go_terms_; }
+  const std::vector<EnzymeEntity>& enzymes() const { return enzymes_; }
+  const std::vector<GlycanEntity>& glycans() const { return glycans_; }
+  const std::vector<LigandEntity>& ligands() const { return ligands_; }
+  const std::vector<CompoundEntity>& compounds() const { return compounds_; }
+  const std::vector<DiseaseEntity>& diseases() const { return diseases_; }
+  const std::vector<InterProEntity>& interpro() const { return interpro_; }
+  const std::vector<PfamEntity>& pfam() const { return pfam_; }
+  const std::vector<DocumentEntity>& documents() const { return documents_; }
+
+  /// Keyed lookups; NotFound if the id does not resolve.
+  Result<const ProteinEntity*> FindProtein(std::string_view accession) const;
+  Result<const ProteinEntity*> FindProteinByPdb(std::string_view pdb) const;
+  Result<const ProteinEntity*> FindProteinByEmbl(std::string_view embl) const;
+  Result<const GeneEntity*> FindGene(std::string_view gene_id) const;
+  Result<const PathwayEntity*> FindPathway(std::string_view pathway_id) const;
+  Result<const GoTermEntity*> FindGoTerm(std::string_view go_id) const;
+  Result<const EnzymeEntity*> FindEnzyme(std::string_view ec_number) const;
+  Result<const GlycanEntity*> FindGlycan(std::string_view glycan_id) const;
+  Result<const LigandEntity*> FindLigand(std::string_view ligand_id) const;
+  Result<const CompoundEntity*> FindCompound(
+      std::string_view compound_id) const;
+  Result<const DiseaseEntity*> FindDisease(std::string_view disease_id) const;
+  Result<const InterProEntity*> FindInterPro(
+      std::string_view interpro_id) const;
+  Result<const PfamEntity*> FindPfam(std::string_view pfam_id) const;
+  Result<const DocumentEntity*> FindDocument(std::string_view doc_id) const;
+
+  /// Proteins in the same homology family as `accession`, excluding itself,
+  /// ordered by decreasing similarity. NotFound if the accession is unknown.
+  Result<std::vector<const ProteinEntity*>> Homologs(
+      std::string_view accession) const;
+
+  /// Similarity in [0,1]: 1 for identical accessions, high within a family
+  /// (decaying with index distance), 0 across families.
+  double Similarity(const ProteinEntity& a, const ProteinEntity& b) const;
+
+  /// The protein whose tryptic-digest masses best match `peptide_masses`
+  /// within `tolerance_percent`, together with the match score; NotFound if
+  /// nothing matches at all.
+  struct PeptideMatch {
+    const ProteinEntity* protein;
+    double score;
+  };
+  Result<PeptideMatch> IdentifyByPeptideMasses(
+      const std::vector<double>& peptide_masses,
+      double tolerance_percent) const;
+
+  /// Gene symbols known to the KB, for text-mining dictionaries.
+  std::vector<std::string> AllGeneSymbols() const;
+
+ private:
+  void BuildGoTerms(size_t count);
+  void BuildCompounds(size_t count);
+  void BuildPathways(size_t count);
+  void BuildProteinsAndGenes(size_t count, size_t num_families);
+  void BuildEnzymes(size_t count);
+  void BuildGlycans(size_t count);
+  void BuildLigands(size_t count);
+  void BuildDiseases(size_t count);
+  void BuildInterProAndPfam(size_t interpro_count, size_t pfam_count);
+  void BuildDocuments(size_t count);
+  void BuildIndexes();
+
+  uint64_t seed_;
+  std::vector<ProteinEntity> proteins_;
+  std::vector<GeneEntity> genes_;
+  std::vector<PathwayEntity> pathways_;
+  std::vector<GoTermEntity> go_terms_;
+  std::vector<EnzymeEntity> enzymes_;
+  std::vector<GlycanEntity> glycans_;
+  std::vector<LigandEntity> ligands_;
+  std::vector<CompoundEntity> compounds_;
+  std::vector<DiseaseEntity> diseases_;
+  std::vector<InterProEntity> interpro_;
+  std::vector<PfamEntity> pfam_;
+  std::vector<DocumentEntity> documents_;
+
+  std::unordered_map<std::string, size_t> protein_by_accession_;
+  std::unordered_map<std::string, size_t> protein_by_pdb_;
+  std::unordered_map<std::string, size_t> protein_by_embl_;
+  std::unordered_map<std::string, size_t> gene_by_id_;
+  std::unordered_map<std::string, size_t> pathway_by_id_;
+  std::unordered_map<std::string, size_t> go_by_id_;
+  std::unordered_map<std::string, size_t> enzyme_by_id_;
+  std::unordered_map<std::string, size_t> glycan_by_id_;
+  std::unordered_map<std::string, size_t> ligand_by_id_;
+  std::unordered_map<std::string, size_t> compound_by_id_;
+  std::unordered_map<std::string, size_t> disease_by_id_;
+  std::unordered_map<std::string, size_t> interpro_by_id_;
+  std::unordered_map<std::string, size_t> pfam_by_id_;
+  std::unordered_map<std::string, size_t> document_by_id_;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_KB_KNOWLEDGE_BASE_H_

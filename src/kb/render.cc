@@ -1,0 +1,124 @@
+#include "kb/render.h"
+
+namespace dexa {
+
+SequenceData SequenceDataFromProtein(const ProteinEntity& protein) {
+  SequenceData data;
+  data.accession = protein.accession;
+  data.name = protein.name;
+  data.organism = protein.organism;
+  data.description = protein.description;
+  data.sequence = protein.sequence;
+  data.alphabet = SeqAlphabet::kProtein;
+  return data;
+}
+
+SequenceData SequenceDataFromGene(const GeneEntity& gene) {
+  SequenceData data;
+  data.accession = gene.gene_id;
+  data.name = gene.symbol;
+  data.organism = gene.organism;
+  data.description = gene.definition;
+  data.sequence = gene.dna_sequence;
+  data.alphabet = SeqAlphabet::kDna;
+  return data;
+}
+
+GeneRecordData GeneRecordFrom(const GeneEntity& gene) {
+  GeneRecordData data;
+  data.gene_id = gene.gene_id;
+  data.symbol = gene.symbol;
+  data.organism = gene.organism;
+  data.definition = gene.definition;
+  data.pathway_ids = gene.pathway_ids;
+  data.go_term_ids = gene.go_term_ids;
+  return data;
+}
+
+EnzymeRecordData EnzymeRecordFrom(const EnzymeEntity& enzyme) {
+  EnzymeRecordData data;
+  data.ec_number = enzyme.ec_number;
+  data.name = enzyme.name;
+  data.reaction = enzyme.reaction;
+  data.substrate_ids = enzyme.substrate_ids;
+  data.product_ids = enzyme.product_ids;
+  data.gene_ids = enzyme.gene_ids;
+  return data;
+}
+
+GlycanRecordData GlycanRecordFrom(const GlycanEntity& glycan) {
+  GlycanRecordData data;
+  data.glycan_id = glycan.glycan_id;
+  data.name = glycan.name;
+  data.composition = glycan.composition;
+  data.mass = glycan.mass;
+  return data;
+}
+
+LigandRecordData LigandRecordFrom(const LigandEntity& ligand) {
+  LigandRecordData data;
+  data.ligand_id = ligand.ligand_id;
+  data.name = ligand.name;
+  data.formula = ligand.formula;
+  data.mass = ligand.mass;
+  data.target_accessions = ligand.target_accessions;
+  return data;
+}
+
+CompoundRecordData CompoundRecordFrom(const CompoundEntity& compound) {
+  CompoundRecordData data;
+  data.compound_id = compound.compound_id;
+  data.name = compound.name;
+  data.formula = compound.formula;
+  data.mass = compound.mass;
+  data.pathway_ids = compound.pathway_ids;
+  return data;
+}
+
+PathwayRecordData PathwayRecordFrom(const PathwayEntity& pathway) {
+  PathwayRecordData data;
+  data.pathway_id = pathway.pathway_id;
+  data.name = pathway.name;
+  data.organism = pathway.organism;
+  data.gene_ids = pathway.gene_ids;
+  data.compound_ids = pathway.compound_ids;
+  return data;
+}
+
+GoTermData GoTermFrom(const GoTermEntity& term) {
+  GoTermData data;
+  data.go_id = term.go_id;
+  data.name = term.name;
+  data.nspace = term.nspace;
+  data.definition = term.definition;
+  return data;
+}
+
+InterProRecordData InterProRecordFrom(const InterProEntity& entry) {
+  InterProRecordData data;
+  data.interpro_id = entry.interpro_id;
+  data.name = entry.name;
+  data.entry_type = entry.entry_type;
+  data.member_accessions = entry.member_accessions;
+  return data;
+}
+
+PfamRecordData PfamRecordFrom(const PfamEntity& entry) {
+  PfamRecordData data;
+  data.pfam_id = entry.pfam_id;
+  data.name = entry.name;
+  data.clan = entry.clan;
+  data.description = entry.description;
+  return data;
+}
+
+DiseaseRecordData DiseaseRecordFrom(const DiseaseEntity& disease) {
+  DiseaseRecordData data;
+  data.disease_id = disease.disease_id;
+  data.name = disease.name;
+  data.description = disease.description;
+  data.gene_ids = disease.gene_ids;
+  return data;
+}
+
+}  // namespace dexa

@@ -1,0 +1,35 @@
+#ifndef DEXA_KB_RENDER_H_
+#define DEXA_KB_RENDER_H_
+
+#include <string>
+
+#include "formats/entity_records.h"
+#include "formats/sequence_record.h"
+#include "kb/entities.h"
+
+namespace dexa {
+
+/// Bridges between KB entities and the flat-file format structs. Retrieval
+/// modules use these to serve database records; format-transformation
+/// modules use the SequenceData forms as their canonical exchange model.
+
+/// Protein entity -> sequence record content (protein alphabet).
+SequenceData SequenceDataFromProtein(const ProteinEntity& protein);
+
+/// Gene entity -> sequence record content (DNA alphabet, coding sequence).
+SequenceData SequenceDataFromGene(const GeneEntity& gene);
+
+GeneRecordData GeneRecordFrom(const GeneEntity& gene);
+EnzymeRecordData EnzymeRecordFrom(const EnzymeEntity& enzyme);
+GlycanRecordData GlycanRecordFrom(const GlycanEntity& glycan);
+LigandRecordData LigandRecordFrom(const LigandEntity& ligand);
+CompoundRecordData CompoundRecordFrom(const CompoundEntity& compound);
+PathwayRecordData PathwayRecordFrom(const PathwayEntity& pathway);
+GoTermData GoTermFrom(const GoTermEntity& term);
+InterProRecordData InterProRecordFrom(const InterProEntity& entry);
+PfamRecordData PfamRecordFrom(const PfamEntity& entry);
+DiseaseRecordData DiseaseRecordFrom(const DiseaseEntity& disease);
+
+}  // namespace dexa
+
+#endif  // DEXA_KB_RENDER_H_

@@ -1,0 +1,19 @@
+#include "modules/data_example.h"
+
+namespace dexa {
+
+std::string RenderDataExample(const DataExample& example) {
+  std::string out = "Input:";
+  for (const Value& v : example.inputs) {
+    out += " ";
+    out += v.ToString();
+  }
+  out += " -> Output:";
+  for (const Value& v : example.outputs) {
+    out += " ";
+    out += v.ToString();
+  }
+  return out;
+}
+
+}  // namespace dexa

@@ -1,0 +1,49 @@
+#ifndef DEXA_MODULES_DATA_EXAMPLE_H_
+#define DEXA_MODULES_DATA_EXAMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "types/value.h"
+
+namespace dexa {
+
+/// A data example `δ = <I, O>` (Section 2): concrete input values consumed
+/// by a module together with the output values its invocation produced.
+/// Values are positional with respect to the module's input/output
+/// parameter lists.
+struct DataExample {
+  std::vector<Value> inputs;
+  std::vector<Value> outputs;
+
+  /// The ontology partition each input value was drawn from, one entry per
+  /// input parameter (kInvalidConcept for values of unknown provenance,
+  /// e.g. examples recovered from provenance traces). Bookkeeping added by
+  /// the generator; not part of the paper's δ but needed to compute
+  /// coverage and to align examples across modules when matching.
+  std::vector<ConceptId> input_partitions;
+
+  bool operator==(const DataExample& other) const {
+    if (inputs.size() != other.inputs.size()) return false;
+    if (outputs.size() != other.outputs.size()) return false;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (!inputs[i].Equals(other.inputs[i])) return false;
+    }
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (!outputs[i].Equals(other.outputs[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// The set of data examples describing one module: `∆(m)` in the paper.
+using DataExampleSet = std::vector<DataExample>;
+
+/// Human-readable rendering used by examples and the user study ("Input:
+/// ... -> Output: ...").
+std::string RenderDataExample(const DataExample& example);
+
+}  // namespace dexa
+
+#endif  // DEXA_MODULES_DATA_EXAMPLE_H_

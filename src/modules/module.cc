@@ -1,0 +1,61 @@
+#include "modules/module.h"
+
+namespace dexa {
+
+const char* ModuleKindName(ModuleKind kind) {
+  switch (kind) {
+    case ModuleKind::kFormatTransformation:
+      return "Format transformation";
+    case ModuleKind::kDataRetrieval:
+      return "Data retrieval";
+    case ModuleKind::kMappingIdentifiers:
+      return "Mapping identifiers";
+    case ModuleKind::kFiltering:
+      return "Filtering";
+    case ModuleKind::kDataAnalysis:
+      return "Data analysis";
+  }
+  return "Unknown";
+}
+
+Result<std::vector<Value>> Module::Invoke(
+    const std::vector<Value>& inputs) const {
+  if (!available_) {
+    return Status::Unavailable("module '" + spec_.name +
+                               "' has been withdrawn by its provider");
+  }
+  if (inputs.size() != spec_.inputs.size()) {
+    return Status::InvalidArgument(
+        "module '" + spec_.name + "' expects " +
+        std::to_string(spec_.inputs.size()) + " inputs, got " +
+        std::to_string(inputs.size()));
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Parameter& param = spec_.inputs[i];
+    if (inputs[i].is_null()) {
+      if (!param.optional) {
+        return Status::InvalidArgument("required input '" + param.name +
+                                       "' of module '" + spec_.name +
+                                       "' is null");
+      }
+      continue;
+    }
+    if (!inputs[i].MatchesType(param.structural_type)) {
+      return Status::InvalidArgument(
+          "input '" + param.name + "' of module '" + spec_.name +
+          "' does not match structural type " +
+          param.structural_type.ToString());
+    }
+  }
+  auto outputs = InvokeImpl(inputs);
+  if (!outputs.ok()) return outputs;
+  if (outputs->size() != spec_.outputs.size()) {
+    return Status::Internal("module '" + spec_.name + "' produced " +
+                            std::to_string(outputs->size()) +
+                            " outputs, expected " +
+                            std::to_string(spec_.outputs.size()));
+  }
+  return outputs;
+}
+
+}  // namespace dexa

@@ -1,0 +1,109 @@
+#ifndef DEXA_MODULES_MODULE_H_
+#define DEXA_MODULES_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+#include "types/structural_type.h"
+#include "types/value.h"
+
+namespace dexa {
+
+/// The five kinds of data manipulation the paper's Table 3 classifies
+/// scientific modules into (Section 5).
+enum class ModuleKind {
+  kFormatTransformation,
+  kDataRetrieval,
+  kMappingIdentifiers,
+  kFiltering,
+  kDataAnalysis,
+};
+
+const char* ModuleKindName(ModuleKind kind);
+
+/// A module parameter: structural type `str(i)` plus semantic annotation
+/// `sem(i)` — a concept of the domain ontology (Section 2).
+struct Parameter {
+  std::string name;
+  StructuralType structural_type = StructuralType::String();
+  ConceptId semantic_type = kInvalidConcept;
+  bool optional = false;  ///< Optional inputs may be fed null values.
+};
+
+/// Static description of a module: `m = <id, name>` plus its ordered input
+/// and output parameter sets (Section 2). This is everything the
+/// data-example generator is allowed to see besides Invoke().
+struct ModuleSpec {
+  std::string id;
+  std::string name;
+  ModuleKind kind = ModuleKind::kDataAnalysis;
+  std::vector<Parameter> inputs;
+  std::vector<Parameter> outputs;
+  /// How widely known the module is (0 = obscure, 1 = famous). Drives the
+  /// phase-1 (no data examples) recognition of the simulated user study;
+  /// mirrors the paper's observation that users recognized popular services
+  /// by name alone.
+  double popularity = 0.0;
+};
+
+/// Ground-truth behavior classes of a module, derived in the paper from
+/// module documentation with help from a domain expert. Only the metric
+/// evaluator may consult this; the generator and matcher treat modules as
+/// black boxes.
+class BehaviorGroundTruth {
+ public:
+  virtual ~BehaviorGroundTruth() = default;
+
+  /// Total number of behavior classes (`#classes(m)` in Section 4.2).
+  virtual int num_classes() const = 0;
+
+  /// The behavior class exercised by `inputs` (0-based). `inputs` must be a
+  /// combination that the module accepts.
+  virtual int ClassOf(const std::vector<Value>& inputs) const = 0;
+};
+
+/// A black-box scientific module. Invoke() either terminates normally and
+/// yields one value per output parameter, or fails:
+///  * InvalidArgument — the input combination is not valid for the module
+///    (Section 3.2: such combinations yield no data example);
+///  * Unavailable — the provider retired the module ("module volatility",
+///    Section 6); retired modules keep their spec but cannot be invoked.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  const ModuleSpec& spec() const { return spec_; }
+
+  bool available() const { return available_; }
+
+  /// Marks the module as withdrawn by its provider.
+  void Retire() { available_ = false; }
+
+  /// Runs the module on `inputs` (one value per input parameter, nulls for
+  /// absent optional inputs).
+  Result<std::vector<Value>> Invoke(const std::vector<Value>& inputs) const;
+
+  /// Ground truth for evaluation; nullptr when unknown.
+  virtual const BehaviorGroundTruth* ground_truth() const { return nullptr; }
+
+ protected:
+  explicit Module(ModuleSpec spec) : spec_(std::move(spec)) {}
+
+  /// Behavior implementation; called only when the module is available and
+  /// `inputs` has the right arity and structural types.
+  virtual Result<std::vector<Value>> InvokeImpl(
+      const std::vector<Value>& inputs) const = 0;
+
+ private:
+  ModuleSpec spec_;
+  bool available_ = true;
+};
+
+using ModulePtr = std::shared_ptr<Module>;
+
+}  // namespace dexa
+
+#endif  // DEXA_MODULES_MODULE_H_

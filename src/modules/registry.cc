@@ -1,0 +1,86 @@
+#include "modules/registry.h"
+
+namespace dexa {
+
+Status ModuleRegistry::Register(ModulePtr module) {
+  if (module == nullptr) {
+    return Status::InvalidArgument("cannot register a null module");
+  }
+  const std::string& id = module->spec().id;
+  const std::string& name = module->spec().name;
+  if (by_id_.count(id) > 0) {
+    return Status::AlreadyExists("module id '" + id + "' already registered");
+  }
+  if (name_to_id_.count(name) > 0) {
+    return Status::AlreadyExists("module name '" + name +
+                                 "' already registered");
+  }
+  by_id_.emplace(id, module);
+  name_to_id_.emplace(name, id);
+  order_.push_back(id);
+  return Status::OK();
+}
+
+Result<ModulePtr> ModuleRegistry::Find(const std::string& id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("module id '" + id + "' not registered");
+  }
+  return it->second;
+}
+
+Result<ModulePtr> ModuleRegistry::FindByName(const std::string& name) const {
+  auto it = name_to_id_.find(name);
+  if (it == name_to_id_.end()) {
+    return Status::NotFound("module name '" + name + "' not registered");
+  }
+  return by_id_.at(it->second);
+}
+
+std::vector<ModulePtr> ModuleRegistry::AllModules() const {
+  std::vector<ModulePtr> out;
+  out.reserve(order_.size());
+  for (const std::string& id : order_) out.push_back(by_id_.at(id));
+  return out;
+}
+
+std::vector<ModulePtr> ModuleRegistry::AvailableModules() const {
+  std::vector<ModulePtr> out;
+  for (const std::string& id : order_) {
+    ModulePtr module = by_id_.at(id);
+    if (module->available()) out.push_back(module);
+  }
+  return out;
+}
+
+std::vector<ModulePtr> ModuleRegistry::RetiredModules() const {
+  std::vector<ModulePtr> out;
+  for (const std::string& id : order_) {
+    ModulePtr module = by_id_.at(id);
+    if (!module->available()) out.push_back(module);
+  }
+  return out;
+}
+
+Status ModuleRegistry::SetDataExamples(const std::string& id,
+                                       DataExampleSet examples) {
+  if (by_id_.count(id) == 0) {
+    return Status::NotFound("module id '" + id + "' not registered");
+  }
+  examples_[id] = std::move(examples);
+  return Status::OK();
+}
+
+const DataExampleSet& ModuleRegistry::DataExamplesOf(
+    const std::string& id) const {
+  static const DataExampleSet* empty = new DataExampleSet();
+  auto it = examples_.find(id);
+  return it == examples_.end() ? *empty : it->second;
+}
+
+bool ModuleRegistry::HasDataExamples(const std::string& id) const {
+  auto it = examples_.find(id);
+  return it != examples_.end() && !it->second.empty();
+}
+
+}  // namespace dexa

@@ -1,0 +1,65 @@
+#ifndef DEXA_MODULES_REGISTRY_H_
+#define DEXA_MODULES_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "modules/data_example.h"
+#include "modules/module.h"
+
+namespace dexa {
+
+/// The scientific module registry of the paper's architecture (Figure 3):
+/// stores modules with their parameter annotations (in the ModuleSpec) and,
+/// once generated, the data examples `∆(m)` that annotate each module's
+/// behavior. Experiment designers query it to explore, understand and
+/// compare modules.
+class ModuleRegistry {
+ public:
+  ModuleRegistry() = default;
+
+  ModuleRegistry(const ModuleRegistry&) = delete;
+  ModuleRegistry& operator=(const ModuleRegistry&) = delete;
+
+  /// Registers a module; fails with AlreadyExists on duplicate id.
+  Status Register(ModulePtr module);
+
+  size_t size() const { return order_.size(); }
+
+  /// Lookup by module id; NotFound if absent.
+  Result<ModulePtr> Find(const std::string& id) const;
+
+  /// Lookup by module name (names are unique in dexa corpora).
+  Result<ModulePtr> FindByName(const std::string& name) const;
+
+  /// All modules in registration order.
+  std::vector<ModulePtr> AllModules() const;
+
+  /// Only modules whose provider still supplies them.
+  std::vector<ModulePtr> AvailableModules() const;
+
+  /// Only withdrawn modules.
+  std::vector<ModulePtr> RetiredModules() const;
+
+  /// Attaches the generated data examples for module `id`; overwrites any
+  /// previous annotation. NotFound if the module is not registered.
+  Status SetDataExamples(const std::string& id, DataExampleSet examples);
+
+  /// The data examples annotating module `id`; empty set if none recorded.
+  const DataExampleSet& DataExamplesOf(const std::string& id) const;
+
+  /// True if `id` has a (non-empty) data-example annotation.
+  bool HasDataExamples(const std::string& id) const;
+
+ private:
+  std::unordered_map<std::string, ModulePtr> by_id_;
+  std::unordered_map<std::string, std::string> name_to_id_;
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, DataExampleSet> examples_;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_MODULES_REGISTRY_H_

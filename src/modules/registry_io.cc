@@ -1,0 +1,116 @@
+#include "modules/registry_io.h"
+
+#include "common/strings.h"
+
+namespace dexa {
+
+namespace {
+constexpr const char* kHeader = "# dexa annotations v1";
+}  // namespace
+
+std::string SaveAnnotations(const ModuleRegistry& registry,
+                            const Ontology& ontology) {
+  std::string out = std::string(kHeader) + "\n";
+  for (const ModulePtr& module : registry.AllModules()) {
+    const std::string& id = module->spec().id;
+    const DataExampleSet& examples = registry.DataExamplesOf(id);
+    if (examples.empty()) continue;
+    out += "module " + id + " " + module->spec().name + "\n";
+    for (const DataExample& example : examples) {
+      out += "example\n";
+      for (size_t i = 0; i < example.inputs.size(); ++i) {
+        ConceptId partition = i < example.input_partitions.size()
+                                  ? example.input_partitions[i]
+                                  : kInvalidConcept;
+        out += "in ";
+        out += partition == kInvalidConcept ? "-" : ontology.NameOf(partition);
+        out += " " + example.inputs[i].ToString() + "\n";
+      }
+      for (const Value& output : example.outputs) {
+        out += "out " + output.ToString() + "\n";
+      }
+      out += "end\n";
+    }
+  }
+  return out;
+}
+
+Result<size_t> LoadAnnotations(const std::string& text,
+                               const Ontology& ontology,
+                               ModuleRegistry& registry) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || lines[0] != kHeader) {
+    return Status::ParseError("missing dexa annotations header");
+  }
+
+  size_t restored = 0;
+  std::string current_module;
+  DataExampleSet current_examples;
+  DataExample current_example;
+  bool in_example = false;
+
+  auto flush_module = [&]() -> Status {
+    if (current_module.empty()) return Status::OK();
+    DEXA_RETURN_IF_ERROR(
+        registry.SetDataExamples(current_module, std::move(current_examples)));
+    current_examples = DataExampleSet();
+    ++restored;
+    return Status::OK();
+  };
+
+  for (size_t n = 1; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("line " + std::to_string(n + 1) + ": " + msg);
+    };
+    if (line.empty() || line[0] == '#') continue;
+    if (StartsWith(line, "module ")) {
+      if (in_example) return err("'module' inside an example");
+      DEXA_RETURN_IF_ERROR(flush_module());
+      std::vector<std::string> parts = Split(line, ' ');
+      if (parts.size() < 2) return err("malformed module line");
+      current_module = parts[1];
+      if (!registry.Find(current_module).ok()) {
+        return err("unknown module id '" + current_module + "'");
+      }
+    } else if (line == "example") {
+      if (current_module.empty()) return err("'example' before any module");
+      if (in_example) return err("nested example");
+      in_example = true;
+      current_example = DataExample();
+    } else if (StartsWith(line, "in ")) {
+      if (!in_example) return err("'in' outside an example");
+      std::string rest = line.substr(3);
+      size_t space = rest.find(' ');
+      if (space == std::string::npos) return err("malformed 'in' line");
+      std::string concept_name = rest.substr(0, space);
+      ConceptId partition = kInvalidConcept;
+      if (concept_name != "-") {
+        partition = ontology.Find(concept_name);
+        if (partition == kInvalidConcept) {
+          return err("unknown concept '" + concept_name + "'");
+        }
+      }
+      auto value = Value::Parse(rest.substr(space + 1));
+      if (!value.ok()) return err(value.status().ToString());
+      current_example.inputs.push_back(std::move(value).value());
+      current_example.input_partitions.push_back(partition);
+    } else if (StartsWith(line, "out ")) {
+      if (!in_example) return err("'out' outside an example");
+      auto value = Value::Parse(line.substr(4));
+      if (!value.ok()) return err(value.status().ToString());
+      current_example.outputs.push_back(std::move(value).value());
+    } else if (line == "end") {
+      if (!in_example) return err("'end' outside an example");
+      in_example = false;
+      current_examples.push_back(std::move(current_example));
+    } else {
+      return err("unrecognized line '" + line + "'");
+    }
+  }
+  if (in_example) return Status::ParseError("unterminated example");
+  DEXA_RETURN_IF_ERROR(flush_module());
+  return restored;
+}
+
+}  // namespace dexa

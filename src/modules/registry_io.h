@@ -1,0 +1,37 @@
+#ifndef DEXA_MODULES_REGISTRY_IO_H_
+#define DEXA_MODULES_REGISTRY_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "modules/registry.h"
+#include "ontology/ontology.h"
+
+namespace dexa {
+
+/// Serializes the registry's data-example annotations to a line-oriented
+/// text format. The registry of the paper's architecture (Figure 3) is a
+/// persistent store; this is its on-disk representation.
+///
+///   # dexa annotations v1
+///   module <id> <name>
+///   example
+///   in <partition-concept-or--> <value>
+///   out <value>
+///   end
+///
+/// Values use Value::ToString() (single-line, escaped). Only modules with a
+/// non-empty annotation are emitted.
+std::string SaveAnnotations(const ModuleRegistry& registry,
+                            const Ontology& ontology);
+
+/// Loads annotations saved by SaveAnnotations back into `registry`
+/// (modules are matched by id and must already be registered; their stored
+/// example sets are replaced). Returns the number of modules restored.
+Result<size_t> LoadAnnotations(const std::string& text,
+                               const Ontology& ontology,
+                               ModuleRegistry& registry);
+
+}  // namespace dexa
+
+#endif  // DEXA_MODULES_REGISTRY_IO_H_

@@ -1,0 +1,96 @@
+#include "ontology/mygrid.h"
+
+#include <cassert>
+
+namespace dexa {
+
+Ontology BuildMyGridOntology() {
+  Ontology onto("mygrid");
+  auto root = [&](const char* name, bool covered) {
+    auto r = onto.AddRoot(name, covered);
+    assert(r.ok());
+    (void)r;
+  };
+  auto add = [&](const char* name, const char* parent, bool covered = false) {
+    auto r = onto.AddConcept(name, {parent}, covered);
+    assert(r.ok());
+    (void)r;
+  };
+
+  root("BioinformaticsData", /*covered=*/true);
+
+  add("Identifier", "BioinformaticsData", /*covered=*/true);
+  add("Accession", "Identifier", /*covered=*/true);
+  // Accessions of sequence databases, grouped so modules like
+  // GetBiologicalSequence can be annotated at this intermediate level
+  // (covered, so Partitions(Accession) still has the 10 leaves).
+  add("SequenceAccession", "Accession", /*covered=*/true);
+  add("UniprotAccession", "SequenceAccession");
+  add("PDBAccession", "SequenceAccession");
+  add("EMBLAccession", "SequenceAccession");
+  add("KEGGGeneId", "SequenceAccession");
+  add("EnzymeId", "Accession");
+  add("GlycanId", "Accession");
+  add("LigandId", "Accession");
+  add("CompoundId", "Accession");
+  add("PathwayId", "Accession");
+  add("GOTermId", "Accession");
+
+  add("BiologicalSequence", "BioinformaticsData", /*covered=*/true);
+  add("NucleotideSequence", "BiologicalSequence", /*covered=*/true);
+  add("DNASequence", "NucleotideSequence");
+  add("RNASequence", "NucleotideSequence");
+  add("ProteinSequence", "BiologicalSequence");
+
+  add("Record", "BioinformaticsData", /*covered=*/true);
+  add("SequenceRecord", "Record", /*covered=*/true);
+  add("UniprotRecord", "SequenceRecord");
+  add("FastaRecord", "SequenceRecord");
+  add("EMBLRecord", "SequenceRecord");
+  add("GenBankRecord", "SequenceRecord");
+  add("PDBRecord", "SequenceRecord");
+  add("KEGGGeneRecord", "Record");
+  add("EnzymeRecord", "Record");
+  add("GlycanRecord", "Record");
+  add("LigandRecord", "Record");
+  add("CompoundRecord", "Record");
+  add("PathwayRecord", "Record");
+  add("GORecord", "Record");
+  add("InterProRecord", "Record");
+  add("PfamRecord", "Record");
+  add("DiseaseRecord", "Record");
+
+  add("OntologyTerm", "BioinformaticsData", /*covered=*/true);
+  add("GOTerm", "OntologyTerm");
+  add("PathwayConcept", "OntologyTerm");
+  add("DiseaseTerm", "OntologyTerm");
+  add("AnatomyTerm", "OntologyTerm");
+  add("ChemicalTerm", "OntologyTerm");
+  add("PhenotypeTerm", "OntologyTerm");
+
+  add("Report", "BioinformaticsData", /*covered=*/true);
+  add("AlignmentReport", "Report");
+  add("IdentificationReport", "Report");
+  add("StatisticsReport", "Report");
+
+  add("TextDocument", "BioinformaticsData");
+  add("PeptideMassList", "BioinformaticsData");
+
+  add("Parameter", "BioinformaticsData", /*covered=*/true);
+  add("ErrorTolerance", "Parameter");
+  add("AlgorithmName", "Parameter");
+  add("DatabaseName", "Parameter");
+  add("ThresholdValue", "Parameter");
+
+  // Numeric results of analysis modules.
+  add("Measure", "BioinformaticsData", /*covered=*/true);
+  add("SequenceLength", "Measure");
+  add("MolecularMass", "Measure");
+  add("Score", "Measure");
+  add("Fraction", "Measure");
+  add("Count", "Measure");
+
+  return onto;
+}
+
+}  // namespace dexa

@@ -1,0 +1,46 @@
+#ifndef DEXA_ONTOLOGY_MYGRID_H_
+#define DEXA_ONTOLOGY_MYGRID_H_
+
+#include "ontology/ontology.h"
+
+namespace dexa {
+
+/// Builds the myGrid-style life-science domain ontology used throughout the
+/// evaluation (the paper annotates module parameters with the myGrid
+/// ontology, http://www.mygrid.org.uk/ontology/).
+///
+/// The hierarchy (all interior concepts are `covered`, i.e. fully
+/// partitioned by their children):
+///
+///   BioinformaticsData
+///   ├ Identifier
+///   │ └ Accession
+///   │   ├ SequenceAccession          {Uniprot,PDB,EMBL}Accession, KEGGGeneId
+///   │   └ {Enzyme,Glycan,Ligand,Compound,Pathway,GOTerm}Id
+///   ├ BiologicalSequence
+///   │ ├ NucleotideSequence           {DNA,RNA}Sequence
+///   │ └ ProteinSequence
+///   ├ Record
+///   │ ├ SequenceRecord               {Uniprot,Fasta,EMBL,GenBank,PDB}Record
+///   │ └ {KEGGGene,Enzyme,Glycan,Ligand,Compound,Pathway,GO,InterPro,Pfam,
+///   │    Disease}Record
+///   ├ OntologyTerm                   {GO,Pathway,Disease,Anatomy,Chemical,
+///   │                                 Phenotype}Term
+///   ├ Report                         {Alignment,Identification,Statistics}Report
+///   ├ TextDocument
+///   ├ PeptideMassList
+///   ├ Parameter                      {ErrorTolerance,AlgorithmName,
+///   │                                 DatabaseName,ThresholdValue}
+///   └ Measure                        {SequenceLength,MolecularMass,Score,
+///                                     Fraction,Count}
+///
+/// Partition counts this induces (consumed by the corpus calibration):
+///   Partitions(NucleotideSequence) = 2    Partitions(BiologicalSequence) = 3
+///   Partitions(SequenceAccession)  = 4    Partitions(SequenceRecord)     = 5
+///   Partitions(OntologyTerm)       = 6    Partitions(Accession)          = 10
+///   Partitions(Record)             = 15
+Ontology BuildMyGridOntology();
+
+}  // namespace dexa
+
+#endif  // DEXA_ONTOLOGY_MYGRID_H_

@@ -1,0 +1,57 @@
+#include "ontology/ontology_parser.h"
+
+#include "common/strings.h"
+
+namespace dexa {
+
+Result<Ontology> ParseOntologyDsl(std::string_view text) {
+  Ontology onto("ontology");
+  bool named = false;
+  int lineno = 0;
+  for (const std::string& raw : SplitLines(text)) {
+    ++lineno;
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("line " + std::to_string(lineno) + ": " + msg);
+    };
+    if (StartsWith(line, "ontology ")) {
+      if (named) return err("duplicate 'ontology' directive");
+      std::string name = Trim(line.substr(9));
+      if (name.empty()) return err("ontology name missing");
+      onto = Ontology(name);
+      named = true;
+      continue;
+    }
+    if (!StartsWith(line, "concept ")) {
+      return err("expected 'ontology' or 'concept' directive, got '" + line +
+                 "'");
+    }
+    std::string body = Trim(line.substr(8));
+    bool covered = false;
+    if (EndsWith(body, "[covered]")) {
+      covered = true;
+      body = Trim(body.substr(0, body.size() - 9));
+    }
+    std::string name = body;
+    std::vector<std::string> parents;
+    size_t lt = body.find('<');
+    if (lt != std::string::npos) {
+      name = Trim(body.substr(0, lt));
+      for (const std::string& p : Split(body.substr(lt + 1), ',')) {
+        std::string trimmed = Trim(p);
+        if (trimmed.empty()) return err("empty parent name");
+        parents.push_back(trimmed);
+      }
+    }
+    if (name.empty()) return err("concept name missing");
+    if (name.find(' ') != std::string::npos) {
+      return err("concept name '" + name + "' contains whitespace");
+    }
+    auto added = onto.AddConcept(name, parents, covered);
+    if (!added.ok()) return err(added.status().ToString());
+  }
+  return onto;
+}
+
+}  // namespace dexa

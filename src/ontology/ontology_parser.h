@@ -1,0 +1,29 @@
+#ifndef DEXA_ONTOLOGY_ONTOLOGY_PARSER_H_
+#define DEXA_ONTOLOGY_ONTOLOGY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+
+namespace dexa {
+
+/// Parses the dexa ontology DSL. The format is line-oriented:
+///
+///   # comment (blank lines are ignored)
+///   ontology <name>
+///   concept <Name>
+///   concept <Name> < <Parent1>[, <Parent2>...]
+///   concept <Name> < <Parent> [covered]
+///
+/// Parents must be declared before children (the serializer emits insertion
+/// order, which satisfies this). `[covered]` marks the concept's domain as
+/// covered by its sub-concepts (no realization; see Ontology::Partitions).
+///
+/// Round-trips with Ontology::ToDsl().
+Result<Ontology> ParseOntologyDsl(std::string_view text);
+
+}  // namespace dexa
+
+#endif  // DEXA_ONTOLOGY_ONTOLOGY_PARSER_H_

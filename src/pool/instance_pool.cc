@@ -1,0 +1,78 @@
+#include "pool/instance_pool.h"
+
+#include <algorithm>
+
+namespace dexa {
+
+void AnnotatedInstancePool::Add(ConceptId c, const Value& value) {
+  uint64_t hash = value.Hash();
+  auto& hashes = hashes_by_concept_[c];
+  auto& values = by_concept_[c];
+  auto [it, inserted] = hashes.emplace(hash, values.size());
+  if (!inserted) {
+    // Hash hit: confirm true equality (hash collisions keep both).
+    if (values[it->second].Equals(value)) return;
+  }
+  values.push_back(value);
+  ++total_;
+}
+
+size_t AnnotatedInstancePool::CountFor(ConceptId c) const {
+  auto it = by_concept_.find(c);
+  return it == by_concept_.end() ? 0 : it->second.size();
+}
+
+const std::vector<Value>& AnnotatedInstancePool::InstancesOf(
+    ConceptId c) const {
+  static const std::vector<Value>* empty = new std::vector<Value>();
+  auto it = by_concept_.find(c);
+  return it == by_concept_.end() ? *empty : it->second;
+}
+
+Result<Value> AnnotatedInstancePool::GetInstance(ConceptId c) const {
+  const std::vector<Value>& values = InstancesOf(c);
+  if (values.empty()) {
+    return Status::NotFound("pool holds no realization of concept '" +
+                            ontology_->NameOf(c) + "'");
+  }
+  return values.front();
+}
+
+Result<Value> AnnotatedInstancePool::GetInstanceCompatible(
+    ConceptId c, const StructuralType& type, size_t max_list_elements) const {
+  const std::vector<Value>& values = InstancesOf(c);
+  for (const Value& value : values) {
+    if (value.MatchesType(type)) return value;
+  }
+  if (type.kind() == TypeKind::kList) {
+    // Synthesize a list from scalar instances of the element concept.
+    std::vector<Value> elements;
+    for (const Value& value : values) {
+      if (value.MatchesType(type.element())) {
+        elements.push_back(value);
+        if (elements.size() >= max_list_elements) break;
+      }
+    }
+    if (!elements.empty()) return Value::ListOf(std::move(elements));
+  }
+  if (values.empty()) {
+    return Status::NotFound("pool holds no realization of concept '" +
+                            ontology_->NameOf(c) + "'");
+  }
+  return Status::NotFound("pool realizations of concept '" +
+                          ontology_->NameOf(c) +
+                          "' are structurally incompatible with " +
+                          type.ToString());
+}
+
+std::vector<ConceptId> AnnotatedInstancePool::PopulatedConcepts() const {
+  std::vector<ConceptId> out;
+  out.reserve(by_concept_.size());
+  for (const auto& [concept_id, values] : by_concept_) {
+    if (!values.empty()) out.push_back(concept_id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dexa

@@ -1,0 +1,69 @@
+#ifndef DEXA_POOL_INSTANCE_POOL_H_
+#define DEXA_POOL_INSTANCE_POOL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+#include "types/structural_type.h"
+#include "types/value.h"
+
+namespace dexa {
+
+/// The pool of annotated instances (`pl` in Section 3.2): data values, each
+/// annotated with the most specific ontology concept known for it. In the
+/// paper the pool is harvested from workflow provenance corpora; in dexa it
+/// is populated by provenance::HarvestPool (or directly, in tests).
+///
+/// `GetInstance(c)` implements the realization semantics of Section 3.2: it
+/// returns a value annotated with `c` *itself*, never with a strict
+/// sub-concept of `c` — a realization of the concept. If no realization
+/// exists (e.g. the concept's domain is covered by its sub-concepts), the
+/// lookup fails and the caller creates no data example for that partition.
+class AnnotatedInstancePool {
+ public:
+  explicit AnnotatedInstancePool(const Ontology* ontology)
+      : ontology_(ontology) {}
+
+  /// Adds `value` annotated with concept `c`. Duplicate values under the
+  /// same concept are stored once.
+  void Add(ConceptId c, const Value& value);
+
+  /// Number of distinct (concept, value) entries.
+  size_t size() const { return total_; }
+
+  /// Number of distinct values annotated with exactly `c`.
+  size_t CountFor(ConceptId c) const;
+
+  /// All values annotated with exactly `c`, in insertion order.
+  const std::vector<Value>& InstancesOf(ConceptId c) const;
+
+  /// A realization of `c`: the first pooled value annotated with `c` itself
+  /// (not any strict sub-concept). NotFound if the pool holds none.
+  Result<Value> GetInstance(ConceptId c) const;
+
+  /// Like GetInstance, but additionally requires structural compatibility
+  /// with `type` (Section 3.2). If `type` is a list type and only scalar
+  /// instances of `c` are pooled, a singleton-list instance is synthesized
+  /// from up to `max_list_elements` pooled scalars.
+  Result<Value> GetInstanceCompatible(ConceptId c, const StructuralType& type,
+                                      size_t max_list_elements = 4) const;
+
+  /// Concepts that have at least one pooled instance.
+  std::vector<ConceptId> PopulatedConcepts() const;
+
+  const Ontology& ontology() const { return *ontology_; }
+
+ private:
+  const Ontology* ontology_;
+  std::unordered_map<ConceptId, std::vector<Value>> by_concept_;
+  std::unordered_map<ConceptId, std::unordered_map<uint64_t, size_t>>
+      hashes_by_concept_;
+  size_t total_ = 0;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_POOL_INSTANCE_POOL_H_

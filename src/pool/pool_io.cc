@@ -1,0 +1,53 @@
+#include "pool/pool_io.h"
+
+#include "common/strings.h"
+
+namespace dexa {
+
+namespace {
+constexpr const char* kHeader = "# dexa pool v1";
+}  // namespace
+
+std::string SavePool(const AnnotatedInstancePool& pool) {
+  std::string out = std::string(kHeader) + "\n";
+  for (ConceptId concept_id : pool.PopulatedConcepts()) {
+    const std::string& name = pool.ontology().NameOf(concept_id);
+    for (const Value& value : pool.InstancesOf(concept_id)) {
+      out += "instance " + name + " " + value.ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+Result<AnnotatedInstancePool> LoadPool(const std::string& text,
+                                       const Ontology& ontology) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || lines[0] != kHeader) {
+    return Status::ParseError("missing dexa pool header");
+  }
+  AnnotatedInstancePool pool(&ontology);
+  for (size_t n = 1; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    if (line.empty() || line[0] == '#') continue;
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("line " + std::to_string(n + 1) + ": " + msg);
+    };
+    if (!StartsWith(line, "instance ")) {
+      return err("expected 'instance' line");
+    }
+    std::string rest = line.substr(9);
+    size_t space = rest.find(' ');
+    if (space == std::string::npos) return err("malformed instance line");
+    std::string concept_name = rest.substr(0, space);
+    ConceptId concept_id = ontology.Find(concept_name);
+    if (concept_id == kInvalidConcept) {
+      return err("unknown concept '" + concept_name + "'");
+    }
+    auto value = Value::Parse(rest.substr(space + 1));
+    if (!value.ok()) return err(value.status().ToString());
+    pool.Add(concept_id, std::move(value).value());
+  }
+  return pool;
+}
+
+}  // namespace dexa

@@ -1,0 +1,23 @@
+#ifndef DEXA_POOL_POOL_IO_H_
+#define DEXA_POOL_POOL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "pool/instance_pool.h"
+
+namespace dexa {
+
+/// Serializes the annotated instance pool to a line-oriented text format
+/// (one `instance <Concept> <value>` line per entry, insertion order
+/// preserved per concept — order matters because the first instance of a
+/// concept is its canonical realization).
+std::string SavePool(const AnnotatedInstancePool& pool);
+
+/// Parses the SavePool format into a new pool over `ontology`.
+Result<AnnotatedInstancePool> LoadPool(const std::string& text,
+                                       const Ontology& ontology);
+
+}  // namespace dexa
+
+#endif  // DEXA_POOL_POOL_IO_H_

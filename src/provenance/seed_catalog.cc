@@ -1,0 +1,224 @@
+#include "provenance/seed_catalog.h"
+
+#include "corpus/behaviors.h"
+#include "corpus/term_values.h"
+#include "formats/alphabet.h"
+#include "formats/reports.h"
+
+namespace dexa {
+
+Result<Value> SeedCatalog::SeedFor(const std::string& concept_name,
+                                   size_t i) const {
+  const KnowledgeBase& kb = *kb_;
+  auto protein = [&](size_t j) -> const ProteinEntity& {
+    return kb.proteins()[j % kb.proteins().size()];
+  };
+  auto gene = [&](size_t j) -> const GeneEntity& {
+    return kb.genes()[j % kb.genes().size()];
+  };
+
+  if (concept_name == "UniprotAccession") return Value::Str(protein(i).accession);
+  if (concept_name == "PDBAccession") return Value::Str(protein(i).pdb_accession);
+  if (concept_name == "EMBLAccession") {
+    return Value::Str(protein(i).embl_accession);
+  }
+  if (concept_name == "KEGGGeneId") return Value::Str(gene(i).gene_id);
+  if (concept_name == "EnzymeId") {
+    return Value::Str(kb.enzymes()[i % kb.enzymes().size()].ec_number);
+  }
+  if (concept_name == "GlycanId") {
+    return Value::Str(kb.glycans()[i % kb.glycans().size()].glycan_id);
+  }
+  if (concept_name == "LigandId") {
+    return Value::Str(kb.ligands()[i % kb.ligands().size()].ligand_id);
+  }
+  if (concept_name == "CompoundId") {
+    return Value::Str(kb.compounds()[i % kb.compounds().size()].compound_id);
+  }
+  if (concept_name == "PathwayId") {
+    return Value::Str(kb.pathways()[i % kb.pathways().size()].pathway_id);
+  }
+  if (concept_name == "GOTermId") {
+    return Value::Str(kb.go_terms()[i % kb.go_terms().size()].go_id);
+  }
+  if (concept_name == "SequenceAccession") {
+    switch (i % 4) {
+      case 0:
+        return Value::Str(protein(i / 4).accession);
+      case 1:
+        return Value::Str(protein(i / 4).pdb_accession);
+      case 2:
+        return Value::Str(protein(i / 4).embl_accession);
+      default:
+        return Value::Str(gene(i / 4).gene_id);
+    }
+  }
+  if (concept_name == "Accession" || concept_name == "Identifier") {
+    static const char* kNamespaces[] = {
+        "UniprotAccession", "PDBAccession", "EMBLAccession", "KEGGGeneId",
+        "EnzymeId",         "GlycanId",     "LigandId",      "CompoundId",
+        "PathwayId",        "GOTermId"};
+    return SeedFor(kNamespaces[i % 10], i / 10);
+  }
+
+  if (concept_name == "DNASequence") return Value::Str(gene(i).dna_sequence);
+  if (concept_name == "RNASequence") {
+    return Value::Str(Transcribe(gene(i).dna_sequence));
+  }
+  if (concept_name == "ProteinSequence") return Value::Str(protein(i).sequence);
+  if (concept_name == "NucleotideSequence") {
+    return SeedFor(i % 2 == 0 ? "DNASequence" : "RNASequence", i / 2);
+  }
+  if (concept_name == "BiologicalSequence") {
+    static const char* kKinds[] = {"DNASequence", "RNASequence",
+                                   "ProteinSequence"};
+    return SeedFor(kKinds[i % 3], i / 3);
+  }
+
+  if (concept_name == "GOTerm") return Value::Str(MakeGoTermValue(kb, i));
+  if (concept_name == "PathwayConcept") {
+    return Value::Str(MakePathwayConceptValue(kb, i));
+  }
+  if (concept_name == "DiseaseTerm") {
+    return Value::Str(MakeDiseaseTermValue(kb, i));
+  }
+  if (concept_name == "AnatomyTerm") return Value::Str(MakeAnatomyTermValue(i));
+  if (concept_name == "ChemicalTerm") {
+    return Value::Str(MakeChemicalTermValue(i));
+  }
+  if (concept_name == "PhenotypeTerm") {
+    return Value::Str(MakePhenotypeTermValue(i));
+  }
+  if (concept_name == "OntologyTerm") {
+    static const char* kKinds[] = {"GOTerm",       "PathwayConcept",
+                                   "DiseaseTerm",  "AnatomyTerm",
+                                   "ChemicalTerm", "PhenotypeTerm"};
+    return SeedFor(kKinds[i % 6], i / 6);
+  }
+
+  if (concept_name == "TextDocument") {
+    return Value::Str(kb.documents()[i % kb.documents().size()].text);
+  }
+  if (concept_name == "PeptideMassList") {
+    std::vector<Value> masses;
+    for (double mass : protein(i).peptide_masses) {
+      masses.push_back(Value::Real(mass));
+    }
+    return Value::ListOf(std::move(masses));
+  }
+  if (concept_name == "ErrorTolerance") {
+    return Value::Real(5.0 + static_cast<double>(i));
+  }
+  if (concept_name == "ThresholdValue") {
+    return Value::Real(100.0 * static_cast<double>(i + 1));
+  }
+  if (concept_name == "AlgorithmName") {
+    static const char* kPrograms[] = {"blastp", "fasta", "ssearch"};
+    return Value::Str(kPrograms[i % 3]);
+  }
+  if (concept_name == "DatabaseName") {
+    static const char* kDatabases[] = {"uniprot", "pdb", "embl", "kegg"};
+    return Value::Str(kDatabases[i % 4]);
+  }
+
+  // Records: rendered from the corresponding entities.
+  if (concept_name == "UniprotRecord" || concept_name == "FastaRecord" ||
+      concept_name == "EMBLRecord" || concept_name == "GenBankRecord" ||
+      concept_name == "PDBRecord" || concept_name == "KEGGGeneRecord" ||
+      concept_name == "EnzymeRecord" || concept_name == "GlycanRecord" ||
+      concept_name == "LigandRecord" || concept_name == "CompoundRecord" ||
+      concept_name == "PathwayRecord" || concept_name == "GORecord" ||
+      concept_name == "InterProRecord" || concept_name == "PfamRecord" ||
+      concept_name == "DiseaseRecord") {
+    RecordKind kind;
+    std::string accession;
+    if (concept_name == "UniprotRecord") {
+      kind = RecordKind::kUniprot;
+      accession = protein(i).accession;
+    } else if (concept_name == "FastaRecord") {
+      kind = RecordKind::kFasta;
+      accession = protein(i).accession;
+    } else if (concept_name == "EMBLRecord") {
+      kind = RecordKind::kEmbl;
+      accession = protein(i).embl_accession;
+    } else if (concept_name == "GenBankRecord") {
+      kind = RecordKind::kGenBank;
+      accession = protein(i).embl_accession;
+    } else if (concept_name == "PDBRecord") {
+      kind = RecordKind::kPdb;
+      accession = protein(i).pdb_accession;
+    } else if (concept_name == "KEGGGeneRecord") {
+      kind = RecordKind::kKeggGene;
+      accession = gene(i).gene_id;
+    } else if (concept_name == "EnzymeRecord") {
+      kind = RecordKind::kEnzyme;
+      accession = kb.enzymes()[i % kb.enzymes().size()].ec_number;
+    } else if (concept_name == "GlycanRecord") {
+      kind = RecordKind::kGlycan;
+      accession = kb.glycans()[i % kb.glycans().size()].glycan_id;
+    } else if (concept_name == "LigandRecord") {
+      kind = RecordKind::kLigand;
+      accession = kb.ligands()[i % kb.ligands().size()].ligand_id;
+    } else if (concept_name == "CompoundRecord") {
+      kind = RecordKind::kCompound;
+      accession = kb.compounds()[i % kb.compounds().size()].compound_id;
+    } else if (concept_name == "PathwayRecord") {
+      kind = RecordKind::kPathway;
+      accession = kb.pathways()[i % kb.pathways().size()].pathway_id;
+    } else if (concept_name == "GORecord") {
+      kind = RecordKind::kGo;
+      accession = kb.go_terms()[i % kb.go_terms().size()].go_id;
+    } else if (concept_name == "InterProRecord") {
+      kind = RecordKind::kInterPro;
+      accession = protein(i).accession;
+    } else if (concept_name == "PfamRecord") {
+      kind = RecordKind::kPfam;
+      accession = protein(i).accession;
+    } else {
+      kind = RecordKind::kDisease;
+      accession = gene(3 * (i % kb.diseases().size())).gene_id;
+    }
+    auto record = RetrieveRecord(kb, kind, accession);
+    if (!record.ok()) return record.status();
+    return Value::Str(std::move(record).value());
+  }
+  if (concept_name == "SequenceRecord") {
+    static const char* kKinds[] = {"UniprotRecord", "FastaRecord",
+                                   "EMBLRecord", "GenBankRecord", "PDBRecord"};
+    return SeedFor(kKinds[i % 5], i / 5);
+  }
+  if (concept_name == "Record") {
+    static const char* kKinds[] = {
+        "UniprotRecord", "FastaRecord",   "EMBLRecord",   "GenBankRecord",
+        "PDBRecord",     "KEGGGeneRecord", "EnzymeRecord", "GlycanRecord",
+        "LigandRecord",  "CompoundRecord", "PathwayRecord", "GORecord",
+        "InterProRecord", "PfamRecord",    "DiseaseRecord"};
+    return SeedFor(kKinds[i % 15], i / 15);
+  }
+  if (concept_name == "AlignmentReport") {
+    auto report = HomologySearch(kb, protein(i).accession, "blastp", "uniprot");
+    if (!report.ok()) return report.status();
+    return Value::Str(RenderAlignmentReport(*report));
+  }
+
+  return Status::NotFound("no seed recipe for concept '" + concept_name + "'");
+}
+
+Result<Value> SeedCatalog::SeedForParameter(const Parameter& param,
+                                            const Ontology& ontology,
+                                            size_t i) const {
+  const std::string& concept_name = ontology.NameOf(param.semantic_type);
+  if (param.structural_type.kind() == TypeKind::kList &&
+      param.structural_type.element().kind() == TypeKind::kString) {
+    std::vector<Value> items;
+    for (size_t j = 0; j < 4; ++j) {
+      auto seed = SeedFor(concept_name, i + j);
+      if (!seed.ok()) return seed;
+      items.push_back(std::move(seed).value());
+    }
+    return Value::ListOf(std::move(items));
+  }
+  return SeedFor(concept_name, i);
+}
+
+}  // namespace dexa

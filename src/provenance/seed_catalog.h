@@ -1,0 +1,42 @@
+#ifndef DEXA_PROVENANCE_SEED_CATALOG_H_
+#define DEXA_PROVENANCE_SEED_CATALOG_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "kb/knowledge_base.h"
+#include "modules/module.h"
+#include "types/value.h"
+
+namespace dexa {
+
+/// Supplies workflow-input seed values per ontology concept, drawn from the
+/// knowledge base. Index `i` selects the i-th entity of the concept's
+/// namespace, so seeds 0..3 cover several organisms, sequence lengths and
+/// identifier parities — the variation the evaluation and repair scenarios
+/// rely on.
+///
+/// Coarse concepts (Accession, SequenceAccession, BiologicalSequence,
+/// Record, SequenceRecord, OntologyTerm, NucleotideSequence) cycle through
+/// their realizable sub-concepts by index.
+class SeedCatalog {
+ public:
+  explicit SeedCatalog(std::shared_ptr<const KnowledgeBase> kb)
+      : kb_(std::move(kb)) {}
+
+  /// A scalar seed value instantiating `concept_name`.
+  Result<Value> SeedFor(const std::string& concept_name, size_t i) const;
+
+  /// A seed matching `param`'s structural type: scalar for strings/numbers,
+  /// a 4-element list of consecutive seeds for list parameters.
+  Result<Value> SeedForParameter(const Parameter& param,
+                                 const Ontology& ontology, size_t i) const;
+
+ private:
+  std::shared_ptr<const KnowledgeBase> kb_;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_PROVENANCE_SEED_CATALOG_H_

@@ -1,0 +1,42 @@
+#include "provenance/trace.h"
+
+namespace dexa {
+
+void ProvenanceCorpus::AddTrace(WorkflowTrace trace) {
+  size_t trace_index = traces_.size();
+  for (size_t i = 0; i < trace.invocations.size(); ++i) {
+    by_module_[trace.invocations[i].module_id].emplace_back(trace_index, i);
+  }
+  num_invocations_ += trace.invocations.size();
+  traces_.push_back(std::move(trace));
+}
+
+std::vector<const InvocationRecord*> ProvenanceCorpus::RecordsOf(
+    const std::string& module_id) const {
+  std::vector<const InvocationRecord*> out;
+  auto it = by_module_.find(module_id);
+  if (it == by_module_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [trace_index, record_index] : it->second) {
+    out.push_back(&traces_[trace_index].invocations[record_index]);
+  }
+  return out;
+}
+
+const InvocationRecord* ProvenanceCorpus::FindByInputs(
+    const std::string& module_id, const std::vector<Value>& inputs) const {
+  for (const InvocationRecord* record : RecordsOf(module_id)) {
+    if (record->inputs.size() != inputs.size()) continue;
+    bool equal = true;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (!record->inputs[i].Equals(inputs[i])) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return record;
+  }
+  return nullptr;
+}
+
+}  // namespace dexa

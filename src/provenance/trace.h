@@ -1,0 +1,49 @@
+#ifndef DEXA_PROVENANCE_TRACE_H_
+#define DEXA_PROVENANCE_TRACE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workflow/enactor.h"
+
+namespace dexa {
+
+/// The provenance trace of one workflow enactment.
+struct WorkflowTrace {
+  std::string workflow_id;
+  std::vector<InvocationRecord> invocations;
+};
+
+/// A corpus of provenance traces — the stand-in for the Taverna provenance
+/// corpus the paper harvests (Section 4.1) and for the historical project
+/// traces used to reconstruct examples of unavailable modules (Section 6).
+class ProvenanceCorpus {
+ public:
+  ProvenanceCorpus() = default;
+
+  void AddTrace(WorkflowTrace trace);
+
+  size_t num_traces() const { return traces_.size(); }
+  size_t num_invocations() const { return num_invocations_; }
+  const std::vector<WorkflowTrace>& traces() const { return traces_; }
+
+  /// All invocation records of `module_id`, in trace order.
+  std::vector<const InvocationRecord*> RecordsOf(
+      const std::string& module_id) const;
+
+  /// The record of `module_id` whose inputs equal `inputs`, or nullptr.
+  const InvocationRecord* FindByInputs(const std::string& module_id,
+                                       const std::vector<Value>& inputs) const;
+
+ private:
+  std::vector<WorkflowTrace> traces_;
+  size_t num_invocations_ = 0;
+  // module_id -> (trace index, invocation index) pairs.
+  std::unordered_map<std::string, std::vector<std::pair<size_t, size_t>>>
+      by_module_;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_PROVENANCE_TRACE_H_

@@ -1,0 +1,503 @@
+#include "study/detectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "corpus/behaviors.h"
+#include "formats/entity_records.h"
+#include "corpus/term_values.h"
+#include "formats/term_instance.h"
+#include "formats/alphabet.h"
+#include "formats/reports.h"
+#include "formats/sniffer.h"
+#include "kb/accessions.h"
+
+namespace dexa {
+
+namespace {
+
+bool IsSingleStringIn(const DataExample& example) {
+  return example.inputs.size() == 1 && example.inputs[0].is_string();
+}
+
+bool IsRawSequence(const std::string& s) {
+  if (s.empty()) return false;
+  return IsValidSequence(s, SeqAlphabet::kProtein) ||
+         IsValidSequence(s, SeqAlphabet::kRna);
+}
+
+bool IsTermValue(const std::string& s) { return !TermId(s).empty(); }
+
+/// KEGG gene organism prefix ("hsa" of "hsa:10042"), or "".
+std::string GenePrefix(const std::string& id) {
+  if (!IsKeggGeneId(id)) return "";
+  return id.substr(0, id.find(':'));
+}
+
+std::vector<std::string> FlattenStrings(const Value& value) {
+  std::vector<std::string> out;
+  if (value.is_string()) {
+    out.push_back(value.AsString());
+  } else if (value.is_list()) {
+    for (const Value& element : value.AsList()) {
+      if (!element.is_string()) return {};
+      out.push_back(element.AsString());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Mapping
+
+bool DetectMapping(const DataExampleSet& examples) {
+  if (examples.empty()) return false;
+  // Each rule must explain *every* example to count as an identification.
+  auto all = [&](auto rule) {
+    for (const DataExample& example : examples) {
+      if (!IsSingleStringIn(example) || example.outputs.size() != 1) {
+        return false;
+      }
+      if (!rule(example.inputs[0].AsString(), example.outputs[0])) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // 2a: identifier -> identifier(s) of a different namespace.
+  if (all([](const std::string& in, const Value& out) {
+        std::string in_ns = ClassifyAccession(in);
+        if (in_ns.empty()) return false;
+        std::vector<std::string> elems = FlattenStrings(out);
+        if (elems.empty()) return false;
+        for (const std::string& el : elems) {
+          std::string out_ns = ClassifyAccession(el);
+          if (out_ns.empty() || out_ns == in_ns) return false;
+        }
+        return true;
+      })) {
+    return true;
+  }
+
+  // 2a': gene -> orthologous genes (same namespace, organisms differ).
+  if (all([](const std::string& in, const Value& out) {
+        std::string in_prefix = GenePrefix(in);
+        if (in_prefix.empty()) return false;
+        std::vector<std::string> elems = FlattenStrings(out);
+        if (elems.empty()) return false;
+        bool other_organism = false;
+        for (const std::string& el : elems) {
+          std::string prefix = GenePrefix(el);
+          if (prefix.empty()) return false;
+          if (prefix != in_prefix) other_organism = true;
+        }
+        return other_organism;
+      })) {
+    return true;
+  }
+
+  // 2b: record -> the identifier it visibly carries.
+  if (all([](const std::string& in, const Value& out) {
+        if (SniffFormat(in).empty()) return false;
+        if (!out.is_string()) return false;
+        const std::string& id = out.AsString();
+        return !ClassifyAccession(id).empty() && Contains(in, id);
+      })) {
+    return true;
+  }
+
+  // 2c: ontology-term manipulation (label/source extraction, case change).
+  if (all([](const std::string& in, const Value& out) {
+        if (!IsTermValue(in) || !out.is_string()) return false;
+        const std::string& result = out.AsString();
+        if (!result.empty() && Contains(in, result)) return true;
+        return ToLower(result) == ToLower(in);
+      })) {
+    return true;
+  }
+
+  // 2e: identifier -> the term it denotes.
+  if (all([](const std::string& in, const Value& out) {
+        if (ClassifyAccession(in).empty() || !out.is_string()) return false;
+        return IsTermValue(out.AsString()) && TermId(out.AsString()) == in;
+      })) {
+    return true;
+  }
+
+  return false;
+}
+
+// --------------------------------------------------------------- Retrieval
+
+bool DetectRetrieval(const DataExampleSet& examples,
+                     const UserProfile& profile) {
+  if (examples.empty()) return false;
+  for (const DataExample& example : examples) {
+    if (!IsSingleStringIn(example) || example.outputs.size() != 1 ||
+        !example.outputs[0].is_string()) {
+      return false;
+    }
+    const std::string& in = example.inputs[0].AsString();
+    if (ClassifyAccession(in).empty()) return false;
+    const std::string& out = example.outputs[0].AsString();
+    std::string format = SniffFormat(out);
+    if (!format.empty()) {
+      // A database record: identified only if the participant can read the
+      // format well enough to describe the module's behavior.
+      if (profile.unknown_formats.count(format) > 0) return false;
+      continue;
+    }
+    if (IsRawSequence(out)) continue;  // Sequence retrieval.
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------- Format transformation
+
+bool DetectFormatTransformation(const DataExampleSet& examples) {
+  if (examples.empty()) return false;
+  for (const DataExample& example : examples) {
+    if (!IsSingleStringIn(example) || example.outputs.size() != 1 ||
+        !example.outputs[0].is_string()) {
+      return false;
+    }
+    const std::string& in = example.inputs[0].AsString();
+    const std::string& out = example.outputs[0].AsString();
+
+    // (a) Identity / normalization.
+    if (Trim(in) == out) continue;
+
+    // (b) Record conversion or sequence extraction: same entry, new shape.
+    auto in_data = ParseSequenceRecordAny(in);
+    if (in_data.ok()) {
+      auto out_data = ParseSequenceRecordAny(out);
+      if (out_data.ok() && in_data->accession == out_data->accession &&
+          in_data->sequence == out_data->sequence) {
+        continue;
+      }
+      if (out == in_data->sequence) continue;
+      return false;
+    }
+
+    // (c) Elementary sequence transformations every bioinformatician
+    // recognizes on sight.
+    if (IsValidSequence(in, SeqAlphabet::kDna)) {
+      if (out == Transcribe(in) || out == ReverseComplementDna(in)) continue;
+    }
+    if (IsValidSequence(in, SeqAlphabet::kRna) && !in.empty()) {
+      if (out == ReverseTranscribe(in)) continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- Filtering
+
+namespace {
+
+struct FilterElements {
+  std::vector<std::string> kept;
+  std::vector<std::string> dropped;
+};
+
+/// Splits an example into kept/dropped elements; nullopt when the example
+/// is not list-shaped (or not a subset relation).
+std::optional<FilterElements> SplitFilterExample(const DataExample& example) {
+  if (example.inputs.size() != 1 || example.outputs.size() != 1) {
+    return std::nullopt;
+  }
+  FilterElements out;
+  if (example.inputs[0].is_list() && example.outputs[0].is_list()) {
+    std::vector<std::string> in = FlattenStrings(example.inputs[0]);
+    std::vector<std::string> kept = FlattenStrings(example.outputs[0]);
+    if (in.empty()) return std::nullopt;
+    size_t cursor = 0;
+    for (const std::string& element : in) {
+      if (cursor < kept.size() && kept[cursor] == element) {
+        out.kept.push_back(element);
+        ++cursor;
+      } else {
+        out.dropped.push_back(element);
+      }
+    }
+    if (cursor != kept.size()) return std::nullopt;  // Not a subsequence.
+    return out;
+  }
+  // Alignment-report filtering: hits(out) subset of hits(in).
+  if (example.inputs[0].is_string() && example.outputs[0].is_string()) {
+    auto in_report = ParseAlignmentReport(example.inputs[0].AsString());
+    auto out_report = ParseAlignmentReport(example.outputs[0].AsString());
+    if (!in_report.ok() || !out_report.ok()) return std::nullopt;
+    size_t cursor = 0;
+    for (const AlignmentHit& hit : in_report->hits) {
+      std::string token = hit.accession + " " +
+                          FormatFixed(hit.evalue, 12);
+      bool is_kept = cursor < out_report->hits.size() &&
+                     out_report->hits[cursor].accession == hit.accession;
+      if (is_kept) {
+        out.kept.push_back(token);
+        ++cursor;
+      } else {
+        out.dropped.push_back(token);
+      }
+    }
+    if (cursor != out_report->hits.size()) return std::nullopt;
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ElementOrganism(const std::string& element) {
+  if (auto data = ParseSequenceRecordAny(element); data.ok()) {
+    return data->organism;
+  }
+  if (auto gene = ParseGeneRecord(element); gene.ok()) return gene->organism;
+  if (auto pathway = ParsePathwayRecord(element); pathway.ok()) {
+    return pathway->organism;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> ElementLength(const std::string& element) {
+  if (auto data = ParseSequenceRecordAny(element); data.ok()) {
+    return static_cast<double>(data->sequence.size());
+  }
+  if (IsRawSequence(element)) return static_cast<double>(element.size());
+  return std::nullopt;
+}
+
+std::optional<double> ElementNumericField(const std::string& element) {
+  if (auto compound = ParseCompoundRecord(element); compound.ok()) {
+    return compound->mass;
+  }
+  if (auto glycan = ParseGlycanRecord(element); glycan.ok()) {
+    return glycan->mass;
+  }
+  // Alignment-hit tokens carry "<accession> <evalue>".
+  size_t space = element.rfind(' ');
+  if (space != std::string::npos) {
+    double value;
+    if (ParseDouble(element.substr(space + 1), &value)) return value;
+  }
+  return std::nullopt;
+}
+
+/// True if `metric` strictly separates kept from dropped.
+template <typename MetricFn>
+bool SeparatedBy(const FilterElements& elements, MetricFn metric) {
+  double kept_min = 1e300, kept_max = -1e300;
+  double dropped_min = 1e300, dropped_max = -1e300;
+  for (const std::string& element : elements.kept) {
+    auto value = metric(element);
+    if (!value) return false;
+    kept_min = std::min(kept_min, *value);
+    kept_max = std::max(kept_max, *value);
+  }
+  for (const std::string& element : elements.dropped) {
+    auto value = metric(element);
+    if (!value) return false;
+    dropped_min = std::min(dropped_min, *value);
+    dropped_max = std::max(dropped_max, *value);
+  }
+  return kept_max < dropped_min || kept_min > dropped_max;
+}
+
+}  // namespace
+
+bool DetectFiltering(const DataExampleSet& examples,
+                     const UserProfile& profile) {
+  if (examples.empty()) return false;
+  // Pool kept/dropped across the examples.
+  FilterElements pooled;
+  for (const DataExample& example : examples) {
+    auto split = SplitFilterExample(example);
+    if (!split) return false;
+    pooled.kept.insert(pooled.kept.end(), split->kept.begin(),
+                       split->kept.end());
+    pooled.dropped.insert(pooled.dropped.end(), split->dropped.begin(),
+                          split->dropped.end());
+  }
+  // The predicate must be observable: something kept AND something dropped.
+  if (pooled.kept.empty() || pooled.dropped.empty()) return false;
+
+  for (const std::string& family : profile.predicate_families) {
+    if (family == "organism") {
+      auto organism_of = [](const std::string& element) {
+        return ElementOrganism(element);
+      };
+      auto first = organism_of(pooled.kept[0]);
+      if (!first) continue;
+      bool fits = true;
+      for (const std::string& element : pooled.kept) {
+        auto organism = organism_of(element);
+        if (!organism || *organism != *first) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        for (const std::string& element : pooled.dropped) {
+          auto organism = organism_of(element);
+          if (!organism || *organism == *first) {
+            fits = false;
+            break;
+          }
+        }
+      }
+      if (fits) return true;
+    } else if (family == "length_threshold") {
+      if (SeparatedBy(pooled, ElementLength)) return true;
+    } else if (family == "numeric_threshold") {
+      if (SeparatedBy(pooled, ElementNumericField)) return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- Analysis
+
+bool DetectAnalysisDerivation(const DataExampleSet& examples,
+                              const UserProfile& profile) {
+  if (examples.empty()) return false;
+  auto all = [&](auto rule) {
+    for (const DataExample& example : examples) {
+      if (!IsSingleStringIn(example) || example.outputs.size() != 1) {
+        return false;
+      }
+      if (!rule(example.inputs[0].AsString(), example.outputs[0])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto near = [](double a, double b) { return std::abs(a - b) < 1e-9; };
+
+  for (const std::string& derivation : profile.derivations) {
+    if (derivation == "length") {
+      if (all([](const std::string& in, const Value& out) {
+            return out.is_int() &&
+                   out.AsInt() == static_cast<int64_t>(in.size());
+          })) {
+        return true;
+      }
+    } else if (derivation == "reverse") {
+      if (all([](const std::string& in, const Value& out) {
+            return out.is_string() &&
+                   out.AsString() == std::string(in.rbegin(), in.rend());
+          })) {
+        return true;
+      }
+    } else if (derivation == "translate") {
+      if (all([](const std::string& in, const Value& out) {
+            return out.is_string() &&
+                   IsValidSequence(in, SeqAlphabet::kDna) &&
+                   out.AsString() == Translate(in);
+          })) {
+        return true;
+      }
+    } else if (derivation == "digest") {
+      if (all([near](const std::string& in, const Value& out) {
+            if (!out.is_list() ||
+                !IsValidSequence(in, SeqAlphabet::kProtein)) {
+              return false;
+            }
+            // Recompute the tryptic digest.
+            std::vector<double> masses;
+            size_t start = 0;
+            for (size_t i = 0; i < in.size(); ++i) {
+              if (in[i] == 'K' || in[i] == 'R') {
+                masses.push_back(ProteinMass(in.substr(start, i - start + 1)));
+                start = i + 1;
+              }
+            }
+            if (start < in.size()) masses.push_back(ProteinMass(in.substr(start)));
+            const auto& produced = out.AsList();
+            if (produced.size() != masses.size()) return false;
+            for (size_t i = 0; i < masses.size(); ++i) {
+              if (!produced[i].is_double() ||
+                  !near(produced[i].AsDouble(), masses[i])) {
+                return false;
+              }
+            }
+            return true;
+          })) {
+        return true;
+      }
+    } else if (derivation == "protein_mass") {
+      if (all([near](const std::string& in, const Value& out) {
+            return out.is_double() &&
+                   IsValidSequence(in, SeqAlphabet::kProtein) &&
+                   near(out.AsDouble(), ProteinMass(in));
+          })) {
+        return true;
+      }
+    } else {
+      // Nucleotide statistics.
+      NucStat stat;
+      bool integral = false;
+      if (derivation == "gc") {
+        stat = NucStat::kGcContent;
+      } else if (derivation == "at") {
+        stat = NucStat::kAtContent;
+      } else if (derivation == "count_a") {
+        stat = NucStat::kCountA;
+        integral = true;
+      } else if (derivation == "count_c") {
+        stat = NucStat::kCountC;
+        integral = true;
+      } else if (derivation == "count_g") {
+        stat = NucStat::kCountG;
+        integral = true;
+      } else if (derivation == "count_cg") {
+        stat = NucStat::kCountCgDinucleotide;
+        integral = true;
+      } else if (derivation == "purines") {
+        stat = NucStat::kPurineCount;
+        integral = true;
+      } else {
+        continue;
+      }
+      if (all([&](const std::string& in, const Value& out) {
+            if (!IsValidSequence(in, SeqAlphabet::kDna) &&
+                !IsValidSequence(in, SeqAlphabet::kRna)) {
+              return false;
+            }
+            double expected = NucleotideStatistic(stat, in);
+            if (integral) {
+              return out.is_int() &&
+                     out.AsInt() == static_cast<int64_t>(std::llround(expected));
+            }
+            return out.is_double() && near(out.AsDouble(), expected);
+          })) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- Dispatch
+
+std::optional<ModuleKind> DetectKindFromExamples(const ModuleSpec& spec,
+                                                 const DataExampleSet& examples,
+                                                 const UserProfile& profile) {
+  (void)spec;  // Detection is purely example-driven.
+  if (DetectFiltering(examples, profile)) return ModuleKind::kFiltering;
+  if (DetectMapping(examples)) return ModuleKind::kMappingIdentifiers;
+  if (DetectRetrieval(examples, profile)) return ModuleKind::kDataRetrieval;
+  if (DetectFormatTransformation(examples)) {
+    return ModuleKind::kFormatTransformation;
+  }
+  if (DetectAnalysisDerivation(examples, profile)) {
+    return ModuleKind::kDataAnalysis;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dexa

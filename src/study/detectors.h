@@ -1,0 +1,34 @@
+#ifndef DEXA_STUDY_DETECTORS_H_
+#define DEXA_STUDY_DETECTORS_H_
+
+#include <optional>
+
+#include "modules/data_example.h"
+#include "modules/module.h"
+#include "study/user_model.h"
+
+namespace dexa {
+
+/// The mechanistic "reading" of a module's data examples by a simulated
+/// participant: each detector checks whether the examples exhibit the
+/// signature of one kind of data manipulation, using only what the given
+/// profile knows. Returns the kind whose signature fits (detectors are
+/// tried from most to least specific), or nullopt when the participant
+/// cannot explain the behavior.
+std::optional<ModuleKind> DetectKindFromExamples(const ModuleSpec& spec,
+                                                 const DataExampleSet& examples,
+                                                 const UserProfile& profile);
+
+/// Individual detectors, exposed for tests.
+bool DetectFiltering(const DataExampleSet& examples,
+                     const UserProfile& profile);
+bool DetectMapping(const DataExampleSet& examples);
+bool DetectRetrieval(const DataExampleSet& examples,
+                     const UserProfile& profile);
+bool DetectFormatTransformation(const DataExampleSet& examples);
+bool DetectAnalysisDerivation(const DataExampleSet& examples,
+                              const UserProfile& profile);
+
+}  // namespace dexa
+
+#endif  // DEXA_STUDY_DETECTORS_H_

@@ -1,0 +1,56 @@
+#include "study/study.h"
+
+#include "study/detectors.h"
+
+namespace dexa {
+
+double StudyResult::AverageIdentificationRate() const {
+  if (users.empty() || total_modules == 0) return 0.0;
+  double total = 0.0;
+  for (const StudyUserResult& user : users) {
+    total += static_cast<double>(user.identified_with_examples);
+  }
+  return total / static_cast<double>(users.size()) /
+         static_cast<double>(total_modules);
+}
+
+Result<StudyResult> RunUnderstandingStudy(
+    const Corpus& corpus, const std::vector<UserProfile>& users) {
+  StudyResult result;
+  result.total_modules = corpus.available_ids.size();
+
+  std::vector<ModulePtr> modules;
+  modules.reserve(corpus.available_ids.size());
+  for (const std::string& id : corpus.available_ids) {
+    auto module = corpus.registry->Find(id);
+    if (!module.ok()) return module.status();
+    modules.push_back(*module);
+    ++result.modules_per_kind[(*module)->spec().kind];
+  }
+
+  for (const UserProfile& profile : users) {
+    StudyUserResult row;
+    row.user = profile.name;
+    for (const ModulePtr& module : modules) {
+      const ModuleSpec& spec = module->spec();
+      bool phase1 = spec.popularity >= profile.popularity_threshold;
+      if (phase1) ++row.identified_without_examples;
+
+      bool phase2 = phase1;
+      if (!phase2) {
+        const DataExampleSet& examples =
+            corpus.registry->DataExamplesOf(spec.id);
+        auto detected = DetectKindFromExamples(spec, examples, profile);
+        phase2 = detected.has_value() && *detected == spec.kind;
+      }
+      if (phase2) {
+        ++row.identified_with_examples;
+        ++row.per_kind_with_examples[spec.kind];
+      }
+    }
+    result.users.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace dexa

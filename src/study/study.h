@@ -1,0 +1,47 @@
+#ifndef DEXA_STUDY_STUDY_H_
+#define DEXA_STUDY_STUDY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/corpus.h"
+#include "modules/registry.h"
+#include "study/user_model.h"
+
+namespace dexa {
+
+/// Per-participant result of the understanding study (Figure 5).
+struct StudyUserResult {
+  std::string user;
+  /// Phase 1: modules whose behavior was described correctly from name and
+  /// parameter annotations alone.
+  size_t identified_without_examples = 0;
+  /// Phase 2: after examining the data examples.
+  size_t identified_with_examples = 0;
+  /// Phase-2 breakdown by module kind (Section 5's analysis).
+  std::map<ModuleKind, size_t> per_kind_with_examples;
+};
+
+struct StudyResult {
+  std::vector<StudyUserResult> users;
+  size_t total_modules = 0;
+  std::map<ModuleKind, size_t> modules_per_kind;  ///< Table 3.
+
+  /// Average phase-2 identification rate across participants (the paper's
+  /// "in average ... 73%").
+  double AverageIdentificationRate() const;
+};
+
+/// Runs the two-phase protocol of Section 5 over the available modules of
+/// `corpus`: phase 1 identifies by module fame alone; phase 2 adds what the
+/// participant can mechanistically infer from the data examples stored in
+/// the registry. Phase-1 identifications are never lost in phase 2 (the
+/// paper notes the same).
+Result<StudyResult> RunUnderstandingStudy(const Corpus& corpus,
+                                          const std::vector<UserProfile>& users);
+
+}  // namespace dexa
+
+#endif  // DEXA_STUDY_STUDY_H_

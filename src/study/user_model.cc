@@ -1,0 +1,35 @@
+#include "study/user_model.h"
+
+namespace dexa {
+
+std::vector<UserProfile> DefaultStudyUsers() {
+  std::vector<UserProfile> users(3);
+
+  users[0].name = "user1";
+  users[0].popularity_threshold = 0.6;
+  users[0].unknown_formats = {"GlycanRecord", "LigandRecord"};
+  users[0].derivations = {"length", "reverse", "translate", "digest",
+                          "protein_mass"};
+  users[0].predicate_families = {"organism"};
+
+  users[1].name = "user2";
+  users[1].popularity_threshold = 0.8;
+  users[1].unknown_formats = {"LigandRecord"};
+  users[1].derivations = {"length",  "reverse", "translate", "digest",
+                          "protein_mass", "gc", "at",        "count_a",
+                          "count_c", "count_g", "count_cg"};
+  users[1].predicate_families = {"organism", "length_threshold"};
+
+  users[2].name = "user3";
+  users[2].popularity_threshold = 0.4;
+  users[2].unknown_formats = {"GlycanRecord"};
+  users[2].derivations = {"length",  "reverse", "translate", "digest",
+                          "protein_mass", "gc", "at",        "count_a",
+                          "count_c", "count_g", "count_cg",  "purines"};
+  users[2].predicate_families = {"organism", "length_threshold",
+                                 "numeric_threshold"};
+
+  return users;
+}
+
+}  // namespace dexa

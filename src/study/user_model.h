@@ -1,0 +1,43 @@
+#ifndef DEXA_STUDY_USER_MODEL_H_
+#define DEXA_STUDY_USER_MODEL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dexa {
+
+/// What a simulated study participant knows (Section 5). Identification is
+/// mechanistic: the participant recognizes famous modules by name (phase 1)
+/// and otherwise reasons over the data examples with the knowledge listed
+/// here (phase 2).
+struct UserProfile {
+  std::string name;
+
+  /// Phase 1: modules with popularity >= this threshold are recognized by
+  /// name alone.
+  double popularity_threshold = 1.1;
+
+  /// Flat-file formats the participant can read. Retrieval modules whose
+  /// outputs use unknown formats go unidentified (the paper's users failed
+  /// on Glycan and Ligand outputs).
+  std::set<std::string> unknown_formats;
+
+  /// Derivations the participant tries when examining an analysis module's
+  /// examples ("length", "reverse", "translate", "digest", "protein_mass",
+  /// "gc", "at", "count_a", "count_c", "count_g", "count_cg", "purines").
+  std::vector<std::string> derivations;
+
+  /// Predicate families the participant tries on filtering modules
+  /// ("organism", "length_threshold", "numeric_threshold").
+  std::vector<std::string> predicate_families;
+};
+
+/// The three participants of the paper's study, calibrated so the
+/// identification counts of Figure 5 and the per-kind breakdown of
+/// Section 5 emerge from the detectors.
+std::vector<UserProfile> DefaultStudyUsers();
+
+}  // namespace dexa
+
+#endif  // DEXA_STUDY_USER_MODEL_H_

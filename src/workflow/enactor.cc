@@ -1,0 +1,179 @@
+#include "workflow/enactor.h"
+
+#include <algorithm>
+
+namespace dexa {
+
+Result<EnactmentResult> Enact(const Workflow& workflow,
+                              const ModuleRegistry& registry,
+                              const std::vector<Value>& inputs) {
+  if (inputs.size() != workflow.inputs.size()) {
+    return Status::InvalidArgument(
+        "workflow '" + workflow.name + "' expects " +
+        std::to_string(workflow.inputs.size()) + " inputs, got " +
+        std::to_string(inputs.size()));
+  }
+  auto order = TopologicalOrder(workflow);
+  if (!order.ok()) return order.status();
+
+  EnactmentResult result;
+  // Values produced so far: per processor, its output vector.
+  std::vector<std::vector<Value>> produced(workflow.processors.size());
+
+  auto resolve = [&](const PortSource& source) -> Result<Value> {
+    if (source.from_workflow_input()) {
+      if (source.port < 0 ||
+          static_cast<size_t>(source.port) >= inputs.size()) {
+        return Status::InvalidArgument("workflow input index out of range");
+      }
+      return inputs[static_cast<size_t>(source.port)];
+    }
+    if (source.processor < 0 ||
+        static_cast<size_t>(source.processor) >= produced.size()) {
+      return Status::InvalidArgument("source processor index out of range");
+    }
+    const auto& values = produced[static_cast<size_t>(source.processor)];
+    if (source.port < 0 || static_cast<size_t>(source.port) >= values.size()) {
+      return Status::InvalidArgument("source output port out of range");
+    }
+    return values[static_cast<size_t>(source.port)];
+  };
+
+  for (int p : *order) {
+    const Processor& processor =
+        workflow.processors[static_cast<size_t>(p)];
+    auto module = registry.Find(processor.module_id);
+    if (!module.ok()) return module.status();
+
+    std::vector<Value> module_inputs;
+    module_inputs.reserve(processor.input_sources.size());
+    for (const PortSource& source : processor.input_sources) {
+      auto value = resolve(source);
+      if (!value.ok()) return value.status();
+      module_inputs.push_back(std::move(value).value());
+    }
+
+    auto outputs = (*module)->Invoke(module_inputs);
+    if (!outputs.ok()) {
+      return Status(outputs.status().code(),
+                    "workflow '" + workflow.name + "', processor '" +
+                        processor.name + "': " + outputs.status().message());
+    }
+
+    InvocationRecord record;
+    record.workflow_id = workflow.id;
+    record.processor_name = processor.name;
+    record.module_id = processor.module_id;
+    record.inputs = module_inputs;
+    record.outputs = *outputs;
+    result.invocations.push_back(std::move(record));
+
+    produced[static_cast<size_t>(p)] = std::move(outputs).value();
+  }
+
+  for (const WorkflowOutput& output : workflow.outputs) {
+    auto value = resolve(output.source);
+    if (!value.ok()) return value.status();
+    result.outputs.push_back(std::move(value).value());
+  }
+  return result;
+}
+
+Result<Workflow> ExtractSubWorkflow(
+    const Workflow& workflow, const ModuleRegistry& registry,
+    const std::vector<int>& processor_indices) {
+  std::vector<bool> selected(workflow.processors.size(), false);
+  for (int p : processor_indices) {
+    if (p < 0 || static_cast<size_t>(p) >= workflow.processors.size()) {
+      return Status::InvalidArgument("processor index out of range");
+    }
+    selected[static_cast<size_t>(p)] = true;
+  }
+
+  Workflow sub;
+  sub.id = workflow.id + "#sub";
+  sub.name = workflow.name + " (sub-workflow)";
+
+  // Old processor index -> new index.
+  std::vector<int> remap(workflow.processors.size(), -1);
+  for (size_t p = 0; p < workflow.processors.size(); ++p) {
+    if (!selected[p]) continue;
+    remap[p] = static_cast<int>(sub.processors.size());
+    sub.processors.push_back(workflow.processors[p]);
+  }
+
+  // Rewire inputs; dangling sources become new workflow inputs.
+  for (Processor& processor : sub.processors) {
+    for (PortSource& source : processor.input_sources) {
+      if (!source.from_workflow_input() &&
+          selected[static_cast<size_t>(source.processor)]) {
+        source.processor = remap[static_cast<size_t>(source.processor)];
+        continue;
+      }
+      // Dangling: materialize as a new workflow input with the source's
+      // parameter description.
+      Parameter param;
+      if (source.from_workflow_input()) {
+        param = workflow.inputs[static_cast<size_t>(source.port)];
+      } else {
+        const Processor& producer =
+            workflow.processors[static_cast<size_t>(source.processor)];
+        auto module = registry.Find(producer.module_id);
+        if (!module.ok()) return module.status();
+        param = (*module)->spec().outputs[static_cast<size_t>(source.port)];
+        param.name = producer.name + "." + param.name;
+      }
+      source.processor = PortSource::kWorkflowInputSource;
+      source.port = static_cast<int>(sub.inputs.size());
+      sub.inputs.push_back(std::move(param));
+    }
+  }
+
+  // Every output port of a selected processor that fed an excluded
+  // processor or a workflow output becomes a sub-workflow output; if none
+  // qualify, expose every output of every selected processor.
+  auto add_output = [&](int old_processor, int port) {
+    int new_processor = remap[static_cast<size_t>(old_processor)];
+    for (const WorkflowOutput& existing : sub.outputs) {
+      if (existing.source.processor == new_processor &&
+          existing.source.port == port) {
+        return;
+      }
+    }
+    WorkflowOutput output;
+    output.name = workflow.processors[static_cast<size_t>(old_processor)].name +
+                  "_out" + std::to_string(port);
+    output.source.processor = new_processor;
+    output.source.port = port;
+    sub.outputs.push_back(std::move(output));
+  };
+
+  for (size_t p = 0; p < workflow.processors.size(); ++p) {
+    if (selected[p]) continue;
+    for (const PortSource& source : workflow.processors[p].input_sources) {
+      if (!source.from_workflow_input() &&
+          selected[static_cast<size_t>(source.processor)]) {
+        add_output(source.processor, source.port);
+      }
+    }
+  }
+  for (const WorkflowOutput& output : workflow.outputs) {
+    if (!output.source.from_workflow_input() &&
+        selected[static_cast<size_t>(output.source.processor)]) {
+      add_output(output.source.processor, output.source.port);
+    }
+  }
+  if (sub.outputs.empty()) {
+    for (size_t p = 0; p < workflow.processors.size(); ++p) {
+      if (!selected[p]) continue;
+      auto module = registry.Find(workflow.processors[p].module_id);
+      if (!module.ok()) return module.status();
+      for (size_t port = 0; port < (*module)->spec().outputs.size(); ++port) {
+        add_output(static_cast<int>(p), static_cast<int>(port));
+      }
+    }
+  }
+  return sub;
+}
+
+}  // namespace dexa

@@ -1,0 +1,54 @@
+#ifndef DEXA_WORKFLOW_ENACTOR_H_
+#define DEXA_WORKFLOW_ENACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workflow/workflow.h"
+
+namespace dexa {
+
+/// What one module invocation inside an enactment consumed and produced —
+/// the unit of workflow provenance (Section 4.1: "traces of past workflow
+/// executions including the data values used as input and obtained as
+/// output of the scientific modules").
+struct InvocationRecord {
+  std::string workflow_id;
+  std::string processor_name;
+  std::string module_id;
+  std::vector<Value> inputs;
+  std::vector<Value> outputs;
+};
+
+/// The result of enacting a workflow: the workflow-level outputs plus the
+/// captured provenance.
+struct EnactmentResult {
+  std::vector<Value> outputs;
+  std::vector<InvocationRecord> invocations;
+};
+
+/// Enacts `workflow` on `inputs` (one value per workflow input), invoking
+/// modules from `registry` in topological order and threading values along
+/// the data links. Fails with:
+///  * Unavailable if any referenced module has been withdrawn;
+///  * InvalidArgument if the workflow is malformed, `inputs` has the wrong
+///    arity, or a module rejects its input combination.
+/// Provenance is captured for the invocations that did run.
+Result<EnactmentResult> Enact(const Workflow& workflow,
+                              const ModuleRegistry& registry,
+                              const std::vector<Value>& inputs);
+
+/// Extracts the sub-workflow induced by `processor_indices` (Section 6:
+/// validating substitutes on sub-workflows). Dangling inputs — links from
+/// processors outside the selection — become new workflow-level inputs with
+/// the parameters of their original sources; outputs of selected processors
+/// that fed excluded processors (or were workflow outputs) become workflow
+/// outputs.
+Result<Workflow> ExtractSubWorkflow(const Workflow& workflow,
+                                    const ModuleRegistry& registry,
+                                    const std::vector<int>& processor_indices);
+
+}  // namespace dexa
+
+#endif  // DEXA_WORKFLOW_ENACTOR_H_

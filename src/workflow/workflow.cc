@@ -1,0 +1,154 @@
+#include "workflow/workflow.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dexa {
+
+std::vector<std::string> Workflow::ReferencedModuleIds() const {
+  std::vector<std::string> out;
+  out.reserve(processors.size());
+  for (const Processor& processor : processors) {
+    out.push_back(processor.module_id);
+  }
+  return out;
+}
+
+namespace {
+
+/// Resolves the Parameter a PortSource produces, or an error.
+Result<Parameter> SourceParameter(const Workflow& workflow,
+                                  const ModuleRegistry& registry,
+                                  const PortSource& source) {
+  if (source.from_workflow_input()) {
+    if (source.port < 0 ||
+        static_cast<size_t>(source.port) >= workflow.inputs.size()) {
+      return Status::InvalidArgument("workflow input index out of range");
+    }
+    return workflow.inputs[static_cast<size_t>(source.port)];
+  }
+  if (source.processor < 0 ||
+      static_cast<size_t>(source.processor) >= workflow.processors.size()) {
+    return Status::InvalidArgument("source processor index out of range");
+  }
+  const Processor& producer =
+      workflow.processors[static_cast<size_t>(source.processor)];
+  auto module = registry.Find(producer.module_id);
+  if (!module.ok()) return module.status();
+  const auto& outputs = (*module)->spec().outputs;
+  if (source.port < 0 || static_cast<size_t>(source.port) >= outputs.size()) {
+    return Status::InvalidArgument("source output port out of range for '" +
+                                   producer.name + "'");
+  }
+  return outputs[static_cast<size_t>(source.port)];
+}
+
+}  // namespace
+
+Status ValidateWorkflow(const Workflow& workflow,
+                        const ModuleRegistry& registry,
+                        const Ontology& ontology) {
+  for (const Processor& processor : workflow.processors) {
+    auto module = registry.Find(processor.module_id);
+    if (!module.ok()) {
+      return Status::NotFound("workflow '" + workflow.name +
+                              "': processor '" + processor.name +
+                              "' references unregistered module '" +
+                              processor.module_id + "'");
+    }
+    const auto& inputs = (*module)->spec().inputs;
+    if (processor.input_sources.size() != inputs.size()) {
+      return Status::InvalidArgument(
+          "workflow '" + workflow.name + "': processor '" + processor.name +
+          "' wires " + std::to_string(processor.input_sources.size()) +
+          " inputs, module expects " + std::to_string(inputs.size()));
+    }
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      auto source_param =
+          SourceParameter(workflow, registry, processor.input_sources[i]);
+      if (!source_param.ok()) return source_param.status();
+      const Parameter& dest = inputs[i];
+      if (!source_param->structural_type.IsCompatibleWith(
+              dest.structural_type)) {
+        return Status::InvalidArgument(
+            "workflow '" + workflow.name + "': link into '" + processor.name +
+            "." + dest.name + "' is structurally incompatible (" +
+            source_param->structural_type.ToString() + " vs " +
+            dest.structural_type.ToString() + ")");
+      }
+      if (!ontology.IsSubsumedBy(source_param->semantic_type,
+                                 dest.semantic_type)) {
+        return Status::InvalidArgument(
+            "workflow '" + workflow.name + "': link into '" + processor.name +
+            "." + dest.name + "' is semantically incompatible (" +
+            ontology.NameOf(source_param->semantic_type) + " is not subsumed by " +
+            ontology.NameOf(dest.semantic_type) + ")");
+      }
+    }
+  }
+  for (const WorkflowOutput& output : workflow.outputs) {
+    auto source_param = SourceParameter(workflow, registry, output.source);
+    if (!source_param.ok()) return source_param.status();
+  }
+  auto order = TopologicalOrder(workflow);
+  if (!order.ok()) return order.status();
+  return Status::OK();
+}
+
+Result<std::vector<int>> TopologicalOrder(const Workflow& workflow) {
+  const size_t n = workflow.processors.size();
+  std::vector<std::vector<int>> downstream(n);
+  std::vector<int> in_degree(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    for (const PortSource& source : workflow.processors[p].input_sources) {
+      if (source.from_workflow_input()) continue;
+      if (source.processor < 0 || static_cast<size_t>(source.processor) >= n) {
+        return Status::InvalidArgument("source processor index out of range");
+      }
+      downstream[static_cast<size_t>(source.processor)].push_back(
+          static_cast<int>(p));
+      ++in_degree[p];
+    }
+  }
+  // Kahn's algorithm with a min-queue for deterministic order.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+  for (size_t p = 0; p < n; ++p) {
+    if (in_degree[p] == 0) ready.push(static_cast<int>(p));
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    int p = ready.top();
+    ready.pop();
+    order.push_back(p);
+    for (int q : downstream[static_cast<size_t>(p)]) {
+      if (--in_degree[static_cast<size_t>(q)] == 0) ready.push(q);
+    }
+  }
+  if (order.size() != n) {
+    return Status::InvalidArgument("workflow '" + workflow.name +
+                                   "' contains a data-link cycle");
+  }
+  return order;
+}
+
+bool IsEnactable(const Workflow& workflow, const ModuleRegistry& registry) {
+  return UnavailableModules(workflow, registry).empty();
+}
+
+std::vector<std::string> UnavailableModules(const Workflow& workflow,
+                                            const ModuleRegistry& registry) {
+  std::vector<std::string> out;
+  for (const Processor& processor : workflow.processors) {
+    auto module = registry.Find(processor.module_id);
+    if (module.ok() && !(*module)->available()) {
+      if (std::find(out.begin(), out.end(), processor.module_id) ==
+          out.end()) {
+        out.push_back(processor.module_id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dexa

@@ -1,0 +1,86 @@
+#ifndef DEXA_WORKFLOW_WORKFLOW_H_
+#define DEXA_WORKFLOW_WORKFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "modules/module.h"
+#include "modules/registry.h"
+
+namespace dexa {
+
+/// Where a value consumed by a processor input (or workflow output) comes
+/// from: either a workflow-level input or an output port of an upstream
+/// processor.
+struct PortSource {
+  /// Index of the producing processor, or kWorkflowInputSource for a
+  /// workflow-level input.
+  static constexpr int kWorkflowInputSource = -1;
+  int processor = kWorkflowInputSource;
+  /// Output-port index of the producer (or workflow-input index).
+  int port = 0;
+
+  bool from_workflow_input() const {
+    return processor == kWorkflowInputSource;
+  }
+};
+
+/// A step of a workflow: an invocation of a registered module. The wiring
+/// (`input_sources`) gives one PortSource per module input parameter.
+struct Processor {
+  std::string name;
+  std::string module_id;
+  std::vector<PortSource> input_sources;
+};
+
+/// A workflow-level output: exposes one processor output port.
+struct WorkflowOutput {
+  std::string name;
+  PortSource source;
+};
+
+/// A scientific workflow in the Taverna style the paper works with
+/// (Figures 1, 6, 7): a DAG whose steps invoke scientific modules and whose
+/// edges are data links.
+struct Workflow {
+  std::string id;
+  std::string name;
+  std::vector<Parameter> inputs;  ///< Workflow-level inputs.
+  std::vector<Processor> processors;
+  std::vector<WorkflowOutput> outputs;
+
+  /// Module ids referenced by the processors, in processor order (with
+  /// duplicates when a module is used twice).
+  std::vector<std::string> ReferencedModuleIds() const;
+};
+
+/// Statically validates `workflow` against `registry`:
+///  * every processor references a registered module;
+///  * wiring arity matches the module input arity;
+///  * sources reference existing ports;
+///  * the data-link graph is acyclic (evaluation order exists);
+///  * linked ports are structurally equal and semantically compatible
+///    (source concept subsumed by destination concept), the compatibility
+///    notion of Section 6.
+/// Does NOT require referenced modules to be available — decayed workflows
+/// (Section 6) are valid but not enactable.
+Status ValidateWorkflow(const Workflow& workflow,
+                        const ModuleRegistry& registry,
+                        const Ontology& ontology);
+
+/// Topological evaluation order of the processors; InvalidArgument if the
+/// graph has a cycle.
+Result<std::vector<int>> TopologicalOrder(const Workflow& workflow);
+
+/// True if every module referenced by `workflow` is still available.
+bool IsEnactable(const Workflow& workflow, const ModuleRegistry& registry);
+
+/// Module ids referenced by `workflow` that are registered but no longer
+/// available (the "unavailable modules" of Section 6).
+std::vector<std::string> UnavailableModules(const Workflow& workflow,
+                                            const ModuleRegistry& registry);
+
+}  // namespace dexa
+
+#endif  // DEXA_WORKFLOW_WORKFLOW_H_

@@ -1,0 +1,153 @@
+#include "workflow/workflow_io.h"
+
+#include "common/strings.h"
+#include "types/structural_type.h"
+
+namespace dexa {
+
+namespace {
+constexpr const char* kHeader = "# dexa workflow v1";
+
+std::string RenderSource(const PortSource& source) {
+  if (source.from_workflow_input()) {
+    return "input " + std::to_string(source.port);
+  }
+  return "proc " + std::to_string(source.processor) + " " +
+         std::to_string(source.port);
+}
+
+Result<PortSource> ParseSource(const std::string& text) {
+  std::vector<std::string> tokens;
+  for (const std::string& t : Split(text, ' ')) {
+    if (!t.empty()) tokens.push_back(t);
+  }
+  PortSource source;
+  int64_t value = 0;
+  if (tokens.size() == 2 && tokens[0] == "input") {
+    if (!ParseInt64(tokens[1], &value)) {
+      return Status::ParseError("bad input index '" + tokens[1] + "'");
+    }
+    source.processor = PortSource::kWorkflowInputSource;
+    source.port = static_cast<int>(value);
+    return source;
+  }
+  if (tokens.size() == 3 && tokens[0] == "proc") {
+    if (!ParseInt64(tokens[1], &value)) {
+      return Status::ParseError("bad processor index '" + tokens[1] + "'");
+    }
+    source.processor = static_cast<int>(value);
+    if (!ParseInt64(tokens[2], &value)) {
+      return Status::ParseError("bad port index '" + tokens[2] + "'");
+    }
+    source.port = static_cast<int>(value);
+    return source;
+  }
+  return Status::ParseError("malformed source '" + text + "'");
+}
+
+}  // namespace
+
+std::string RenderWorkflowDsl(const Workflow& workflow,
+                              const Ontology& ontology) {
+  std::string out = std::string(kHeader) + "\n";
+  out += "workflow " + workflow.id + "\n";
+  out += "name " + workflow.name + "\n";
+  for (const Parameter& input : workflow.inputs) {
+    out += "input " + input.name + " | " + input.structural_type.ToString() +
+           " | " + ontology.NameOf(input.semantic_type) + "\n";
+  }
+  for (size_t p = 0; p < workflow.processors.size(); ++p) {
+    const Processor& processor = workflow.processors[p];
+    out += "processor " + processor.name + " | " + processor.module_id + "\n";
+    for (size_t i = 0; i < processor.input_sources.size(); ++i) {
+      out += "wire " + std::to_string(p) + " " + std::to_string(i) + " = " +
+             RenderSource(processor.input_sources[i]) + "\n";
+    }
+  }
+  for (const WorkflowOutput& output : workflow.outputs) {
+    out += "output " + output.name + " = " + RenderSource(output.source) +
+           "\n";
+  }
+  return out;
+}
+
+Result<Workflow> ParseWorkflowDsl(const std::string& text,
+                                  const Ontology& ontology) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || lines[0] != kHeader) {
+    return Status::ParseError("missing dexa workflow header");
+  }
+  Workflow workflow;
+  bool has_id = false;
+  for (size_t n = 1; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("line " + std::to_string(n + 1) + ": " + msg);
+    };
+    if (line.empty() || line[0] == '#') continue;
+    if (StartsWith(line, "workflow ")) {
+      workflow.id = Trim(line.substr(9));
+      has_id = true;
+    } else if (StartsWith(line, "name ")) {
+      workflow.name = line.substr(5);
+    } else if (StartsWith(line, "input ")) {
+      std::vector<std::string> parts = Split(line.substr(6), '|');
+      if (parts.size() != 3) return err("input needs 'name | type | concept'");
+      Parameter param;
+      param.name = Trim(parts[0]);
+      auto type = ParseStructuralType(Trim(parts[1]));
+      if (!type.ok()) return err(type.status().ToString());
+      param.structural_type = std::move(type).value();
+      param.semantic_type = ontology.Find(Trim(parts[2]));
+      if (param.semantic_type == kInvalidConcept) {
+        return err("unknown concept '" + Trim(parts[2]) + "'");
+      }
+      workflow.inputs.push_back(std::move(param));
+    } else if (StartsWith(line, "processor ")) {
+      std::vector<std::string> parts = Split(line.substr(10), '|');
+      if (parts.size() != 2) return err("processor needs 'name | module'");
+      Processor processor;
+      processor.name = Trim(parts[0]);
+      processor.module_id = Trim(parts[1]);
+      workflow.processors.push_back(std::move(processor));
+    } else if (StartsWith(line, "wire ")) {
+      size_t eq = line.find('=');
+      if (eq == std::string::npos) return err("wire needs '='");
+      std::vector<std::string> head;
+      for (const std::string& t : Split(line.substr(5, eq - 5), ' ')) {
+        if (!t.empty()) head.push_back(t);
+      }
+      if (head.size() != 2) return err("wire needs '<proc> <slot> ='");
+      int64_t proc = 0, slot = 0;
+      if (!ParseInt64(head[0], &proc) || !ParseInt64(head[1], &slot)) {
+        return err("bad wire indices");
+      }
+      if (proc < 0 || static_cast<size_t>(proc) >= workflow.processors.size()) {
+        return err("wire references undeclared processor");
+      }
+      auto source = ParseSource(Trim(line.substr(eq + 1)));
+      if (!source.ok()) return err(source.status().ToString());
+      auto& sources =
+          workflow.processors[static_cast<size_t>(proc)].input_sources;
+      if (static_cast<size_t>(slot) != sources.size()) {
+        return err("wire slots must appear in order");
+      }
+      sources.push_back(std::move(source).value());
+    } else if (StartsWith(line, "output ")) {
+      size_t eq = line.find('=');
+      if (eq == std::string::npos) return err("output needs '='");
+      WorkflowOutput output;
+      output.name = Trim(line.substr(7, eq - 7));
+      auto source = ParseSource(Trim(line.substr(eq + 1)));
+      if (!source.ok()) return err(source.status().ToString());
+      output.source = std::move(source).value();
+      workflow.outputs.push_back(std::move(output));
+    } else {
+      return err("unrecognized line '" + line + "'");
+    }
+  }
+  if (!has_id) return Status::ParseError("missing 'workflow' line");
+  return workflow;
+}
+
+}  // namespace dexa

@@ -1,0 +1,37 @@
+#ifndef DEXA_WORKFLOW_WORKFLOW_IO_H_
+#define DEXA_WORKFLOW_WORKFLOW_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+#include "workflow/workflow.h"
+
+namespace dexa {
+
+/// Renders a workflow to the dexa workflow DSL:
+///
+///   # dexa workflow v1
+///   workflow <id>
+///   name <free text>
+///   input <name> | <structural type> | <concept>
+///   processor <name> | <module id>
+///   wire <proc> <slot> = input <k>
+///   wire <proc> <slot> = proc <p> <port>
+///   output <name> = proc <p> <port>
+///
+/// Round-trips with ParseWorkflowDsl for every workflow the generator
+/// produces (input names may contain '|' only if you enjoy chaos; the
+/// corpus never does).
+std::string RenderWorkflowDsl(const Workflow& workflow,
+                              const Ontology& ontology);
+
+/// Parses the DSL back into a Workflow (concept names resolved against
+/// `ontology`; module ids are kept verbatim and validated separately with
+/// ValidateWorkflow).
+Result<Workflow> ParseWorkflowDsl(const std::string& text,
+                                  const Ontology& ontology);
+
+}  // namespace dexa
+
+#endif  // DEXA_WORKFLOW_WORKFLOW_IO_H_

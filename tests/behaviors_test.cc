@@ -1,0 +1,246 @@
+// Unit tests of the corpus behavior helpers (src/corpus/behaviors.*): the
+// shared implementations behind the 324 synthetic modules.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "corpus/behaviors.h"
+#include "formats/alphabet.h"
+#include "formats/sniffer.h"
+#include "kb/knowledge_base.h"
+
+namespace dexa {
+namespace {
+
+class BehaviorsTest : public ::testing::Test {
+ protected:
+  static const KnowledgeBase& kb() {
+    static const KnowledgeBase* instance = new KnowledgeBase(42);
+    return *instance;
+  }
+};
+
+TEST_F(BehaviorsTest, RetrieveRecordServesEveryKind) {
+  struct Row {
+    RecordKind kind;
+    std::string accession;
+  };
+  const ProteinEntity& protein = kb().proteins()[0];
+  std::vector<Row> rows = {
+      {RecordKind::kUniprot, protein.accession},
+      {RecordKind::kFasta, protein.accession},
+      {RecordKind::kEmbl, protein.embl_accession},
+      {RecordKind::kGenBank, protein.embl_accession},
+      {RecordKind::kPdb, protein.pdb_accession},
+      {RecordKind::kKeggGene, kb().genes()[0].gene_id},
+      {RecordKind::kEnzyme, kb().enzymes()[0].ec_number},
+      {RecordKind::kGlycan, kb().glycans()[0].glycan_id},
+      {RecordKind::kLigand, kb().ligands()[0].ligand_id},
+      {RecordKind::kCompound, kb().compounds()[0].compound_id},
+      {RecordKind::kPathway, kb().pathways()[0].pathway_id},
+      {RecordKind::kGo, kb().go_terms()[0].go_id},
+      {RecordKind::kInterPro, protein.accession},
+      {RecordKind::kPfam, protein.accession},
+      {RecordKind::kDisease, kb().genes()[0].gene_id},
+  };
+  for (const Row& row : rows) {
+    auto record = RetrieveRecord(kb(), row.kind, row.accession);
+    ASSERT_TRUE(record.ok())
+        << RecordKindConcept(row.kind) << ": " << record.status();
+    EXPECT_EQ(SniffFormat(*record), RecordKindConcept(row.kind));
+  }
+}
+
+TEST_F(BehaviorsTest, RetrieveRecordRejectsForeignIds) {
+  EXPECT_TRUE(
+      RetrieveRecord(kb(), RecordKind::kUniprot, "P99999").status().IsNotFound());
+  EXPECT_TRUE(
+      RetrieveRecord(kb(), RecordKind::kKeggGene, "xyz:1").status().IsNotFound());
+  EXPECT_TRUE(
+      RetrieveRecord(kb(), RecordKind::kDisease, "hsa:99999").status().IsNotFound());
+}
+
+TEST_F(BehaviorsTest, ExtractPrimaryIdAcrossFormats) {
+  // Sequence formats carry their accession.
+  for (RecordKind kind : {RecordKind::kUniprot, RecordKind::kFasta}) {
+    auto record = RetrieveRecord(kb(), kind, kb().proteins()[1].accession);
+    ASSERT_TRUE(record.ok());
+    auto id = ExtractPrimaryId(*record);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, kb().proteins()[1].accession);
+  }
+  // KEGG-family records carry their ENTRY id.
+  auto gene_record =
+      RetrieveRecord(kb(), RecordKind::kKeggGene, kb().genes()[2].gene_id);
+  ASSERT_TRUE(gene_record.ok());
+  EXPECT_EQ(*ExtractPrimaryId(*gene_record), kb().genes()[2].gene_id);
+  auto enzyme_record =
+      RetrieveRecord(kb(), RecordKind::kEnzyme, kb().enzymes()[1].ec_number);
+  ASSERT_TRUE(enzyme_record.ok());
+  EXPECT_EQ(*ExtractPrimaryId(*enzyme_record), kb().enzymes()[1].ec_number);
+  // Stanza formats carry their stanza id.
+  auto go_record =
+      RetrieveRecord(kb(), RecordKind::kGo, kb().go_terms()[3].go_id);
+  ASSERT_TRUE(go_record.ok());
+  EXPECT_EQ(*ExtractPrimaryId(*go_record), kb().go_terms()[3].go_id);
+  // Garbage is rejected.
+  EXPECT_TRUE(ExtractPrimaryId("garbage").status().IsInvalidArgument());
+}
+
+TEST_F(BehaviorsTest, ExtractEntryNameAndSummary) {
+  auto record =
+      RetrieveRecord(kb(), RecordKind::kUniprot, kb().proteins()[0].accession);
+  ASSERT_TRUE(record.ok());
+  auto name = ExtractEntryName(*record);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, kb().proteins()[0].name);
+  auto summary = SummarizeRecordLine(*record);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(*summary,
+            kb().proteins()[0].accession + " " + kb().proteins()[0].name);
+}
+
+TEST_F(BehaviorsTest, ExtractSequenceText) {
+  auto record =
+      RetrieveRecord(kb(), RecordKind::kFasta, kb().proteins()[0].accession);
+  ASSERT_TRUE(record.ok());
+  auto sequence = ExtractSequenceText(*record);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(*sequence, kb().proteins()[0].sequence);
+  // Non-sequence records carry no sequence.
+  auto go_record =
+      RetrieveRecord(kb(), RecordKind::kGo, kb().go_terms()[0].go_id);
+  ASSERT_TRUE(go_record.ok());
+  EXPECT_FALSE(ExtractSequenceText(*go_record).ok());
+}
+
+TEST_F(BehaviorsTest, LookupSequenceDispatchesOnNamespace) {
+  const ProteinEntity& protein = kb().proteins()[4];
+  const GeneEntity& gene = kb().genes()[4];
+  EXPECT_EQ(*LookupSequenceForAccession(kb(), protein.accession),
+            protein.sequence);
+  EXPECT_EQ(*LookupSequenceForAccession(kb(), protein.pdb_accession),
+            protein.sequence);
+  EXPECT_EQ(*LookupSequenceForAccession(kb(), protein.embl_accession),
+            gene.dna_sequence);
+  EXPECT_EQ(*LookupSequenceForAccession(kb(), gene.gene_id),
+            gene.dna_sequence);
+  EXPECT_TRUE(
+      LookupSequenceForAccession(kb(), "G00100").status().IsNotFound());
+}
+
+TEST_F(BehaviorsTest, NucleotideStatisticsHandValues) {
+  const std::string seq = "GGCCAATTCG";  // 10 bases: G3 C3 A2 T2.
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kGcContent, seq), 0.6);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kAtContent, seq), 0.4);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kCountA, seq), 2.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kCountC, seq), 3.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kCountG, seq), 3.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kCountCgDinucleotide, seq),
+                   1.0);  // One "CG" pair, at positions 8-9.
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kPurineCount, seq), 5.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kPyrimidineCount, seq), 5.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kMaxHomopolymerRun, seq), 2.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kGcSkew, seq), 0.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kBasicMeltingTemp, seq),
+                   2.0 * 4 + 4.0 * 6);
+  // Empty-input conventions.
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kGcContent, ""), 0.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kShannonEntropy, ""), 0.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kMaxHomopolymerRun, ""), 0.0);
+}
+
+TEST_F(BehaviorsTest, CgDinucleotideCountIsExact) {
+  EXPECT_DOUBLE_EQ(
+      NucleotideStatistic(NucStat::kCountCgDinucleotide, "CGCG"), 2.0);
+  EXPECT_DOUBLE_EQ(NucleotideStatistic(NucStat::kCountCgDinucleotide, "GC"),
+                   0.0);
+}
+
+TEST_F(BehaviorsTest, EntropyAndComplexityBounds) {
+  // Uniform 4-letter content maximizes entropy at 2 bits.
+  EXPECT_NEAR(NucleotideStatistic(NucStat::kShannonEntropy, "ACGTACGTACGT"),
+              2.0, 1e-9);
+  EXPECT_NEAR(NucleotideStatistic(NucStat::kShannonEntropy, "AAAA"), 0.0,
+              1e-9);
+  double complexity =
+      NucleotideStatistic(NucStat::kLinguisticComplexity, "AAAAAAAA");
+  EXPECT_NEAR(complexity, 1.0 / 6.0, 1e-9);  // One distinct trimer of six.
+}
+
+TEST_F(BehaviorsTest, SequencePropertyDispatchesOnAlphabet) {
+  const std::string protein = "MKWWY";
+  const std::string dna = "ACGT";
+  const std::string rna = "ACGU";
+  EXPECT_NEAR(SequenceProperty(SeqProperty::kMolecularWeight, protein),
+              ProteinMass(protein), 1e-9);
+  EXPECT_DOUBLE_EQ(SequenceProperty(SeqProperty::kMolecularWeight, dna),
+                   327.0 * 4);
+  EXPECT_DOUBLE_EQ(SequenceProperty(SeqProperty::kMolecularWeight, rna),
+                   343.0 * 4);
+  // Aromaticity of MKWWY: W, W, Y aromatic -> 3/5.
+  EXPECT_NEAR(SequenceProperty(SeqProperty::kAromaticity, protein), 0.6,
+              1e-9);
+  // Charge at pH 7: K=+1, everything else ~0 here.
+  EXPECT_NEAR(SequenceProperty(SeqProperty::kChargeAtPh7, protein), 1.0,
+              1e-9);
+}
+
+TEST_F(BehaviorsTest, LongSequencesUseTheSampledEstimator) {
+  // 'W' keeps the string unambiguously protein (an all-'A' string would
+  // classify as DNA).
+  std::string short_protein(kLongSequenceThreshold, 'W');
+  std::string long_protein(kLongSequenceThreshold + 1, 'W');
+  // At the threshold the exact path runs; past it the sampled path runs
+  // and (for the mass property) visibly diverges from the exact value.
+  EXPECT_NEAR(SequenceProperty(SeqProperty::kMolecularWeight, short_protein),
+              ProteinMass(short_protein), 1e-9);
+  EXPECT_GT(std::abs(
+                SequenceProperty(SeqProperty::kMolecularWeight, long_protein) -
+                ProteinMass(long_protein)),
+            1.0);
+}
+
+TEST_F(BehaviorsTest, TextMiningFindsKnownMentions) {
+  const DocumentEntity& document = kb().documents()[0];
+  auto genes = MineGeneIds(kb(), document.text);
+  EXPECT_FALSE(genes.empty());
+  for (const std::string& gene_id : genes) {
+    EXPECT_TRUE(kb().FindGene(gene_id).ok()) << gene_id;
+  }
+  // A document that mentions nothing yields nothing.
+  EXPECT_TRUE(MineGeneIds(kb(), "no biology here at all").empty());
+  EXPECT_TRUE(MinePathwayConcepts(kb(), "still no biology").empty());
+}
+
+TEST_F(BehaviorsTest, HomologySearchReportShape) {
+  const ProteinEntity& protein = kb().proteins()[0];
+  auto report = HomologySearch(kb(), protein.accession, "blastp", "uniprot");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->query_accession, protein.accession);
+  EXPECT_EQ(report->program, "blastp");
+  ASSERT_FALSE(report->hits.empty());
+  // Hits are homologs sorted by decreasing identity, with consistent
+  // e-values (higher identity -> smaller e-value).
+  double previous_identity = 1.1;
+  for (const AlignmentHit& hit : report->hits) {
+    EXPECT_NE(hit.accession, protein.accession);
+    EXPECT_LE(hit.identity, previous_identity);
+    EXPECT_NEAR(hit.evalue, std::pow(10.0, -10.0 * hit.identity), 1e-12);
+    previous_identity = hit.identity;
+  }
+  EXPECT_TRUE(
+      HomologySearch(kb(), "P99999", "blastp", "uniprot").status().IsNotFound());
+}
+
+TEST_F(BehaviorsTest, HomologySearchHonorsMaxHits) {
+  const ProteinEntity& protein = kb().proteins()[0];
+  auto report =
+      HomologySearch(kb(), protein.accession, "blastp", "uniprot", 2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->hits.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dexa

@@ -1,0 +1,212 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace dexa {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status status = Status::NotFound("no such thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.ToString(), "NotFound: no such thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::InvalidArgument("bad");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_EQ(result.ValueOr(7), 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  DEXA_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_TRUE(Doubled(Status::NotFound("x")).status().IsNotFound());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All values hit.
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng base(5);
+  Rng fork1 = base.Fork(1);
+  Rng fork2 = base.Fork(2);
+  EXPECT_NE(fork1.Next(), fork2.Next());
+  // Forking is stable: same tag twice yields the same stream.
+  Rng fork1_again = base.Fork(1);
+  Rng fork1_b = Rng(5).Fork(1);
+  EXPECT_EQ(fork1_again.Next(), fork1_b.Next());
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  rng.Shuffle(v);
+  std::set<int> elements(v.begin(), v.end());
+  EXPECT_EQ(elements.size(), 8u);
+}
+
+TEST(RngTest, StableHashIsStable) {
+  EXPECT_EQ(StableHash64("abc"), StableHash64("abc"));
+  EXPECT_NE(StableHash64("abc"), StableHash64("abd"));
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitLinesHandlesCrLf) {
+  EXPECT_EQ(SplitLines("a\nb\r\nc"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitLines("x\n"), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, JoinAndTrim) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, PrefixSuffixContains) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_TRUE(Contains("hello", "ell"));
+  EXPECT_FALSE(Contains("hello", "xyz"));
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToUpper("AcGt"), "ACGT");
+  EXPECT_EQ(ToLower("AcGt"), "acgt");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aXbXc", "X", "yy"), "ayybyyc");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringsTest, ZeroPad) {
+  EXPECT_EQ(ZeroPad(42, 5), "00042");
+  EXPECT_EQ(ZeroPad(123456, 3), "123456");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StringsTest, WrapFixed) {
+  EXPECT_EQ(WrapFixed("abcdef", 4),
+            (std::vector<std::string>{"abcd", "ef"}));
+  EXPECT_EQ(WrapFixed("", 4), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, ParseNumbers) {
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt64("  -42 ", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64("12x", &i));
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("2.5e3", &d));
+  EXPECT_DOUBLE_EQ(d, 2500.0);
+  EXPECT_FALSE(ParseDouble("abc", &d));
+}
+
+TEST(TableTest, RendersAlignedTable) {
+  TablePrinter table({"name", "count"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::string rendered = table.ToString("Title");
+  EXPECT_NE(rendered.find("Title"), std::string::npos);
+  EXPECT_NE(rendered.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(rendered.find("| b     | 22    |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, FormatFixed) {
+  EXPECT_EQ(FormatFixed(0.4666, 2), "0.47");
+  EXPECT_EQ(FormatFixed(93.651, 2), "93.65");
+}
+
+TEST(TableTest, Bar) {
+  EXPECT_EQ(Bar(0, 10, 10), "");
+  EXPECT_EQ(Bar(10, 10, 10).size(), 10u);
+  EXPECT_GE(Bar(1, 10, 10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dexa

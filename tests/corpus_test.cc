@@ -1,0 +1,234 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "corpus/corpus.h"
+#include "corpus/term_values.h"
+#include "kb/accessions.h"
+
+namespace dexa {
+namespace {
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  static const Corpus& corpus() {
+    static const Corpus* instance = [] {
+      auto built = BuildCorpus();
+      EXPECT_TRUE(built.ok()) << built.status();
+      return new Corpus(std::move(built).value());
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(CorpusTest, BuildsExpectedCounts) {
+  EXPECT_EQ(corpus().available_ids.size(), 252u);
+  EXPECT_EQ(corpus().retired_ids.size(), 72u);
+  EXPECT_EQ(corpus().registry->size(), 324u);
+}
+
+TEST_F(CorpusTest, ModuleNamesAreUnique) {
+  std::set<std::string> names;
+  for (const ModulePtr& module : corpus().registry->AllModules()) {
+    EXPECT_TRUE(names.insert(module->spec().name).second)
+        << "duplicate name " << module->spec().name;
+  }
+}
+
+TEST_F(CorpusTest, AllParametersCarryValidAnnotations) {
+  for (const ModulePtr& module : corpus().registry->AllModules()) {
+    for (const Parameter& param : module->spec().inputs) {
+      EXPECT_NE(param.semantic_type, kInvalidConcept)
+          << module->spec().name << "." << param.name;
+    }
+    for (const Parameter& param : module->spec().outputs) {
+      EXPECT_NE(param.semantic_type, kInvalidConcept)
+          << module->spec().name << "." << param.name;
+    }
+    EXPECT_FALSE(module->spec().outputs.empty()) << module->spec().name;
+  }
+}
+
+TEST_F(CorpusTest, PopularityQuota) {
+  size_t famous = 0, well_known = 0, known = 0;
+  for (const std::string& id : corpus().available_ids) {
+    double popularity = (*corpus().registry->Find(id))->spec().popularity;
+    if (popularity >= 0.9) {
+      ++famous;
+    } else if (popularity >= 0.7) {
+      ++well_known;
+    } else if (popularity >= 0.5) {
+      ++known;
+    }
+  }
+  EXPECT_EQ(famous, 44u);
+  EXPECT_EQ(well_known, 3u);
+  EXPECT_EQ(known, 4u);
+}
+
+TEST_F(CorpusTest, RetrievalModulesServeRecords) {
+  const KnowledgeBase& kb = *corpus().kb;
+  auto module = corpus().registry->FindByName("EBI_GetUniprotRecord");
+  ASSERT_TRUE(module.ok());
+  auto out = (*module)->Invoke({Value::Str(kb.proteins()[0].accession)});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_NE((*out)[0].AsString().find(kb.proteins()[0].accession),
+            std::string::npos);
+  // Foreign accession -> abnormal termination.
+  EXPECT_TRUE((*module)->Invoke({Value::Str("P99999")}).status().IsNotFound());
+}
+
+TEST_F(CorpusTest, GetBiologicalSequenceDispatchesOnNamespace) {
+  const KnowledgeBase& kb = *corpus().kb;
+  auto module = corpus().registry->FindByName("EBI_GetBiologicalSequence");
+  ASSERT_TRUE(module.ok());
+  auto protein_path =
+      (*module)->Invoke({Value::Str(kb.proteins()[0].accession)});
+  ASSERT_TRUE(protein_path.ok());
+  EXPECT_EQ((*protein_path)[0].AsString(), kb.proteins()[0].sequence);
+  auto dna_path =
+      (*module)->Invoke({Value::Str(kb.proteins()[0].embl_accession)});
+  ASSERT_TRUE(dna_path.ok());
+  EXPECT_EQ((*dna_path)[0].AsString(), kb.genes()[0].dna_sequence);
+}
+
+TEST_F(CorpusTest, FormatConvertersValidateInputFormat) {
+  auto converter = corpus().registry->FindByName("EBI_UniprotToFasta");
+  ASSERT_TRUE(converter.ok());
+  // A FASTA input into a Uniprot-expecting converter terminates abnormally.
+  EXPECT_TRUE((*converter)
+                  ->Invoke({Value::Str(">P00000 X desc\nMKT\n")})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CorpusTest, CompareSequencesRejectsMixedAlphabets) {
+  auto module = corpus().registry->FindByName("CompareSequences");
+  ASSERT_TRUE(module.ok());
+  auto mixed = (*module)->Invoke({Value::Str("ACGT"), Value::Str("ACGU")});
+  EXPECT_TRUE(mixed.status().IsInvalidArgument());
+  auto same = (*module)->Invoke({Value::Str("ACGT"), Value::Str("ACGA")});
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ((*same)[0].AsDouble(), 0.75);
+}
+
+TEST_F(CorpusTest, IdentifyHonorsOptionalTolerance) {
+  const KnowledgeBase& kb = *corpus().kb;
+  auto module = corpus().registry->FindByName("Identify");
+  ASSERT_TRUE(module.ok());
+  std::vector<Value> masses;
+  for (double m : kb.proteins()[2].peptide_masses) {
+    masses.push_back(Value::Real(m));
+  }
+  auto explicit_tolerance =
+      (*module)->Invoke({Value::ListOf(masses), Value::Real(5.0)});
+  ASSERT_TRUE(explicit_tolerance.ok()) << explicit_tolerance.status();
+  EXPECT_NE((*explicit_tolerance)[0].AsString().find(
+                kb.proteins()[2].accession),
+            std::string::npos);
+  auto default_tolerance =
+      (*module)->Invoke({Value::ListOf(masses), Value::Null()});
+  ASSERT_TRUE(default_tolerance.ok()) << default_tolerance.status();
+  auto out_of_range =
+      (*module)->Invoke({Value::ListOf(masses), Value::Real(99.0)});
+  EXPECT_TRUE(out_of_range.status().IsInvalidArgument());
+}
+
+TEST_F(CorpusTest, RetiredTwinsBehaveLikeTargets) {
+  const KnowledgeBase& kb = *corpus().kb;
+  auto twin = corpus().registry->FindByName("soap_get_genes_by_pathway");
+  auto target = corpus().registry->FindByName("get_genes_by_pathway");
+  ASSERT_TRUE(twin.ok());
+  ASSERT_TRUE(target.ok());
+  Value input = Value::Str(kb.pathways()[0].pathway_id);
+  auto twin_out = (*twin)->Invoke({input});
+  auto target_out = (*target)->Invoke({input});
+  ASSERT_TRUE(twin_out.ok());
+  ASSERT_TRUE(target_out.ok());
+  EXPECT_EQ((*twin_out)[0], (*target_out)[0]);
+}
+
+TEST_F(CorpusTest, DriftingTwinDisagreesOnOddEntities) {
+  const KnowledgeBase& kb = *corpus().kb;
+  auto twin = corpus().registry->FindByName("v1_GetUniprotRecord");
+  auto target = corpus().registry->FindByName("EBI_GetUniprotRecord");
+  ASSERT_TRUE(twin.ok());
+  ASSERT_TRUE(target.ok());
+  Value even = Value::Str(kb.proteins()[0].accession);
+  Value odd = Value::Str(kb.proteins()[1].accession);
+  EXPECT_EQ((*(*twin)->Invoke({even}))[0], (*(*target)->Invoke({even}))[0]);
+  EXPECT_NE((*(*twin)->Invoke({odd}))[0], (*(*target)->Invoke({odd}))[0]);
+}
+
+TEST_F(CorpusTest, RetireDecayedModulesFlipsAvailability) {
+  // Work on a private corpus so the shared fixture stays pristine.
+  auto built = BuildCorpus();
+  ASSERT_TRUE(built.ok());
+  Corpus fresh = std::move(built).value();
+  EXPECT_EQ(fresh.registry->RetiredModules().size(), 0u);
+  ASSERT_TRUE(RetireDecayedModules(fresh).ok());
+  EXPECT_EQ(fresh.registry->RetiredModules().size(), 72u);
+  EXPECT_EQ(fresh.registry->AvailableModules().size(), 252u);
+  auto retired = fresh.registry->FindByName("soap_binfo");
+  ASSERT_TRUE(retired.ok());
+  EXPECT_TRUE(
+      (*retired)->Invoke({Value::Str("uniprot")}).status().IsUnavailable());
+}
+
+
+TEST_F(CorpusTest, SoapTwinsShareTheirTargetsInterface) {
+  // The 16 equivalent-retired modules must be interface-identical to their
+  // current counterparts (that is what makes exact parameter mapping, and
+  // hence equivalence, possible).
+  for (const ModulePtr& module : corpus().registry->AllModules()) {
+    const std::string& name = module->spec().name;
+    if (name.rfind("soap_", 0) != 0) continue;
+    auto target = corpus().registry->FindByName(name.substr(5));
+    if (!target.ok()) {
+      // Record twins target a specific provider instead.
+      target = corpus().registry->FindByName("KEGG_" + name.substr(5));
+    }
+    ASSERT_TRUE(target.ok()) << name;
+    const ModuleSpec& twin_spec = module->spec();
+    const ModuleSpec& target_spec = (*target)->spec();
+    ASSERT_EQ(twin_spec.inputs.size(), target_spec.inputs.size()) << name;
+    ASSERT_EQ(twin_spec.outputs.size(), target_spec.outputs.size()) << name;
+    for (size_t i = 0; i < twin_spec.inputs.size(); ++i) {
+      EXPECT_EQ(twin_spec.inputs[i].semantic_type,
+                target_spec.inputs[i].semantic_type)
+          << name;
+      EXPECT_EQ(twin_spec.inputs[i].structural_type,
+                target_spec.inputs[i].structural_type)
+          << name;
+    }
+    for (size_t o = 0; o < twin_spec.outputs.size(); ++o) {
+      EXPECT_EQ(twin_spec.outputs[o].semantic_type,
+                target_spec.outputs[o].semantic_type)
+          << name;
+    }
+  }
+}
+
+TEST_F(CorpusTest, ModuleIdsAreDenseAndStable) {
+  // Ids are "mNNN" in registration order; the corpus relies on this for
+  // reproducible annotation dumps.
+  auto modules = corpus().registry->AllModules();
+  for (size_t i = 0; i < modules.size(); ++i) {
+    EXPECT_EQ(modules[i]->spec().id, "m" + ZeroPad(i, 3));
+  }
+}
+
+TEST(TermValuesTest, RoundTripParts) {
+  std::string term = MakeTermInstance("GO", "0001234", "protein folding");
+  EXPECT_EQ(term, "GO:0001234 ! protein folding");
+  EXPECT_TRUE(IsTermOfSource(term, "GO"));
+  EXPECT_FALSE(IsTermOfSource(term, "PW"));
+  EXPECT_EQ(TermId(term), "GO:0001234");
+  EXPECT_EQ(TermSource(term), "GO");
+  EXPECT_EQ(TermLabel(term), "protein folding");
+  EXPECT_EQ(TermId("malformed"), "");
+}
+
+}  // namespace
+}  // namespace dexa

@@ -1,0 +1,321 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "formats/alphabet.h"
+#include "formats/entity_records.h"
+#include "formats/kegg_flat.h"
+#include "formats/reports.h"
+#include "formats/sequence_record.h"
+#include "formats/sniffer.h"
+
+namespace dexa {
+namespace {
+
+SequenceData ProteinExample() {
+  SequenceData data;
+  data.accession = "P12345";
+  data.name = "CYC_HUMAN";
+  data.organism = "Homo sapiens";
+  data.description = "Cytochrome c example";
+  data.sequence = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVK";
+  data.alphabet = SeqAlphabet::kProtein;
+  return data;
+}
+
+SequenceData DnaExample() {
+  SequenceData data;
+  data.accession = "AB123456";
+  data.name = "GENE1";
+  data.organism = "Mus musculus";
+  data.description = "coding sequence";
+  data.sequence = "ATGGCTAAACGTGCTTAAGGTACGTACGATCGATCGGGCCCAAATTT";
+  data.alphabet = SeqAlphabet::kDna;
+  return data;
+}
+
+TEST(AlphabetTest, Validation) {
+  EXPECT_TRUE(IsValidSequence("ACGT", SeqAlphabet::kDna));
+  EXPECT_FALSE(IsValidSequence("ACGU", SeqAlphabet::kDna));
+  EXPECT_TRUE(IsValidSequence("ACGU", SeqAlphabet::kRna));
+  EXPECT_TRUE(IsValidSequence("MKWY", SeqAlphabet::kProtein));
+  EXPECT_FALSE(IsValidSequence("MKX", SeqAlphabet::kProtein));
+}
+
+TEST(AlphabetTest, Classification) {
+  EXPECT_EQ(ClassifySequence("ACGT"), SeqAlphabet::kDna);
+  EXPECT_EQ(ClassifySequence("ACGU"), SeqAlphabet::kRna);
+  EXPECT_EQ(ClassifySequence("MKWY"), SeqAlphabet::kProtein);
+}
+
+TEST(AlphabetTest, TranscriptionRoundTrip) {
+  EXPECT_EQ(Transcribe("ACGT"), "ACGU");
+  EXPECT_EQ(ReverseTranscribe("ACGU"), "ACGT");
+  EXPECT_EQ(ReverseTranscribe(Transcribe("GATTACA")), "GATTACA");
+}
+
+TEST(AlphabetTest, ReverseComplement) {
+  EXPECT_EQ(ReverseComplementDna("ACGT"), "ACGT");  // Palindromic.
+  EXPECT_EQ(ReverseComplementDna("AAAC"), "GTTT");
+  // Involution.
+  EXPECT_EQ(ReverseComplementDna(ReverseComplementDna("GATTACA")), "GATTACA");
+}
+
+TEST(AlphabetTest, Translation) {
+  EXPECT_EQ(Translate("ATGGCTAAA"), "MAK");
+  EXPECT_EQ(Translate("AUGGCUAAA"), "MAK");  // RNA input too.
+  EXPECT_EQ(Translate("ATGTAAATG"), "M");    // Stops at stop codon.
+  EXPECT_EQ(Translate("AT"), "");            // Incomplete codon.
+}
+
+TEST(AlphabetTest, GcContentAndMass) {
+  EXPECT_DOUBLE_EQ(GcContent("GGCC"), 1.0);
+  EXPECT_DOUBLE_EQ(GcContent("AATT"), 0.0);
+  EXPECT_DOUBLE_EQ(GcContent(""), 0.0);
+  EXPECT_GT(ProteinMass("MKW"), ProteinMass("MK"));
+  EXPECT_NEAR(ProteinMass(""), 18.02, 1e-9);
+}
+
+TEST(SequenceRecordTest, FastaRoundTrip) {
+  SequenceData data = ProteinExample();
+  auto parsed = ParseFasta(RenderFasta(data));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, data);
+}
+
+TEST(SequenceRecordTest, FastaWrapsLongSequences) {
+  SequenceData data = ProteinExample();
+  data.sequence = std::string(150, 'M');
+  std::string rendered = RenderFasta(data);
+  auto parsed = ParseFasta(rendered);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->sequence, data.sequence);
+  EXPECT_GT(std::count(rendered.begin(), rendered.end(), '\n'), 2);
+}
+
+TEST(SequenceRecordTest, UniprotRoundTrip) {
+  SequenceData data = ProteinExample();
+  auto parsed = ParseUniprot(RenderUniprot(data));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, data);
+}
+
+TEST(SequenceRecordTest, EmblRoundTripDnaAndProtein) {
+  for (SequenceData data : {DnaExample(), ProteinExample()}) {
+    auto parsed = ParseEmbl(RenderEmbl(data));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, data);
+  }
+}
+
+TEST(SequenceRecordTest, GenBankRoundTrip) {
+  for (SequenceData data : {DnaExample(), ProteinExample()}) {
+    auto parsed = ParseGenBank(RenderGenBank(data));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, data);
+  }
+}
+
+TEST(SequenceRecordTest, PdbRoundTrip) {
+  for (SequenceData data : {ProteinExample(), DnaExample()}) {
+    auto parsed = ParsePdb(RenderPdb(data));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->accession, data.accession);
+    EXPECT_EQ(parsed->sequence, data.sequence);
+    EXPECT_EQ(parsed->organism, data.organism);
+  }
+}
+
+TEST(SequenceRecordTest, ParsersRejectGarbage) {
+  EXPECT_TRUE(ParseFasta("no header").status().IsParseError());
+  EXPECT_TRUE(ParseUniprot("junk").status().IsParseError());
+  EXPECT_TRUE(ParseEmbl("junk").status().IsParseError());
+  EXPECT_TRUE(ParseGenBank("junk").status().IsParseError());
+  EXPECT_TRUE(ParsePdb("junk").status().IsParseError());
+}
+
+TEST(KeggFlatTest, RoundTrip) {
+  KeggFlatRecord record;
+  record.Add("ENTRY", "hsa:7157  CDS");
+  record.Add("NAME", "TP53");
+  record.AddAll("PATHWAY", {"path:hsa04110", "path:hsa04115"});
+  std::string rendered = RenderKeggFlat(record);
+  auto parsed = ParseKeggFlat(rendered);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetFirst("ENTRY"), "hsa:7157  CDS");
+  EXPECT_EQ(parsed->Get("PATHWAY").size(), 2u);
+  EXPECT_EQ(parsed->GetFirst("MISSING"), "");
+}
+
+TEST(KeggFlatTest, RejectsUnterminated) {
+  EXPECT_TRUE(ParseKeggFlat("ENTRY       x\n").status().IsParseError());
+  EXPECT_TRUE(ParseKeggFlat("///\n").status().IsParseError());
+  EXPECT_TRUE(
+      ParseKeggFlat("            orphan\n///\n").status().IsParseError());
+}
+
+TEST(EntityRecordsTest, GeneRoundTrip) {
+  GeneRecordData data;
+  data.gene_id = "hsa:10042";
+  data.symbol = "ABC1";
+  data.organism = "Homo sapiens";
+  data.definition = "transport protein";
+  data.pathway_ids = {"path:hsa00100", "path:hsa00200"};
+  data.go_term_ids = {"GO:0001000"};
+  auto parsed = ParseGeneRecord(RenderGeneRecord(data));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->gene_id, data.gene_id);
+  EXPECT_EQ(parsed->pathway_ids, data.pathway_ids);
+  EXPECT_EQ(parsed->go_term_ids, data.go_term_ids);
+}
+
+TEST(EntityRecordsTest, EnzymeRoundTrip) {
+  EnzymeRecordData data;
+  data.ec_number = "1.2.3.4";
+  data.name = "protein kinase";
+  data.reaction = "C00001 <=> C00002";
+  data.substrate_ids = {"C00001"};
+  data.product_ids = {"C00002"};
+  data.gene_ids = {"hsa:10001"};
+  auto parsed = ParseEnzymeRecord(RenderEnzymeRecord(data));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->ec_number, data.ec_number);
+  EXPECT_EQ(parsed->substrate_ids, data.substrate_ids);
+}
+
+TEST(EntityRecordsTest, GlycanLigandCompoundRoundTrip) {
+  GlycanRecordData glycan{"G00100", "glycan 100", "(Glc)2 (Gal)1", 540.5};
+  auto parsed_glycan = ParseGlycanRecord(RenderGlycanRecord(glycan));
+  ASSERT_TRUE(parsed_glycan.ok());
+  EXPECT_EQ(parsed_glycan->glycan_id, glycan.glycan_id);
+  EXPECT_NEAR(parsed_glycan->mass, glycan.mass, 0.01);
+
+  LigandRecordData ligand{"L00100", "ligand-100", "C6H12O6", 180.2, {"P00001"}};
+  auto parsed_ligand = ParseLigandRecord(RenderLigandRecord(ligand));
+  ASSERT_TRUE(parsed_ligand.ok());
+  EXPECT_EQ(parsed_ligand->target_accessions, ligand.target_accessions);
+
+  CompoundRecordData compound{"C00100", "glucose-100", "C6H12O6", 180.2,
+                              {"path:hsa00100"}};
+  auto parsed_compound = ParseCompoundRecord(RenderCompoundRecord(compound));
+  ASSERT_TRUE(parsed_compound.ok());
+  EXPECT_EQ(parsed_compound->pathway_ids, compound.pathway_ids);
+}
+
+TEST(EntityRecordsTest, PathwayGoRoundTrip) {
+  PathwayRecordData pathway{"path:hsa00100", "Cell cycle", "Homo sapiens",
+                            {"hsa:10000"}, {"C00100"}};
+  auto parsed = ParsePathwayRecord(RenderPathwayRecord(pathway));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->gene_ids, pathway.gene_ids);
+
+  GoTermData term{"GO:0001000", "protein folding", "biological_process",
+                  "The folding of proteins."};
+  auto parsed_term = ParseGoTerm(RenderGoTerm(term));
+  ASSERT_TRUE(parsed_term.ok());
+  EXPECT_EQ(parsed_term->go_id, term.go_id);
+  EXPECT_EQ(parsed_term->definition, term.definition);
+}
+
+TEST(EntityRecordsTest, InterProPfamDiseaseRoundTrip) {
+  InterProRecordData interpro{"IPR001000", "kinase domain", "Domain",
+                              {"P00001", "P00002"}};
+  auto parsed_interpro = ParseInterProRecord(RenderInterProRecord(interpro));
+  ASSERT_TRUE(parsed_interpro.ok());
+  EXPECT_EQ(parsed_interpro->member_accessions, interpro.member_accessions);
+
+  PfamRecordData pfam{"PF00100", "PF-binding", "CL0001", "A binding family."};
+  auto parsed_pfam = ParsePfamRecord(RenderPfamRecord(pfam));
+  ASSERT_TRUE(parsed_pfam.ok());
+  EXPECT_EQ(parsed_pfam->clan, pfam.clan);
+
+  DiseaseRecordData disease{"H00100", "hereditary anemia type 1",
+                            "A disease.", {"hsa:10000"}};
+  auto parsed_disease = ParseDiseaseRecord(RenderDiseaseRecord(disease));
+  ASSERT_TRUE(parsed_disease.ok());
+  EXPECT_EQ(parsed_disease->gene_ids, disease.gene_ids);
+}
+
+TEST(ReportsTest, AlignmentRoundTrip) {
+  AlignmentReportData report;
+  report.program = "blastp";
+  report.database = "uniprot";
+  report.query_accession = "P00001";
+  report.hits.push_back({"P00002", "KIN1_MOUSE", 250.5, 1e-30, 0.92});
+  report.hits.push_back({"P00003", "KIN1_YEAST", 80.0, 0.001, 0.41});
+  auto parsed = ParseAlignmentReport(RenderAlignmentReport(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->hits.size(), 2u);
+  EXPECT_EQ(parsed->hits[0].accession, "P00002");
+  EXPECT_NEAR(parsed->hits[1].evalue, 0.001, 1e-9);
+  EXPECT_EQ(parsed->hits[0].description, "KIN1_MOUSE");
+}
+
+TEST(ReportsTest, IdentificationRoundTrip) {
+  IdentificationReportData report{"P00042", 0.87, 5.0, 12};
+  auto parsed = ParseIdentificationReport(RenderIdentificationReport(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->matched_accession, "P00042");
+  EXPECT_NEAR(parsed->score, 0.87, 1e-6);
+  EXPECT_EQ(parsed->peptide_count, 12u);
+}
+
+TEST(ReportsTest, StatisticsRoundTrip) {
+  StatisticsReportData report;
+  report.title = "codon-usage";
+  report.stats = {{"ATG", 3.0}, {"TAA", 1.0}};
+  auto parsed = ParseStatisticsReport(RenderStatisticsReport(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->title, report.title);
+  ASSERT_EQ(parsed->stats.size(), 2u);
+  EXPECT_EQ(parsed->stats[0].first, "ATG");
+}
+
+TEST(SnifferTest, IdentifiesAllFormats) {
+  EXPECT_EQ(SniffFormat(RenderFasta(ProteinExample())), "FastaRecord");
+  EXPECT_EQ(SniffFormat(RenderUniprot(ProteinExample())), "UniprotRecord");
+  EXPECT_EQ(SniffFormat(RenderEmbl(DnaExample())), "EMBLRecord");
+  EXPECT_EQ(SniffFormat(RenderGenBank(DnaExample())), "GenBankRecord");
+  EXPECT_EQ(SniffFormat(RenderPdb(ProteinExample())), "PDBRecord");
+
+  GeneRecordData gene{"hsa:1", "A", "Homo sapiens", "d", {}, {}};
+  EXPECT_EQ(SniffFormat(RenderGeneRecord(gene)), "KEGGGeneRecord");
+  EnzymeRecordData enzyme{"1.1.1.1", "x", "r", {}, {}, {}};
+  EXPECT_EQ(SniffFormat(RenderEnzymeRecord(enzyme)), "EnzymeRecord");
+  GlycanRecordData glycan{"G00001", "g", "c", 1.0};
+  EXPECT_EQ(SniffFormat(RenderGlycanRecord(glycan)), "GlycanRecord");
+  LigandRecordData ligand{"L00001", "l", "f", 1.0, {}};
+  EXPECT_EQ(SniffFormat(RenderLigandRecord(ligand)), "LigandRecord");
+  CompoundRecordData compound{"C00001", "c", "f", 1.0, {}};
+  EXPECT_EQ(SniffFormat(RenderCompoundRecord(compound)), "CompoundRecord");
+  PathwayRecordData pathway{"path:hsa1", "p", "o", {}, {}};
+  EXPECT_EQ(SniffFormat(RenderPathwayRecord(pathway)), "PathwayRecord");
+  GoTermData term{"GO:1", "n", "ns", "d"};
+  EXPECT_EQ(SniffFormat(RenderGoTerm(term)), "GORecord");
+  InterProRecordData interpro{"IPR000001", "n", "Family", {}};
+  EXPECT_EQ(SniffFormat(RenderInterProRecord(interpro)), "InterProRecord");
+  PfamRecordData pfam{"PF00001", "n", "c", "d"};
+  EXPECT_EQ(SniffFormat(RenderPfamRecord(pfam)), "PfamRecord");
+  DiseaseRecordData disease{"H00001", "n", "d", {}};
+  EXPECT_EQ(SniffFormat(RenderDiseaseRecord(disease)), "DiseaseRecord");
+
+  AlignmentReportData alignment;
+  alignment.program = "blastp";
+  EXPECT_EQ(SniffFormat(RenderAlignmentReport(alignment)), "AlignmentReport");
+  IdentificationReportData identification;
+  EXPECT_EQ(SniffFormat(RenderIdentificationReport(identification)),
+            "IdentificationReport");
+  StatisticsReportData statistics;
+  statistics.title = "t";
+  EXPECT_EQ(SniffFormat(RenderStatisticsReport(statistics)),
+            "StatisticsReport");
+}
+
+TEST(SnifferTest, RejectsNonRecords) {
+  EXPECT_EQ(SniffFormat(""), "");
+  EXPECT_EQ(SniffFormat("just some text"), "");
+  EXPECT_EQ(SniffFormat("ACGTACGT"), "");
+}
+
+}  // namespace
+}  // namespace dexa

@@ -1,0 +1,170 @@
+// Robustness sweeps: every parser in the library must handle arbitrarily
+// mutated input gracefully — returning OK or a ParseError/InvalidArgument,
+// never crashing or looping. Seeds parameterize deterministic mutation
+// streams over genuine rendered artifacts.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "corpus/behaviors.h"
+#include "formats/entity_records.h"
+#include "formats/kegg_flat.h"
+#include "formats/reports.h"
+#include "formats/sequence_record.h"
+#include "formats/sniffer.h"
+#include "kb/render.h"
+#include "modules/registry_io.h"
+#include "ontology/ontology_parser.h"
+#include "pool/pool_io.h"
+#include "tests/test_util.h"
+#include "workflow/workflow_io.h"
+
+namespace dexa {
+namespace {
+
+using testing_env::GetEnvironment;
+
+/// Applies `rounds` random edits (byte flip, deletion, duplication, line
+/// swap) to `text`.
+std::string Mutate(std::string text, Rng& rng, int rounds) {
+  for (int r = 0; r < rounds && !text.empty(); ++r) {
+    switch (rng.NextBelow(4)) {
+      case 0: {  // Flip a byte to a printable character.
+        size_t pos = rng.NextIndex(text.size());
+        text[pos] = static_cast<char>(' ' + rng.NextBelow(95));
+        break;
+      }
+      case 1: {  // Delete a span.
+        size_t pos = rng.NextIndex(text.size());
+        size_t len = 1 + rng.NextIndex(8);
+        text.erase(pos, len);
+        break;
+      }
+      case 2: {  // Duplicate a span.
+        size_t pos = rng.NextIndex(text.size());
+        size_t len = 1 + rng.NextIndex(8);
+        text.insert(pos, text.substr(pos, len));
+        break;
+      }
+      default: {  // Truncate the tail.
+        text.resize(rng.NextIndex(text.size()) + 1);
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+/// A parse attempt is acceptable if it succeeds or fails with a
+/// well-formed error status.
+template <typename T>
+void ExpectGraceful(const Result<T>& result) {
+  if (!result.ok()) {
+    EXPECT_FALSE(result.status().ToString().empty());
+  }
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, SequenceFormatParsersNeverCrash) {
+  const auto& env = GetEnvironment();
+  Rng rng(GetParam());
+  const KnowledgeBase& kb = *env.corpus.kb;
+  for (int i = 0; i < 40; ++i) {
+    const ProteinEntity& protein =
+        kb.proteins()[rng.NextIndex(kb.proteins().size())];
+    SequenceData data = SequenceDataFromProtein(protein);
+    std::string rendered =
+        RenderSequenceData(data, static_cast<SeqFormat>(rng.NextBelow(5)));
+    std::string mutated = Mutate(rendered, rng, 1 + static_cast<int>(rng.NextBelow(10)));
+    ExpectGraceful(ParseFasta(mutated));
+    ExpectGraceful(ParseUniprot(mutated));
+    ExpectGraceful(ParseEmbl(mutated));
+    ExpectGraceful(ParseGenBank(mutated));
+    ExpectGraceful(ParsePdb(mutated));
+    ExpectGraceful(ParseSequenceRecordAny(mutated));
+    SniffFormat(mutated);  // Must not crash.
+  }
+}
+
+TEST_P(ParserFuzzTest, EntityRecordParsersNeverCrash) {
+  const auto& env = GetEnvironment();
+  Rng rng(GetParam());
+  const KnowledgeBase& kb = *env.corpus.kb;
+  for (int i = 0; i < 40; ++i) {
+    auto record = RetrieveRecord(
+        kb, static_cast<RecordKind>(rng.NextBelow(15)),
+        kb.proteins()[0].accession);
+    std::string base = record.ok() ? *record : "ENTRY       x\n///\n";
+    std::string mutated = Mutate(base, rng, 1 + static_cast<int>(rng.NextBelow(10)));
+    ExpectGraceful(ParseKeggFlat(mutated));
+    ExpectGraceful(ParseGeneRecord(mutated));
+    ExpectGraceful(ParseEnzymeRecord(mutated));
+    ExpectGraceful(ParseGlycanRecord(mutated));
+    ExpectGraceful(ParseCompoundRecord(mutated));
+    ExpectGraceful(ParsePathwayRecord(mutated));
+    ExpectGraceful(ParseGoTerm(mutated));
+    ExpectGraceful(ParseInterProRecord(mutated));
+    ExpectGraceful(ParsePfamRecord(mutated));
+    ExpectGraceful(ParseDiseaseRecord(mutated));
+    ExpectGraceful(ParseAlignmentReport(mutated));
+    ExpectGraceful(ParseIdentificationReport(mutated));
+    ExpectGraceful(ParseStatisticsReport(mutated));
+  }
+}
+
+TEST_P(ParserFuzzTest, ValueParserNeverCrashes) {
+  Rng rng(GetParam());
+  Value sample = Value::RecordOf(
+      {{"id", Value::Str("P00001")},
+       {"xs", Value::ListOf({Value::Int(1), Value::Real(2.5),
+                             Value::Str("a\"b\\c")})}});
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated =
+        Mutate(sample.ToString(), rng, 1 + static_cast<int>(rng.NextBelow(6)));
+    ExpectGraceful(Value::Parse(mutated));
+  }
+}
+
+TEST_P(ParserFuzzTest, DslParsersNeverCrash) {
+  const auto& env = GetEnvironment();
+  Rng rng(GetParam());
+  std::string ontology_dsl = env.corpus.ontology->ToDsl();
+  std::string workflow_dsl = RenderWorkflowDsl(
+      env.workflows.items[rng.NextIndex(env.workflows.items.size())].workflow,
+      *env.corpus.ontology);
+  std::string pool_dump = SavePool(*env.pool);
+  for (int i = 0; i < 15; ++i) {
+    int rounds = 1 + static_cast<int>(rng.NextBelow(12));
+    ExpectGraceful(ParseOntologyDsl(Mutate(ontology_dsl, rng, rounds)));
+    ExpectGraceful(
+        ParseWorkflowDsl(Mutate(workflow_dsl, rng, rounds), *env.corpus.ontology));
+    ExpectGraceful(LoadPool(Mutate(pool_dump, rng, rounds), *env.corpus.ontology));
+    ExpectGraceful(ParseStructuralType(
+        Mutate("Record{id:String, xs:List<Double>}", rng, rounds)));
+  }
+}
+
+TEST_P(ParserFuzzTest, AnnotationLoaderNeverCrashes) {
+  const auto& env = GetEnvironment();
+  Rng rng(GetParam());
+  // A small slice of the real annotation dump keeps the mutation space
+  // interesting without re-parsing megabytes per round.
+  std::string full =
+      SaveAnnotations(*env.corpus.registry, *env.corpus.ontology);
+  std::string slice = full.substr(0, 4000);
+  auto fresh = BuildCorpus();
+  ASSERT_TRUE(fresh.ok());
+  for (int i = 0; i < 15; ++i) {
+    std::string mutated =
+        Mutate(slice, rng, 1 + static_cast<int>(rng.NextBelow(12)));
+    ExpectGraceful(
+        LoadAnnotations(mutated, *fresh->ontology, *fresh->registry));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace dexa

@@ -1,0 +1,255 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "formats/alphabet.h"
+#include "kb/accessions.h"
+#include "kb/knowledge_base.h"
+#include "kb/render.h"
+
+namespace dexa {
+namespace {
+
+TEST(AccessionsTest, GrammarsAreMutuallyExclusive) {
+  struct Case {
+    std::string value;
+    std::string expected;
+  };
+  std::vector<Case> cases = {
+      {MakeUniprotAccession(7), "UniprotAccession"},
+      {MakePdbAccession(7), "PDBAccession"},
+      {MakeEmblAccession(7), "EMBLAccession"},
+      {MakeKeggGeneId(7, "hsa"), "KEGGGeneId"},
+      {MakeEnzymeId(7), "EnzymeId"},
+      {MakeGlycanId(7), "GlycanId"},
+      {MakeLigandId(7), "LigandId"},
+      {MakeCompoundId(7), "CompoundId"},
+      {MakePathwayId(7, "hsa"), "PathwayId"},
+      {MakeGoTermId(7), "GOTermId"},
+      {MakeInterProId(7), "InterProId"},
+      {MakePfamId(7), "PfamId"},
+      {MakeDiseaseId(7), "DiseaseId"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(ClassifyAccession(c.value), c.expected) << c.value;
+  }
+  EXPECT_EQ(ClassifyAccession("not an accession"), "");
+  EXPECT_EQ(ClassifyAccession(""), "");
+}
+
+TEST(AccessionsTest, MakersProduceValidIds) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(IsUniprotAccession(MakeUniprotAccession(i)));
+    EXPECT_TRUE(IsPdbAccession(MakePdbAccession(i)));
+    EXPECT_TRUE(IsEmblAccession(MakeEmblAccession(i)));
+    EXPECT_TRUE(IsKeggGeneId(MakeKeggGeneId(i, "eco")));
+    EXPECT_TRUE(IsEnzymeId(MakeEnzymeId(i)));
+    EXPECT_TRUE(IsPathwayId(MakePathwayId(i, "mmu")));
+    EXPECT_TRUE(IsGoTermId(MakeGoTermId(i)));
+  }
+}
+
+class KnowledgeBaseTest : public ::testing::Test {
+ protected:
+  static const KnowledgeBase& kb() {
+    static const KnowledgeBase* instance = new KnowledgeBase(42);
+    return *instance;
+  }
+};
+
+TEST_F(KnowledgeBaseTest, BuildsRequestedCounts) {
+  KnowledgeBaseOptions options;
+  EXPECT_EQ(kb().proteins().size(), options.num_proteins);
+  EXPECT_EQ(kb().genes().size(), options.num_proteins);
+  EXPECT_EQ(kb().pathways().size(), options.num_pathways);
+  EXPECT_EQ(kb().go_terms().size(), options.num_go_terms);
+  EXPECT_EQ(kb().documents().size(), options.num_documents);
+}
+
+TEST_F(KnowledgeBaseTest, DeterministicForSameSeed) {
+  KnowledgeBase a(7), b(7);
+  ASSERT_EQ(a.proteins().size(), b.proteins().size());
+  for (size_t i = 0; i < a.proteins().size(); i += 17) {
+    EXPECT_EQ(a.proteins()[i].sequence, b.proteins()[i].sequence);
+    EXPECT_EQ(a.proteins()[i].accession, b.proteins()[i].accession);
+  }
+}
+
+TEST_F(KnowledgeBaseTest, CrossReferencesResolve) {
+  for (const ProteinEntity& protein : kb().proteins()) {
+    EXPECT_TRUE(kb().FindGene(protein.gene_id).ok()) << protein.accession;
+    EXPECT_TRUE(kb().FindProteinByEmbl(protein.embl_accession).ok());
+    EXPECT_TRUE(kb().FindProteinByPdb(protein.pdb_accession).ok());
+    for (const std::string& go_id : protein.go_term_ids) {
+      EXPECT_TRUE(kb().FindGoTerm(go_id).ok()) << go_id;
+    }
+  }
+  for (const GeneEntity& gene : kb().genes()) {
+    EXPECT_TRUE(kb().FindProtein(gene.protein_accession).ok());
+    for (const std::string& pathway_id : gene.pathway_ids) {
+      EXPECT_TRUE(kb().FindPathway(pathway_id).ok()) << pathway_id;
+    }
+  }
+  for (const EnzymeEntity& enzyme : kb().enzymes()) {
+    for (const std::string& id : enzyme.substrate_ids) {
+      EXPECT_TRUE(kb().FindCompound(id).ok());
+    }
+    for (const std::string& id : enzyme.gene_ids) {
+      EXPECT_TRUE(kb().FindGene(id).ok());
+    }
+  }
+  for (const LigandEntity& ligand : kb().ligands()) {
+    for (const std::string& accession : ligand.target_accessions) {
+      EXPECT_TRUE(kb().FindProtein(accession).ok());
+    }
+  }
+  for (const DiseaseEntity& disease : kb().diseases()) {
+    for (const std::string& id : disease.gene_ids) {
+      EXPECT_TRUE(kb().FindGene(id).ok());
+    }
+  }
+}
+
+TEST_F(KnowledgeBaseTest, LowIndexEntitiesAreAlwaysLinked) {
+  // Canonical pool instances rely on entity 0 being referenced everywhere.
+  const GeneEntity& gene0 = kb().genes()[0];
+  bool gene0_in_enzyme = false;
+  for (const EnzymeEntity& enzyme : kb().enzymes()) {
+    for (const std::string& id : enzyme.gene_ids) {
+      if (id == gene0.gene_id) gene0_in_enzyme = true;
+    }
+  }
+  EXPECT_TRUE(gene0_in_enzyme);
+
+  bool gene0_in_disease = false;
+  for (const DiseaseEntity& disease : kb().diseases()) {
+    for (const std::string& id : disease.gene_ids) {
+      if (id == gene0.gene_id) gene0_in_disease = true;
+    }
+  }
+  EXPECT_TRUE(gene0_in_disease);
+
+  bool compound0_in_enzyme = false;
+  for (const EnzymeEntity& enzyme : kb().enzymes()) {
+    for (const std::string& id : enzyme.substrate_ids) {
+      if (id == kb().compounds()[0].compound_id) compound0_in_enzyme = true;
+    }
+  }
+  EXPECT_TRUE(compound0_in_enzyme);
+}
+
+TEST_F(KnowledgeBaseTest, GeneDnaTranslatesToProtein) {
+  for (size_t i = 0; i < 8; ++i) {
+    const GeneEntity& gene = kb().genes()[i];
+    const ProteinEntity& protein =
+        **kb().FindProtein(gene.protein_accession);
+    EXPECT_EQ(Translate(gene.dna_sequence), protein.sequence) << gene.gene_id;
+    EXPECT_TRUE(IsValidSequence(gene.dna_sequence, SeqAlphabet::kDna));
+  }
+}
+
+TEST_F(KnowledgeBaseTest, FamiliesSpanOrganisms) {
+  const ProteinEntity& protein0 = kb().proteins()[0];
+  auto homologs = kb().Homologs(protein0.accession);
+  ASSERT_TRUE(homologs.ok());
+  ASSERT_FALSE(homologs->empty());
+  std::set<std::string> organisms;
+  for (const ProteinEntity* homolog : *homologs) {
+    organisms.insert(homolog->organism);
+  }
+  EXPECT_GT(organisms.size(), 1u);
+}
+
+TEST_F(KnowledgeBaseTest, SimilarityBehaves) {
+  const ProteinEntity& protein0 = kb().proteins()[0];
+  EXPECT_DOUBLE_EQ(kb().Similarity(protein0, protein0), 1.0);
+  auto homologs = kb().Homologs(protein0.accession);
+  ASSERT_TRUE(homologs.ok());
+  // Sorted by decreasing similarity.
+  double prev = 1.0;
+  for (const ProteinEntity* homolog : *homologs) {
+    double similarity = kb().Similarity(protein0, *homolog);
+    EXPECT_GT(similarity, 0.0);
+    EXPECT_LE(similarity, prev + 1e-12);
+    prev = similarity;
+  }
+  // Cross-family similarity is zero.
+  const ProteinEntity& other_family = kb().proteins()[1];
+  EXPECT_DOUBLE_EQ(kb().Similarity(protein0, other_family), 0.0);
+}
+
+TEST_F(KnowledgeBaseTest, PeptideIdentificationFindsOwner) {
+  const ProteinEntity& protein = kb().proteins()[3];
+  auto match = kb().IdentifyByPeptideMasses(protein.peptide_masses, 5.0);
+  ASSERT_TRUE(match.ok()) << match.status();
+  EXPECT_EQ(match->protein->accession, protein.accession);
+  EXPECT_DOUBLE_EQ(match->score, 1.0);
+  EXPECT_TRUE(
+      kb().IdentifyByPeptideMasses({}, 5.0).status().IsInvalidArgument());
+}
+
+
+TEST_F(KnowledgeBaseTest, PeptideIdentificationToleranceBehavior) {
+  const ProteinEntity& protein = kb().proteins()[3];
+  // Perturb every mass by just under the tolerance: still a full match.
+  std::vector<double> nudged;
+  for (double mass : protein.peptide_masses) {
+    nudged.push_back(mass * 1.04);  // +4% with 5% tolerance.
+  }
+  auto match = kb().IdentifyByPeptideMasses(nudged, 5.0);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->protein->accession, protein.accession);
+  EXPECT_DOUBLE_EQ(match->score, 1.0);
+  // With a tolerance tighter than the perturbation the score drops.
+  auto strict = kb().IdentifyByPeptideMasses(nudged, 1.0);
+  if (strict.ok()) {
+    EXPECT_LT(strict->score, 1.0);
+  }
+  // Masses that match nothing at all are rejected.
+  EXPECT_TRUE(
+      kb().IdentifyByPeptideMasses({1.0, 2.0, 3.0}, 0.001).status().IsNotFound());
+}
+
+TEST_F(KnowledgeBaseTest, LookupsFailCleanly) {
+  EXPECT_TRUE(kb().FindProtein("P99999").status().IsNotFound());
+  EXPECT_TRUE(kb().FindGene("xyz:1").status().IsNotFound());
+  EXPECT_TRUE(kb().FindPathway("path:xxx00000").status().IsNotFound());
+  EXPECT_TRUE(kb().Homologs("P99999").status().IsNotFound());
+}
+
+TEST_F(KnowledgeBaseTest, RenderBridgesProduceConsistentData) {
+  const ProteinEntity& protein = kb().proteins()[0];
+  SequenceData data = SequenceDataFromProtein(protein);
+  EXPECT_EQ(data.accession, protein.accession);
+  EXPECT_EQ(data.alphabet, SeqAlphabet::kProtein);
+  const GeneEntity& gene = kb().genes()[0];
+  SequenceData gene_data = SequenceDataFromGene(gene);
+  EXPECT_EQ(gene_data.alphabet, SeqAlphabet::kDna);
+  EXPECT_EQ(gene_data.sequence, gene.dna_sequence);
+}
+
+TEST_F(KnowledgeBaseTest, DocumentsMentionResolvableEntities) {
+  for (const DocumentEntity& document : kb().documents()) {
+    EXPECT_FALSE(document.text.empty());
+    for (const std::string& symbol : document.mentioned_gene_symbols) {
+      EXPECT_NE(document.text.find(symbol), std::string::npos);
+    }
+  }
+}
+
+TEST_F(KnowledgeBaseTest, ProteinLengthsSpreadAroundFilterThresholds) {
+  // Filter calibration relies on proteins 0..3 straddling length 120.
+  size_t below = 0, above = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    if (kb().proteins()[i].sequence.size() < 120) {
+      ++below;
+    } else {
+      ++above;
+    }
+  }
+  EXPECT_EQ(below, 2u);
+  EXPECT_EQ(above, 2u);
+}
+
+}  // namespace
+}  // namespace dexa

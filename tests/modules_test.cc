@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic_module.h"
+#include "modules/data_example.h"
+#include "modules/module.h"
+#include "modules/registry.h"
+#include "ontology/mygrid.h"
+
+namespace dexa {
+namespace {
+
+ModulePtr MakeEchoModule(const Ontology& onto, const std::string& id = "m1",
+                         const std::string& name = "Echo") {
+  ModuleSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.kind = ModuleKind::kFormatTransformation;
+  Parameter in;
+  in.name = "in";
+  in.structural_type = StructuralType::String();
+  in.semantic_type = onto.Find("TextDocument");
+  Parameter out = in;
+  out.name = "out";
+  spec.inputs = {in};
+  spec.outputs = {out};
+  return std::make_shared<SyntheticModule>(
+      spec, [](const std::vector<Value>& inputs) -> Result<std::vector<Value>> {
+        return std::vector<Value>{inputs[0]};
+      });
+}
+
+TEST(ModuleTest, InvokeChecksArity) {
+  Ontology onto = BuildMyGridOntology();
+  ModulePtr echo = MakeEchoModule(onto);
+  EXPECT_TRUE(echo->Invoke({}).status().IsInvalidArgument());
+  EXPECT_TRUE(echo->Invoke({Value::Str("a"), Value::Str("b")})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ModuleTest, InvokeChecksStructuralTypes) {
+  Ontology onto = BuildMyGridOntology();
+  ModulePtr echo = MakeEchoModule(onto);
+  EXPECT_TRUE(echo->Invoke({Value::Int(1)}).status().IsInvalidArgument());
+  auto ok = echo->Invoke({Value::Str("hello")});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0].AsString(), "hello");
+}
+
+TEST(ModuleTest, NullRejectedForRequiredInputs) {
+  Ontology onto = BuildMyGridOntology();
+  ModulePtr echo = MakeEchoModule(onto);
+  EXPECT_TRUE(echo->Invoke({Value::Null()}).status().IsInvalidArgument());
+}
+
+TEST(ModuleTest, RetiredModuleIsUnavailable) {
+  Ontology onto = BuildMyGridOntology();
+  ModulePtr echo = MakeEchoModule(onto);
+  EXPECT_TRUE(echo->available());
+  echo->Retire();
+  EXPECT_FALSE(echo->available());
+  EXPECT_TRUE(echo->Invoke({Value::Str("x")}).status().IsUnavailable());
+}
+
+TEST(ModuleTest, GroundTruthExposed) {
+  Ontology onto = BuildMyGridOntology();
+  ModuleSpec spec = MakeEchoModule(onto)->spec();
+  spec.id = "m2";
+  spec.name = "Classified";
+  auto module = std::make_shared<SyntheticModule>(
+      spec,
+      [](const std::vector<Value>& inputs) -> Result<std::vector<Value>> {
+        return std::vector<Value>{inputs[0]};
+      },
+      2, [](const std::vector<Value>& inputs) {
+        return inputs[0].AsString().size() % 2 == 0 ? 0 : 1;
+      });
+  ASSERT_NE(module->ground_truth(), nullptr);
+  EXPECT_EQ(module->ground_truth()->num_classes(), 2);
+  EXPECT_EQ(module->ground_truth()->ClassOf({Value::Str("ab")}), 0);
+  EXPECT_EQ(module->ground_truth()->ClassOf({Value::Str("abc")}), 1);
+}
+
+TEST(ModuleKindTest, Names) {
+  EXPECT_STREQ(ModuleKindName(ModuleKind::kFormatTransformation),
+               "Format transformation");
+  EXPECT_STREQ(ModuleKindName(ModuleKind::kDataRetrieval), "Data retrieval");
+  EXPECT_STREQ(ModuleKindName(ModuleKind::kMappingIdentifiers),
+               "Mapping identifiers");
+  EXPECT_STREQ(ModuleKindName(ModuleKind::kFiltering), "Filtering");
+  EXPECT_STREQ(ModuleKindName(ModuleKind::kDataAnalysis), "Data analysis");
+}
+
+TEST(DataExampleTest, EqualityAndRendering) {
+  DataExample a;
+  a.inputs = {Value::Str("P00001")};
+  a.outputs = {Value::Str("record")};
+  DataExample b = a;
+  EXPECT_TRUE(a == b);
+  b.outputs[0] = Value::Str("other");
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(RenderDataExample(a), "Input: \"P00001\" -> Output: \"record\"");
+}
+
+TEST(RegistryTest, RegisterAndLookup) {
+  Ontology onto = BuildMyGridOntology();
+  ModuleRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeEchoModule(onto)).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.Find("m1").ok());
+  EXPECT_TRUE(registry.FindByName("Echo").ok());
+  EXPECT_TRUE(registry.Find("nope").status().IsNotFound());
+  EXPECT_TRUE(registry.FindByName("nope").status().IsNotFound());
+  EXPECT_TRUE(registry.Register(nullptr).IsInvalidArgument());
+}
+
+TEST(RegistryTest, RejectsDuplicates) {
+  Ontology onto = BuildMyGridOntology();
+  ModuleRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeEchoModule(onto)).ok());
+  EXPECT_TRUE(registry.Register(MakeEchoModule(onto))
+                  .IsAlreadyExists());
+  // Same name, different id is also rejected.
+  EXPECT_TRUE(registry.Register(MakeEchoModule(onto, "m9", "Echo"))
+                  .IsAlreadyExists());
+}
+
+TEST(RegistryTest, AvailabilityPartition) {
+  Ontology onto = BuildMyGridOntology();
+  ModuleRegistry registry;
+  ModulePtr a = MakeEchoModule(onto, "a", "A");
+  ModulePtr b = MakeEchoModule(onto, "b", "B");
+  ASSERT_TRUE(registry.Register(a).ok());
+  ASSERT_TRUE(registry.Register(b).ok());
+  b->Retire();
+  EXPECT_EQ(registry.AllModules().size(), 2u);
+  EXPECT_EQ(registry.AvailableModules().size(), 1u);
+  EXPECT_EQ(registry.RetiredModules().size(), 1u);
+  EXPECT_EQ(registry.RetiredModules()[0]->spec().id, "b");
+}
+
+TEST(RegistryTest, DataExampleStorage) {
+  Ontology onto = BuildMyGridOntology();
+  ModuleRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeEchoModule(onto)).ok());
+  EXPECT_FALSE(registry.HasDataExamples("m1"));
+  EXPECT_TRUE(registry.DataExamplesOf("m1").empty());
+
+  DataExample example;
+  example.inputs = {Value::Str("x")};
+  example.outputs = {Value::Str("x")};
+  ASSERT_TRUE(registry.SetDataExamples("m1", {example}).ok());
+  EXPECT_TRUE(registry.HasDataExamples("m1"));
+  EXPECT_EQ(registry.DataExamplesOf("m1").size(), 1u);
+  EXPECT_TRUE(registry.SetDataExamples("nope", {}).IsNotFound());
+}
+
+}  // namespace
+}  // namespace dexa

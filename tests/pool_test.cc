@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "ontology/mygrid.h"
+#include "pool/instance_pool.h"
+
+namespace dexa {
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  PoolTest() : onto_(BuildMyGridOntology()), pool_(&onto_) {}
+
+  ConceptId C(const char* name) { return onto_.Find(name); }
+
+  Ontology onto_;
+  AnnotatedInstancePool pool_;
+};
+
+TEST_F(PoolTest, AddAndCount) {
+  pool_.Add(C("DNASequence"), Value::Str("ACGT"));
+  pool_.Add(C("DNASequence"), Value::Str("GGCC"));
+  pool_.Add(C("RNASequence"), Value::Str("ACGU"));
+  EXPECT_EQ(pool_.size(), 3u);
+  EXPECT_EQ(pool_.CountFor(C("DNASequence")), 2u);
+  EXPECT_EQ(pool_.CountFor(C("RNASequence")), 1u);
+  EXPECT_EQ(pool_.CountFor(C("ProteinSequence")), 0u);
+  EXPECT_EQ(pool_.PopulatedConcepts().size(), 2u);
+}
+
+TEST_F(PoolTest, DeduplicatesValues) {
+  pool_.Add(C("DNASequence"), Value::Str("ACGT"));
+  pool_.Add(C("DNASequence"), Value::Str("ACGT"));
+  EXPECT_EQ(pool_.CountFor(C("DNASequence")), 1u);
+  // Same value under a different concept is a distinct entry.
+  pool_.Add(C("RNASequence"), Value::Str("ACGT"));
+  EXPECT_EQ(pool_.size(), 2u);
+}
+
+TEST_F(PoolTest, GetInstanceIsRealizationOnly) {
+  // Instances of a sub-concept are NOT realizations of the ancestor.
+  pool_.Add(C("DNASequence"), Value::Str("ACGT"));
+  EXPECT_TRUE(pool_.GetInstance(C("NucleotideSequence")).status().IsNotFound());
+  EXPECT_TRUE(pool_.GetInstance(C("DNASequence")).ok());
+  // First-added value is the canonical realization.
+  pool_.Add(C("DNASequence"), Value::Str("GGTT"));
+  EXPECT_EQ(pool_.GetInstance(C("DNASequence"))->AsString(), "ACGT");
+}
+
+TEST_F(PoolTest, GetInstanceCompatibleFiltersByStructure) {
+  pool_.Add(C("ErrorTolerance"), Value::Str("not a number"));
+  pool_.Add(C("ErrorTolerance"), Value::Real(5.0));
+  auto v = pool_.GetInstanceCompatible(C("ErrorTolerance"),
+                                       StructuralType::Double());
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 5.0);
+  EXPECT_TRUE(pool_
+                  .GetInstanceCompatible(C("ErrorTolerance"),
+                                         StructuralType::Boolean())
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(PoolTest, SynthesizesListsFromScalars) {
+  pool_.Add(C("UniprotAccession"), Value::Str("P00001"));
+  pool_.Add(C("UniprotAccession"), Value::Str("P00002"));
+  pool_.Add(C("UniprotAccession"), Value::Str("P00003"));
+  StructuralType list = StructuralType::List(StructuralType::String());
+  auto v = pool_.GetInstanceCompatible(C("UniprotAccession"), list);
+  ASSERT_TRUE(v.ok()) << v.status();
+  ASSERT_TRUE(v->is_list());
+  EXPECT_EQ(v->AsList().size(), 3u);
+  EXPECT_EQ(v->AsList()[0].AsString(), "P00001");
+  // Cap at max_list_elements.
+  pool_.Add(C("UniprotAccession"), Value::Str("P00004"));
+  pool_.Add(C("UniprotAccession"), Value::Str("P00005"));
+  auto capped = pool_.GetInstanceCompatible(C("UniprotAccession"), list, 4);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->AsList().size(), 4u);
+}
+
+TEST_F(PoolTest, PrefersPooledListWhenPresent) {
+  StructuralType list = StructuralType::List(StructuralType::Double());
+  Value pooled = Value::ListOf({Value::Real(1.0), Value::Real(2.0)});
+  pool_.Add(C("PeptideMassList"), pooled);
+  auto v = pool_.GetInstanceCompatible(C("PeptideMassList"), list);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, pooled);
+}
+
+TEST_F(PoolTest, MissingConceptFails) {
+  EXPECT_TRUE(pool_.GetInstance(C("GlycanId")).status().IsNotFound());
+  EXPECT_TRUE(pool_
+                  .GetInstanceCompatible(C("GlycanId"),
+                                         StructuralType::String())
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace dexa

@@ -1,0 +1,97 @@
+// Seed robustness: the paper-shaped results are *structural* — they come
+// from the corpus's partition/behavior design, not from the default seed's
+// concrete random values. Rebuilding the entire pipeline under different
+// seeds must reproduce the same Tables 1-3, the same coverage exceptions
+// and the same Figure 8 matching counts.
+//
+// (Figure 5 is the exception by design: two of its filter-detector
+// outcomes hinge on concrete sequence content, which is seed-dependent;
+// EXPERIMENTS.md documents that the study is calibrated at the default
+// seed.)
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+#include "core/coverage.h"
+#include "core/example_generator.h"
+#include "core/metrics.h"
+#include "provenance/workflow_corpus.h"
+#include "repair/repair.h"
+
+namespace dexa {
+namespace {
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, StructuralResultsHoldAcrossSeeds) {
+  CorpusOptions options;
+  options.seed = GetParam();
+  auto corpus = BuildCorpus(options);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  auto workflows = GenerateWorkflowCorpus(*corpus);
+  ASSERT_TRUE(workflows.ok()) << workflows.status();
+  auto provenance = BuildProvenanceCorpus(*corpus, *workflows);
+  ASSERT_TRUE(provenance.ok()) << provenance.status();
+  AnnotatedInstancePool pool =
+      HarvestPool(*provenance, *corpus->registry, *corpus->ontology);
+  ExampleGenerator generator(corpus->ontology.get(), &pool);
+  auto annotated = AnnotateRegistry(generator, *corpus->registry);
+  ASSERT_TRUE(annotated.ok()) << annotated.status();
+
+  // Tables 1-3 and the Section 4.3 coverage results.
+  CoverageAnalyzer analyzer(corpus->ontology.get());
+  std::map<std::string, int> completeness;
+  std::map<std::string, int> conciseness;
+  size_t input_covered = 0;
+  size_t output_exceptions = 0;
+  for (const std::string& id : corpus->available_ids) {
+    ModulePtr module = *corpus->registry->Find(id);
+    const DataExampleSet& examples = corpus->registry->DataExamplesOf(id);
+    auto metrics = EvaluateBehaviorMetrics(*module, examples);
+    ASSERT_TRUE(metrics.ok()) << module->spec().name;
+    completeness[FormatFixed(metrics->completeness(), 3)]++;
+    conciseness[FormatFixed(metrics->conciseness(), 2)]++;
+    CoverageReport report = analyzer.Analyze(module->spec(), examples);
+    if (report.inputs_fully_covered()) ++input_covered;
+    if (!report.outputs_fully_covered()) ++output_exceptions;
+  }
+  EXPECT_EQ(input_covered, 252u);
+  EXPECT_EQ(output_exceptions, 19u);
+  EXPECT_EQ(completeness["1.000"], 234);
+  EXPECT_EQ(completeness["0.750"], 8);
+  EXPECT_EQ(completeness["0.625"], 4);
+  EXPECT_EQ(completeness["0.600"], 4);
+  EXPECT_EQ(completeness["0.500"], 2);
+  EXPECT_EQ(conciseness["1.00"], 192);
+  EXPECT_EQ(conciseness["0.50"], 32);
+  EXPECT_EQ(conciseness["0.47"], 7);
+  EXPECT_EQ(conciseness["0.40"], 4);
+  EXPECT_EQ(conciseness["0.33"], 4);
+  EXPECT_EQ(conciseness["0.20"], 8);
+  EXPECT_EQ(conciseness["0.17"], 4);
+  EXPECT_EQ(conciseness["0.10"], 1);
+
+  // Figure 8 matching and the repair outcome.
+  ASSERT_TRUE(RetireDecayedModules(*corpus).ok());
+  auto matching = MatchRetiredModules(*corpus, *provenance);
+  ASSERT_TRUE(matching.ok()) << matching.status();
+  EXPECT_EQ(matching->with_equivalent, 16u);
+  EXPECT_EQ(matching->with_overlapping, 23u);
+  EXPECT_EQ(matching->with_none, 33u);
+
+  auto outcome =
+      RepairWorkflows(*corpus, *workflows, *provenance, *matching);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->broken_workflows, 1500u);
+  EXPECT_EQ(outcome->repaired_via_equivalent, 321u);
+  EXPECT_EQ(outcome->repaired_via_overlapping, 13u);
+  EXPECT_EQ(outcome->repaired_partly, 73u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(7u, 1234u, 20260706u));
+
+}  // namespace
+}  // namespace dexa

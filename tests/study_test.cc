@@ -1,0 +1,196 @@
+// Reproduces the Section 5 experiment (Figure 5): simulated participants
+// identifying module behavior with and without data examples.
+
+#include <gtest/gtest.h>
+
+#include "study/detectors.h"
+#include "study/study.h"
+#include "tests/test_util.h"
+
+namespace dexa {
+namespace {
+
+using testing_env::GetEnvironment;
+
+const StudyResult& Study() {
+  static const StudyResult* result = [] {
+    const auto& env = GetEnvironment();
+    auto run = RunUnderstandingStudy(env.corpus, DefaultStudyUsers());
+    EXPECT_TRUE(run.ok()) << run.status();
+    return new StudyResult(std::move(run).value());
+  }();
+  return *result;
+}
+
+TEST(StudyTest, Figure5Phase1Counts) {
+  const StudyResult& result = Study();
+  ASSERT_EQ(result.users.size(), 3u);
+  EXPECT_EQ(result.users[0].identified_without_examples, 47u);
+  EXPECT_EQ(result.users[1].identified_without_examples, 44u);
+  EXPECT_EQ(result.users[2].identified_without_examples, 51u);
+}
+
+TEST(StudyTest, Figure5Phase2Counts) {
+  const StudyResult& result = Study();
+  EXPECT_EQ(result.users[0].identified_with_examples, 169u);
+  EXPECT_EQ(result.users[1].identified_with_examples, 188u);
+  EXPECT_EQ(result.users[2].identified_with_examples, 195u);
+  // "In average the three users were able to correctly identify ... 73%".
+  EXPECT_NEAR(result.AverageIdentificationRate(), 0.73, 0.005);
+}
+
+TEST(StudyTest, PerKindBreakdownMatchesSection5) {
+  const StudyResult& result = Study();
+  const auto& user1 = result.users[0].per_kind_with_examples;
+  // "The three users were able to identify the behavior of all format
+  // transformation modules" and "all modules mapping identifiers".
+  for (const StudyUserResult& user : result.users) {
+    EXPECT_EQ(user.per_kind_with_examples.at(ModuleKind::kFormatTransformation),
+              53u)
+        << user.user;
+    EXPECT_EQ(user.per_kind_with_examples.at(ModuleKind::kMappingIdentifiers),
+              62u)
+        << user.user;
+  }
+  // "Of the 51 data retrieval modules ... user1 was able to identify 43".
+  EXPECT_EQ(user1.at(ModuleKind::kDataRetrieval), 43u);
+  // "user1 was able to identify the behavior of 5 of the 27 filtering".
+  EXPECT_EQ(user1.at(ModuleKind::kFiltering), 5u);
+  // "user1 identified 6 of the 59 data analysis modules".
+  EXPECT_EQ(user1.at(ModuleKind::kDataAnalysis), 6u);
+
+  const auto& user2 = result.users[1].per_kind_with_examples;
+  EXPECT_EQ(user2.at(ModuleKind::kDataRetrieval), 46u);
+  EXPECT_EQ(user2.at(ModuleKind::kFiltering), 9u);
+  EXPECT_EQ(user2.at(ModuleKind::kDataAnalysis), 18u);
+
+  const auto& user3 = result.users[2].per_kind_with_examples;
+  EXPECT_EQ(user3.at(ModuleKind::kDataRetrieval), 48u);
+  EXPECT_EQ(user3.at(ModuleKind::kFiltering), 12u);
+  EXPECT_EQ(user3.at(ModuleKind::kDataAnalysis), 20u);
+}
+
+TEST(StudyTest, PhaseOneNeverLostInPhaseTwo) {
+  // The paper: "none of the modules correctly identified without data
+  // examples was then incorrectly identified using data examples".
+  const StudyResult& result = Study();
+  for (const StudyUserResult& user : result.users) {
+    EXPECT_GE(user.identified_with_examples,
+              user.identified_without_examples);
+  }
+}
+
+TEST(DetectorsTest, RetrievalRespectsFormatKnowledge) {
+  const auto& env = GetEnvironment();
+  std::vector<UserProfile> users = DefaultStudyUsers();
+  ModulePtr glycan = *env.corpus.registry->FindByName("KEGG_GetGlycanRecord");
+  const DataExampleSet& examples =
+      env.corpus.registry->DataExamplesOf(glycan->spec().id);
+  ASSERT_FALSE(examples.empty());
+  EXPECT_FALSE(DetectRetrieval(examples, users[0]));  // Unknown format.
+  EXPECT_TRUE(DetectRetrieval(examples, users[1]));   // Knows glycans.
+  EXPECT_FALSE(DetectRetrieval(examples, users[2]));
+}
+
+TEST(DetectorsTest, MappingIsUniversal) {
+  const auto& env = GetEnvironment();
+  for (const char* name :
+       {"EBI_Uniprot2KeggGene", "EBI_ExtractPrimaryId", "GetTermLabel",
+        "get_orthologs", "EBI_GoId2Term", "link"}) {
+    ModulePtr module = *env.corpus.registry->FindByName(name);
+    const DataExampleSet& examples =
+        env.corpus.registry->DataExamplesOf(module->spec().id);
+    ASSERT_FALSE(examples.empty()) << name;
+    EXPECT_TRUE(DetectMapping(examples)) << name;
+  }
+  // Homology search is NOT readable as an identifier mapping.
+  ModulePtr homologous = *env.corpus.registry->FindByName("GetHomologous");
+  EXPECT_FALSE(DetectMapping(
+      env.corpus.registry->DataExamplesOf(homologous->spec().id)));
+}
+
+TEST(DetectorsTest, FormatTransformationSignatures) {
+  const auto& env = GetEnvironment();
+  for (const char* name : {"EBI_UniprotToFasta", "EBI_AnyToFasta",
+                           "NormalizeAccession", "EBI_Transcribe",
+                           "EBI_ReverseComplement", "EBI_ExtractSequence"}) {
+    ModulePtr module = *env.corpus.registry->FindByName(name);
+    const DataExampleSet& examples =
+        env.corpus.registry->DataExamplesOf(module->spec().id);
+    ASSERT_FALSE(examples.empty()) << name;
+    EXPECT_TRUE(DetectFormatTransformation(examples)) << name;
+  }
+  // Translation is NOT a universally-recognized transformation.
+  ModulePtr translate = *env.corpus.registry->FindByName("EBI_TranslateDNA");
+  EXPECT_FALSE(DetectFormatTransformation(
+      env.corpus.registry->DataExamplesOf(translate->spec().id)));
+}
+
+TEST(DetectorsTest, FilterPredicateFitting) {
+  const auto& env = GetEnvironment();
+  std::vector<UserProfile> users = DefaultStudyUsers();
+  auto examples_of = [&](const char* name) -> const DataExampleSet& {
+    ModulePtr module = *env.corpus.registry->FindByName(name);
+    return env.corpus.registry->DataExamplesOf(module->spec().id);
+  };
+  // Organism filters: everyone.
+  EXPECT_TRUE(DetectFiltering(examples_of("EBI_FilterHumanProteins"), users[0]));
+  // Length filters: user2+.
+  EXPECT_FALSE(DetectFiltering(examples_of("EBI_FilterLongProteins"), users[0]));
+  EXPECT_TRUE(DetectFiltering(examples_of("EBI_FilterLongProteins"), users[1]));
+  // Numeric-threshold filters: user3 only.
+  EXPECT_FALSE(DetectFiltering(examples_of("KEGG_FilterHeavyCompounds"), users[1]));
+  EXPECT_TRUE(DetectFiltering(examples_of("KEGG_FilterHeavyCompounds"), users[2]));
+  EXPECT_TRUE(DetectFiltering(examples_of("EBI_FilterSignificantHits"), users[2]));
+  // Opaque filters: nobody.
+  EXPECT_FALSE(DetectFiltering(examples_of("EBI_FilterEvenAccessions"), users[2]));
+}
+
+TEST(DetectorsTest, AnalysisDerivationsPerUser) {
+  const auto& env = GetEnvironment();
+  std::vector<UserProfile> users = DefaultStudyUsers();
+  auto examples_of = [&](const char* name) -> const DataExampleSet& {
+    ModulePtr module = *env.corpus.registry->FindByName(name);
+    return env.corpus.registry->DataExamplesOf(module->spec().id);
+  };
+  EXPECT_TRUE(DetectAnalysisDerivation(examples_of("GetSequenceLength"), users[0]));
+  EXPECT_TRUE(DetectAnalysisDerivation(examples_of("EBI_TranslateDNA"), users[0]));
+  EXPECT_FALSE(DetectAnalysisDerivation(examples_of("EBI_ComputeGcContent"), users[0]));
+  EXPECT_TRUE(DetectAnalysisDerivation(examples_of("EBI_ComputeGcContent"), users[1]));
+  EXPECT_FALSE(DetectAnalysisDerivation(examples_of("EBI_CountPurines"), users[1]));
+  EXPECT_TRUE(DetectAnalysisDerivation(examples_of("EBI_CountPurines"), users[2]));
+  EXPECT_FALSE(DetectAnalysisDerivation(examples_of("EBI_ComputeEntropy"), users[2]));
+}
+
+
+TEST(StudyTest, DetectorsNeverMisidentifyKind) {
+  // Stronger than the paper's "nothing identified without examples was
+  // then mis-identified with them": across every module and every
+  // participant, the detectors either name the module's true kind or stay
+  // silent — they never claim a wrong kind.
+  const auto& env = GetEnvironment();
+  for (const UserProfile& profile : DefaultStudyUsers()) {
+    for (const std::string& id : env.corpus.available_ids) {
+      ModulePtr module = *env.corpus.registry->Find(id);
+      auto detected = DetectKindFromExamples(
+          module->spec(), env.corpus.registry->DataExamplesOf(id), profile);
+      if (detected.has_value()) {
+        EXPECT_EQ(*detected, module->spec().kind)
+            << module->spec().name << " misread by " << profile.name;
+      }
+    }
+  }
+}
+
+TEST(StudyTest, Table3Census) {
+  const StudyResult& result = Study();
+  EXPECT_EQ(result.total_modules, 252u);
+  EXPECT_EQ(result.modules_per_kind.at(ModuleKind::kFormatTransformation), 53u);
+  EXPECT_EQ(result.modules_per_kind.at(ModuleKind::kDataRetrieval), 51u);
+  EXPECT_EQ(result.modules_per_kind.at(ModuleKind::kMappingIdentifiers), 62u);
+  EXPECT_EQ(result.modules_per_kind.at(ModuleKind::kFiltering), 27u);
+  EXPECT_EQ(result.modules_per_kind.at(ModuleKind::kDataAnalysis), 59u);
+}
+
+}  // namespace
+}  // namespace dexa

@@ -1,0 +1,347 @@
+// dexa — command-line front end over the library.
+//
+// Builds the evaluation environment (corpus, workflow corpus, provenance,
+// pool, annotations) once, then executes one subcommand:
+//
+//   dexa tables                      regenerate the paper's tables
+//   dexa annotate <module-name>      print a module's data examples
+//   dexa compare <name-a> <name-b>   compare two modules' behavior
+//   dexa discover <in> <out>         rank modules by signature
+//   dexa compose <in> <out> [depth]  assemble validated pipelines
+//   dexa repair                      run the Section 6 repair experiment
+//   dexa export-registry <file>      write the data-example annotations
+//   dexa export-ontology <file>      write the myGrid ontology DSL
+//   dexa export-pool <file>          write the annotated instance pool
+//   dexa export-workflow <id> <file> write one generated workflow's DSL
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/composition.h"
+#include "core/coverage.h"
+#include "core/discovery.h"
+#include "core/example_generator.h"
+#include "core/matcher.h"
+#include "core/metrics.h"
+#include "corpus/corpus.h"
+#include "modules/registry_io.h"
+#include "pool/pool_io.h"
+#include "provenance/workflow_corpus.h"
+#include "repair/repair.h"
+#include "study/study.h"
+#include "workflow/workflow_io.h"
+
+namespace {
+
+using namespace dexa;
+
+struct CliEnv {
+  Corpus corpus;
+  WorkflowCorpus workflows;
+  ProvenanceCorpus provenance;
+  std::unique_ptr<AnnotatedInstancePool> pool;
+};
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+Result<CliEnv> BuildEnv(bool retire) {
+  CliEnv env;
+  auto corpus = BuildCorpus();
+  if (!corpus.ok()) return corpus.status();
+  env.corpus = std::move(corpus).value();
+  auto workflows = GenerateWorkflowCorpus(env.corpus);
+  if (!workflows.ok()) return workflows.status();
+  env.workflows = std::move(workflows).value();
+  auto provenance = BuildProvenanceCorpus(env.corpus, env.workflows);
+  if (!provenance.ok()) return provenance.status();
+  env.provenance = std::move(provenance).value();
+  env.pool = std::make_unique<AnnotatedInstancePool>(HarvestPool(
+      env.provenance, *env.corpus.registry, *env.corpus.ontology));
+  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+  auto annotated = AnnotateRegistry(generator, *env.corpus.registry);
+  if (!annotated.ok()) return annotated.status();
+  if (retire) {
+    DEXA_RETURN_IF_ERROR(RetireDecayedModules(env.corpus));
+  }
+  return env;
+}
+
+int WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Fail(Status::InvalidArgument("cannot open " + path));
+  out << content;
+  std::cout << "wrote " << content.size() << " bytes to " << path << "\n";
+  return 0;
+}
+
+int CmdTables(const CliEnv& env) {
+  std::map<ModuleKind, int> census;
+  std::map<std::string, int, std::greater<std::string>> completeness;
+  std::map<std::string, int, std::greater<std::string>> conciseness;
+  CoverageAnalyzer analyzer(env.corpus.ontology.get());
+  size_t exceptions = 0;
+  for (const std::string& id : env.corpus.available_ids) {
+    ModulePtr module = *env.corpus.registry->Find(id);
+    census[module->spec().kind]++;
+    const DataExampleSet& examples = env.corpus.registry->DataExamplesOf(id);
+    auto metrics = EvaluateBehaviorMetrics(*module, examples);
+    if (metrics.ok()) {
+      completeness[FormatFixed(metrics->completeness(), 3)]++;
+      conciseness[FormatFixed(metrics->conciseness(), 2)]++;
+    }
+    if (!analyzer.Analyze(module->spec(), examples).outputs_fully_covered()) {
+      ++exceptions;
+    }
+  }
+  TablePrinter kinds({"Kind of data manipulation", "# of modules"});
+  for (const auto& [kind, count] : census) {
+    kinds.AddRow({ModuleKindName(kind), std::to_string(count)});
+  }
+  kinds.Print(std::cout, "Table 3: kinds of data manipulation.");
+  std::cout << "\n";
+  TablePrinter table1({"Completeness", "# of modules"});
+  for (const auto& [value, count] : completeness) {
+    table1.AddRow({value, std::to_string(count)});
+  }
+  table1.Print(std::cout, "Table 1: completeness.");
+  std::cout << "\n";
+  TablePrinter table2({"Conciseness", "# of modules"});
+  for (const auto& [value, count] : conciseness) {
+    table2.AddRow({value, std::to_string(count)});
+  }
+  table2.Print(std::cout, "Table 2: conciseness.");
+  std::cout << "\nOutput-coverage exceptions: " << exceptions
+            << " (paper: 19)\n";
+  return 0;
+}
+
+int CmdAnnotate(const CliEnv& env, const std::string& name) {
+  auto module = env.corpus.registry->FindByName(name);
+  if (!module.ok()) return Fail(module.status());
+  const ModuleSpec& spec = (*module)->spec();
+  std::cout << spec.name << " (" << ModuleKindName(spec.kind) << ")\n";
+  for (const Parameter& param : spec.inputs) {
+    std::cout << "  in  " << param.name << " : "
+              << param.structural_type.ToString() << " / "
+              << env.corpus.ontology->NameOf(param.semantic_type)
+              << (param.optional ? " (optional)" : "") << "\n";
+  }
+  for (const Parameter& param : spec.outputs) {
+    std::cout << "  out " << param.name << " : "
+              << param.structural_type.ToString() << " / "
+              << env.corpus.ontology->NameOf(param.semantic_type) << "\n";
+  }
+  const DataExampleSet& examples =
+      env.corpus.registry->DataExamplesOf(spec.id);
+  std::cout << "data examples (" << examples.size() << "):\n";
+  for (const DataExample& example : examples) {
+    std::string rendered = RenderDataExample(example);
+    if (rendered.size() > 160) rendered = rendered.substr(0, 157) + "...";
+    std::cout << "  " << rendered << "\n";
+  }
+  return 0;
+}
+
+int CmdCompare(const CliEnv& env, const std::string& a, const std::string& b) {
+  auto left = env.corpus.registry->FindByName(a);
+  auto right = env.corpus.registry->FindByName(b);
+  if (!left.ok()) return Fail(left.status());
+  if (!right.ok()) return Fail(right.status());
+  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+  ModuleMatcher matcher(env.corpus.ontology.get(), &generator);
+  auto result = matcher.Compare(**left, **right);
+  if (!result.ok()) return Fail(result.status());
+  std::cout << a << " vs " << b << ": "
+            << BehaviorRelationName(result->relation) << " ("
+            << result->examples_agreeing << "/" << result->examples_compared
+            << " aligned examples agree"
+            << (result->mapping.contextual ? ", contextual mapping" : "")
+            << ")\n";
+  return 0;
+}
+
+/// The structural type concept instances conventionally use ("PeptideMassList"
+/// is a list of masses; numeric measures are doubles; everything else is a
+/// string).
+StructuralType DefaultTypeFor(const std::string& concept_name) {
+  if (concept_name == "PeptideMassList") {
+    return StructuralType::List(StructuralType::Double());
+  }
+  for (const char* numeric : {"ErrorTolerance", "ThresholdValue",
+                              "MolecularMass", "Score", "Fraction"}) {
+    if (concept_name == numeric) return StructuralType::Double();
+  }
+  for (const char* integral : {"SequenceLength", "Count"}) {
+    if (concept_name == integral) return StructuralType::Integer();
+  }
+  return StructuralType::String();
+}
+
+int CmdDiscover(const CliEnv& env, const std::string& in,
+                const std::string& out) {
+  ConceptId in_concept = env.corpus.ontology->Find(in);
+  ConceptId out_concept = env.corpus.ontology->Find(out);
+  if (in_concept == kInvalidConcept || out_concept == kInvalidConcept) {
+    return Fail(Status::NotFound("unknown concept (see export-ontology)"));
+  }
+  BehaviorDiscovery discovery(env.corpus.ontology.get(),
+                              env.corpus.registry.get());
+  DiscoveryQuery query;
+  query.input_concept = in_concept;
+  query.input_type = DefaultTypeFor(in);
+  query.output_concept = out_concept;
+  query.output_type = DefaultTypeFor(out);
+  auto hits = discovery.Search(query, 10);
+  if (hits.empty()) {
+    std::cout << "no modules match " << in << " -> " << out << "\n";
+    return 0;
+  }
+  for (const DiscoveryHit& hit : hits) {
+    std::printf("  %5.2f  %-32s %s\n", hit.score, hit.module_name.c_str(),
+                hit.why.c_str());
+  }
+  return 0;
+}
+
+int CmdCompose(const CliEnv& env, const std::string& in,
+               const std::string& out, size_t depth) {
+  ConceptId in_concept = env.corpus.ontology->Find(in);
+  ConceptId out_concept = env.corpus.ontology->Find(out);
+  if (in_concept == kInvalidConcept || out_concept == kInvalidConcept) {
+    return Fail(Status::NotFound("unknown concept (see export-ontology)"));
+  }
+  ExampleGuidedComposer composer(env.corpus.ontology.get(),
+                                 env.corpus.registry.get(), env.pool.get());
+  CompositionRequest request;
+  request.source_concept = in_concept;
+  request.source_type = DefaultTypeFor(in);
+  request.target_concept = out_concept;
+  request.target_type = DefaultTypeFor(out);
+  request.max_depth = depth;
+  auto candidates = composer.Compose(request);
+  if (!candidates.ok()) return Fail(candidates.status());
+  if (candidates->empty()) {
+    std::cout << "no validated chain from " << in << " to " << out
+              << " within depth " << depth << "\n";
+    return 0;
+  }
+  for (const CompositionCandidate& candidate : *candidates) {
+    std::cout << "  chain:";
+    for (const std::string& module_id : candidate.module_ids) {
+      std::cout << " -> "
+                << (*env.corpus.registry->Find(module_id))->spec().name;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int CmdStudy(const CliEnv& env) {
+  auto result = RunUnderstandingStudy(env.corpus, DefaultStudyUsers());
+  if (!result.ok()) return Fail(result.status());
+  TablePrinter table({"participant", "without examples", "with examples"});
+  for (const StudyUserResult& user : result->users) {
+    table.AddRow({user.user,
+                  std::to_string(user.identified_without_examples),
+                  std::to_string(user.identified_with_examples)});
+  }
+  table.Print(std::cout,
+              "Understanding study (Figure 5 of the paper):");
+  std::cout << "average identification rate with examples: "
+            << FormatFixed(result->AverageIdentificationRate() * 100.0, 1)
+            << "%\n";
+  return 0;
+}
+
+int CmdRepair(CliEnv& env) {
+  auto matching = MatchRetiredModules(env.corpus, env.provenance);
+  if (!matching.ok()) return Fail(matching.status());
+  std::cout << "retired modules: " << matching->retired_total
+            << "; equivalent: " << matching->with_equivalent
+            << "; overlapping: " << matching->with_overlapping
+            << "; none: " << matching->with_none << "\n";
+  auto outcome =
+      RepairWorkflows(env.corpus, env.workflows, env.provenance, *matching);
+  if (!outcome.ok()) return Fail(outcome.status());
+  std::cout << "broken workflows: " << outcome->broken_workflows
+            << "; repaired: " << outcome->repaired_total << " ("
+            << outcome->repaired_via_equivalent << " via equivalent, "
+            << outcome->repaired_via_overlapping << " via overlapping; "
+            << outcome->repaired_partly << " partly)\n";
+  return 0;
+}
+
+int CmdExportWorkflow(const CliEnv& env, const std::string& id,
+                      const std::string& path) {
+  for (const GeneratedWorkflow& item : env.workflows.items) {
+    if (item.workflow.id == id) {
+      return WriteFile(path,
+                       RenderWorkflowDsl(item.workflow, *env.corpus.ontology));
+    }
+  }
+  return Fail(Status::NotFound("no workflow with id '" + id + "'"));
+}
+
+int Usage() {
+  std::cerr
+      << "usage: dexa <command> [args]\n"
+         "  tables | annotate <module> | compare <a> <b>\n"
+         "  discover <in-concept> <out-concept> | compose <in> <out> [depth]\n"
+         "  repair | study | export-registry <file> | export-ontology <file>\n"
+         "  export-pool <file> | export-workflow <id> <file>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string& command = args[0];
+
+  // The repair command needs the decayed corpus; everything else works on
+  // the healthy one.
+  auto env = BuildEnv(/*retire=*/command == "repair" || command == "compare"
+                          ? command == "repair"
+                          : false);
+  if (!env.ok()) return Fail(env.status());
+
+  if (command == "tables") return CmdTables(*env);
+  if (command == "annotate" && args.size() == 2) {
+    return CmdAnnotate(*env, args[1]);
+  }
+  if (command == "compare" && args.size() == 3) {
+    return CmdCompare(*env, args[1], args[2]);
+  }
+  if (command == "discover" && args.size() == 3) {
+    return CmdDiscover(*env, args[1], args[2]);
+  }
+  if (command == "compose" && (args.size() == 3 || args.size() == 4)) {
+    size_t depth = 3;
+    if (args.size() == 4) depth = static_cast<size_t>(std::stoul(args[3]));
+    return CmdCompose(*env, args[1], args[2], depth);
+  }
+  if (command == "repair") return CmdRepair(*env);
+  if (command == "study") return CmdStudy(*env);
+  if (command == "export-registry" && args.size() == 2) {
+    return WriteFile(args[1], SaveAnnotations(*env->corpus.registry,
+                                              *env->corpus.ontology));
+  }
+  if (command == "export-ontology" && args.size() == 2) {
+    return WriteFile(args[1], env->corpus.ontology->ToDsl());
+  }
+  if (command == "export-pool" && args.size() == 2) {
+    return WriteFile(args[1], SavePool(*env->pool));
+  }
+  if (command == "export-workflow" && args.size() == 3) {
+    return CmdExportWorkflow(*env, args[1], args[2]);
+  }
+  return Usage();
+}

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_combos.dir/bench_ablation_combos.cc.o"
+  "CMakeFiles/bench_ablation_combos.dir/bench_ablation_combos.cc.o.d"
+  "CMakeFiles/bench_ablation_combos.dir/bench_env.cc.o"
+  "CMakeFiles/bench_ablation_combos.dir/bench_env.cc.o.d"
+  "bench_ablation_combos"
+  "bench_ablation_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

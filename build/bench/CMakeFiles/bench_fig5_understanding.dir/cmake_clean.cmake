@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_understanding.dir/bench_env.cc.o"
+  "CMakeFiles/bench_fig5_understanding.dir/bench_env.cc.o.d"
+  "CMakeFiles/bench_fig5_understanding.dir/bench_fig5_understanding.cc.o"
+  "CMakeFiles/bench_fig5_understanding.dir/bench_fig5_understanding.cc.o.d"
+  "bench_fig5_understanding"
+  "bench_fig5_understanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_understanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_completeness.dir/bench_env.cc.o"
+  "CMakeFiles/bench_table1_completeness.dir/bench_env.cc.o.d"
+  "CMakeFiles/bench_table1_completeness.dir/bench_table1_completeness.cc.o"
+  "CMakeFiles/bench_table1_completeness.dir/bench_table1_completeness.cc.o.d"
+  "bench_table1_completeness"
+  "bench_table1_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

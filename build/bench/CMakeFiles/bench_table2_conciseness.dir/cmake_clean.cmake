@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_conciseness.dir/bench_env.cc.o"
+  "CMakeFiles/bench_table2_conciseness.dir/bench_env.cc.o.d"
+  "CMakeFiles/bench_table2_conciseness.dir/bench_table2_conciseness.cc.o"
+  "CMakeFiles/bench_table2_conciseness.dir/bench_table2_conciseness.cc.o.d"
+  "bench_table2_conciseness"
+  "bench_table2_conciseness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_conciseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

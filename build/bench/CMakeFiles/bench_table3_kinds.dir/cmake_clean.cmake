@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_kinds.dir/bench_env.cc.o"
+  "CMakeFiles/bench_table3_kinds.dir/bench_env.cc.o.d"
+  "CMakeFiles/bench_table3_kinds.dir/bench_table3_kinds.cc.o"
+  "CMakeFiles/bench_table3_kinds.dir/bench_table3_kinds.cc.o.d"
+  "bench_table3_kinds"
+  "bench_table3_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_pipeline.dir/annotation_pipeline.cpp.o"
+  "CMakeFiles/annotation_pipeline.dir/annotation_pipeline.cpp.o.d"
+  "annotation_pipeline"
+  "annotation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

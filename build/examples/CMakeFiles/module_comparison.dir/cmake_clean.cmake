@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_comparison.dir/module_comparison.cpp.o"
+  "CMakeFiles/module_comparison.dir/module_comparison.cpp.o.d"
+  "module_comparison"
+  "module_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_identification.dir/protein_identification.cpp.o"
+  "CMakeFiles/protein_identification.dir/protein_identification.cpp.o.d"
+  "protein_identification"
+  "protein_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_repair.dir/workflow_repair.cpp.o"
+  "CMakeFiles/workflow_repair.dir/workflow_repair.cpp.o.d"
+  "workflow_repair"
+  "workflow_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ontology")
+subdirs("types")
+subdirs("formats")
+subdirs("kb")
+subdirs("modules")
+subdirs("corpus")
+subdirs("workflow")
+subdirs("provenance")
+subdirs("pool")
+subdirs("core")
+subdirs("repair")
+subdirs("study")

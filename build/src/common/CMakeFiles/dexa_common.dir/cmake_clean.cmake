@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_common.dir/rng.cc.o"
+  "CMakeFiles/dexa_common.dir/rng.cc.o.d"
+  "CMakeFiles/dexa_common.dir/status.cc.o"
+  "CMakeFiles/dexa_common.dir/status.cc.o.d"
+  "CMakeFiles/dexa_common.dir/strings.cc.o"
+  "CMakeFiles/dexa_common.dir/strings.cc.o.d"
+  "CMakeFiles/dexa_common.dir/table.cc.o"
+  "CMakeFiles/dexa_common.dir/table.cc.o.d"
+  "libdexa_common.a"
+  "libdexa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

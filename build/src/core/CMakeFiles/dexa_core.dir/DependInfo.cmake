@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annotation_suggester.cc" "src/core/CMakeFiles/dexa_core.dir/annotation_suggester.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/annotation_suggester.cc.o.d"
+  "/root/repo/src/core/annotation_verifier.cc" "src/core/CMakeFiles/dexa_core.dir/annotation_verifier.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/annotation_verifier.cc.o.d"
+  "/root/repo/src/core/composition.cc" "src/core/CMakeFiles/dexa_core.dir/composition.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/composition.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/core/CMakeFiles/dexa_core.dir/coverage.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/coverage.cc.o.d"
+  "/root/repo/src/core/discovery.cc" "src/core/CMakeFiles/dexa_core.dir/discovery.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/discovery.cc.o.d"
+  "/root/repo/src/core/example_generator.cc" "src/core/CMakeFiles/dexa_core.dir/example_generator.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/example_generator.cc.o.d"
+  "/root/repo/src/core/instance_classifier.cc" "src/core/CMakeFiles/dexa_core.dir/instance_classifier.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/instance_classifier.cc.o.d"
+  "/root/repo/src/core/matcher.cc" "src/core/CMakeFiles/dexa_core.dir/matcher.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/matcher.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/dexa_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/dexa_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/redundancy.cc" "src/core/CMakeFiles/dexa_core.dir/redundancy.cc.o" "gcc" "src/core/CMakeFiles/dexa_core.dir/redundancy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dexa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/dexa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/dexa_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/dexa_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/dexa_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/dexa_pool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

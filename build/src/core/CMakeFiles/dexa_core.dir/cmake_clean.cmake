@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_core.dir/annotation_suggester.cc.o"
+  "CMakeFiles/dexa_core.dir/annotation_suggester.cc.o.d"
+  "CMakeFiles/dexa_core.dir/annotation_verifier.cc.o"
+  "CMakeFiles/dexa_core.dir/annotation_verifier.cc.o.d"
+  "CMakeFiles/dexa_core.dir/composition.cc.o"
+  "CMakeFiles/dexa_core.dir/composition.cc.o.d"
+  "CMakeFiles/dexa_core.dir/coverage.cc.o"
+  "CMakeFiles/dexa_core.dir/coverage.cc.o.d"
+  "CMakeFiles/dexa_core.dir/discovery.cc.o"
+  "CMakeFiles/dexa_core.dir/discovery.cc.o.d"
+  "CMakeFiles/dexa_core.dir/example_generator.cc.o"
+  "CMakeFiles/dexa_core.dir/example_generator.cc.o.d"
+  "CMakeFiles/dexa_core.dir/instance_classifier.cc.o"
+  "CMakeFiles/dexa_core.dir/instance_classifier.cc.o.d"
+  "CMakeFiles/dexa_core.dir/matcher.cc.o"
+  "CMakeFiles/dexa_core.dir/matcher.cc.o.d"
+  "CMakeFiles/dexa_core.dir/metrics.cc.o"
+  "CMakeFiles/dexa_core.dir/metrics.cc.o.d"
+  "CMakeFiles/dexa_core.dir/partitioner.cc.o"
+  "CMakeFiles/dexa_core.dir/partitioner.cc.o.d"
+  "CMakeFiles/dexa_core.dir/redundancy.cc.o"
+  "CMakeFiles/dexa_core.dir/redundancy.cc.o.d"
+  "libdexa_core.a"
+  "libdexa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

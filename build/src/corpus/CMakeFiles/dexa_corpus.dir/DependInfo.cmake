@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/behaviors.cc" "src/corpus/CMakeFiles/dexa_corpus.dir/behaviors.cc.o" "gcc" "src/corpus/CMakeFiles/dexa_corpus.dir/behaviors.cc.o.d"
+  "/root/repo/src/corpus/corpus.cc" "src/corpus/CMakeFiles/dexa_corpus.dir/corpus.cc.o" "gcc" "src/corpus/CMakeFiles/dexa_corpus.dir/corpus.cc.o.d"
+  "/root/repo/src/corpus/corpus_analysis.cc" "src/corpus/CMakeFiles/dexa_corpus.dir/corpus_analysis.cc.o" "gcc" "src/corpus/CMakeFiles/dexa_corpus.dir/corpus_analysis.cc.o.d"
+  "/root/repo/src/corpus/corpus_filters.cc" "src/corpus/CMakeFiles/dexa_corpus.dir/corpus_filters.cc.o" "gcc" "src/corpus/CMakeFiles/dexa_corpus.dir/corpus_filters.cc.o.d"
+  "/root/repo/src/corpus/corpus_retired.cc" "src/corpus/CMakeFiles/dexa_corpus.dir/corpus_retired.cc.o" "gcc" "src/corpus/CMakeFiles/dexa_corpus.dir/corpus_retired.cc.o.d"
+  "/root/repo/src/corpus/term_values.cc" "src/corpus/CMakeFiles/dexa_corpus.dir/term_values.cc.o" "gcc" "src/corpus/CMakeFiles/dexa_corpus.dir/term_values.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dexa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/dexa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/dexa_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/dexa_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/dexa_modules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

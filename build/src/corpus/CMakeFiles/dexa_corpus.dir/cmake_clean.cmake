@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_corpus.dir/behaviors.cc.o"
+  "CMakeFiles/dexa_corpus.dir/behaviors.cc.o.d"
+  "CMakeFiles/dexa_corpus.dir/corpus.cc.o"
+  "CMakeFiles/dexa_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/dexa_corpus.dir/corpus_analysis.cc.o"
+  "CMakeFiles/dexa_corpus.dir/corpus_analysis.cc.o.d"
+  "CMakeFiles/dexa_corpus.dir/corpus_filters.cc.o"
+  "CMakeFiles/dexa_corpus.dir/corpus_filters.cc.o.d"
+  "CMakeFiles/dexa_corpus.dir/corpus_retired.cc.o"
+  "CMakeFiles/dexa_corpus.dir/corpus_retired.cc.o.d"
+  "CMakeFiles/dexa_corpus.dir/term_values.cc.o"
+  "CMakeFiles/dexa_corpus.dir/term_values.cc.o.d"
+  "libdexa_corpus.a"
+  "libdexa_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/alphabet.cc" "src/formats/CMakeFiles/dexa_formats.dir/alphabet.cc.o" "gcc" "src/formats/CMakeFiles/dexa_formats.dir/alphabet.cc.o.d"
+  "/root/repo/src/formats/entity_records.cc" "src/formats/CMakeFiles/dexa_formats.dir/entity_records.cc.o" "gcc" "src/formats/CMakeFiles/dexa_formats.dir/entity_records.cc.o.d"
+  "/root/repo/src/formats/kegg_flat.cc" "src/formats/CMakeFiles/dexa_formats.dir/kegg_flat.cc.o" "gcc" "src/formats/CMakeFiles/dexa_formats.dir/kegg_flat.cc.o.d"
+  "/root/repo/src/formats/reports.cc" "src/formats/CMakeFiles/dexa_formats.dir/reports.cc.o" "gcc" "src/formats/CMakeFiles/dexa_formats.dir/reports.cc.o.d"
+  "/root/repo/src/formats/sequence_record.cc" "src/formats/CMakeFiles/dexa_formats.dir/sequence_record.cc.o" "gcc" "src/formats/CMakeFiles/dexa_formats.dir/sequence_record.cc.o.d"
+  "/root/repo/src/formats/sniffer.cc" "src/formats/CMakeFiles/dexa_formats.dir/sniffer.cc.o" "gcc" "src/formats/CMakeFiles/dexa_formats.dir/sniffer.cc.o.d"
+  "/root/repo/src/formats/term_instance.cc" "src/formats/CMakeFiles/dexa_formats.dir/term_instance.cc.o" "gcc" "src/formats/CMakeFiles/dexa_formats.dir/term_instance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

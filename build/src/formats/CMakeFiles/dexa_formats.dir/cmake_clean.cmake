@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_formats.dir/alphabet.cc.o"
+  "CMakeFiles/dexa_formats.dir/alphabet.cc.o.d"
+  "CMakeFiles/dexa_formats.dir/entity_records.cc.o"
+  "CMakeFiles/dexa_formats.dir/entity_records.cc.o.d"
+  "CMakeFiles/dexa_formats.dir/kegg_flat.cc.o"
+  "CMakeFiles/dexa_formats.dir/kegg_flat.cc.o.d"
+  "CMakeFiles/dexa_formats.dir/reports.cc.o"
+  "CMakeFiles/dexa_formats.dir/reports.cc.o.d"
+  "CMakeFiles/dexa_formats.dir/sequence_record.cc.o"
+  "CMakeFiles/dexa_formats.dir/sequence_record.cc.o.d"
+  "CMakeFiles/dexa_formats.dir/sniffer.cc.o"
+  "CMakeFiles/dexa_formats.dir/sniffer.cc.o.d"
+  "CMakeFiles/dexa_formats.dir/term_instance.cc.o"
+  "CMakeFiles/dexa_formats.dir/term_instance.cc.o.d"
+  "libdexa_formats.a"
+  "libdexa_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

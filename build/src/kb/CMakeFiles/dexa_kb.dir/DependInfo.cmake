@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/accessions.cc" "src/kb/CMakeFiles/dexa_kb.dir/accessions.cc.o" "gcc" "src/kb/CMakeFiles/dexa_kb.dir/accessions.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/kb/CMakeFiles/dexa_kb.dir/knowledge_base.cc.o" "gcc" "src/kb/CMakeFiles/dexa_kb.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/render.cc" "src/kb/CMakeFiles/dexa_kb.dir/render.cc.o" "gcc" "src/kb/CMakeFiles/dexa_kb.dir/render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/dexa_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

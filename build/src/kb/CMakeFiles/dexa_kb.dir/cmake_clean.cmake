@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_kb.dir/accessions.cc.o"
+  "CMakeFiles/dexa_kb.dir/accessions.cc.o.d"
+  "CMakeFiles/dexa_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/dexa_kb.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/dexa_kb.dir/render.cc.o"
+  "CMakeFiles/dexa_kb.dir/render.cc.o.d"
+  "libdexa_kb.a"
+  "libdexa_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modules/data_example.cc" "src/modules/CMakeFiles/dexa_modules.dir/data_example.cc.o" "gcc" "src/modules/CMakeFiles/dexa_modules.dir/data_example.cc.o.d"
+  "/root/repo/src/modules/module.cc" "src/modules/CMakeFiles/dexa_modules.dir/module.cc.o" "gcc" "src/modules/CMakeFiles/dexa_modules.dir/module.cc.o.d"
+  "/root/repo/src/modules/registry.cc" "src/modules/CMakeFiles/dexa_modules.dir/registry.cc.o" "gcc" "src/modules/CMakeFiles/dexa_modules.dir/registry.cc.o.d"
+  "/root/repo/src/modules/registry_io.cc" "src/modules/CMakeFiles/dexa_modules.dir/registry_io.cc.o" "gcc" "src/modules/CMakeFiles/dexa_modules.dir/registry_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/dexa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dexa_ontology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_modules.dir/data_example.cc.o"
+  "CMakeFiles/dexa_modules.dir/data_example.cc.o.d"
+  "CMakeFiles/dexa_modules.dir/module.cc.o"
+  "CMakeFiles/dexa_modules.dir/module.cc.o.d"
+  "CMakeFiles/dexa_modules.dir/registry.cc.o"
+  "CMakeFiles/dexa_modules.dir/registry.cc.o.d"
+  "CMakeFiles/dexa_modules.dir/registry_io.cc.o"
+  "CMakeFiles/dexa_modules.dir/registry_io.cc.o.d"
+  "libdexa_modules.a"
+  "libdexa_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdexa_modules.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/mygrid.cc" "src/ontology/CMakeFiles/dexa_ontology.dir/mygrid.cc.o" "gcc" "src/ontology/CMakeFiles/dexa_ontology.dir/mygrid.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "src/ontology/CMakeFiles/dexa_ontology.dir/ontology.cc.o" "gcc" "src/ontology/CMakeFiles/dexa_ontology.dir/ontology.cc.o.d"
+  "/root/repo/src/ontology/ontology_parser.cc" "src/ontology/CMakeFiles/dexa_ontology.dir/ontology_parser.cc.o" "gcc" "src/ontology/CMakeFiles/dexa_ontology.dir/ontology_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

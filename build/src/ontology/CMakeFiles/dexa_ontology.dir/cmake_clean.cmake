@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_ontology.dir/mygrid.cc.o"
+  "CMakeFiles/dexa_ontology.dir/mygrid.cc.o.d"
+  "CMakeFiles/dexa_ontology.dir/ontology.cc.o"
+  "CMakeFiles/dexa_ontology.dir/ontology.cc.o.d"
+  "CMakeFiles/dexa_ontology.dir/ontology_parser.cc.o"
+  "CMakeFiles/dexa_ontology.dir/ontology_parser.cc.o.d"
+  "libdexa_ontology.a"
+  "libdexa_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

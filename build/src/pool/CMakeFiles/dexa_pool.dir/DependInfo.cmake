@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pool/instance_pool.cc" "src/pool/CMakeFiles/dexa_pool.dir/instance_pool.cc.o" "gcc" "src/pool/CMakeFiles/dexa_pool.dir/instance_pool.cc.o.d"
+  "/root/repo/src/pool/pool_io.cc" "src/pool/CMakeFiles/dexa_pool.dir/pool_io.cc.o" "gcc" "src/pool/CMakeFiles/dexa_pool.dir/pool_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/dexa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dexa_ontology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_pool.dir/instance_pool.cc.o"
+  "CMakeFiles/dexa_pool.dir/instance_pool.cc.o.d"
+  "CMakeFiles/dexa_pool.dir/pool_io.cc.o"
+  "CMakeFiles/dexa_pool.dir/pool_io.cc.o.d"
+  "libdexa_pool.a"
+  "libdexa_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

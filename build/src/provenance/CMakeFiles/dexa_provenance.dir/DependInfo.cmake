@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/seed_catalog.cc" "src/provenance/CMakeFiles/dexa_provenance.dir/seed_catalog.cc.o" "gcc" "src/provenance/CMakeFiles/dexa_provenance.dir/seed_catalog.cc.o.d"
+  "/root/repo/src/provenance/trace.cc" "src/provenance/CMakeFiles/dexa_provenance.dir/trace.cc.o" "gcc" "src/provenance/CMakeFiles/dexa_provenance.dir/trace.cc.o.d"
+  "/root/repo/src/provenance/workflow_corpus.cc" "src/provenance/CMakeFiles/dexa_provenance.dir/workflow_corpus.cc.o" "gcc" "src/provenance/CMakeFiles/dexa_provenance.dir/workflow_corpus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/dexa_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/dexa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/dexa_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dexa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/dexa_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/dexa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dexa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/dexa_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/dexa_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

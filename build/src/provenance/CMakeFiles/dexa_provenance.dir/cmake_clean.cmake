@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_provenance.dir/seed_catalog.cc.o"
+  "CMakeFiles/dexa_provenance.dir/seed_catalog.cc.o.d"
+  "CMakeFiles/dexa_provenance.dir/trace.cc.o"
+  "CMakeFiles/dexa_provenance.dir/trace.cc.o.d"
+  "CMakeFiles/dexa_provenance.dir/workflow_corpus.cc.o"
+  "CMakeFiles/dexa_provenance.dir/workflow_corpus.cc.o.d"
+  "libdexa_provenance.a"
+  "libdexa_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_repair.dir/repair.cc.o"
+  "CMakeFiles/dexa_repair.dir/repair.cc.o.d"
+  "libdexa_repair.a"
+  "libdexa_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

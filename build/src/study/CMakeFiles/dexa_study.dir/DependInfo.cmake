@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/detectors.cc" "src/study/CMakeFiles/dexa_study.dir/detectors.cc.o" "gcc" "src/study/CMakeFiles/dexa_study.dir/detectors.cc.o.d"
+  "/root/repo/src/study/study.cc" "src/study/CMakeFiles/dexa_study.dir/study.cc.o" "gcc" "src/study/CMakeFiles/dexa_study.dir/study.cc.o.d"
+  "/root/repo/src/study/user_model.cc" "src/study/CMakeFiles/dexa_study.dir/user_model.cc.o" "gcc" "src/study/CMakeFiles/dexa_study.dir/user_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/dexa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/dexa_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dexa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/dexa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/dexa_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/dexa_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

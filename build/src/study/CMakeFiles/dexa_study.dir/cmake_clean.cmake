@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_study.dir/detectors.cc.o"
+  "CMakeFiles/dexa_study.dir/detectors.cc.o.d"
+  "CMakeFiles/dexa_study.dir/study.cc.o"
+  "CMakeFiles/dexa_study.dir/study.cc.o.d"
+  "CMakeFiles/dexa_study.dir/user_model.cc.o"
+  "CMakeFiles/dexa_study.dir/user_model.cc.o.d"
+  "libdexa_study.a"
+  "libdexa_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

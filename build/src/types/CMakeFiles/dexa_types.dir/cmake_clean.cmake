@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_types.dir/structural_type.cc.o"
+  "CMakeFiles/dexa_types.dir/structural_type.cc.o.d"
+  "CMakeFiles/dexa_types.dir/value.cc.o"
+  "CMakeFiles/dexa_types.dir/value.cc.o.d"
+  "libdexa_types.a"
+  "libdexa_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

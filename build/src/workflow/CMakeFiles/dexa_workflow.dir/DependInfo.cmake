@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/enactor.cc" "src/workflow/CMakeFiles/dexa_workflow.dir/enactor.cc.o" "gcc" "src/workflow/CMakeFiles/dexa_workflow.dir/enactor.cc.o.d"
+  "/root/repo/src/workflow/workflow.cc" "src/workflow/CMakeFiles/dexa_workflow.dir/workflow.cc.o" "gcc" "src/workflow/CMakeFiles/dexa_workflow.dir/workflow.cc.o.d"
+  "/root/repo/src/workflow/workflow_io.cc" "src/workflow/CMakeFiles/dexa_workflow.dir/workflow_io.cc.o" "gcc" "src/workflow/CMakeFiles/dexa_workflow.dir/workflow_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modules/CMakeFiles/dexa_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/dexa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dexa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa_workflow.dir/enactor.cc.o"
+  "CMakeFiles/dexa_workflow.dir/enactor.cc.o.d"
+  "CMakeFiles/dexa_workflow.dir/workflow.cc.o"
+  "CMakeFiles/dexa_workflow.dir/workflow.cc.o.d"
+  "CMakeFiles/dexa_workflow.dir/workflow_io.cc.o"
+  "CMakeFiles/dexa_workflow.dir/workflow_io.cc.o.d"
+  "libdexa_workflow.a"
+  "libdexa_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behaviors_test.dir/behaviors_test.cc.o"
+  "CMakeFiles/behaviors_test.dir/behaviors_test.cc.o.d"
+  "behaviors_test"
+  "behaviors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behaviors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

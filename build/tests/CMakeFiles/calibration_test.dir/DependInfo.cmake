@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/calibration_test.cc" "tests/CMakeFiles/calibration_test.dir/calibration_test.cc.o" "gcc" "tests/CMakeFiles/calibration_test.dir/calibration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dexa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dexa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/dexa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/dexa_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/dexa_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/dexa_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/dexa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/dexa_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dexa_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/dexa_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dexa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/dexa_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/dexa_study.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

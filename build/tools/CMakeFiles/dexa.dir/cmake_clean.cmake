@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dexa.dir/dexa_cli.cpp.o"
+  "CMakeFiles/dexa.dir/dexa_cli.cpp.o.d"
+  "dexa"
+  "dexa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dexa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

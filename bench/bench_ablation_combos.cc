@@ -15,16 +15,17 @@
 namespace dexa {
 namespace {
 
-void PrintAblation() {
+void PrintAblation(bench_env::BenchReport& report) {
   const auto& env = bench_env::GetEnvironment();
-  TablePrinter table({"strategy", "combinations", "errors", "examples",
-                      "avg completeness"});
+  TablePrinter table({"strategy", "combinations", "skipped", "errors",
+                      "examples", "avg completeness"});
   for (bool full : {true, false}) {
     GeneratorOptions options;
     options.full_cartesian = full;
     ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get(),
                                options);
     size_t combinations = 0;
+    size_t skipped = 0;
     size_t errors = 0;
     size_t examples = 0;
     double completeness = 0.0;
@@ -34,6 +35,7 @@ void PrintAblation() {
       auto outcome = generator.Generate(*module);
       if (!outcome.ok()) continue;
       combinations += outcome->stats.combinations_tried;
+      skipped += outcome->stats.combinations_skipped;
       errors += outcome->stats.invocation_errors;
       examples += outcome->examples.size();
       auto metrics = EvaluateBehaviorMetrics(*module, outcome->examples);
@@ -43,13 +45,23 @@ void PrintAblation() {
       }
     }
     table.AddRow({full ? "full cartesian (paper)" : "pinned tail inputs",
-                  std::to_string(combinations), std::to_string(errors),
-                  std::to_string(examples),
+                  std::to_string(combinations), std::to_string(skipped),
+                  std::to_string(errors), std::to_string(examples),
                   FormatFixed(completeness / static_cast<double>(measured), 4)});
+    const std::string prefix = full ? "full_cartesian" : "pinned";
+    report.Add(prefix + "_combinations", static_cast<double>(combinations),
+               "count");
+    report.Add(prefix + "_combinations_skipped", static_cast<double>(skipped),
+               "count");
+    report.Add(prefix + "_errors", static_cast<double>(errors), "count");
+    report.Add(prefix + "_examples", static_cast<double>(examples), "count");
+    report.Add(prefix + "_avg_completeness",
+               completeness / static_cast<double>(measured), "ratio");
   }
   table.Print(std::cout, "Ablation: input-combination strategy.");
   std::cout << "(multi-input modules lose behavior classes when combinations "
-               "are pinned)\n\n";
+               "are pinned; \"skipped\" counts combinations beyond "
+               "max_combinations that were never invoked)\n\n";
 }
 
 void BM_FullCartesian(benchmark::State& state) {
@@ -81,7 +93,9 @@ BENCHMARK(BM_PinnedStrategy);
 }  // namespace dexa
 
 int main(int argc, char** argv) {
-  dexa::PrintAblation();
+  dexa::bench_env::BenchReport report("ablation_combos");
+  dexa::PrintAblation(report);
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

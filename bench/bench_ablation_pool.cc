@@ -45,13 +45,17 @@ AnnotatedInstancePool DropConcepts(const AnnotatedInstancePool& pool,
   return out;
 }
 
-void PrintAblation() {
+void PrintAblation(bench_env::BenchReport& report) {
   const auto& env = bench_env::GetEnvironment();
   const Ontology& ontology = *env.corpus.ontology;
 
   TablePrinter table({"pool variant", "pool size",
                       "modules w/ all inputs covered", "examples"});
   auto evaluate = [&](const char* label, const AnnotatedInstancePool& pool) {
+    std::string slug = label;
+    for (char& c : slug) {
+      if (c == ' ' || c == '/') c = '_';
+    }
     ExampleGenerator generator(&ontology, &pool);
     CoverageAnalyzer analyzer(&ontology);
     size_t fully = 0;
@@ -67,6 +71,8 @@ void PrintAblation() {
     }
     table.AddRow({label, std::to_string(pool.size()),
                   std::to_string(fully) + "/252", std::to_string(examples)});
+    report.Add(slug + "_inputs_covered", static_cast<double>(fully), "count");
+    report.Add(slug + "_examples", static_cast<double>(examples), "count");
   };
 
   evaluate("full harvested pool", *env.pool);
@@ -156,7 +162,9 @@ BENCHMARK(BM_PoolLookup);
 }  // namespace dexa
 
 int main(int argc, char** argv) {
-  dexa::PrintAblation();
+  dexa::bench_env::BenchReport report("ablation_pool");
+  dexa::PrintAblation(report);
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,7 +13,7 @@
 namespace dexa {
 namespace {
 
-void PrintCoverage() {
+void PrintCoverage(bench_env::BenchReport& report) {
   const auto& env = bench_env::GetEnvironment();
   CoverageAnalyzer analyzer(env.corpus.ontology.get());
   size_t inputs_fully = 0;
@@ -39,6 +39,11 @@ void PrintCoverage() {
   for (const std::string& name : exceptions) std::cout << " " << name;
   std::cout << "\n(paper names get_genes_by_enzyme, link and binfo among "
                "them)\n\n";
+
+  report.Add("inputs_fully_covered", static_cast<double>(inputs_fully),
+             "count");
+  report.Add("output_exceptions", static_cast<double>(exceptions.size()),
+             "count");
 }
 
 void BM_AnalyzeCoverage(benchmark::State& state) {
@@ -75,7 +80,9 @@ BENCHMARK(BM_PartitionModule);
 }  // namespace dexa
 
 int main(int argc, char** argv) {
-  dexa::PrintCoverage();
+  dexa::bench_env::BenchReport report("coverage");
+  dexa::PrintCoverage(report);
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace dexa {
 namespace bench_env {
@@ -42,6 +44,32 @@ const Environment& GetEnvironment() {
     return out;
   }();
   return *env;
+}
+
+void BenchReport::Add(const std::string& metric, double value,
+                      const std::string& unit) {
+  metrics_.push_back(Metric{metric, value, unit});
+}
+
+void BenchReport::Write() const {
+  std::ostringstream json;
+  json << "{\"bench\": \"" << name_ << "\", \"threads\": " << threads_
+       << ", \"metrics\": [";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) json << ", ";
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.17g", metrics_[i].value);
+    json << "{\"name\": \"" << metrics_[i].name << "\", \"value\": " << value
+         << ", \"unit\": \"" << metrics_[i].unit << "\"}";
+  }
+  json << "]}\n";
+
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  out << json.str();
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
 }
 
 }  // namespace bench_env

@@ -13,7 +13,7 @@
 namespace dexa {
 namespace {
 
-void PrintFigure5() {
+void PrintFigure5(bench_env::BenchReport& report) {
   const auto& env = bench_env::GetEnvironment();
   auto result = RunUnderstandingStudy(env.corpus, DefaultStudyUsers());
   if (!result.ok()) {
@@ -31,7 +31,13 @@ void PrintFigure5() {
     std::cout << "  " << user.user << " with examples   : "
               << Bar(user.identified_with_examples, max_count) << " "
               << user.identified_with_examples << "\n";
+    report.Add(user.user + "_without_examples",
+               static_cast<double>(user.identified_without_examples), "count");
+    report.Add(user.user + "_with_examples",
+               static_cast<double>(user.identified_with_examples), "count");
   }
+  report.Add("avg_identification_rate", result->AverageIdentificationRate(),
+             "ratio");
   std::cout << "(paper: user1 identified 47 without and 169 with examples; "
                "average with examples = "
             << FormatFixed(result->AverageIdentificationRate() * 100.0, 1)
@@ -71,7 +77,9 @@ BENCHMARK(BM_RunUnderstandingStudy);
 }  // namespace dexa
 
 int main(int argc, char** argv) {
-  dexa::PrintFigure5();
+  dexa::bench_env::BenchReport report("fig5_understanding");
+  dexa::PrintFigure5(report);
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,7 +14,7 @@
 namespace dexa {
 namespace {
 
-void PrintFigure8() {
+void PrintFigure8(bench_env::BenchReport& report) {
   const auto& env = bench_env::GetEnvironment();
   auto matching = MatchRetiredModules(env.corpus, env.provenance);
   if (!matching.ok()) {
@@ -32,6 +32,11 @@ void PrintFigure8() {
   bar("no suitable match   ", matching->with_none);
   std::cout << "(paper: 16 equivalent, 23 overlapping among 72 unavailable "
                "modules)\n\n";
+  report.Add("equivalent", static_cast<double>(matching->with_equivalent),
+             "count");
+  report.Add("overlapping", static_cast<double>(matching->with_overlapping),
+             "count");
+  report.Add("none", static_cast<double>(matching->with_none), "count");
 
   auto outcome =
       RepairWorkflows(env.corpus, env.workflows, env.provenance, *matching);
@@ -52,6 +57,12 @@ void PrintFigure8() {
                 "73"});
   table.Print(std::cout, "Section 6: curating the decayed workflow corpus.");
   std::cout << "\n";
+  report.Add("broken_workflows",
+             static_cast<double>(outcome->broken_workflows), "count");
+  report.Add("repaired_total", static_cast<double>(outcome->repaired_total),
+             "count");
+  report.Add("repaired_partly", static_cast<double>(outcome->repaired_partly),
+             "count");
 }
 
 /// A provenance corpus truncated to the first `max_records` invocation
@@ -133,8 +144,10 @@ BENCHMARK(BM_RepairWorkflows);
 }  // namespace dexa
 
 int main(int argc, char** argv) {
-  dexa::PrintFigure8();
+  dexa::bench_env::BenchReport report("fig8_matching");
+  dexa::PrintFigure8(report);
   dexa::PrintExampleBudgetSweep();
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

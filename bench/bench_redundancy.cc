@@ -14,7 +14,7 @@
 namespace dexa {
 namespace {
 
-void PrintRedundancy() {
+void PrintRedundancy(bench_env::BenchReport& report) {
   const auto& env = bench_env::GetEnvironment();
 
   struct Config {
@@ -59,6 +59,12 @@ void PrintRedundancy() {
     table.AddRow({config.label, std::to_string(predicted_redundant),
                   std::to_string(exact_modules) + "/252",
                   FormatFixed(precision, 3), FormatFixed(recall, 3)});
+    if (&config == &kConfigs[3]) {  // The default feature set.
+      report.Add("predicted_redundant",
+                 static_cast<double>(predicted_redundant), "count");
+      report.Add("precision", precision, "ratio");
+      report.Add("recall", recall, "ratio");
+    }
   }
   table.Print(std::cout,
               "Section 8 extension: record-linkage redundancy detection "
@@ -91,7 +97,9 @@ BENCHMARK(BM_DetectRedundancy);
 }  // namespace dexa
 
 int main(int argc, char** argv) {
-  dexa::PrintRedundancy();
+  dexa::bench_env::BenchReport report("redundancy");
+  dexa::PrintRedundancy(report);
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

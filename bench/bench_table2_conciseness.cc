@@ -15,15 +15,21 @@
 namespace dexa {
 namespace {
 
-void PrintTable2() {
+void PrintTable2(bench_env::BenchReport& report) {
   const auto& env = bench_env::GetEnvironment();
   std::map<std::string, int, std::greater<std::string>> histogram;
+  double conciseness_sum = 0.0;
+  size_t fully_concise = 0;
+  size_t measured = 0;
   for (const std::string& id : env.corpus.available_ids) {
     ModulePtr module = *env.corpus.registry->Find(id);
     auto metrics = EvaluateBehaviorMetrics(
         *module, env.corpus.registry->DataExamplesOf(id));
     if (!metrics.ok()) continue;
     double conciseness = metrics->conciseness();
+    conciseness_sum += conciseness;
+    ++measured;
+    if (conciseness == 1.0) ++fully_concise;
     std::string key =
         conciseness == 1.0 ? std::string("1") : FormatFixed(conciseness, 2);
     histogram[key]++;
@@ -37,6 +43,11 @@ void PrintTable2() {
   table.Print(std::cout, "Table 2: Data examples conciseness.");
   std::cout << "(paper: 192/32/7/4/4/8/4/1 at 1/0.5/0.47/0.4/0.33/0.2/0.17/"
                "0.1)\n\n";
+
+  report.Add("modules_measured", static_cast<double>(measured), "count");
+  report.Add("fully_concise", static_cast<double>(fully_concise), "count");
+  report.Add("avg_conciseness",
+             measured == 0 ? 0.0 : conciseness_sum / measured, "ratio");
 }
 
 void BM_GenerateExamplesForCorpus(benchmark::State& state) {
@@ -71,7 +82,9 @@ BENCHMARK(BM_GenerateSingleModule);
 }  // namespace dexa
 
 int main(int argc, char** argv) {
-  dexa::PrintTable2();
+  dexa::bench_env::BenchReport report("table2_conciseness");
+  dexa::PrintTable2(report);
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

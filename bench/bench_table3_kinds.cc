@@ -12,7 +12,7 @@
 namespace dexa {
 namespace {
 
-void PrintTable3() {
+void PrintTable3(bench_env::BenchReport& report) {
   const auto& env = bench_env::GetEnvironment();
   std::map<ModuleKind, int> census;
   for (const std::string& id : env.corpus.available_ids) {
@@ -24,6 +24,8 @@ void PrintTable3() {
         ModuleKind::kMappingIdentifiers, ModuleKind::kFiltering,
         ModuleKind::kDataAnalysis}) {
     table.AddRow({ModuleKindName(kind), std::to_string(census[kind])});
+    report.Add(ModuleKindName(kind), static_cast<double>(census[kind]),
+               "count");
   }
   table.Print(std::cout,
               "Table 3: Kinds of data manipulation carried out by the "
@@ -51,7 +53,9 @@ BENCHMARK(BM_BuildKnowledgeBase);
 }  // namespace dexa
 
 int main(int argc, char** argv) {
-  dexa::PrintTable3();
+  dexa::bench_env::BenchReport report("table3_kinds");
+  dexa::PrintTable3(report);
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

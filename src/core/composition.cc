@@ -91,7 +91,7 @@ Result<std::vector<CompositionCandidate>> ExampleGuidedComposer::Compose(
           break;
         }
       }
-      auto outputs = (*module)->Invoke(inputs);
+      auto outputs = engine_->Invoke(**module, inputs, EnginePhase::kOther);
       if (!outputs.ok()) return outputs.status();
       current = (*outputs)[0];
     }

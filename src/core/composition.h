@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/invocation_engine.h"
 #include "modules/registry.h"
 #include "ontology/ontology.h"
 #include "pool/instance_pool.h"
@@ -49,10 +50,15 @@ struct CompositionCandidate {
 /// thus what separates composable from merely type-compatible.
 class ExampleGuidedComposer {
  public:
+  /// Chain-validation replays are routed through `engine` (serial default).
   ExampleGuidedComposer(const Ontology* ontology,
                         const ModuleRegistry* registry,
-                        const AnnotatedInstancePool* pool)
-      : ontology_(ontology), registry_(registry), pool_(pool) {}
+                        const AnnotatedInstancePool* pool,
+                        InvocationEngine* engine = nullptr)
+      : ontology_(ontology),
+        registry_(registry),
+        pool_(pool),
+        engine_(engine != nullptr ? engine : &InvocationEngine::Serial()) {}
 
   /// Finds up to `request.max_results` validated chains, shortest first
   /// (ties: lexicographic module-name order, deterministically).
@@ -63,6 +69,7 @@ class ExampleGuidedComposer {
   const Ontology* ontology_;
   const ModuleRegistry* registry_;
   const AnnotatedInstancePool* pool_;
+  InvocationEngine* engine_;
 };
 
 }  // namespace dexa

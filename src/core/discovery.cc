@@ -39,7 +39,8 @@ std::vector<DiscoveryHit> BehaviorDiscovery::Search(
 
     if (query.example.has_value() &&
         query.example->inputs.size() == spec.inputs.size()) {
-      auto outputs = module->Invoke(query.example->inputs);
+      auto outputs = engine_->Invoke(*module, query.example->inputs,
+                                     EnginePhase::kCompare);
       if (!outputs.ok()) {
         hit.score -= 0.5;
         hit.why += "; rejects the example inputs";

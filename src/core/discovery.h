@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/invocation_engine.h"
 #include "modules/data_example.h"
 #include "modules/registry.h"
 #include "ontology/ontology.h"
@@ -44,8 +45,12 @@ struct DiscoveryHit {
 /// Hits are returned best-first (ties by module name).
 class BehaviorDiscovery {
  public:
-  BehaviorDiscovery(const Ontology* ontology, const ModuleRegistry* registry)
-      : ontology_(ontology), registry_(registry) {}
+  /// Example probes are routed through `engine` (serial default).
+  BehaviorDiscovery(const Ontology* ontology, const ModuleRegistry* registry,
+                    InvocationEngine* engine = nullptr)
+      : ontology_(ontology),
+        registry_(registry),
+        engine_(engine != nullptr ? engine : &InvocationEngine::Serial()) {}
 
   std::vector<DiscoveryHit> Search(const DiscoveryQuery& query,
                                    size_t top_k = 10) const;
@@ -53,6 +58,7 @@ class BehaviorDiscovery {
  private:
   const Ontology* ontology_;
   const ModuleRegistry* registry_;
+  InvocationEngine* engine_;
 };
 
 }  // namespace dexa

@@ -1,5 +1,9 @@
 #include "core/example_generator.h"
 
+#include <limits>
+#include <optional>
+#include <utility>
+
 namespace dexa {
 
 namespace {
@@ -11,12 +15,21 @@ struct Candidate {
   Value value;
 };
 
+/// Saturating product, for counting the full combination space without
+/// overflowing on wide modules.
+size_t SaturatingMul(size_t a, size_t b) {
+  if (a != 0 && b > std::numeric_limits<size_t>::max() / a) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return a * b;
+}
+
 }  // namespace
 
 Result<GenerationOutcome> ExampleGenerator::Generate(
     const Module& module) const {
   const ModuleSpec& spec = module.spec();
-  const Ontology& ontology = partitioner_.ontology();
+  const ConceptCache& cache = partitioner_.cache();
   GenerationOutcome outcome;
 
   // Step 1 + 2: partition every input domain and select one instance per
@@ -34,7 +47,7 @@ Result<GenerationOutcome> ExampleGenerator::Generate(
       } else {
         // Ablation: accept an instance of the partition or of any of its
         // sub-concepts (ignoring realization semantics).
-        for (ConceptId d : ontology.Descendants(partition)) {
+        for (ConceptId d : cache.Descendants(partition)) {
           instance = pool_->GetInstanceCompatible(d, param.structural_type);
           if (instance.ok()) break;
         }
@@ -55,32 +68,37 @@ Result<GenerationOutcome> ExampleGenerator::Generate(
     }
   }
 
-  // Step 3 + 4: invoke over combinations; keep normal terminations.
-  std::vector<size_t> odometer(spec.inputs.size(), 0);
+  // Step 3: enumerate the combinations (odometer order) up to the cap, then
+  // fan the whole batch through the engine. Results come back in
+  // enumeration order, so the example set is identical at any thread count.
   const bool pin_tail = !options_.full_cartesian;
+  size_t total_combinations = 1;
+  if (pin_tail) {
+    total_combinations = spec.inputs.empty() ? 1 : candidates[0].size();
+  } else {
+    for (const std::vector<Candidate>& options : candidates) {
+      total_combinations = SaturatingMul(total_combinations, options.size());
+    }
+  }
+
+  std::vector<std::vector<Value>> batch_inputs;
+  std::vector<std::vector<ConceptId>> batch_partitions;
+  std::vector<size_t> odometer(spec.inputs.size(), 0);
   for (;;) {
     if (outcome.stats.combinations_tried >= options_.max_combinations) break;
     ++outcome.stats.combinations_tried;
 
-    DataExample example;
-    example.inputs.reserve(spec.inputs.size());
-    example.input_partitions.reserve(spec.inputs.size());
+    std::vector<Value> inputs;
+    std::vector<ConceptId> input_partitions;
+    inputs.reserve(spec.inputs.size());
+    input_partitions.reserve(spec.inputs.size());
     for (size_t i = 0; i < spec.inputs.size(); ++i) {
       const Candidate& candidate = candidates[i][odometer[i]];
-      example.inputs.push_back(candidate.value);
-      example.input_partitions.push_back(candidate.partition);
+      inputs.push_back(candidate.value);
+      input_partitions.push_back(candidate.partition);
     }
-    auto outputs = module.Invoke(example.inputs);
-    if (outputs.ok()) {
-      example.outputs = std::move(outputs).value();
-      outcome.examples.push_back(std::move(example));
-    } else if (outputs.status().IsInvalidArgument() ||
-               outputs.status().IsNotFound()) {
-      // Abnormal termination: discard the combination (Section 3.2).
-      ++outcome.stats.invocation_errors;
-    } else {
-      return outputs.status();  // Unavailable/internal: a real failure.
-    }
+    batch_inputs.push_back(std::move(inputs));
+    batch_partitions.push_back(std::move(input_partitions));
 
     // Advance the odometer.
     size_t wheel = 0;
@@ -98,6 +116,31 @@ Result<GenerationOutcome> ExampleGenerator::Generate(
     if (wheel >= odometer.size()) break;  // Odometer wrapped: done.
     if (spec.inputs.empty()) break;       // Nullary module: one invocation.
   }
+  outcome.stats.combinations_skipped =
+      total_combinations > outcome.stats.combinations_tried
+          ? total_combinations - outcome.stats.combinations_tried
+          : 0;
+
+  auto results = engine_->InvokeBatch(module, batch_inputs,
+                                      EnginePhase::kGenerate);
+
+  // Step 4: keep normal terminations, in enumeration order.
+  for (size_t i = 0; i < results.size(); ++i) {
+    Result<std::vector<Value>>& outputs = results[i];
+    if (outputs.ok()) {
+      DataExample example;
+      example.inputs = std::move(batch_inputs[i]);
+      example.input_partitions = std::move(batch_partitions[i]);
+      example.outputs = std::move(outputs).value();
+      outcome.examples.push_back(std::move(example));
+    } else if (outputs.status().IsInvalidArgument() ||
+               outputs.status().IsNotFound()) {
+      // Abnormal termination: discard the combination (Section 3.2).
+      ++outcome.stats.invocation_errors;
+    } else {
+      return outputs.status();  // Unavailable/internal: a real failure.
+    }
+  }
 
   outcome.stats.examples = outcome.examples.size();
   return outcome;
@@ -105,9 +148,17 @@ Result<GenerationOutcome> ExampleGenerator::Generate(
 
 Result<DataExampleSet> ExampleGenerator::ReplayInputs(
     const Module& module, const DataExampleSet& examples) const {
-  DataExampleSet out;
+  std::vector<std::vector<Value>> batch_inputs;
+  batch_inputs.reserve(examples.size());
   for (const DataExample& reference : examples) {
-    auto outputs = module.Invoke(reference.inputs);
+    batch_inputs.push_back(reference.inputs);
+  }
+  auto results =
+      engine_->InvokeBatch(module, batch_inputs, EnginePhase::kReplay);
+
+  DataExampleSet out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    Result<std::vector<Value>>& outputs = results[i];
     if (!outputs.ok()) {
       if (outputs.status().IsInvalidArgument() ||
           outputs.status().IsNotFound()) {
@@ -116,8 +167,8 @@ Result<DataExampleSet> ExampleGenerator::ReplayInputs(
       return outputs.status();
     }
     DataExample example;
-    example.inputs = reference.inputs;
-    example.input_partitions = reference.input_partitions;
+    example.inputs = examples[i].inputs;
+    example.input_partitions = examples[i].input_partitions;
     example.outputs = std::move(outputs).value();
     out.push_back(std::move(example));
   }
@@ -126,12 +177,22 @@ Result<DataExampleSet> ExampleGenerator::ReplayInputs(
 
 Result<size_t> AnnotateRegistry(const ExampleGenerator& generator,
                                 ModuleRegistry& registry) {
+  const std::vector<ModulePtr> modules = registry.AvailableModules();
+
+  // Generate concurrently (modules are independent), commit sequentially in
+  // registration order so the registry content is thread-count-invariant.
+  std::vector<std::optional<Result<GenerationOutcome>>> outcomes(
+      modules.size());
+  generator.engine().ForEach(modules.size(), [&](size_t i) {
+    outcomes[i] = generator.Generate(*modules[i]);
+  });
+
   size_t annotated = 0;
-  for (const ModulePtr& module : registry.AvailableModules()) {
-    auto outcome = generator.Generate(*module);
+  for (size_t i = 0; i < modules.size(); ++i) {
+    Result<GenerationOutcome>& outcome = *outcomes[i];
     if (!outcome.ok()) return outcome.status();
     DEXA_RETURN_IF_ERROR(registry.SetDataExamples(
-        module->spec().id, std::move(outcome->examples)));
+        modules[i]->spec().id, std::move(outcome->examples)));
     ++annotated;
   }
   return annotated;

@@ -2,10 +2,12 @@
 #define DEXA_CORE_EXAMPLE_GENERATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "core/partitioner.h"
+#include "engine/invocation_engine.h"
 #include "modules/data_example.h"
 #include "modules/module.h"
 #include "modules/registry.h"
@@ -36,11 +38,14 @@ struct GeneratorOptions {
   bool include_null_for_optional = true;
 };
 
-/// Statistics the generator reports alongside the examples.
+/// Statistics the generator reports alongside the examples: the per-call
+/// projection of the engine-wide EngineMetrics counters onto one module's
+/// Generate() run (the engine accumulates the same events globally).
 struct GenerationStats {
   size_t input_partitions = 0;
   size_t coverable_input_partitions = 0;  ///< Partitions with a pool instance.
   size_t combinations_tried = 0;
+  size_t combinations_skipped = 0;  ///< Lost to the max_combinations cap.
   size_t invocation_errors = 0;  ///< Combinations discarded per Section 3.2.
   size_t examples = 0;
 };
@@ -57,11 +62,33 @@ struct GenerationOutcome {
 ///     (structurally compatible with the parameter);
 ///  3. invoke the module on every combination of selected values;
 ///  4. keep a data example for each combination that terminated normally.
+///
+/// Step 3 is routed through an InvocationEngine: combinations are batched
+/// and fanned across the engine's worker pool, with results folded back in
+/// enumeration order so any thread count yields an identical example set.
 class ExampleGenerator {
  public:
+  /// Builds a generator with a private concept cache. `engine` defaults to
+  /// the shared serial engine, so existing call sites keep their exact
+  /// behavior; pass a pooled engine to parallelize invocation.
   ExampleGenerator(const Ontology* ontology, const AnnotatedInstancePool* pool,
-                   GeneratorOptions options = {})
-      : partitioner_(ontology), pool_(pool), options_(options) {}
+                   GeneratorOptions options = {},
+                   InvocationEngine* engine = nullptr)
+      : partitioner_(ontology),
+        pool_(pool),
+        options_(options),
+        engine_(engine != nullptr ? engine : &InvocationEngine::Serial()) {}
+
+  /// Shares a concept cache with other pipeline components (matcher,
+  /// suggester) so subsumption answers are computed once per process.
+  ExampleGenerator(std::shared_ptr<const ConceptCache> cache,
+                   const AnnotatedInstancePool* pool,
+                   GeneratorOptions options = {},
+                   InvocationEngine* engine = nullptr)
+      : partitioner_(std::move(cache)),
+        pool_(pool),
+        options_(options),
+        engine_(engine != nullptr ? engine : &InvocationEngine::Serial()) {}
 
   /// Generates `∆(m)` for `module`. Fails only on internal errors; a module
   /// for which no combination terminates normally yields an empty set.
@@ -75,16 +102,23 @@ class ExampleGenerator {
 
   const DomainPartitioner& partitioner() const { return partitioner_; }
   const GeneratorOptions& options() const { return options_; }
+  InvocationEngine& engine() const { return *engine_; }
 
  private:
   DomainPartitioner partitioner_;
   const AnnotatedInstancePool* pool_;
   GeneratorOptions options_;
+  InvocationEngine* engine_;
 };
 
 /// Runs `generator` over every available module of `registry` and stores
 /// the resulting data examples back into the registry (step 2 of the
 /// architecture in Figure 3). Returns the number of modules annotated.
+///
+/// Modules are annotated concurrently across the generator's engine (the
+/// corpus has 252 independent modules); results are committed to the
+/// registry in registration order, so the resulting registry is
+/// byte-identical at any thread count.
 Result<size_t> AnnotateRegistry(const ExampleGenerator& generator,
                                 ModuleRegistry& registry);
 

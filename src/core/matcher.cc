@@ -53,16 +53,16 @@ Result<ParameterMapping> ModuleMatcher::MapParameters(
         if (inputs) {
           // Candidate input may be more general: it then accepts every
           // value the reference input accepted (Figure 7).
-          if (ontology_->IsSubsumedBy(param.semantic_type,
-                                      to[j].semantic_type)) {
+          if (cache_->IsSubsumedBy(param.semantic_type,
+                                   to[j].semantic_type)) {
             chosen = static_cast<int>(j);
             chosen_contextual = true;
           }
         } else {
           // Output concepts need only be comparable; behavior equality is
           // established on the values themselves.
-          if (ontology_->Comparable(param.semantic_type,
-                                    to[j].semantic_type)) {
+          if (cache_->Comparable(param.semantic_type,
+                                 to[j].semantic_type)) {
             chosen = static_cast<int>(j);
             chosen_contextual = true;
           }
@@ -94,7 +94,12 @@ Result<MatchResult> ModuleMatcher::CompareAgainstExamples(
   MatchResult result;
   result.mapping = mapping;
 
-  for (const DataExample& reference : reference_examples) {
+  // Collect the alignable reference examples and their permuted candidate
+  // inputs, then fan the replays through the engine as one batch.
+  std::vector<size_t> reference_index;
+  std::vector<std::vector<Value>> batch_inputs;
+  for (size_t r = 0; r < reference_examples.size(); ++r) {
+    const DataExample& reference = reference_examples[r];
     if (reference.inputs.size() != mapping.input_mapping.size()) continue;
 
     // Permute reference inputs into candidate parameter order.
@@ -110,7 +115,16 @@ Result<MatchResult> ModuleMatcher::CompareAgainstExamples(
     }
     if (!arity_ok) continue;
 
-    auto outputs = candidate.Invoke(candidate_inputs);
+    reference_index.push_back(r);
+    batch_inputs.push_back(std::move(candidate_inputs));
+  }
+
+  auto replays =
+      engine_->InvokeBatch(candidate, batch_inputs, EnginePhase::kCompare);
+
+  for (size_t b = 0; b < replays.size(); ++b) {
+    const DataExample& reference = reference_examples[reference_index[b]];
+    Result<std::vector<Value>>& outputs = replays[b];
     if (!outputs.ok()) {
       if (outputs.status().IsInvalidArgument() ||
           outputs.status().IsNotFound()) {

@@ -1,10 +1,13 @@
 #ifndef DEXA_CORE_MATCHER_H_
 #define DEXA_CORE_MATCHER_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "core/example_generator.h"
+#include "engine/concept_cache.h"
+#include "engine/invocation_engine.h"
 #include "modules/data_example.h"
 #include "modules/module.h"
 
@@ -55,10 +58,28 @@ struct MatchResult {
 /// — dexa achieves this by replaying the reference module's example inputs
 /// against the candidate — and classifies the outcome as equivalent,
 /// overlapping or disjoint.
+///
+/// Subsumption queries go through a ConceptCache (matching sweeps ask the
+/// same concept pairs for every candidate), and candidate replays are
+/// batched through an InvocationEngine with results folded in reference
+/// order, so relation verdicts are thread-count-invariant.
 class ModuleMatcher {
  public:
-  ModuleMatcher(const Ontology* ontology, const ExampleGenerator* generator)
-      : ontology_(ontology), generator_(generator) {}
+  /// Builds a matcher with a private concept cache; `engine` defaults to
+  /// the shared serial engine.
+  ModuleMatcher(const Ontology* ontology, const ExampleGenerator* generator,
+                InvocationEngine* engine = nullptr)
+      : cache_(std::make_shared<ConceptCache>(ontology)),
+        generator_(generator),
+        engine_(engine != nullptr ? engine : &InvocationEngine::Serial()) {}
+
+  /// Shares a concept cache (typically the generator's).
+  ModuleMatcher(std::shared_ptr<const ConceptCache> cache,
+                const ExampleGenerator* generator,
+                InvocationEngine* engine = nullptr)
+      : cache_(std::move(cache)),
+        generator_(generator),
+        engine_(engine != nullptr ? engine : &InvocationEngine::Serial()) {}
 
   /// Finds the 1-to-1 parameter mapping from `reference` onto `candidate`:
   /// structurally equal parameters whose concepts are equal (or, if
@@ -85,8 +106,9 @@ class ModuleMatcher {
                               bool allow_contextual = true) const;
 
  private:
-  const Ontology* ontology_;
+  std::shared_ptr<const ConceptCache> cache_;
   const ExampleGenerator* generator_;
+  InvocationEngine* engine_;
 };
 
 }  // namespace dexa

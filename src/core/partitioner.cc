@@ -22,7 +22,7 @@ ParameterPartitions DomainPartitioner::Partition(const Parameter& param) const {
   ParameterPartitions out;
   out.annotated_concept = param.semantic_type;
   if (param.semantic_type != kInvalidConcept) {
-    out.partitions = ontology_->Partitions(param.semantic_type);
+    out.partitions = cache_->Partitions(param.semantic_type);
   }
   return out;
 }

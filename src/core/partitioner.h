@@ -1,8 +1,10 @@
 #ifndef DEXA_CORE_PARTITIONER_H_
 #define DEXA_CORE_PARTITIONER_H_
 
+#include <memory>
 #include <vector>
 
+#include "engine/concept_cache.h"
 #include "modules/module.h"
 #include "ontology/ontology.h"
 
@@ -28,11 +30,20 @@ struct ModulePartitions {
   size_t OutputCount() const;
 };
 
-/// Ontology-based domain partitioner (Section 3.1). Stateless; kept as a
-/// class so ablations can subclass/parameterize the strategy.
+/// Ontology-based domain partitioner (Section 3.1). All reasoning goes
+/// through a ConceptCache, so repeated partitioning of the same concepts
+/// (every module of a corpus shares a handful of annotation concepts) costs
+/// one ontology traversal total. Kept as a class so ablations can
+/// subclass/parameterize the strategy.
 class DomainPartitioner {
  public:
-  explicit DomainPartitioner(const Ontology* ontology) : ontology_(ontology) {}
+  /// Convenience: builds a private cache over `ontology`.
+  explicit DomainPartitioner(const Ontology* ontology)
+      : cache_(std::make_shared<ConceptCache>(ontology)) {}
+
+  /// Shares `cache` (and thus its memoized answers) with other components.
+  explicit DomainPartitioner(std::shared_ptr<const ConceptCache> cache)
+      : cache_(std::move(cache)) {}
 
   /// Partitions of a single parameter: the realizable concepts subsumed by
   /// `param.semantic_type` (covered concepts are represented by their
@@ -42,10 +53,13 @@ class DomainPartitioner {
   /// Partitions of every parameter of `spec`.
   ModulePartitions PartitionModule(const ModuleSpec& spec) const;
 
-  const Ontology& ontology() const { return *ontology_; }
+  const Ontology& ontology() const { return cache_->ontology(); }
+
+  const ConceptCache& cache() const { return *cache_; }
+  std::shared_ptr<const ConceptCache> shared_cache() const { return cache_; }
 
  private:
-  const Ontology* ontology_;
+  std::shared_ptr<const ConceptCache> cache_;
 };
 
 }  // namespace dexa

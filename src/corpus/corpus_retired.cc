@@ -5,6 +5,7 @@
 #include "corpus/behaviors.h"
 #include "corpus/builder_internal.h"
 #include "corpus/term_values.h"
+#include "engine/invocation_engine.h"
 #include "formats/alphabet.h"
 #include "formats/reports.h"
 #include "kb/accessions.h"
@@ -40,7 +41,9 @@ void AddDelegatingTwin(
   b.Add(true, spec.kind, twin_name, spec.inputs, spec.outputs,
         [target_module, post](const std::vector<Value>& in)
             -> Result<std::vector<Value>> {
-          auto out = target_module->Invoke(in);
+          // Delegation is itself a module invocation: meter it through the
+          // (serial, thread-safe) engine like every other consumer.
+          auto out = InvocationEngine::Serial().Invoke(*target_module, in);
           if (!out.ok()) return out;
           if (post == nullptr) return out;
           return post(in, std::move(out).value());

@@ -1,0 +1,82 @@
+#ifndef DEXA_ENGINE_CONCEPT_CACHE_H_
+#define DEXA_ENGINE_CONCEPT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "ontology/ontology.h"
+
+namespace dexa {
+
+/// Memoizes the ontology reasoning primitives the annotation pipeline hits
+/// on every combination — Subsumes, Descendants, Partitions, and
+/// least-common-subsumer — behind a read-mostly table.
+///
+/// Invalidation rule: there is none. The ontology is immutable after load
+/// (dexa never mutates a loaded ontology; Ontology has no removal API and
+/// the pipeline only reads), so a cached answer is valid for the cache's
+/// whole lifetime. Anyone who does mutate an ontology must build a fresh
+/// cache.
+///
+/// Thread safety: all lookups may be called concurrently. Reads take a
+/// shared lock; a miss computes the answer from the ontology outside any
+/// lock and publishes it under an exclusive lock (first writer wins, so
+/// concurrent misses of the same key agree). Hit/miss counters are relaxed
+/// atomics, optionally mirrored into an EngineMetrics.
+class ConceptCache {
+ public:
+  explicit ConceptCache(const Ontology* ontology,
+                        EngineMetrics* metrics = nullptr)
+      : ontology_(ontology), metrics_(metrics) {}
+
+  ConceptCache(const ConceptCache&) = delete;
+  ConceptCache& operator=(const ConceptCache&) = delete;
+
+  const Ontology& ontology() const { return *ontology_; }
+
+  /// Routes newly-created caches' hit/miss counts into `metrics` as well.
+  void set_metrics(EngineMetrics* metrics) { metrics_ = metrics; }
+
+  /// Cached Ontology::IsSubsumedBy (a ⊑ b, reflexive).
+  bool IsSubsumedBy(ConceptId a, ConceptId b) const;
+
+  /// a ⊑ b or b ⊑ a; composed from two cached subsumption queries.
+  bool Comparable(ConceptId a, ConceptId b) const;
+
+  /// Cached Ontology::Descendants. The returned reference stays valid for
+  /// the cache's lifetime (node-based map, entries never erased).
+  const std::vector<ConceptId>& Descendants(ConceptId c) const;
+
+  /// Cached Ontology::Partitions (realizable descendants, Section 3.1).
+  const std::vector<ConceptId>& Partitions(ConceptId c) const;
+
+  /// Cached Ontology::LeastCommonSubsumer.
+  ConceptId LeastCommonSubsumer(ConceptId a, ConceptId b) const;
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  void CountHit() const;
+  void CountMiss() const;
+
+  const Ontology* ontology_;
+  EngineMetrics* metrics_;
+
+  mutable std::shared_mutex mutex_;
+  mutable std::unordered_map<uint64_t, bool> subsumes_;
+  mutable std::unordered_map<ConceptId, std::vector<ConceptId>> descendants_;
+  mutable std::unordered_map<ConceptId, std::vector<ConceptId>> partitions_;
+  mutable std::unordered_map<uint64_t, ConceptId> lcs_;
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_ENGINE_CONCEPT_CACHE_H_

@@ -1,0 +1,128 @@
+#include "engine/invocation_engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace dexa {
+
+InvocationEngine::InvocationEngine(EngineOptions options)
+    : options_(options) {
+  threads_ = options_.threads != 0
+                 ? options_.threads
+                 : std::max<size_t>(1, std::thread::hardware_concurrency());
+  // The submitting caller always participates in its own batch, so a pool
+  // of `threads_ - 1` workers yields exactly `threads_` claimants.
+  for (size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { WorkerLoop(stop); });
+  }
+}
+
+InvocationEngine::~InvocationEngine() {
+  for (std::jthread& worker : workers_) worker.request_stop();
+  queue_cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+void InvocationEngine::DrainBatch(Batch& batch) {
+  for (;;) {
+    const size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    batch.fn(i);
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
+      // Last index: wake the submitter. Taking the mutex orders the notify
+      // after the submitter's wait registration, so the wakeup cannot be
+      // missed.
+      std::lock_guard<std::mutex> lock(batch.mutex);
+      batch.completed.notify_all();
+    }
+  }
+}
+
+void InvocationEngine::WorkerLoop(const std::stop_token& stop) {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (!queue_cv_.wait(lock, stop, [&] { return !queue_.empty(); })) {
+        return;  // Stop requested.
+      }
+      batch = queue_.front();
+      if (batch->next.load(std::memory_order_relaxed) >= batch->n) {
+        // Exhausted batch still queued (its submitter hasn't reaped it
+        // yet): drop it and look again.
+        queue_.pop_front();
+        continue;
+      }
+    }
+    DrainBatch(*batch);
+  }
+}
+
+void InvocationEngine::ForEach(size_t n,
+                               const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  metrics_.RecordBatch();
+  if (threads_ <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>(n, fn);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(batch);
+  }
+  queue_cv_.notify_all();
+
+  // Participate instead of just waiting: even if every worker is busy (or
+  // this call is itself running on a worker), the submitter alone drains
+  // the batch, so nesting cannot deadlock.
+  DrainBatch(*batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->completed.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) >= batch->n;
+    });
+  }
+
+  // Reap the finished batch so exhausted entries do not pile up ahead of
+  // live ones.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  auto it = std::find(queue_.begin(), queue_.end(), batch);
+  if (it != queue_.end()) queue_.erase(it);
+}
+
+Result<std::vector<Value>> InvocationEngine::Invoke(
+    const Module& module, const std::vector<Value>& inputs,
+    EnginePhase phase) {
+  PhaseTimer timer(&metrics_, phase);
+  auto outputs = module.Invoke(inputs);
+  metrics_.RecordInvocation(outputs.ok());
+  return outputs;
+}
+
+std::vector<Result<std::vector<Value>>> InvocationEngine::InvokeBatch(
+    const Module& module, std::span<const std::vector<Value>> input_vectors,
+    EnginePhase phase) {
+  PhaseTimer timer(&metrics_, phase);
+  std::vector<Result<std::vector<Value>>> results;
+  results.reserve(input_vectors.size());
+  for (size_t i = 0; i < input_vectors.size(); ++i) {
+    results.emplace_back(Status::Internal("invocation not yet scheduled"));
+  }
+  ForEach(input_vectors.size(), [&](size_t i) {
+    results[i] = module.Invoke(input_vectors[i]);
+    metrics_.RecordInvocation(results[i].ok());
+  });
+  return results;
+}
+
+InvocationEngine& InvocationEngine::Serial() {
+  static InvocationEngine* engine =
+      new InvocationEngine(EngineOptions{.threads = 1});
+  return *engine;
+}
+
+}  // namespace dexa

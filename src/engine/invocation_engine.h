@@ -1,0 +1,136 @@
+#ifndef DEXA_ENGINE_INVOCATION_ENGINE_H_
+#define DEXA_ENGINE_INVOCATION_ENGINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "engine/metrics.h"
+#include "modules/module.h"
+#include "types/value.h"
+
+namespace dexa {
+
+/// Configuration of an InvocationEngine.
+struct EngineOptions {
+  /// Worker threads in the pool. 0 means hardware concurrency; 1 means no
+  /// pool is spawned and every batch runs inline on the caller.
+  size_t threads = 0;
+
+  /// When true (the default and the only contract dexa's pipeline relies
+  /// on), batch results are returned in input order and per-task RNG
+  /// streams are split from `seed` by task index, so a run is bit-identical
+  /// at any thread count. The flag exists so a future best-effort mode
+  /// (early exit, unordered reduce) has a home; the current engine honors
+  /// the deterministic contract regardless.
+  bool deterministic = true;
+
+  /// Base seed for RngFor(): per-task generators are forked from it, never
+  /// shared across workers.
+  uint64_t seed = 0x5eed;
+};
+
+/// The shared invocation layer: a fixed worker pool that fans module
+/// invocations (and arbitrary index loops) out across threads while
+/// preserving input-order results, plus the run metrics every consumer
+/// reports into.
+///
+/// Contracts:
+///  * Determinism — InvokeBatch writes result i of input i, regardless of
+///    which worker ran it or in what order; serial and parallel runs are
+///    bit-identical. Stochastic tasks must draw randomness from
+///    RngFor(task_index), never from shared mutable RNG state.
+///  * Re-entrancy — a task running on a worker may itself call ForEach /
+///    InvokeBatch; the inner caller participates in executing its own batch
+///    (it does not merely wait), so nested batches cannot deadlock the pool
+///    even when every worker is busy.
+///  * Module thread-safety — Module::Invoke is const and dexa modules are
+///    pure functions over immutable state (closures over a const
+///    KnowledgeBase); an engine with threads > 1 requires that purity of
+///    any module it is handed.
+class InvocationEngine {
+ public:
+  explicit InvocationEngine(EngineOptions options = {});
+  ~InvocationEngine();
+
+  InvocationEngine(const InvocationEngine&) = delete;
+  InvocationEngine& operator=(const InvocationEngine&) = delete;
+
+  /// Worker threads actually running (>= 1; the caller always counts).
+  size_t threads() const { return threads_; }
+
+  const EngineOptions& options() const { return options_; }
+
+  EngineMetrics& metrics() { return metrics_; }
+  const EngineMetrics& metrics() const { return metrics_; }
+
+  /// The RNG stream for task `task_index`: forked from the engine seed, so
+  /// streams are independent per task and stable across thread counts.
+  Rng RngFor(uint64_t task_index) const {
+    return Rng(options_.seed).Fork(task_index);
+  }
+
+  /// Invokes `module` once, counting the invocation into the engine
+  /// metrics. The single-combination path every sequential consumer
+  /// (enactor, discovery, composition) routes through.
+  Result<std::vector<Value>> Invoke(const Module& module,
+                                    const std::vector<Value>& inputs,
+                                    EnginePhase phase = EnginePhase::kOther);
+
+  /// Invokes `module` on every input vector of the batch, in parallel when
+  /// the pool has workers, and returns per-combination results in input
+  /// order regardless of scheduling.
+  std::vector<Result<std::vector<Value>>> InvokeBatch(
+      const Module& module, std::span<const std::vector<Value>> input_vectors,
+      EnginePhase phase = EnginePhase::kOther);
+
+  /// Runs `fn(0) .. fn(n-1)` across the pool; the calling thread
+  /// participates. Blocks until every index completed. `fn` must be safe to
+  /// call concurrently from multiple threads for distinct indices.
+  void ForEach(size_t n, const std::function<void(size_t)>& fn);
+
+  /// A process-wide serial engine (threads = 1): the default every
+  /// refactored constructor falls back to, so call sites migrate to the
+  /// engine layer without changing behavior or spawning threads.
+  static InvocationEngine& Serial();
+
+ private:
+  /// One fan-out in flight: workers and the submitting caller claim indices
+  /// from `next` until exhausted; `done` counts completions.
+  struct Batch {
+    explicit Batch(size_t size, const std::function<void(size_t)>& body)
+        : n(size), fn(body) {}
+    const size_t n;
+    const std::function<void(size_t)>& fn;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable completed;
+  };
+
+  /// Claims and runs indices of `batch` until none are left. Returns after
+  /// the last index it completed (not necessarily the batch's last).
+  static void DrainBatch(Batch& batch);
+
+  void WorkerLoop(const std::stop_token& stop);
+
+  EngineOptions options_;
+  size_t threads_ = 1;
+  EngineMetrics metrics_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable_any queue_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_ENGINE_INVOCATION_ENGINE_H_

@@ -1,0 +1,67 @@
+#include "engine/metrics.h"
+
+#include <sstream>
+
+namespace dexa {
+
+const char* EnginePhaseName(EnginePhase phase) {
+  switch (phase) {
+    case EnginePhase::kGenerate:
+      return "generate";
+    case EnginePhase::kReplay:
+      return "replay";
+    case EnginePhase::kCompare:
+      return "compare";
+    case EnginePhase::kEnact:
+      return "enact";
+    case EnginePhase::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+uint64_t EngineMetricsSnapshot::TotalPhaseNanos() const {
+  uint64_t total = 0;
+  for (uint64_t nanos : phase_nanos) total += nanos;
+  return total;
+}
+
+std::string EngineMetricsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "invocations=" << invocations << " errors=" << invocation_errors
+      << " batches=" << batches << " cache_hits=" << cache_hits
+      << " cache_misses=" << cache_misses;
+  for (size_t p = 0; p < kNumEnginePhases; ++p) {
+    if (phase_nanos[p] == 0) continue;
+    out << " " << EnginePhaseName(static_cast<EnginePhase>(p)) << "_ms="
+        << phase_nanos[p] / 1000000;
+  }
+  return out.str();
+}
+
+EngineMetricsSnapshot EngineMetrics::Snapshot() const {
+  EngineMetricsSnapshot snapshot;
+  snapshot.invocations = invocations_.load(std::memory_order_relaxed);
+  snapshot.invocation_errors =
+      invocation_errors_.load(std::memory_order_relaxed);
+  snapshot.batches = batches_.load(std::memory_order_relaxed);
+  snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snapshot.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  for (size_t p = 0; p < kNumEnginePhases; ++p) {
+    snapshot.phase_nanos[p] = phase_nanos_[p].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void EngineMetrics::Reset() {
+  invocations_.store(0, std::memory_order_relaxed);
+  invocation_errors_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  for (size_t p = 0; p < kNumEnginePhases; ++p) {
+    phase_nanos_[p].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dexa

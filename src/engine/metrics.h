@@ -1,0 +1,113 @@
+#ifndef DEXA_ENGINE_METRICS_H_
+#define DEXA_ENGINE_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dexa {
+
+/// The phases of the annotation pipeline that route work through the
+/// invocation engine. Wall time is accumulated per phase so a run can be
+/// broken down into "where did the invocations go".
+enum class EnginePhase {
+  kGenerate,  ///< ExampleGenerator::Generate (Section 3.2 enumeration).
+  kReplay,    ///< ExampleGenerator::ReplayInputs (Section 6 alignment).
+  kCompare,   ///< ModuleMatcher comparison / discovery probing.
+  kEnact,     ///< Workflow enactment (provenance capture).
+  kOther,     ///< Everything else (composition search, ad-hoc callers).
+};
+
+inline constexpr size_t kNumEnginePhases = 5;
+
+const char* EnginePhaseName(EnginePhase phase);
+
+/// A plain, copyable snapshot of the engine's counters, safe to hand to
+/// reporting code without touching atomics.
+struct EngineMetricsSnapshot {
+  uint64_t invocations = 0;        ///< Module invocations routed through.
+  uint64_t invocation_errors = 0;  ///< Invocations that returned non-OK.
+  uint64_t batches = 0;            ///< InvokeBatch / ForEach dispatches.
+  uint64_t cache_hits = 0;         ///< ConceptCache hits.
+  uint64_t cache_misses = 0;       ///< ConceptCache misses (computed fresh).
+  uint64_t phase_nanos[kNumEnginePhases] = {0, 0, 0, 0, 0};
+
+  uint64_t TotalPhaseNanos() const;
+  std::string ToString() const;
+};
+
+/// Thread-safe run counters for the invocation engine: plain atomics bumped
+/// from worker threads, snapshotted into EngineMetricsSnapshot for
+/// reporting. Per-module GenerationStats is a projection of these counters
+/// over one Generate() call, so bench output stays unchanged while the
+/// engine-wide totals become observable.
+class EngineMetrics {
+ public:
+  EngineMetrics() = default;
+
+  EngineMetrics(const EngineMetrics&) = delete;
+  EngineMetrics& operator=(const EngineMetrics&) = delete;
+
+  void RecordInvocation(bool ok) {
+    invocations_.fetch_add(1, std::memory_order_relaxed);
+    if (!ok) invocation_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBatch() { batches_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordCacheHit() {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddPhaseNanos(EnginePhase phase, uint64_t nanos) {
+    phase_nanos_[static_cast<size_t>(phase)].fetch_add(
+        nanos, std::memory_order_relaxed);
+  }
+
+  EngineMetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter (between bench repetitions).
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> invocations_{0};
+  std::atomic<uint64_t> invocation_errors_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> phase_nanos_[kNumEnginePhases] = {};
+};
+
+/// RAII wall-clock accumulator: adds the scope's duration to the metrics'
+/// per-phase counter on destruction. Null metrics are tolerated so callers
+/// can time unconditionally.
+class PhaseTimer {
+ public:
+  PhaseTimer(EngineMetrics* metrics, EnginePhase phase)
+      : metrics_(metrics),
+        phase_(phase),
+        start_(std::chrono::steady_clock::now()) {}
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() {
+    if (metrics_ == nullptr) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    metrics_->AddPhaseNanos(
+        phase_, static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        elapsed)
+                        .count()));
+  }
+
+ private:
+  EngineMetrics* metrics_;
+  EnginePhase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_ENGINE_METRICS_H_

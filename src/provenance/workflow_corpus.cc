@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "core/instance_classifier.h"
+#include "engine/invocation_engine.h"
 #include "workflow/enactor.h"
 
 namespace dexa {
@@ -439,7 +440,8 @@ Result<ProvenanceCorpus> BuildProvenanceCorpus(
         inputs.push_back(std::move(value).value());
       }
       if (!seeded) continue;
-      auto outputs = (*module)->Invoke(inputs);
+      auto outputs = InvocationEngine::Serial().Invoke(
+          **module, inputs, EnginePhase::kEnact);
       if (!outputs.ok()) continue;  // Seed outside the module's domain.
       InvocationRecord record;
       record.workflow_id = trace.workflow_id;

@@ -49,10 +49,13 @@ Result<MatchingReport> MatchRetiredModules(const Corpus& corpus,
 
   // The matcher needs an ExampleGenerator only for its Compare() entry
   // point, which we do not use here (retired modules cannot be invoked);
-  // pass a minimal generator over an empty pool.
+  // pass a minimal generator over an empty pool. Generator and matcher
+  // share one concept cache: the 72 retired × 252 candidate sweep re-asks
+  // the same subsumption pairs constantly.
   AnnotatedInstancePool empty_pool(corpus.ontology.get());
-  ExampleGenerator generator(corpus.ontology.get(), &empty_pool);
-  ModuleMatcher matcher(corpus.ontology.get(), &generator);
+  auto cache = std::make_shared<ConceptCache>(corpus.ontology.get());
+  ExampleGenerator generator(cache, &empty_pool);
+  ModuleMatcher matcher(cache, &generator);
 
   std::vector<ModulePtr> candidates = corpus.registry->AvailableModules();
 

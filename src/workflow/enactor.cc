@@ -7,6 +7,13 @@ namespace dexa {
 Result<EnactmentResult> Enact(const Workflow& workflow,
                               const ModuleRegistry& registry,
                               const std::vector<Value>& inputs) {
+  return Enact(workflow, registry, inputs, InvocationEngine::Serial());
+}
+
+Result<EnactmentResult> Enact(const Workflow& workflow,
+                              const ModuleRegistry& registry,
+                              const std::vector<Value>& inputs,
+                              InvocationEngine& engine) {
   if (inputs.size() != workflow.inputs.size()) {
     return Status::InvalidArgument(
         "workflow '" + workflow.name + "' expects " +
@@ -53,7 +60,8 @@ Result<EnactmentResult> Enact(const Workflow& workflow,
       module_inputs.push_back(std::move(value).value());
     }
 
-    auto outputs = (*module)->Invoke(module_inputs);
+    auto outputs =
+        engine.Invoke(**module, module_inputs, EnginePhase::kEnact);
     if (!outputs.ok()) {
       return Status(outputs.status().code(),
                     "workflow '" + workflow.name + "', processor '" +

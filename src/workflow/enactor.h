@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/invocation_engine.h"
 #include "workflow/workflow.h"
 
 namespace dexa {
@@ -35,6 +36,18 @@ struct EnactmentResult {
 ///  * InvalidArgument if the workflow is malformed, `inputs` has the wrong
 ///    arity, or a module rejects its input combination.
 /// Provenance is captured for the invocations that did run.
+///
+/// Module invocations are routed through `engine` (counted under the
+/// enact phase); the 3-argument overload uses the shared serial engine.
+/// Enactment order is the workflow's deterministic topological order
+/// regardless of the engine's thread count — data dependencies serialize
+/// the steps; the engine is the metering and (for batched consumers)
+/// fan-out point.
+Result<EnactmentResult> Enact(const Workflow& workflow,
+                              const ModuleRegistry& registry,
+                              const std::vector<Value>& inputs,
+                              InvocationEngine& engine);
+
 Result<EnactmentResult> Enact(const Workflow& workflow,
                               const ModuleRegistry& registry,
                               const std::vector<Value>& inputs);

@@ -55,7 +55,7 @@ AnnotateRun RunWithThreads(size_t threads) {
   auto annotated = AnnotateRegistry(generator, *corpus->registry);
   auto end = std::chrono::steady_clock::now();
   if (!annotated.ok()) Die("AnnotateRegistry", annotated.status());
-  run.modules_annotated = *annotated;
+  run.modules_annotated = annotated->annotated;
   run.elapsed_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   run.annotations = SaveAnnotations(*corpus->registry, *corpus->ontology);

@@ -37,7 +37,7 @@ int main() {
     std::cerr << annotated.status() << "\n";
     return 1;
   }
-  std::cout << "Annotated " << *annotated << " modules with data examples\n\n";
+  std::cout << "Annotated " << annotated->annotated << " modules with data examples\n\n";
 
   CoverageAnalyzer analyzer(corpus->ontology.get());
   size_t inputs_covered = 0;

@@ -18,6 +18,16 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kTransient:
+      return "Transient";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kPermanent:
+      return "Permanent";
+    case StatusCode::kDecayed:
+      return "Decayed";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

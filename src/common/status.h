@@ -28,6 +28,29 @@ enum class StatusCode {
   kInternal = 5,
   /// Parsing of a textual artifact (ontology DSL, record format) failed.
   kParseError = 6,
+
+  // -- Fault taxonomy of the resilient invocation layer ------------------
+  // The retry policy and circuit breaker dispatch on these codes (never on
+  // message strings): transient-class errors are retried with backoff,
+  // permanent-class errors count toward tripping a module's breaker.
+
+  /// A transient service fault (intermittent backend error, dropped
+  /// connection): the same invocation may well succeed if retried.
+  kTransient = 7,
+  /// The invocation exceeded its (virtual) deadline budget, either because
+  /// the service stalled or because retries exhausted the budget. Retryable
+  /// as an error class; the engine stops retrying once the budget is gone.
+  kTimeout = 8,
+  /// A permanent service failure (backend gone, contract broken): retrying
+  /// cannot help, and repeated occurrences trip the module's breaker.
+  kPermanent = 9,
+  /// The module has decayed: its provider withdrew it ("module volatility",
+  /// Section 6), or its circuit breaker is open. Decayed modules are the
+  /// repair subsystem's candidates.
+  kDecayed = 10,
+  /// The invocation was abandoned before running (batch cancelled,
+  /// admission denied for a reason other than decay).
+  kCancelled = 11,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -62,6 +85,21 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status Transient(std::string msg) {
+    return Status(StatusCode::kTransient, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Permanent(std::string msg) {
+    return Status(StatusCode::kPermanent, std::move(msg));
+  }
+  static Status Decayed(std::string msg) {
+    return Status(StatusCode::kDecayed, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +113,26 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsTransient() const { return code_ == StatusCode::kTransient; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsPermanent() const { return code_ == StatusCode::kPermanent; }
+  bool IsDecayed() const { return code_ == StatusCode::kDecayed; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+
+  /// True for the transient error class: retrying the same invocation may
+  /// succeed. The engine's RetryPolicy dispatches on this predicate.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kTransient || code_ == StatusCode::kTimeout;
+  }
+
+  /// True for the permanent error class: the module itself is gone or
+  /// broken (withdrawn, decayed, permanently failing). Consecutive
+  /// permanent-class failures trip the module's circuit breaker.
+  bool IsPermanentFailure() const {
+    return code_ == StatusCode::kPermanent ||
+           code_ == StatusCode::kDecayed ||
+           code_ == StatusCode::kUnavailable;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -137,8 +137,17 @@ Result<GenerationOutcome> ExampleGenerator::Generate(
                outputs.status().IsNotFound()) {
       // Abnormal termination: discard the combination (Section 3.2).
       ++outcome.stats.invocation_errors;
+    } else if (outputs.status().IsRetryable()) {
+      // Transient fault that survived the engine's retries: the
+      // combination is lost to infrastructure, not to module behavior.
+      ++outcome.stats.transient_exhausted;
+    } else if (outputs.status().IsPermanentFailure()) {
+      // The module decayed under us (provider withdrew it, backend gone,
+      // breaker tripped): keep what was collected as a partial annotation
+      // and flag the module as a repair candidate.
+      outcome.stats.decayed = true;
     } else {
-      return outputs.status();  // Unavailable/internal: a real failure.
+      return outputs.status();  // Internal: a real failure.
     }
   }
 
@@ -175,8 +184,8 @@ Result<DataExampleSet> ExampleGenerator::ReplayInputs(
   return out;
 }
 
-Result<size_t> AnnotateRegistry(const ExampleGenerator& generator,
-                                ModuleRegistry& registry) {
+Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
+                                        ModuleRegistry& registry) {
   const std::vector<ModulePtr> modules = registry.AvailableModules();
 
   // Generate concurrently (modules are independent), commit sequentially in
@@ -187,15 +196,29 @@ Result<size_t> AnnotateRegistry(const ExampleGenerator& generator,
     outcomes[i] = generator.Generate(*modules[i]);
   });
 
-  size_t annotated = 0;
+  AnnotateReport report;
   for (size_t i = 0; i < modules.size(); ++i) {
     Result<GenerationOutcome>& outcome = *outcomes[i];
-    if (!outcome.ok()) return outcome.status();
+    if (!outcome.ok()) {
+      // Generate() degrades gracefully on module faults, so a failed
+      // outcome is an internal error — those still abort the run.
+      return outcome.status();
+    }
+    report.transient_exhausted += outcome->stats.transient_exhausted;
+    report.examples += outcome->examples.size();
+    // A decayed module keeps its partial example set: an incomplete
+    // annotation still supports matching and repair (Sections 5-6), and the
+    // module is reported as a repair candidate instead of aborting the run.
     DEXA_RETURN_IF_ERROR(registry.SetDataExamples(
         modules[i]->spec().id, std::move(outcome->examples)));
-    ++annotated;
+    if (outcome->stats.decayed) {
+      ++report.decayed;
+      report.decayed_ids.push_back(modules[i]->spec().id);
+    } else {
+      ++report.annotated;
+    }
   }
-  return annotated;
+  return report;
 }
 
 }  // namespace dexa

@@ -17,6 +17,11 @@ namespace dexa {
 
 /// Tuning knobs for the data-example generator; the defaults implement the
 /// paper's heuristic, the alternatives exist for the ablation benches.
+///
+/// Aggregate initialization of this struct remains supported, but new call
+/// sites should prefer the fluent EngineConfig builder
+/// (core/engine_config.h), which configures generator, engine and retry
+/// policy through one chained expression.
 struct GeneratorOptions {
   /// Hard cap on input combinations enumerated for one module.
   size_t max_combinations = 4096;
@@ -47,6 +52,17 @@ struct GenerationStats {
   size_t combinations_tried = 0;
   size_t combinations_skipped = 0;  ///< Lost to the max_combinations cap.
   size_t invocation_errors = 0;  ///< Combinations discarded per Section 3.2.
+  /// Combinations lost to the transient error class even after the engine's
+  /// retries (kTransient / kTimeout): unlike invocation_errors these are
+  /// not "abnormal terminations" of the module's behavior, they are
+  /// infrastructure faults — a retry policy shrinks this number, never
+  /// invocation_errors.
+  size_t transient_exhausted = 0;
+  /// True when the module failed with a permanent-class error (kPermanent /
+  /// kDecayed / kUnavailable, including a tripped breaker) during
+  /// generation: the examples collected so far are a partial annotation and
+  /// the module is a repair candidate.
+  bool decayed = false;
   size_t examples = 0;
 };
 
@@ -111,16 +127,34 @@ class ExampleGenerator {
   InvocationEngine* engine_;
 };
 
+/// The outcome of annotating a registry: how much worked, and which modules
+/// turned out to be decayed along the way.
+struct AnnotateReport {
+  size_t annotated = 0;  ///< Modules whose generation completed cleanly.
+  size_t decayed = 0;    ///< Modules that failed with permanent-class errors.
+  size_t examples = 0;   ///< Data examples committed (incl. partial sets).
+  /// Combinations lost to exhausted retries, summed across modules.
+  size_t transient_exhausted = 0;
+  /// Ids of the decayed modules, in registration order — candidates for the
+  /// repair subsystem.
+  std::vector<std::string> decayed_ids;
+};
+
 /// Runs `generator` over every available module of `registry` and stores
 /// the resulting data examples back into the registry (step 2 of the
-/// architecture in Figure 3). Returns the number of modules annotated.
+/// architecture in Figure 3).
 ///
 /// Modules are annotated concurrently across the generator's engine (the
 /// corpus has 252 independent modules); results are committed to the
 /// registry in registration order, so the resulting registry is
 /// byte-identical at any thread count.
-Result<size_t> AnnotateRegistry(const ExampleGenerator& generator,
-                                ModuleRegistry& registry);
+///
+/// Fault tolerance: a module that fails with a permanent-class error does
+/// not abort the run — its partial example set (possibly empty) is
+/// committed, the module is reported in `decayed_ids`, and annotation
+/// continues with the next module. Only internal errors abort.
+Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
+                                        ModuleRegistry& registry);
 
 }  // namespace dexa
 

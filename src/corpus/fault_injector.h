@@ -1,0 +1,114 @@
+#ifndef DEXA_CORPUS_FAULT_INJECTOR_H_
+#define DEXA_CORPUS_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "engine/metrics.h"
+#include "modules/module.h"
+#include "modules/registry.h"
+
+namespace dexa {
+
+/// Deterministic, seed-driven fault profile for a wrapped module. Every
+/// per-attempt decision is derived from (profile seed, deep input hash,
+/// attempt number) — never from wall time, invocation order or thread
+/// scheduling — so a faulty run is byte-identical across thread counts and
+/// repeat invocations, and a retried attempt re-draws its fate instead of
+/// replaying the first attempt's failure.
+struct FaultProfile {
+  /// Salt for all stochastic fault decisions of this injector.
+  uint64_t seed = 0xFA17;
+
+  /// Per-attempt probability of a kTransient failure (intermittent backend
+  /// error). With retries, P(exhaustion) = transient_rate^max_attempts.
+  double transient_rate = 0.0;
+
+  /// Per-attempt probability of a kTimeout failure (stalled service).
+  double timeout_rate = 0.0;
+
+  /// Flaky warm-up: attempts [0, flaky_first_attempts) of every input fail
+  /// with kTransient before the stochastic draws even run. Models a flaky
+  /// period that a sufficiently patient retry policy always outlasts (and
+  /// an insufficient one never does) — exactly reproducible.
+  int flaky_first_attempts = 0;
+
+  /// Virtual latency charged per attempt (successful or not); consumes the
+  /// engine's per-invocation deadline budget.
+  uint64_t latency_ns = 0;
+
+  /// Extra virtual latency charged on faulted attempts (a failing service
+  /// is typically also a slow one).
+  uint64_t fault_latency_ns = 0;
+
+  /// Permanent decay active from the first invocation: every call fails
+  /// with kPermanent while the registry still believes the module is
+  /// available — the dynamic-decay situation ScanForDecay detects.
+  bool down = false;
+
+  /// Retire after this many total invocations (0 = never): the injector
+  /// flips to permanent decay mid-run, reusing the kDecayed semantics of
+  /// provider-retired modules. NOTE: counts invocations in arrival order,
+  /// so mid-batch decay under a multi-threaded engine is schedule-
+  /// dependent; reserve this knob for sequential paths (workflow
+  /// enactment) when byte-identical runs matter.
+  uint64_t decay_after = 0;
+};
+
+/// Wraps any module with a deterministic fault profile. The injector
+/// presents the wrapped module's exact spec and ground truth, decides per
+/// attempt whether to fail (and how, on the typed Status taxonomy), charges
+/// virtual latency through the InvocationContext, and otherwise delegates
+/// to the wrapped module.
+class FaultInjector : public Module {
+ public:
+  /// `metrics` (optional) receives RecordInjectedFault() for every fault
+  /// this injector manufactures; pass the consuming engine's metrics to
+  /// make injected faults observable in run reports.
+  FaultInjector(ModulePtr inner, FaultProfile profile,
+                EngineMetrics* metrics = nullptr);
+
+  const FaultProfile& profile() const { return profile_; }
+  const Module& inner() const { return *inner_; }
+
+  /// Total attempts routed through this injector.
+  uint64_t invocations() const {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+  /// Attempts that failed with a manufactured fault.
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+  const BehaviorGroundTruth* ground_truth() const override {
+    return inner_->ground_truth();
+  }
+
+ protected:
+  Result<std::vector<Value>> InvokeImpl(
+      const std::vector<Value>& inputs) const override;
+
+  Result<std::vector<Value>> InvokeWithContext(
+      const std::vector<Value>& inputs,
+      InvocationContext& context) const override;
+
+ private:
+  ModulePtr inner_;
+  FaultProfile profile_;
+  EngineMetrics* metrics_;
+  mutable std::atomic<uint64_t> invocations_{0};
+  mutable std::atomic<uint64_t> faults_injected_{0};
+};
+
+/// Builds a registry wrapping every module of `registry` (in registration
+/// order, same ids and specs) in a FaultInjector carrying `profile` with a
+/// per-module seed forked from profile.seed and the module id — so faults
+/// are independent across modules but reproducible per module.
+Result<std::unique_ptr<ModuleRegistry>> WrapRegistryWithFaults(
+    const ModuleRegistry& registry, const FaultProfile& profile,
+    EngineMetrics* metrics = nullptr);
+
+}  // namespace dexa
+
+#endif  // DEXA_CORPUS_FAULT_INJECTOR_H_

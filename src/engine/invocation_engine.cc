@@ -2,9 +2,49 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <utility>
 
 namespace dexa {
+
+namespace {
+
+/// Stable identity of one invocation for jitter derivation: module id
+/// hashed with the deep value hash of the inputs. Independent of scheduling
+/// and thread count by construction.
+uint64_t InvocationKey(const Module& module,
+                       const std::vector<Value>& inputs) {
+  uint64_t key = StableHash64(module.spec().id);
+  for (const Value& value : inputs) key = HashCombine(key, value.Hash());
+  return key;
+}
+
+}  // namespace
+
+uint64_t RetryBackoffNanos(const RetryPolicy& policy, uint64_t seed,
+                           uint64_t key, int attempt) {
+  double backoff = static_cast<double>(policy.initial_backoff_ns);
+  for (int i = 0; i < attempt; ++i) backoff *= policy.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_ns));
+  if (policy.jitter > 0.0) {
+    Rng jitter_rng(HashCombine(HashCombine(seed, key),
+                               static_cast<uint64_t>(attempt)));
+    backoff *= 1.0 + policy.jitter * (2.0 * jitter_rng.NextDouble() - 1.0);
+  }
+  return backoff <= 0.0 ? 0 : static_cast<uint64_t>(backoff);
+}
+
+const char* BreakerStageName(BreakerStage stage) {
+  switch (stage) {
+    case BreakerStage::kClosed:
+      return "closed";
+    case BreakerStage::kOpen:
+      return "open";
+    case BreakerStage::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
 
 InvocationEngine::InvocationEngine(EngineOptions options)
     : options_(options) {
@@ -94,12 +134,120 @@ void InvocationEngine::ForEach(size_t n,
   if (it != queue_.end()) queue_.erase(it);
 }
 
+Result<std::vector<Value>> InvocationEngine::InvokeWithRetries(
+    const Module& module, const std::vector<Value>& inputs, uint64_t key) {
+  const RetryPolicy& policy = options_.retry;
+  uint64_t budget_spent = 0;
+  for (int attempt = 0;; ++attempt) {
+    InvocationContext context;
+    context.attempt = attempt;
+    context.clock = &clock_;
+    auto outputs = module.Invoke(inputs, context);
+    metrics_.RecordInvocation(outputs.ok());
+    if (context.charged_ns != 0) {
+      budget_spent += context.charged_ns;
+      clock_.Advance(context.charged_ns);
+    }
+    if (policy.deadline_ns != 0 && budget_spent > policy.deadline_ns) {
+      // The attempt itself blew the budget: the caller has hung up, so even
+      // a successful result is discarded.
+      metrics_.RecordDeadlineExhaustion();
+      return Status::Timeout(
+          "invocation of module '" + module.spec().name +
+          "' exceeded its deadline budget after " +
+          std::to_string(attempt + 1) + " attempt(s)");
+    }
+    if (outputs.ok() || !outputs.status().IsRetryable() ||
+        attempt + 1 >= policy.max_attempts) {
+      return outputs;
+    }
+    uint64_t backoff = RetryBackoffNanos(policy, options_.seed, key, attempt);
+    if (policy.deadline_ns != 0 &&
+        budget_spent + backoff > policy.deadline_ns) {
+      metrics_.RecordDeadlineExhaustion();
+      return Status::Timeout(
+          "retry budget for module '" + module.spec().name +
+          "' exhausted after " + std::to_string(attempt + 1) +
+          " attempt(s): " + outputs.status().ToString());
+    }
+    budget_spent += backoff;
+    clock_.Advance(backoff);
+    metrics_.RecordRetry();
+  }
+}
+
+bool InvocationEngine::BreakerAdmits(const std::string& module_id) {
+  if (!options_.retry.breaker_enabled()) return true;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  auto it = breakers_.find(module_id);
+  if (it == breakers_.end() || !it->second.open) return true;
+  // Open: admit a half-open probe once the cooldown elapsed.
+  return clock_.Now() >= it->second.reopen_at;
+}
+
+void InvocationEngine::BreakerObserve(const std::string& module_id,
+                                      const Status& status) {
+  if (!options_.retry.breaker_enabled()) return;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  Breaker& breaker = breakers_[module_id];
+  if (status.ok()) {
+    // Success closes the breaker (a successful half-open probe included).
+    breaker.consecutive_permanent = 0;
+    breaker.open = false;
+    return;
+  }
+  if (!status.IsPermanentFailure()) {
+    // Transient-class and argument errors neither trip nor heal a breaker.
+    return;
+  }
+  ++breaker.consecutive_permanent;
+  if (breaker.open) {
+    // Failed half-open probe: re-open for another cooldown.
+    breaker.reopen_at = clock_.Now() + options_.retry.breaker_cooldown_ns;
+    return;
+  }
+  if (breaker.consecutive_permanent >= options_.retry.breaker_threshold) {
+    breaker.open = true;
+    breaker.reopen_at = clock_.Now() + options_.retry.breaker_cooldown_ns;
+    ++breaker.trips;
+    metrics_.RecordBreakerTrip();
+  }
+}
+
+BreakerView InvocationEngine::BreakerOf(const std::string& module_id) const {
+  BreakerView view;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  auto it = breakers_.find(module_id);
+  if (it == breakers_.end()) return view;
+  view.consecutive_permanent_failures = it->second.consecutive_permanent;
+  view.trips = it->second.trips;
+  if (!it->second.open) {
+    view.stage = BreakerStage::kClosed;
+  } else if (clock_.Now() >= it->second.reopen_at) {
+    view.stage = BreakerStage::kHalfOpen;
+  } else {
+    view.stage = BreakerStage::kOpen;
+  }
+  return view;
+}
+
 Result<std::vector<Value>> InvocationEngine::Invoke(
     const Module& module, const std::vector<Value>& inputs,
     EnginePhase phase) {
   PhaseTimer timer(&metrics_, phase);
-  auto outputs = module.Invoke(inputs);
-  metrics_.RecordInvocation(outputs.ok());
+  const std::string& module_id = module.spec().id;
+  if (!BreakerAdmits(module_id)) {
+    metrics_.RecordBreakerShortCircuit();
+    return Status::Decayed("circuit breaker open for module '" +
+                           module.spec().name + "'");
+  }
+  // The key only seeds retry jitter; skip the deep input hash on the
+  // fail-fast configuration's hot path.
+  uint64_t key = options_.retry.retries_enabled()
+                     ? InvocationKey(module, inputs)
+                     : 0;
+  auto outputs = InvokeWithRetries(module, inputs, key);
+  BreakerObserve(module_id, outputs.ok() ? Status::OK() : outputs.status());
   return outputs;
 }
 
@@ -112,16 +260,43 @@ std::vector<Result<std::vector<Value>>> InvocationEngine::InvokeBatch(
   for (size_t i = 0; i < input_vectors.size(); ++i) {
     results.emplace_back(Status::Internal("invocation not yet scheduled"));
   }
+
+  // Batch-atomic breaker admission: decided once for the whole batch, so a
+  // mid-batch trip can never split a batch between live and short-circuited
+  // results depending on scheduling.
+  const std::string& module_id = module.spec().id;
+  if (!BreakerAdmits(module_id)) {
+    Status denied = Status::Decayed("circuit breaker open for module '" +
+                                    module.spec().name + "'");
+    for (size_t i = 0; i < results.size(); ++i) {
+      metrics_.RecordBreakerShortCircuit();
+      results[i] = denied;
+    }
+    return results;
+  }
+
   ForEach(input_vectors.size(), [&](size_t i) {
-    results[i] = module.Invoke(input_vectors[i]);
-    metrics_.RecordInvocation(results[i].ok());
+    // Jitter keyed on the batch index: stable in enumeration order, so the
+    // retry schedule of combination i is the same at any thread count.
+    results[i] = InvokeWithRetries(module, input_vectors[i],
+                                   HashCombine(StableHash64(module_id), i));
   });
+
+  // Fold the outcomes into the breaker in input order — deterministic
+  // regardless of which worker ran what.
+  for (const Result<std::vector<Value>>& result : results) {
+    BreakerObserve(module_id,
+                   result.ok() ? Status::OK() : result.status());
+  }
   return results;
 }
 
 InvocationEngine& InvocationEngine::Serial() {
-  static InvocationEngine* engine =
-      new InvocationEngine(EngineOptions{.threads = 1});
+  static InvocationEngine* engine = [] {
+    EngineOptions options;
+    options.threads = 1;
+    return new InvocationEngine(options);
+  }();
   return *engine;
 }
 

@@ -7,18 +7,90 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "engine/metrics.h"
+#include "engine/virtual_clock.h"
 #include "modules/module.h"
 #include "types/value.h"
 
 namespace dexa {
 
+/// How the engine reacts to module faults: bounded exponential backoff with
+/// deterministic jitter for transient-class errors, a virtual-time deadline
+/// budget per invocation, and a per-module circuit breaker for
+/// permanent-class errors. The defaults disable everything, so engines
+/// constructed without a policy behave exactly as before.
+///
+/// All durations are *virtual* nanoseconds on the engine's VirtualClock:
+/// backoffs never sleep, they only advance the clock, so retry schedules
+/// are reproducible bit-for-bit and cost no wall time.
+struct RetryPolicy {
+  /// Total attempts per invocation (1 = no retries). Only statuses with
+  /// IsRetryable() — kTransient, kTimeout — are retried; the dispatch is on
+  /// codes, never on message strings.
+  int max_attempts = 1;
+
+  /// Virtual backoff before retry k is
+  /// min(initial_backoff_ns * multiplier^k, max_backoff_ns), scaled by a
+  /// deterministic jitter factor in [1 - jitter, 1 + jitter] drawn from
+  /// (engine seed, invocation key, attempt) — identical at any thread count.
+  uint64_t initial_backoff_ns = 1'000'000;  // 1 virtual ms
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_ns = 64'000'000;  // 64 virtual ms
+  double jitter = 0.25;
+
+  /// Virtual budget for one invocation including all its retries, injected
+  /// latency and backoff waits; 0 = unbounded. Exhaustion yields kTimeout.
+  uint64_t deadline_ns = 0;
+
+  /// Consecutive permanent-class failures (IsPermanentFailure(): kPermanent,
+  /// kDecayed, kUnavailable) after which the module's breaker trips open;
+  /// 0 disables the breaker.
+  int breaker_threshold = 0;
+
+  /// Virtual time a tripped breaker stays open before admitting a
+  /// half-open probe; the probe's success closes the breaker, its failure
+  /// re-opens it for another cooldown.
+  uint64_t breaker_cooldown_ns = 100'000'000;  // 100 virtual ms
+
+  bool retries_enabled() const { return max_attempts > 1; }
+  bool breaker_enabled() const { return breaker_threshold > 0; }
+};
+
+/// The deterministic backoff wait before retry `attempt` (0-based) of the
+/// invocation identified by `key`, jittered from (`seed`, `key`, attempt).
+/// Exposed so tests can assert the schedule independently of the engine.
+uint64_t RetryBackoffNanos(const RetryPolicy& policy, uint64_t seed,
+                           uint64_t key, int attempt);
+
+/// Observable state of one module's circuit breaker.
+enum class BreakerStage {
+  kClosed,    ///< Normal operation.
+  kOpen,      ///< Tripped; invocations short-circuit with kDecayed.
+  kHalfOpen,  ///< Cooldown elapsed; the next invocation is a probe.
+};
+
+const char* BreakerStageName(BreakerStage stage);
+
+/// Snapshot of a breaker for reporting/tests.
+struct BreakerView {
+  BreakerStage stage = BreakerStage::kClosed;
+  int consecutive_permanent_failures = 0;
+  uint64_t trips = 0;
+};
+
 /// Configuration of an InvocationEngine.
+///
+/// Aggregate initialization of this struct remains supported, but new call
+/// sites should prefer the fluent EngineConfig builder
+/// (core/engine_config.h), which also folds in the RetryPolicy and
+/// GeneratorOptions knobs.
 struct EngineOptions {
   /// Worker threads in the pool. 0 means hardware concurrency; 1 means no
   /// pool is spawned and every batch runs inline on the caller.
@@ -33,8 +105,12 @@ struct EngineOptions {
   bool deterministic = true;
 
   /// Base seed for RngFor(): per-task generators are forked from it, never
-  /// shared across workers.
+  /// shared across workers. Also salts the retry-jitter streams.
   uint64_t seed = 0x5eed;
+
+  /// Fault-tolerance policy; the default (no retries, no breaker) preserves
+  /// the fail-fast behavior of the pre-fault-tolerance engine.
+  RetryPolicy retry = {};
 };
 
 /// The shared invocation layer: a fixed worker pool that fans module
@@ -71,6 +147,16 @@ class InvocationEngine {
   EngineMetrics& metrics() { return metrics_; }
   const EngineMetrics& metrics() const { return metrics_; }
 
+  /// The engine's virtual clock: advanced by injected latency, retry
+  /// backoffs and breaker cooldowns. Tests advance it explicitly to move a
+  /// tripped breaker through its cooldown.
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+
+  /// The breaker state of module `module_id` (kClosed view for modules the
+  /// engine never saw fail).
+  BreakerView BreakerOf(const std::string& module_id) const;
+
   /// The RNG stream for task `task_index`: forked from the engine seed, so
   /// streams are independent per task and stable across thread counts.
   Rng RngFor(uint64_t task_index) const {
@@ -80,6 +166,12 @@ class InvocationEngine {
   /// Invokes `module` once, counting the invocation into the engine
   /// metrics. The single-combination path every sequential consumer
   /// (enactor, discovery, composition) routes through.
+  ///
+  /// Under a RetryPolicy this is the resilient path: the module's breaker
+  /// is consulted first (an open breaker short-circuits with kDecayed),
+  /// transient-class failures are retried with deterministic backoff inside
+  /// the invocation's virtual deadline budget, and the outcome advances the
+  /// breaker state machine.
   Result<std::vector<Value>> Invoke(const Module& module,
                                     const std::vector<Value>& inputs,
                                     EnginePhase phase = EnginePhase::kOther);
@@ -87,6 +179,14 @@ class InvocationEngine {
   /// Invokes `module` on every input vector of the batch, in parallel when
   /// the pool has workers, and returns per-combination results in input
   /// order regardless of scheduling.
+  ///
+  /// Breaker evaluation is batch-atomic: admission is decided once before
+  /// the fan-out (an open breaker short-circuits the whole batch), and the
+  /// breaker is advanced afterwards by folding the results in input order —
+  /// so thread scheduling can never influence a breaker transition, and
+  /// runs stay byte-identical at any thread count. Retries happen inside
+  /// each task with jitter keyed on the task index, which is equally
+  /// schedule-independent.
   std::vector<Result<std::vector<Value>>> InvokeBatch(
       const Module& module, std::span<const std::vector<Value>> input_vectors,
       EnginePhase phase = EnginePhase::kOther);
@@ -115,15 +215,44 @@ class InvocationEngine {
     std::condition_variable completed;
   };
 
+  /// One module's circuit-breaker record. `reopen_at` is the virtual time
+  /// at which an open breaker admits a half-open probe; the kHalfOpen stage
+  /// is derived (open && clock >= reopen_at), never stored.
+  struct Breaker {
+    int consecutive_permanent = 0;
+    bool open = false;
+    uint64_t reopen_at = 0;
+    uint64_t trips = 0;
+  };
+
   /// Claims and runs indices of `batch` until none are left. Returns after
   /// the last index it completed (not necessarily the batch's last).
   static void DrainBatch(Batch& batch);
 
   void WorkerLoop(const std::stop_token& stop);
 
+  /// Runs one invocation with retries and the deadline budget, but without
+  /// touching the breaker (admission and state advance are the caller's
+  /// job, so batches can evaluate the breaker atomically). `key` seeds the
+  /// jitter stream; it must be stable across thread counts.
+  Result<std::vector<Value>> InvokeWithRetries(const Module& module,
+                                               const std::vector<Value>& inputs,
+                                               uint64_t key);
+
+  /// True if the module's breaker admits an invocation right now (closed,
+  /// or open with the cooldown elapsed = half-open probe).
+  bool BreakerAdmits(const std::string& module_id);
+
+  /// Advances the breaker with one invocation outcome.
+  void BreakerObserve(const std::string& module_id, const Status& status);
+
   EngineOptions options_;
   size_t threads_ = 1;
   EngineMetrics metrics_;
+  VirtualClock clock_;
+
+  mutable std::mutex breaker_mutex_;
+  std::unordered_map<std::string, Breaker> breakers_;
 
   std::mutex queue_mutex_;
   std::condition_variable_any queue_cv_;

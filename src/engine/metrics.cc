@@ -31,6 +31,15 @@ std::string EngineMetricsSnapshot::ToString() const {
   out << "invocations=" << invocations << " errors=" << invocation_errors
       << " batches=" << batches << " cache_hits=" << cache_hits
       << " cache_misses=" << cache_misses;
+  if (retries != 0) out << " retries=" << retries;
+  if (deadline_exhaustions != 0) {
+    out << " deadline_exhaustions=" << deadline_exhaustions;
+  }
+  if (breaker_trips != 0) out << " breaker_trips=" << breaker_trips;
+  if (breaker_short_circuits != 0) {
+    out << " breaker_short_circuits=" << breaker_short_circuits;
+  }
+  if (injected_faults != 0) out << " injected_faults=" << injected_faults;
   for (size_t p = 0; p < kNumEnginePhases; ++p) {
     if (phase_nanos[p] == 0) continue;
     out << " " << EnginePhaseName(static_cast<EnginePhase>(p)) << "_ms="
@@ -47,6 +56,13 @@ EngineMetricsSnapshot EngineMetrics::Snapshot() const {
   snapshot.batches = batches_.load(std::memory_order_relaxed);
   snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   snapshot.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snapshot.retries = retries_.load(std::memory_order_relaxed);
+  snapshot.deadline_exhaustions =
+      deadline_exhaustions_.load(std::memory_order_relaxed);
+  snapshot.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  snapshot.breaker_short_circuits =
+      breaker_short_circuits_.load(std::memory_order_relaxed);
+  snapshot.injected_faults = injected_faults_.load(std::memory_order_relaxed);
   for (size_t p = 0; p < kNumEnginePhases; ++p) {
     snapshot.phase_nanos[p] = phase_nanos_[p].load(std::memory_order_relaxed);
   }
@@ -59,6 +75,11 @@ void EngineMetrics::Reset() {
   batches_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
   cache_misses_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
+  deadline_exhaustions_.store(0, std::memory_order_relaxed);
+  breaker_trips_.store(0, std::memory_order_relaxed);
+  breaker_short_circuits_.store(0, std::memory_order_relaxed);
+  injected_faults_.store(0, std::memory_order_relaxed);
   for (size_t p = 0; p < kNumEnginePhases; ++p) {
     phase_nanos_[p].store(0, std::memory_order_relaxed);
   }

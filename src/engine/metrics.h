@@ -31,6 +31,11 @@ struct EngineMetricsSnapshot {
   uint64_t batches = 0;            ///< InvokeBatch / ForEach dispatches.
   uint64_t cache_hits = 0;         ///< ConceptCache hits.
   uint64_t cache_misses = 0;       ///< ConceptCache misses (computed fresh).
+  uint64_t retries = 0;            ///< Retry attempts after transient faults.
+  uint64_t deadline_exhaustions = 0;  ///< Invocations cut off by a budget.
+  uint64_t breaker_trips = 0;      ///< Circuit breakers tripped open.
+  uint64_t breaker_short_circuits = 0;  ///< Invocations denied by a breaker.
+  uint64_t injected_faults = 0;    ///< Faults injected by FaultInjectors.
   uint64_t phase_nanos[kNumEnginePhases] = {0, 0, 0, 0, 0};
 
   uint64_t TotalPhaseNanos() const;
@@ -54,6 +59,19 @@ class EngineMetrics {
     if (!ok) invocation_errors_.fetch_add(1, std::memory_order_relaxed);
   }
   void RecordBatch() { batches_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordDeadlineExhaustion() {
+    deadline_exhaustions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBreakerTrip() {
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBreakerShortCircuit() {
+    breaker_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordInjectedFault() {
+    injected_faults_.fetch_add(1, std::memory_order_relaxed);
+  }
   void RecordCacheHit() {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -76,6 +94,11 @@ class EngineMetrics {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> deadline_exhaustions_{0};
+  std::atomic<uint64_t> breaker_trips_{0};
+  std::atomic<uint64_t> breaker_short_circuits_{0};
+  std::atomic<uint64_t> injected_faults_{0};
   std::atomic<uint64_t> phase_nanos_[kNumEnginePhases] = {};
 };
 

@@ -1,0 +1,47 @@
+#ifndef DEXA_ENGINE_VIRTUAL_CLOCK_H_
+#define DEXA_ENGINE_VIRTUAL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dexa {
+
+/// A deterministic virtual clock: monotone nanoseconds advanced explicitly
+/// by the components that "spend" time (injected module latency, retry
+/// backoff waits, breaker cooldowns) instead of by the wall clock. Nothing
+/// ever sleeps on it — a retry backoff of 64 virtual milliseconds costs
+/// zero wall time — so fault-tolerance tests run instantly and their
+/// schedules are reproducible bit-for-bit.
+///
+/// Determinism note: the clock itself is just an atomic counter, so its
+/// *readings* under a multi-threaded engine depend on scheduling. Every
+/// decision that must be byte-identical across thread counts (fault draws,
+/// retry jitter) is therefore keyed on stable input hashes and attempt
+/// numbers, never on clock readings; the clock only sequences breaker
+/// cooldowns and accounts per-invocation deadline budgets, which are
+/// tracked locally per task.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  /// Current virtual time in nanoseconds since construction/Reset.
+  uint64_t Now() const { return nanos_.load(std::memory_order_relaxed); }
+
+  /// Advances the clock by `nanos` and returns the new reading.
+  uint64_t Advance(uint64_t nanos) {
+    return nanos_.fetch_add(nanos, std::memory_order_relaxed) + nanos;
+  }
+
+  /// Rewinds to zero (between bench repetitions).
+  void Reset() { nanos_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> nanos_{0};
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_ENGINE_VIRTUAL_CLOCK_H_

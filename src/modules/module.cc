@@ -20,9 +20,15 @@ const char* ModuleKindName(ModuleKind kind) {
 
 Result<std::vector<Value>> Module::Invoke(
     const std::vector<Value>& inputs) const {
+  InvocationContext context;
+  return Invoke(inputs, context);
+}
+
+Result<std::vector<Value>> Module::Invoke(const std::vector<Value>& inputs,
+                                          InvocationContext& context) const {
   if (!available_) {
-    return Status::Unavailable("module '" + spec_.name +
-                               "' has been withdrawn by its provider");
+    return Status::Decayed("module '" + spec_.name +
+                           "' has been withdrawn by its provider");
   }
   if (inputs.size() != spec_.inputs.size()) {
     return Status::InvalidArgument(
@@ -47,7 +53,7 @@ Result<std::vector<Value>> Module::Invoke(
           param.structural_type.ToString());
     }
   }
-  auto outputs = InvokeImpl(inputs);
+  auto outputs = InvokeWithContext(inputs, context);
   if (!outputs.ok()) return outputs;
   if (outputs->size() != spec_.outputs.size()) {
     return Status::Internal("module '" + spec_.name + "' produced " +

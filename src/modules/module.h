@@ -65,12 +65,33 @@ class BehaviorGroundTruth {
   virtual int ClassOf(const std::vector<Value>& inputs) const = 0;
 };
 
+class VirtualClock;
+
+/// Per-invocation context threaded from the engine's resilient invocation
+/// path down to the module implementation. Fault-aware modules (the corpus
+/// FaultInjector) read the attempt number to make deterministic per-attempt
+/// fault decisions, and charge virtual latency back to the caller; plain
+/// modules ignore it entirely.
+struct InvocationContext {
+  /// 0-based retry attempt of this invocation (0 = first try).
+  int attempt = 0;
+  /// Virtual nanoseconds the callee charged for this attempt (injected
+  /// latency). The engine adds it to the invocation's deadline budget and
+  /// advances its virtual clock; without an engine the charge is dropped.
+  uint64_t charged_ns = 0;
+  /// The engine's virtual clock, for observation only; may be null when the
+  /// invocation did not come through an engine.
+  const VirtualClock* clock = nullptr;
+};
+
 /// A black-box scientific module. Invoke() either terminates normally and
 /// yields one value per output parameter, or fails:
 ///  * InvalidArgument — the input combination is not valid for the module
 ///    (Section 3.2: such combinations yield no data example);
-///  * Unavailable — the provider retired the module ("module volatility",
+///  * Decayed — the provider retired the module ("module volatility",
 ///    Section 6); retired modules keep their spec but cannot be invoked.
+///  * Transient / Timeout / Permanent — service faults surfaced by
+///    fault-aware modules; the engine's RetryPolicy dispatches on the code.
 class Module {
  public:
   virtual ~Module() = default;
@@ -86,6 +107,12 @@ class Module {
   /// absent optional inputs).
   Result<std::vector<Value>> Invoke(const std::vector<Value>& inputs) const;
 
+  /// Context-carrying variant used by the engine's retry loop: `context`
+  /// tells the module which attempt this is, and returns the virtual
+  /// latency the module charged.
+  Result<std::vector<Value>> Invoke(const std::vector<Value>& inputs,
+                                    InvocationContext& context) const;
+
   /// Ground truth for evaluation; nullptr when unknown.
   virtual const BehaviorGroundTruth* ground_truth() const { return nullptr; }
 
@@ -96,6 +123,14 @@ class Module {
   /// `inputs` has the right arity and structural types.
   virtual Result<std::vector<Value>> InvokeImpl(
       const std::vector<Value>& inputs) const = 0;
+
+  /// Context-aware behavior hook; the default ignores the context and
+  /// delegates to InvokeImpl. Fault-aware modules override this one.
+  virtual Result<std::vector<Value>> InvokeWithContext(
+      const std::vector<Value>& inputs, InvocationContext& context) const {
+    (void)context;
+    return InvokeImpl(inputs);
+  }
 
  private:
   ModuleSpec spec_;

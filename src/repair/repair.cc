@@ -6,6 +6,41 @@
 
 namespace dexa {
 
+Result<DecayScanReport> ScanForDecay(const ModuleRegistry& probe_registry,
+                                     const WorkflowCorpus& workflow_corpus,
+                                     InvocationEngine& engine,
+                                     ModuleRegistry* retire_in) {
+  DecayScanReport report;
+  for (const GeneratedWorkflow& item : workflow_corpus.items) {
+    auto enactment =
+        EnactResilient(item.workflow, probe_registry, item.seeds, engine);
+    if (!enactment.ok()) return enactment.status();
+    ++report.workflows_enacted;
+    if (!enactment->complete()) ++report.workflows_degraded;
+    for (const std::string& module_id : enactment->decayed_modules) {
+      bool known = false;
+      for (const std::string& existing : report.decayed_ids) {
+        if (existing == module_id) {
+          known = true;
+          break;
+        }
+      }
+      if (known) continue;
+      report.decayed_ids.push_back(module_id);
+      if (retire_in == nullptr) continue;
+      auto module = retire_in->Find(module_id);
+      // A decayed module absent from the retire target (e.g. a probe-only
+      // wrapper) is still reported, just not retired anywhere.
+      if (!module.ok()) continue;
+      if ((*module)->available()) {
+        (*module)->Retire();
+        ++report.newly_retired;
+      }
+    }
+  }
+  return report;
+}
+
 DataExampleSet ExamplesFromProvenance(const ProvenanceCorpus& provenance,
                                       const std::string& module_id) {
   DataExampleSet examples;

@@ -12,6 +12,8 @@
 
 namespace dexa {
 
+class InvocationEngine;
+
 /// The best substitute identified for one retired module.
 struct SubstituteCandidate {
   std::string candidate_id;  ///< "" when none was found.
@@ -30,6 +32,31 @@ struct MatchingReport {
   size_t with_none = 0;
   std::unordered_map<std::string, SubstituteCandidate> best;
 };
+
+/// What a decay scan over the workflow corpus observed.
+struct DecayScanReport {
+  size_t workflows_enacted = 0;
+  /// Enactments that lost at least one processor to a fault.
+  size_t workflows_degraded = 0;
+  /// Modules that failed with permanent-class errors during the scan,
+  /// deduplicated, in discovery order.
+  std::vector<std::string> decayed_ids;
+  /// Of those, modules flipped from available to retired in `retire_in`.
+  size_t newly_retired = 0;
+};
+
+/// Probes the workflow corpus for dynamic decay: every workflow is enacted
+/// resiliently through `probe_registry` (typically the live registry, or a
+/// fault-injecting wrapper of it) and modules that fail with permanent-
+/// class errors are collected. When `retire_in` is non-null, each decayed
+/// module found there and still marked available is retired, so the
+/// matching/repair pipeline (MatchRetiredModules + RepairWorkflows) picks
+/// it up exactly like a provider-announced withdrawal. Structural workflow
+/// errors abort the scan; faults do not.
+Result<DecayScanReport> ScanForDecay(const ModuleRegistry& probe_registry,
+                                     const WorkflowCorpus& workflow_corpus,
+                                     InvocationEngine& engine,
+                                     ModuleRegistry* retire_in = nullptr);
 
 /// Reconstructs data examples for a module from its provenance records
 /// (Section 6: "by trawling those provenance traces, we were able to

@@ -87,6 +87,132 @@ Result<EnactmentResult> Enact(const Workflow& workflow,
   return result;
 }
 
+Result<ResilientEnactmentResult> EnactResilient(
+    const Workflow& workflow, const ModuleRegistry& registry,
+    const std::vector<Value>& inputs, InvocationEngine& engine) {
+  if (inputs.size() != workflow.inputs.size()) {
+    return Status::InvalidArgument(
+        "workflow '" + workflow.name + "' expects " +
+        std::to_string(workflow.inputs.size()) + " inputs, got " +
+        std::to_string(inputs.size()));
+  }
+  auto order = TopologicalOrder(workflow);
+  if (!order.ok()) return order.status();
+
+  ResilientEnactmentResult result;
+  std::vector<std::vector<Value>> produced(workflow.processors.size());
+  // Processors that ran to completion; a skipped processor poisons its
+  // consumers transitively.
+  std::vector<bool> ran(workflow.processors.size(), false);
+
+  // Ok(value) when the source is live, NotFound when it comes from a
+  // skipped processor, other errors on structural problems.
+  auto resolve = [&](const PortSource& source) -> Result<Value> {
+    if (source.from_workflow_input()) {
+      if (source.port < 0 ||
+          static_cast<size_t>(source.port) >= inputs.size()) {
+        return Status::InvalidArgument("workflow input index out of range");
+      }
+      return inputs[static_cast<size_t>(source.port)];
+    }
+    if (source.processor < 0 ||
+        static_cast<size_t>(source.processor) >= produced.size()) {
+      return Status::InvalidArgument("source processor index out of range");
+    }
+    if (!ran[static_cast<size_t>(source.processor)]) {
+      return Status::NotFound("source processor was skipped");
+    }
+    const auto& values = produced[static_cast<size_t>(source.processor)];
+    if (source.port < 0 || static_cast<size_t>(source.port) >= values.size()) {
+      return Status::InvalidArgument("source output port out of range");
+    }
+    return values[static_cast<size_t>(source.port)];
+  };
+
+  auto note_decayed = [&](const std::string& module_id) {
+    for (const std::string& known : result.decayed_modules) {
+      if (known == module_id) return;
+    }
+    result.decayed_modules.push_back(module_id);
+  };
+
+  for (int p : *order) {
+    const Processor& processor =
+        workflow.processors[static_cast<size_t>(p)];
+    auto module = registry.Find(processor.module_id);
+    if (!module.ok()) return module.status();
+
+    std::vector<Value> module_inputs;
+    module_inputs.reserve(processor.input_sources.size());
+    bool upstream_skipped = false;
+    for (const PortSource& source : processor.input_sources) {
+      auto value = resolve(source);
+      if (value.ok()) {
+        module_inputs.push_back(std::move(value).value());
+        continue;
+      }
+      if (value.status().IsNotFound()) {
+        upstream_skipped = true;
+        break;
+      }
+      return value.status();
+    }
+    if (upstream_skipped) {
+      result.skipped_processors.push_back(processor.name);
+      continue;
+    }
+
+    auto outputs =
+        engine.Invoke(**module, module_inputs, EnginePhase::kEnact);
+    if (!outputs.ok()) {
+      const Status& status = outputs.status();
+      if (status.IsPermanentFailure()) {
+        // The module decayed under us: skip this step (and, transitively,
+        // its consumers) and report it as a repair candidate.
+        note_decayed(processor.module_id);
+        result.skipped_processors.push_back(processor.name);
+        continue;
+      }
+      if (status.IsRetryable()) {
+        // Transient fault the retry policy could not outlast: the step is
+        // lost this run, but the module itself is not condemned.
+        result.skipped_processors.push_back(processor.name);
+        continue;
+      }
+      // Structural (InvalidArgument, ...) or internal: a real failure.
+      return Status(status.code(),
+                    "workflow '" + workflow.name + "', processor '" +
+                        processor.name + "': " + status.message());
+    }
+
+    InvocationRecord record;
+    record.workflow_id = workflow.id;
+    record.processor_name = processor.name;
+    record.module_id = processor.module_id;
+    record.inputs = module_inputs;
+    record.outputs = *outputs;
+    result.invocations.push_back(std::move(record));
+
+    produced[static_cast<size_t>(p)] = std::move(outputs).value();
+    ran[static_cast<size_t>(p)] = true;
+  }
+
+  for (const WorkflowOutput& output : workflow.outputs) {
+    auto value = resolve(output.source);
+    if (value.ok()) {
+      result.outputs.push_back(std::move(value).value());
+      continue;
+    }
+    if (value.status().IsNotFound()) {
+      result.outputs.push_back(Value::Null());
+      ++result.missing_outputs;
+      continue;
+    }
+    return value.status();
+  }
+  return result;
+}
+
 Result<Workflow> ExtractSubWorkflow(
     const Workflow& workflow, const ModuleRegistry& registry,
     const std::vector<int>& processor_indices) {

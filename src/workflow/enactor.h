@@ -32,7 +32,9 @@ struct EnactmentResult {
 /// Enacts `workflow` on `inputs` (one value per workflow input), invoking
 /// modules from `registry` in topological order and threading values along
 /// the data links. Fails with:
-///  * Unavailable if any referenced module has been withdrawn;
+///  * Decayed if any referenced module has been withdrawn (or a permanent-
+///    class fault surfaces mid-run — see EnactResilient for the variant
+///    that degrades instead of failing);
 ///  * InvalidArgument if the workflow is malformed, `inputs` has the wrong
 ///    arity, or a module rejects its input combination.
 /// Provenance is captured for the invocations that did run.
@@ -51,6 +53,46 @@ Result<EnactmentResult> Enact(const Workflow& workflow,
 Result<EnactmentResult> Enact(const Workflow& workflow,
                               const ModuleRegistry& registry,
                               const std::vector<Value>& inputs);
+
+/// The result of a resilient enactment: the parts of the workflow that ran,
+/// plus an account of what decayed along the way.
+struct ResilientEnactmentResult {
+  /// One slot per workflow output, in declaration order. Slots fed by a
+  /// skipped processor hold Value::Null(); `missing_outputs` counts them.
+  std::vector<Value> outputs;
+  size_t missing_outputs = 0;
+
+  /// Provenance for the invocations that did run.
+  std::vector<InvocationRecord> invocations;
+
+  /// Module ids that failed with a permanent-class error (kPermanent /
+  /// kDecayed / kUnavailable — a withdrawn provider, a dead backend, or a
+  /// tripped circuit breaker), deduplicated, in topological encounter
+  /// order. These are repair candidates (see ScanForDecay).
+  std::vector<std::string> decayed_modules;
+
+  /// Processor names that did not run: either their module failed, or an
+  /// upstream dependency was skipped. Topological order.
+  std::vector<std::string> skipped_processors;
+
+  bool complete() const { return skipped_processors.empty(); }
+};
+
+/// Enacts `workflow` like Enact(), but degrades gracefully instead of
+/// failing when a module decays mid-run: the failing processor and every
+/// processor downstream of it are skipped, the surviving portion of the
+/// workflow still runs (with its provenance captured), and the decayed
+/// module ids are reported so the caller can hand them to the repair
+/// subsystem. Retryable failures that survive the engine's retry policy
+/// skip the processor without marking the module decayed.
+///
+/// Still fails on structural errors (malformed workflow, wrong input
+/// arity, InvalidArgument from a module rejecting its inputs): those are
+/// bugs in the workflow or corpus, not infrastructure decay.
+Result<ResilientEnactmentResult> EnactResilient(const Workflow& workflow,
+                                                const ModuleRegistry& registry,
+                                                const std::vector<Value>& inputs,
+                                                InvocationEngine& engine);
 
 /// Extracts the sub-workflow induced by `processor_indices` (Section 6:
 /// validating substitutes on sub-workflows). Dangling inputs — links from

@@ -173,7 +173,7 @@ TEST_F(CorpusTest, RetireDecayedModulesFlipsAvailability) {
   auto retired = fresh.registry->FindByName("soap_binfo");
   ASSERT_TRUE(retired.ok());
   EXPECT_TRUE(
-      (*retired)->Invoke({Value::Str("uniprot")}).status().IsUnavailable());
+      (*retired)->Invoke({Value::Str("uniprot")}).status().IsDecayed());
 }
 
 

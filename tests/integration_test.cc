@@ -5,6 +5,7 @@
 
 #include "core/coverage.h"
 #include "core/matcher.h"
+#include "engine/invocation_engine.h"
 #include "repair/repair.h"
 #include "tests/test_util.h"
 
@@ -30,7 +31,8 @@ TEST(IntegrationTest, ExamplesReplayDeterministically) {
     ModulePtr module = *env.corpus.registry->Find(id);
     for (const DataExample& example :
          env.corpus.registry->DataExamplesOf(id)) {
-      auto outputs = module->Invoke(example.inputs);
+      auto outputs =
+          InvocationEngine::Serial().Invoke(*module, example.inputs);
       ASSERT_TRUE(outputs.ok()) << module->spec().name;
       ASSERT_EQ(outputs->size(), example.outputs.size());
       for (size_t o = 0; o < outputs->size(); ++o) {
@@ -120,7 +122,7 @@ TEST(IntegrationTest, BrokenWorkflowsFailBeforeRepairAndRunAfter) {
   }
   ASSERT_NE(broken, nullptr);
   auto failed = Enact(broken->workflow, *env.corpus.registry, broken->seeds);
-  EXPECT_TRUE(failed.status().IsUnavailable());
+  EXPECT_TRUE(failed.status().IsDecayed());
 
   auto matching = MatchRetiredModules(env.corpus, env.provenance);
   ASSERT_TRUE(matching.ok());

@@ -53,13 +53,13 @@ TEST(ModuleTest, NullRejectedForRequiredInputs) {
   EXPECT_TRUE(echo->Invoke({Value::Null()}).status().IsInvalidArgument());
 }
 
-TEST(ModuleTest, RetiredModuleIsUnavailable) {
+TEST(ModuleTest, RetiredModuleIsDecayed) {
   Ontology onto = BuildMyGridOntology();
   ModulePtr echo = MakeEchoModule(onto);
   EXPECT_TRUE(echo->available());
   echo->Retire();
   EXPECT_FALSE(echo->available());
-  EXPECT_TRUE(echo->Invoke({Value::Str("x")}).status().IsUnavailable());
+  EXPECT_TRUE(echo->Invoke({Value::Str("x")}).status().IsDecayed());
 }
 
 TEST(ModuleTest, GroundTruthExposed) {

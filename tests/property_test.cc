@@ -8,6 +8,7 @@
 #include "core/coverage.h"
 #include "core/metrics.h"
 #include "corpus/behaviors.h"
+#include "engine/invocation_engine.h"
 #include "formats/sniffer.h"
 #include "kb/accessions.h"
 #include "kb/render.h"
@@ -54,7 +55,7 @@ TEST_P(ModuleAnnotationProperty, AnnotationInvariantsHold) {
           << spec.name << "." << spec.outputs[o].name;
     }
     // Replayability: the stored outputs are what the module still produces.
-    auto outputs = module->Invoke(example.inputs);
+    auto outputs = InvocationEngine::Serial().Invoke(*module, example.inputs);
     ASSERT_TRUE(outputs.ok()) << spec.name << ": " << outputs.status();
     for (size_t o = 0; o < outputs->size(); ++o) {
       EXPECT_EQ((*outputs)[o], example.outputs[o]) << spec.name;

@@ -165,7 +165,7 @@ TEST_F(WorkflowFixture, EnactPropagatesModuleErrors) {
 TEST_F(WorkflowFixture, EnactFailsOnRetiredModule) {
   (*registry_.Find("ex"))->Retire();
   auto result = Enact(Chain(), registry_, {Value::Str("abc")});
-  EXPECT_TRUE(result.status().IsUnavailable());
+  EXPECT_TRUE(result.status().IsDecayed());
   EXPECT_FALSE(IsEnactable(Chain(), registry_));
   EXPECT_EQ(UnavailableModules(Chain(), registry_),
             (std::vector<std::string>{"ex"}));

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the engine-facing tests under ThreadSanitizer and runs them.
 # The invocation engine is the only place dexa shares mutable state across
-# threads (work queue, concept cache, metrics), so engine_test plus
-# generator_test (which drives the engine through AnnotateRegistry) cover
-# the racy surface.
+# threads (work queue, concept cache, metrics, virtual clock, breaker map),
+# so engine_test and fault_test (retries, breakers and fault injection
+# under the pooled engine) plus generator_test (which drives the engine
+# through AnnotateRegistry) cover the racy surface.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 
@@ -13,10 +14,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DDEXA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target engine_test generator_test -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target engine_test generator_test fault_test -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/engine_test"
 "$BUILD_DIR/tests/generator_test"
+"$BUILD_DIR/tests/fault_test"
 
 echo "TSan check passed."

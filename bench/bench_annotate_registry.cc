@@ -55,6 +55,9 @@ AnnotateRun RunWithThreads(size_t threads) {
   auto annotated = AnnotateRegistry(generator, *corpus->registry);
   auto end = std::chrono::steady_clock::now();
   if (!annotated.ok()) Die("AnnotateRegistry", annotated.status());
+  if (!annotated->complete()) {
+    Die("AnnotateRegistry aborted", annotated->run_status);
+  }
   run.modules_annotated = annotated->annotated;
   run.elapsed_ms =
       std::chrono::duration<double, std::milli>(end - start).count();

@@ -38,6 +38,9 @@ const Environment& GetEnvironment() {
     ExampleGenerator generator(out->corpus.ontology.get(), out->pool.get());
     auto annotated = AnnotateRegistry(generator, *out->corpus.registry);
     if (!annotated.ok()) Die("AnnotateRegistry", annotated.status());
+    if (!annotated->complete()) {
+      Die("AnnotateRegistry aborted", annotated->run_status);
+    }
 
     Status retired = RetireDecayedModules(out->corpus);
     if (!retired.ok()) Die("RetireDecayedModules", retired);

@@ -70,6 +70,7 @@ SweepCell RunCell(const bench_env::Environment& env, double fault_rate,
   auto report = AnnotateRegistry(generator, **wrapped);
   auto end = std::chrono::steady_clock::now();
   if (!report.ok()) Die("AnnotateRegistry", report.status());
+  if (!report->complete()) Die("AnnotateRegistry aborted", report->run_status);
 
   cell.elapsed_ms =
       std::chrono::duration<double, std::milli>(end - start).count();

@@ -37,6 +37,10 @@ int main() {
     std::cerr << annotated.status() << "\n";
     return 1;
   }
+  if (!annotated->complete()) {
+    std::cerr << "annotation aborted: " << annotated->run_status << "\n";
+    return 1;
+  }
   std::cout << "Annotated " << annotated->annotated << " modules with data examples\n\n";
 
   CoverageAnalyzer analyzer(corpus->ontology.get());

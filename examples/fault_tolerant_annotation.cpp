@@ -70,7 +70,13 @@ int main() {
     return 1;
   }
 
-  EngineMetricsSnapshot metrics = engine->metrics().Snapshot();
+  // The report carries its own final metrics snapshot — filled even when a
+  // run aborts partway, so an aborted run's partial work is still
+  // accounted for.
+  const EngineMetricsSnapshot& metrics = report->metrics;
+  if (!report->complete()) {
+    std::cerr << "annotation aborted: " << report->run_status << "\n";
+  }
   TablePrinter table({"metric", "value"});
   table.AddRow({"modules annotated", std::to_string(report->annotated)});
   table.AddRow({"modules decayed", std::to_string(report->decayed)});

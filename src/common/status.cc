@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Decayed";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kCorrupted:
+      return "Corrupted";
   }
   return "Unknown";
 }

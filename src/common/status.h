@@ -51,6 +51,14 @@ enum class StatusCode {
   /// The invocation was abandoned before running (batch cancelled,
   /// admission denied for a reason other than decay).
   kCancelled = 11,
+
+  /// Persisted state failed its integrity check: a journal record whose
+  /// CRC32 does not match its payload, a torn (truncated) record frame, or
+  /// a structurally truncated snapshot. Unlike kParseError (malformed but
+  /// complete input), kCorrupted means previously valid bytes were damaged
+  /// in flight or at rest; recovery discards the damaged tail and resumes
+  /// from the last record that checks out.
+  kCorrupted = 12,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -100,6 +108,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Corrupted(std::string msg) {
+    return Status(StatusCode::kCorrupted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -118,6 +129,7 @@ class Status {
   bool IsPermanent() const { return code_ == StatusCode::kPermanent; }
   bool IsDecayed() const { return code_ == StatusCode::kDecayed; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsCorrupted() const { return code_ == StatusCode::kCorrupted; }
 
   /// True for the transient error class: retrying the same invocation may
   /// succeed. The engine's RetryPolicy dispatches on this predicate.

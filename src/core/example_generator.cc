@@ -201,16 +201,24 @@ Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
     Result<GenerationOutcome>& outcome = *outcomes[i];
     if (!outcome.ok()) {
       // Generate() degrades gracefully on module faults, so a failed
-      // outcome is an internal error — those still abort the run.
-      return outcome.status();
+      // outcome is an internal error — those still abort the run. The
+      // report survives the abort: its counters cover the committed prefix
+      // and run_status carries the cause.
+      report.run_status = outcome.status();
+      break;
     }
-    report.transient_exhausted += outcome->stats.transient_exhausted;
-    report.examples += outcome->examples.size();
     // A decayed module keeps its partial example set: an incomplete
     // annotation still supports matching and repair (Sections 5-6), and the
     // module is reported as a repair candidate instead of aborting the run.
-    DEXA_RETURN_IF_ERROR(registry.SetDataExamples(
-        modules[i]->spec().id, std::move(outcome->examples)));
+    size_t examples = outcome->examples.size();
+    Status committed = registry.SetDataExamples(
+        modules[i]->spec().id, std::move(outcome->examples));
+    if (!committed.ok()) {
+      report.run_status = committed;
+      break;
+    }
+    report.transient_exhausted += outcome->stats.transient_exhausted;
+    report.examples += examples;
     if (outcome->stats.decayed) {
       ++report.decayed;
       report.decayed_ids.push_back(modules[i]->spec().id);
@@ -218,6 +226,7 @@ Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
       ++report.annotated;
     }
   }
+  report.metrics = generator.engine().metrics().Snapshot();
   return report;
 }
 

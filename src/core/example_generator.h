@@ -138,6 +138,22 @@ struct AnnotateReport {
   /// Ids of the decayed modules, in registration order — candidates for the
   /// repair subsystem.
   std::vector<std::string> decayed_ids;
+
+  /// Modules served from a durable journal instead of being re-invoked
+  /// (always 0 for non-durable runs).
+  size_t replayed = 0;
+
+  /// Final engine counters, captured even when the run aborts partway —
+  /// a crashed run's report still accounts for the work it did.
+  EngineMetricsSnapshot metrics;
+
+  /// OK for runs that committed every module; otherwise the cause of the
+  /// abort (kCancelled for an injected crash, kInternal for a generator
+  /// bug, an IO error from the journal, ...). The counters above cover
+  /// whatever committed before the abort.
+  Status run_status;
+
+  bool complete() const { return run_status.ok(); }
 };
 
 /// Runs `generator` over every available module of `registry` and stores

@@ -66,6 +66,20 @@ Result<std::vector<Value>> FaultInjector::InvokeWithContext(
   return inner_->Invoke(inputs, context);
 }
 
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kNone:
+      return "none";
+    case CrashPoint::kCrashBeforeCommit:
+      return "before-commit";
+    case CrashPoint::kCrashAfterCommit:
+      return "after-commit";
+    case CrashPoint::kTornWrite:
+      return "torn-write";
+  }
+  return "unknown";
+}
+
 Result<std::unique_ptr<ModuleRegistry>> WrapRegistryWithFaults(
     const ModuleRegistry& registry, const FaultProfile& profile,
     EngineMetrics* metrics) {

@@ -56,6 +56,47 @@ struct FaultProfile {
   uint64_t decay_after = 0;
 };
 
+/// Where, relative to a durable commit, an injected crash lands. The crash
+/// is simulated in-process: the durable run loop stops as if the process
+/// had died, and for kTornWrite the journal tail is additionally damaged
+/// (truncated + bit-flipped) the way a half-flushed write would leave it.
+enum class CrashPoint {
+  kNone = 0,
+  /// Die before the chosen unit's commit record is appended: recovery must
+  /// re-invoke that unit (and everything after it).
+  kCrashBeforeCommit,
+  /// Die right after the commit record is flushed: recovery must replay the
+  /// unit from the journal without re-invoking it.
+  kCrashAfterCommit,
+  /// Die mid-append: the commit record lands torn (truncated/flipped
+  /// bytes), so recovery must detect the damage via CRC32, discard the
+  /// tail, and re-invoke the unit.
+  kTornWrite,
+};
+
+/// A deterministic crash plan for one durable run: crash at `point`
+/// relative to the commit of the unit keyed `key` (a module id for
+/// annotation runs, a module id of a processor for enactments). The torn
+/// variant draws its damage positions from `seed`, truncating
+/// `torn_truncate_bytes` and flipping `torn_flips` bytes near the journal
+/// tail. kNone plans are inert, so the plan can be threaded through
+/// unconditionally.
+struct CrashPlan {
+  CrashPoint point = CrashPoint::kNone;
+  std::string key;
+  uint64_t seed = 0xC4A5;
+  int torn_flips = 2;
+  size_t torn_truncate_bytes = 5;
+
+  bool armed() const { return point != CrashPoint::kNone; }
+  bool Matches(const std::string& unit_key) const {
+    return armed() && key == unit_key;
+  }
+};
+
+/// Human-readable name of a crash point ("before-commit", ...).
+const char* CrashPointName(CrashPoint point);
+
 /// Wraps any module with a deterministic fault profile. The injector
 /// presents the wrapped module's exact spec and ground truth, decides per
 /// attempt whether to fail (and how, on the typed Status taxonomy), charges

@@ -1,0 +1,268 @@
+#include "durability/commit_codec.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace dexa {
+
+namespace {
+
+constexpr const char* kAnnotateHeaderKind = "run annotate";
+constexpr const char* kModuleCommitKind = "commit module";
+constexpr const char* kEnactHeaderKind = "run enact";
+constexpr const char* kStepCommitKind = "commit step";
+
+Result<uint64_t> ParseU64(const std::string& text, const char* what) {
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError(std::string("malformed ") + what + " '" +
+                                text + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (text.empty()) {
+    return Status::ParseError(std::string("empty ") + what);
+  }
+  return value;
+}
+
+/// `key value` line with the given key, or ParseError.
+Result<std::string> ExpectField(const std::vector<std::string>& lines,
+                                size_t index, const std::string& key) {
+  if (index >= lines.size() || !StartsWith(lines[index], key + " ")) {
+    return Status::ParseError("journal record missing '" + key + "' field");
+  }
+  return lines[index].substr(key.size() + 1);
+}
+
+}  // namespace
+
+uint64_t AnnotateConfigFingerprint(const ModuleRegistry& registry,
+                                   const GeneratorOptions& options) {
+  uint64_t fp = StableHash64("dexa annotate v1");
+  for (const ModulePtr& module : registry.AvailableModules()) {
+    fp = HashCombine(fp, StableHash64(module->spec().id));
+  }
+  fp = HashCombine(fp, static_cast<uint64_t>(options.max_combinations));
+  fp = HashCombine(fp, static_cast<uint64_t>(options.use_realization));
+  fp = HashCombine(fp, static_cast<uint64_t>(options.full_cartesian));
+  fp = HashCombine(fp,
+                   static_cast<uint64_t>(options.include_null_for_optional));
+  return fp;
+}
+
+std::string EncodeAnnotateRunHeader(const AnnotateRunHeader& header) {
+  std::string out = std::string(kAnnotateHeaderKind) + "\n";
+  out += "modules " + std::to_string(header.modules) + "\n";
+  out += "fingerprint " + std::to_string(header.fingerprint) + "\n";
+  return out;
+}
+
+Result<AnnotateRunHeader> DecodeAnnotateRunHeader(const std::string& payload) {
+  std::vector<std::string> lines = SplitLines(payload);
+  if (lines.empty() || lines[0] != kAnnotateHeaderKind) {
+    return Status::ParseError("not an annotate run header record");
+  }
+  AnnotateRunHeader header;
+  auto modules = ExpectField(lines, 1, "modules");
+  if (!modules.ok()) return modules.status();
+  auto count = ParseU64(*modules, "module count");
+  if (!count.ok()) return count.status();
+  header.modules = *count;
+  auto fingerprint = ExpectField(lines, 2, "fingerprint");
+  if (!fingerprint.ok()) return fingerprint.status();
+  auto fp = ParseU64(*fingerprint, "fingerprint");
+  if (!fp.ok()) return fp.status();
+  header.fingerprint = *fp;
+  return header;
+}
+
+std::string EncodeModuleCommit(const ModuleCommit& commit,
+                               const Ontology& ontology) {
+  std::string out = std::string(kModuleCommitKind) + "\n";
+  out += "id " + commit.module_id + "\n";
+  out += "decayed " + std::to_string(commit.decayed ? 1 : 0) + "\n";
+  out += "transient_exhausted " + std::to_string(commit.transient_exhausted) +
+         "\n";
+  for (const DataExample& example : commit.examples) {
+    out += "example\n";
+    for (size_t i = 0; i < example.inputs.size(); ++i) {
+      ConceptId partition = i < example.input_partitions.size()
+                                ? example.input_partitions[i]
+                                : kInvalidConcept;
+      out += "in ";
+      out += partition == kInvalidConcept ? "-" : ontology.NameOf(partition);
+      out += " " + example.inputs[i].ToString() + "\n";
+    }
+    for (const Value& output : example.outputs) {
+      out += "out " + output.ToString() + "\n";
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+Result<ModuleCommit> DecodeModuleCommit(const std::string& payload,
+                                        const Ontology& ontology) {
+  std::vector<std::string> lines = SplitLines(payload);
+  if (lines.empty() || lines[0] != kModuleCommitKind) {
+    return Status::ParseError("not a module commit record");
+  }
+  ModuleCommit commit;
+  auto id = ExpectField(lines, 1, "id");
+  if (!id.ok()) return id.status();
+  commit.module_id = *id;
+  auto decayed = ExpectField(lines, 2, "decayed");
+  if (!decayed.ok()) return decayed.status();
+  commit.decayed = *decayed == "1";
+  auto exhausted = ExpectField(lines, 3, "transient_exhausted");
+  if (!exhausted.ok()) return exhausted.status();
+  auto count = ParseU64(*exhausted, "transient_exhausted");
+  if (!count.ok()) return count.status();
+  commit.transient_exhausted = *count;
+
+  DataExample example;
+  bool in_example = false;
+  for (size_t n = 4; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("module commit line " + std::to_string(n + 1) +
+                                ": " + msg);
+    };
+    if (line.empty()) continue;
+    if (line == "example") {
+      if (in_example) return err("nested example");
+      in_example = true;
+      example = DataExample();
+    } else if (StartsWith(line, "in ")) {
+      if (!in_example) return err("'in' outside an example");
+      std::string rest = line.substr(3);
+      size_t space = rest.find(' ');
+      if (space == std::string::npos) return err("malformed 'in' line");
+      std::string concept_name = rest.substr(0, space);
+      ConceptId partition = kInvalidConcept;
+      if (concept_name != "-") {
+        partition = ontology.Find(concept_name);
+        if (partition == kInvalidConcept) {
+          return err("unknown concept '" + concept_name + "'");
+        }
+      }
+      auto value = Value::Parse(rest.substr(space + 1));
+      if (!value.ok()) return err(value.status().ToString());
+      example.inputs.push_back(std::move(value).value());
+      example.input_partitions.push_back(partition);
+    } else if (StartsWith(line, "out ")) {
+      if (!in_example) return err("'out' outside an example");
+      auto value = Value::Parse(line.substr(4));
+      if (!value.ok()) return err(value.status().ToString());
+      example.outputs.push_back(std::move(value).value());
+    } else if (line == "end") {
+      if (!in_example) return err("'end' outside an example");
+      in_example = false;
+      commit.examples.push_back(std::move(example));
+    } else {
+      return err("unrecognized line '" + line + "'");
+    }
+  }
+  if (in_example) {
+    return Status::ParseError("module commit record ends inside an example");
+  }
+  return commit;
+}
+
+uint64_t EnactConfigFingerprint(const std::string& workflow_id,
+                                const std::vector<Value>& inputs) {
+  uint64_t fp = StableHash64("dexa enact v1");
+  fp = HashCombine(fp, StableHash64(workflow_id));
+  for (const Value& input : inputs) fp = HashCombine(fp, input.Hash());
+  return fp;
+}
+
+std::string EncodeEnactRunHeader(const EnactRunHeader& header) {
+  std::string out = std::string(kEnactHeaderKind) + "\n";
+  out += "workflow " + header.workflow_id + "\n";
+  out += "processors " + std::to_string(header.processors) + "\n";
+  out += "fingerprint " + std::to_string(header.fingerprint) + "\n";
+  return out;
+}
+
+Result<EnactRunHeader> DecodeEnactRunHeader(const std::string& payload) {
+  std::vector<std::string> lines = SplitLines(payload);
+  if (lines.empty() || lines[0] != kEnactHeaderKind) {
+    return Status::ParseError("not an enact run header record");
+  }
+  EnactRunHeader header;
+  auto workflow = ExpectField(lines, 1, "workflow");
+  if (!workflow.ok()) return workflow.status();
+  header.workflow_id = *workflow;
+  auto processors = ExpectField(lines, 2, "processors");
+  if (!processors.ok()) return processors.status();
+  auto count = ParseU64(*processors, "processor count");
+  if (!count.ok()) return count.status();
+  header.processors = *count;
+  auto fingerprint = ExpectField(lines, 3, "fingerprint");
+  if (!fingerprint.ok()) return fingerprint.status();
+  auto fp = ParseU64(*fingerprint, "fingerprint");
+  if (!fp.ok()) return fp.status();
+  header.fingerprint = *fp;
+  return header;
+}
+
+std::string EncodeStepCommit(const StepCommit& commit) {
+  std::string out = std::string(kStepCommitKind) + "\n";
+  out += "processor " + std::to_string(commit.processor) + "\n";
+  out += "workflow " + commit.record.workflow_id + "\n";
+  out += "name " + commit.record.processor_name + "\n";
+  out += "module " + commit.record.module_id + "\n";
+  for (const Value& input : commit.record.inputs) {
+    out += "in " + input.ToString() + "\n";
+  }
+  for (const Value& output : commit.record.outputs) {
+    out += "out " + output.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<StepCommit> DecodeStepCommit(const std::string& payload) {
+  std::vector<std::string> lines = SplitLines(payload);
+  if (lines.empty() || lines[0] != kStepCommitKind) {
+    return Status::ParseError("not a step commit record");
+  }
+  StepCommit commit;
+  auto processor = ExpectField(lines, 1, "processor");
+  if (!processor.ok()) return processor.status();
+  auto index = ParseU64(*processor, "processor index");
+  if (!index.ok()) return index.status();
+  commit.processor = static_cast<int>(*index);
+  auto workflow = ExpectField(lines, 2, "workflow");
+  if (!workflow.ok()) return workflow.status();
+  commit.record.workflow_id = *workflow;
+  auto name = ExpectField(lines, 3, "name");
+  if (!name.ok()) return name.status();
+  commit.record.processor_name = *name;
+  auto module = ExpectField(lines, 4, "module");
+  if (!module.ok()) return module.status();
+  commit.record.module_id = *module;
+  for (size_t n = 5; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    if (line.empty()) continue;
+    if (StartsWith(line, "in ")) {
+      auto value = Value::Parse(line.substr(3));
+      if (!value.ok()) return value.status();
+      commit.record.inputs.push_back(std::move(value).value());
+    } else if (StartsWith(line, "out ")) {
+      auto value = Value::Parse(line.substr(4));
+      if (!value.ok()) return value.status();
+      commit.record.outputs.push_back(std::move(value).value());
+    } else {
+      return Status::ParseError("step commit: unrecognized line '" + line +
+                                "'");
+    }
+  }
+  return commit;
+}
+
+}  // namespace dexa

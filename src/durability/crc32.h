@@ -1,0 +1,23 @@
+#ifndef DEXA_DURABILITY_CRC32_H_
+#define DEXA_DURABILITY_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dexa {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320), computed with a
+/// process-lifetime lookup table. Used to checksum every record of the
+/// write-ahead journal so recovery can tell a torn or bit-flipped tail from
+/// a valid one. Not a substitute for cryptographic integrity — it detects
+/// accidental corruption (partial writes, flipped bits), which is the
+/// failure model of a crashed annotation run.
+uint32_t Crc32(std::string_view bytes);
+
+/// Incremental form: feed `bytes` into a running checksum (`crc` is the
+/// value returned by a previous call, or 0 to start).
+uint32_t Crc32Update(uint32_t crc, std::string_view bytes);
+
+}  // namespace dexa
+
+#endif  // DEXA_DURABILITY_CRC32_H_

@@ -1,0 +1,195 @@
+#include "durability/durable_annotate.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "durability/commit_codec.h"
+
+namespace dexa {
+
+namespace {
+
+/// Parses and validates the committed prefix of a recovered journal against
+/// the run about to resume: header fingerprint must match, and the commit
+/// records must be a prefix of the registration order (the sequential
+/// commit phase guarantees they were written that way).
+Result<std::vector<ModuleCommit>> ValidateResume(
+    const JournalRecovery& recovery, const std::vector<ModulePtr>& modules,
+    const ModuleRegistry& registry, const GeneratorOptions& options,
+    const Ontology& ontology) {
+  if (recovery.records.empty()) {
+    // Nothing committed (the crash beat even the header): resume is just a
+    // fresh run.
+    return std::vector<ModuleCommit>{};
+  }
+  auto header = DecodeAnnotateRunHeader(recovery.records[0]);
+  if (!header.ok()) {
+    return Status::Corrupted("journal's first record is not a run header: " +
+                             header.status().message());
+  }
+  const uint64_t fingerprint = AnnotateConfigFingerprint(registry, options);
+  if (header->fingerprint != fingerprint ||
+      header->modules != modules.size()) {
+    return Status::InvalidArgument(
+        "journal belongs to a different run configuration (fingerprint " +
+        std::to_string(header->fingerprint) + " vs " +
+        std::to_string(fingerprint) + ")");
+  }
+  std::vector<ModuleCommit> committed;
+  committed.reserve(recovery.records.size() - 1);
+  for (size_t r = 1; r < recovery.records.size(); ++r) {
+    auto commit = DecodeModuleCommit(recovery.records[r], ontology);
+    if (!commit.ok()) {
+      return Status::Corrupted("journal record " + std::to_string(r) +
+                               " is not a module commit: " +
+                               commit.status().message());
+    }
+    const size_t index = committed.size();
+    if (index >= modules.size() ||
+        commit->module_id != modules[index]->spec().id) {
+      return Status::Corrupted(
+          "journal commit order diverges from registration order at record " +
+          std::to_string(r) + " ('" + commit->module_id + "')");
+    }
+    committed.push_back(std::move(commit).value());
+  }
+  return committed;
+}
+
+}  // namespace
+
+Result<AnnotateReport> AnnotateRegistryDurable(
+    const ExampleGenerator& generator, ModuleRegistry& registry,
+    const Ontology& ontology, RunJournal& journal,
+    const DurableAnnotateOptions& options) {
+  const std::vector<ModulePtr> modules = registry.AvailableModules();
+  InvocationEngine& engine = generator.engine();
+
+  std::vector<ModuleCommit> committed;
+  if (options.resume != nullptr) {
+    auto validated = ValidateResume(*options.resume, modules, registry,
+                                    generator.options(), ontology);
+    if (!validated.ok()) return validated.status();
+    committed = std::move(validated).value();
+  }
+
+  // Route commits through the engine's ordered commit hook into the
+  // journal; cleared on every exit path so the journal does not outlive
+  // this run inside a shared engine.
+  engine.SetCommitHook([&journal](uint64_t, const std::string& payload) {
+    return journal.Append(payload);
+  });
+  struct HookClearer {
+    InvocationEngine* engine;
+    ~HookClearer() { engine->SetCommitHook(nullptr); }
+  } clearer{&engine};
+
+  AnnotateReport report;
+  if (committed.empty()) {
+    AnnotateRunHeader header;
+    header.modules = modules.size();
+    header.fingerprint =
+        AnnotateConfigFingerprint(registry, generator.options());
+    Status appended = engine.Commit(EncodeAnnotateRunHeader(header));
+    if (!appended.ok()) return appended;
+  }
+
+  // Replay the committed prefix: served from the journal, not re-invoked.
+  for (const ModuleCommit& commit : committed) {
+    size_t examples = commit.examples.size();
+    DEXA_RETURN_IF_ERROR(
+        registry.SetDataExamples(commit.module_id, commit.examples));
+    report.transient_exhausted += commit.transient_exhausted;
+    report.examples += examples;
+    if (commit.decayed) {
+      ++report.decayed;
+      report.decayed_ids.push_back(commit.module_id);
+    } else {
+      ++report.annotated;
+    }
+    ++report.replayed;
+    engine.metrics().RecordModuleReplayed();
+  }
+
+  // Generate the remainder concurrently; outcomes are schedule-independent
+  // so this fan-out cannot perturb the byte-identical-resume contract.
+  const size_t start = committed.size();
+  std::vector<std::optional<Result<GenerationOutcome>>> outcomes(
+      modules.size());
+  engine.ForEach(modules.size() - start, [&](size_t k) {
+    outcomes[start + k] = generator.Generate(*modules[start + k]);
+  });
+
+  // Sequential commit phase, registration order: journal record first
+  // (write-ahead), then the registry — with the crash plan consulted at
+  // each unit the way a real crash would interleave with the appends.
+  const CrashPlan& crash = options.crash;
+  for (size_t i = start; i < modules.size(); ++i) {
+    const std::string& id = modules[i]->spec().id;
+    if (crash.point == CrashPoint::kCrashBeforeCommit && crash.Matches(id)) {
+      report.run_status = Status::Cancelled(
+          "crash injected before commit of module '" + id + "'");
+      break;
+    }
+
+    Result<GenerationOutcome>& outcome = *outcomes[i];
+    if (!outcome.ok()) {
+      report.run_status = outcome.status();
+      break;
+    }
+
+    ModuleCommit commit;
+    commit.module_id = id;
+    commit.decayed = outcome->stats.decayed;
+    commit.transient_exhausted = outcome->stats.transient_exhausted;
+    commit.examples = std::move(outcome->examples);
+
+    Status appended = engine.Commit(EncodeModuleCommit(commit, ontology));
+    if (!appended.ok()) {
+      report.run_status = appended;
+      break;
+    }
+
+    size_t examples = commit.examples.size();
+    Status stored =
+        registry.SetDataExamples(id, std::move(commit.examples));
+    if (!stored.ok()) {
+      report.run_status = stored;
+      break;
+    }
+    report.transient_exhausted += commit.transient_exhausted;
+    report.examples += examples;
+    if (commit.decayed) {
+      ++report.decayed;
+      report.decayed_ids.push_back(id);
+    } else {
+      ++report.annotated;
+    }
+    engine.metrics().RecordModuleReinvoked();
+
+    if (crash.Matches(id)) {
+      if (crash.point == CrashPoint::kCrashAfterCommit) {
+        report.run_status = Status::Cancelled(
+            "crash injected after commit of module '" + id + "'");
+        break;
+      }
+      if (crash.point == CrashPoint::kTornWrite) {
+        // The record for `id` lands half-written: seal the stream, then
+        // damage the tail the way an interrupted flush would.
+        DEXA_RETURN_IF_ERROR(journal.Seal());
+        DEXA_RETURN_IF_ERROR(TearJournalTail(journal.dir(), crash.seed,
+                                             crash.torn_flips,
+                                             crash.torn_truncate_bytes));
+        report.run_status = Status::Cancelled(
+            "torn-write crash injected at commit of module '" + id + "'");
+        break;
+      }
+    }
+  }
+
+  report.metrics = engine.metrics().Snapshot();
+  return report;
+}
+
+}  // namespace dexa

@@ -1,0 +1,40 @@
+#ifndef DEXA_DURABILITY_DURABLE_ENACT_H_
+#define DEXA_DURABILITY_DURABLE_ENACT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/fault_injector.h"
+#include "durability/journal.h"
+#include "workflow/enactor.h"
+#include "workflow/workflow.h"
+
+namespace dexa {
+
+/// Knobs of a durable (journaled) resilient enactment.
+struct DurableEnactOptions {
+  /// When set, steps committed by the crashed run are served from the
+  /// journal (outputs and provenance re-emitted, modules not re-invoked)
+  /// and enactment continues from the first uncommitted step.
+  const JournalRecovery* resume = nullptr;
+
+  /// In-process crash injection, keyed on the module id of the step being
+  /// committed. An armed plan makes the call fail with kCancelled (for the
+  /// torn variant, after damaging the journal tail).
+  CrashPlan crash;
+};
+
+/// EnactResilient with a write-ahead journal: every completed step is
+/// appended to `journal` before its outputs feed downstream processors, so
+/// a killed enactment resumes from the last committed step. Outputs and
+/// provenance of a resumed enactment are byte-identical to an
+/// uninterrupted one (module outcomes are deterministic given their
+/// inputs; replayed steps carry their recorded outputs).
+Result<ResilientEnactmentResult> EnactResilientDurable(
+    const Workflow& workflow, const ModuleRegistry& registry,
+    const std::vector<Value>& inputs, InvocationEngine& engine,
+    RunJournal& journal, const DurableEnactOptions& options = {});
+
+}  // namespace dexa
+
+#endif  // DEXA_DURABILITY_DURABLE_ENACT_H_

@@ -1,0 +1,321 @@
+#include "durability/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "durability/crc32.h"
+
+namespace dexa {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kRecordMagic0 = 'D';
+constexpr char kRecordMagic1 = 'R';
+
+std::string SegmentName(size_t index) {
+  return "wal-" + ZeroPad(index, 5) + ".seg";
+}
+
+/// Sorted paths of the journal segments in `dir` (lexicographic order of
+/// the zero-padded names is append order).
+Result<std::vector<fs::path>> ListSegments(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("journal directory '" + dir + "' does not exist");
+  }
+  std::vector<fs::path> segments;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (StartsWith(name, "wal-") && EndsWith(name, ".seg")) {
+      segments.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::Internal("cannot list journal directory '" + dir +
+                            "': " + ec.message());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+void PutU32Le(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32Le(std::string_view bytes, size_t at) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(bytes[at])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[at + 1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[at + 2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[at + 3])) << 24;
+}
+
+Result<std::string> ReadWholeFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Internal("cannot read journal segment '" + path.string() +
+                            "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+SegmentScan ScanSegment(std::string_view bytes) {
+  SegmentScan scan;
+  if (bytes.size() < kJournalSegmentMagicLen ||
+      bytes.substr(0, kJournalSegmentMagicLen) !=
+          std::string_view(kJournalSegmentMagic, kJournalSegmentMagicLen)) {
+    scan.status = Status::Corrupted("segment header magic missing or damaged");
+    return scan;
+  }
+  size_t at = kJournalSegmentMagicLen;
+  scan.valid_bytes = at;
+  while (at < bytes.size()) {
+    const size_t remaining = bytes.size() - at;
+    if (remaining < kJournalFrameOverhead) {
+      scan.status = Status::Corrupted(
+          "torn record frame: " + std::to_string(remaining) +
+          " trailing byte(s), frame needs " +
+          std::to_string(kJournalFrameOverhead));
+      return scan;
+    }
+    if (bytes[at] != kRecordMagic0 || bytes[at + 1] != kRecordMagic1) {
+      scan.status = Status::Corrupted("record magic damaged at offset " +
+                                      std::to_string(at));
+      return scan;
+    }
+    const uint32_t length = GetU32Le(bytes, at + 2);
+    const uint32_t crc = GetU32Le(bytes, at + 6);
+    if (length > remaining - kJournalFrameOverhead) {
+      scan.status = Status::Corrupted(
+          "torn record at offset " + std::to_string(at) + ": length " +
+          std::to_string(length) + " overruns the segment");
+      return scan;
+    }
+    std::string_view payload =
+        bytes.substr(at + kJournalFrameOverhead, length);
+    if (Crc32(payload) != crc) {
+      scan.status = Status::Corrupted("CRC32 mismatch at offset " +
+                                      std::to_string(at));
+      return scan;
+    }
+    scan.records.emplace_back(payload);
+    at += kJournalFrameOverhead + length;
+    scan.valid_bytes = at;
+  }
+  scan.status = Status::OK();
+  return scan;
+}
+
+Result<JournalRecovery> RecoverJournal(const std::string& dir,
+                                       EngineMetrics* metrics) {
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+
+  JournalRecovery recovery;
+  for (size_t s = 0; s < segments->size(); ++s) {
+    auto bytes = ReadWholeFile((*segments)[s]);
+    if (!bytes.ok()) return bytes.status();
+    ++recovery.segments_scanned;
+    SegmentScan scan = ScanSegment(*bytes);
+    for (std::string& record : scan.records) {
+      recovery.records.push_back(std::move(record));
+    }
+    if (scan.status.ok()) continue;
+
+    // Damage: everything from the first bad byte on — including any later
+    // segments — is the discarded tail.
+    recovery.tail_status = Status::Corrupted(
+        "segment '" + (*segments)[s].filename().string() +
+        "': " + scan.status.message());
+    recovery.damaged_segment = s;
+    recovery.damaged_segment_valid_bytes = scan.valid_bytes;
+    recovery.bytes_discarded = bytes->size() - scan.valid_bytes;
+    for (size_t later = s + 1; later < segments->size(); ++later) {
+      std::error_code ec;
+      recovery.bytes_discarded += fs::file_size((*segments)[later], ec);
+      ++recovery.segments_scanned;
+    }
+    if (metrics != nullptr) metrics->RecordTornTailDiscard();
+    break;
+  }
+  return recovery;
+}
+
+Status RunJournal::OpenSegment(size_t index, bool fresh) {
+  const fs::path path = fs::path(dir_) / SegmentName(index);
+  out_.open(path, std::ios::binary |
+                      (fresh ? std::ios::trunc : std::ios::app));
+  if (!out_) {
+    return Status::Internal("cannot open journal segment '" + path.string() +
+                            "'");
+  }
+  if (fresh) {
+    out_.write(kJournalSegmentMagic,
+               static_cast<std::streamsize>(kJournalSegmentMagicLen));
+    out_.flush();
+    if (!out_) {
+      return Status::Internal("cannot write journal segment header to '" +
+                              path.string() + "'");
+    }
+  }
+  segment_open_ = true;
+  segment_index_ = index;
+  segment_payload_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<RunJournal> RunJournal::Create(const std::string& dir,
+                                      JournalOptions options,
+                                      EngineMetrics* metrics) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create journal directory '" + dir +
+                            "': " + ec.message());
+  }
+  // A fresh journal owns the directory's WAL namespace: stale segments of a
+  // previous run would otherwise replay into this one.
+  auto stale = ListSegments(dir);
+  if (!stale.ok()) return stale.status();
+  for (const fs::path& segment : *stale) fs::remove(segment, ec);
+
+  RunJournal journal;
+  journal.dir_ = dir;
+  journal.options_ = options;
+  journal.metrics_ = metrics;
+  DEXA_RETURN_IF_ERROR(journal.OpenSegment(0, /*fresh=*/true));
+  return journal;
+}
+
+Result<RunJournal> RunJournal::Resume(const std::string& dir,
+                                      const JournalRecovery& recovery,
+                                      JournalOptions options,
+                                      EngineMetrics* metrics) {
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+  if (segments->empty()) {
+    return Status::NotFound("no journal segments in '" + dir + "' to resume");
+  }
+
+  std::error_code ec;
+  size_t next_index = segments->size();
+  if (recovery.tail_discarded()) {
+    // Truncate the damaged segment back to its valid prefix and drop every
+    // segment after it — the journal must be a valid prefix before new
+    // records land behind it.
+    const fs::path& damaged = (*segments)[recovery.damaged_segment];
+    if (recovery.damaged_segment_valid_bytes < kJournalSegmentMagicLen) {
+      // Even the header is damaged: the segment holds no valid records, and
+      // a truncated stub would read as damage forever. Drop it whole.
+      fs::remove(damaged, ec);
+    } else {
+      fs::resize_file(damaged, recovery.damaged_segment_valid_bytes, ec);
+    }
+    if (ec) {
+      return Status::Internal("cannot truncate damaged segment '" +
+                              damaged.string() + "': " + ec.message());
+    }
+    for (size_t s = recovery.damaged_segment + 1; s < segments->size(); ++s) {
+      fs::remove((*segments)[s], ec);
+    }
+    next_index = recovery.damaged_segment + 1;
+  }
+
+  RunJournal journal;
+  journal.dir_ = dir;
+  journal.options_ = options;
+  journal.metrics_ = metrics;
+  // Appends of the resumed run go into a fresh segment after the last valid
+  // one; the crashed run's segments are sealed history.
+  DEXA_RETURN_IF_ERROR(journal.OpenSegment(next_index, /*fresh=*/true));
+  return journal;
+}
+
+Status RunJournal::Append(std::string_view payload) {
+  if (!segment_open_) {
+    DEXA_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1, /*fresh=*/true));
+  } else if (segment_payload_bytes_ >= options_.segment_bytes) {
+    DEXA_RETURN_IF_ERROR(Seal());
+    DEXA_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1, /*fresh=*/true));
+  }
+
+  std::string frame;
+  frame.reserve(kJournalFrameOverhead + payload.size());
+  frame.push_back(kRecordMagic0);
+  frame.push_back(kRecordMagic1);
+  PutU32Le(frame, static_cast<uint32_t>(payload.size()));
+  PutU32Le(frame, Crc32(payload));
+  frame.append(payload);
+
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    return Status::Internal("journal append failed in segment " +
+                            std::to_string(segment_index_));
+  }
+  segment_payload_bytes_ += frame.size();
+  ++records_appended_;
+  if (metrics_ != nullptr) metrics_->RecordJournalRecord();
+  return Status::OK();
+}
+
+Status RunJournal::Seal() {
+  if (!segment_open_) return Status::OK();
+  out_.close();
+  segment_open_ = false;
+  ++segments_sealed_;
+  if (metrics_ != nullptr) metrics_->RecordSegmentSealed();
+  return Status::OK();
+}
+
+Status TearJournalTail(const std::string& dir, uint64_t seed, int flips,
+                       size_t truncate_bytes) {
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+  if (segments->empty()) {
+    return Status::NotFound("no journal segments in '" + dir + "' to tear");
+  }
+  const fs::path& last = segments->back();
+
+  auto bytes = ReadWholeFile(last);
+  if (!bytes.ok()) return bytes.status();
+  std::string content = std::move(bytes).value();
+
+  if (truncate_bytes > 0 && !content.empty()) {
+    content.resize(content.size() - std::min(truncate_bytes, content.size()));
+  }
+  Rng rng(seed);
+  for (int f = 0; f < flips && !content.empty(); ++f) {
+    // Flip bytes near the tail — where a crashed writer would have landed.
+    size_t span = std::min<size_t>(content.size(), 64);
+    size_t pos = content.size() - 1 - rng.NextIndex(span);
+    content[pos] = static_cast<char>(content[pos] ^ 0x5A);
+  }
+
+  std::ofstream out(last, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot rewrite segment '" + last.string() + "'");
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("cannot rewrite segment '" + last.string() + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace dexa

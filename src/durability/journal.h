@@ -1,0 +1,150 @@
+#ifndef DEXA_DURABILITY_JOURNAL_H_
+#define DEXA_DURABILITY_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/metrics.h"
+
+namespace dexa {
+
+/// Configuration of a RunJournal.
+struct JournalOptions {
+  /// Soft cap on segment size: a segment whose payload bytes exceed this is
+  /// sealed and the next record opens a fresh segment file. Small values
+  /// exercise multi-segment recovery; the default keeps a 252-module
+  /// annotation run in a handful of segments.
+  size_t segment_bytes = 64 * 1024;
+};
+
+/// The on-disk framing of the journal (see docs/DURABILITY.md):
+///
+///   segment file  wal-<index>.seg :=  "DEXAWAL1" record*
+///   record        :=  'D' 'R'  length:u32le  crc32:u32le  payload
+///
+/// `crc32` is the IEEE CRC-32 of the payload alone; `length` is the payload
+/// byte count. A record is valid iff its magic, length and checksum all
+/// check out; the first invalid byte ends the journal — everything after it
+/// is a damaged tail, discarded by recovery with Status kCorrupted.
+inline constexpr char kJournalSegmentMagic[] = "DEXAWAL1";
+inline constexpr size_t kJournalSegmentMagicLen = 8;
+inline constexpr size_t kJournalFrameOverhead = 10;  // magic+length+crc.
+
+/// A checksummed, segmented write-ahead journal for one annotation (or
+/// enactment) run. Every committed unit of work is appended as one framed
+/// record and flushed before the commit is acknowledged, so a process that
+/// dies mid-run loses at most the record being written — and a torn or
+/// bit-flipped tail is detected, not trusted.
+///
+/// Not thread-safe: the engine's commit hook serializes appends (commits
+/// happen on the sequential-commit phase only).
+class RunJournal {
+ public:
+  /// Starts a fresh journal in `dir` (created if missing); any segments of
+  /// a previous journal in the directory are removed. `metrics` (optional)
+  /// receives RecordJournalRecord/RecordSegmentSealed.
+  static Result<RunJournal> Create(const std::string& dir,
+                                   JournalOptions options = {},
+                                   EngineMetrics* metrics = nullptr);
+
+  /// Re-opens the journal in `dir` for appending after a crash: truncates
+  /// the damaged tail identified by `recovery` (RecoverJournal), removes
+  /// any segments past the damage, and directs new records into a fresh
+  /// segment after the last valid one.
+  static Result<RunJournal> Resume(const std::string& dir,
+                                   const struct JournalRecovery& recovery,
+                                   JournalOptions options = {},
+                                   EngineMetrics* metrics = nullptr);
+
+  RunJournal(RunJournal&&) = default;
+  RunJournal& operator=(RunJournal&&) = default;
+
+  /// Appends one record (frame + CRC32) and flushes it to the OS. Rolls to
+  /// a new segment first when the current one is past the size cap.
+  Status Append(std::string_view payload);
+
+  /// Seals the current segment; the next Append opens a new one. Idempotent.
+  Status Seal();
+
+  const std::string& dir() const { return dir_; }
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t segments_sealed() const { return segments_sealed_; }
+  size_t current_segment_index() const { return segment_index_; }
+
+ private:
+  RunJournal() = default;
+
+  Status OpenSegment(size_t index, bool fresh);
+
+  std::string dir_;
+  JournalOptions options_;
+  EngineMetrics* metrics_ = nullptr;
+  std::ofstream out_;
+  bool segment_open_ = false;
+  size_t segment_index_ = 0;
+  size_t segment_payload_bytes_ = 0;
+  uint64_t records_appended_ = 0;
+  uint64_t segments_sealed_ = 0;
+};
+
+/// What RecoverJournal salvaged from a journal directory.
+struct JournalRecovery {
+  /// Valid record payloads, in append order across all segments.
+  std::vector<std::string> records;
+
+  size_t segments_scanned = 0;
+
+  /// OK when every byte of every segment parsed; kCorrupted when a torn or
+  /// bit-flipped tail was discarded (detail in the message). Recovery never
+  /// fails because of damage — the valid prefix is always returned.
+  Status tail_status;
+
+  bool tail_discarded() const { return !tail_status.ok(); }
+
+  /// Bytes discarded as damaged tail (across the damaged segment and any
+  /// segments after it).
+  size_t bytes_discarded = 0;
+
+  /// Index (into the sorted segment list) of the segment holding the first
+  /// damaged byte, and the length of its valid prefix — the truncation
+  /// point RunJournal::Resume applies. Meaningful only when
+  /// tail_discarded().
+  size_t damaged_segment = 0;
+  size_t damaged_segment_valid_bytes = 0;
+};
+
+/// Scans the journal segments of `dir` in order, validates every record's
+/// framing and CRC32, and returns the valid prefix. Damage (torn write,
+/// flipped bytes, truncation) ends the journal at the first bad byte:
+/// later records — even intact ones in later segments — are discarded,
+/// because a WAL's contract is a valid prefix, not a valid subset.
+/// Fails (as a Result error) only on environmental problems: missing or
+/// unreadable directory.
+Result<JournalRecovery> RecoverJournal(const std::string& dir,
+                                       EngineMetrics* metrics = nullptr);
+
+/// One segment's in-memory scan (exposed for fuzzing and tests): parses
+/// `bytes` as a segment file image and returns the records of the valid
+/// prefix plus where (and whether) it went bad.
+struct SegmentScan {
+  std::vector<std::string> records;
+  size_t valid_bytes = 0;  ///< Length of the cleanly-parsed prefix.
+  Status status;           ///< OK, or kCorrupted at the first bad byte.
+};
+SegmentScan ScanSegment(std::string_view bytes);
+
+/// Deliberately damages the journal tail in `dir` — the in-process stand-in
+/// for a crash landing mid-write: truncates `truncate_bytes` off the last
+/// segment, then flips `flips` bytes near its end, positions drawn from
+/// `seed`. Used by crash-point injection (kTornWrite) and the recovery
+/// tests.
+Status TearJournalTail(const std::string& dir, uint64_t seed, int flips,
+                       size_t truncate_bytes);
+
+}  // namespace dexa
+
+#endif  // DEXA_DURABILITY_JOURNAL_H_

@@ -1,0 +1,101 @@
+#include "durability/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "durability/trace_io.h"
+#include "modules/registry_io.h"
+#include "pool/pool_io.h"
+
+namespace dexa {
+
+namespace fs = std::filesystem;
+
+Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open temporary file '" + tmp + "'");
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal("cannot write temporary file '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Internal("cannot rename '" + tmp + "' over '" + path +
+                            "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot read file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+Status WriteRunStateSnapshot(const std::string& dir,
+                             const AnnotatedInstancePool& pool,
+                             const ModuleRegistry& registry,
+                             const Ontology& ontology,
+                             const ProvenanceCorpus& provenance) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot directory '" + dir +
+                            "': " + ec.message());
+  }
+  const fs::path base(dir);
+  DEXA_RETURN_IF_ERROR(
+      AtomicWriteFile((base / kSnapshotPoolFile).string(), SavePool(pool)));
+  DEXA_RETURN_IF_ERROR(
+      AtomicWriteFile((base / kSnapshotAnnotationsFile).string(),
+                      SaveAnnotations(registry, ontology)));
+  DEXA_RETURN_IF_ERROR(AtomicWriteFile((base / kSnapshotTracesFile).string(),
+                                       SaveTraces(provenance)));
+  return Status::OK();
+}
+
+Result<RestoredRunState> RestoreRunState(const std::string& dir,
+                                         const Ontology& ontology,
+                                         ModuleRegistry& registry) {
+  const fs::path base(dir);
+  auto pool_text = ReadFileToString((base / kSnapshotPoolFile).string());
+  if (!pool_text.ok()) return pool_text.status();
+  auto annotations_text =
+      ReadFileToString((base / kSnapshotAnnotationsFile).string());
+  if (!annotations_text.ok()) return annotations_text.status();
+  auto traces_text = ReadFileToString((base / kSnapshotTracesFile).string());
+  if (!traces_text.ok()) return traces_text.status();
+
+  RestoredRunState state(&ontology);
+  auto pool = LoadPool(*pool_text, ontology);
+  if (!pool.ok()) return pool.status();
+  state.pool = std::move(pool).value();
+
+  auto traces = LoadTraces(*traces_text);
+  if (!traces.ok()) return traces.status();
+  state.provenance = std::move(traces).value();
+
+  // Parsed last so the registry stays untouched when the pool or trace
+  // artifacts are the damaged ones (LoadAnnotations itself stages before
+  // committing).
+  auto restored = LoadAnnotations(*annotations_text, ontology, registry);
+  if (!restored.ok()) return restored.status();
+  state.modules_restored = *restored;
+  return state;
+}
+
+}  // namespace dexa

@@ -1,0 +1,100 @@
+#include "durability/trace_io.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace dexa {
+
+namespace {
+constexpr const char* kHeader = "# dexa traces v1";
+}  // namespace
+
+std::string SaveTraces(const ProvenanceCorpus& corpus) {
+  std::string out = std::string(kHeader) + "\n";
+  for (const WorkflowTrace& trace : corpus.traces()) {
+    out += "trace " + trace.workflow_id + "\n";
+    for (const InvocationRecord& record : trace.invocations) {
+      out += "invocation " + record.processor_name + "|" + record.module_id +
+             "\n";
+      for (const Value& input : record.inputs) {
+        out += "in " + input.ToString() + "\n";
+      }
+      for (const Value& output : record.outputs) {
+        out += "out " + output.ToString() + "\n";
+      }
+      out += "end\n";
+    }
+  }
+  return out;
+}
+
+Result<ProvenanceCorpus> LoadTraces(const std::string& text) {
+  std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty() || lines[0] != kHeader) {
+    return Status::ParseError("missing dexa traces header");
+  }
+
+  ProvenanceCorpus corpus;
+  WorkflowTrace current_trace;
+  InvocationRecord current_record;
+  bool in_trace = false;
+  bool in_invocation = false;
+
+  auto flush_trace = [&]() {
+    if (!in_trace) return;
+    corpus.AddTrace(std::move(current_trace));
+    current_trace = WorkflowTrace();
+    in_trace = false;
+  };
+
+  for (size_t n = 1; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("line " + std::to_string(n + 1) + ": " + msg);
+    };
+    if (line.empty() || line[0] == '#') continue;
+    if (StartsWith(line, "trace ")) {
+      if (in_invocation) return err("'trace' inside an invocation");
+      flush_trace();
+      current_trace.workflow_id = line.substr(6);
+      in_trace = true;
+    } else if (StartsWith(line, "invocation ")) {
+      if (!in_trace) return err("'invocation' before any trace");
+      if (in_invocation) return err("nested invocation");
+      std::string rest = line.substr(11);
+      size_t bar = rest.find('|');
+      if (bar == std::string::npos) return err("malformed invocation line");
+      current_record = InvocationRecord();
+      current_record.workflow_id = current_trace.workflow_id;
+      current_record.processor_name = rest.substr(0, bar);
+      current_record.module_id = rest.substr(bar + 1);
+      in_invocation = true;
+    } else if (StartsWith(line, "in ")) {
+      if (!in_invocation) return err("'in' outside an invocation");
+      auto value = Value::Parse(line.substr(3));
+      if (!value.ok()) return err(value.status().ToString());
+      current_record.inputs.push_back(std::move(value).value());
+    } else if (StartsWith(line, "out ")) {
+      if (!in_invocation) return err("'out' outside an invocation");
+      auto value = Value::Parse(line.substr(4));
+      if (!value.ok()) return err(value.status().ToString());
+      current_record.outputs.push_back(std::move(value).value());
+    } else if (line == "end") {
+      if (!in_invocation) return err("'end' outside an invocation");
+      current_trace.invocations.push_back(std::move(current_record));
+      in_invocation = false;
+    } else {
+      return err("unrecognized line '" + line + "'");
+    }
+  }
+  if (in_invocation) {
+    // The file stops mid-record: that is a truncation (e.g. a snapshot that
+    // was never atomically renamed), not a grammar error.
+    return Status::Corrupted("trace file ends inside an invocation record");
+  }
+  flush_trace();
+  return corpus;
+}
+
+}  // namespace dexa

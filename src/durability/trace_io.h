@@ -1,0 +1,34 @@
+#ifndef DEXA_DURABILITY_TRACE_IO_H_
+#define DEXA_DURABILITY_TRACE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "provenance/trace.h"
+
+namespace dexa {
+
+/// Serializes a provenance corpus to the textual trace format:
+///
+///   # dexa traces v1
+///   trace <workflow-id>
+///   invocation <processor-name>|<module-id>
+///   in <value>
+///   out <value>
+///   end
+///
+/// Processor names and module ids may contain spaces, hence the '|'
+/// separator; values use the canonical Value::ToString rendering, which is
+/// single-line. The rendering is deterministic: identical corpora produce
+/// identical bytes, so snapshot comparison can diff the serialized form.
+std::string SaveTraces(const ProvenanceCorpus& corpus);
+
+/// Parses the output of SaveTraces back into a corpus. Structural problems
+/// in otherwise complete input (unknown directives, bad values) fail with
+/// kParseError; input that ends mid-trace or mid-invocation fails with
+/// kCorrupted — the file was cut off, not merely malformed.
+Result<ProvenanceCorpus> LoadTraces(const std::string& text);
+
+}  // namespace dexa
+
+#endif  // DEXA_DURABILITY_TRACE_IO_H_

@@ -163,6 +163,28 @@ class InvocationEngine {
     return Rng(options_.seed).Fork(task_index);
   }
 
+  /// Durable-commit hook: receives every committed unit of work, in commit
+  /// order, with a strictly increasing sequence number. The durability
+  /// layer attaches a RunJournal appender here; consumers with a
+  /// sequential-commit phase (AnnotateRegistry, the durable enactor) push
+  /// each committed unit through Commit() from that phase, so the hook
+  /// inherits the existing deterministic commit order — it is never called
+  /// from the parallel fan-out.
+  using CommitHook =
+      std::function<Status(uint64_t sequence, const std::string& payload)>;
+
+  /// Installs (or clears, with nullptr) the commit hook. Not thread-safe
+  /// against in-flight Commit() calls; install before the run starts.
+  void SetCommitHook(CommitHook hook);
+
+  bool HasCommitHook() const { return static_cast<bool>(commit_hook_); }
+
+  /// Pushes one committed unit through the hook (no-op without one),
+  /// assigning the next sequence number and counting the commit into the
+  /// metrics. Callers must invoke this from their sequential-commit phase;
+  /// the engine serializes hook invocations but cannot invent an order.
+  Status Commit(const std::string& payload);
+
   /// Invokes `module` once, counting the invocation into the engine
   /// metrics. The single-combination path every sequential consumer
   /// (enactor, discovery, composition) routes through.
@@ -250,6 +272,10 @@ class InvocationEngine {
   size_t threads_ = 1;
   EngineMetrics metrics_;
   VirtualClock clock_;
+
+  std::mutex commit_mutex_;
+  CommitHook commit_hook_;
+  uint64_t commit_sequence_ = 0;
 
   mutable std::mutex breaker_mutex_;
   std::unordered_map<std::string, Breaker> breakers_;

@@ -40,6 +40,18 @@ std::string EngineMetricsSnapshot::ToString() const {
     out << " breaker_short_circuits=" << breaker_short_circuits;
   }
   if (injected_faults != 0) out << " injected_faults=" << injected_faults;
+  if (commits != 0) out << " commits=" << commits;
+  if (journal_records != 0) out << " journal_records=" << journal_records;
+  if (journal_segments_sealed != 0) {
+    out << " journal_segments_sealed=" << journal_segments_sealed;
+  }
+  if (torn_tails_discarded != 0) {
+    out << " torn_tails_discarded=" << torn_tails_discarded;
+  }
+  if (modules_replayed != 0) out << " modules_replayed=" << modules_replayed;
+  if (modules_reinvoked != 0) {
+    out << " modules_reinvoked=" << modules_reinvoked;
+  }
   for (size_t p = 0; p < kNumEnginePhases; ++p) {
     if (phase_nanos[p] == 0) continue;
     out << " " << EnginePhaseName(static_cast<EnginePhase>(p)) << "_ms="
@@ -63,6 +75,16 @@ EngineMetricsSnapshot EngineMetrics::Snapshot() const {
   snapshot.breaker_short_circuits =
       breaker_short_circuits_.load(std::memory_order_relaxed);
   snapshot.injected_faults = injected_faults_.load(std::memory_order_relaxed);
+  snapshot.commits = commits_.load(std::memory_order_relaxed);
+  snapshot.journal_records = journal_records_.load(std::memory_order_relaxed);
+  snapshot.journal_segments_sealed =
+      journal_segments_sealed_.load(std::memory_order_relaxed);
+  snapshot.torn_tails_discarded =
+      torn_tails_discarded_.load(std::memory_order_relaxed);
+  snapshot.modules_replayed =
+      modules_replayed_.load(std::memory_order_relaxed);
+  snapshot.modules_reinvoked =
+      modules_reinvoked_.load(std::memory_order_relaxed);
   for (size_t p = 0; p < kNumEnginePhases; ++p) {
     snapshot.phase_nanos[p] = phase_nanos_[p].load(std::memory_order_relaxed);
   }
@@ -80,6 +102,12 @@ void EngineMetrics::Reset() {
   breaker_trips_.store(0, std::memory_order_relaxed);
   breaker_short_circuits_.store(0, std::memory_order_relaxed);
   injected_faults_.store(0, std::memory_order_relaxed);
+  commits_.store(0, std::memory_order_relaxed);
+  journal_records_.store(0, std::memory_order_relaxed);
+  journal_segments_sealed_.store(0, std::memory_order_relaxed);
+  torn_tails_discarded_.store(0, std::memory_order_relaxed);
+  modules_replayed_.store(0, std::memory_order_relaxed);
+  modules_reinvoked_.store(0, std::memory_order_relaxed);
   for (size_t p = 0; p < kNumEnginePhases; ++p) {
     phase_nanos_[p].store(0, std::memory_order_relaxed);
   }

@@ -36,6 +36,15 @@ struct EngineMetricsSnapshot {
   uint64_t breaker_trips = 0;      ///< Circuit breakers tripped open.
   uint64_t breaker_short_circuits = 0;  ///< Invocations denied by a breaker.
   uint64_t injected_faults = 0;    ///< Faults injected by FaultInjectors.
+
+  // -- Durability: write-ahead journal and recovery ----------------------
+  uint64_t commits = 0;            ///< Ordered commit-hook invocations.
+  uint64_t journal_records = 0;    ///< Records appended to a RunJournal.
+  uint64_t journal_segments_sealed = 0;  ///< Journal segments sealed/rolled.
+  uint64_t torn_tails_discarded = 0;  ///< Damaged journal tails discarded.
+  uint64_t modules_replayed = 0;   ///< Units served from the journal.
+  uint64_t modules_reinvoked = 0;  ///< Units re-run live on resume.
+
   uint64_t phase_nanos[kNumEnginePhases] = {0, 0, 0, 0, 0};
 
   uint64_t TotalPhaseNanos() const;
@@ -72,6 +81,22 @@ class EngineMetrics {
   void RecordInjectedFault() {
     injected_faults_.fetch_add(1, std::memory_order_relaxed);
   }
+  void RecordCommit() { commits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordJournalRecord() {
+    journal_records_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordSegmentSealed() {
+    journal_segments_sealed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordTornTailDiscard() {
+    torn_tails_discarded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordModuleReplayed() {
+    modules_replayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordModuleReinvoked() {
+    modules_reinvoked_.fetch_add(1, std::memory_order_relaxed);
+  }
   void RecordCacheHit() {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -99,6 +124,12 @@ class EngineMetrics {
   std::atomic<uint64_t> breaker_trips_{0};
   std::atomic<uint64_t> breaker_short_circuits_{0};
   std::atomic<uint64_t> injected_faults_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> journal_records_{0};
+  std::atomic<uint64_t> journal_segments_sealed_{0};
+  std::atomic<uint64_t> torn_tails_discarded_{0};
+  std::atomic<uint64_t> modules_replayed_{0};
+  std::atomic<uint64_t> modules_reinvoked_{0};
   std::atomic<uint64_t> phase_nanos_[kNumEnginePhases] = {};
 };
 

@@ -1,5 +1,7 @@
 #include "modules/registry_io.h"
 
+#include <utility>
+
 #include "common/strings.h"
 
 namespace dexa {
@@ -43,7 +45,11 @@ Result<size_t> LoadAnnotations(const std::string& text,
     return Status::ParseError("missing dexa annotations header");
   }
 
-  size_t restored = 0;
+  // Stage-then-commit: everything parses into `staged` first and the
+  // registry is only mutated after the whole document checked out, so a
+  // malformed or truncated file can never leave partial annotation state
+  // behind.
+  std::vector<std::pair<std::string, DataExampleSet>> staged;
   std::string current_module;
   DataExampleSet current_examples;
   DataExample current_example;
@@ -51,10 +57,8 @@ Result<size_t> LoadAnnotations(const std::string& text,
 
   auto flush_module = [&]() -> Status {
     if (current_module.empty()) return Status::OK();
-    DEXA_RETURN_IF_ERROR(
-        registry.SetDataExamples(current_module, std::move(current_examples)));
+    staged.emplace_back(current_module, std::move(current_examples));
     current_examples = DataExampleSet();
-    ++restored;
     return Status::OK();
   };
 
@@ -108,9 +112,18 @@ Result<size_t> LoadAnnotations(const std::string& text,
       return err("unrecognized line '" + line + "'");
     }
   }
-  if (in_example) return Status::ParseError("unterminated example");
+  if (in_example) {
+    // The document stops mid-example: a truncation (half-written file,
+    // interrupted copy), not a grammar error.
+    return Status::Corrupted("annotations file ends inside an example");
+  }
   DEXA_RETURN_IF_ERROR(flush_module());
-  return restored;
+
+  for (auto& [module_id, examples] : staged) {
+    DEXA_RETURN_IF_ERROR(
+        registry.SetDataExamples(module_id, std::move(examples)));
+  }
+  return staged.size();
 }
 
 }  // namespace dexa

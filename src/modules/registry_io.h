@@ -28,6 +28,12 @@ std::string SaveAnnotations(const ModuleRegistry& registry,
 /// Loads annotations saved by SaveAnnotations back into `registry`
 /// (modules are matched by id and must already be registered; their stored
 /// example sets are replaced). Returns the number of modules restored.
+///
+/// All-or-nothing: the document is staged in full before the registry is
+/// touched, so a rejected file never leaves partial annotation state.
+/// Malformed-but-complete input fails with kParseError; input that ends
+/// mid-example fails with kCorrupted (the file was truncated, e.g. by a
+/// crash or interrupted copy).
 Result<size_t> LoadAnnotations(const std::string& text,
                                const Ontology& ontology,
                                ModuleRegistry& registry);

@@ -90,6 +90,20 @@ Result<EnactmentResult> Enact(const Workflow& workflow,
 Result<ResilientEnactmentResult> EnactResilient(
     const Workflow& workflow, const ModuleRegistry& registry,
     const std::vector<Value>& inputs, InvocationEngine& engine) {
+  return EnactResilient(workflow, registry, inputs, engine, EnactHooks{});
+}
+
+Result<ResilientEnactmentResult> EnactResilient(
+    const Workflow& workflow, const ModuleRegistry& registry,
+    const std::vector<Value>& inputs, InvocationEngine& engine,
+    const EnactHooks& hooks) {
+  if (hooks.replayed != nullptr &&
+      hooks.replayed->size() != workflow.processors.size()) {
+    return Status::InvalidArgument(
+        "replay vector has " + std::to_string(hooks.replayed->size()) +
+        " slots for " + std::to_string(workflow.processors.size()) +
+        " processors");
+  }
   if (inputs.size() != workflow.inputs.size()) {
     return Status::InvalidArgument(
         "workflow '" + workflow.name + "' expects " +
@@ -142,6 +156,19 @@ Result<ResilientEnactmentResult> EnactResilient(
     auto module = registry.Find(processor.module_id);
     if (!module.ok()) return module.status();
 
+    if (hooks.replayed != nullptr) {
+      const std::optional<InvocationRecord>& committed =
+          (*hooks.replayed)[static_cast<size_t>(p)];
+      if (committed.has_value()) {
+        // Step already committed by a previous (crashed) run: serve its
+        // outputs and provenance from the journal, never re-invoke.
+        result.invocations.push_back(*committed);
+        produced[static_cast<size_t>(p)] = committed->outputs;
+        ran[static_cast<size_t>(p)] = true;
+        continue;
+      }
+    }
+
     std::vector<Value> module_inputs;
     module_inputs.reserve(processor.input_sources.size());
     bool upstream_skipped = false;
@@ -191,6 +218,12 @@ Result<ResilientEnactmentResult> EnactResilient(
     record.module_id = processor.module_id;
     record.inputs = module_inputs;
     record.outputs = *outputs;
+    if (hooks.on_commit) {
+      // Write-ahead point: the step's outputs become visible to downstream
+      // consumers only once the commit is durable.
+      Status committed = hooks.on_commit(p, record);
+      if (!committed.ok()) return committed;
+    }
     result.invocations.push_back(std::move(record));
 
     produced[static_cast<size_t>(p)] = std::move(outputs).value();

@@ -1,6 +1,8 @@
 #ifndef DEXA_WORKFLOW_ENACTOR_H_
 #define DEXA_WORKFLOW_ENACTOR_H_
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,34 @@ Result<ResilientEnactmentResult> EnactResilient(const Workflow& workflow,
                                                 const ModuleRegistry& registry,
                                                 const std::vector<Value>& inputs,
                                                 InvocationEngine& engine);
+
+/// Durability seams of a resilient enactment. The durable enactment runner
+/// (durability/durable_enact.h) uses these to journal every step and to
+/// serve already-committed steps from a recovered journal; the enactor
+/// itself stays storage-agnostic.
+struct EnactHooks {
+  /// One slot per workflow processor (by processor index). A present entry
+  /// is a step committed by a previous run: its record is re-emitted as
+  /// provenance and its outputs feed downstream steps, without invoking
+  /// the module. nullptr (or all-empty) enacts everything live.
+  const std::vector<std::optional<InvocationRecord>>* replayed = nullptr;
+
+  /// Called after each live processor invocation, before its outputs
+  /// become visible to downstream steps — the write-ahead point. A non-OK
+  /// status aborts the enactment with that status: a step whose commit did
+  /// not reach durable storage must not feed consumers that would then be
+  /// unrepeatable.
+  std::function<Status(int processor, const InvocationRecord& record)>
+      on_commit;
+};
+
+/// EnactResilient with durability hooks. `hooks.replayed`, when non-null,
+/// must have exactly one slot per processor.
+Result<ResilientEnactmentResult> EnactResilient(const Workflow& workflow,
+                                                const ModuleRegistry& registry,
+                                                const std::vector<Value>& inputs,
+                                                InvocationEngine& engine,
+                                                const EnactHooks& hooks);
 
 /// Extracts the sub-workflow induced by `processor_indices` (Section 6:
 /// validating substitutes on sub-workflows). Dangling inputs — links from

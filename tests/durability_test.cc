@@ -1,0 +1,513 @@
+// Tests for the durability layer: journal framing and CRC32, segment
+// rolling, torn-tail detection and discard, crash-point injection,
+// crash-resume determinism (byte-identical state at any thread count),
+// atomic snapshot/restore, and durable workflow enactment.
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine_config.h"
+#include "corpus/fault_injector.h"
+#include "durability/crc32.h"
+#include "durability/durable_annotate.h"
+#include "durability/durable_enact.h"
+#include "durability/journal.h"
+#include "durability/snapshot.h"
+#include "durability/trace_io.h"
+#include "modules/registry_io.h"
+#include "pool/pool_io.h"
+#include "tests/test_util.h"
+
+namespace dexa {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing_env::GetEnvironment;
+
+/// A fresh directory under the test temp root, wiped on creation.
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / "dexa_durability" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// A fresh, unannotated registry with the environment's module ids (every
+/// module wrapped in a pass-through injector).
+std::unique_ptr<ModuleRegistry> FreshRegistry() {
+  const auto& env = GetEnvironment();
+  auto wrapped = WrapRegistryWithFaults(*env.corpus.registry, FaultProfile{});
+  EXPECT_TRUE(wrapped.ok()) << wrapped.status();
+  return std::move(wrapped).value();
+}
+
+TEST(Crc32Test, MatchesTheIeeeCheckVector) {
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Incremental form agrees with the one-shot form.
+  uint32_t crc = Crc32Update(0, "1234");
+  EXPECT_EQ(Crc32Update(crc, "56789"), Crc32("123456789"));
+}
+
+TEST(RunJournalTest, AppendRecoverRoundTrip) {
+  const std::string dir = FreshDir("roundtrip");
+  auto journal = RunJournal::Create(dir);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  std::vector<std::string> payloads = {"alpha", "beta\nwith lines",
+                                       std::string(1000, 'x'), ""};
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE(journal->Append(payload).ok());
+  }
+  ASSERT_TRUE(journal->Seal().ok());
+
+  auto recovery = RecoverJournal(dir);
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_FALSE(recovery->tail_discarded());
+  EXPECT_EQ(recovery->records, payloads);
+}
+
+TEST(RunJournalTest, RollsSegmentsPastTheSizeCap) {
+  const std::string dir = FreshDir("rolling");
+  JournalOptions options;
+  options.segment_bytes = 256;
+  auto journal = RunJournal::Create(dir, options);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 20; ++i) {
+    payloads.push_back("record-" + std::to_string(i) + "-" +
+                       std::string(100, 'p'));
+    ASSERT_TRUE(journal->Append(payloads.back()).ok());
+  }
+  ASSERT_TRUE(journal->Seal().ok());
+  EXPECT_GT(journal->segments_sealed(), 3u);
+
+  auto recovery = RecoverJournal(dir);
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_FALSE(recovery->tail_discarded());
+  EXPECT_EQ(recovery->records, payloads);
+  EXPECT_GT(recovery->segments_scanned, 3u);
+}
+
+TEST(RunJournalTest, TornTailIsDetectedDiscardedAndResumable) {
+  const std::string dir = FreshDir("torn");
+  auto journal = RunJournal::Create(dir);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        journal->Append("payload-" + std::to_string(i) + std::string(64, 'q'))
+            .ok());
+  }
+  ASSERT_TRUE(journal->Seal().ok());
+
+  // A crash lands mid-write: the tail is truncated and bit-flipped.
+  ASSERT_TRUE(TearJournalTail(dir, /*seed=*/7, /*flips=*/3,
+                              /*truncate_bytes=*/5)
+                  .ok());
+
+  EngineMetrics metrics;
+  auto recovery = RecoverJournal(dir, &metrics);
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_TRUE(recovery->tail_discarded());
+  EXPECT_TRUE(recovery->tail_status.IsCorrupted());
+  EXPECT_GT(recovery->bytes_discarded, 0u);
+  EXPECT_LT(recovery->records.size(), 8u);
+  EXPECT_EQ(metrics.Snapshot().torn_tails_discarded, 1u);
+  // The surviving prefix is intact.
+  for (size_t i = 0; i < recovery->records.size(); ++i) {
+    EXPECT_EQ(recovery->records[i],
+              "payload-" + std::to_string(i) + std::string(64, 'q'));
+  }
+
+  // Resume truncates the damage; appends land behind the valid prefix.
+  auto resumed = RunJournal::Resume(dir, *recovery);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ASSERT_TRUE(resumed->Append("after-the-crash").ok());
+  ASSERT_TRUE(resumed->Seal().ok());
+
+  auto again = RecoverJournal(dir);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_FALSE(again->tail_discarded());
+  ASSERT_EQ(again->records.size(), recovery->records.size() + 1);
+  EXPECT_EQ(again->records.back(), "after-the-crash");
+}
+
+TEST(RunJournalTest, DamagedHeaderEndsTheJournalBeforeAnyRecord) {
+  SegmentScan scan = ScanSegment("GARBAGE!not a segment");
+  EXPECT_TRUE(scan.status.IsCorrupted());
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST(SnapshotTest, AtomicWriteLeavesNoTemporaries) {
+  const std::string dir = FreshDir("atomic");
+  const std::string path = (fs::path(dir) / "artifact.txt").string();
+  ASSERT_TRUE(AtomicWriteFile(path, "first").ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "second").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "second");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(SnapshotTest, RunStateRoundTripAndCorruptionSafety) {
+  const auto& env = GetEnvironment();
+  const std::string dir = FreshDir("snapshot");
+
+  ASSERT_TRUE(WriteRunStateSnapshot(dir, *env.pool, *env.corpus.registry,
+                                    *env.corpus.ontology, env.provenance)
+                  .ok());
+
+  // Round trip into a fresh registry: byte-identical serialized state.
+  auto restored_registry = FreshRegistry();
+  auto restored =
+      RestoreRunState(dir, *env.corpus.ontology, *restored_registry);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_GT(restored->modules_restored, 0u);
+  EXPECT_EQ(SavePool(restored->pool), SavePool(*env.pool));
+  EXPECT_EQ(SaveTraces(restored->provenance), SaveTraces(env.provenance));
+  EXPECT_EQ(SaveAnnotations(*restored_registry, *env.corpus.ontology),
+            SaveAnnotations(*env.corpus.registry, *env.corpus.ontology));
+
+  // Truncate the annotations artifact mid-example: restore reports
+  // kCorrupted and leaves the target registry untouched.
+  const std::string annotations_path =
+      (fs::path(dir) / kSnapshotAnnotationsFile).string();
+  auto annotations = ReadFileToString(annotations_path);
+  ASSERT_TRUE(annotations.ok());
+  // Cut just before an "end" line: every surviving line is complete, but
+  // the document stops inside an example — damage, not a grammar error.
+  size_t cut = annotations->rfind("\nend\n");
+  ASSERT_NE(cut, std::string::npos);
+  {
+    std::ofstream out(annotations_path, std::ios::binary | std::ios::trunc);
+    out << annotations->substr(0, cut + 1);
+  }
+  auto clean_registry = FreshRegistry();
+  auto damaged =
+      RestoreRunState(dir, *env.corpus.ontology, *clean_registry);
+  ASSERT_FALSE(damaged.ok());
+  EXPECT_TRUE(damaged.status().IsCorrupted()) << damaged.status();
+  for (const ModulePtr& module : clean_registry->AllModules()) {
+    EXPECT_TRUE(clean_registry->DataExamplesOf(module->spec().id).empty());
+  }
+}
+
+TEST(TraceIoTest, TruncatedTraceFileIsCorruptedNotParseError) {
+  const auto& env = GetEnvironment();
+  std::string rendered = SaveTraces(env.provenance);
+  size_t cut = rendered.rfind("\nend\n");
+  ASSERT_NE(cut, std::string::npos);
+  auto result = LoadTraces(rendered.substr(0, cut + 1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorrupted()) << result.status();
+}
+
+TEST(RegistryIoTest, TruncatedAnnotationsAreCorruptedAndAtomic) {
+  const auto& env = GetEnvironment();
+  std::string rendered =
+      SaveAnnotations(*env.corpus.registry, *env.corpus.ontology);
+  size_t cut = rendered.find("\nend\n");
+  ASSERT_NE(cut, std::string::npos);
+  auto registry = FreshRegistry();
+  auto result = LoadAnnotations(rendered.substr(0, cut + 1),
+                                *env.corpus.ontology, *registry);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorrupted()) << result.status();
+  // Stage-then-commit: the failed load left nothing behind.
+  for (const ModulePtr& module : registry->AllModules()) {
+    EXPECT_TRUE(registry->DataExamplesOf(module->spec().id).empty());
+  }
+}
+
+/// One full durable annotation run (no crash) into `dir`; returns the
+/// serialized annotations of the resulting registry.
+std::string UninterruptedRunState(size_t threads, const std::string& dir) {
+  const auto& env = GetEnvironment();
+  EngineConfig config = EngineConfig().Threads(threads).Seed(0xD0D0);
+  auto engine = config.BuildEngine();
+  ExampleGenerator generator = config.MakeGenerator(
+      env.corpus.ontology.get(), env.pool.get(), engine.get());
+  auto registry = FreshRegistry();
+  auto journal = RunJournal::Create(dir, {}, &engine->metrics());
+  EXPECT_TRUE(journal.ok()) << journal.status();
+  auto report = AnnotateRegistryDurable(generator, *registry,
+                                        *env.corpus.ontology, *journal);
+  EXPECT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE((*report).complete()) << (*report).run_status;
+  EXPECT_GT((*report).metrics.commits, 0u);
+  return SaveAnnotations(*registry, *env.corpus.ontology);
+}
+
+struct CrashCase {
+  CrashPoint point;
+  size_t module_index;  // Which available module the crash keys on.
+};
+
+class CrashResumeTest
+    : public ::testing::TestWithParam<std::tuple<size_t, CrashCase>> {};
+
+TEST_P(CrashResumeTest, ResumedRunIsByteIdenticalToUninterrupted) {
+  const auto& env = GetEnvironment();
+  const size_t threads = std::get<0>(GetParam());
+  const CrashCase crash_case = std::get<1>(GetParam());
+
+  const std::string label =
+      std::string(CrashPointName(crash_case.point)) + "-t" +
+      std::to_string(threads);
+  const std::string baseline =
+      UninterruptedRunState(threads, FreshDir("baseline-" + label));
+
+  EngineConfig config = EngineConfig().Threads(threads).Seed(0xD0D0);
+
+  // Phase 1: the run is killed at the chosen crash point.
+  const std::string dir = FreshDir("crash-" + label);
+  auto crashed_registry = FreshRegistry();
+  std::string crash_module_id;
+  {
+    auto engine = config.BuildEngine();
+    ExampleGenerator generator = config.MakeGenerator(
+        env.corpus.ontology.get(), env.pool.get(), engine.get());
+    auto journal = RunJournal::Create(dir, {}, &engine->metrics());
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    const auto modules = crashed_registry->AvailableModules();
+    ASSERT_GT(modules.size(), crash_case.module_index);
+    crash_module_id = modules[crash_case.module_index]->spec().id;
+
+    DurableAnnotateOptions options;
+    options.crash.point = crash_case.point;
+    options.crash.key = crash_module_id;
+    auto report =
+        AnnotateRegistryDurable(generator, *crashed_registry,
+                                *env.corpus.ontology, *journal, options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_FALSE(report->complete());
+    EXPECT_TRUE(report->run_status.IsCancelled()) << report->run_status;
+    // The aborted run's report still carries the final engine counters.
+    EXPECT_GT(report->metrics.invocations, 0u);
+    EXPECT_GT(report->metrics.commits, 0u);
+  }
+
+  // Phase 2: a new process recovers the journal and resumes.
+  auto engine = config.BuildEngine();
+  ExampleGenerator generator = config.MakeGenerator(
+      env.corpus.ontology.get(), env.pool.get(), engine.get());
+  auto resumed_registry = FreshRegistry();
+  auto recovery = RecoverJournal(dir, &engine->metrics());
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  if (crash_case.point == CrashPoint::kTornWrite) {
+    EXPECT_TRUE(recovery->tail_discarded());
+    EXPECT_TRUE(recovery->tail_status.IsCorrupted());
+  } else {
+    EXPECT_FALSE(recovery->tail_discarded());
+  }
+  auto journal = RunJournal::Resume(dir, *recovery, {}, &engine->metrics());
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  auto report = AnnotateRegistry(generator, *resumed_registry,
+                                 *env.corpus.ontology, *journal,
+                                 ResumeFrom(*recovery));
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->complete()) << report->run_status;
+
+  // The committed prefix was served from the journal, never re-invoked.
+  EXPECT_GT(report->replayed, 0u);
+  EXPECT_EQ(report->replayed, engine->metrics().Snapshot().modules_replayed);
+  switch (crash_case.point) {
+    case CrashPoint::kCrashBeforeCommit:
+      // The crash module's own commit did not survive.
+      EXPECT_EQ(report->replayed, crash_case.module_index);
+      break;
+    case CrashPoint::kTornWrite:
+      // The torn commit — and possibly a neighbor clipped by the damage
+      // radius — was discarded and re-invoked.
+      EXPECT_LE(report->replayed, crash_case.module_index);
+      break;
+    case CrashPoint::kCrashAfterCommit:
+      EXPECT_EQ(report->replayed, crash_case.module_index + 1);
+      break;
+    default:
+      FAIL() << "unexpected crash point";
+  }
+
+  // The acceptance bar: byte-identical final state.
+  EXPECT_EQ(SaveAnnotations(*resumed_registry, *env.corpus.ontology),
+            baseline)
+      << "resume after " << label << " diverged from uninterrupted run";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrashPoints, CrashResumeTest,
+    ::testing::Combine(
+        ::testing::Values<size_t>(1, 8),
+        ::testing::Values(
+            CrashCase{CrashPoint::kCrashBeforeCommit, 11},
+            CrashCase{CrashPoint::kCrashAfterCommit, 101},
+            CrashCase{CrashPoint::kTornWrite, 197})),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, CrashCase>>& info) {
+      // gtest parameter names allow only [A-Za-z0-9_].
+      std::string name = CrashPointName(std::get<1>(info.param).point);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_at_" +
+             std::to_string(std::get<1>(info.param).module_index) + "_t" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+TEST(DurableAnnotateTest, ResumeRejectsForeignJournals) {
+  const auto& env = GetEnvironment();
+  const std::string dir = FreshDir("foreign");
+  EngineConfig config = EngineConfig().Threads(1);
+  auto engine = config.BuildEngine();
+  ExampleGenerator generator = config.MakeGenerator(
+      env.corpus.ontology.get(), env.pool.get(), engine.get());
+  auto registry = FreshRegistry();
+  auto journal = RunJournal::Create(dir);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  auto report = AnnotateRegistryDurable(generator, *registry,
+                                        *env.corpus.ontology, *journal);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // A generator with different options has a different fingerprint.
+  EngineConfig other = EngineConfig().Threads(1).MaxCombinations(7);
+  ExampleGenerator other_generator = other.MakeGenerator(
+      env.corpus.ontology.get(), env.pool.get(), engine.get());
+  auto recovery = RecoverJournal(dir);
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  auto resumed_registry = FreshRegistry();
+  auto resumed_journal = RunJournal::Resume(dir, *recovery);
+  ASSERT_TRUE(resumed_journal.ok()) << resumed_journal.status();
+  auto rejected = AnnotateRegistry(other_generator, *resumed_registry,
+                                   *env.corpus.ontology, *resumed_journal,
+                                   ResumeFrom(*recovery));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument()) << rejected.status();
+}
+
+/// Picks a still-enactable corpus workflow with at least three processors
+/// for the enactment drills; its generated seeds are the inputs.
+const GeneratedWorkflow& PickWorkflow() {
+  const auto& env = GetEnvironment();
+  for (const GeneratedWorkflow& item : env.workflows.items) {
+    if (item.workflow.processors.size() >= 3 &&
+        IsEnactable(item.workflow, *env.corpus.registry)) {
+      return item;
+    }
+  }
+  ADD_FAILURE() << "no enactable workflow with >= 3 processors in the corpus";
+  std::abort();
+}
+
+TEST(DurableEnactTest, CrashedEnactmentResumesToIdenticalResult) {
+  const auto& env = GetEnvironment();
+  const GeneratedWorkflow& item = PickWorkflow();
+  const Workflow& workflow = item.workflow;
+  const std::vector<Value>& inputs = item.seeds;
+
+  InvocationEngine baseline_engine;
+  auto baseline = EnactResilient(workflow, *env.corpus.registry, inputs,
+                                 baseline_engine);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  // Crash at the second step that actually runs.
+  ASSERT_GE(baseline->invocations.size(), 2u);
+  const std::string crash_key = baseline->invocations[1].module_id;
+
+  const std::string dir = FreshDir("enact");
+  {
+    InvocationEngine engine;
+    auto journal = RunJournal::Create(dir, {}, &engine.metrics());
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    DurableEnactOptions options;
+    options.crash.point = CrashPoint::kCrashAfterCommit;
+    options.crash.key = crash_key;
+    auto crashed = EnactResilientDurable(workflow, *env.corpus.registry,
+                                         inputs, engine, *journal, options);
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_TRUE(crashed.status().IsCancelled()) << crashed.status();
+  }
+
+  InvocationEngine engine;
+  auto recovery = RecoverJournal(dir, &engine.metrics());
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_FALSE(recovery->tail_discarded());
+  EXPECT_GT(recovery->records.size(), 1u);  // Header + committed steps.
+  auto journal = RunJournal::Resume(dir, *recovery, {}, &engine.metrics());
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  DurableEnactOptions options;
+  options.resume = &*recovery;
+  auto resumed = EnactResilientDurable(workflow, *env.corpus.registry,
+                                       inputs, engine, *journal, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+
+  // Byte-identical outcome: outputs, provenance, and bookkeeping all match
+  // the uninterrupted enactment.
+  ASSERT_EQ(resumed->outputs.size(), baseline->outputs.size());
+  for (size_t i = 0; i < baseline->outputs.size(); ++i) {
+    EXPECT_TRUE(resumed->outputs[i].Equals(baseline->outputs[i]))
+        << "workflow output " << i << " diverged";
+  }
+  ASSERT_EQ(resumed->invocations.size(), baseline->invocations.size());
+  for (size_t i = 0; i < baseline->invocations.size(); ++i) {
+    EXPECT_EQ(resumed->invocations[i].processor_name,
+              baseline->invocations[i].processor_name);
+    EXPECT_EQ(resumed->invocations[i].module_id,
+              baseline->invocations[i].module_id);
+  }
+  EXPECT_EQ(resumed->missing_outputs, baseline->missing_outputs);
+  EXPECT_EQ(resumed->skipped_processors, baseline->skipped_processors);
+  // The committed prefix was replayed, not re-invoked.
+  EXPECT_GT(engine.metrics().Snapshot().modules_replayed, 0u);
+}
+
+TEST(DurableEnactTest, TornStepCommitIsReinvokedOnResume) {
+  const auto& env = GetEnvironment();
+  const GeneratedWorkflow& item = PickWorkflow();
+  const Workflow& workflow = item.workflow;
+  const std::vector<Value>& inputs = item.seeds;
+
+  InvocationEngine baseline_engine;
+  auto baseline = EnactResilient(workflow, *env.corpus.registry, inputs,
+                                 baseline_engine);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_GE(baseline->invocations.size(), 2u);
+  const std::string crash_key = baseline->invocations[1].module_id;
+
+  const std::string dir = FreshDir("enact-torn");
+  {
+    InvocationEngine engine;
+    auto journal = RunJournal::Create(dir, {}, &engine.metrics());
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    DurableEnactOptions options;
+    options.crash.point = CrashPoint::kTornWrite;
+    options.crash.key = crash_key;
+    auto crashed = EnactResilientDurable(workflow, *env.corpus.registry,
+                                         inputs, engine, *journal, options);
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_TRUE(crashed.status().IsCancelled()) << crashed.status();
+  }
+
+  InvocationEngine engine;
+  auto recovery = RecoverJournal(dir, &engine.metrics());
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_TRUE(recovery->tail_discarded());
+  auto journal = RunJournal::Resume(dir, *recovery, {}, &engine.metrics());
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  DurableEnactOptions options;
+  options.resume = &*recovery;
+  auto resumed = EnactResilientDurable(workflow, *env.corpus.registry,
+                                       inputs, engine, *journal, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ASSERT_EQ(resumed->outputs.size(), baseline->outputs.size());
+  for (size_t i = 0; i < baseline->outputs.size(); ++i) {
+    EXPECT_TRUE(resumed->outputs[i].Equals(baseline->outputs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace dexa

@@ -323,8 +323,10 @@ TEST(FaultToleranceTest, RetriesRecoverAnnotationsUnderTransientFaults) {
 
   auto serial_report = AnnotateRegistry(serial_generator, **serial_wrapped);
   ASSERT_TRUE(serial_report.ok()) << serial_report.status();
+  ASSERT_TRUE(serial_report->complete()) << serial_report->run_status;
   auto pooled_report = AnnotateRegistry(pooled_generator, **pooled_wrapped);
   ASSERT_TRUE(pooled_report.ok()) << pooled_report.status();
+  ASSERT_TRUE(pooled_report->complete()) << pooled_report->run_status;
 
   // Identical runs at any thread count, faults and all.
   EXPECT_EQ(serial_report->annotated, pooled_report->annotated);

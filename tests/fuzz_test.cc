@@ -3,10 +3,16 @@
 // never crashing or looping. Seeds parameterize deterministic mutation
 // streams over genuine rendered artifacts.
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "corpus/behaviors.h"
+#include "durability/journal.h"
+#include "durability/trace_io.h"
 #include "formats/entity_records.h"
 #include "formats/kegg_flat.h"
 #include "formats/reports.h"
@@ -160,6 +166,73 @@ TEST_P(ParserFuzzTest, AnnotationLoaderNeverCrashes) {
         Mutate(slice, rng, 1 + static_cast<int>(rng.NextBelow(12)));
     ExpectGraceful(
         LoadAnnotations(mutated, *fresh->ontology, *fresh->registry));
+  }
+}
+
+TEST_P(ParserFuzzTest, TraceLoaderNeverCrashes) {
+  const auto& env = GetEnvironment();
+  Rng rng(GetParam());
+  std::string slice = SaveTraces(env.provenance).substr(0, 4000);
+  for (int i = 0; i < 15; ++i) {
+    ExpectGraceful(
+        LoadTraces(Mutate(slice, rng, 1 + static_cast<int>(rng.NextBelow(12)))));
+  }
+}
+
+TEST_P(ParserFuzzTest, JournalRecoveryNeverCrashes) {
+  namespace fs = std::filesystem;
+  Rng rng(GetParam());
+
+  // One genuine multi-record journal segment as the mutation substrate.
+  fs::path dir = fs::path(::testing::TempDir()) /
+                 ("dexa_fuzz_journal_" + std::to_string(GetParam()));
+  fs::remove_all(dir);
+  auto journal = RunJournal::Create(dir.string());
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 12; ++i) {
+    payloads.push_back("record-" + std::to_string(i) +
+                       std::string(1 + rng.NextIndex(120), 'j'));
+    ASSERT_TRUE(journal->Append(payloads.back()).ok());
+  }
+  ASSERT_TRUE(journal->Seal().ok());
+  const fs::path segment = dir / "wal-00000.seg";
+  std::string pristine;
+  {
+    std::ifstream in(segment, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    pristine = std::move(buffer).str();
+  }
+
+  for (int i = 0; i < 40; ++i) {
+    std::string mutated =
+        Mutate(pristine, rng, 1 + static_cast<int>(rng.NextBelow(10)));
+
+    // The scanner never crashes: it returns OK or kCorrupted, and whatever
+    // it salvages is a prefix of the original records (the CRC32 framing
+    // rejects every damaged record).
+    SegmentScan scan = ScanSegment(mutated);
+    EXPECT_TRUE(scan.status.ok() || scan.status.IsCorrupted())
+        << scan.status;
+    ASSERT_LE(scan.records.size(), payloads.size());
+    for (size_t k = 0; k < scan.records.size(); ++k) {
+      EXPECT_EQ(scan.records[k], payloads[k]);
+    }
+
+    // Full on-disk recovery over the damaged segment agrees with the scan
+    // and flags the discarded tail.
+    {
+      std::ofstream out(segment, std::ios::binary | std::ios::trunc);
+      out << mutated;
+    }
+    auto recovery = RecoverJournal(dir.string());
+    ASSERT_TRUE(recovery.ok()) << recovery.status();
+    EXPECT_TRUE(recovery->tail_status.ok() ||
+                recovery->tail_status.IsCorrupted())
+        << recovery->tail_status;
+    EXPECT_EQ(recovery->records.size(), scan.records.size());
+    EXPECT_EQ(recovery->tail_discarded(), !scan.status.ok());
   }
 }
 

@@ -82,12 +82,44 @@ TEST(RegistryIoTest, RejectsCorruptInput) {
                   "# dexa annotations v1\nmodule nope Nope\n", onto, registry)
                   .status()
                   .IsParseError());
+  // An unterminated example is damage (a truncated file), not a grammar
+  // error: the typed kCorrupted status is what recovery dispatches on.
   EXPECT_TRUE(LoadAnnotations("# dexa annotations v1\nmodule m000 X\n"
                               "example\nin - \"v\"\n",
                               onto, registry)
                   .status()
-                  .IsParseError());  // Unterminated example.
+                  .IsCorrupted());
   (void)env;
+}
+
+TEST(RegistryIoTest, FailedLoadLeavesNoPartialState) {
+  const auto& env = GetEnvironment();
+  std::string saved =
+      SaveAnnotations(*env.corpus.registry, *env.corpus.ontology);
+
+  // Damage the document near the end: truncate just before the last "end"
+  // line, so hundreds of modules parse cleanly before the damage.
+  size_t cut = saved.rfind("\nend\n");
+  ASSERT_NE(cut, std::string::npos);
+  std::string truncated = saved.substr(0, cut + 1);
+
+  auto fresh = BuildCorpus();
+  ASSERT_TRUE(fresh.ok());
+  auto result = LoadAnnotations(truncated, *fresh->ontology, *fresh->registry);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorrupted()) << result.status();
+
+  // Stage-then-commit: even though the damage sits at the tail, not one
+  // module's annotations leaked into the registry.
+  for (const ModulePtr& module : fresh->registry->AllModules()) {
+    EXPECT_TRUE(fresh->registry->DataExamplesOf(module->spec().id).empty())
+        << module->spec().id;
+  }
+
+  // The intact document still loads into the same registry afterwards.
+  auto reloaded = LoadAnnotations(saved, *fresh->ontology, *fresh->registry);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_GT(*reloaded, 0u);
 }
 
 TEST(PoolIoTest, RoundTripsPool) {

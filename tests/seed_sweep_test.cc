@@ -39,6 +39,7 @@ TEST_P(SeedSweepTest, StructuralResultsHoldAcrossSeeds) {
   ExampleGenerator generator(corpus->ontology.get(), &pool);
   auto annotated = AnnotateRegistry(generator, *corpus->registry);
   ASSERT_TRUE(annotated.ok()) << annotated.status();
+  ASSERT_TRUE(annotated->complete()) << annotated->run_status;
 
   // Tables 1-3 and the Section 4.3 coverage results.
   CoverageAnalyzer analyzer(corpus->ontology.get());

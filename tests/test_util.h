@@ -63,6 +63,10 @@ inline const Environment& GetEnvironment() {
       ADD_FAILURE() << "AnnotateRegistry: " << annotated.status();
       std::abort();
     }
+    if (!annotated->complete()) {
+      ADD_FAILURE() << "AnnotateRegistry aborted: " << annotated->run_status;
+      std::abort();
+    }
 
     Status retired = RetireDecayedModules(out->corpus);
     if (!retired.ok()) {

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Builds the engine-facing tests under ThreadSanitizer and runs them.
 # The invocation engine is the only place dexa shares mutable state across
-# threads (work queue, concept cache, metrics, virtual clock, breaker map),
-# so engine_test and fault_test (retries, breakers and fault injection
-# under the pooled engine) plus generator_test (which drives the engine
-# through AnnotateRegistry) cover the racy surface.
+# threads (work queue, concept cache, metrics, virtual clock, breaker map,
+# commit hook), so engine_test and fault_test (retries, breakers and fault
+# injection under the pooled engine) plus generator_test (which drives the
+# engine through AnnotateRegistry) cover the racy surface. durability_test
+# exercises the journaled commit path under the 8-thread engine, and
+# io_test the corruption-hardened readers it recovers through.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 
@@ -14,11 +16,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DDEXA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target engine_test generator_test fault_test -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target engine_test generator_test fault_test \
+  durability_test io_test -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/engine_test"
 "$BUILD_DIR/tests/generator_test"
 "$BUILD_DIR/tests/fault_test"
+"$BUILD_DIR/tests/durability_test"
+"$BUILD_DIR/tests/io_test"
 
 echo "TSan check passed."

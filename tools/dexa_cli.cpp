@@ -5,6 +5,12 @@
 //
 //   dexa tables                      regenerate the paper's tables
 //   dexa annotate <module-name>      print a module's data examples
+//   dexa annotate --journal <dir> [--crash before|after|torn <module-id>]
+//                                    durable annotation run journaled in
+//                                    <dir>, optionally killed at a crash
+//                                    point for recovery drills
+//   dexa resume <dir>                recover the journal in <dir> and
+//                                    resume the crashed annotation run
 //   dexa compare <name-a> <name-b>   compare two modules' behavior
 //   dexa discover <in> <out>         rank modules by signature
 //   dexa compose <in> <out> [depth]  assemble validated pipelines
@@ -22,6 +28,10 @@
 
 #include "common/table.h"
 #include "core/composition.h"
+#include "corpus/fault_injector.h"
+#include "durability/durable_annotate.h"
+#include "durability/journal.h"
+#include "durability/snapshot.h"
 #include "core/coverage.h"
 #include "core/discovery.h"
 #include "core/example_generator.h"
@@ -51,7 +61,10 @@ int Fail(const Status& status) {
   return 1;
 }
 
-Result<CliEnv> BuildEnv(bool retire) {
+/// Builds the evaluation environment. `annotate` is false for the durable
+/// subcommands, which run (or resume) the annotation themselves through a
+/// journal instead of inline.
+Result<CliEnv> BuildEnv(bool retire, bool annotate = true) {
   CliEnv env;
   auto corpus = BuildCorpus();
   if (!corpus.ok()) return corpus.status();
@@ -64,9 +77,12 @@ Result<CliEnv> BuildEnv(bool retire) {
   env.provenance = std::move(provenance).value();
   env.pool = std::make_unique<AnnotatedInstancePool>(HarvestPool(
       env.provenance, *env.corpus.registry, *env.corpus.ontology));
-  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
-  auto annotated = AnnotateRegistry(generator, *env.corpus.registry);
-  if (!annotated.ok()) return annotated.status();
+  if (annotate) {
+    ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+    auto annotated = AnnotateRegistry(generator, *env.corpus.registry);
+    if (!annotated.ok()) return annotated.status();
+    if (!annotated->complete()) return annotated->run_status;
+  }
   if (retire) {
     DEXA_RETURN_IF_ERROR(RetireDecayedModules(env.corpus));
   }
@@ -147,6 +163,70 @@ int CmdAnnotate(const CliEnv& env, const std::string& name) {
     std::cout << "  " << rendered << "\n";
   }
   return 0;
+}
+
+/// Prints a durable run's report and, when the run completed, writes the
+/// run-state snapshot (pool + annotations + provenance) next to the
+/// journal.
+int FinishDurableRun(CliEnv& env, const std::string& dir,
+                     const AnnotateReport& report) {
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"modules annotated", std::to_string(report.annotated)});
+  table.AddRow({"modules decayed", std::to_string(report.decayed)});
+  table.AddRow({"modules replayed from journal",
+                std::to_string(report.replayed)});
+  table.AddRow({"data examples", std::to_string(report.examples)});
+  table.AddRow({"journal records", std::to_string(report.metrics.commits)});
+  table.Print(std::cout, "Durable annotation run:");
+  if (!report.complete()) {
+    std::cout << "run aborted: " << report.run_status << "\n"
+              << "resume with: dexa resume " << dir << "\n";
+    return 1;
+  }
+  Status snapshot = WriteRunStateSnapshot(dir + "/state", *env.pool,
+                                          *env.corpus.registry,
+                                          *env.corpus.ontology,
+                                          env.provenance);
+  if (!snapshot.ok()) return Fail(snapshot);
+  std::cout << "run complete; state snapshot in " << dir << "/state\n";
+  return 0;
+}
+
+int CmdAnnotateDurable(CliEnv& env, const std::string& dir,
+                       const CrashPlan& crash) {
+  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+  auto journal =
+      RunJournal::Create(dir, {}, &generator.engine().metrics());
+  if (!journal.ok()) return Fail(journal.status());
+  DurableAnnotateOptions options;
+  options.crash = crash;
+  auto report = AnnotateRegistryDurable(generator, *env.corpus.registry,
+                                        *env.corpus.ontology, *journal,
+                                        options);
+  if (!report.ok()) return Fail(report.status());
+  return FinishDurableRun(env, dir, *report);
+}
+
+int CmdResume(CliEnv& env, const std::string& dir) {
+  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+  auto recovery = RecoverJournal(dir, &generator.engine().metrics());
+  if (!recovery.ok()) return Fail(recovery.status());
+  std::cout << "recovered " << recovery->records.size() << " record(s) from "
+            << recovery->segments_scanned << " segment(s)";
+  if (recovery->tail_discarded()) {
+    std::cout << "; discarded " << recovery->bytes_discarded
+              << " damaged tail byte(s) (" << recovery->tail_status.message()
+              << ")";
+  }
+  std::cout << "\n";
+  auto journal = RunJournal::Resume(dir, *recovery, {},
+                                    &generator.engine().metrics());
+  if (!journal.ok()) return Fail(journal.status());
+  auto report = AnnotateRegistry(generator, *env.corpus.registry,
+                                 *env.corpus.ontology, *journal,
+                                 ResumeFrom(*recovery));
+  if (!report.ok()) return Fail(report.status());
+  return FinishDurableRun(env, dir, *report);
 }
 
 int CmdCompare(const CliEnv& env, const std::string& a, const std::string& b) {
@@ -293,6 +373,8 @@ int Usage() {
   std::cerr
       << "usage: dexa <command> [args]\n"
          "  tables | annotate <module> | compare <a> <b>\n"
+         "  annotate --journal <dir> [--crash before|after|torn <module-id>]\n"
+         "  resume <dir>\n"
          "  discover <in-concept> <out-concept> | compose <in> <out> [depth]\n"
          "  repair | study | export-registry <file> | export-ontology <file>\n"
          "  export-pool <file> | export-workflow <id> <file>\n";
@@ -306,12 +388,37 @@ int main(int argc, char** argv) {
   if (args.empty()) return Usage();
   const std::string& command = args[0];
 
+  // The durable subcommands run (or resume) the annotation through a
+  // journal themselves; inline annotation would hide the work to recover.
+  const bool durable_annotate =
+      command == "annotate" && args.size() >= 3 && args[1] == "--journal";
+  const bool durable_resume = command == "resume" && args.size() == 2;
+
   // The repair command needs the decayed corpus; everything else works on
   // the healthy one.
-  auto env = BuildEnv(/*retire=*/command == "repair" || command == "compare"
-                          ? command == "repair"
-                          : false);
+  auto env = BuildEnv(/*retire=*/command == "repair",
+                      /*annotate=*/!(durable_annotate || durable_resume));
   if (!env.ok()) return Fail(env.status());
+
+  if (durable_annotate) {
+    CrashPlan crash;
+    if (args.size() == 6 && args[3] == "--crash") {
+      if (args[4] == "before") {
+        crash.point = CrashPoint::kCrashBeforeCommit;
+      } else if (args[4] == "after") {
+        crash.point = CrashPoint::kCrashAfterCommit;
+      } else if (args[4] == "torn") {
+        crash.point = CrashPoint::kTornWrite;
+      } else {
+        return Usage();
+      }
+      crash.key = args[5];
+    } else if (args.size() != 3) {
+      return Usage();
+    }
+    return CmdAnnotateDurable(*env, args[2], crash);
+  }
+  if (durable_resume) return CmdResume(*env, args[1]);
 
   if (command == "tables") return CmdTables(*env);
   if (command == "annotate" && args.size() == 2) {

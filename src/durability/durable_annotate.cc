@@ -67,11 +67,15 @@ Result<AnnotateReport> AnnotateRegistryDurable(
   InvocationEngine& engine = generator.engine();
 
   std::vector<ModuleCommit> committed;
+  bool fresh = true;
   if (options.resume != nullptr) {
     auto validated = ValidateResume(*options.resume, modules, registry,
                                     generator.options(), ontology);
     if (!validated.ok()) return validated.status();
     committed = std::move(validated).value();
+    // A recovered journal with any records already carries its header —
+    // even when zero commits follow it (crash before the first commit).
+    fresh = options.resume->records.empty();
   }
 
   // Route commits through the engine's ordered commit hook into the
@@ -86,7 +90,7 @@ Result<AnnotateReport> AnnotateRegistryDurable(
   } clearer{&engine};
 
   AnnotateReport report;
-  if (committed.empty()) {
+  if (fresh) {
     AnnotateRunHeader header;
     header.modules = modules.size();
     header.fingerprint =

@@ -24,6 +24,37 @@ std::string SegmentName(size_t index) {
   return "wal-" + ZeroPad(index, 5) + ".seg";
 }
 
+/// Parses the numeric index out of a segment filename ("wal-00012.seg").
+/// Returns false for names that do not follow the scheme.
+bool ParseSegmentIndex(const fs::path& path, size_t* index) {
+  const std::string name = path.filename().string();
+  constexpr size_t kPrefixLen = 4;  // "wal-"
+  constexpr size_t kSuffixLen = 4;  // ".seg"
+  if (name.size() <= kPrefixLen + kSuffixLen) return false;
+  size_t value = 0;
+  for (size_t at = kPrefixLen; at < name.size() - kSuffixLen; ++at) {
+    if (name[at] < '0' || name[at] > '9') return false;
+    value = value * 10 + static_cast<size_t>(name[at] - '0');
+  }
+  *index = value;
+  return true;
+}
+
+/// max(filename index) + 1 over `segments` — the only collision-free next
+/// index. Positions in the sorted list are not usable: recovery may have
+/// removed a header-damaged segment whole, leaving a numbering gap, after
+/// which `segments.size()` names a live segment.
+size_t NextSegmentIndex(const std::vector<fs::path>& segments) {
+  size_t next = 0;
+  for (const fs::path& segment : segments) {
+    size_t index = 0;
+    if (ParseSegmentIndex(segment, &index) && index + 1 > next) {
+      next = index + 1;
+    }
+  }
+  return next;
+}
+
 /// Sorted paths of the journal segments in `dir` (lexicographic order of
 /// the zero-padded names is append order).
 Result<std::vector<fs::path>> ListSegments(const std::string& dir) {
@@ -146,7 +177,8 @@ Result<JournalRecovery> RecoverJournal(const std::string& dir,
     recovery.bytes_discarded = bytes->size() - scan.valid_bytes;
     for (size_t later = s + 1; later < segments->size(); ++later) {
       std::error_code ec;
-      recovery.bytes_discarded += fs::file_size((*segments)[later], ec);
+      const uintmax_t later_size = fs::file_size((*segments)[later], ec);
+      if (!ec) recovery.bytes_discarded += later_size;
       ++recovery.segments_scanned;
     }
     if (metrics != nullptr) metrics->RecordTornTailDiscard();
@@ -212,7 +244,7 @@ Result<RunJournal> RunJournal::Resume(const std::string& dir,
   }
 
   std::error_code ec;
-  size_t next_index = segments->size();
+  const size_t next_index = NextSegmentIndex(*segments);
   if (recovery.tail_discarded()) {
     // Truncate the damaged segment back to its valid prefix and drop every
     // segment after it — the journal must be a valid prefix before new
@@ -232,7 +264,14 @@ Result<RunJournal> RunJournal::Resume(const std::string& dir,
     for (size_t s = recovery.damaged_segment + 1; s < segments->size(); ++s) {
       fs::remove((*segments)[s], ec);
     }
-    next_index = recovery.damaged_segment + 1;
+  }
+
+  // Opening fresh truncates, so a collision with a live segment would
+  // destroy committed records — refuse rather than trust the numbering.
+  const fs::path next_path = fs::path(dir) / SegmentName(next_index);
+  if (fs::exists(next_path, ec)) {
+    return Status::Internal("refusing to resume: next segment '" +
+                            next_path.string() + "' already exists");
   }
 
   RunJournal journal;

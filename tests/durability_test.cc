@@ -137,6 +137,49 @@ TEST(RunJournalTest, TornTailIsDetectedDiscardedAndResumable) {
   EXPECT_EQ(again->records.back(), "after-the-crash");
 }
 
+TEST(RunJournalTest, ResumeNumberingSurvivesSegmentGaps) {
+  const std::string dir = FreshDir("gaps");
+  {
+    auto journal = RunJournal::Create(dir);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    ASSERT_TRUE(journal->Append("one").ok());
+    ASSERT_TRUE(journal->Append("two").ok());
+    ASSERT_TRUE(journal->Seal().ok());
+  }
+  // A crash left the next segment header-less (0 bytes): recovery drops it
+  // whole, leaving a numbering gap after the resume writes wal-00002.
+  { std::ofstream stub(fs::path(dir) / "wal-00001.seg", std::ios::binary); }
+  auto recovery = RecoverJournal(dir);
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_TRUE(recovery->tail_discarded());
+  {
+    auto resumed = RunJournal::Resume(dir, *recovery);
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    ASSERT_TRUE(resumed->Append("three").ok());
+    ASSERT_TRUE(resumed->Seal().ok());
+  }
+
+  // Live segments are now {00000, 00002}: a clean resume must number past
+  // the gap, not derive an index from the list position and truncate the
+  // live wal-00002 (destroying "three").
+  auto clean = RecoverJournal(dir);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_FALSE(clean->tail_discarded());
+  ASSERT_EQ(clean->records,
+            (std::vector<std::string>{"one", "two", "three"}));
+  {
+    auto resumed = RunJournal::Resume(dir, *clean);
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    ASSERT_TRUE(resumed->Append("four").ok());
+    ASSERT_TRUE(resumed->Seal().ok());
+  }
+  auto final_pass = RecoverJournal(dir);
+  ASSERT_TRUE(final_pass.ok()) << final_pass.status();
+  EXPECT_FALSE(final_pass->tail_discarded());
+  EXPECT_EQ(final_pass->records,
+            (std::vector<std::string>{"one", "two", "three", "four"}));
+}
+
 TEST(RunJournalTest, DamagedHeaderEndsTheJournalBeforeAnyRecord) {
   SegmentScan scan = ScanSegment("GARBAGE!not a segment");
   EXPECT_TRUE(scan.status.IsCorrupted());
@@ -358,6 +401,71 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param).module_index) + "_t" +
              std::to_string(std::get<0>(info.param));
     });
+
+TEST(DurableAnnotateTest, CrashBeforeFirstCommitResumesWithoutSecondHeader) {
+  const auto& env = GetEnvironment();
+  const std::string dir = FreshDir("first-commit-crash");
+  EngineConfig config = EngineConfig().Threads(1).Seed(0xD0D0);
+
+  // Run 1 crashes before the very first module commits: the journal holds
+  // the header and nothing else.
+  {
+    auto engine = config.BuildEngine();
+    ExampleGenerator generator = config.MakeGenerator(
+        env.corpus.ontology.get(), env.pool.get(), engine.get());
+    auto registry = FreshRegistry();
+    auto journal = RunJournal::Create(dir, {}, &engine->metrics());
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    DurableAnnotateOptions options;
+    options.crash.point = CrashPoint::kCrashBeforeCommit;
+    options.crash.key = registry->AvailableModules()[0]->spec().id;
+    auto report = AnnotateRegistryDurable(generator, *registry,
+                                          *env.corpus.ontology, *journal,
+                                          options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->run_status.IsCancelled()) << report->run_status;
+  }
+
+  // Run 2 resumes (zero commits to replay) and crashes again further in. A
+  // resume that re-appended the header here would leave the journal with
+  // two header records, permanently unresumable.
+  {
+    auto engine = config.BuildEngine();
+    ExampleGenerator generator = config.MakeGenerator(
+        env.corpus.ontology.get(), env.pool.get(), engine.get());
+    auto registry = FreshRegistry();
+    auto recovery = RecoverJournal(dir, &engine->metrics());
+    ASSERT_TRUE(recovery.ok()) << recovery.status();
+    ASSERT_EQ(recovery->records.size(), 1u);  // Header only.
+    auto journal = RunJournal::Resume(dir, *recovery, {}, &engine->metrics());
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    DurableAnnotateOptions options;
+    options.resume = &*recovery;
+    options.crash.point = CrashPoint::kCrashAfterCommit;
+    options.crash.key = registry->AvailableModules()[3]->spec().id;
+    auto report = AnnotateRegistryDurable(generator, *registry,
+                                          *env.corpus.ontology, *journal,
+                                          options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->run_status.IsCancelled()) << report->run_status;
+  }
+
+  // Run 3: the journal decodes as header + commit prefix and the run
+  // completes, replaying the four committed modules.
+  auto engine = config.BuildEngine();
+  ExampleGenerator generator = config.MakeGenerator(
+      env.corpus.ontology.get(), env.pool.get(), engine.get());
+  auto registry = FreshRegistry();
+  auto recovery = RecoverJournal(dir, &engine->metrics());
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  auto journal = RunJournal::Resume(dir, *recovery, {}, &engine->metrics());
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  auto report = AnnotateRegistry(generator, *registry, *env.corpus.ontology,
+                                 *journal, ResumeFrom(*recovery));
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->complete()) << report->run_status;
+  EXPECT_EQ(report->replayed, 4u);
+}
 
 TEST(DurableAnnotateTest, ResumeRejectsForeignJournals) {
   const auto& env = GetEnvironment();

@@ -176,7 +176,8 @@ int FinishDurableRun(CliEnv& env, const std::string& dir,
   table.AddRow({"modules replayed from journal",
                 std::to_string(report.replayed)});
   table.AddRow({"data examples", std::to_string(report.examples)});
-  table.AddRow({"journal records", std::to_string(report.metrics.commits)});
+  table.AddRow(
+      {"journal records", std::to_string(report.metrics.journal_records)});
   table.Print(std::cout, "Durable annotation run:");
   if (!report.complete()) {
     std::cout << "run aborted: " << report.run_status << "\n"

@@ -1,0 +1,90 @@
+// Perf harness for dexa-lint: how much does the invariant gate cost?
+// Lints the live tree (src/ tests/ bench/ tools/ examples/) repeatedly and
+// reports files scanned, rules evaluated, wall time per pass and findings.
+// The acceptance bar is the tentpole invariant itself: the tree lints
+// clean (0 findings). Emits BENCH_lint.json.
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_env.h"
+#include "common/table.h"
+#include "tools/lint/lint.h"
+
+namespace dexa {
+namespace {
+
+constexpr int kRepetitions = 5;
+
+int RunBench() {
+  const std::string root = DEXA_SOURCE_DIR;
+  const std::vector<std::string> paths = {"src", "tests", "bench", "tools",
+                                          "examples"};
+
+  auto collect_start = std::chrono::steady_clock::now();
+  std::vector<std::string> files = lint::CollectSourceFiles(root, paths);
+  auto collect_end = std::chrono::steady_clock::now();
+  double collect_ms =
+      std::chrono::duration<double, std::milli>(collect_end - collect_start)
+          .count();
+
+  lint::LintReport report;
+  double best_ms = 0.0;
+  double total_ms = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    report = lint::LintPaths(root, files);
+    auto end = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(end - start).count();
+    total_ms += ms;
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+  }
+  double mean_ms = total_ms / kRepetitions;
+  double files_per_s =
+      best_ms > 0 ? 1000.0 * static_cast<double>(report.files_scanned) / best_ms
+                  : 0.0;
+
+  TablePrinter table({"metric", "value", "unit"});
+  table.AddRow({"files scanned", std::to_string(report.files_scanned), ""});
+  table.AddRow(
+      {"rules evaluated", std::to_string(report.rules_evaluated), "rule-files"});
+  table.AddRow({"findings", std::to_string(report.findings.size()), ""});
+  table.AddRow({"suppressed", std::to_string(report.suppressed), ""});
+  table.AddRow({"collect", FormatFixed(collect_ms, 2), "ms"});
+  table.AddRow({"lint pass (best)", FormatFixed(best_ms, 2), "ms"});
+  table.AddRow({"lint pass (mean)", FormatFixed(mean_ms, 2), "ms"});
+  table.AddRow({"throughput", FormatFixed(files_per_s, 0), "files/s"});
+  table.Print(std::cout, "dexa-lint over the live tree (" +
+                             std::to_string(kRepetitions) + " passes)");
+
+  const bool clean = report.findings.empty();
+  if (!clean) {
+    for (const lint::Finding& f : report.findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+  }
+  std::cout << "tree " << (clean ? "lints clean" : "HAS FINDINGS") << "\n\n";
+
+  bench_env::BenchReport bench("lint");
+  bench.Add("files_scanned", static_cast<double>(report.files_scanned),
+            "count");
+  bench.Add("rules_evaluated", static_cast<double>(report.rules_evaluated),
+            "count");
+  bench.Add("findings", static_cast<double>(report.findings.size()), "count");
+  bench.Add("suppressed", static_cast<double>(report.suppressed), "count");
+  bench.Add("collect_ms", collect_ms, "ms");
+  bench.Add("lint_best_ms", best_ms, "ms");
+  bench.Add("lint_mean_ms", mean_ms, "ms");
+  bench.Add("files_per_s", files_per_s, "files/s");
+  bench.Add("accepted", clean ? 1.0 : 0.0, "bool");
+  bench.Write();
+  return clean ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dexa
+
+int main() { return dexa::RunBench(); }

@@ -13,8 +13,11 @@ namespace dexa {
 ///
 /// A `Result<T>` is either OK and holds a `T`, or holds a non-OK `Status`.
 /// Accessing the value of an errored result aborts in debug builds.
+///
+/// Like Status, the type is [[nodiscard]]: dropping a Result drops its
+/// error. Discarding intentionally requires a `(void)` cast with a reason.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs an OK result holding `value`. Intentionally implicit so
   /// functions can `return value;`.

@@ -66,7 +66,12 @@ const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case
 /// (no allocation); error statuses carry a message.
-class Status {
+///
+/// The type itself is [[nodiscard]]: any expression that produces a Status
+/// and drops it is a compile error under -Werror (and a dexa-lint
+/// `unchecked-status` finding). Discarding intentionally requires a
+/// `(void)` cast with a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -74,41 +79,41 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status Transient(std::string msg) {
+  [[nodiscard]] static Status Transient(std::string msg) {
     return Status(StatusCode::kTransient, std::move(msg));
   }
-  static Status Timeout(std::string msg) {
+  [[nodiscard]] static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
-  static Status Permanent(std::string msg) {
+  [[nodiscard]] static Status Permanent(std::string msg) {
     return Status(StatusCode::kPermanent, std::move(msg));
   }
-  static Status Decayed(std::string msg) {
+  [[nodiscard]] static Status Decayed(std::string msg) {
     return Status(StatusCode::kDecayed, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
-  static Status Corrupted(std::string msg) {
+  [[nodiscard]] static Status Corrupted(std::string msg) {
     return Status(StatusCode::kCorrupted, std::move(msg));
   }
 

@@ -62,7 +62,7 @@ class ExampleGuidedComposer {
 
   /// Finds up to `request.max_results` validated chains, shortest first
   /// (ties: lexicographic module-name order, deterministically).
-  Result<std::vector<CompositionCandidate>> Compose(
+  [[nodiscard]] Result<std::vector<CompositionCandidate>> Compose(
       const CompositionRequest& request) const;
 
  private:

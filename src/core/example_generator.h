@@ -108,12 +108,12 @@ class ExampleGenerator {
 
   /// Generates `∆(m)` for `module`. Fails only on internal errors; a module
   /// for which no combination terminates normally yields an empty set.
-  Result<GenerationOutcome> Generate(const Module& module) const;
+  [[nodiscard]] Result<GenerationOutcome> Generate(const Module& module) const;
 
   /// Invokes `module` on the input vectors of `examples` (e.g. examples of
   /// another module being compared, Section 6) and returns the examples it
   /// produces; combinations the module rejects are skipped.
-  Result<DataExampleSet> ReplayInputs(const Module& module,
+  [[nodiscard]] Result<DataExampleSet> ReplayInputs(const Module& module,
                                       const DataExampleSet& examples) const;
 
   const DomainPartitioner& partitioner() const { return partitioner_; }
@@ -169,7 +169,7 @@ struct AnnotateReport {
 /// not abort the run — its partial example set (possibly empty) is
 /// committed, the module is reported in `decayed_ids`, and annotation
 /// continues with the next module. Only internal errors abort.
-Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
+[[nodiscard]] Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
                                         ModuleRegistry& registry);
 
 }  // namespace dexa

@@ -86,7 +86,7 @@ class ModuleMatcher {
   /// `allow_contextual`, where the candidate input subsumes the reference
   /// input and the output concepts are comparable). NotFound when no
   /// complete mapping exists.
-  Result<ParameterMapping> MapParameters(const ModuleSpec& reference,
+  [[nodiscard]] Result<ParameterMapping> MapParameters(const ModuleSpec& reference,
                                          const ModuleSpec& candidate,
                                          bool allow_contextual = true) const;
 
@@ -95,13 +95,13 @@ class ModuleMatcher {
   /// provenance for an unavailable one). The candidate is invoked on each
   /// reference input vector (permuted through `mapping`); outputs are
   /// compared for deep equality.
-  Result<MatchResult> CompareAgainstExamples(
+  [[nodiscard]] Result<MatchResult> CompareAgainstExamples(
       const DataExampleSet& reference_examples, const Module& candidate,
       const ParameterMapping& mapping) const;
 
   /// End-to-end comparison of two invocable modules: generates examples for
   /// the reference, maps parameters, and replays against the candidate.
-  Result<MatchResult> Compare(const Module& reference,
+  [[nodiscard]] Result<MatchResult> Compare(const Module& reference,
                               const Module& candidate,
                               bool allow_contextual = true) const;
 

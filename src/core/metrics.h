@@ -36,7 +36,7 @@ struct BehaviorMetrics {
 /// redundant when they exercise the same behavior class; a class is covered
 /// when at least one example exercises it. Fails with InvalidArgument if
 /// the module exposes no ground truth.
-Result<BehaviorMetrics> EvaluateBehaviorMetrics(const Module& module,
+[[nodiscard]] Result<BehaviorMetrics> EvaluateBehaviorMetrics(const Module& module,
                                                 const DataExampleSet& examples);
 
 }  // namespace dexa

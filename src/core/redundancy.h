@@ -93,7 +93,7 @@ struct RedundancyQuality {
 };
 
 /// Scores `report` against the module's BehaviorGroundTruth (requires one).
-Result<RedundancyQuality> EvaluateRedundancyDetection(
+[[nodiscard]] Result<RedundancyQuality> EvaluateRedundancyDetection(
     const Module& module, const DataExampleSet& examples,
     const RedundancyReport& report);
 

@@ -43,7 +43,7 @@ const char* RecordKindConcept(RecordKind kind);
 /// Retrieves and renders the record of `kind` for `accession`. The
 /// accession namespace must suit the kind (Uniprot/Fasta want a Uniprot
 /// accession, EMBL/GenBank an EMBL accession, PDB a PDB id, and so on).
-Result<std::string> RetrieveRecord(const KnowledgeBase& kb, RecordKind kind,
+[[nodiscard]] Result<std::string> RetrieveRecord(const KnowledgeBase& kb, RecordKind kind,
                                    const std::string& accession);
 
 /// The five sequence flat-file serializations.
@@ -53,7 +53,7 @@ const char* SeqFormatConcept(SeqFormat format);
 
 /// Parses `text` into SequenceData by sniffing its format; `format_out`
 /// (optional) receives the detected format.
-Result<SequenceData> ParseSequenceRecordAny(const std::string& text,
+[[nodiscard]] Result<SequenceData> ParseSequenceRecordAny(const std::string& text,
                                             SeqFormat* format_out = nullptr);
 
 /// Renders `data` in `format`.
@@ -62,22 +62,22 @@ std::string RenderSequenceData(const SequenceData& data, SeqFormat format);
 /// Extracts the primary identifier from any record format (sniff-dispatch):
 /// sequence records yield their accession, KEGG-family records their ENTRY
 /// id, GO/InterPro/Pfam their stanza id.
-Result<std::string> ExtractPrimaryId(const std::string& record);
+[[nodiscard]] Result<std::string> ExtractPrimaryId(const std::string& record);
 
 /// Extracts the entry name/symbol from any record format.
-Result<std::string> ExtractEntryName(const std::string& record);
+[[nodiscard]] Result<std::string> ExtractEntryName(const std::string& record);
 
 /// One-line summary of any record ("<id> <name>").
-Result<std::string> SummarizeRecordLine(const std::string& record);
+[[nodiscard]] Result<std::string> SummarizeRecordLine(const std::string& record);
 
 /// The sequence carried by any *sequence* record format.
-Result<std::string> ExtractSequenceText(const std::string& record);
+[[nodiscard]] Result<std::string> ExtractSequenceText(const std::string& record);
 
 /// The sequence (protein or coding DNA) behind a sequence-database
 /// accession: Uniprot/PDB accessions yield the protein sequence,
 /// EMBL/KEGG-gene accessions the coding DNA (the GetBiologicalSequence
 /// behavior of Figure 7).
-Result<std::string> LookupSequenceForAccession(const KnowledgeBase& kb,
+[[nodiscard]] Result<std::string> LookupSequenceForAccession(const KnowledgeBase& kb,
                                                const std::string& accession);
 
 /// Uniform single-nucleotide-code statistics (the behavior pool of the
@@ -135,7 +135,7 @@ std::vector<std::string> MineGeneIds(const KnowledgeBase& kb,
 
 /// Builds a homology-search alignment report for `accession` with the given
 /// program/database stamp.
-Result<AlignmentReportData> HomologySearch(const KnowledgeBase& kb,
+[[nodiscard]] Result<AlignmentReportData> HomologySearch(const KnowledgeBase& kb,
                                            const std::string& accession,
                                            const std::string& program,
                                            const std::string& database,

@@ -69,17 +69,17 @@ class CorpusBuilder {
 };
 
 /// Wraps a string result as a single-output value vector.
-inline Result<std::vector<Value>> One(Result<std::string> result) {
+[[nodiscard]] inline Result<std::vector<Value>> One(Result<std::string> result) {
   if (!result.ok()) return result.status();
   return std::vector<Value>{Value::Str(std::move(result).value())};
 }
 
-inline Result<std::vector<Value>> OneValue(Value value) {
+[[nodiscard]] inline Result<std::vector<Value>> OneValue(Value value) {
   return std::vector<Value>{std::move(value)};
 }
 
 /// Wraps a list of strings as a single list-valued output.
-inline Result<std::vector<Value>> OneList(std::vector<std::string> items) {
+[[nodiscard]] inline Result<std::vector<Value>> OneList(std::vector<std::string> items) {
   std::vector<Value> values;
   values.reserve(items.size());
   for (std::string& item : items) values.push_back(Value::Str(std::move(item)));

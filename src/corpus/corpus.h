@@ -37,10 +37,10 @@ struct Corpus {
 };
 
 /// Builds the full corpus (knowledge base, ontology, modules).
-Result<Corpus> BuildCorpus(const CorpusOptions& options = {});
+[[nodiscard]] Result<Corpus> BuildCorpus(const CorpusOptions& options = {});
 
 /// Marks the 72 decayed modules as withdrawn by their providers.
-Status RetireDecayedModules(Corpus& corpus);
+[[nodiscard]] Status RetireDecayedModules(Corpus& corpus);
 
 }  // namespace dexa
 

@@ -127,10 +127,10 @@ class FaultInjector : public Module {
   }
 
  protected:
-  Result<std::vector<Value>> InvokeImpl(
+  [[nodiscard]] Result<std::vector<Value>> InvokeImpl(
       const std::vector<Value>& inputs) const override;
 
-  Result<std::vector<Value>> InvokeWithContext(
+  [[nodiscard]] Result<std::vector<Value>> InvokeWithContext(
       const std::vector<Value>& inputs,
       InvocationContext& context) const override;
 
@@ -146,7 +146,7 @@ class FaultInjector : public Module {
 /// order, same ids and specs) in a FaultInjector carrying `profile` with a
 /// per-module seed forked from profile.seed and the module id — so faults
 /// are independent across modules but reproducible per module.
-Result<std::unique_ptr<ModuleRegistry>> WrapRegistryWithFaults(
+[[nodiscard]] Result<std::unique_ptr<ModuleRegistry>> WrapRegistryWithFaults(
     const ModuleRegistry& registry, const FaultProfile& profile,
     EngineMetrics* metrics = nullptr);
 

@@ -51,7 +51,7 @@ class SyntheticModule : public Module {
   const BehaviorGroundTruth* ground_truth() const override { return &truth_; }
 
  protected:
-  Result<std::vector<Value>> InvokeImpl(
+  [[nodiscard]] Result<std::vector<Value>> InvokeImpl(
       const std::vector<Value>& inputs) const override {
     return behavior_(inputs);
   }

@@ -36,7 +36,7 @@ uint64_t AnnotateConfigFingerprint(const ModuleRegistry& registry,
                                    const GeneratorOptions& options);
 
 std::string EncodeAnnotateRunHeader(const AnnotateRunHeader& header);
-Result<AnnotateRunHeader> DecodeAnnotateRunHeader(const std::string& payload);
+[[nodiscard]] Result<AnnotateRunHeader> DecodeAnnotateRunHeader(const std::string& payload);
 
 /// One committed module annotation: everything AnnotateRegistry writes into
 /// the registry and folds into its report for that module.
@@ -49,7 +49,7 @@ struct ModuleCommit {
 
 std::string EncodeModuleCommit(const ModuleCommit& commit,
                                const Ontology& ontology);
-Result<ModuleCommit> DecodeModuleCommit(const std::string& payload,
+[[nodiscard]] Result<ModuleCommit> DecodeModuleCommit(const std::string& payload,
                                         const Ontology& ontology);
 
 /// First record of every enactment journal.
@@ -63,7 +63,7 @@ uint64_t EnactConfigFingerprint(const std::string& workflow_id,
                                 const std::vector<Value>& inputs);
 
 std::string EncodeEnactRunHeader(const EnactRunHeader& header);
-Result<EnactRunHeader> DecodeEnactRunHeader(const std::string& payload);
+[[nodiscard]] Result<EnactRunHeader> DecodeEnactRunHeader(const std::string& payload);
 
 /// One committed enactment step: the processor index in the workflow's
 /// processor list plus the full invocation record, so a resumed enactment
@@ -74,7 +74,7 @@ struct StepCommit {
 };
 
 std::string EncodeStepCommit(const StepCommit& commit);
-Result<StepCommit> DecodeStepCommit(const std::string& payload);
+[[nodiscard]] Result<StepCommit> DecodeStepCommit(const std::string& payload);
 
 }  // namespace dexa
 

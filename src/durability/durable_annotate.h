@@ -49,13 +49,13 @@ struct DurableAnnotateOptions {
 /// report comes back with run_status = kCancelled and its counters covering
 /// the committed prefix, mirroring what a monitoring process would read
 /// from the journal after a real crash.
-Result<AnnotateReport> AnnotateRegistryDurable(
+[[nodiscard]] Result<AnnotateReport> AnnotateRegistryDurable(
     const ExampleGenerator& generator, ModuleRegistry& registry,
     const Ontology& ontology, RunJournal& journal,
     const DurableAnnotateOptions& options = {});
 
 /// Sugar: the resume spelling from the durability design notes.
-inline Result<AnnotateReport> AnnotateRegistry(
+[[nodiscard]] inline Result<AnnotateReport> AnnotateRegistry(
     const ExampleGenerator& generator, ModuleRegistry& registry,
     const Ontology& ontology, RunJournal& journal, ResumeFrom resume) {
   DurableAnnotateOptions options;

@@ -30,7 +30,7 @@ struct DurableEnactOptions {
 /// provenance of a resumed enactment are byte-identical to an
 /// uninterrupted one (module outcomes are deterministic given their
 /// inputs; replayed steps carry their recorded outputs).
-Result<ResilientEnactmentResult> EnactResilientDurable(
+[[nodiscard]] Result<ResilientEnactmentResult> EnactResilientDurable(
     const Workflow& workflow, const ModuleRegistry& registry,
     const std::vector<Value>& inputs, InvocationEngine& engine,
     RunJournal& journal, const DurableEnactOptions& options = {});

@@ -47,7 +47,7 @@ class RunJournal {
   /// Starts a fresh journal in `dir` (created if missing); any segments of
   /// a previous journal in the directory are removed. `metrics` (optional)
   /// receives RecordJournalRecord/RecordSegmentSealed.
-  static Result<RunJournal> Create(const std::string& dir,
+  [[nodiscard]] static Result<RunJournal> Create(const std::string& dir,
                                    JournalOptions options = {},
                                    EngineMetrics* metrics = nullptr);
 
@@ -55,7 +55,7 @@ class RunJournal {
   /// the damaged tail identified by `recovery` (RecoverJournal), removes
   /// any segments past the damage, and directs new records into a fresh
   /// segment after the last valid one.
-  static Result<RunJournal> Resume(const std::string& dir,
+  [[nodiscard]] static Result<RunJournal> Resume(const std::string& dir,
                                    const struct JournalRecovery& recovery,
                                    JournalOptions options = {},
                                    EngineMetrics* metrics = nullptr);
@@ -65,10 +65,10 @@ class RunJournal {
 
   /// Appends one record (frame + CRC32) and flushes it to the OS. Rolls to
   /// a new segment first when the current one is past the size cap.
-  Status Append(std::string_view payload);
+  [[nodiscard]] Status Append(std::string_view payload);
 
   /// Seals the current segment; the next Append opens a new one. Idempotent.
-  Status Seal();
+  [[nodiscard]] Status Seal();
 
   const std::string& dir() const { return dir_; }
   uint64_t records_appended() const { return records_appended_; }
@@ -78,7 +78,7 @@ class RunJournal {
  private:
   RunJournal() = default;
 
-  Status OpenSegment(size_t index, bool fresh);
+  [[nodiscard]] Status OpenSegment(size_t index, bool fresh);
 
   std::string dir_;
   JournalOptions options_;
@@ -124,7 +124,7 @@ struct JournalRecovery {
 /// because a WAL's contract is a valid prefix, not a valid subset.
 /// Fails (as a Result error) only on environmental problems: missing or
 /// unreadable directory.
-Result<JournalRecovery> RecoverJournal(const std::string& dir,
+[[nodiscard]] Result<JournalRecovery> RecoverJournal(const std::string& dir,
                                        EngineMetrics* metrics = nullptr);
 
 /// One segment's in-memory scan (exposed for fuzzing and tests): parses
@@ -142,7 +142,7 @@ SegmentScan ScanSegment(std::string_view bytes);
 /// segment, then flips `flips` bytes near its end, positions drawn from
 /// `seed`. Used by crash-point injection (kTornWrite) and the recovery
 /// tests.
-Status TearJournalTail(const std::string& dir, uint64_t seed, int flips,
+[[nodiscard]] Status TearJournalTail(const std::string& dir, uint64_t seed, int flips,
                        size_t truncate_bytes);
 
 }  // namespace dexa

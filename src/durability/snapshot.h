@@ -16,10 +16,10 @@ namespace dexa {
 /// target. A crash mid-write leaves either the old file or the new one —
 /// never a truncated hybrid — because rename(2) within one directory is
 /// atomic on POSIX filesystems.
-Status AtomicWriteFile(const std::string& path, const std::string& content);
+[[nodiscard]] Status AtomicWriteFile(const std::string& path, const std::string& content);
 
 /// Reads `path` whole. NotFound when the file does not exist.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 /// File names of the three run-state artifacts inside a snapshot directory.
 inline constexpr const char* kSnapshotPoolFile = "pool.dexa";
@@ -31,7 +31,7 @@ inline constexpr const char* kSnapshotTracesFile = "traces.dexa";
 /// the provenance trace corpus. Each artifact is written atomically
 /// (write-to-temp + rename), so a crash between files leaves a mix of old
 /// and new artifacts but never a torn one.
-Status WriteRunStateSnapshot(const std::string& dir,
+[[nodiscard]] Status WriteRunStateSnapshot(const std::string& dir,
                              const AnnotatedInstancePool& pool,
                              const ModuleRegistry& registry,
                              const Ontology& ontology,
@@ -52,7 +52,7 @@ struct RestoredRunState {
 /// truncated artifacts surface as typed errors (kCorrupted / kParseError)
 /// from the underlying readers — never partial state: `registry` is only
 /// mutated after every artifact parsed cleanly.
-Result<RestoredRunState> RestoreRunState(const std::string& dir,
+[[nodiscard]] Result<RestoredRunState> RestoreRunState(const std::string& dir,
                                          const Ontology& ontology,
                                          ModuleRegistry& registry);
 

@@ -27,7 +27,7 @@ std::string SaveTraces(const ProvenanceCorpus& corpus);
 /// in otherwise complete input (unknown directives, bad values) fail with
 /// kParseError; input that ends mid-trace or mid-invocation fails with
 /// kCorrupted — the file was cut off, not merely malformed.
-Result<ProvenanceCorpus> LoadTraces(const std::string& text);
+[[nodiscard]] Result<ProvenanceCorpus> LoadTraces(const std::string& text);
 
 }  // namespace dexa
 

@@ -183,7 +183,7 @@ class InvocationEngine {
   /// assigning the next sequence number and counting the commit into the
   /// metrics. Callers must invoke this from their sequential-commit phase;
   /// the engine serializes hook invocations but cannot invent an order.
-  Status Commit(const std::string& payload);
+  [[nodiscard]] Status Commit(const std::string& payload);
 
   /// Invokes `module` once, counting the invocation into the engine
   /// metrics. The single-combination path every sequential consumer
@@ -194,7 +194,7 @@ class InvocationEngine {
   /// transient-class failures are retried with deterministic backoff inside
   /// the invocation's virtual deadline budget, and the outcome advances the
   /// breaker state machine.
-  Result<std::vector<Value>> Invoke(const Module& module,
+  [[nodiscard]] Result<std::vector<Value>> Invoke(const Module& module,
                                     const std::vector<Value>& inputs,
                                     EnginePhase phase = EnginePhase::kOther);
 
@@ -257,7 +257,7 @@ class InvocationEngine {
   /// touching the breaker (admission and state advance are the caller's
   /// job, so batches can evaluate the breaker atomically). `key` seeds the
   /// jitter stream; it must be stable across thread counts.
-  Result<std::vector<Value>> InvokeWithRetries(const Module& module,
+  [[nodiscard]] Result<std::vector<Value>> InvokeWithRetries(const Module& module,
                                                const std::vector<Value>& inputs,
                                                uint64_t key);
 

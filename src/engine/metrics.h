@@ -136,11 +136,17 @@ class EngineMetrics {
 /// RAII wall-clock accumulator: adds the scope's duration to the metrics'
 /// per-phase counter on destruction. Null metrics are tolerated so callers
 /// can time unconditionally.
+///
+/// This is the one sanctioned wall-clock in the deterministic layers: phase
+/// timings are *reporting-only* observability (BENCH_*.json, ToString) and
+/// never feed an output-affecting decision — retry schedules, deadlines and
+/// breaker cooldowns all run on the VirtualClock instead.
 class PhaseTimer {
  public:
   PhaseTimer(EngineMetrics* metrics, EnginePhase phase)
       : metrics_(metrics),
         phase_(phase),
+        // dexa-lint: allow(wall-clock) — reporting-only, see class comment.
         start_(std::chrono::steady_clock::now()) {}
 
   PhaseTimer(const PhaseTimer&) = delete;
@@ -148,6 +154,7 @@ class PhaseTimer {
 
   ~PhaseTimer() {
     if (metrics_ == nullptr) return;
+    // dexa-lint: allow(wall-clock) — reporting-only, see class comment.
     auto elapsed = std::chrono::steady_clock::now() - start_;
     metrics_->AddPhaseNanos(
         phase_, static_cast<uint64_t>(
@@ -159,6 +166,7 @@ class PhaseTimer {
  private:
   EngineMetrics* metrics_;
   EnginePhase phase_;
+  // dexa-lint: allow(wall-clock) — reporting-only, see class comment.
   std::chrono::steady_clock::time_point start_;
 };
 

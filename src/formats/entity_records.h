@@ -25,7 +25,7 @@ struct GeneRecordData {
   std::vector<std::string> go_term_ids;
 };
 std::string RenderGeneRecord(const GeneRecordData& data);
-Result<GeneRecordData> ParseGeneRecord(std::string_view text);
+[[nodiscard]] Result<GeneRecordData> ParseGeneRecord(std::string_view text);
 
 /// KEGG/ENZYME entry ("1.1.1.1" EC numbers).
 struct EnzymeRecordData {
@@ -37,7 +37,7 @@ struct EnzymeRecordData {
   std::vector<std::string> gene_ids;
 };
 std::string RenderEnzymeRecord(const EnzymeRecordData& data);
-Result<EnzymeRecordData> ParseEnzymeRecord(std::string_view text);
+[[nodiscard]] Result<EnzymeRecordData> ParseEnzymeRecord(std::string_view text);
 
 /// KEGG GLYCAN entry ("G00001").
 struct GlycanRecordData {
@@ -47,7 +47,7 @@ struct GlycanRecordData {
   double mass = 0.0;
 };
 std::string RenderGlycanRecord(const GlycanRecordData& data);
-Result<GlycanRecordData> ParseGlycanRecord(std::string_view text);
+[[nodiscard]] Result<GlycanRecordData> ParseGlycanRecord(std::string_view text);
 
 /// Ligand entry ("L000001").
 struct LigandRecordData {
@@ -58,7 +58,7 @@ struct LigandRecordData {
   std::vector<std::string> target_accessions;  ///< Uniprot accessions.
 };
 std::string RenderLigandRecord(const LigandRecordData& data);
-Result<LigandRecordData> ParseLigandRecord(std::string_view text);
+[[nodiscard]] Result<LigandRecordData> ParseLigandRecord(std::string_view text);
 
 /// KEGG COMPOUND entry ("C00001").
 struct CompoundRecordData {
@@ -69,7 +69,7 @@ struct CompoundRecordData {
   std::vector<std::string> pathway_ids;
 };
 std::string RenderCompoundRecord(const CompoundRecordData& data);
-Result<CompoundRecordData> ParseCompoundRecord(std::string_view text);
+[[nodiscard]] Result<CompoundRecordData> ParseCompoundRecord(std::string_view text);
 
 /// KEGG PATHWAY entry ("path:hsa04110").
 struct PathwayRecordData {
@@ -80,7 +80,7 @@ struct PathwayRecordData {
   std::vector<std::string> compound_ids;
 };
 std::string RenderPathwayRecord(const PathwayRecordData& data);
-Result<PathwayRecordData> ParsePathwayRecord(std::string_view text);
+[[nodiscard]] Result<PathwayRecordData> ParsePathwayRecord(std::string_view text);
 
 /// GO term ("GO:0008150"), rendered as an OBO stanza.
 struct GoTermData {
@@ -90,7 +90,7 @@ struct GoTermData {
   std::string definition;
 };
 std::string RenderGoTerm(const GoTermData& data);
-Result<GoTermData> ParseGoTerm(std::string_view text);
+[[nodiscard]] Result<GoTermData> ParseGoTerm(std::string_view text);
 
 /// InterPro entry ("IPR000001").
 struct InterProRecordData {
@@ -100,7 +100,7 @@ struct InterProRecordData {
   std::vector<std::string> member_accessions;
 };
 std::string RenderInterProRecord(const InterProRecordData& data);
-Result<InterProRecordData> ParseInterProRecord(std::string_view text);
+[[nodiscard]] Result<InterProRecordData> ParseInterProRecord(std::string_view text);
 
 /// Pfam entry ("PF00001").
 struct PfamRecordData {
@@ -110,7 +110,7 @@ struct PfamRecordData {
   std::string description;
 };
 std::string RenderPfamRecord(const PfamRecordData& data);
-Result<PfamRecordData> ParsePfamRecord(std::string_view text);
+[[nodiscard]] Result<PfamRecordData> ParsePfamRecord(std::string_view text);
 
 /// Disease entry ("H00001").
 struct DiseaseRecordData {
@@ -120,7 +120,7 @@ struct DiseaseRecordData {
   std::vector<std::string> gene_ids;
 };
 std::string RenderDiseaseRecord(const DiseaseRecordData& data);
-Result<DiseaseRecordData> ParseDiseaseRecord(std::string_view text);
+[[nodiscard]] Result<DiseaseRecordData> ParseDiseaseRecord(std::string_view text);
 
 }  // namespace dexa
 

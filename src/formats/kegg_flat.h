@@ -42,7 +42,7 @@ struct KeggFlatRecord {
 std::string RenderKeggFlat(const KeggFlatRecord& record);
 
 /// Parses the layout produced by RenderKeggFlat.
-Result<KeggFlatRecord> ParseKeggFlat(std::string_view text);
+[[nodiscard]] Result<KeggFlatRecord> ParseKeggFlat(std::string_view text);
 
 }  // namespace dexa
 

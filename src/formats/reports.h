@@ -27,7 +27,7 @@ struct AlignmentReportData {
   std::vector<AlignmentHit> hits;
 };
 std::string RenderAlignmentReport(const AlignmentReportData& data);
-Result<AlignmentReportData> ParseAlignmentReport(std::string_view text);
+[[nodiscard]] Result<AlignmentReportData> ParseAlignmentReport(std::string_view text);
 
 /// Output of peptide-mass-fingerprint identification (the paper's Identify
 /// module): the best-matching protein for a list of peptide masses.
@@ -38,7 +38,7 @@ struct IdentificationReportData {
   size_t peptide_count = 0;
 };
 std::string RenderIdentificationReport(const IdentificationReportData& data);
-Result<IdentificationReportData> ParseIdentificationReport(
+[[nodiscard]] Result<IdentificationReportData> ParseIdentificationReport(
     std::string_view text);
 
 /// Generic key/value statistics block produced by analysis modules.
@@ -47,7 +47,7 @@ struct StatisticsReportData {
   std::vector<std::pair<std::string, double>> stats;
 };
 std::string RenderStatisticsReport(const StatisticsReportData& data);
-Result<StatisticsReportData> ParseStatisticsReport(std::string_view text);
+[[nodiscard]] Result<StatisticsReportData> ParseStatisticsReport(std::string_view text);
 
 }  // namespace dexa
 

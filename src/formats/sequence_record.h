@@ -30,23 +30,23 @@ bool operator==(const SequenceData& a, const SequenceData& b);
 ///
 /// FASTA:   >ACC NAME DESCRIPTION / wrapped residues
 std::string RenderFasta(const SequenceData& data);
-Result<SequenceData> ParseFasta(std::string_view text);
+[[nodiscard]] Result<SequenceData> ParseFasta(std::string_view text);
 
 /// Uniprot-style flat file: ID/AC/DE/OS/SQ stanza, '//' terminator.
 std::string RenderUniprot(const SequenceData& data);
-Result<SequenceData> ParseUniprot(std::string_view text);
+[[nodiscard]] Result<SequenceData> ParseUniprot(std::string_view text);
 
 /// EMBL-style flat file: ID/AC/DE/OS/SQ with numbered sequence lines.
 std::string RenderEmbl(const SequenceData& data);
-Result<SequenceData> ParseEmbl(std::string_view text);
+[[nodiscard]] Result<SequenceData> ParseEmbl(std::string_view text);
 
 /// GenBank-style flat file: LOCUS/DEFINITION/ACCESSION/SOURCE/ORIGIN.
 std::string RenderGenBank(const SequenceData& data);
-Result<SequenceData> ParseGenBank(std::string_view text);
+[[nodiscard]] Result<SequenceData> ParseGenBank(std::string_view text);
 
 /// PDB-style header: HEADER/TITLE/COMPND/SEQRES lines.
 std::string RenderPdb(const SequenceData& data);
-Result<SequenceData> ParsePdb(std::string_view text);
+[[nodiscard]] Result<SequenceData> ParsePdb(std::string_view text);
 
 }  // namespace dexa
 

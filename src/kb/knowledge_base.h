@@ -65,26 +65,26 @@ class KnowledgeBase {
   const std::vector<DocumentEntity>& documents() const { return documents_; }
 
   /// Keyed lookups; NotFound if the id does not resolve.
-  Result<const ProteinEntity*> FindProtein(std::string_view accession) const;
-  Result<const ProteinEntity*> FindProteinByPdb(std::string_view pdb) const;
-  Result<const ProteinEntity*> FindProteinByEmbl(std::string_view embl) const;
-  Result<const GeneEntity*> FindGene(std::string_view gene_id) const;
-  Result<const PathwayEntity*> FindPathway(std::string_view pathway_id) const;
-  Result<const GoTermEntity*> FindGoTerm(std::string_view go_id) const;
-  Result<const EnzymeEntity*> FindEnzyme(std::string_view ec_number) const;
-  Result<const GlycanEntity*> FindGlycan(std::string_view glycan_id) const;
-  Result<const LigandEntity*> FindLigand(std::string_view ligand_id) const;
-  Result<const CompoundEntity*> FindCompound(
+  [[nodiscard]] Result<const ProteinEntity*> FindProtein(std::string_view accession) const;
+  [[nodiscard]] Result<const ProteinEntity*> FindProteinByPdb(std::string_view pdb) const;
+  [[nodiscard]] Result<const ProteinEntity*> FindProteinByEmbl(std::string_view embl) const;
+  [[nodiscard]] Result<const GeneEntity*> FindGene(std::string_view gene_id) const;
+  [[nodiscard]] Result<const PathwayEntity*> FindPathway(std::string_view pathway_id) const;
+  [[nodiscard]] Result<const GoTermEntity*> FindGoTerm(std::string_view go_id) const;
+  [[nodiscard]] Result<const EnzymeEntity*> FindEnzyme(std::string_view ec_number) const;
+  [[nodiscard]] Result<const GlycanEntity*> FindGlycan(std::string_view glycan_id) const;
+  [[nodiscard]] Result<const LigandEntity*> FindLigand(std::string_view ligand_id) const;
+  [[nodiscard]] Result<const CompoundEntity*> FindCompound(
       std::string_view compound_id) const;
-  Result<const DiseaseEntity*> FindDisease(std::string_view disease_id) const;
-  Result<const InterProEntity*> FindInterPro(
+  [[nodiscard]] Result<const DiseaseEntity*> FindDisease(std::string_view disease_id) const;
+  [[nodiscard]] Result<const InterProEntity*> FindInterPro(
       std::string_view interpro_id) const;
-  Result<const PfamEntity*> FindPfam(std::string_view pfam_id) const;
-  Result<const DocumentEntity*> FindDocument(std::string_view doc_id) const;
+  [[nodiscard]] Result<const PfamEntity*> FindPfam(std::string_view pfam_id) const;
+  [[nodiscard]] Result<const DocumentEntity*> FindDocument(std::string_view doc_id) const;
 
   /// Proteins in the same homology family as `accession`, excluding itself,
   /// ordered by decreasing similarity. NotFound if the accession is unknown.
-  Result<std::vector<const ProteinEntity*>> Homologs(
+  [[nodiscard]] Result<std::vector<const ProteinEntity*>> Homologs(
       std::string_view accession) const;
 
   /// Similarity in [0,1]: 1 for identical accessions, high within a family
@@ -98,7 +98,7 @@ class KnowledgeBase {
     const ProteinEntity* protein;
     double score;
   };
-  Result<PeptideMatch> IdentifyByPeptideMasses(
+  [[nodiscard]] Result<PeptideMatch> IdentifyByPeptideMasses(
       const std::vector<double>& peptide_masses,
       double tolerance_percent) const;
 

@@ -105,12 +105,12 @@ class Module {
 
   /// Runs the module on `inputs` (one value per input parameter, nulls for
   /// absent optional inputs).
-  Result<std::vector<Value>> Invoke(const std::vector<Value>& inputs) const;
+  [[nodiscard]] Result<std::vector<Value>> Invoke(const std::vector<Value>& inputs) const;
 
   /// Context-carrying variant used by the engine's retry loop: `context`
   /// tells the module which attempt this is, and returns the virtual
   /// latency the module charged.
-  Result<std::vector<Value>> Invoke(const std::vector<Value>& inputs,
+  [[nodiscard]] Result<std::vector<Value>> Invoke(const std::vector<Value>& inputs,
                                     InvocationContext& context) const;
 
   /// Ground truth for evaluation; nullptr when unknown.
@@ -121,12 +121,12 @@ class Module {
 
   /// Behavior implementation; called only when the module is available and
   /// `inputs` has the right arity and structural types.
-  virtual Result<std::vector<Value>> InvokeImpl(
+  [[nodiscard]] virtual Result<std::vector<Value>> InvokeImpl(
       const std::vector<Value>& inputs) const = 0;
 
   /// Context-aware behavior hook; the default ignores the context and
   /// delegates to InvokeImpl. Fault-aware modules override this one.
-  virtual Result<std::vector<Value>> InvokeWithContext(
+  [[nodiscard]] virtual Result<std::vector<Value>> InvokeWithContext(
       const std::vector<Value>& inputs, InvocationContext& context) const {
     (void)context;
     return InvokeImpl(inputs);

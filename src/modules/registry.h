@@ -24,15 +24,15 @@ class ModuleRegistry {
   ModuleRegistry& operator=(const ModuleRegistry&) = delete;
 
   /// Registers a module; fails with AlreadyExists on duplicate id.
-  Status Register(ModulePtr module);
+  [[nodiscard]] Status Register(ModulePtr module);
 
   size_t size() const { return order_.size(); }
 
   /// Lookup by module id; NotFound if absent.
-  Result<ModulePtr> Find(const std::string& id) const;
+  [[nodiscard]] Result<ModulePtr> Find(const std::string& id) const;
 
   /// Lookup by module name (names are unique in dexa corpora).
-  Result<ModulePtr> FindByName(const std::string& name) const;
+  [[nodiscard]] Result<ModulePtr> FindByName(const std::string& name) const;
 
   /// All modules in registration order.
   std::vector<ModulePtr> AllModules() const;
@@ -45,7 +45,7 @@ class ModuleRegistry {
 
   /// Attaches the generated data examples for module `id`; overwrites any
   /// previous annotation. NotFound if the module is not registered.
-  Status SetDataExamples(const std::string& id, DataExampleSet examples);
+  [[nodiscard]] Status SetDataExamples(const std::string& id, DataExampleSet examples);
 
   /// The data examples annotating module `id`; empty set if none recorded.
   const DataExampleSet& DataExamplesOf(const std::string& id) const;

@@ -34,7 +34,7 @@ std::string SaveAnnotations(const ModuleRegistry& registry,
 /// Malformed-but-complete input fails with kParseError; input that ends
 /// mid-example fails with kCorrupted (the file was truncated, e.g. by a
 /// crash or interrupted copy).
-Result<size_t> LoadAnnotations(const std::string& text,
+[[nodiscard]] Result<size_t> LoadAnnotations(const std::string& text,
                                const Ontology& ontology,
                                ModuleRegistry& registry);
 

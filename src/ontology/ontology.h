@@ -47,16 +47,16 @@ class Ontology {
 
   /// Adds a root concept (no parents). Fails with AlreadyExists if the name
   /// is taken.
-  Result<ConceptId> AddRoot(const std::string& name, bool covered = false);
+  [[nodiscard]] Result<ConceptId> AddRoot(const std::string& name, bool covered = false);
 
   /// Adds a concept subsumed by `parents` (all must exist). Fails with
   /// AlreadyExists / NotFound accordingly.
-  Result<ConceptId> AddConcept(const std::string& name,
+  [[nodiscard]] Result<ConceptId> AddConcept(const std::string& name,
                                const std::vector<std::string>& parents,
                                bool covered = false);
 
   /// Marks/unmarks a concept's domain as covered by its sub-concepts.
-  Status SetCovered(ConceptId c, bool covered);
+  [[nodiscard]] Status SetCovered(ConceptId c, bool covered);
 
   size_t size() const { return concepts_.size(); }
 
@@ -67,7 +67,7 @@ class Ontology {
   ConceptId Find(const std::string& name) const;
 
   /// Like Find but fails loudly; convenient for builders over known schemas.
-  Result<ConceptId> Require(const std::string& name) const;
+  [[nodiscard]] Result<ConceptId> Require(const std::string& name) const;
 
   const std::string& NameOf(ConceptId id) const { return Get(id).name; }
 

@@ -22,7 +22,7 @@ namespace dexa {
 /// covered by its sub-concepts (no realization; see Ontology::Partitions).
 ///
 /// Round-trips with Ontology::ToDsl().
-Result<Ontology> ParseOntologyDsl(std::string_view text);
+[[nodiscard]] Result<Ontology> ParseOntologyDsl(std::string_view text);
 
 }  // namespace dexa
 

@@ -42,13 +42,13 @@ class AnnotatedInstancePool {
 
   /// A realization of `c`: the first pooled value annotated with `c` itself
   /// (not any strict sub-concept). NotFound if the pool holds none.
-  Result<Value> GetInstance(ConceptId c) const;
+  [[nodiscard]] Result<Value> GetInstance(ConceptId c) const;
 
   /// Like GetInstance, but additionally requires structural compatibility
   /// with `type` (Section 3.2). If `type` is a list type and only scalar
   /// instances of `c` are pooled, a singleton-list instance is synthesized
   /// from up to `max_list_elements` pooled scalars.
-  Result<Value> GetInstanceCompatible(ConceptId c, const StructuralType& type,
+  [[nodiscard]] Result<Value> GetInstanceCompatible(ConceptId c, const StructuralType& type,
                                       size_t max_list_elements = 4) const;
 
   /// Concepts that have at least one pooled instance.

@@ -15,7 +15,7 @@ namespace dexa {
 std::string SavePool(const AnnotatedInstancePool& pool);
 
 /// Parses the SavePool format into a new pool over `ontology`.
-Result<AnnotatedInstancePool> LoadPool(const std::string& text,
+[[nodiscard]] Result<AnnotatedInstancePool> LoadPool(const std::string& text,
                                        const Ontology& ontology);
 
 }  // namespace dexa

@@ -26,11 +26,11 @@ class SeedCatalog {
       : kb_(std::move(kb)) {}
 
   /// A scalar seed value instantiating `concept_name`.
-  Result<Value> SeedFor(const std::string& concept_name, size_t i) const;
+  [[nodiscard]] Result<Value> SeedFor(const std::string& concept_name, size_t i) const;
 
   /// A seed matching `param`'s structural type: scalar for strings/numbers,
   /// a 4-element list of consecutive seeds for list parameters.
-  Result<Value> SeedForParameter(const Parameter& param,
+  [[nodiscard]] Result<Value> SeedForParameter(const Parameter& param,
                                  const Ontology& ontology, size_t i) const;
 
  private:

@@ -56,14 +56,14 @@ struct WorkflowCorpusOptions {
 /// still be available — they are enacted to produce pre-decay provenance).
 /// Every workflow validates against the registry and enacts successfully on
 /// its seeds.
-Result<WorkflowCorpus> GenerateWorkflowCorpus(
+[[nodiscard]] Result<WorkflowCorpus> GenerateWorkflowCorpus(
     const Corpus& corpus, const WorkflowCorpusOptions& options = {});
 
 /// Enacts every workflow of `workflow_corpus` and collects the provenance,
 /// then appends "historical" standalone invocation records for each decayed
 /// module (seeds 0..5) — the old-project traces of Section 6. Fails if any
 /// workflow fails to enact (the corpus is constructed to succeed).
-Result<ProvenanceCorpus> BuildProvenanceCorpus(
+[[nodiscard]] Result<ProvenanceCorpus> BuildProvenanceCorpus(
     const Corpus& corpus, const WorkflowCorpus& workflow_corpus);
 
 /// Harvests the annotated instance pool from `provenance` (Section 4.1):

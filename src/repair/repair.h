@@ -53,7 +53,7 @@ struct DecayScanReport {
 /// matching/repair pipeline (MatchRetiredModules + RepairWorkflows) picks
 /// it up exactly like a provider-announced withdrawal. Structural workflow
 /// errors abort the scan; faults do not.
-Result<DecayScanReport> ScanForDecay(const ModuleRegistry& probe_registry,
+[[nodiscard]] Result<DecayScanReport> ScanForDecay(const ModuleRegistry& probe_registry,
                                      const WorkflowCorpus& workflow_corpus,
                                      InvocationEngine& engine,
                                      ModuleRegistry* retire_in = nullptr);
@@ -71,7 +71,7 @@ DataExampleSet ExamplesFromProvenance(const ProvenanceCorpus& provenance,
 /// under a generalizing (contextual) mapping — is overlapping.
 /// `allow_contextual=false` restricts matching to exact-concept parameter
 /// mappings (an ablation of the Figure 7 mechanism).
-Result<MatchingReport> MatchRetiredModules(const Corpus& corpus,
+[[nodiscard]] Result<MatchingReport> MatchRetiredModules(const Corpus& corpus,
                                            const ProvenanceCorpus& provenance,
                                            bool allow_contextual = true);
 
@@ -92,7 +92,7 @@ struct RepairOutcome {
 /// additionally verified against the retired module's provenance records
 /// for the exact values that flowed at enactment (the in-context validation
 /// of Section 6). Unverifiable substitutions are rolled back.
-Result<RepairOutcome> RepairWorkflows(const Corpus& corpus,
+[[nodiscard]] Result<RepairOutcome> RepairWorkflows(const Corpus& corpus,
                                       const WorkflowCorpus& workflow_corpus,
                                       const ProvenanceCorpus& provenance,
                                       const MatchingReport& matching);

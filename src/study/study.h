@@ -39,7 +39,7 @@ struct StudyResult {
 /// participant can mechanistically infer from the data examples stored in
 /// the registry. Phase-1 identifications are never lost in phase 2 (the
 /// paper notes the same).
-Result<StudyResult> RunUnderstandingStudy(const Corpus& corpus,
+[[nodiscard]] Result<StudyResult> RunUnderstandingStudy(const Corpus& corpus,
                                           const std::vector<UserProfile>& users);
 
 }  // namespace dexa

@@ -89,7 +89,7 @@ inline bool operator!=(const StructuralType& a, const StructuralType& b) {
 /// Parses the ToString() rendering back into a type ("String",
 /// "List<Double>", "Record{id:String, mass:Double}"). Round-trips
 /// ToString() for all types.
-Result<StructuralType> ParseStructuralType(const std::string& text);
+[[nodiscard]] Result<StructuralType> ParseStructuralType(const std::string& text);
 
 }  // namespace dexa
 

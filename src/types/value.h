@@ -50,7 +50,7 @@ class Value {
   const std::vector<std::pair<std::string, Value>>& AsRecord() const;
 
   /// Record field lookup; NotFound if absent (requires is_record()).
-  Result<Value> Field(std::string_view name) const;
+  [[nodiscard]] Result<Value> Field(std::string_view name) const;
 
   /// True if this record has a field `name` (requires is_record()).
   bool HasField(std::string_view name) const;
@@ -71,7 +71,7 @@ class Value {
 
   /// Parses the JSON-style rendering produced by ToString(). Round-trips
   /// all values except doubles with non-finite payloads (never produced).
-  static Result<Value> Parse(std::string_view text);
+  [[nodiscard]] static Result<Value> Parse(std::string_view text);
 
  private:
   enum class Kind { kNull, kBool, kInt, kDouble, kString, kList, kRecord };

@@ -47,12 +47,12 @@ struct EnactmentResult {
 /// regardless of the engine's thread count — data dependencies serialize
 /// the steps; the engine is the metering and (for batched consumers)
 /// fan-out point.
-Result<EnactmentResult> Enact(const Workflow& workflow,
+[[nodiscard]] Result<EnactmentResult> Enact(const Workflow& workflow,
                               const ModuleRegistry& registry,
                               const std::vector<Value>& inputs,
                               InvocationEngine& engine);
 
-Result<EnactmentResult> Enact(const Workflow& workflow,
+[[nodiscard]] Result<EnactmentResult> Enact(const Workflow& workflow,
                               const ModuleRegistry& registry,
                               const std::vector<Value>& inputs);
 
@@ -91,7 +91,7 @@ struct ResilientEnactmentResult {
 /// Still fails on structural errors (malformed workflow, wrong input
 /// arity, InvalidArgument from a module rejecting its inputs): those are
 /// bugs in the workflow or corpus, not infrastructure decay.
-Result<ResilientEnactmentResult> EnactResilient(const Workflow& workflow,
+[[nodiscard]] Result<ResilientEnactmentResult> EnactResilient(const Workflow& workflow,
                                                 const ModuleRegistry& registry,
                                                 const std::vector<Value>& inputs,
                                                 InvocationEngine& engine);
@@ -118,7 +118,7 @@ struct EnactHooks {
 
 /// EnactResilient with durability hooks. `hooks.replayed`, when non-null,
 /// must have exactly one slot per processor.
-Result<ResilientEnactmentResult> EnactResilient(const Workflow& workflow,
+[[nodiscard]] Result<ResilientEnactmentResult> EnactResilient(const Workflow& workflow,
                                                 const ModuleRegistry& registry,
                                                 const std::vector<Value>& inputs,
                                                 InvocationEngine& engine,
@@ -130,7 +130,7 @@ Result<ResilientEnactmentResult> EnactResilient(const Workflow& workflow,
 /// the parameters of their original sources; outputs of selected processors
 /// that fed excluded processors (or were workflow outputs) become workflow
 /// outputs.
-Result<Workflow> ExtractSubWorkflow(const Workflow& workflow,
+[[nodiscard]] Result<Workflow> ExtractSubWorkflow(const Workflow& workflow,
                                     const ModuleRegistry& registry,
                                     const std::vector<int>& processor_indices);
 

@@ -65,13 +65,13 @@ struct Workflow {
 ///    notion of Section 6.
 /// Does NOT require referenced modules to be available — decayed workflows
 /// (Section 6) are valid but not enactable.
-Status ValidateWorkflow(const Workflow& workflow,
+[[nodiscard]] Status ValidateWorkflow(const Workflow& workflow,
                         const ModuleRegistry& registry,
                         const Ontology& ontology);
 
 /// Topological evaluation order of the processors; InvalidArgument if the
 /// graph has a cycle.
-Result<std::vector<int>> TopologicalOrder(const Workflow& workflow);
+[[nodiscard]] Result<std::vector<int>> TopologicalOrder(const Workflow& workflow);
 
 /// True if every module referenced by `workflow` is still available.
 bool IsEnactable(const Workflow& workflow, const ModuleRegistry& registry);

@@ -29,7 +29,7 @@ std::string RenderWorkflowDsl(const Workflow& workflow,
 /// Parses the DSL back into a Workflow (concept names resolved against
 /// `ontology`; module ids are kept verbatim and validated separately with
 /// ValidateWorkflow).
-Result<Workflow> ParseWorkflowDsl(const std::string& text,
+[[nodiscard]] Result<Workflow> ParseWorkflowDsl(const std::string& text,
                                   const Ontology& ontology);
 
 }  // namespace dexa

@@ -23,6 +23,7 @@
 #include "ontology/ontology_parser.h"
 #include "pool/pool_io.h"
 #include "tests/test_util.h"
+#include "tools/lint/lint.h"
 #include "workflow/workflow_io.h"
 
 namespace dexa {
@@ -233,6 +234,46 @@ TEST_P(ParserFuzzTest, JournalRecoveryNeverCrashes) {
         << recovery->tail_status;
     EXPECT_EQ(recovery->records.size(), scan.records.size());
     EXPECT_EQ(recovery->tail_discarded(), !scan.status.ok());
+  }
+}
+
+TEST_P(ParserFuzzTest, LintLexerNeverCrashes) {
+  Rng rng(GetParam());
+
+  // Genuine C++ as the mutation substrate: this very file, which holds
+  // comments, raw strings, preprocessor lines and string literals.
+  std::ifstream self(std::string(DEXA_SOURCE_DIR) + "/tests/fuzz_test.cc",
+                     std::ios::binary);
+  std::ostringstream buffer;
+  buffer << self.rdbuf();
+  const std::string pristine = std::move(buffer).str();
+  ASSERT_FALSE(pristine.empty());
+
+  for (int i = 0; i < 60; ++i) {
+    std::string mutated =
+        Mutate(pristine, rng, 1 + static_cast<int>(rng.NextBelow(40)));
+    // Splice in hostile fragments the text mutator rarely produces:
+    // truncated UTF-8, unterminated literals, NUL bytes, half directives.
+    static const std::vector<std::string> kHostile = {
+        "\xC3",     "\xE2\x82", "R\"(",        "R\"verylongdelimiter",
+        "\"unterm", "'x",       "#include \"", "/*",
+        "//\\\n",   std::string("\x00\x01\x7f", 3),
+        "#define A(", "::::"};
+    size_t pos = rng.NextIndex(mutated.size() + 1);
+    mutated.insert(pos, kHostile[rng.NextBelow(kHostile.size())]);
+
+    // The contract: arbitrary byte soup lexes to *something* — no crash,
+    // no hang, token lines stay positive and monotonically plausible.
+    lint::LexedSource lex = lint::LexSource(mutated);
+    for (const lint::Token& t : lex.tokens) {
+      EXPECT_GE(t.line, 1);
+      EXPECT_FALSE(t.text.empty());
+    }
+    // And the full rule pass over garbage must be equally unkillable.
+    lint::Linter linter;
+    linter.AddSource("src/core/fuzzed.cc", mutated);
+    lint::LintReport report = linter.Run();
+    EXPECT_EQ(report.files_scanned, 1u);
   }
 }
 

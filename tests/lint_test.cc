@@ -1,0 +1,377 @@
+// dexa-lint rule-by-rule coverage: every rule family must fire on a
+// violating fixture and stay silent on a conforming one, suppression
+// comments must work, and — the point of the exercise — the live tree
+// must lint clean.
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/lint.h"
+#include "tools/lint/rules.h"
+
+namespace dexa::lint {
+namespace {
+
+using Sources = std::vector<std::pair<std::string, std::string>>;
+
+LintReport Lint(const Sources& sources) {
+  Linter linter;
+  for (const auto& [path, text] : sources) linter.AddSource(path, text);
+  return linter.Run();
+}
+
+/// Rule names present in `report`, for order-insensitive assertions.
+std::set<std::string> RuleSet(const LintReport& report) {
+  std::set<std::string> rules;
+  for (const Finding& f : report.findings) rules.insert(f.rule);
+  return rules;
+}
+
+std::string Describe(const LintReport& report) {
+  std::string out;
+  for (const Finding& f : report.findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokensCommentsStringsAndIncludes) {
+  LexedSource lex = LexSource(
+      "#include \"common/status.h\"\n"
+      "#include <vector>\n"
+      "// std::thread in a comment is not a token\n"
+      "const char* s = \"std::thread\";  /* nor in a string */\n"
+      "int x = 42;\n");
+  ASSERT_EQ(lex.includes.size(), 2u);
+  EXPECT_EQ(lex.includes[0].path, "common/status.h");
+  EXPECT_FALSE(lex.includes[0].angled);
+  EXPECT_EQ(lex.includes[1].path, "vector");
+  EXPECT_TRUE(lex.includes[1].angled);
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "thread") << "leaked from comment/string";
+  }
+}
+
+TEST(LexerTest, RawStringsSwallowBannedTokens) {
+  LexedSource lex = LexSource(
+      "auto fixture = R\"cpp(\n"
+      "  std::random_device rd;  // not code\n"
+      ")cpp\";\n"
+      "int after = 1;\n");
+  bool saw_after = false;
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "random_device");
+    saw_after |= t.text == "after";
+  }
+  EXPECT_TRUE(saw_after) << "lexing must resume after the raw string";
+}
+
+TEST(LexerTest, SuppressionComments) {
+  LexedSource lex = LexSource(
+      "// dexa-lint: allow(wall-clock, entropy)\n"
+      "int x;\n"
+      "/* dexa-lint: allow-file(layering) */\n");
+  ASSERT_TRUE(lex.line_suppressions.count(1));
+  EXPECT_TRUE(lex.line_suppressions[1].count("wall-clock"));
+  EXPECT_TRUE(lex.line_suppressions[1].count("entropy"));
+  EXPECT_TRUE(lex.file_suppressions.count("layering"));
+}
+
+TEST(LexerTest, LineNumbersSurviveMultilineConstructs) {
+  LexedSource lex = LexSource("/* one\ntwo\nthree */\nint marker;\n");
+  ASSERT_FALSE(lex.tokens.empty());
+  EXPECT_EQ(lex.tokens[0].text, "int");
+  EXPECT_EQ(lex.tokens[0].line, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Family 1: determinism (wall-clock, entropy)
+// ---------------------------------------------------------------------------
+
+TEST(WallClockRuleTest, FiresOnChronoClocksInDeterministicLayers) {
+  LintReport report = Lint(
+      {{"src/core/x.cc",
+        "#include <chrono>\n"
+        "void F() { auto t = std::chrono::system_clock::now(); }\n"},
+       {"src/durability/y.cc", "void G() { time_t t = time(nullptr); }\n"}});
+  EXPECT_EQ(report.findings.size(), 2u) << Describe(report);
+  EXPECT_TRUE(RuleSet(report).count("wall-clock"));
+}
+
+TEST(WallClockRuleTest, SilentOutsideDeterministicLayersAndOnVirtualClock) {
+  LintReport report = Lint(
+      {{"bench/b.cc",
+        "void F() { auto t = std::chrono::steady_clock::now(); }\n"},
+       {"src/core/ok.cc",
+        "#include \"engine/virtual_clock.h\"\n"
+        "void G(VirtualClock& clock) { auto t = clock.NowNanos(); }\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+TEST(WallClockRuleTest, DeclarationOfVariableNamedTimeIsNotACall) {
+  LintReport report =
+      Lint({{"src/engine/ok.cc", "void F() { VirtualTime time(0); }\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+TEST(EntropyRuleTest, FiresOnAmbientEntropyInDeterministicLayers) {
+  LintReport report = Lint(
+      {{"src/engine/x.cc", "void F() { std::random_device rd; }\n"},
+       {"src/core/y.cc", "int G() { return rand(); }\n"}});
+  EXPECT_EQ(report.findings.size(), 2u) << Describe(report);
+  EXPECT_EQ(RuleSet(report), std::set<std::string>{"entropy"});
+}
+
+TEST(EntropyRuleTest, SilentOnSeededRngAndOutsideScope) {
+  LintReport report = Lint(
+      {{"src/core/ok.cc",
+        "#include \"common/rng.h\"\n"
+        "void F(Rng& rng) { auto v = rng.NextBelow(10); }\n"},
+       {"tests/t.cc", "void G() { std::random_device rd; }\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: unchecked errors
+// ---------------------------------------------------------------------------
+
+TEST(UncheckedStatusRuleTest, FiresOnDiscardedStatusCall) {
+  LintReport report = Lint(
+      {{"src/durability/j.h", "Status Append(int x);\n"},
+       {"src/durability/j.cc", "void F() { Append(1); }\n"}});
+  ASSERT_EQ(report.findings.size(), 1u) << Describe(report);
+  EXPECT_EQ(report.findings[0].rule, "unchecked-status");
+  EXPECT_EQ(report.findings[0].file, "src/durability/j.cc");
+}
+
+TEST(UncheckedStatusRuleTest, FiresOnDiscardedMemberChainCall) {
+  LintReport report = Lint(
+      {{"src/durability/j.h",
+        "class RunJournal { public: Status Seal(); };\n"},
+       {"src/durability/j.cc", "void F(RunJournal& j) { j.Seal(); }\n"}});
+  ASSERT_EQ(report.findings.size(), 1u) << Describe(report);
+  EXPECT_EQ(report.findings[0].rule, "unchecked-status");
+}
+
+TEST(UncheckedStatusRuleTest, SilentWhenResultIsConsumed) {
+  LintReport report = Lint(
+      {{"src/durability/j.h",
+        "Status Append(int x);\nResult<int> Parse(int y);\n"},
+       {"src/durability/j.cc",
+        "Status G() {\n"
+        "  Status s = Append(1);\n"
+        "  if (!s.ok()) return s;\n"
+        "  auto r = Parse(2);\n"
+        "  (void)Append(3);  // explicit discard is fine\n"
+        "  return Append(4);\n"
+        "}\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+TEST(UncheckedStatusRuleTest, AmbiguousNamesArePruned) {
+  // `Reset` is declared both Status- and void-returning: name-based lookup
+  // would be a coin flip, so the rule must not fire.
+  LintReport report = Lint(
+      {{"src/core/a.h", "Status Reset();\n"},
+       {"src/engine/b.h", "void Reset();\n"},
+       {"src/core/a.cc", "void F() { Reset(); }\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+// ---------------------------------------------------------------------------
+// Family 3: concurrency discipline
+// ---------------------------------------------------------------------------
+
+TEST(RawThreadRuleTest, FiresOutsideEngine) {
+  LintReport report = Lint(
+      {{"src/core/x.cc", "void F() { std::thread t([] {}); t.detach(); }\n"},
+       {"tests/t.cc", "auto f = std::async([] { return 1; });\n"}});
+  EXPECT_EQ(report.findings.size(), 3u) << Describe(report);
+  EXPECT_EQ(RuleSet(report), std::set<std::string>{"raw-thread"});
+}
+
+TEST(RawThreadRuleTest, EngineAndQueriesAreExempt) {
+  LintReport report = Lint(
+      {{"src/engine/pool.cc", "void F() { std::jthread t([] {}); }\n"},
+       {"bench/b.cc",
+        "size_t N() { return std::thread::hardware_concurrency(); }\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+TEST(NakedLockRuleTest, FiresOnManualLockAndUnlock) {
+  LintReport report = Lint(
+      {{"src/pool/p.cc",
+        "void F(std::mutex& mu) { mu.lock(); work(); mu.unlock(); }\n"}});
+  EXPECT_EQ(report.findings.size(), 2u) << Describe(report);
+  EXPECT_EQ(RuleSet(report), std::set<std::string>{"naked-lock"});
+}
+
+TEST(NakedLockRuleTest, RaiiGuardsAreSilent) {
+  LintReport report = Lint(
+      {{"src/pool/p.cc",
+        "void F(std::mutex& mu) {\n"
+        "  std::lock_guard<std::mutex> lock(mu);\n"
+        "  std::unique_lock<std::mutex> lk(mu, std::try_to_lock);\n"
+        "}\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+// ---------------------------------------------------------------------------
+// Family 4: layering
+// ---------------------------------------------------------------------------
+
+TEST(LayeringRuleTest, FiresOnUpwardInclude) {
+  LintReport report = Lint(
+      {{"src/types/v.cc", "#include \"engine/metrics.h\"\n"},
+       {"src/modules/m.h", "#include \"corpus/corpus.h\"\n"}});
+  EXPECT_EQ(report.findings.size(), 2u) << Describe(report);
+  EXPECT_EQ(RuleSet(report), std::set<std::string>{"layering"});
+}
+
+TEST(LayeringRuleTest, DownwardAndSameLayerIncludesAreSilent) {
+  LintReport report = Lint(
+      {{"src/kb/k.cc",
+        "#include \"formats/sequence_record.h\"\n"
+        "#include \"kb/entities.h\"\n"
+        "#include \"common/status.h\"\n"
+        "#include <vector>\n"},
+       {"tests/t.cc", "#include \"engine/metrics.h\"\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+TEST(LayeringRuleTest, NormativeDagIsAcyclic) {
+  const auto& deps = LayerDependencies();
+  // Every declared dependency must itself be a declared layer, and the
+  // transitive closure must never reach back to the starting layer.
+  for (const auto& [layer, allowed] : deps) {
+    std::vector<std::string> frontier(allowed.begin(), allowed.end());
+    std::set<std::string> seen;
+    while (!frontier.empty()) {
+      std::string next = frontier.back();
+      frontier.pop_back();
+      if (!seen.insert(next).second) continue;
+      ASSERT_TRUE(deps.count(next)) << next << " is not a declared layer";
+      EXPECT_NE(next, layer) << "cycle through " << layer;
+      const auto& down = deps.at(next);
+      frontier.insert(frontier.end(), down.begin(), down.end());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Family 5: ordered-output hygiene
+// ---------------------------------------------------------------------------
+
+TEST(UnorderedIterationRuleTest, FiresInSerializationPaths) {
+  LintReport report = Lint(
+      {{"src/durability/codec.cc",
+        "void Emit(const std::unordered_map<int, int>& index) {\n"
+        "  for (const auto& [k, v] : index) { Write(k, v); }\n"
+        "}\n"},
+       {"src/modules/registry_io.cc",
+        "void F() {\n"
+        "  std::unordered_set<int> ids;\n"
+        "  for (int id : ids) { Write(id); }\n"
+        "}\n"}});
+  EXPECT_EQ(report.findings.size(), 2u) << Describe(report);
+  EXPECT_EQ(RuleSet(report), std::set<std::string>{"unordered-iteration"});
+}
+
+TEST(UnorderedIterationRuleTest, OrderedContainersAndOtherLayersAreSilent) {
+  LintReport report = Lint(
+      {{"src/durability/codec.cc",
+        "void Emit(const std::map<int, int>& index) {\n"
+        "  for (const auto& [k, v] : index) { Write(k, v); }\n"
+        "}\n"},
+       {"src/core/scratch.cc",
+        "void G(const std::unordered_map<int, int>& m) {\n"
+        "  for (const auto& [k, v] : m) { Count(k, v); }\n"
+        "}\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionTest, SameLinePrecedingLineAndFileWide) {
+  Sources sources = {
+      {"src/core/a.cc",
+       "void F() {\n"
+       "  auto t = std::chrono::system_clock::now();  "
+       "// dexa-lint: allow(wall-clock)\n"
+       "}\n"},
+      {"src/core/b.cc",
+       "void G() {\n"
+       "  // dexa-lint: allow(wall-clock) — reporting only\n"
+       "  auto t = std::chrono::system_clock::now();\n"
+       "}\n"},
+      {"src/core/c.cc",
+       "// dexa-lint: allow-file(entropy)\n"
+       "void H() { std::random_device a; std::random_device b; }\n"}};
+  LintReport report = Lint(sources);
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+  EXPECT_EQ(report.suppressed, 4u);
+}
+
+TEST(SuppressionTest, AllowForOneRuleDoesNotSilenceAnother) {
+  LintReport report = Lint(
+      {{"src/core/a.cc",
+        "// dexa-lint: allow(entropy)\n"
+        "auto t = std::chrono::system_clock::now();\n"}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "wall-clock");
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ReportTest, JsonContainsFindingsAndCounts) {
+  LintReport report = Lint(
+      {{"src/core/a.cc", "void F() { std::random_device rd; }\n"}});
+  std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\"tool\": \"dexa-lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"entropy\""), std::string::npos);
+  EXPECT_NE(json.find("src/core/a.cc"), std::string::npos);
+}
+
+TEST(ReportTest, EveryRegisteredRuleHasNameFamilySummary) {
+  std::set<std::string> names;
+  for (const RuleInfo& rule : Rules()) {
+    EXPECT_TRUE(names.insert(rule.name).second) << "duplicate " << rule.name;
+    EXPECT_STRNE(rule.family, "");
+    EXPECT_STRNE(rule.summary, "");
+  }
+  EXPECT_GE(names.size(), 5u) << "at least five rule families";
+}
+
+// ---------------------------------------------------------------------------
+// The live tree
+// ---------------------------------------------------------------------------
+
+TEST(LiveTreeTest, RepositoryLintsClean) {
+  const std::string root = DEXA_SOURCE_DIR;
+  std::vector<std::string> files = CollectSourceFiles(
+      root, {"src", "tests", "bench", "tools", "examples"});
+  ASSERT_GT(files.size(), 100u) << "source collection missed the tree";
+  LintReport report = LintPaths(root, files);
+  EXPECT_EQ(report.files_scanned, files.size());
+  EXPECT_TRUE(report.findings.empty())
+      << "the live tree must lint clean:\n"
+      << Describe(report);
+}
+
+}  // namespace
+}  // namespace dexa::lint

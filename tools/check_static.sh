@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# The one-command static + dynamic gate:
+#
+#   1. dexa-lint over src/ tests/ bench/ tools/ examples/ (must be clean);
+#   2. the tier-1 ctest suite built with DEXA_SANITIZE=address;
+#   3. the tier-1 ctest suite built with DEXA_SANITIZE=undefined
+#      (every UB report is fatal: -fno-sanitize-recover).
+#
+# Together with tools/check_tsan.sh (ThreadSanitizer over the concurrent
+# suites) this is the full three-sanitizer gate. clang-tidy, when
+# installed, is a fourth opt-in leg: tools/check_tidy.sh.
+#
+# Usage: tools/check_static.sh [build-dir-prefix]   (default: build-static)
+#   Build trees are created at <prefix>-lint, <prefix>-asan, <prefix>-ubsan.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-static}"
+JOBS="$(nproc)"
+
+echo "== [1/3] dexa-lint =============================================="
+cmake -B "${PREFIX}-lint" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "${PREFIX}-lint" --target dexa-lint -j"$JOBS"
+"${PREFIX}-lint/tools/dexa-lint" \
+  --json="${PREFIX}-lint/lint_report.json" \
+  src tests bench tools examples
+
+run_sanitized_suite() {
+  local sanitizer="$1" dir="$2"
+  echo "== ${sanitizer}-sanitized tier-1 suite =========================="
+  cmake -B "$dir" -S . -DDEXA_SANITIZE="$sanitizer" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$dir" -j"$JOBS"
+  (cd "$dir" && ctest --output-on-failure -j"$JOBS")
+}
+
+echo "== [2/3] AddressSanitizer ======================================="
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+  run_sanitized_suite address "${PREFIX}-asan"
+
+echo "== [3/3] UndefinedBehaviorSanitizer ============================="
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  run_sanitized_suite undefined "${PREFIX}-ubsan"
+
+echo "Static + sanitizer gate passed (lint clean, ASan green, UBSan green)."

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the dexa sources using a
+# compile_commands.json export. This is the opt-in generic-C++ leg of the
+# checks; the project-specific invariants are dexa-lint's job
+# (tools/check_static.sh runs that one, no clang dependency).
+#
+# No-ops with a clear message when clang-tidy is not installed, so the
+# gate stays runnable on gcc-only machines.
+#
+# Usage: tools/check_tidy.sh [build-dir]   (default: build-tidy)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tidy}"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "check_tidy: clang-tidy not installed; skipping (this check is" \
+       "optional — dexa-lint via tools/check_static.sh covers the" \
+       "project invariants)."
+  exit 0
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+
+FILES=$(find src tools/lint -name '*.cc' -o -name '*.cpp' | sort)
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  # shellcheck disable=SC2086
+  run-clang-tidy -p "$BUILD_DIR" -quiet $FILES
+else
+  # shellcheck disable=SC2086
+  clang-tidy -p "$BUILD_DIR" --quiet $FILES
+fi
+
+echo "clang-tidy check passed."

@@ -8,6 +8,11 @@
 # exercises the journaled commit path under the 8-thread engine, and
 # io_test the corruption-hardened readers it recovers through.
 #
+# This is the ThreadSanitizer leg of the three-sanitizer gate; the
+# one-command entry point is tools/check_static.sh, which runs dexa-lint
+# plus the tier-1 suite under ASan and UBSan. This script stays as-is for
+# compatibility with existing CI wiring.
+#
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 
 set -euo pipefail

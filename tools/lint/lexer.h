@@ -1,0 +1,58 @@
+#ifndef DEXA_TOOLS_LINT_LEXER_H_
+#define DEXA_TOOLS_LINT_LEXER_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dexa::lint {
+
+/// Token categories produced by the lightweight C++ lexer. The lexer is a
+/// *scanner*, not a parser: it strips comments, string/char literals and
+/// preprocessor lines out of the token stream so rules can pattern-match on
+/// code tokens without tripping over text that merely *mentions* a banned
+/// identifier.
+enum class TokenKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< numeric literal (integer, float, hex, with suffixes)
+  kString,      ///< "..." or R"tag(...)tag" (text excludes quotes)
+  kCharLit,     ///< '...'
+  kPunct,       ///< punctuation; multi-char for "::" "->" "." etc.
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  ///< Token spelling (owned; source text may be temporary).
+  int line;          ///< 1-based line of the token's first character.
+};
+
+/// An `#include` directive found while scanning.
+struct IncludeDirective {
+  std::string path;  ///< The include target, without quotes/brackets.
+  bool angled;       ///< true for <...>, false for "..."
+  int line;
+};
+
+/// The scan result for one translation unit.
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  /// Per-line rule suppressions parsed from `// dexa-lint: allow(a, b)`
+  /// comments: line -> set of rule names (or "*").
+  std::map<int, std::set<std::string>> line_suppressions;
+  /// File-wide suppressions from `// dexa-lint: allow-file(a, b)` comments.
+  std::set<std::string> file_suppressions;
+};
+
+/// Scans `text` into tokens. Total: never throws, never loops, accepts
+/// arbitrary byte soup (truncated UTF-8, stray control bytes, unterminated
+/// literals and comments all lex to *something*). Position advances by at
+/// least one byte per step, so runtime is O(|text|).
+LexedSource LexSource(std::string_view text);
+
+}  // namespace dexa::lint
+
+#endif  // DEXA_TOOLS_LINT_LEXER_H_

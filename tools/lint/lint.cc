@@ -1,0 +1,251 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace dexa::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Derives the src/ layer ("core", "engine", ...) from a repo-relative
+/// path; empty for files outside src/.
+std::string LayerOf(const std::string& rel_path) {
+  constexpr std::string_view kPrefix = "src/";
+  if (rel_path.rfind(kPrefix, 0) != 0) return "";
+  size_t slash = rel_path.find('/', kPrefix.size());
+  if (slash == std::string::npos) return "";
+  return rel_path.substr(kPrefix.size(), slash - kPrefix.size());
+}
+
+bool IsSuppressed(const SourceFile& file, const Finding& finding) {
+  if (file.lex.file_suppressions.count(finding.rule) ||
+      file.lex.file_suppressions.count("*")) {
+    return true;
+  }
+  // An allow() comment silences findings on its own line and the next one
+  // (so the comment can sit above the flagged statement).
+  for (int line : {finding.line, finding.line - 1}) {
+    auto it = file.lex.line_suppressions.find(line);
+    if (it != file.lex.line_suppressions.end() &&
+        (it->second.count(finding.rule) || it->second.count("*"))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void Linter::AddSource(const std::string& rel_path, std::string_view content) {
+  SourceFile file;
+  file.path = rel_path;
+  file.layer = LayerOf(rel_path);
+  file.lex = LexSource(content);
+  CollectStatusFunctions(file, ctx_, ambiguous_);
+  files_.push_back(std::move(file));
+}
+
+LintReport Linter::Run() const {
+  GlobalContext ctx = ctx_;
+  for (const std::string& name : ambiguous_) ctx.status_functions.erase(name);
+  LintReport report;
+  report.files_scanned = files_.size();
+  for (const SourceFile& file : files_) {
+    for (const RuleInfo& rule : Rules()) {
+      ++report.rules_evaluated;
+      std::vector<Finding> raw;
+      rule.check(file, ctx, raw);
+      for (Finding& finding : raw) {
+        if (IsSuppressed(file, finding)) {
+          ++report.suppressed;
+        } else {
+          report.findings.push_back(std::move(finding));
+        }
+      }
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return report;
+}
+
+std::string ReportToJson(const LintReport& report) {
+  std::string out = "{\"tool\": \"dexa-lint\", \"files_scanned\": ";
+  out += std::to_string(report.files_scanned);
+  out += ", \"rules_evaluated\": ";
+  out += std::to_string(report.rules_evaluated);
+  out += ", \"suppressed\": ";
+  out += std::to_string(report.suppressed);
+  out += ", \"rules\": [";
+  bool first = true;
+  for (const RuleInfo& rule : Rules()) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, rule.name);
+  }
+  out += "], \"findings\": [";
+  first = true;
+  for (const Finding& finding : report.findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"rule\": ";
+    AppendJsonString(out, finding.rule);
+    out += ", \"file\": ";
+    AppendJsonString(out, finding.file);
+    out += ", \"line\": ";
+    out += std::to_string(finding.line);
+    out += ", \"message\": ";
+    AppendJsonString(out, finding.message);
+    out += "}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+std::vector<std::string> CollectSourceFiles(
+    const std::string& root, const std::vector<std::string>& paths) {
+  std::vector<std::string> out;
+  auto consider = [&](const fs::path& p) {
+    std::string ext = p.extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp") return;
+    out.push_back(fs::relative(p, root).generic_string());
+  };
+  for (const std::string& rel : paths) {
+    fs::path base = fs::path(root) / rel;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      consider(base);
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) {
+      std::cerr << "dexa-lint: warning: no such path: " << base.string()
+                << "\n";
+      continue;
+    }
+    fs::recursive_directory_iterator it(
+        base, fs::directory_options::skip_permission_denied, ec);
+    for (auto end = fs::end(it); it != end; it.increment(ec)) {
+      if (ec) break;
+      const fs::path& p = it->path();
+      std::string name = p.filename().string();
+      if (it->is_directory(ec) &&
+          (name.rfind("build", 0) == 0 || name.rfind(".", 0) == 0)) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file(ec)) consider(p);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+LintReport LintPaths(const std::string& root,
+                     const std::vector<std::string>& rel_paths) {
+  Linter linter;
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      std::cerr << "dexa-lint: warning: cannot read " << rel << "\n";
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    linter.AddSource(rel, buf.str());
+  }
+  return linter.Run();
+}
+
+int RunLintCli(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& rule : Rules()) {
+        std::cout << rule.name << "  [" << rule.family << "]  " << rule.summary
+                  << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dexa-lint [--root=DIR] [--json=PATH] "
+                   "[--list-rules] <paths...>\n"
+                   "Lints dexa sources against the DESIGN.md invariants.\n"
+                   "Suppress a finding with `// dexa-lint: allow(<rule>)` on "
+                   "the same or preceding line.\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dexa-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "dexa-lint: no paths given (try: dexa-lint src tests bench "
+                 "tools examples)\n";
+    return 2;
+  }
+  LintReport report = LintPaths(root, CollectSourceFiles(root, paths));
+  for (const Finding& finding : report.findings) {
+    std::cout << finding.file << ":" << finding.line << ": [" << finding.rule
+              << "] " << finding.message << "\n";
+  }
+  std::cout << "dexa-lint: " << report.files_scanned << " files, "
+            << report.findings.size() << " finding(s), " << report.suppressed
+            << " suppressed\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "dexa-lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << ReportToJson(report);
+  }
+  return report.findings.empty() ? 0 : 1;
+}
+
+}  // namespace dexa::lint

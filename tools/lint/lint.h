@@ -1,0 +1,62 @@
+#ifndef DEXA_TOOLS_LINT_LINT_H_
+#define DEXA_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/rules.h"
+
+namespace dexa::lint {
+
+/// The outcome of a lint run.
+struct LintReport {
+  std::vector<Finding> findings;  ///< post-suppression, file/line ordered
+  size_t files_scanned = 0;
+  size_t rules_evaluated = 0;  ///< rules x files
+  size_t suppressed = 0;       ///< findings silenced by allow() comments
+};
+
+/// Two-pass linter over in-memory sources. Pass 1 (`AddSource`) lexes each
+/// file and accumulates the cross-file registry (Status/Result-returning
+/// function names); pass 2 (`Run`) applies every rule to every file and
+/// filters suppressed findings. Paths are repo-relative with forward
+/// slashes — the layer of `src/<dir>/...` files is derived from them.
+class Linter {
+ public:
+  /// Lexes and registers one source file.
+  void AddSource(const std::string& rel_path, std::string_view content);
+
+  /// Runs all rules over every added source.
+  LintReport Run() const;
+
+ private:
+  std::vector<SourceFile> files_;
+  GlobalContext ctx_;
+  std::set<std::string> ambiguous_;
+};
+
+/// Renders `report` as the machine-readable JSON document described in
+/// docs/STATIC_ANALYSIS.md.
+std::string ReportToJson(const LintReport& report);
+
+/// Recursively collects lintable sources (.h/.cc/.cpp) under
+/// `root/<path>` for each path, skipping build trees and hidden
+/// directories. Returns root-relative paths, sorted.
+std::vector<std::string> CollectSourceFiles(
+    const std::string& root, const std::vector<std::string>& paths);
+
+/// Reads and lints `rel_paths` (relative to `root`). Unreadable files are
+/// reported on stderr and skipped.
+LintReport LintPaths(const std::string& root,
+                     const std::vector<std::string>& rel_paths);
+
+/// The full CLI: `dexa-lint [--root=DIR] [--json=PATH] [--list-rules]
+/// <paths...>`. Returns the process exit code (0 clean, 1 findings,
+/// 2 usage error).
+int RunLintCli(int argc, char** argv);
+
+}  // namespace dexa::lint
+
+#endif  // DEXA_TOOLS_LINT_LINT_H_

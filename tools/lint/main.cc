@@ -1,0 +1,8 @@
+// dexa-lint: the project's own static-analysis pass. Enforces the
+// DESIGN.md invariants (determinism, error checking, concurrency
+// discipline, layering, ordered output) as build failures. See
+// docs/STATIC_ANALYSIS.md for the rule catalog and suppression syntax.
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) { return dexa::lint::RunLintCli(argc, argv); }

@@ -1,0 +1,500 @@
+#include "tools/lint/rules.h"
+
+#include <algorithm>
+
+namespace dexa::lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Layers in which nondeterminism (wall clocks, ambient entropy) is a
+/// correctness bug: their outputs must be byte-identical across runs and
+/// thread counts (engine determinism contract, journal replay).
+bool InDeterministicLayer(const SourceFile& f) {
+  return f.layer == "core" || f.layer == "engine" || f.layer == "durability";
+}
+
+/// True when the token at `i` starts a *use* rather than declaring a
+/// variable of that name: `VirtualClock clock(...)` declares, `clock(...)`
+/// calls. A preceding identifier, `.` or `->` means declaration/member.
+bool PrecededByDeclarationOrMember(const Tokens& t, size_t i) {
+  if (i == 0) return false;
+  const Token& prev = t[i - 1];
+  if (prev.kind == TokenKind::kIdentifier) {
+    // `return time(...)` and friends are uses, not declarations.
+    static const std::set<std::string> kUseKeywords = {
+        "return", "co_return", "co_await", "co_yield", "throw"};
+    return kUseKeywords.count(prev.text) == 0;
+  }
+  return IsPunct(prev, ".") || IsPunct(prev, "->") || IsPunct(prev, "&") ||
+         IsPunct(prev, "*") || IsPunct(prev, ">");
+}
+
+/// Skips a balanced token group starting at `i` (which must be the opening
+/// token). Returns the index one past the matching closer, or tokens.size()
+/// on imbalance. Tracks (), [] and {} jointly.
+size_t SkipBalanced(const Tokens& t, size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "(" || p == "[" || p == "{") {
+      ++depth;
+    } else if (p == ")" || p == "]" || p == "}") {
+      if (--depth == 0) return i + 1;
+      if (depth < 0) return t.size();
+    }
+  }
+  return t.size();
+}
+
+// --------------------------------------------------------------------------
+// Family 1: determinism (wall-clock, entropy)
+// --------------------------------------------------------------------------
+
+void CheckWallClock(const SourceFile& f, const GlobalContext&,
+                    std::vector<Finding>& out) {
+  if (!InDeterministicLayer(f)) return;
+  static const std::set<std::string> kClockTypes = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "utc_clock",    "file_clock",   "tai_clock"};
+  static const std::set<std::string> kTimeCalls = {
+      "gettimeofday", "timespec_get", "localtime", "gmtime",
+      "mktime",       "strftime",     "ctime",     "asctime"};
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if (kClockTypes.count(t[i].text)) {
+      out.push_back({"wall-clock", f.path, t[i].line,
+                     "std::chrono::" + t[i].text +
+                         " in a deterministic layer; use the engine's "
+                         "VirtualClock (src/engine/virtual_clock.h)"});
+      continue;
+    }
+    bool argful_call = i + 1 < t.size() && IsPunct(t[i + 1], "(");
+    if (!argful_call || PrecededByDeclarationOrMember(t, i)) continue;
+    if (kTimeCalls.count(t[i].text) || t[i].text == "time" ||
+        t[i].text == "clock") {
+      out.push_back({"wall-clock", f.path, t[i].line,
+                     "wall-time call `" + t[i].text +
+                         "()` in a deterministic layer; use the engine's "
+                         "VirtualClock (src/engine/virtual_clock.h)"});
+    }
+  }
+}
+
+void CheckEntropy(const SourceFile& f, const GlobalContext&,
+                  std::vector<Finding>& out) {
+  if (!InDeterministicLayer(f)) return;
+  static const std::set<std::string> kEntropyTypes = {
+      "random_device", "mt19937", "mt19937_64", "minstd_rand",
+      "default_random_engine"};
+  static const std::set<std::string> kEntropyCalls = {"rand", "srand",
+                                                      "random", "drand48"};
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if (kEntropyTypes.count(t[i].text)) {
+      out.push_back({"entropy", f.path, t[i].line,
+                     "`std::" + t[i].text +
+                         "` in a deterministic layer; draw from the seeded "
+                         "common/rng streams (engine.RngFor)"});
+      continue;
+    }
+    if (kEntropyCalls.count(t[i].text) && i + 1 < t.size() &&
+        IsPunct(t[i + 1], "(") && !PrecededByDeclarationOrMember(t, i)) {
+      out.push_back({"entropy", f.path, t[i].line,
+                     "ambient entropy call `" + t[i].text +
+                         "()` in a deterministic layer; draw from the seeded "
+                         "common/rng streams (engine.RngFor)"});
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Family 2: unchecked errors
+// --------------------------------------------------------------------------
+
+const std::set<std::string>& StatementKeywords() {
+  static const std::set<std::string> kKeywords = {
+      "return",   "if",       "for",      "while",   "switch",  "case",
+      "default",  "break",    "continue", "goto",    "do",      "else",
+      "using",    "typedef",  "static_assert",       "new",     "delete",
+      "throw",    "try",      "catch",    "public",  "private", "protected",
+      "template", "class",    "struct",   "enum",    "union",   "namespace",
+      "extern",   "friend",   "operator", "sizeof",  "co_return",
+      "co_await", "co_yield", "static",   "inline",  "constexpr", "const",
+      "auto",     "void",     "bool",     "int",     "unsigned", "signed",
+      "long",     "short",    "float",    "double",  "char",     "explicit",
+      "virtual",  "typename"};
+  return kKeywords;
+}
+
+/// Flags statement-level calls whose final callee is a known
+/// `Status`/`Result`-returning function: the returned error is discarded on
+/// the floor. The compiler's `[[nodiscard]]` is the backstop; this rule
+/// keeps fixture-level tests and non-attributed call sites honest.
+void CheckUncheckedStatus(const SourceFile& f, const GlobalContext& ctx,
+                          std::vector<Finding>& out) {
+  const Tokens& t = f.lex.tokens;
+  bool at_statement_start = true;
+  for (size_t i = 0; i < t.size();) {
+    const Token& tok = t[i];
+    if (tok.kind == TokenKind::kPunct &&
+        (tok.text == ";" || tok.text == "{" || tok.text == "}")) {
+      at_statement_start = true;
+      ++i;
+      continue;
+    }
+    if (tok.kind == TokenKind::kIdentifier &&
+        (tok.text == "else" || tok.text == "do")) {
+      at_statement_start = true;
+      ++i;
+      continue;
+    }
+    if (!at_statement_start || tok.kind != TokenKind::kIdentifier ||
+        StatementKeywords().count(tok.text)) {
+      at_statement_start = false;
+      ++i;
+      continue;
+    }
+    // Try to parse a pure call-chain statement: `a::b(...)`, `x.y(...)`,
+    // `f(...)->g(...);`. Anything else (declaration, assignment, arithmetic)
+    // aborts without a finding.
+    at_statement_start = false;
+    size_t j = i;
+    std::string name = t[j].text;
+    ++j;
+    while (j + 1 < t.size() && IsPunct(t[j], "::") &&
+           t[j + 1].kind == TokenKind::kIdentifier) {
+      name = t[j + 1].text;
+      j += 2;
+    }
+    std::string last_call;
+    bool chain_ok = false;
+    while (j < t.size()) {
+      if (IsPunct(t[j], "(")) {
+        last_call = name;
+        j = SkipBalanced(t, j);
+        continue;
+      }
+      if (IsPunct(t[j], ".") || IsPunct(t[j], "->")) {
+        if (j + 1 < t.size() && t[j + 1].kind == TokenKind::kIdentifier) {
+          name = t[j + 1].text;
+          j += 2;
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(t[j], ";")) {
+        chain_ok = !last_call.empty();
+        break;
+      }
+      break;  // operator, declaration, etc.
+    }
+    if (chain_ok && ctx.status_functions.count(last_call)) {
+      out.push_back({"unchecked-status", f.path, t[i].line,
+                     "call to `" + last_call +
+                         "` discards its Status/Result; check it, or cast "
+                         "to void with a reason"});
+    }
+    ++i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Family 3: concurrency discipline
+// --------------------------------------------------------------------------
+
+void CheckRawThread(const SourceFile& f, const GlobalContext&,
+                    std::vector<Finding>& out) {
+  if (f.layer == "engine") return;  // the engine owns all thread spawning
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!IsIdent(t[i], "std") || !IsPunct(t[i + 1], "::")) continue;
+    const Token& what = t[i + 2];
+    if (what.kind != TokenKind::kIdentifier) continue;
+    if (what.text == "async") {
+      out.push_back({"raw-thread", f.path, what.line,
+                     "std::async outside src/engine; route work through "
+                     "InvocationEngine::InvokeBatch/ForEach"});
+      continue;
+    }
+    if (what.text != "thread" && what.text != "jthread") continue;
+    // `std::thread::hardware_concurrency()` is a query, not a spawn.
+    if (i + 3 < t.size() && IsPunct(t[i + 3], "::")) continue;
+    out.push_back({"raw-thread", f.path, what.line,
+                   "raw std::" + what.text +
+                       " outside src/engine; route work through "
+                       "InvocationEngine::InvokeBatch/ForEach"});
+  }
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if ((IsPunct(t[i], ".") || IsPunct(t[i], "->")) &&
+        IsIdent(t[i + 1], "detach") && IsPunct(t[i + 2], "(")) {
+      out.push_back({"raw-thread", f.path, t[i + 1].line,
+                     "detached thread outside src/engine; detached threads "
+                     "outlive the run and break determinism"});
+    }
+  }
+}
+
+void CheckNakedLock(const SourceFile& f, const GlobalContext&,
+                    std::vector<Finding>& out) {
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i + 4 < t.size(); ++i) {
+    if (!IsPunct(t[i], ".") && !IsPunct(t[i], "->")) continue;
+    if (t[i + 1].kind != TokenKind::kIdentifier) continue;
+    const std::string& m = t[i + 1].text;
+    if (m != "lock" && m != "unlock") continue;
+    if (!IsPunct(t[i + 2], "(") || !IsPunct(t[i + 3], ")") ||
+        !IsPunct(t[i + 4], ";")) {
+      continue;
+    }
+    out.push_back({"naked-lock", f.path, t[i + 1].line,
+                   "naked `" + m +
+                       "()`; hold mutexes through RAII guards "
+                       "(std::lock_guard / std::unique_lock / "
+                       "std::shared_lock) so error paths cannot leak a "
+                       "locked mutex"});
+  }
+}
+
+// --------------------------------------------------------------------------
+// Family 4: layering
+// --------------------------------------------------------------------------
+
+void CheckLayering(const SourceFile& f, const GlobalContext&,
+                   std::vector<Finding>& out) {
+  if (f.layer.empty()) return;
+  const auto& deps = LayerDependencies();
+  auto own = deps.find(f.layer);
+  if (own == deps.end()) return;
+  for (const IncludeDirective& inc : f.lex.includes) {
+    if (inc.angled) continue;
+    size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;
+    std::string dir = inc.path.substr(0, slash);
+    if (dir == f.layer) continue;
+    if (deps.find(dir) == deps.end()) {
+      // Not a src/ layer at all (e.g. "tests/..."): never legal from src/.
+      out.push_back({"layering", f.path, inc.line,
+                     "src/" + f.layer + " includes \"" + inc.path +
+                         "\", which is outside the src/ layer DAG"});
+      continue;
+    }
+    if (own->second.count(dir) == 0) {
+      out.push_back({"layering", f.path, inc.line,
+                     "src/" + f.layer + " may not include src/" + dir +
+                         " (violates the DESIGN.md layer DAG: allowed "
+                         "dependencies are listed in LayerDependencies)"});
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Family 5: ordered-output hygiene
+// --------------------------------------------------------------------------
+
+/// Files whose output feeds journal commits or serialized artifacts, where
+/// iteration order becomes bytes on disk.
+bool InOrderedOutputScope(const SourceFile& f) {
+  if (f.layer == "durability") return true;
+  return f.path.find("_io.") != std::string::npos;
+}
+
+bool IsUnorderedContainer(const std::string& name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+void CheckUnorderedIteration(const SourceFile& f, const GlobalContext&,
+                             std::vector<Finding>& out) {
+  if (!InOrderedOutputScope(f)) return;
+  const Tokens& t = f.lex.tokens;
+  // Pass 1: names declared in this file with an unordered container type
+  // (locals, members, parameters).
+  std::set<std::string> unordered_names;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier || !IsUnorderedContainer(t[i].text))
+      continue;
+    size_t j = i + 1;
+    if (j < t.size() && IsPunct(t[j], "<")) {
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (IsPunct(t[j], "<")) ++depth;
+        if (IsPunct(t[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+        if (IsPunct(t[j], ";") || IsPunct(t[j], "{")) break;  // malformed
+      }
+    }
+    while (j < t.size() &&
+           (IsPunct(t[j], "&") || IsPunct(t[j], "*") ||
+            IsIdent(t[j], "const"))) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokenKind::kIdentifier) {
+      unordered_names.insert(t[j].text);
+    }
+  }
+  // Pass 2: range-for statements whose range expression mentions an
+  // unordered container type or a name declared as one above.
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t[i], "for") || !IsPunct(t[i + 1], "(")) continue;
+    size_t end = SkipBalanced(t, i + 1);
+    // Find the top-level ':' separating declaration from range.
+    size_t colon = 0;
+    int depth = 0;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (t[j].kind != TokenKind::kPunct) continue;
+      if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{" ||
+          t[j].text == "<") {
+        ++depth;
+      } else if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}" ||
+                 t[j].text == ">") {
+        --depth;
+      } else if (t[j].text == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    for (size_t j = colon + 1; j + 1 < end; ++j) {
+      if (t[j].kind != TokenKind::kIdentifier) continue;
+      if (IsUnorderedContainer(t[j].text) ||
+          unordered_names.count(t[j].text)) {
+        out.push_back(
+            {"unordered-iteration", f.path, t[j].line,
+             "range-for over an unordered container in a serialization "
+             "path; iteration order is nondeterministic — copy into a "
+             "sorted/keyed order before emitting bytes"});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"wall-clock", "determinism",
+       "no wall clocks in src/core, src/engine, src/durability "
+       "(VirtualClock only)",
+       &CheckWallClock},
+      {"entropy", "determinism",
+       "no ambient entropy in deterministic layers (seeded common/rng only)",
+       &CheckEntropy},
+      {"unchecked-status", "unchecked-errors",
+       "a discarded Status/Result is a swallowed failure", &CheckUncheckedStatus},
+      {"raw-thread", "concurrency",
+       "all threads are spawned by the InvocationEngine (src/engine)",
+       &CheckRawThread},
+      {"naked-lock", "concurrency",
+       "mutexes are held through RAII guards, never naked lock()/unlock()",
+       &CheckNakedLock},
+      {"layering", "layering",
+       "src/ include edges must follow the DESIGN.md layer DAG",
+       &CheckLayering},
+      {"unordered-iteration", "ordered-output",
+       "no unordered-container iteration in serialization/journal paths",
+       &CheckUnorderedIteration},
+  };
+  return kRules;
+}
+
+const std::map<std::string, std::set<std::string>>& LayerDependencies() {
+  // The normative dependency DAG (DESIGN.md "Static analysis"): each layer
+  // may include itself plus the listed layers. Keep DESIGN.md in sync when
+  // editing.
+  static const std::map<std::string, std::set<std::string>> kDeps = {
+      {"common", {}},
+      {"types", {"common"}},
+      {"ontology", {"common", "types"}},
+      {"formats", {"common", "types"}},
+      {"kb", {"common", "types", "formats"}},
+      {"modules", {"common", "types", "ontology"}},
+      {"pool", {"common", "types", "ontology"}},
+      {"engine", {"common", "types", "ontology", "modules"}},
+      {"corpus",
+       {"common", "types", "ontology", "formats", "kb", "modules", "engine"}},
+      {"workflow", {"common", "types", "ontology", "modules", "engine"}},
+      {"core",
+       {"common", "types", "ontology", "formats", "kb", "modules", "pool",
+        "engine"}},
+      {"study",
+       {"common", "types", "ontology", "formats", "kb", "modules", "corpus"}},
+      {"provenance",
+       {"common", "types", "ontology", "formats", "kb", "modules", "pool",
+        "engine", "corpus", "workflow", "core"}},
+      {"repair",
+       {"common", "types", "ontology", "formats", "kb", "modules", "pool",
+        "engine", "corpus", "workflow", "core", "provenance"}},
+      {"durability",
+       {"common", "types", "ontology", "formats", "kb", "modules", "pool",
+        "engine", "corpus", "workflow", "core", "provenance"}},
+  };
+  return kDeps;
+}
+
+void CollectStatusFunctions(const SourceFile& file, GlobalContext& ctx,
+                            std::set<std::string>& ambiguous) {
+  const Tokens& t = file.lex.tokens;
+  static const std::set<std::string> kNonTypeIdents = {
+      "return", "co_return", "co_await", "co_yield", "throw", "new",
+      "delete", "case",      "goto",     "else",     "do",    "not",
+      "and",    "or",        "sizeof",   "typename", "operator"};
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if (t[i].text == "Status") {
+      if (t[i + 1].kind == TokenKind::kIdentifier && i + 2 < t.size() &&
+          IsPunct(t[i + 2], "(")) {
+        ctx.status_functions.insert(t[i + 1].text);
+      }
+      continue;
+    }
+    if (t[i].text == "Result" && i + 1 < t.size() && IsPunct(t[i + 1], "<")) {
+      // Skip the balanced template argument list.
+      size_t j = i + 1;
+      int depth = 0;
+      bool closed = false;
+      for (; j < t.size() && j < i + 64; ++j) {
+        if (IsPunct(t[j], "<")) ++depth;
+        if (IsPunct(t[j], ">")) {
+          if (--depth == 0) {
+            closed = true;
+            ++j;
+            break;
+          }
+        }
+        if (IsPunct(t[j], ";") || IsPunct(t[j], "(")) break;
+      }
+      if (closed && j + 1 < t.size() &&
+          t[j].kind == TokenKind::kIdentifier && IsPunct(t[j + 1], "(")) {
+        ctx.status_functions.insert(t[j].text);
+      }
+      continue;
+    }
+    // Same-shaped declaration with a *different* return type makes the name
+    // ambiguous for name-based lookup; record it so the driver can prune.
+    if (t[i + 1].kind == TokenKind::kIdentifier && i + 2 < t.size() &&
+        IsPunct(t[i + 2], "(") && kNonTypeIdents.count(t[i].text) == 0 &&
+        t[i + 1].text != "Status" && t[i + 1].text != "Result") {
+      ambiguous.insert(t[i + 1].text);
+    }
+  }
+}
+
+}  // namespace dexa::lint

@@ -1,0 +1,63 @@
+#ifndef DEXA_TOOLS_LINT_RULES_H_
+#define DEXA_TOOLS_LINT_RULES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace dexa::lint {
+
+/// One diagnostic: a rule violation at a file/line.
+struct Finding {
+  std::string rule;
+  std::string file;  ///< repo-relative path with forward slashes
+  int line = 0;
+  std::string message;
+};
+
+/// A scanned source file plus everything rules need to know about it.
+struct SourceFile {
+  std::string path;   ///< repo-relative, forward slashes
+  std::string layer;  ///< "core" for src/core/..., "" when not under src/
+  LexedSource lex;
+};
+
+/// Cross-file state shared by all rules: built in a first pass over every
+/// scanned file, consumed by the per-file rule pass.
+struct GlobalContext {
+  /// Names of functions declared with a `Status` / `Result<T>` return type
+  /// anywhere in the scanned tree, minus names that are also declared with
+  /// a different return type (those would make name-based lookup ambiguous).
+  std::set<std::string> status_functions;
+};
+
+/// A registered rule. `check` appends findings; suppression filtering is the
+/// driver's job, so rules stay oblivious to `// dexa-lint: allow(...)`.
+struct RuleInfo {
+  const char* name;
+  const char* family;
+  const char* summary;
+  void (*check)(const SourceFile&, const GlobalContext&,
+                std::vector<Finding>&);
+};
+
+/// All registered rules, in stable order.
+const std::vector<RuleInfo>& Rules();
+
+/// The normative layer DAG for `src/` (see DESIGN.md "Static analysis"):
+/// maps each layer directory to the set of layers it may `#include` from
+/// (its own layer is always allowed and not listed).
+const std::map<std::string, std::set<std::string>>& LayerDependencies();
+
+/// Scans one file's tokens for `Status f(` / `Result<T> f(` declarations and
+/// adds the function names to `ctx`; names later seen with a conflicting
+/// return type are recorded in `ctx` as ambiguous by the caller.
+void CollectStatusFunctions(const SourceFile& file, GlobalContext& ctx,
+                            std::set<std::string>& ambiguous);
+
+}  // namespace dexa::lint
+
+#endif  // DEXA_TOOLS_LINT_RULES_H_

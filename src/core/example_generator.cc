@@ -4,7 +4,33 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace dexa {
+
+namespace {
+
+/// Annotates a module's commit-phase span with its per-module generation
+/// counters. These are projections of the module's own Generate() call, so
+/// they are schedule-independent even though the fan-out was concurrent.
+/// Zero-valued counters are omitted (mirroring StableCounterDeltas) and the
+/// batch lands in one locked call — this runs once per module on the
+/// sequential commit path, so it must stay cheap.
+void AnnotateBatchSpan(obs::ScopedSpan& span, const GenerationStats& stats) {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  counters.reserve(5);
+  auto add = [&counters](const char* name, uint64_t value) {
+    if (value != 0) counters.emplace_back(name, value);
+  };
+  add("combinations_tried", stats.combinations_tried);
+  add("invocation_errors", stats.invocation_errors);
+  add("transient_exhausted", stats.transient_exhausted);
+  add("decayed", stats.decayed ? 1 : 0);
+  add("examples", stats.examples);
+  span.Counters(std::move(counters));
+}
+
+}  // namespace
 
 namespace {
 
@@ -185,19 +211,33 @@ Result<DataExampleSet> ExampleGenerator::ReplayInputs(
 }
 
 Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
-                                        ModuleRegistry& registry) {
+                                        ModuleRegistry& registry,
+                                        obs::Tracer* tracer) {
   const std::vector<ModulePtr> modules = registry.AvailableModules();
+  const EngineMetrics& metrics = generator.engine().metrics();
+
+  obs::ScopedSpan run(tracer, obs::SpanKind::kRun, "annotate_registry");
+  const EngineMetricsSnapshot run_before = metrics.Snapshot();
 
   // Generate concurrently (modules are independent), commit sequentially in
   // registration order so the registry content is thread-count-invariant.
   std::vector<std::optional<Result<GenerationOutcome>>> outcomes(
       modules.size());
-  generator.engine().ForEach(modules.size(), [&](size_t i) {
-    outcomes[i] = generator.Generate(*modules[i]);
-  });
+  {
+    obs::ScopedSpan generate(tracer, obs::SpanKind::kPhase, "generate",
+                             run.id());
+    const EngineMetricsSnapshot before = metrics.Snapshot();
+    generator.engine().ForEach(modules.size(), [&](size_t i) {
+      outcomes[i] = generator.Generate(*modules[i]);
+    });
+    generate.CounterDeltas(before, metrics.Snapshot());
+  }
 
+  obs::ScopedSpan commit(tracer, obs::SpanKind::kPhase, "commit", run.id());
   AnnotateReport report;
   for (size_t i = 0; i < modules.size(); ++i) {
+    obs::ScopedSpan module_span(tracer, obs::SpanKind::kBatch,
+                                modules[i]->spec().id, commit.id());
     Result<GenerationOutcome>& outcome = *outcomes[i];
     if (!outcome.ok()) {
       // Generate() degrades gracefully on module faults, so a failed
@@ -210,6 +250,7 @@ Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
     // A decayed module keeps its partial example set: an incomplete
     // annotation still supports matching and repair (Sections 5-6), and the
     // module is reported as a repair candidate instead of aborting the run.
+    AnnotateBatchSpan(module_span, outcome->stats);
     size_t examples = outcome->examples.size();
     Status committed = registry.SetDataExamples(
         modules[i]->spec().id, std::move(outcome->examples));
@@ -226,7 +267,9 @@ Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
       ++report.annotated;
     }
   }
-  report.metrics = generator.engine().metrics().Snapshot();
+  commit.End();
+  report.metrics = metrics.Snapshot();
+  run.CounterDeltas(run_before, report.metrics);
   return report;
 }
 

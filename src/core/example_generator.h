@@ -15,6 +15,11 @@
 
 namespace dexa {
 
+namespace obs {
+class Tracer;  // obs/trace.h — optional run tracing, forward-declared so
+               // the core layer's header does not depend on obs.
+}  // namespace obs
+
 /// Tuning knobs for the data-example generator; the defaults implement the
 /// paper's heuristic, the alternatives exist for the ablation benches.
 ///
@@ -169,8 +174,15 @@ struct AnnotateReport {
 /// not abort the run — its partial example set (possibly empty) is
 /// committed, the module is reported in `decayed_ids`, and annotation
 /// continues with the next module. Only internal errors abort.
-[[nodiscard]] Result<AnnotateReport> AnnotateRegistry(const ExampleGenerator& generator,
-                                        ModuleRegistry& registry);
+///
+/// `tracer` (optional) records a run → phase → batch span tree: a
+/// "generate" phase around the concurrent fan-out and a "commit" phase with
+/// one batch span per module carrying its GenerationStats counters. All
+/// spans open/close at sequential points, so the trace is byte-identical at
+/// any thread count.
+[[nodiscard]] Result<AnnotateReport> AnnotateRegistry(
+    const ExampleGenerator& generator, ModuleRegistry& registry,
+    obs::Tracer* tracer = nullptr);
 
 }  // namespace dexa
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "durability/commit_codec.h"
+#include "obs/trace.h"
 
 namespace dexa {
 
@@ -89,6 +90,11 @@ Result<AnnotateReport> AnnotateRegistryDurable(
     ~HookClearer() { engine->SetCommitHook(nullptr); }
   } clearer{&engine};
 
+  obs::Tracer* tracer = options.tracer;
+  obs::ScopedSpan run(tracer, obs::SpanKind::kRun,
+                      "annotate_registry_durable");
+  const EngineMetricsSnapshot run_before = engine.metrics().Snapshot();
+
   AnnotateReport report;
   if (fresh) {
     AnnotateRunHeader header;
@@ -100,20 +106,39 @@ Result<AnnotateReport> AnnotateRegistryDurable(
   }
 
   // Replay the committed prefix: served from the journal, not re-invoked.
-  for (const ModuleCommit& commit : committed) {
-    size_t examples = commit.examples.size();
-    DEXA_RETURN_IF_ERROR(
-        registry.SetDataExamples(commit.module_id, commit.examples));
-    report.transient_exhausted += commit.transient_exhausted;
-    report.examples += examples;
-    if (commit.decayed) {
-      ++report.decayed;
-      report.decayed_ids.push_back(commit.module_id);
-    } else {
-      ++report.annotated;
+  // Replay spans are marked `replayed` and carry only the counters the
+  // journal preserves — no live invocation deltas, because no invocation
+  // happened.
+  {
+    obs::ScopedSpan replay(tracer, obs::SpanKind::kPhase, "replay", run.id());
+    for (const ModuleCommit& commit : committed) {
+      obs::ScopedSpan module_span(tracer, obs::SpanKind::kBatch,
+                                  commit.module_id, replay.id());
+      module_span.MarkReplayed();
+      std::vector<std::pair<std::string, uint64_t>> counters;
+      counters.reserve(3);
+      if (!commit.examples.empty()) {
+        counters.emplace_back("examples", commit.examples.size());
+      }
+      if (commit.decayed) counters.emplace_back("decayed", 1);
+      if (commit.transient_exhausted != 0) {
+        counters.emplace_back("transient_exhausted", commit.transient_exhausted);
+      }
+      module_span.Counters(std::move(counters));
+      size_t examples = commit.examples.size();
+      DEXA_RETURN_IF_ERROR(
+          registry.SetDataExamples(commit.module_id, commit.examples));
+      report.transient_exhausted += commit.transient_exhausted;
+      report.examples += examples;
+      if (commit.decayed) {
+        ++report.decayed;
+        report.decayed_ids.push_back(commit.module_id);
+      } else {
+        ++report.annotated;
+      }
+      ++report.replayed;
+      engine.metrics().RecordModuleReplayed();
     }
-    ++report.replayed;
-    engine.metrics().RecordModuleReplayed();
   }
 
   // Generate the remainder concurrently; outcomes are schedule-independent
@@ -121,14 +146,22 @@ Result<AnnotateReport> AnnotateRegistryDurable(
   const size_t start = committed.size();
   std::vector<std::optional<Result<GenerationOutcome>>> outcomes(
       modules.size());
-  engine.ForEach(modules.size() - start, [&](size_t k) {
-    outcomes[start + k] = generator.Generate(*modules[start + k]);
-  });
+  {
+    obs::ScopedSpan generate(tracer, obs::SpanKind::kPhase, "generate",
+                             run.id());
+    const EngineMetricsSnapshot before = engine.metrics().Snapshot();
+    engine.ForEach(modules.size() - start, [&](size_t k) {
+      outcomes[start + k] = generator.Generate(*modules[start + k]);
+    });
+    generate.CounterDeltas(before, engine.metrics().Snapshot());
+  }
 
   // Sequential commit phase, registration order: journal record first
   // (write-ahead), then the registry — with the crash plan consulted at
   // each unit the way a real crash would interleave with the appends.
   const CrashPlan& crash = options.crash;
+  obs::ScopedSpan commit_phase(tracer, obs::SpanKind::kPhase, "commit",
+                               run.id());
   for (size_t i = start; i < modules.size(); ++i) {
     const std::string& id = modules[i]->spec().id;
     if (crash.point == CrashPoint::kCrashBeforeCommit && crash.Matches(id)) {
@@ -141,6 +174,24 @@ Result<AnnotateReport> AnnotateRegistryDurable(
     if (!outcome.ok()) {
       report.run_status = outcome.status();
       break;
+    }
+
+    obs::ScopedSpan module_span(tracer, obs::SpanKind::kBatch, id,
+                                commit_phase.id());
+    {
+      // Same omit-zero, single-locked-call shape as the plain annotate
+      // path, so a resumed run's live suffix traces identically.
+      std::vector<std::pair<std::string, uint64_t>> counters;
+      counters.reserve(5);
+      auto add = [&counters](const char* name, uint64_t value) {
+        if (value != 0) counters.emplace_back(name, value);
+      };
+      add("combinations_tried", outcome->stats.combinations_tried);
+      add("invocation_errors", outcome->stats.invocation_errors);
+      add("transient_exhausted", outcome->stats.transient_exhausted);
+      add("decayed", outcome->stats.decayed ? 1 : 0);
+      add("examples", outcome->examples.size());
+      module_span.Counters(std::move(counters));
     }
 
     ModuleCommit commit;
@@ -192,7 +243,9 @@ Result<AnnotateReport> AnnotateRegistryDurable(
     }
   }
 
+  commit_phase.End();
   report.metrics = engine.metrics().Snapshot();
+  run.CounterDeltas(run_before, report.metrics);
   return report;
 }
 

@@ -32,6 +32,12 @@ struct DurableAnnotateOptions {
   /// AnnotateReport::run_status) at the chosen commit, optionally tearing
   /// the journal tail. Inert when the plan is unarmed.
   CrashPlan crash;
+
+  /// Optional run tracing (obs/trace.h). The durable run records the same
+  /// run → phase → batch tree as plain AnnotateRegistry plus a "replay"
+  /// phase whose batch spans are marked replayed — served from the journal,
+  /// not live work.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// AnnotateRegistry with a write-ahead journal: every module's annotation

@@ -88,6 +88,7 @@ Result<ResilientEnactmentResult> EnactResilientDurable(
   const CrashPlan& crash = options.crash;
   EnactHooks hooks;
   hooks.replayed = &replayed;
+  hooks.tracer = options.tracer;
   hooks.on_commit = [&](int processor,
                         const InvocationRecord& record) -> Status {
     if (crash.point == CrashPoint::kCrashBeforeCommit &&

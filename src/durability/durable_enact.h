@@ -22,6 +22,11 @@ struct DurableEnactOptions {
   /// committed. An armed plan makes the call fail with kCancelled (for the
   /// torn variant, after damaging the journal tail).
   CrashPlan crash;
+
+  /// Optional run tracing, forwarded to EnactHooks::tracer: replayed steps
+  /// are marked replayed in the span tree, live steps carry their stable
+  /// engine-counter deltas.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// EnactResilient with a write-ahead journal: every completed step is

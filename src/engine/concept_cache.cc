@@ -26,7 +26,13 @@ void ConceptCache::CountMiss() const {
   if (metrics_ != nullptr) metrics_->RecordCacheMiss();
 }
 
+void ConceptCache::CountQuery() const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->RecordCacheQuery();
+}
+
 bool ConceptCache::IsSubsumedBy(ConceptId a, ConceptId b) const {
+  CountQuery();
   const uint64_t key = PairKey(a, b);
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
@@ -47,6 +53,7 @@ bool ConceptCache::Comparable(ConceptId a, ConceptId b) const {
 }
 
 const std::vector<ConceptId>& ConceptCache::Descendants(ConceptId c) const {
+  CountQuery();
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = descendants_.find(c);
@@ -62,6 +69,7 @@ const std::vector<ConceptId>& ConceptCache::Descendants(ConceptId c) const {
 }
 
 const std::vector<ConceptId>& ConceptCache::Partitions(ConceptId c) const {
+  CountQuery();
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = partitions_.find(c);
@@ -77,6 +85,7 @@ const std::vector<ConceptId>& ConceptCache::Partitions(ConceptId c) const {
 }
 
 ConceptId ConceptCache::LeastCommonSubsumer(ConceptId a, ConceptId b) const {
+  CountQuery();
   // LCS is symmetric; normalize the key so both orders share one entry.
   const uint64_t key = a <= b ? PairKey(a, b) : PairKey(b, a);
   {

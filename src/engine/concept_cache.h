@@ -60,9 +60,17 @@ class ConceptCache {
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// Total lookups issued. Every query resolves as exactly one hit or one
+  /// miss, so `hits() + misses() == queries()` always holds (the
+  /// conservation invariant pinned by property_test).
+  uint64_t queries() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
  private:
   void CountHit() const;
   void CountMiss() const;
+  void CountQuery() const;
 
   const Ontology* ontology_;
   EngineMetrics* metrics_;
@@ -75,6 +83,7 @@ class ConceptCache {
 
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> queries_{0};
 };
 
 }  // namespace dexa

@@ -143,12 +143,18 @@ Result<std::vector<Value>> InvocationEngine::InvokeWithRetries(
     context.attempt = attempt;
     context.clock = &clock_;
     auto outputs = module.Invoke(inputs, context);
-    metrics_.RecordInvocation(outputs.ok());
     if (context.charged_ns != 0) {
       budget_spent += context.charged_ns;
       clock_.Advance(context.charged_ns);
     }
-    if (policy.deadline_ns != 0 && budget_spent > policy.deadline_ns) {
+    const bool budget_blown =
+        policy.deadline_ns != 0 && budget_spent > policy.deadline_ns;
+    // A deadline-blown attempt is an error from the caller's point of view
+    // (the result is discarded below, successful or not), so it must not be
+    // counted as a successful invocation — the metrics would otherwise
+    // claim more completed work than the run produced.
+    metrics_.RecordInvocation(outputs.ok() && !budget_blown);
+    if (budget_blown) {
       // The attempt itself blew the budget: the caller has hung up, so even
       // a successful result is discarded.
       metrics_.RecordDeadlineExhaustion();

@@ -31,6 +31,7 @@ std::string EngineMetricsSnapshot::ToString() const {
   out << "invocations=" << invocations << " errors=" << invocation_errors
       << " batches=" << batches << " cache_hits=" << cache_hits
       << " cache_misses=" << cache_misses;
+  if (cache_queries != 0) out << " cache_queries=" << cache_queries;
   if (retries != 0) out << " retries=" << retries;
   if (deadline_exhaustions != 0) {
     out << " deadline_exhaustions=" << deadline_exhaustions;
@@ -68,6 +69,7 @@ EngineMetricsSnapshot EngineMetrics::Snapshot() const {
   snapshot.batches = batches_.load(std::memory_order_relaxed);
   snapshot.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   snapshot.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snapshot.cache_queries = cache_queries_.load(std::memory_order_relaxed);
   snapshot.retries = retries_.load(std::memory_order_relaxed);
   snapshot.deadline_exhaustions =
       deadline_exhaustions_.load(std::memory_order_relaxed);
@@ -97,6 +99,7 @@ void EngineMetrics::Reset() {
   batches_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
   cache_misses_.store(0, std::memory_order_relaxed);
+  cache_queries_.store(0, std::memory_order_relaxed);
   retries_.store(0, std::memory_order_relaxed);
   deadline_exhaustions_.store(0, std::memory_order_relaxed);
   breaker_trips_.store(0, std::memory_order_relaxed);

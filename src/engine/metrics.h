@@ -31,6 +31,7 @@ struct EngineMetricsSnapshot {
   uint64_t batches = 0;            ///< InvokeBatch / ForEach dispatches.
   uint64_t cache_hits = 0;         ///< ConceptCache hits.
   uint64_t cache_misses = 0;       ///< ConceptCache misses (computed fresh).
+  uint64_t cache_queries = 0;      ///< ConceptCache lookups (hits + misses).
   uint64_t retries = 0;            ///< Retry attempts after transient faults.
   uint64_t deadline_exhaustions = 0;  ///< Invocations cut off by a budget.
   uint64_t breaker_trips = 0;      ///< Circuit breakers tripped open.
@@ -103,6 +104,9 @@ class EngineMetrics {
   void RecordCacheMiss() {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  void RecordCacheQuery() {
+    cache_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
   void AddPhaseNanos(EnginePhase phase, uint64_t nanos) {
     phase_nanos_[static_cast<size_t>(phase)].fetch_add(
         nanos, std::memory_order_relaxed);
@@ -119,6 +123,7 @@ class EngineMetrics {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> cache_queries_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> deadline_exhaustions_{0};
   std::atomic<uint64_t> breaker_trips_{0};

@@ -1,0 +1,601 @@
+#include "obs/export.h"
+
+#include <cctype>
+
+#include "common/rng.h"
+
+namespace dexa::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string Hex16(uint64_t value) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Rewrites a document's closing `}` into `,"checksum":"<hash>"}` where
+/// `<hash>` covers the document as it was before the rewrite. Readers undo
+/// this exactly, so the checksum is self-verifying.
+std::string SealWithChecksum(std::string doc) {
+  const std::string digest = Hex16(StableHash64(doc));
+  doc.pop_back();  // The final '}'.
+  doc += ",\"checksum\":\"";
+  doc += digest;
+  doc += "\"}";
+  return doc;
+}
+
+void AppendCounterFields(std::string& out,
+                         const std::vector<std::pair<std::string, uint64_t>>&
+                             counters) {
+  for (const auto& [name, value] : counters) {
+    out += ',';
+    AppendJsonString(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reading: a strict, minimal JSON parser
+// ---------------------------------------------------------------------------
+//
+// The exports are machine-written, so the reader can afford to be strict:
+// objects keep insertion order, numbers are non-negative integers (the only
+// kind the writers emit), and any deviation is treated as damage. The
+// parser is recursive-descent with a hard depth cap, consumes each byte at
+// most once (no hangs), and reports every failure as a plain `false` that
+// the schema layer turns into kCorrupted.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  uint64_t number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue& out) {
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) return false;
+    SkipWhitespace();
+    return pos_ == text_.size();  // No trailing garbage.
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return false;
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return ParseString(out.str);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return Consume("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return Consume("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return Consume("null");
+      default:
+        out.kind = JsonValue::Kind::kNumber;
+        return ParseNumber(out.number);
+    }
+  }
+
+  bool ParseObject(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.array.push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The writers only escape control bytes, so only accept those.
+          if (value >= 0x20) return false;
+          out += static_cast<char>(value);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool ParseNumber(uint64_t& out) {
+    // The writers emit non-negative integers only; anything else (signs,
+    // fractions, exponents, overflow) is damage.
+    if (pos_ >= text_.size() || !std::isdigit(
+            static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    out = 0;
+    size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      if (++digits > 19) return false;  // Would overflow uint64.
+      out = out * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool Consume(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+      ++pos_;
+    }
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Verifies the trailing `,"checksum":"<16 hex>"}` seal and returns the
+/// document with the seal removed (ready to parse), or kCorrupted.
+Result<std::string> Unseal(const std::string& text) {
+  std::string trimmed = text;
+  while (!trimmed.empty() &&
+         (trimmed.back() == '\n' || trimmed.back() == '\r' ||
+          trimmed.back() == ' ')) {
+    trimmed.pop_back();
+  }
+  static const std::string kMarker = ",\"checksum\":\"";
+  // Seal layout: marker + 16 hex + "\"}" at the very end of the document.
+  const size_t kSealLength = kMarker.size() + 16 + 2;
+  if (trimmed.size() < kSealLength + 1) {
+    return Status::Corrupted("export too short to carry a checksum seal");
+  }
+  const size_t seal_pos = trimmed.size() - kSealLength;
+  if (trimmed.compare(seal_pos, kMarker.size(), kMarker) != 0 ||
+      trimmed.compare(trimmed.size() - 2, 2, "\"}") != 0) {
+    return Status::Corrupted("export checksum seal missing or malformed");
+  }
+  const std::string digest =
+      trimmed.substr(seal_pos + kMarker.size(), 16);
+  for (char c : digest) {
+    if (!std::isxdigit(static_cast<unsigned char>(c)) ||
+        std::isupper(static_cast<unsigned char>(c))) {
+      return Status::Corrupted("export checksum is not lowercase hex");
+    }
+  }
+  std::string doc = trimmed.substr(0, seal_pos) + "}";
+  if (Hex16(StableHash64(doc)) != digest) {
+    return Status::Corrupted("export checksum mismatch: content damaged");
+  }
+  return doc;
+}
+
+Result<JsonValue> ParseSealedDocument(const std::string& text) {
+  DEXA_ASSIGN_OR_RETURN(std::string doc, Unseal(text));
+  JsonValue root;
+  if (!JsonParser(doc).Parse(root)) {
+    return Status::Corrupted("export is not well-formed JSON");
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::Corrupted("export root is not a JSON object");
+  }
+  return root;
+}
+
+bool GetNumber(const JsonValue& object, const std::string& key,
+               uint64_t& out) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || value->kind != JsonValue::Kind::kNumber) {
+    return false;
+  }
+  out = value->number;
+  return true;
+}
+
+bool GetString(const JsonValue& object, const std::string& key,
+               std::string& out) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || value->kind != JsonValue::Kind::kString) {
+    return false;
+  }
+  out = value->str;
+  return true;
+}
+
+Result<ParsedSpan> DecodeTraceEvent(const JsonValue& event) {
+  if (event.kind != JsonValue::Kind::kObject) {
+    return Status::Corrupted("trace event is not an object");
+  }
+  ParsedSpan span;
+  std::string ph;
+  if (!GetString(event, "name", span.name) ||
+      !GetString(event, "cat", span.cat) || !GetString(event, "ph", ph) ||
+      ph != "X" || !GetNumber(event, "ts", span.ts) ||
+      !GetNumber(event, "dur", span.dur) ||
+      !GetNumber(event, "id", span.id)) {
+    return Status::Corrupted("trace event missing required fields");
+  }
+  const JsonValue* args = event.Find("args");
+  if (args == nullptr || args->kind != JsonValue::Kind::kObject) {
+    return Status::Corrupted("trace event has no args object");
+  }
+  bool saw_parent = false, saw_virtual = false, saw_replayed = false;
+  for (const auto& [key, value] : args->object) {
+    if (value.kind != JsonValue::Kind::kNumber) {
+      return Status::Corrupted("trace arg '" + key + "' is not a number");
+    }
+    if (key == "parent") {
+      span.parent = value.number;
+      saw_parent = true;
+    } else if (key == "virtual_ns") {
+      span.virtual_ns = value.number;
+      saw_virtual = true;
+    } else if (key == "replayed") {
+      if (value.number > 1) {
+        return Status::Corrupted("trace replayed flag out of range");
+      }
+      span.replayed = value.number == 1;
+      saw_replayed = true;
+    } else {
+      span.counters.emplace_back(key, value.number);
+    }
+  }
+  if (!saw_parent || !saw_virtual || !saw_replayed) {
+    return Status::Corrupted("trace event args missing span metadata");
+  }
+  return span;
+}
+
+Result<std::map<std::string, uint64_t>> DecodeNumberMap(
+    const JsonValue& object) {
+  std::map<std::string, uint64_t> out;
+  for (const auto& [key, value] : object.object) {
+    if (value.kind != JsonValue::Kind::kNumber) {
+      return Status::Corrupted("metric '" + key + "' is not a number");
+    }
+    out[key] = value.number;
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> DecodeNumberArray(const JsonValue& value) {
+  if (value.kind != JsonValue::Kind::kArray) {
+    return Status::Corrupted("expected a JSON array of numbers");
+  }
+  std::vector<uint64_t> out;
+  for (const JsonValue& element : value.array) {
+    if (element.kind != JsonValue::Kind::kNumber) {
+      return Status::Corrupted("histogram array holds a non-number");
+    }
+    out.push_back(element.number);
+  }
+  return out;
+}
+
+Result<std::map<std::string, HistogramSnapshot>> DecodeHistogramMap(
+    const JsonValue& object) {
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [key, value] : object.object) {
+    if (value.kind != JsonValue::Kind::kObject) {
+      return Status::Corrupted("histogram '" + key + "' is not an object");
+    }
+    const JsonValue* bounds = value.Find("bounds");
+    const JsonValue* counts = value.Find("counts");
+    if (bounds == nullptr || counts == nullptr) {
+      return Status::Corrupted("histogram '" + key + "' missing buckets");
+    }
+    HistogramSnapshot histogram;
+    DEXA_ASSIGN_OR_RETURN(histogram.bounds, DecodeNumberArray(*bounds));
+    DEXA_ASSIGN_OR_RETURN(histogram.counts, DecodeNumberArray(*counts));
+    if (histogram.counts.size() != histogram.bounds.size() + 1 ||
+        !GetNumber(value, "total", histogram.total) ||
+        !GetNumber(value, "observations", histogram.observations)) {
+      return Status::Corrupted("histogram '" + key + "' malformed");
+    }
+    out[key] = std::move(histogram);
+  }
+  return out;
+}
+
+Status DecodeMetricsSection(const JsonValue& root, const std::string& section,
+                            std::map<std::string, uint64_t>& counters,
+                            std::map<std::string, uint64_t>& gauges,
+                            std::map<std::string, HistogramSnapshot>&
+                                histograms) {
+  const JsonValue* object = root.Find(section);
+  if (object == nullptr || object->kind != JsonValue::Kind::kObject) {
+    return Status::Corrupted("metrics export missing '" + section +
+                             "' section");
+  }
+  const JsonValue* c = object->Find("counters");
+  const JsonValue* g = object->Find("gauges");
+  const JsonValue* h = object->Find("histograms");
+  if (c == nullptr || c->kind != JsonValue::Kind::kObject || g == nullptr ||
+      g->kind != JsonValue::Kind::kObject || h == nullptr ||
+      h->kind != JsonValue::Kind::kObject) {
+    return Status::Corrupted("metrics section '" + section + "' malformed");
+  }
+  DEXA_ASSIGN_OR_RETURN(counters, DecodeNumberMap(*c));
+  DEXA_ASSIGN_OR_RETURN(gauges, DecodeNumberMap(*g));
+  DEXA_ASSIGN_OR_RETURN(histograms, DecodeHistogramMap(*h));
+  return Status::OK();
+}
+
+void AppendMetricsSection(std::string& out, const MetricsRegistry& registry,
+                          MetricStability stability) {
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, entry] : registry.counters()) {
+    if (entry.second != stability) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    out += ':';
+    out += std::to_string(entry.first);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, entry] : registry.gauges()) {
+    if (entry.second != stability) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    out += ':';
+    out += std::to_string(entry.first);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, entry] : registry.histograms()) {
+    if (entry.second != stability) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    out += ":{\"bounds\":[";
+    const HistogramSnapshot& histogram = entry.first;
+    for (size_t i = 0; i < histogram.bounds.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(histogram.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(histogram.counts[i]);
+    }
+    out += "],\"total\":";
+    out += std::to_string(histogram.total);
+    out += ",\"observations\":";
+    out += std::to_string(histogram.observations);
+    out += '}';
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string WriteChromeTrace(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const std::vector<TraceSpan> spans = tracer.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":";
+    AppendJsonString(out, span.name);
+    out += ",\"cat\":\"";
+    out += SpanKindName(span.kind);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(span.start_tick);
+    out += ",\"dur\":";
+    uint64_t dur =
+        span.end_tick >= span.start_tick ? span.end_tick - span.start_tick : 0;
+    out += std::to_string(dur);
+    out += ",\"pid\":1,\"tid\":1,\"id\":";
+    out += std::to_string(span.id);
+    out += ",\"args\":{\"parent\":";
+    out += std::to_string(span.parent);
+    out += ",\"virtual_ns\":";
+    out += std::to_string(span.virtual_ns);
+    out += ",\"replayed\":";
+    out += span.replayed ? '1' : '0';
+    AppendCounterFields(out, span.counters);
+    out += "}}";
+  }
+  out += "]}";
+  return SealWithChecksum(std::move(out));
+}
+
+std::string WriteMetricsJson(const MetricsRegistry& registry) {
+  std::string out = "{\"stable\":";
+  AppendMetricsSection(out, registry, MetricStability::kStable);
+  out += ",\"volatile\":";
+  AppendMetricsSection(out, registry, MetricStability::kVolatile);
+  out += '}';
+  return SealWithChecksum(std::move(out));
+}
+
+Result<ParsedTrace> ReadChromeTrace(const std::string& text) {
+  DEXA_ASSIGN_OR_RETURN(JsonValue root, ParseSealedDocument(text));
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return Status::Corrupted("trace export has no traceEvents array");
+  }
+  ParsedTrace trace;
+  for (const JsonValue& event : events->array) {
+    DEXA_ASSIGN_OR_RETURN(ParsedSpan span, DecodeTraceEvent(event));
+    trace.spans.push_back(std::move(span));
+  }
+  return trace;
+}
+
+Result<ParsedMetrics> ReadMetricsJson(const std::string& text) {
+  DEXA_ASSIGN_OR_RETURN(JsonValue root, ParseSealedDocument(text));
+  ParsedMetrics metrics;
+  DEXA_RETURN_IF_ERROR(
+      DecodeMetricsSection(root, "stable", metrics.stable_counters,
+                           metrics.stable_gauges, metrics.stable_histograms));
+  DEXA_RETURN_IF_ERROR(
+      DecodeMetricsSection(root, "volatile", metrics.volatile_counters,
+                           metrics.volatile_gauges,
+                           metrics.volatile_histograms));
+  return metrics;
+}
+
+}  // namespace dexa::obs

@@ -1,0 +1,69 @@
+#ifndef DEXA_OBS_EXPORT_H_
+#define DEXA_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace dexa::obs {
+
+/// Serializes a recorded trace as a Chrome trace-event JSON document
+/// (loadable in chrome://tracing / Perfetto): one complete ("ph":"X") event
+/// per span, `ts`/`dur` in logical ticks, span metadata and counters under
+/// `args`. The document ends with a `"checksum"` field — StableHash64 of
+/// the document with that field removed — which Chrome ignores and
+/// ReadChromeTrace verifies. Output is byte-deterministic: same spans, same
+/// bytes.
+std::string WriteChromeTrace(const Tracer& tracer);
+
+/// Serializes a MetricsRegistry as a flat metrics.json with `stable` and
+/// `volatile` sections (counters / gauges / histograms, sorted by name) and
+/// the same trailing checksum scheme as WriteChromeTrace.
+std::string WriteMetricsJson(const MetricsRegistry& registry);
+
+/// A span decoded from a Chrome-trace export.
+struct ParsedSpan {
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  std::string name;
+  std::string cat;  ///< Span kind name ("run", "phase", ...).
+  uint64_t ts = 0;
+  uint64_t dur = 0;
+  uint64_t virtual_ns = 0;
+  bool replayed = false;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+struct ParsedTrace {
+  std::vector<ParsedSpan> spans;
+};
+
+/// A metrics.json decoded back into per-section maps.
+struct ParsedMetrics {
+  std::map<std::string, uint64_t> stable_counters;
+  std::map<std::string, uint64_t> stable_gauges;
+  std::map<std::string, HistogramSnapshot> stable_histograms;
+  std::map<std::string, uint64_t> volatile_counters;
+  std::map<std::string, uint64_t> volatile_gauges;
+  std::map<std::string, HistogramSnapshot> volatile_histograms;
+};
+
+/// Decodes and verifies a WriteChromeTrace document. Any damage — a
+/// missing or mismatched checksum, malformed JSON, a schema violation —
+/// returns kCorrupted (the export is machine-written, so "malformed" can
+/// only mean "damaged"). Never crashes or hangs on arbitrary bytes.
+Result<ParsedTrace> ReadChromeTrace(const std::string& text);
+
+/// Decodes and verifies a WriteMetricsJson document; same error contract
+/// as ReadChromeTrace.
+Result<ParsedMetrics> ReadMetricsJson(const std::string& text);
+
+}  // namespace dexa::obs
+
+#endif  // DEXA_OBS_EXPORT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dexa {
 
 Result<EnactmentResult> Enact(const Workflow& workflow,
@@ -150,11 +152,23 @@ Result<ResilientEnactmentResult> EnactResilient(
     result.decayed_modules.push_back(module_id);
   };
 
+  obs::Tracer* tracer = hooks.tracer;
+  obs::ScopedSpan run(tracer, obs::SpanKind::kRun,
+                      "enact_resilient:" + workflow.name);
+  obs::ScopedSpan enact_phase(tracer, obs::SpanKind::kPhase, "enact",
+                              run.id());
+  const EngineMetricsSnapshot run_before = engine.metrics().Snapshot();
+
   for (int p : *order) {
     const Processor& processor =
         workflow.processors[static_cast<size_t>(p)];
     auto module = registry.Find(processor.module_id);
     if (!module.ok()) return module.status();
+
+    // The topological loop is sequential, so per-step span order and the
+    // per-step counter deltas below are schedule-independent.
+    obs::ScopedSpan step(tracer, obs::SpanKind::kInvocation, processor.name,
+                         enact_phase.id());
 
     if (hooks.replayed != nullptr) {
       const std::optional<InvocationRecord>& committed =
@@ -162,6 +176,7 @@ Result<ResilientEnactmentResult> EnactResilient(
       if (committed.has_value()) {
         // Step already committed by a previous (crashed) run: serve its
         // outputs and provenance from the journal, never re-invoke.
+        step.MarkReplayed();
         result.invocations.push_back(*committed);
         produced[static_cast<size_t>(p)] = committed->outputs;
         ran[static_cast<size_t>(p)] = true;
@@ -185,24 +200,29 @@ Result<ResilientEnactmentResult> EnactResilient(
       return value.status();
     }
     if (upstream_skipped) {
+      step.Counter("skipped", 1);
       result.skipped_processors.push_back(processor.name);
       continue;
     }
 
+    const EngineMetricsSnapshot step_before = engine.metrics().Snapshot();
     auto outputs =
         engine.Invoke(**module, module_inputs, EnginePhase::kEnact);
+    step.CounterDeltas(step_before, engine.metrics().Snapshot());
     if (!outputs.ok()) {
       const Status& status = outputs.status();
       if (status.IsPermanentFailure()) {
         // The module decayed under us: skip this step (and, transitively,
         // its consumers) and report it as a repair candidate.
         note_decayed(processor.module_id);
+        step.Counter("skipped", 1);
         result.skipped_processors.push_back(processor.name);
         continue;
       }
       if (status.IsRetryable()) {
         // Transient fault the retry policy could not outlast: the step is
         // lost this run, but the module itself is not condemned.
+        step.Counter("skipped", 1);
         result.skipped_processors.push_back(processor.name);
         continue;
       }
@@ -229,6 +249,8 @@ Result<ResilientEnactmentResult> EnactResilient(
     produced[static_cast<size_t>(p)] = std::move(outputs).value();
     ran[static_cast<size_t>(p)] = true;
   }
+  enact_phase.End();
+  run.CounterDeltas(run_before, engine.metrics().Snapshot());
 
   for (const WorkflowOutput& output : workflow.outputs) {
     auto value = resolve(output.source);

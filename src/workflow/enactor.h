@@ -12,6 +12,11 @@
 
 namespace dexa {
 
+namespace obs {
+class Tracer;  // obs/trace.h — optional run tracing, forward-declared so
+               // the workflow layer's header does not depend on obs.
+}  // namespace obs
+
 /// What one module invocation inside an enactment consumed and produced —
 /// the unit of workflow provenance (Section 4.1: "traces of past workflow
 /// executions including the data values used as input and obtained as
@@ -114,6 +119,13 @@ struct EnactHooks {
   /// unrepeatable.
   std::function<Status(int processor, const InvocationRecord& record)>
       on_commit;
+
+  /// Optional run tracing (obs/trace.h): a run span per enactment, an
+  /// "enact" phase, and one invocation span per processor — replayed steps
+  /// marked as such, live steps annotated with their stable engine-counter
+  /// deltas (the topological loop is sequential, so per-step deltas are
+  /// schedule-independent).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// EnactResilient with durability hooks. `hooks.replayed`, when non-null,

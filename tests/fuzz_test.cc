@@ -20,6 +20,9 @@
 #include "formats/sniffer.h"
 #include "kb/render.h"
 #include "modules/registry_io.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "ontology/ontology_parser.h"
 #include "pool/pool_io.h"
 #include "tests/test_util.h"
@@ -275,6 +278,103 @@ TEST_P(ParserFuzzTest, LintLexerNeverCrashes) {
     lint::LintReport report = linter.Run();
     EXPECT_EQ(report.files_scanned, 1u);
   }
+}
+
+/// One genuine span tree (counters, a replayed span, characters the JSON
+/// writer must escape) as the mutation substrate for the export fuzzers.
+std::string SampleTraceExport() {
+  obs::Tracer tracer;
+  obs::ScopedSpan run(&tracer, obs::SpanKind::kRun, "fuzz \"run\"\t\\");
+  for (int i = 0; i < 6; ++i) {
+    obs::ScopedSpan batch(&tracer, obs::SpanKind::kBatch,
+                          "m" + std::to_string(i), run.id());
+    if (i % 2 == 0) batch.MarkReplayed();
+    batch.Counter("examples", static_cast<uint64_t>(i));
+  }
+  run.Counter("commits", 6);
+  run.End();
+  return obs::WriteChromeTrace(tracer);
+}
+
+TEST_P(ParserFuzzTest, TraceExportReaderNeverCrashes) {
+  Rng rng(GetParam());
+  const std::string pristine = SampleTraceExport();
+
+  // The pristine export round-trips.
+  auto clean = obs::ReadChromeTrace(pristine);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_EQ(clean->spans.size(), 7u);
+  EXPECT_EQ(clean->spans[0].name, "fuzz \"run\"\t\\");
+
+  // Arbitrary damage: the reader returns OK or typed kCorrupted — no
+  // crash, no hang, no other error class (the export is machine-written,
+  // so malformed means damaged). Mirrors JournalRecoveryNeverCrashes.
+  for (int i = 0; i < 60; ++i) {
+    std::string mutated =
+        Mutate(pristine, rng, 1 + static_cast<int>(rng.NextBelow(10)));
+    auto parsed = obs::ReadChromeTrace(mutated);
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsCorrupted()) << parsed.status();
+    }
+  }
+
+  // A single interior bit flip always breaks the checksum seal.
+  for (int i = 0; i < 40; ++i) {
+    std::string flipped = pristine;
+    flipped[rng.NextIndex(flipped.size() - 1)] ^=
+        static_cast<char>(1 + rng.NextBelow(127));
+    EXPECT_TRUE(obs::ReadChromeTrace(flipped).status().IsCorrupted());
+  }
+
+  // Every strict prefix is rejected as corrupted, never half-parsed.
+  for (size_t cut :
+       {size_t{0}, size_t{1}, pristine.size() / 2, pristine.size() - 1}) {
+    EXPECT_TRUE(
+        obs::ReadChromeTrace(pristine.substr(0, cut)).status().IsCorrupted())
+        << "prefix of " << cut << " bytes accepted";
+  }
+}
+
+TEST_P(ParserFuzzTest, MetricsExportReaderNeverCrashes) {
+  Rng rng(GetParam());
+  obs::MetricsRegistry registry;
+  registry.SetCounter("engine.commits", 42);
+  registry.SetCounter("engine.cache_hits", 7, obs::MetricStability::kVolatile);
+  registry.SetGauge("engine.invocation_error_rate_ppm", 1234);
+  registry.DefineHistogram("trace.examples_per_module", {0, 1, 2, 4});
+  registry.Observe("trace.examples_per_module", 3);
+  registry.Observe("trace.examples_per_module", 99);
+  const std::string pristine = obs::WriteMetricsJson(registry);
+
+  auto clean = obs::ReadMetricsJson(pristine);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean->stable_counters.at("engine.commits"), 42u);
+
+  for (int i = 0; i < 60; ++i) {
+    std::string mutated =
+        Mutate(pristine, rng, 1 + static_cast<int>(rng.NextBelow(10)));
+    auto parsed = obs::ReadMetricsJson(mutated);
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsCorrupted()) << parsed.status();
+    }
+  }
+
+  for (int i = 0; i < 40; ++i) {
+    std::string flipped = pristine;
+    flipped[rng.NextIndex(flipped.size() - 1)] ^=
+        static_cast<char>(1 + rng.NextBelow(127));
+    EXPECT_TRUE(obs::ReadMetricsJson(flipped).status().IsCorrupted());
+  }
+  for (size_t cut :
+       {size_t{0}, size_t{1}, pristine.size() / 2, pristine.size() - 1}) {
+    EXPECT_TRUE(
+        obs::ReadMetricsJson(pristine.substr(0, cut)).status().IsCorrupted())
+        << "prefix of " << cut << " bytes accepted";
+  }
+
+  // The readers are not interchangeable: each rejects the other's schema.
+  EXPECT_TRUE(obs::ReadMetricsJson(SampleTraceExport()).status().IsCorrupted());
+  EXPECT_TRUE(obs::ReadChromeTrace(pristine).status().IsCorrupted());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,

@@ -249,6 +249,26 @@ TEST(LayeringRuleTest, DownwardAndSameLayerIncludesAreSilent) {
   EXPECT_TRUE(report.findings.empty()) << Describe(report);
 }
 
+TEST(LayeringRuleTest, ObsSlotsBelowItsConsumersOnly) {
+  // Consumers of obs (core, workflow, durability) may include it; obs may
+  // reach down to engine but never back up into its consumers, and engine
+  // itself must stay obs-free (the engine seam is EngineMetrics, not spans).
+  LintReport silent = Lint(
+      {{"src/core/a.cc", "#include \"obs/trace.h\"\n"},
+       {"src/workflow/b.cc", "#include \"obs/trace.h\"\n"},
+       {"src/durability/c.cc", "#include \"obs/metrics_registry.h\"\n"},
+       {"src/obs/trace.cc",
+        "#include \"engine/metrics.h\"\n"
+        "#include \"common/status.h\"\n"}});
+  EXPECT_TRUE(silent.findings.empty()) << Describe(silent);
+
+  LintReport fires = Lint(
+      {{"src/obs/trace.cc", "#include \"core/example_generator.h\"\n"},
+       {"src/engine/invocation_engine.cc", "#include \"obs/trace.h\"\n"}});
+  EXPECT_EQ(fires.findings.size(), 2u) << Describe(fires);
+  EXPECT_EQ(RuleSet(fires), std::set<std::string>{"layering"});
+}
+
 TEST(LayeringRuleTest, NormativeDagIsAcyclic) {
   const auto& deps = LayerDependencies();
   // Every declared dependency must itself be a declared layer, and the
@@ -297,6 +317,69 @@ TEST(UnorderedIterationRuleTest, OrderedContainersAndOtherLayersAreSilent) {
         "void G(const std::unordered_map<int, int>& m) {\n"
         "  for (const auto& [k, v] : m) { Count(k, v); }\n"
         "}\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+// ---------------------------------------------------------------------------
+// Family 6: observability (span hygiene)
+// ---------------------------------------------------------------------------
+
+TEST(ManualSpanRuleTest, FiresOnManualBeginEndPairsInInstrumentedLayers) {
+  // A manual Begin/End pair leaks the span on the early return between them.
+  LintReport report = Lint(
+      {{"src/core/x.cc",
+        "Status F(obs::Tracer* tracer) {\n"
+        "  uint64_t id = tracer->BeginSpan(obs::SpanKind::kPhase, \"g\", 0);\n"
+        "  if (Step().ok()) return Status::Cancelled(\"leaks the span\");\n"
+        "  tracer->EndSpan(id);\n"
+        "  return Status::OK();\n"
+        "}\n"}});
+  EXPECT_EQ(report.findings.size(), 2u) << Describe(report);
+  EXPECT_EQ(RuleSet(report), std::set<std::string>{"manual-span"});
+}
+
+TEST(ManualSpanRuleTest, ObsLayerAndTestsAreExempt) {
+  // obs implements the RAII guard on top of the raw pair; tests drive the
+  // Tracer API directly to pin its semantics.
+  LintReport report = Lint(
+      {{"src/obs/trace.cc",
+        "uint64_t Tracer::BeginSpan(SpanKind k, const std::string& n,\n"
+        "                           uint64_t parent) { return Open(k, n); }\n"},
+       {"tests/obs_test.cc",
+        "void T(obs::Tracer& tracer) {\n"
+        "  uint64_t id = tracer.BeginSpan(obs::SpanKind::kRun, \"r\", 0);\n"
+        "  tracer.EndSpan(id);\n"
+        "}\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+TEST(UnnamedSpanRuleTest, FiresOnImmediateTemporary) {
+  // An unnamed guard destructs at the end of the full expression: the span
+  // closes on the tick it opened and covers nothing.
+  LintReport report = Lint(
+      {{"src/workflow/w.cc",
+        "void F(obs::Tracer* tracer) {\n"
+        "  obs::ScopedSpan(tracer, obs::SpanKind::kPhase, \"enact\", 0);\n"
+        "  Work();\n"
+        "}\n"}});
+  ASSERT_EQ(report.findings.size(), 1u) << Describe(report);
+  EXPECT_EQ(report.findings[0].rule, "unnamed-span");
+  EXPECT_EQ(report.findings[0].line, 2);
+}
+
+TEST(UnnamedSpanRuleTest, NamedGuardsAndObsDeclarationsAreSilent) {
+  LintReport report = Lint(
+      {{"src/core/g.cc",
+        "void F(obs::Tracer* tracer) {\n"
+        "  obs::ScopedSpan phase(tracer, obs::SpanKind::kPhase, \"x\", 0);\n"
+        "  Work(phase.id());\n"
+        "}\n"},
+       {"src/obs/trace.h",
+        "class ScopedSpan {\n"
+        " public:\n"
+        "  ScopedSpan(Tracer* tracer, SpanKind kind, std::string name);\n"
+        "  ScopedSpan(const ScopedSpan&) = delete;\n"
+        "};\n"}});
   EXPECT_TRUE(report.findings.empty()) << Describe(report);
 }
 

@@ -2,12 +2,20 @@
 // whole corpus, the identifier grammars, the flat-file formats, the
 // ontology, and randomized values.
 
+#include <filesystem>
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "core/coverage.h"
+#include "core/engine_config.h"
 #include "core/metrics.h"
 #include "corpus/behaviors.h"
+#include "corpus/fault_injector.h"
+#include "durability/durable_annotate.h"
+#include "durability/journal.h"
+#include "engine/concept_cache.h"
 #include "engine/invocation_engine.h"
 #include "formats/sniffer.h"
 #include "kb/accessions.h"
@@ -299,6 +307,93 @@ TEST_P(TranscriptionInvarianceProperty, StatsAgreeAcrossTranscription) {
 
 INSTANTIATE_TEST_SUITE_P(Genes, TranscriptionInvarianceProperty,
                          ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------
+// Metrics conservation: the engine counters obey accounting identities —
+// no lookup, attempt or commit can go missing or be double-counted.
+
+class MetricsConservationProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MetricsConservationProperty, FaultedAnnotateRunObeysConservationLaws) {
+  const auto& env = GetEnvironment();
+  FaultProfile profile;
+  profile.seed = 0xFA17;
+  profile.transient_rate = 0.2;
+
+  EngineConfig config =
+      EngineConfig().Threads(GetParam()).Seed(0x5eed).MaxAttempts(4);
+  auto engine = config.BuildEngine();
+  auto wrapped = WrapRegistryWithFaults(*env.corpus.registry, profile,
+                                        &engine->metrics());
+  ASSERT_TRUE(wrapped.ok()) << wrapped.status();
+  auto cache = std::make_shared<ConceptCache>(env.corpus.ontology.get(),
+                                              &engine->metrics());
+  ExampleGenerator generator =
+      config.MakeGenerator(cache, env.pool.get(), engine.get());
+  auto report = AnnotateRegistry(generator, **wrapped);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->complete()) << report->run_status;
+  const EngineMetricsSnapshot m = report->metrics;
+
+  // Every cache lookup resolves as exactly one hit or one miss, and the
+  // engine mirror agrees with the cache's own counters.
+  EXPECT_GT(m.cache_queries, 0u);
+  EXPECT_EQ(m.cache_hits + m.cache_misses, m.cache_queries);
+  EXPECT_EQ(cache->hits() + cache->misses(), cache->queries());
+  EXPECT_EQ(m.cache_queries, cache->queries());
+
+  // Errors are a subset of attempts; every retry follows a counted failed
+  // attempt; every injected fault and deadline exhaustion is a counted
+  // attempt too (a breaker short-circuit is the one denial that is not).
+  EXPECT_LE(m.invocation_errors, m.invocations);
+  EXPECT_LE(m.retries, m.invocation_errors);
+  EXPECT_LE(m.injected_faults, m.invocations);
+  EXPECT_LE(m.deadline_exhaustions, m.invocation_errors);
+  EXPECT_GT(m.injected_faults, 0u);
+
+  // No durable machinery ran: nothing committed, journaled or replayed.
+  EXPECT_EQ(m.commits, 0u);
+  EXPECT_EQ(m.journal_records, 0u);
+  EXPECT_EQ(m.modules_replayed, 0u);
+  EXPECT_EQ(m.modules_reinvoked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MetricsConservationProperty,
+                         ::testing::Values<size_t>(1, 8));
+
+TEST(JournalAccountingProperty, CommitsJournalRecordsAndReplayBalance) {
+  const auto& env = GetEnvironment();
+  std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "dexa_property_journal";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  EngineConfig config = EngineConfig().Threads(1).Seed(0xD0D0);
+  auto engine = config.BuildEngine();
+  auto wrapped = WrapRegistryWithFaults(*env.corpus.registry, FaultProfile{},
+                                        &engine->metrics());
+  ASSERT_TRUE(wrapped.ok()) << wrapped.status();
+  ExampleGenerator generator = config.MakeGenerator(
+      env.corpus.ontology.get(), env.pool.get(), engine.get());
+  auto journal = RunJournal::Create(dir.string(), {}, &engine->metrics());
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  auto report = AnnotateRegistryDurable(generator, **wrapped,
+                                        *env.corpus.ontology, *journal);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->complete()) << report->run_status;
+  const EngineMetricsSnapshot m = report->metrics;
+
+  // The commit hook and the journal are 1:1 — every commit becomes exactly
+  // one journal record (segment seals are not records), and a fresh run
+  // commits the header plus one unit per processed module.
+  EXPECT_EQ(m.commits, m.journal_records);
+  EXPECT_EQ(m.commits, 1 + report->annotated + report->decayed);
+
+  // Fresh run: everything was live work, nothing replayed.
+  EXPECT_EQ(m.modules_replayed, 0u);
+  EXPECT_EQ(m.modules_reinvoked, report->annotated + report->decayed);
+  EXPECT_EQ(report->replayed, 0u);
+}
 
 }  // namespace
 }  // namespace dexa

@@ -6,6 +6,10 @@
 #   3. the tier-1 ctest suite built with DEXA_SANITIZE=undefined
 #      (every UB report is fatal: -fno-sanitize-recover).
 #
+# The tier-1 suite includes the observability tests (obs_test, `ctest -L
+# obs`): golden-trace determinism and the exporter round-trips run under
+# both ASan and UBSan here.
+#
 # Together with tools/check_tsan.sh (ThreadSanitizer over the concurrent
 # suites) this is the full three-sanitizer gate. clang-tidy, when
 # installed, is a fourth opt-in leg: tools/check_tidy.sh.

@@ -5,8 +5,9 @@
 # commit hook), so engine_test and fault_test (retries, breakers and fault
 # injection under the pooled engine) plus generator_test (which drives the
 # engine through AnnotateRegistry) cover the racy surface. durability_test
-# exercises the journaled commit path under the 8-thread engine, and
-# io_test the corruption-hardened readers it recovers through.
+# exercises the journaled commit path under the 8-thread engine, io_test
+# the corruption-hardened readers it recovers through, and obs_test the
+# Tracer (mutex-guarded span log) riding along pooled annotate runs.
 #
 # This is the ThreadSanitizer leg of the three-sanitizer gate; the
 # one-command entry point is tools/check_static.sh, which runs dexa-lint
@@ -22,7 +23,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DDEXA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target engine_test generator_test fault_test \
-  durability_test io_test -j"$(nproc)"
+  durability_test io_test obs_test -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/engine_test"
@@ -30,5 +31,6 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/fault_test"
 "$BUILD_DIR/tests/durability_test"
 "$BUILD_DIR/tests/io_test"
+"$BUILD_DIR/tests/obs_test"
 
 echo "TSan check passed."

@@ -5,6 +5,10 @@
 //
 //   dexa tables                      regenerate the paper's tables
 //   dexa annotate <module-name>      print a module's data examples
+//   dexa annotate --trace-out=<f> --metrics-out=<f>
+//                                    annotate the registry with run tracing;
+//                                    write a Chrome-trace JSON (open in
+//                                    chrome://tracing) and/or metrics.json
 //   dexa annotate --journal <dir> [--crash before|after|torn <module-id>]
 //                                    durable annotation run journaled in
 //                                    <dir>, optionally killed at a crash
@@ -39,6 +43,9 @@
 #include "core/metrics.h"
 #include "corpus/corpus.h"
 #include "modules/registry_io.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "pool/pool_io.h"
 #include "provenance/workflow_corpus.h"
 #include "repair/repair.h"
@@ -163,6 +170,35 @@ int CmdAnnotate(const CliEnv& env, const std::string& name) {
     std::cout << "  " << rendered << "\n";
   }
   return 0;
+}
+
+/// Annotates the whole registry with run tracing enabled and writes the
+/// Chrome-trace and/or metrics exports. Runs on the serial engine: the
+/// trace and the stable metrics section are byte-identical at any thread
+/// count anyway (ctest -L obs pins that), so the CLI keeps the simplest
+/// schedule.
+int CmdAnnotateTraced(CliEnv& env, const std::string& trace_path,
+                      const std::string& metrics_path) {
+  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+  obs::Tracer tracer(&generator.engine().clock());
+  auto report = AnnotateRegistry(generator, *env.corpus.registry, &tracer);
+  if (!report.ok()) return Fail(report.status());
+  if (!report->complete()) return Fail(report->run_status);
+  std::cout << "annotated " << report->annotated << " module(s), "
+            << report->decayed << " decayed, " << report->examples
+            << " data example(s); " << tracer.spans().size()
+            << " trace span(s)\n";
+  int failed = 0;
+  if (!trace_path.empty()) {
+    failed |= WriteFile(trace_path, obs::WriteChromeTrace(tracer));
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry metrics;
+    metrics.ImportEngineSnapshot(report->metrics);
+    metrics.ImportTrace(tracer);
+    failed |= WriteFile(metrics_path, obs::WriteMetricsJson(metrics));
+  }
+  return failed;
 }
 
 /// Prints a durable run's report and, when the run completed, writes the
@@ -374,6 +410,7 @@ int Usage() {
   std::cerr
       << "usage: dexa <command> [args]\n"
          "  tables | annotate <module> | compare <a> <b>\n"
+         "  annotate [--trace-out=<file>] [--metrics-out=<file>]\n"
          "  annotate --journal <dir> [--crash before|after|torn <module-id>]\n"
          "  resume <dir>\n"
          "  discover <in-concept> <out-concept> | compose <in> <out> [depth]\n"
@@ -395,11 +432,32 @@ int main(int argc, char** argv) {
       command == "annotate" && args.size() >= 3 && args[1] == "--journal";
   const bool durable_resume = command == "resume" && args.size() == 2;
 
+  // Traced annotation (`annotate --trace-out=... --metrics-out=...`): the
+  // run itself is instrumented, so inline annotation is skipped too.
+  std::string trace_out, metrics_out;
+  bool traced_annotate = command == "annotate" && args.size() >= 2 &&
+                         args.size() <= 3 && !durable_annotate;
+  if (traced_annotate) {
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i].rfind("--trace-out=", 0) == 0) {
+        trace_out = args[i].substr(12);
+      } else if (args[i].rfind("--metrics-out=", 0) == 0) {
+        metrics_out = args[i].substr(14);
+      } else {
+        traced_annotate = false;
+      }
+    }
+    if (trace_out.empty() && metrics_out.empty()) traced_annotate = false;
+  }
+
   // The repair command needs the decayed corpus; everything else works on
   // the healthy one.
-  auto env = BuildEnv(/*retire=*/command == "repair",
-                      /*annotate=*/!(durable_annotate || durable_resume));
+  auto env = BuildEnv(
+      /*retire=*/command == "repair",
+      /*annotate=*/!(durable_annotate || durable_resume || traced_annotate));
   if (!env.ok()) return Fail(env.status());
+
+  if (traced_annotate) return CmdAnnotateTraced(*env, trace_out, metrics_out);
 
   if (durable_annotate) {
     CrashPlan crash;

@@ -18,7 +18,8 @@ bool IsPunct(const Token& t, const char* text) {
 /// correctness bug: their outputs must be byte-identical across runs and
 /// thread counts (engine determinism contract, journal replay).
 bool InDeterministicLayer(const SourceFile& f) {
-  return f.layer == "core" || f.layer == "engine" || f.layer == "durability";
+  return f.layer == "core" || f.layer == "engine" ||
+         f.layer == "durability" || f.layer == "obs";
 }
 
 /// True when the token at `i` starts a *use* rather than declaring a
@@ -382,6 +383,48 @@ void CheckUnorderedIteration(const SourceFile& f, const GlobalContext&,
   }
 }
 
+// --------------------------------------------------------------------------
+// Family 6: observability (span hygiene)
+// --------------------------------------------------------------------------
+
+/// Instrumented layers must hold spans through the RAII ScopedSpan guard:
+/// a manual Tracer::BeginSpan/EndSpan pair leaks the span on every early
+/// return between the two calls (and dexa's instrumented functions are full
+/// of early returns — crash injection, fault skips, structural errors).
+/// The obs layer itself implements the guard, so it is the one place the
+/// raw pair is legal; tests (no layer) may drive the Tracer API directly.
+void CheckManualSpan(const SourceFile& f, const GlobalContext&,
+                     std::vector<Finding>& out) {
+  if (f.layer.empty() || f.layer == "obs") return;
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if (t[i].text != "BeginSpan" && t[i].text != "EndSpan") continue;
+    if (!IsPunct(t[i + 1], "(")) continue;
+    out.push_back({"manual-span", f.path, t[i].line,
+                   "manual `" + t[i].text +
+                       "` in an instrumented layer; hold spans through the "
+                       "RAII obs::ScopedSpan so every early-return path "
+                       "closes them"});
+  }
+}
+
+/// `ScopedSpan(...)` as an unnamed temporary constructs and immediately
+/// destructs the guard: the span closes on the same tick it opened and
+/// covers nothing. The guard must be a named local (`ScopedSpan span(...)`).
+void CheckUnnamedSpan(const SourceFile& f, const GlobalContext&,
+                      std::vector<Finding>& out) {
+  if (f.layer == "obs") return;  // declares the class itself
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t[i], "ScopedSpan") || !IsPunct(t[i + 1], "(")) continue;
+    out.push_back({"unnamed-span", f.path, t[i].line,
+                   "unnamed ScopedSpan temporary closes its span "
+                   "immediately; bind it to a named local so it covers the "
+                   "scope"});
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -411,6 +454,13 @@ const std::vector<RuleInfo>& Rules() {
       {"unordered-iteration", "ordered-output",
        "no unordered-container iteration in serialization/journal paths",
        &CheckUnorderedIteration},
+      {"manual-span", "observability",
+       "spans are held through RAII obs::ScopedSpan, never manual "
+       "BeginSpan/EndSpan pairs",
+       &CheckManualSpan},
+      {"unnamed-span", "observability",
+       "ScopedSpan guards must be named locals, not immediate temporaries",
+       &CheckUnnamedSpan},
   };
   return kRules;
 }
@@ -428,12 +478,14 @@ const std::map<std::string, std::set<std::string>>& LayerDependencies() {
       {"modules", {"common", "types", "ontology"}},
       {"pool", {"common", "types", "ontology"}},
       {"engine", {"common", "types", "ontology", "modules"}},
+      {"obs", {"common", "engine"}},
       {"corpus",
        {"common", "types", "ontology", "formats", "kb", "modules", "engine"}},
-      {"workflow", {"common", "types", "ontology", "modules", "engine"}},
+      {"workflow",
+       {"common", "types", "ontology", "modules", "engine", "obs"}},
       {"core",
        {"common", "types", "ontology", "formats", "kb", "modules", "pool",
-        "engine"}},
+        "engine", "obs"}},
       {"study",
        {"common", "types", "ontology", "formats", "kb", "modules", "corpus"}},
       {"provenance",
@@ -444,7 +496,7 @@ const std::map<std::string, std::set<std::string>>& LayerDependencies() {
         "engine", "corpus", "workflow", "core", "provenance"}},
       {"durability",
        {"common", "types", "ontology", "formats", "kb", "modules", "pool",
-        "engine", "corpus", "workflow", "core", "provenance"}},
+        "engine", "obs", "corpus", "workflow", "core", "provenance"}},
   };
   return kDeps;
 }

@@ -1,0 +1,69 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace dexa {
+
+namespace {
+
+/// Slice-by-8 lookup tables: table[0] is the classic byte-at-a-time
+/// CRC-32 (IEEE, reflected 0xEDB88320) table; table[k] advances a byte
+/// through k additional zero bytes. Eight bytes per iteration breaks the
+/// one-byte serial dependency chain, which matters because every KB-image
+/// load and journal recovery CRCs its whole payload.
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    tables[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      crc = (crc >> 8) ^ tables[0][crc & 0xFFu];
+      tables[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const std::array<std::array<uint32_t, 256>, 8>& Tables() {
+  static const std::array<std::array<uint32_t, 256>, 8> tables = BuildTables();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view bytes) {
+  const auto& t = Tables();
+  crc = ~crc;
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+  while (n >= 8) {
+    // Little-endian load of the next 8 bytes; memcpy keeps it alignment-
+    // and aliasing-safe (compiles to one mov on x86-64).
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+          t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n) {
+    crc = (crc >> 8) ^ t[0][(crc ^ static_cast<uint8_t>(*p)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(std::string_view bytes) { return Crc32Update(0, bytes); }
+
+}  // namespace dexa

@@ -1,5 +1,5 @@
-#ifndef DEXA_DURABILITY_CRC32_H_
-#define DEXA_DURABILITY_CRC32_H_
+#ifndef DEXA_COMMON_CRC32_H_
+#define DEXA_COMMON_CRC32_H_
 
 #include <cstdint>
 #include <string_view>
@@ -20,4 +20,4 @@ uint32_t Crc32Update(uint32_t crc, std::string_view bytes);
 
 }  // namespace dexa
 
-#endif  // DEXA_DURABILITY_CRC32_H_
+#endif  // DEXA_COMMON_CRC32_H_

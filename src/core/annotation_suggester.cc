@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <memory>
 
 #include "common/strings.h"
 #include "core/instance_classifier.h"
@@ -70,12 +71,24 @@ double LexicalScore(const std::vector<std::string>& parameter_tokens,
 }  // namespace
 
 AnnotationSuggester::AnnotationSuggester(const Ontology* ontology)
-    : ontology_(ontology) {}
+    : AnnotationSuggester(std::make_shared<ConceptCache>(ontology)) {}
+
+AnnotationSuggester::AnnotationSuggester(
+    std::shared_ptr<const ConceptCache> cache)
+    : classifier_(cache) {
+  const KbView& view = cache->view();
+  names_.reserve(view.ConceptCount());
+  covered_.reserve(view.ConceptCount());
+  for (size_t c = 0; c < view.ConceptCount(); ++c) {
+    const ConceptId id = static_cast<ConceptId>(c);
+    names_.emplace_back(view.ConceptName(id));
+    covered_.push_back(view.Covered(id) ? 1 : 0);
+  }
+}
 
 std::vector<ConceptSuggestion> AnnotationSuggester::Suggest(
     const std::string& parameter_name, const StructuralType& type,
     const Value& sample, size_t top_k) const {
-  InstanceClassifier classifier(ontology_);
   std::vector<std::string> tokens = TokenizeIdentifier(parameter_name);
 
   // The sample value (or its elements, for lists) feeds the instance-level
@@ -86,16 +99,16 @@ std::vector<ConceptSuggestion> AnnotationSuggester::Suggest(
   }
 
   std::vector<ConceptSuggestion> suggestions;
-  for (ConceptId concept_id : ontology_->AllConcepts()) {
-    const Concept& concept_node = ontology_->Get(concept_id);
-    if (concept_node.covered) continue;  // Suggest realizable concepts only.
+  for (size_t c = 0; c < names_.size(); ++c) {
+    const ConceptId concept_id = static_cast<ConceptId>(c);
+    if (covered_[c]) continue;  // Suggest realizable concepts only.
     ConceptSuggestion suggestion;
     suggestion.concept_id = concept_id;
-    suggestion.score = LexicalScore(tokens, concept_node.name);
+    suggestion.score = LexicalScore(tokens, names_[c]);
     if (!sample.is_null()) {
-      bool matches = classifier.Matches(sample, concept_id) ||
+      bool matches = classifier_.Matches(sample, concept_id) ||
                      (scalar_sample != &sample &&
-                      classifier.Matches(*scalar_sample, concept_id));
+                      classifier_.Matches(*scalar_sample, concept_id));
       if (matches) {
         suggestion.score += 1.0;
       } else {
@@ -109,8 +122,8 @@ std::vector<ConceptSuggestion> AnnotationSuggester::Suggest(
   std::sort(suggestions.begin(), suggestions.end(),
             [&](const ConceptSuggestion& a, const ConceptSuggestion& b) {
               if (a.score != b.score) return a.score > b.score;
-              return ontology_->NameOf(a.concept_id) <
-                     ontology_->NameOf(b.concept_id);
+              return names_[static_cast<size_t>(a.concept_id)] <
+                     names_[static_cast<size_t>(b.concept_id)];
             });
   if (suggestions.size() > top_k) suggestions.resize(top_k);
   return suggestions;

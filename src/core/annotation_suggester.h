@@ -1,9 +1,12 @@
 #ifndef DEXA_CORE_ANNOTATION_SUGGESTER_H_
 #define DEXA_CORE_ANNOTATION_SUGGESTER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/instance_classifier.h"
+#include "engine/concept_cache.h"
 #include "ontology/ontology.h"
 #include "types/structural_type.h"
 #include "types/value.h"
@@ -28,9 +31,18 @@ struct ConceptSuggestion {
 ///  * instance-based: when a sample value is supplied, concepts whose
 ///    recognizers accept it are boosted — the schema-matching literature's
 ///    "instance-level matcher".
+///
+/// Concept names are the suggester's data (lexical matching is its job),
+/// so they are materialized once at construction from the backing KbView;
+/// Suggest() itself performs no string-keyed ontology lookups.
 class AnnotationSuggester {
  public:
+  /// Convenience: builds a private concept cache over `ontology`.
   explicit AnnotationSuggester(const Ontology* ontology);
+
+  /// Shares `cache` (and the backing KbView) with the rest of the
+  /// pipeline.
+  explicit AnnotationSuggester(std::shared_ptr<const ConceptCache> cache);
 
   /// Ranked suggestions for a parameter named `parameter_name` with the
   /// given structural type; `sample` (optional, pass Value::Null() for
@@ -41,7 +53,9 @@ class AnnotationSuggester {
                                          size_t top_k = 5) const;
 
  private:
-  const Ontology* ontology_;
+  InstanceClassifier classifier_;
+  std::vector<std::string> names_;  ///< Indexed by ConceptId.
+  std::vector<char> covered_;       ///< Indexed by ConceptId.
 };
 
 /// Splits an identifier into lowercase tokens ("getProteinSequence" ->

@@ -1,7 +1,9 @@
 #ifndef DEXA_CORE_ANNOTATION_VERIFIER_H_
 #define DEXA_CORE_ANNOTATION_VERIFIER_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/instance_classifier.h"
@@ -47,15 +49,22 @@ struct OutputAnnotationReport {
 /// double as evidence for or against the parameter annotations themselves.
 class AnnotationVerifier {
  public:
+  /// Convenience: builds a private concept cache over `ontology`.
   explicit AnnotationVerifier(const Ontology* ontology)
-      : ontology_(ontology), classifier_(ontology) {}
+      : AnnotationVerifier(std::make_shared<ConceptCache>(ontology)) {}
+
+  /// Shares `cache` with the rest of the pipeline; all partition/LCS
+  /// reasoning is memoized and backend-agnostic (in-memory or compiled
+  /// image).
+  explicit AnnotationVerifier(std::shared_ptr<const ConceptCache> cache)
+      : cache_(cache), classifier_(std::move(cache)) {}
 
   /// One report per output parameter of `spec`.
   std::vector<OutputAnnotationReport> VerifyOutputs(
       const ModuleSpec& spec, const DataExampleSet& examples) const;
 
  private:
-  const Ontology* ontology_;
+  std::shared_ptr<const ConceptCache> cache_;
   InstanceClassifier classifier_;
 };
 

@@ -41,7 +41,7 @@ Result<std::vector<CompositionCandidate>> ExampleGuidedComposer::Compose(
     for (size_t i = 1; i < spec.inputs.size(); ++i) {
       const Parameter& param = spec.inputs[i];
       Result<Value> seed = Status::NotFound("unset");
-      for (ConceptId partition : ontology_->Partitions(param.semantic_type)) {
+      for (ConceptId partition : cache_->Partitions(param.semantic_type)) {
         seed = pool_->GetInstanceCompatible(partition, param.structural_type);
         if (seed.ok()) break;
       }
@@ -62,7 +62,7 @@ Result<std::vector<CompositionCandidate>> ExampleGuidedComposer::Compose(
     return a.module->spec().name < b.module->spec().name;
   });
 
-  InstanceClassifier classifier(ontology_);
+  InstanceClassifier classifier(cache_);
 
   // Replays `chain` on a pool realization of the source; returns the
   // validated candidate or an error if any step rejects the value.
@@ -70,7 +70,7 @@ Result<std::vector<CompositionCandidate>> ExampleGuidedComposer::Compose(
       -> Result<CompositionCandidate> {
     Result<Value> source = Status::NotFound("unset");
     for (ConceptId partition :
-         ontology_->Partitions(request.source_concept)) {
+         cache_->Partitions(request.source_concept)) {
       source = pool_->GetInstanceCompatible(partition, request.source_type);
       if (source.ok()) break;
     }
@@ -125,7 +125,7 @@ Result<std::vector<CompositionCandidate>> ExampleGuidedComposer::Compose(
       const ModuleSpec& spec = step.module->spec();
       const Parameter& head = spec.inputs[0];
       if (!node.type.IsCompatibleWith(head.structural_type)) continue;
-      if (!ontology_->IsSubsumedBy(node.concept_id, head.semantic_type)) {
+      if (!cache_->IsSubsumedBy(node.concept_id, head.semantic_type)) {
         continue;
       }
       // No module twice in a chain (prevents trivial cycles).
@@ -139,7 +139,7 @@ Result<std::vector<CompositionCandidate>> ExampleGuidedComposer::Compose(
 
       bool reaches_target =
           next.type.IsCompatibleWith(request.target_type) &&
-          ontology_->Comparable(next.concept_id, request.target_concept);
+          cache_->Comparable(next.concept_id, request.target_concept);
       if (reaches_target) {
         auto candidate = validate(next.module_ids);
         if (candidate.ok()) {

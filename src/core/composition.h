@@ -1,10 +1,13 @@
 #ifndef DEXA_CORE_COMPOSITION_H_
 #define DEXA_CORE_COMPOSITION_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "engine/concept_cache.h"
 #include "engine/invocation_engine.h"
 #include "modules/registry.h"
 #include "ontology/ontology.h"
@@ -50,12 +53,22 @@ struct CompositionCandidate {
 /// thus what separates composable from merely type-compatible.
 class ExampleGuidedComposer {
  public:
+  /// Convenience: builds a private concept cache over `ontology`.
   /// Chain-validation replays are routed through `engine` (serial default).
   ExampleGuidedComposer(const Ontology* ontology,
                         const ModuleRegistry* registry,
                         const AnnotatedInstancePool* pool,
                         InvocationEngine* engine = nullptr)
-      : ontology_(ontology),
+      : ExampleGuidedComposer(std::make_shared<ConceptCache>(ontology),
+                              registry, pool, engine) {}
+
+  /// Shares `cache` (and its memoized reasoning answers) with the rest of
+  /// the pipeline.
+  ExampleGuidedComposer(std::shared_ptr<const ConceptCache> cache,
+                        const ModuleRegistry* registry,
+                        const AnnotatedInstancePool* pool,
+                        InvocationEngine* engine = nullptr)
+      : cache_(std::move(cache)),
         registry_(registry),
         pool_(pool),
         engine_(engine != nullptr ? engine : &InvocationEngine::Serial()) {}
@@ -66,7 +79,7 @@ class ExampleGuidedComposer {
       const CompositionRequest& request) const;
 
  private:
-  const Ontology* ontology_;
+  std::shared_ptr<const ConceptCache> cache_;
   const ModuleRegistry* registry_;
   const AnnotatedInstancePool* pool_;
   InvocationEngine* engine_;

@@ -1,6 +1,8 @@
 #ifndef DEXA_CORE_COVERAGE_H_
 #define DEXA_CORE_COVERAGE_H_
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/instance_classifier.h"
@@ -53,8 +55,15 @@ struct CoverageReport {
 /// input-derived examples).
 class CoverageAnalyzer {
  public:
-  CoverageAnalyzer(const Ontology* ontology)
-      : partitioner_(ontology), classifier_(ontology) {}
+  /// Convenience: builds a private concept cache over `ontology`.
+  explicit CoverageAnalyzer(const Ontology* ontology)
+      : CoverageAnalyzer(std::make_shared<ConceptCache>(ontology)) {}
+
+  /// Shares `cache` (and its memoized answers) with the rest of the
+  /// pipeline; this is how image-backed runs route coverage reasoning
+  /// through the compiled KbView.
+  explicit CoverageAnalyzer(std::shared_ptr<const ConceptCache> cache)
+      : partitioner_(cache), classifier_(std::move(cache)) {}
 
   CoverageReport Analyze(const ModuleSpec& spec,
                          const DataExampleSet& examples) const;

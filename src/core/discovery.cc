@@ -9,7 +9,7 @@ namespace dexa {
 std::vector<DiscoveryHit> BehaviorDiscovery::Search(
     const DiscoveryQuery& query, size_t top_k) const {
   std::vector<DiscoveryHit> hits;
-  InstanceClassifier classifier(ontology_);
+  InstanceClassifier classifier(cache_);
 
   for (const ModulePtr& module : registry_->AvailableModules()) {
     const ModuleSpec& spec = module->spec();
@@ -25,8 +25,8 @@ std::vector<DiscoveryHit> BehaviorDiscovery::Search(
     bool exact = in.semantic_type == query.input_concept &&
                  out.semantic_type == query.output_concept;
     bool contextual =
-        ontology_->IsSubsumedBy(query.input_concept, in.semantic_type) &&
-        ontology_->Comparable(out.semantic_type, query.output_concept);
+        cache_->IsSubsumedBy(query.input_concept, in.semantic_type) &&
+        cache_->Comparable(out.semantic_type, query.output_concept);
     if (exact) {
       hit.score = 1.0;
       hit.why = "exact signature";

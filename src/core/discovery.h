@@ -1,10 +1,13 @@
 #ifndef DEXA_CORE_DISCOVERY_H_
 #define DEXA_CORE_DISCOVERY_H_
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "engine/concept_cache.h"
 #include "engine/invocation_engine.h"
 #include "modules/data_example.h"
 #include "modules/registry.h"
@@ -45,10 +48,19 @@ struct DiscoveryHit {
 /// Hits are returned best-first (ties by module name).
 class BehaviorDiscovery {
  public:
-  /// Example probes are routed through `engine` (serial default).
+  /// Convenience: builds a private concept cache over `ontology`. Example
+  /// probes are routed through `engine` (serial default).
   BehaviorDiscovery(const Ontology* ontology, const ModuleRegistry* registry,
                     InvocationEngine* engine = nullptr)
-      : ontology_(ontology),
+      : BehaviorDiscovery(std::make_shared<ConceptCache>(ontology), registry,
+                          engine) {}
+
+  /// Shares `cache` (and its memoized subsumption answers) with the rest
+  /// of the pipeline.
+  BehaviorDiscovery(std::shared_ptr<const ConceptCache> cache,
+                    const ModuleRegistry* registry,
+                    InvocationEngine* engine = nullptr)
+      : cache_(std::move(cache)),
         registry_(registry),
         engine_(engine != nullptr ? engine : &InvocationEngine::Serial()) {}
 
@@ -56,7 +68,7 @@ class BehaviorDiscovery {
                                    size_t top_k = 10) const;
 
  private:
-  const Ontology* ontology_;
+  std::shared_ptr<const ConceptCache> cache_;
   const ModuleRegistry* registry_;
   InvocationEngine* engine_;
 };

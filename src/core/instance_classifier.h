@@ -1,6 +1,11 @@
 #ifndef DEXA_CORE_INSTANCE_CLASSIFIER_H_
 #define DEXA_CORE_INSTANCE_CLASSIFIER_H_
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/concept_cache.h"
 #include "ontology/ontology.h"
 #include "types/value.h"
 
@@ -16,11 +21,21 @@ namespace dexa {
 /// Classification is grammar/format-based: accession grammars
 /// (kb/accessions.h), flat-file sniffing (formats/sniffer.h), sequence
 /// alphabet analysis, and term/parameter shape checks.
+///
+/// Concept names are resolved exactly once, at construction: the
+/// classifier compiles a ConceptId-indexed recognizer table from the
+/// cache's KbView, so the per-value hot path (Matches/Classify) is pure
+/// ConceptId arithmetic with no string-keyed ontology lookups.
 class InstanceClassifier {
  public:
+  /// Convenience: builds a private concept cache over `ontology`.
   explicit InstanceClassifier(const Ontology* ontology);
 
-  /// The most specific partition of `declared` (per Ontology::Partitions)
+  /// Shares `cache` (reasoning answers and the backing KbView) with the
+  /// rest of the pipeline.
+  explicit InstanceClassifier(std::shared_ptr<const ConceptCache> cache);
+
+  /// The most specific partition of `declared` (per KbView::Partitions)
   /// that `value` instantiates; `declared` itself when the value matches no
   /// finer recognizer but `declared` is realizable; kInvalidConcept when
   /// nothing fits (e.g. declared is covered and no sub-concept matches).
@@ -32,10 +47,41 @@ class InstanceClassifier {
   bool Matches(const Value& value, ConceptId concept_id) const;
 
  private:
-  const Ontology* ontology_;
+  /// How a string value is tested against one concept. Exactly one rule
+  /// per concept, compiled from the concept's name at construction.
+  enum class StringRule : uint8_t {
+    kAnyNonEmpty = 0,  ///< No dedicated recognizer.
+    kUniprotAccession,
+    kPdbAccession,
+    kEmblAccession,
+    kKeggGeneId,
+    kEnzymeId,
+    kGlycanId,
+    kLigandId,
+    kCompoundId,
+    kPathwayId,
+    kGoTermId,
+    kDnaSequence,
+    kRnaSequence,
+    kProteinSequence,
+    kSniffedFormat,  ///< SniffFormat(s) == aux.
+    kTermPrefix,     ///< "<aux><id> ! <label>" term instance.
+    kAlgorithmName,
+    kDatabaseName,
+    kTextDocument,
+  };
 
-  // Cached concept ids (kInvalidConcept when absent from the ontology).
-  ConceptId text_document_;
+  struct Recognizer {
+    StringRule string_rule = StringRule::kAnyNonEmpty;
+    const char* aux = nullptr;  ///< Format name / term prefix.
+    bool numeric = false;       ///< Accepts int/double values.
+    bool peptide_mass_list = false;  ///< The list-shaped leaf.
+  };
+
+  void CompileRecognizers();
+
+  std::shared_ptr<const ConceptCache> cache_;
+  std::vector<Recognizer> recognizers_;  ///< Indexed by ConceptId.
 };
 
 }  // namespace dexa

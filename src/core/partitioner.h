@@ -53,8 +53,6 @@ class DomainPartitioner {
   /// Partitions of every parameter of `spec`.
   ModulePartitions PartitionModule(const ModuleSpec& spec) const;
 
-  const Ontology& ontology() const { return cache_->ontology(); }
-
   const ConceptCache& cache() const { return *cache_; }
   std::shared_ptr<const ConceptCache> shared_cache() const { return cache_; }
 

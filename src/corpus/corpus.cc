@@ -768,8 +768,13 @@ void AddFormatModules(CorpusBuilder& b) {
 
 Result<Corpus> BuildCorpus(const CorpusOptions& options) {
   Corpus corpus;
-  corpus.kb = std::make_shared<KnowledgeBase>(options.seed, options.kb_options);
-  corpus.ontology = std::make_shared<Ontology>(BuildMyGridOntology());
+  corpus.kb = options.prebuilt_kb != nullptr
+                  ? options.prebuilt_kb
+                  : std::make_shared<KnowledgeBase>(options.seed,
+                                                    options.kb_options);
+  corpus.ontology = options.prebuilt_ontology != nullptr
+                        ? options.prebuilt_ontology
+                        : std::make_shared<Ontology>(BuildMyGridOntology());
   corpus.registry = std::make_shared<ModuleRegistry>();
 
   CorpusBuilder builder(&corpus);

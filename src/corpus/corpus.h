@@ -16,6 +16,15 @@ namespace dexa {
 struct CorpusOptions {
   uint64_t seed = 42;
   KnowledgeBaseOptions kb_options;
+
+  /// When set, the corpus adopts these instead of generating the knowledge
+  /// base (expensive) and building the myGrid ontology from scratch. This
+  /// is how `--kb-image=` runs slot a memory-mapped compiled image in: the
+  /// CLI materializes both from the image and injects them here. The
+  /// prebuilt KB must have been generated with the same seed/options the
+  /// corpus would use — module calibration depends on its contents.
+  std::shared_ptr<const KnowledgeBase> prebuilt_kb;
+  std::shared_ptr<Ontology> prebuilt_ontology;
 };
 
 /// The module corpus of the paper's evaluation:

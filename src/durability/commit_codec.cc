@@ -58,6 +58,11 @@ std::string EncodeAnnotateRunHeader(const AnnotateRunHeader& header) {
   std::string out = std::string(kAnnotateHeaderKind) + "\n";
   out += "modules " + std::to_string(header.modules) + "\n";
   out += "fingerprint " + std::to_string(header.fingerprint) + "\n";
+  // Optional trailing field: absent for in-memory runs so their journals
+  // stay byte-identical to the pre-image format.
+  if (header.kb_checksum != 0) {
+    out += "kb_checksum " + std::to_string(header.kb_checksum) + "\n";
+  }
   return out;
 }
 
@@ -77,6 +82,11 @@ Result<AnnotateRunHeader> DecodeAnnotateRunHeader(const std::string& payload) {
   auto fp = ParseU64(*fingerprint, "fingerprint");
   if (!fp.ok()) return fp.status();
   header.fingerprint = *fp;
+  if (lines.size() > 3 && StartsWith(lines[3], "kb_checksum ")) {
+    auto checksum = ParseU64(lines[3].substr(12), "kb checksum");
+    if (!checksum.ok()) return checksum.status();
+    header.kb_checksum = *checksum;
+  }
   return header;
 }
 

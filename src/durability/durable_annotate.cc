@@ -18,7 +18,7 @@ namespace {
 Result<std::vector<ModuleCommit>> ValidateResume(
     const JournalRecovery& recovery, const std::vector<ModulePtr>& modules,
     const ModuleRegistry& registry, const GeneratorOptions& options,
-    const Ontology& ontology) {
+    const Ontology& ontology, uint64_t kb_checksum) {
   if (recovery.records.empty()) {
     // Nothing committed (the crash beat even the header): resume is just a
     // fresh run.
@@ -36,6 +36,13 @@ Result<std::vector<ModuleCommit>> ValidateResume(
         "journal belongs to a different run configuration (fingerprint " +
         std::to_string(header->fingerprint) + " vs " +
         std::to_string(fingerprint) + ")");
+  }
+  if (header->kb_checksum != kb_checksum) {
+    return Status::InvalidArgument(
+        "journal is pinned to a different knowledge base (kb_checksum " +
+        std::to_string(header->kb_checksum) + " vs " +
+        std::to_string(kb_checksum) +
+        "); resume with the same KB image the run started with");
   }
   std::vector<ModuleCommit> committed;
   committed.reserve(recovery.records.size() - 1);
@@ -71,7 +78,8 @@ Result<AnnotateReport> AnnotateRegistryDurable(
   bool fresh = true;
   if (options.resume != nullptr) {
     auto validated = ValidateResume(*options.resume, modules, registry,
-                                    generator.options(), ontology);
+                                    generator.options(), ontology,
+                                    options.kb_checksum);
     if (!validated.ok()) return validated.status();
     committed = std::move(validated).value();
     // A recovered journal with any records already carries its header —
@@ -101,6 +109,7 @@ Result<AnnotateReport> AnnotateRegistryDurable(
     header.modules = modules.size();
     header.fingerprint =
         AnnotateConfigFingerprint(registry, generator.options());
+    header.kb_checksum = options.kb_checksum;
     Status appended = engine.Commit(EncodeAnnotateRunHeader(header));
     if (!appended.ok()) return appended;
   }

@@ -33,6 +33,13 @@ struct DurableAnnotateOptions {
   /// the journal tail. Inert when the plan is unarmed.
   CrashPlan crash;
 
+  /// Seal of the compiled KB image this run reasons over (CompiledKb
+  /// checksum), or 0 for the in-memory backend. Recorded in the run header
+  /// and enforced on resume: a journal pinned to a different KB image (or
+  /// to the in-memory backend) is refused instead of silently replaying
+  /// commits derived from different knowledge.
+  uint64_t kb_checksum = 0;
+
   /// Optional run tracing (obs/trace.h). The durable run records the same
   /// run → phase → batch tree as plain AnnotateRegistry plus a "replay"
   /// phase whose batch spans are marked replayed — served from the journal,

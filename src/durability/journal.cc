@@ -9,7 +9,7 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
-#include "durability/crc32.h"
+#include "common/crc32.h"
 
 namespace dexa {
 

@@ -23,7 +23,11 @@ void ConceptCache::CountHit() const {
 
 void ConceptCache::CountMiss() const {
   misses_.fetch_add(1, std::memory_order_relaxed);
-  if (metrics_ != nullptr) metrics_->RecordCacheMiss();
+  if (metrics_ == nullptr) return;
+  metrics_->RecordCacheMiss();
+  // A miss against a compiled image is answered by a bitset word load /
+  // precomputed-span copy rather than a DFS.
+  if (view_->backend() == KbBackend::kImage) metrics_->RecordBitsetQuery();
 }
 
 void ConceptCache::CountQuery() const {
@@ -43,7 +47,7 @@ bool ConceptCache::IsSubsumedBy(ConceptId a, ConceptId b) const {
     }
   }
   CountMiss();
-  const bool answer = ontology_->IsSubsumedBy(a, b);
+  const bool answer = view_->IsSubsumedBy(a, b);
   std::unique_lock<std::shared_mutex> lock(mutex_);
   return subsumes_.try_emplace(key, answer).first->second;
 }
@@ -63,7 +67,7 @@ const std::vector<ConceptId>& ConceptCache::Descendants(ConceptId c) const {
     }
   }
   CountMiss();
-  std::vector<ConceptId> answer = ontology_->Descendants(c);
+  std::vector<ConceptId> answer = view_->Descendants(c);
   std::unique_lock<std::shared_mutex> lock(mutex_);
   return descendants_.try_emplace(c, std::move(answer)).first->second;
 }
@@ -79,7 +83,7 @@ const std::vector<ConceptId>& ConceptCache::Partitions(ConceptId c) const {
     }
   }
   CountMiss();
-  std::vector<ConceptId> answer = ontology_->Partitions(c);
+  std::vector<ConceptId> answer = view_->Partitions(c);
   std::unique_lock<std::shared_mutex> lock(mutex_);
   return partitions_.try_emplace(c, std::move(answer)).first->second;
 }
@@ -97,7 +101,7 @@ ConceptId ConceptCache::LeastCommonSubsumer(ConceptId a, ConceptId b) const {
     }
   }
   CountMiss();
-  const ConceptId answer = ontology_->LeastCommonSubsumer(a, b);
+  const ConceptId answer = view_->LeastCommonSubsumer(a, b);
   std::unique_lock<std::shared_mutex> lock(mutex_);
   return lcs_.try_emplace(key, answer).first->second;
 }

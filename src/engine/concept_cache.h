@@ -3,11 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/metrics.h"
+#include "kbimage/kb_view.h"
 #include "ontology/ontology.h"
 
 namespace dexa {
@@ -16,45 +19,59 @@ namespace dexa {
 /// on every combination — Subsumes, Descendants, Partitions, and
 /// least-common-subsumer — behind a read-mostly table.
 ///
-/// Invalidation rule: there is none. The ontology is immutable after load
-/// (dexa never mutates a loaded ontology; Ontology has no removal API and
-/// the pipeline only reads), so a cached answer is valid for the cache's
-/// whole lifetime. Anyone who does mutate an ontology must build a fresh
-/// cache.
+/// The cache reasons through a KbView, so it is backend-agnostic: built
+/// over the in-memory Ontology it memoizes DFS answers; built over a
+/// compiled image (kbimage::CompiledKb) every miss is a bitset word load
+/// or a precomputed-span copy (counted as bitset_queries in the engine
+/// metrics). Both backends return byte-identical answers, so consumers
+/// never know the difference.
+///
+/// Invalidation rule: there is none. The view is immutable after load
+/// (dexa never mutates a loaded ontology or image; the pipeline only
+/// reads), so a cached answer is valid for the cache's whole lifetime.
+/// Anyone who does mutate an ontology must build a fresh cache.
 ///
 /// Thread safety: all lookups may be called concurrently. Reads take a
-/// shared lock; a miss computes the answer from the ontology outside any
+/// shared lock; a miss computes the answer from the view outside any
 /// lock and publishes it under an exclusive lock (first writer wins, so
 /// concurrent misses of the same key agree). Hit/miss counters are relaxed
 /// atomics, optionally mirrored into an EngineMetrics.
 class ConceptCache {
  public:
+  /// Memoizes over the in-memory ontology (wrapped in an owned
+  /// OntologyKbView); the ontology must outlive the cache.
   explicit ConceptCache(const Ontology* ontology,
                         EngineMetrics* metrics = nullptr)
-      : ontology_(ontology), metrics_(metrics) {}
+      : view_(std::make_shared<OntologyKbView>(ontology)),
+        metrics_(metrics) {}
+
+  /// Memoizes over any KbView backend (e.g. a compiled image).
+  explicit ConceptCache(std::shared_ptr<const KbView> view,
+                        EngineMetrics* metrics = nullptr)
+      : view_(std::move(view)), metrics_(metrics) {}
 
   ConceptCache(const ConceptCache&) = delete;
   ConceptCache& operator=(const ConceptCache&) = delete;
 
-  const Ontology& ontology() const { return *ontology_; }
+  const KbView& view() const { return *view_; }
 
   /// Routes newly-created caches' hit/miss counts into `metrics` as well.
   void set_metrics(EngineMetrics* metrics) { metrics_ = metrics; }
 
-  /// Cached Ontology::IsSubsumedBy (a ⊑ b, reflexive).
+  /// Cached KbView::IsSubsumedBy (a ⊑ b, reflexive).
   bool IsSubsumedBy(ConceptId a, ConceptId b) const;
 
   /// a ⊑ b or b ⊑ a; composed from two cached subsumption queries.
   bool Comparable(ConceptId a, ConceptId b) const;
 
-  /// Cached Ontology::Descendants. The returned reference stays valid for
+  /// Cached KbView::Descendants. The returned reference stays valid for
   /// the cache's lifetime (node-based map, entries never erased).
   const std::vector<ConceptId>& Descendants(ConceptId c) const;
 
-  /// Cached Ontology::Partitions (realizable descendants, Section 3.1).
+  /// Cached KbView::Partitions (realizable descendants, Section 3.1).
   const std::vector<ConceptId>& Partitions(ConceptId c) const;
 
-  /// Cached Ontology::LeastCommonSubsumer.
+  /// Cached KbView::LeastCommonSubsumer.
   ConceptId LeastCommonSubsumer(ConceptId a, ConceptId b) const;
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -72,7 +89,7 @@ class ConceptCache {
   void CountMiss() const;
   void CountQuery() const;
 
-  const Ontology* ontology_;
+  std::shared_ptr<const KbView> view_;
   EngineMetrics* metrics_;
 
   mutable std::shared_mutex mutex_;

@@ -32,6 +32,8 @@ struct EngineMetricsSnapshot {
   uint64_t cache_hits = 0;         ///< ConceptCache hits.
   uint64_t cache_misses = 0;       ///< ConceptCache misses (computed fresh).
   uint64_t cache_queries = 0;      ///< ConceptCache lookups (hits + misses).
+  uint64_t kb_image_loads = 0;     ///< Compiled KB images mapped + verified.
+  uint64_t bitset_queries = 0;     ///< Cache misses answered by image bitsets.
   uint64_t retries = 0;            ///< Retry attempts after transient faults.
   uint64_t deadline_exhaustions = 0;  ///< Invocations cut off by a budget.
   uint64_t breaker_trips = 0;      ///< Circuit breakers tripped open.
@@ -107,6 +109,12 @@ class EngineMetrics {
   void RecordCacheQuery() {
     cache_queries_.fetch_add(1, std::memory_order_relaxed);
   }
+  void RecordKbImageLoad() {
+    kb_image_loads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBitsetQuery() {
+    bitset_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
   void AddPhaseNanos(EnginePhase phase, uint64_t nanos) {
     phase_nanos_[static_cast<size_t>(phase)].fetch_add(
         nanos, std::memory_order_relaxed);
@@ -124,6 +132,8 @@ class EngineMetrics {
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> cache_queries_{0};
+  std::atomic<uint64_t> kb_image_loads_{0};
+  std::atomic<uint64_t> bitset_queries_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> deadline_exhaustions_{0};
   std::atomic<uint64_t> breaker_trips_{0};

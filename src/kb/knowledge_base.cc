@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "common/rng.h"
 #include "common/strings.h"
@@ -146,6 +147,23 @@ KnowledgeBase::KnowledgeBase(uint64_t seed,
   BuildDiseases(options.num_diseases);
   BuildInterProAndPfam(options.num_interpro, options.num_pfam);
   BuildDocuments(options.num_documents);
+  BuildIndexes();
+}
+
+KnowledgeBase::KnowledgeBase(KnowledgeBaseData data)
+    : seed_(data.seed),
+      proteins_(std::move(data.proteins)),
+      genes_(std::move(data.genes)),
+      pathways_(std::move(data.pathways)),
+      go_terms_(std::move(data.go_terms)),
+      enzymes_(std::move(data.enzymes)),
+      glycans_(std::move(data.glycans)),
+      ligands_(std::move(data.ligands)),
+      compounds_(std::move(data.compounds)),
+      diseases_(std::move(data.diseases)),
+      interpro_(std::move(data.interpro)),
+      pfam_(std::move(data.pfam)),
+      documents_(std::move(data.documents)) {
   BuildIndexes();
 }
 

@@ -31,6 +31,26 @@ struct KnowledgeBaseOptions {
   size_t num_families = 29;
 };
 
+/// Pre-built entity vectors, for constructing a KnowledgeBase without
+/// running the generative build. This is the compiled-KB load path
+/// (kbimage): deserialize the vectors, then only the hash indexes are
+/// rebuilt. `seed` records the seed the entities were generated from.
+struct KnowledgeBaseData {
+  uint64_t seed = 0;
+  std::vector<ProteinEntity> proteins;
+  std::vector<GeneEntity> genes;
+  std::vector<PathwayEntity> pathways;
+  std::vector<GoTermEntity> go_terms;
+  std::vector<EnzymeEntity> enzymes;
+  std::vector<GlycanEntity> glycans;
+  std::vector<LigandEntity> ligands;
+  std::vector<CompoundEntity> compounds;
+  std::vector<DiseaseEntity> diseases;
+  std::vector<InterProEntity> interpro;
+  std::vector<PfamEntity> pfam;
+  std::vector<DocumentEntity> documents;
+};
+
 /// The deterministic synthetic universe standing in for the remote
 /// life-science databases the paper's modules query (Uniprot, KEGG, PDB,
 /// EMBL, GO, ...). Construction from a seed builds every entity and every
@@ -48,8 +68,15 @@ class KnowledgeBase {
   explicit KnowledgeBase(uint64_t seed,
                          const KnowledgeBaseOptions& options = {});
 
+  /// Adopts pre-built entity vectors (no generative build, indexes only).
+  explicit KnowledgeBase(KnowledgeBaseData data);
+
   KnowledgeBase(const KnowledgeBase&) = delete;
   KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  /// The seed the entities were generated from (recorded verbatim when
+  /// constructed from pre-built data).
+  uint64_t seed() const { return seed_; }
 
   const std::vector<ProteinEntity>& proteins() const { return proteins_; }
   const std::vector<GeneEntity>& genes() const { return genes_; }

@@ -1,0 +1,32 @@
+#ifndef DEXA_KBIMAGE_BUILDER_H_
+#define DEXA_KBIMAGE_BUILDER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "kb/knowledge_base.h"
+#include "ontology/ontology.h"
+
+namespace dexa::kbimage {
+
+/// Compiles `ontology` + `kb` into the binary image format (format.h):
+/// interns every string, assigns the ontology's dense ConceptIds
+/// verbatim, precomputes the subsumption bitset matrix and the
+/// descendants/partitions/LCS/depth answers with the Ontology's own
+/// reasoning functions (so the image reproduces their deterministic
+/// orders bit-for-bit), serializes the KB entities, and seals the result
+/// with per-section CRC-32s plus a whole-image SealHash64.
+///
+/// Compiling the same inputs always yields the same bytes (and thus the
+/// same seal) — the seal doubles as the KB fingerprint durable runs pin.
+[[nodiscard]] Result<std::string> CompileKbImage(const Ontology& ontology,
+                                                 const KnowledgeBase& kb);
+
+/// CompileKbImage + atomic write (tmp file + rename) to `path`.
+[[nodiscard]] Status WriteKbImage(const Ontology& ontology,
+                                  const KnowledgeBase& kb,
+                                  const std::string& path);
+
+}  // namespace dexa::kbimage
+
+#endif  // DEXA_KBIMAGE_BUILDER_H_

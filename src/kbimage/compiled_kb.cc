@@ -1,0 +1,404 @@
+#include "kbimage/compiled_kb.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "kbimage/entity_codec.h"
+#include "kbimage/format.h"
+#include "kbimage/seal.h"
+
+namespace dexa::kbimage {
+
+namespace {
+
+/// True when `p` (an address inside the mapping) satisfies the format's
+/// section alignment, so reinterpreting it as a u32/u64 array is safe
+/// under the fatal UBSan alignment check.
+bool Aligned(const char* p) {
+  return reinterpret_cast<uintptr_t>(p) % kSectionAlign == 0;
+}
+
+}  // namespace
+
+CompiledKb::~CompiledKb() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+Result<std::unique_ptr<CompiledKb>> CompiledKb::Load(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open KB image '" + path + "'");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("cannot stat KB image '" + path + "'");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < sizeof(ImageHeader)) {
+    ::close(fd);
+    return Status::Corrupted("KB image '" + path +
+                             "' is shorter than its header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::Internal("cannot mmap KB image '" + path + "'");
+  }
+
+  std::unique_ptr<CompiledKb> kb(new CompiledKb());
+  kb->map_ = map;
+  kb->map_size_ = size;
+  Status parsed = kb->Parse();
+  if (!parsed.ok()) return parsed;
+  return kb;
+}
+
+const char* CompiledKb::Section(uint32_t id, size_t* size) const {
+  auto it = sections_.find(id);
+  if (it == sections_.end()) return nullptr;
+  *size = it->second.size;
+  return it->second.data;
+}
+
+Status CompiledKb::Parse() {
+  const char* base = static_cast<const char*>(map_);
+
+  ImageHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corrupted("KB image magic mismatch (not a dexa KB image)");
+  }
+  if (header.version != kFormatVersion) {
+    return Status::Corrupted("KB image format version " +
+                             std::to_string(header.version) +
+                             " is not the supported version " +
+                             std::to_string(kFormatVersion));
+  }
+  for (uint8_t byte : header.reserved) {
+    // The seal only covers bytes past the header, so the reserved pad is
+    // checked explicitly — every header byte has exactly one validator.
+    if (byte != 0) {
+      return Status::Corrupted("KB image header reserved bytes are not zero");
+    }
+  }
+  if (header.file_size != map_size_) {
+    return Status::Corrupted("KB image truncated: header declares " +
+                             std::to_string(header.file_size) +
+                             " bytes, file has " +
+                             std::to_string(map_size_));
+  }
+  // Whole-image seal first: any byte of any section (or the table) that
+  // changed since compile time fails here, before anything is trusted.
+  // The per-section CRCs live inside the sealed range, so a matching
+  // seal implies every CRC matches too — the CRC sweep runs only on
+  // seal failure, to name the damaged section (cold start pays one scan,
+  // not two; see bench_kb_coldstart).
+  const size_t table_bytes =
+      static_cast<size_t>(header.sections) * sizeof(SectionEntry);
+  if (sizeof(ImageHeader) + table_bytes > map_size_) {
+    return Status::Corrupted("KB image section table exceeds the file");
+  }
+  const uint64_t seal = SealHash64(std::string_view(
+      base + sizeof(ImageHeader), map_size_ - sizeof(ImageHeader)));
+  const bool sealed = seal == header.seal;
+  for (uint32_t i = 0; i < header.sections; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, base + sizeof(ImageHeader) + i * sizeof(SectionEntry),
+                sizeof(entry));
+    if (entry.offset % kSectionAlign != 0 || entry.offset > map_size_ ||
+        entry.size > map_size_ - entry.offset) {
+      return Status::Corrupted("KB image section " + std::to_string(entry.id) +
+                               " lies outside the file or is misaligned");
+    }
+    const char* payload = base + entry.offset;
+    if (!sealed &&
+        Crc32(std::string_view(payload, entry.size)) != entry.crc32) {
+      return Status::Corrupted("KB image section " + std::to_string(entry.id) +
+                               " CRC32 mismatch");
+    }
+    sections_[entry.id] = {payload, entry.size};
+  }
+  if (!sealed) {
+    // Damage outside any section payload (the table itself, or padding).
+    return Status::Corrupted("KB image seal mismatch (SealHash64 " +
+                             std::to_string(seal) + " vs sealed " +
+                             std::to_string(header.seal) + ")");
+  }
+  seal_ = header.seal;
+
+  // -- Meta ----------------------------------------------------------
+  size_t size = 0;
+  const char* meta = Section(kMeta, &size);
+  if (meta == nullptr || size != 24) {
+    return Status::Corrupted("KB image meta section missing or malformed");
+  }
+  std::memcpy(&kb_seed_, meta, 8);
+  std::memcpy(&ontology_name_ref_, meta + 8, 4);
+  std::memcpy(&concept_count_, meta + 12, 4);
+  std::memcpy(&words_per_row_, meta + 16, 4);
+  const size_t n = concept_count_;
+  if (n == 0 || words_per_row_ != (n + 63) / 64) {
+    return Status::Corrupted("KB image meta declares inconsistent geometry");
+  }
+
+  // -- Strings -------------------------------------------------------
+  const char* strings = Section(kStrings, &size);
+  if (strings == nullptr) {
+    return Status::Corrupted("KB image string table missing");
+  }
+  auto table = StringTableView::Parse(strings, size);
+  if (!table.ok()) return table.status();
+  strings_ = *table;
+  if (!strings_.Valid(ontology_name_ref_)) {
+    return Status::Corrupted("KB image ontology name ref dangles");
+  }
+
+  // -- Concepts ------------------------------------------------------
+  const char* concepts = Section(kConcepts, &size);
+  const size_t fixed = 4 + n * 8 + (n + 1) * 8;
+  if (concepts == nullptr || size < fixed || !Aligned(concepts)) {
+    return Status::Corrupted("KB image concept section missing or too small");
+  }
+  uint32_t stored_count = 0;
+  std::memcpy(&stored_count, concepts, 4);
+  if (stored_count != n) {
+    return Status::Corrupted("KB image concept count disagrees with meta");
+  }
+  // The count is followed by u32 arrays only, so the +4 offset keeps
+  // 4-byte alignment for every array that follows.
+  concept_name_refs_ = reinterpret_cast<const uint32_t*>(concepts + 4);
+  concept_covered_ = concept_name_refs_ + n;
+  parent_offsets_ = concept_covered_ + n;
+  child_offsets_ = parent_offsets_ + (n + 1);
+  parent_ids_ = child_offsets_ + (n + 1);
+  const uint32_t parent_total = parent_offsets_[n];
+  const uint32_t child_total = child_offsets_[n];
+  if (size != fixed + (static_cast<size_t>(parent_total) + child_total) * 4) {
+    return Status::Corrupted("KB image concept edge arrays are truncated");
+  }
+  child_ids_ = parent_ids_ + parent_total;
+  for (size_t c = 0; c < n; ++c) {
+    if (!strings_.Valid(concept_name_refs_[c])) {
+      return Status::Corrupted("KB image concept name ref dangles");
+    }
+    if (parent_offsets_[c] > parent_offsets_[c + 1] ||
+        child_offsets_[c] > child_offsets_[c + 1]) {
+      return Status::Corrupted("KB image concept edge offsets not monotone");
+    }
+  }
+  for (uint32_t i = 0; i < parent_total; ++i) {
+    if (parent_ids_[i] >= n) {
+      return Status::Corrupted("KB image parent id out of range");
+    }
+  }
+  for (uint32_t i = 0; i < child_total; ++i) {
+    if (child_ids_[i] >= n) {
+      return Status::Corrupted("KB image child id out of range");
+    }
+  }
+
+  // -- Subsumption bitsets ------------------------------------------
+  const char* subsumption = Section(kSubsumption, &size);
+  if (subsumption == nullptr || size != n * words_per_row_ * 8 ||
+      !Aligned(subsumption)) {
+    return Status::Corrupted("KB image subsumption matrix missing or mis-sized");
+  }
+  subsumption_ = reinterpret_cast<const uint64_t*>(subsumption);
+
+  // -- Descendants / partitions -------------------------------------
+  const struct {
+    uint32_t id;
+    const uint32_t** offsets;
+    const uint32_t** ids;
+    const char* what;
+  } spans[] = {
+      {kDescendants, &descendant_offsets_, &descendant_ids_, "descendant"},
+      {kPartitions, &partition_offsets_, &partition_ids_, "partition"},
+  };
+  for (const auto& span : spans) {
+    const char* data = Section(span.id, &size);
+    if (data == nullptr || size < (n + 1) * 4 || !Aligned(data)) {
+      return Status::Corrupted(std::string("KB image ") + span.what +
+                               " section missing or too small");
+    }
+    *span.offsets = reinterpret_cast<const uint32_t*>(data);
+    *span.ids = *span.offsets + (n + 1);
+    const uint32_t total = (*span.offsets)[n];
+    if (size != (n + 1) * 4 + static_cast<size_t>(total) * 4) {
+      return Status::Corrupted(std::string("KB image ") + span.what +
+                               " ids are truncated");
+    }
+    for (size_t c = 0; c < n; ++c) {
+      if ((*span.offsets)[c] > (*span.offsets)[c + 1]) {
+        return Status::Corrupted(std::string("KB image ") + span.what +
+                                 " offsets not monotone");
+      }
+    }
+    for (uint32_t i = 0; i < total; ++i) {
+      if ((*span.ids)[i] >= n) {
+        return Status::Corrupted(std::string("KB image ") + span.what +
+                                 " id out of range");
+      }
+    }
+  }
+
+  // -- LCS matrix / depths ------------------------------------------
+  const char* lcs = Section(kLcs, &size);
+  if (lcs == nullptr || size != n * n * 4 || !Aligned(lcs)) {
+    return Status::Corrupted("KB image LCS matrix missing or mis-sized");
+  }
+  lcs_ = reinterpret_cast<const uint32_t*>(lcs);
+  for (size_t i = 0; i < n * n; ++i) {
+    // 0xFFFFFFFF is kInvalidConcept: concepts under different roots have
+    // no common subsumer, and the matrix stores the sentinel verbatim.
+    if (lcs_[i] >= n && lcs_[i] != static_cast<uint32_t>(kInvalidConcept)) {
+      return Status::Corrupted("KB image LCS entry out of range");
+    }
+  }
+  const char* depths = Section(kDepths, &size);
+  if (depths == nullptr || size != n * 4 || !Aligned(depths)) {
+    return Status::Corrupted("KB image depth array missing or mis-sized");
+  }
+  depths_ = reinterpret_cast<const uint32_t*>(depths);
+
+  if (sections_.find(kEntities) == sections_.end()) {
+    return Status::Corrupted("KB image entity section missing");
+  }
+
+  by_name_.reserve(n);
+  for (size_t c = 0; c < n; ++c) {
+    by_name_.emplace(strings_.Get(concept_name_refs_[c]),
+                     static_cast<ConceptId>(c));
+  }
+  return Status::OK();
+}
+
+std::string_view CompiledKb::ConceptName(ConceptId c) const {
+  return strings_.Get(concept_name_refs_[static_cast<size_t>(c)]);
+}
+
+ConceptId CompiledKb::FindConcept(std::string_view name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidConcept : it->second;
+}
+
+bool CompiledKb::Covered(ConceptId c) const {
+  return concept_covered_[static_cast<size_t>(c)] != 0;
+}
+
+bool CompiledKb::IsSubsumedBy(ConceptId a, ConceptId b) const {
+  const size_t row = static_cast<size_t>(a) * words_per_row_;
+  const size_t bit = static_cast<size_t>(b);
+  return (subsumption_[row + bit / 64] >> (bit % 64)) & 1;
+}
+
+std::vector<ConceptId> CompiledKb::Descendants(ConceptId c) const {
+  const size_t i = static_cast<size_t>(c);
+  const uint32_t* begin = descendant_ids_ + descendant_offsets_[i];
+  const uint32_t* end = descendant_ids_ + descendant_offsets_[i + 1];
+  return std::vector<ConceptId>(begin, end);
+}
+
+std::vector<ConceptId> CompiledKb::Partitions(ConceptId c) const {
+  const size_t i = static_cast<size_t>(c);
+  const uint32_t* begin = partition_ids_ + partition_offsets_[i];
+  const uint32_t* end = partition_ids_ + partition_offsets_[i + 1];
+  return std::vector<ConceptId>(begin, end);
+}
+
+ConceptId CompiledKb::LeastCommonSubsumer(ConceptId a, ConceptId b) const {
+  return static_cast<ConceptId>(
+      lcs_[static_cast<size_t>(a) * concept_count_ + static_cast<size_t>(b)]);
+}
+
+int CompiledKb::Depth(ConceptId c) const {
+  return static_cast<int>(depths_[static_cast<size_t>(c)]);
+}
+
+std::string_view CompiledKb::ontology_name() const {
+  return strings_.Get(ontology_name_ref_);
+}
+
+Result<Ontology> CompiledKb::MaterializeOntology() const {
+  Ontology ontology{std::string(ontology_name())};
+  const size_t n = concept_count_;
+  for (size_t c = 0; c < n; ++c) {
+    const std::string name(ConceptName(static_cast<ConceptId>(c)));
+    const bool covered = Covered(static_cast<ConceptId>(c));
+    const uint32_t begin = parent_offsets_[c];
+    const uint32_t end = parent_offsets_[c + 1];
+    if (begin == end) {
+      auto added = ontology.AddRoot(name, covered);
+      if (!added.ok()) return added.status();
+      if (*added != static_cast<ConceptId>(c)) {
+        return Status::Corrupted("KB image concept ids are not dense");
+      }
+      continue;
+    }
+    std::vector<std::string> parents;
+    parents.reserve(end - begin);
+    for (uint32_t i = begin; i < end; ++i) {
+      // Parents always precede children in insertion order, so the id
+      // check below also guards against forward references.
+      if (parent_ids_[i] >= c) {
+        return Status::Corrupted(
+            "KB image parent does not precede its child");
+      }
+      parents.emplace_back(ConceptName(static_cast<ConceptId>(parent_ids_[i])));
+    }
+    auto added = ontology.AddConcept(name, parents, covered);
+    if (!added.ok()) return added.status();
+    if (*added != static_cast<ConceptId>(c)) {
+      return Status::Corrupted("KB image concept ids are not dense");
+    }
+  }
+  return ontology;
+}
+
+Result<std::shared_ptr<KnowledgeBase>> CompiledKb::MaterializeKnowledgeBase()
+    const {
+  size_t size = 0;
+  const char* data = Section(kEntities, &size);
+  EntityReader ar(&strings_, data, size);
+  KnowledgeBaseData out;
+  out.seed = kb_seed_;
+  ReadEntityVec(ar, out.proteins,
+                [](EntityReader& r, ProteinEntity& e) { ProteinFields(r, e); });
+  ReadEntityVec(ar, out.genes,
+                [](EntityReader& r, GeneEntity& e) { GeneFields(r, e); });
+  ReadEntityVec(ar, out.pathways,
+                [](EntityReader& r, PathwayEntity& e) { PathwayFields(r, e); });
+  ReadEntityVec(ar, out.go_terms,
+                [](EntityReader& r, GoTermEntity& e) { GoTermFields(r, e); });
+  ReadEntityVec(ar, out.enzymes,
+                [](EntityReader& r, EnzymeEntity& e) { EnzymeFields(r, e); });
+  ReadEntityVec(ar, out.glycans,
+                [](EntityReader& r, GlycanEntity& e) { GlycanFields(r, e); });
+  ReadEntityVec(ar, out.ligands,
+                [](EntityReader& r, LigandEntity& e) { LigandFields(r, e); });
+  ReadEntityVec(ar, out.compounds,
+                [](EntityReader& r, CompoundEntity& e) { CompoundFields(r, e); });
+  ReadEntityVec(ar, out.diseases,
+                [](EntityReader& r, DiseaseEntity& e) { DiseaseFields(r, e); });
+  ReadEntityVec(ar, out.interpro,
+                [](EntityReader& r, InterProEntity& e) { InterProFields(r, e); });
+  ReadEntityVec(ar, out.pfam,
+                [](EntityReader& r, PfamEntity& e) { PfamFields(r, e); });
+  ReadEntityVec(ar, out.documents,
+                [](EntityReader& r, DocumentEntity& e) { DocumentFields(r, e); });
+  if (!ar.ok() || !ar.exhausted()) {
+    return Status::Corrupted(
+        "KB image entity stream is malformed (overrun or dangling ref)");
+  }
+  return std::make_shared<KnowledgeBase>(std::move(out));
+}
+
+}  // namespace dexa::kbimage

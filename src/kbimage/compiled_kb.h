@@ -1,0 +1,118 @@
+#ifndef DEXA_KBIMAGE_COMPILED_KB_H_
+#define DEXA_KBIMAGE_COMPILED_KB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "kb/knowledge_base.h"
+#include "kbimage/kb_view.h"
+#include "kbimage/string_table.h"
+#include "ontology/ontology.h"
+
+namespace dexa::kbimage {
+
+/// Read-only KbView over a memory-mapped compiled KB image. Load
+/// validates the whole damage ladder up front — magic, version, size,
+/// SealHash64 seal, per-section CRC-32, structural bounds — and any
+/// mismatch is a typed kCorrupted (never undefined behavior; fuzz_test
+/// pins this the same way it pins journal recovery). After a successful
+/// Load, every query is an in-place read of the mapping:
+///
+///   * IsSubsumedBy  — one bitset word load + mask;
+///   * Descendants / Partitions — copy of a precomputed id span, in the
+///     Ontology's exact deterministic order;
+///   * LeastCommonSubsumer / Depth — matrix / array lookup.
+///
+/// Thread safety: deep-immutable after Load; concurrent readers need no
+/// synchronization.
+class CompiledKb final : public KbView {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<CompiledKb>> Load(
+      const std::string& path);
+
+  ~CompiledKb() override;
+
+  CompiledKb(const CompiledKb&) = delete;
+  CompiledKb& operator=(const CompiledKb&) = delete;
+
+  // -- KbView --------------------------------------------------------
+  KbBackend backend() const override { return KbBackend::kImage; }
+  uint64_t checksum() const override { return seal_; }
+  size_t ConceptCount() const override { return concept_count_; }
+  std::string_view ConceptName(ConceptId c) const override;
+  ConceptId FindConcept(std::string_view name) const override;
+  bool Covered(ConceptId c) const override;
+  bool IsSubsumedBy(ConceptId a, ConceptId b) const override;
+  std::vector<ConceptId> Descendants(ConceptId c) const override;
+  std::vector<ConceptId> Partitions(ConceptId c) const override;
+  ConceptId LeastCommonSubsumer(ConceptId a, ConceptId b) const override;
+  int Depth(ConceptId c) const override;
+
+  // -- Image metadata ------------------------------------------------
+  uint64_t kb_seed() const { return kb_seed_; }
+  std::string_view ontology_name() const;
+  size_t image_bytes() const { return map_size_; }
+
+  /// Rebuilds a full in-memory Ontology from the concept section. The
+  /// reconstruction inserts concepts in stored id order, so it
+  /// reproduces the original ids, names, edge order, and covered flags
+  /// exactly (the backend-equivalence property).
+  [[nodiscard]] Result<Ontology> MaterializeOntology() const;
+
+  /// Decodes the entity section into a KnowledgeBase (deserialization +
+  /// index build only — the expensive generative build is skipped; this
+  /// is where the compiled image wins its cold-start budget).
+  [[nodiscard]] Result<std::shared_ptr<KnowledgeBase>>
+  MaterializeKnowledgeBase() const;
+
+ private:
+  CompiledKb() = default;
+
+  [[nodiscard]] Status Parse();
+
+  const char* Section(uint32_t id, size_t* size) const;
+
+  // Mapping.
+  void* map_ = nullptr;
+  size_t map_size_ = 0;
+
+  // Parsed views into the mapping.
+  struct SectionView {
+    const char* data = nullptr;
+    size_t size = 0;
+  };
+  std::unordered_map<uint32_t, SectionView> sections_;
+  StringTableView strings_;
+  uint64_t seal_ = 0;
+  uint64_t kb_seed_ = 0;
+  uint32_t ontology_name_ref_ = 0;
+  uint32_t concept_count_ = 0;
+  uint32_t words_per_row_ = 0;
+
+  const uint32_t* concept_name_refs_ = nullptr;
+  const uint32_t* concept_covered_ = nullptr;
+  const uint64_t* subsumption_ = nullptr;
+  const uint32_t* descendant_offsets_ = nullptr;
+  const uint32_t* descendant_ids_ = nullptr;
+  const uint32_t* partition_offsets_ = nullptr;
+  const uint32_t* partition_ids_ = nullptr;
+  const uint32_t* lcs_ = nullptr;
+  const uint32_t* depths_ = nullptr;
+  const uint32_t* parent_offsets_ = nullptr;
+  const uint32_t* parent_ids_ = nullptr;
+  const uint32_t* child_offsets_ = nullptr;
+  const uint32_t* child_ids_ = nullptr;
+
+  /// Name → id index for the FindConcept boundary; views point into the
+  /// mapped string table.
+  std::unordered_map<std::string_view, ConceptId> by_name_;
+};
+
+}  // namespace dexa::kbimage
+
+#endif  // DEXA_KBIMAGE_COMPILED_KB_H_

@@ -1,0 +1,266 @@
+#ifndef DEXA_KBIMAGE_ENTITY_CODEC_H_
+#define DEXA_KBIMAGE_ENTITY_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "kb/entities.h"
+#include "kbimage/string_table.h"
+
+namespace dexa::kbimage {
+
+/// Codec for the kEntities section. One Archive overload per entity type
+/// defines the field order once; EntityWriter and EntityReader both walk
+/// that single definition, so the two sides cannot drift. The stream is
+/// byte-packed (decoded via memcpy) — strings travel as u32 refs into
+/// the interned table, doubles as u64 bit patterns.
+
+class EntityWriter {
+ public:
+  EntityWriter(StringTable* strings, std::string* out)
+      : strings_(strings), out_(out) {}
+
+  void U32(uint32_t v) { Append(&v, sizeof(v)); }
+  void U64(uint64_t v) { Append(&v, sizeof(v)); }
+  void I32(const int& v) { U32(static_cast<uint32_t>(v)); }
+  void F64(const double& v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) { U32(strings_->Intern(s)); }
+  void StrVec(const std::vector<std::string>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (const std::string& s : v) Str(s);
+  }
+  void F64Vec(const std::vector<double>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (const double& d : v) F64(d);
+  }
+
+ private:
+  void Append(const void* p, size_t n) {
+    out_->append(static_cast<const char*>(p), n);
+  }
+
+  StringTable* strings_;
+  std::string* out_;
+};
+
+/// Bounds-checked reader: any overrun or dangling string ref trips the
+/// fail flag and every subsequent read becomes a no-op, so a damaged
+/// stream decodes to a typed error, never out-of-bounds access.
+class EntityReader {
+ public:
+  EntityReader(const StringTableView* strings, const char* data, size_t size)
+      : strings_(strings), data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  void U32(uint32_t& v) { Copy(&v, sizeof(v)); }
+  void U64(uint64_t& v) { Copy(&v, sizeof(v)); }
+  void I32(int& v) {
+    uint32_t raw = 0;
+    U32(raw);
+    v = static_cast<int>(raw);
+  }
+  void F64(double& v) {
+    uint64_t bits = 0;
+    U64(bits);
+    std::memcpy(&v, &bits, sizeof(v));
+  }
+  void Str(std::string& s) {
+    uint32_t ref = 0;
+    U32(ref);
+    if (!ok_) return;
+    if (!strings_->Valid(ref)) {
+      ok_ = false;
+      return;
+    }
+    s = std::string(strings_->Get(ref));
+  }
+  void StrVec(std::vector<std::string>& v) {
+    uint32_t count = 0;
+    U32(count);
+    if (!ok_ || !FitsElements(count, 4)) return;
+    v.resize(count);
+    for (uint32_t i = 0; i < count && ok_; ++i) Str(v[i]);
+  }
+  void F64Vec(std::vector<double>& v) {
+    uint32_t count = 0;
+    U32(count);
+    if (!ok_ || !FitsElements(count, 8)) return;
+    v.resize(count);
+    for (uint32_t i = 0; i < count && ok_; ++i) F64(v[i]);
+  }
+
+ private:
+  void Copy(void* p, size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+  }
+  /// Guards resize() against a hostile count that would allocate far
+  /// beyond what the remaining stream could possibly encode.
+  bool FitsElements(uint32_t count, size_t min_bytes_each) {
+    if (static_cast<uint64_t>(count) * min_bytes_each > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const StringTableView* strings_;
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// -- Field-order definitions (one per entity type) -----------------------
+
+template <class Ar, class P>
+void ProteinFields(Ar& ar, P& p) {
+  ar.Str(p.accession);
+  ar.Str(p.name);
+  ar.Str(p.organism);
+  ar.Str(p.description);
+  ar.Str(p.sequence);
+  ar.Str(p.pdb_accession);
+  ar.Str(p.embl_accession);
+  ar.Str(p.gene_id);
+  ar.StrVec(p.go_term_ids);
+  ar.StrVec(p.interpro_ids);
+  ar.StrVec(p.pfam_ids);
+  ar.F64Vec(p.peptide_masses);
+  ar.I32(p.family);
+}
+
+template <class Ar, class P>
+void GeneFields(Ar& ar, P& p) {
+  ar.Str(p.gene_id);
+  ar.Str(p.symbol);
+  ar.Str(p.organism);
+  ar.Str(p.organism_code);
+  ar.Str(p.definition);
+  ar.Str(p.protein_accession);
+  ar.Str(p.dna_sequence);
+  ar.StrVec(p.pathway_ids);
+  ar.StrVec(p.go_term_ids);
+}
+
+template <class Ar, class P>
+void PathwayFields(Ar& ar, P& p) {
+  ar.Str(p.pathway_id);
+  ar.Str(p.name);
+  ar.Str(p.organism);
+  ar.StrVec(p.gene_ids);
+  ar.StrVec(p.compound_ids);
+}
+
+template <class Ar, class P>
+void GoTermFields(Ar& ar, P& p) {
+  ar.Str(p.go_id);
+  ar.Str(p.name);
+  ar.Str(p.nspace);
+  ar.Str(p.definition);
+}
+
+template <class Ar, class P>
+void EnzymeFields(Ar& ar, P& p) {
+  ar.Str(p.ec_number);
+  ar.Str(p.name);
+  ar.Str(p.reaction);
+  ar.StrVec(p.substrate_ids);
+  ar.StrVec(p.product_ids);
+  ar.StrVec(p.gene_ids);
+}
+
+template <class Ar, class P>
+void GlycanFields(Ar& ar, P& p) {
+  ar.Str(p.glycan_id);
+  ar.Str(p.name);
+  ar.Str(p.composition);
+  ar.F64(p.mass);
+}
+
+template <class Ar, class P>
+void LigandFields(Ar& ar, P& p) {
+  ar.Str(p.ligand_id);
+  ar.Str(p.name);
+  ar.Str(p.formula);
+  ar.F64(p.mass);
+  ar.StrVec(p.target_accessions);
+}
+
+template <class Ar, class P>
+void CompoundFields(Ar& ar, P& p) {
+  ar.Str(p.compound_id);
+  ar.Str(p.name);
+  ar.Str(p.formula);
+  ar.F64(p.mass);
+  ar.StrVec(p.pathway_ids);
+}
+
+template <class Ar, class P>
+void DiseaseFields(Ar& ar, P& p) {
+  ar.Str(p.disease_id);
+  ar.Str(p.name);
+  ar.Str(p.description);
+  ar.StrVec(p.gene_ids);
+}
+
+template <class Ar, class P>
+void InterProFields(Ar& ar, P& p) {
+  ar.Str(p.interpro_id);
+  ar.Str(p.name);
+  ar.Str(p.entry_type);
+  ar.StrVec(p.member_accessions);
+}
+
+template <class Ar, class P>
+void PfamFields(Ar& ar, P& p) {
+  ar.Str(p.pfam_id);
+  ar.Str(p.name);
+  ar.Str(p.clan);
+  ar.Str(p.description);
+}
+
+template <class Ar, class P>
+void DocumentFields(Ar& ar, P& p) {
+  ar.Str(p.doc_id);
+  ar.Str(p.text);
+  ar.StrVec(p.mentioned_gene_symbols);
+  ar.StrVec(p.mentioned_pathway_ids);
+  ar.StrVec(p.mentioned_go_ids);
+}
+
+/// Writes `v` (length prefix + elements) through `fields`.
+template <class Vec, class Fn>
+void WriteEntityVec(EntityWriter& ar, const Vec& v, Fn fields) {
+  ar.U32(static_cast<uint32_t>(v.size()));
+  for (const auto& e : v) fields(ar, e);
+}
+
+/// Reads a length-prefixed entity vector through `fields`.
+template <class Vec, class Fn>
+void ReadEntityVec(EntityReader& ar, Vec& v, Fn fields) {
+  uint32_t count = 0;
+  ar.U32(count);
+  if (!ar.ok()) return;
+  // Every entity starts with at least one u32 ref, so `count` can never
+  // legitimately exceed the remaining bytes / 4; EntityReader's element
+  // reads enforce that as they go.
+  v.resize(count);
+  for (uint32_t i = 0; i < count && ar.ok(); ++i) fields(ar, v[i]);
+}
+
+}  // namespace dexa::kbimage
+
+#endif  // DEXA_KBIMAGE_ENTITY_CODEC_H_

@@ -1,0 +1,47 @@
+#include "kbimage/kb_view.h"
+
+#include <string>
+
+namespace dexa {
+
+const char* KbBackendName(KbBackend backend) {
+  switch (backend) {
+    case KbBackend::kMemory:
+      return "memory";
+    case KbBackend::kImage:
+      return "image";
+  }
+  return "unknown";
+}
+
+std::string_view OntologyKbView::ConceptName(ConceptId c) const {
+  return ontology_->NameOf(c);
+}
+
+ConceptId OntologyKbView::FindConcept(std::string_view name) const {
+  return ontology_->Find(std::string(name));
+}
+
+bool OntologyKbView::Covered(ConceptId c) const {
+  return ontology_->Get(c).covered;
+}
+
+bool OntologyKbView::IsSubsumedBy(ConceptId a, ConceptId b) const {
+  return ontology_->IsSubsumedBy(a, b);
+}
+
+std::vector<ConceptId> OntologyKbView::Descendants(ConceptId c) const {
+  return ontology_->Descendants(c);
+}
+
+std::vector<ConceptId> OntologyKbView::Partitions(ConceptId c) const {
+  return ontology_->Partitions(c);
+}
+
+ConceptId OntologyKbView::LeastCommonSubsumer(ConceptId a, ConceptId b) const {
+  return ontology_->LeastCommonSubsumer(a, b);
+}
+
+int OntologyKbView::Depth(ConceptId c) const { return ontology_->Depth(c); }
+
+}  // namespace dexa

@@ -1,0 +1,99 @@
+#ifndef DEXA_KBIMAGE_KB_VIEW_H_
+#define DEXA_KBIMAGE_KB_VIEW_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ontology/ontology.h"
+
+namespace dexa {
+
+/// Which backing store answers a KbView's queries. Reported through
+/// metrics so a run records whether it reasoned over the in-memory
+/// ontology or a compiled image.
+enum class KbBackend {
+  kMemory,  ///< In-process Ontology built at startup.
+  kImage,   ///< Memory-mapped compiled KB image (see kbimage/format.h).
+};
+
+const char* KbBackendName(KbBackend backend);
+
+/// Backend-agnostic read interface over the concept hierarchy: the
+/// reasoning primitives the annotation pipeline needs (Section 3 of the
+/// paper), keyed exclusively by dense ConceptId. Names cross this
+/// boundary only at the edges — FindConcept to intern a name once,
+/// ConceptName to render output.
+///
+/// Implementations must be deep-immutable after construction and safe for
+/// concurrent readers; every query must be a pure function of the concept
+/// graph so both backends return byte-identical answers (the
+/// backend-equivalence property pinned by kbimage_test).
+class KbView {
+ public:
+  virtual ~KbView() = default;
+
+  virtual KbBackend backend() const = 0;
+
+  /// SealHash64 seal of the compiled image, or 0 for the in-memory
+  /// backend. Durable runs pin this in their run header so a resume
+  /// refuses a swapped KB.
+  virtual uint64_t checksum() const = 0;
+
+  virtual size_t ConceptCount() const = 0;
+
+  /// Name of `c`; the view owns the storage for its own lifetime.
+  virtual std::string_view ConceptName(ConceptId c) const = 0;
+
+  /// Interns a concept name; kInvalidConcept when absent. Boundary-only.
+  virtual ConceptId FindConcept(std::string_view name) const = 0;
+
+  /// True if `c`'s domain is covered by its sub-concepts (Section 3.2).
+  virtual bool Covered(ConceptId c) const = 0;
+
+  /// a ⊑ b, reflexive (Ontology::IsSubsumedBy semantics).
+  virtual bool IsSubsumedBy(ConceptId a, ConceptId b) const = 0;
+
+  /// Descendants of `c` including `c`, in the Ontology's deterministic
+  /// pre-order child-rank order.
+  virtual std::vector<ConceptId> Descendants(ConceptId c) const = 0;
+
+  /// Partition set of `c` (realizable descendants, Section 3.1), in
+  /// Ontology::Partitions order.
+  virtual std::vector<ConceptId> Partitions(ConceptId c) const = 0;
+
+  /// Deterministic least common subsumer (max depth, ties → smallest id).
+  virtual ConceptId LeastCommonSubsumer(ConceptId a, ConceptId b) const = 0;
+
+  /// Longest parent-chain length to a root.
+  virtual int Depth(ConceptId c) const = 0;
+};
+
+/// KbView over the ordinary in-memory Ontology: a forwarding shim, so
+/// existing construction paths satisfy the interface with zero behavior
+/// change. Does not own the ontology.
+class OntologyKbView final : public KbView {
+ public:
+  explicit OntologyKbView(const Ontology* ontology) : ontology_(ontology) {}
+
+  KbBackend backend() const override { return KbBackend::kMemory; }
+  uint64_t checksum() const override { return 0; }
+  size_t ConceptCount() const override { return ontology_->size(); }
+  std::string_view ConceptName(ConceptId c) const override;
+  ConceptId FindConcept(std::string_view name) const override;
+  bool Covered(ConceptId c) const override;
+  bool IsSubsumedBy(ConceptId a, ConceptId b) const override;
+  std::vector<ConceptId> Descendants(ConceptId c) const override;
+  std::vector<ConceptId> Partitions(ConceptId c) const override;
+  ConceptId LeastCommonSubsumer(ConceptId a, ConceptId b) const override;
+  int Depth(ConceptId c) const override;
+
+  const Ontology& ontology() const { return *ontology_; }
+
+ private:
+  const Ontology* ontology_;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_KBIMAGE_KB_VIEW_H_

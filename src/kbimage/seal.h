@@ -1,0 +1,43 @@
+#ifndef DEXA_KBIMAGE_SEAL_H_
+#define DEXA_KBIMAGE_SEAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dexa::kbimage {
+
+/// The whole-image seal hash (format.h `ImageHeader::seal`): FNV-1a
+/// lifted to 8-byte little-endian words, with the byte length folded
+/// into the seed so a truncated-then-zero-padded tail cannot collide
+/// with the original. Word-at-a-time matters here: the seal is
+/// recomputed over the entire mapping on every load, and a per-byte
+/// multiply chain would make verification as expensive as the generative
+/// KB build the image exists to avoid (see bench_kb_coldstart).
+///
+/// This is part of the on-disk format — changing it is a format-version
+/// bump. It intentionally differs from common/rng.h's byte-wise
+/// StableHash64, which seals journal payloads and run fingerprints.
+inline uint64_t SealHash64(std::string_view bytes) {
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  uint64_t h = 0xcbf29ce484222325ULL ^ (kPrime * bytes.size());
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    h = (h ^ word) * kPrime;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t word = 0;
+    std::memcpy(&word, p, n);
+    h = (h ^ word) * kPrime;
+  }
+  return h;
+}
+
+}  // namespace dexa::kbimage
+
+#endif  // DEXA_KBIMAGE_SEAL_H_

@@ -1,0 +1,78 @@
+#include "kbimage/string_table.h"
+
+#include <cstring>
+
+namespace dexa::kbimage {
+
+namespace {
+
+void AppendU32(std::string& out, uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, sizeof(v));
+  out.append(bytes, sizeof(bytes));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+uint32_t StringTable::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  const uint32_t ref = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), ref);
+  return ref;
+}
+
+std::string StringTable::Serialize() const {
+  std::string out;
+  size_t blob_size = 0;
+  for (const std::string& s : strings_) blob_size += s.size();
+  out.reserve(4 + strings_.size() * 8 + blob_size);
+  AppendU32(out, static_cast<uint32_t>(strings_.size()));
+  uint32_t offset = 0;
+  for (const std::string& s : strings_) {
+    AppendU32(out, offset);
+    AppendU32(out, static_cast<uint32_t>(s.size()));
+    offset += static_cast<uint32_t>(s.size());
+  }
+  for (const std::string& s : strings_) out += s;
+  return out;
+}
+
+Result<StringTableView> StringTableView::Parse(const char* data, size_t size) {
+  if (size < 4) {
+    return Status::Corrupted("string table shorter than its count field");
+  }
+  StringTableView view;
+  view.count_ = ReadU32(data);
+  const size_t entries_bytes = static_cast<size_t>(view.count_) * 8;
+  if (size < 4 + entries_bytes) {
+    return Status::Corrupted("string table entry array exceeds section");
+  }
+  view.entries_ = data + 4;
+  view.blob_ = data + 4 + entries_bytes;
+  const size_t blob_size = size - 4 - entries_bytes;
+  for (uint32_t i = 0; i < view.count_; ++i) {
+    const uint64_t offset = ReadU32(view.entries_ + i * 8);
+    const uint64_t length = ReadU32(view.entries_ + i * 8 + 4);
+    if (offset + length > blob_size) {
+      return Status::Corrupted("string table entry " + std::to_string(i) +
+                               " points outside the blob");
+    }
+  }
+  return view;
+}
+
+std::string_view StringTableView::Get(uint32_t ref) const {
+  const uint32_t offset = ReadU32(entries_ + static_cast<size_t>(ref) * 8);
+  const uint32_t length = ReadU32(entries_ + static_cast<size_t>(ref) * 8 + 4);
+  return std::string_view(blob_ + offset, length);
+}
+
+}  // namespace dexa::kbimage

@@ -1,0 +1,61 @@
+#ifndef DEXA_KBIMAGE_STRING_TABLE_H_
+#define DEXA_KBIMAGE_STRING_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dexa::kbimage {
+
+/// Build-side string interner: every distinct string in the image is
+/// stored once and referenced by a dense uint32 ref. Ref order is
+/// first-intern order, so a given ontology + KB always serializes to the
+/// same bytes (determinism is part of the format contract: recompiling
+/// the same inputs must reproduce the same seal).
+class StringTable {
+ public:
+  /// Returns the ref for `s`, interning it on first sight.
+  uint32_t Intern(std::string_view s);
+
+  size_t size() const { return strings_.size(); }
+
+  /// Serializes to the kStrings section payload:
+  /// u32 count; count × {u32 offset, u32 length}; blob.
+  std::string Serialize() const;
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// Load-side zero-copy view over a mapped kStrings payload. Parse
+/// validates every (offset, length) pair against the blob bounds up
+/// front, so Get is a plain table lookup afterwards.
+class StringTableView {
+ public:
+  StringTableView() = default;
+
+  [[nodiscard]] static Result<StringTableView> Parse(const char* data,
+                                                     size_t size);
+
+  uint32_t size() const { return count_; }
+
+  /// True iff `ref` names a table entry.
+  bool Valid(uint32_t ref) const { return ref < count_; }
+
+  /// The string for a Valid ref; points into the mapped image.
+  std::string_view Get(uint32_t ref) const;
+
+ private:
+  const char* entries_ = nullptr;  ///< count_ × {u32 offset, u32 length}.
+  const char* blob_ = nullptr;
+  uint32_t count_ = 0;
+};
+
+}  // namespace dexa::kbimage
+
+#endif  // DEXA_KBIMAGE_STRING_TABLE_H_

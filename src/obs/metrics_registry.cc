@@ -58,6 +58,14 @@ void MetricsRegistry::ImportEngineSnapshot(
              MetricStability::kVolatile);
   SetCounter("engine.cache_queries", snapshot.cache_queries,
              MetricStability::kVolatile);
+  // Backend-shape counters: which store answered the reasoning (and how
+  // often an image was mapped) varies with deployment, not with the
+  // annotation semantics — volatile, so golden traces stay byte-identical
+  // across the memory and image backends.
+  SetCounter("engine.kb_image_loads", snapshot.kb_image_loads,
+             MetricStability::kVolatile);
+  SetCounter("engine.bitset_queries", snapshot.bitset_queries,
+             MetricStability::kVolatile);
   for (size_t i = 0; i < kNumEnginePhases; ++i) {
     SetCounter(std::string("engine.phase_ns.") +
                    EnginePhaseName(static_cast<EnginePhase>(i)),

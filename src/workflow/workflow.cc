@@ -78,11 +78,16 @@ Status ValidateWorkflow(const Workflow& workflow,
       }
       if (!ontology.IsSubsumedBy(source_param->semantic_type,
                                  dest.semantic_type)) {
+        // Diagnostics speak the curator's vocabulary: resolving the two
+        // concept names here is the sanctioned boundary use, not a hot path.
+        // dexa-lint: allow(string-keyed-lookup)
+        const std::string& source_name = ontology.NameOf(source_param->semantic_type);
+        // dexa-lint: allow(string-keyed-lookup)
+        const std::string& dest_name = ontology.NameOf(dest.semantic_type);
         return Status::InvalidArgument(
             "workflow '" + workflow.name + "': link into '" + processor.name +
-            "." + dest.name + "' is semantically incompatible (" +
-            ontology.NameOf(source_param->semantic_type) + " is not subsumed by " +
-            ontology.NameOf(dest.semantic_type) + ")");
+            "." + dest.name + "' is semantically incompatible (" + source_name +
+            " is not subsumed by " + dest_name + ")");
       }
     }
   }

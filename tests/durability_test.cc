@@ -13,7 +13,7 @@
 
 #include "core/engine_config.h"
 #include "corpus/fault_injector.h"
-#include "durability/crc32.h"
+#include "common/crc32.h"
 #include "durability/durable_annotate.h"
 #include "durability/durable_enact.h"
 #include "durability/journal.h"

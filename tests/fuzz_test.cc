@@ -18,7 +18,10 @@
 #include "formats/reports.h"
 #include "formats/sequence_record.h"
 #include "formats/sniffer.h"
+#include "kb/knowledge_base.h"
 #include "kb/render.h"
+#include "kbimage/builder.h"
+#include "kbimage/compiled_kb.h"
 #include "modules/registry_io.h"
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
@@ -375,6 +378,68 @@ TEST_P(ParserFuzzTest, MetricsExportReaderNeverCrashes) {
   // The readers are not interchangeable: each rejects the other's schema.
   EXPECT_TRUE(obs::ReadMetricsJson(SampleTraceExport()).status().IsCorrupted());
   EXPECT_TRUE(obs::ReadChromeTrace(pristine).status().IsCorrupted());
+}
+
+TEST_P(ParserFuzzTest, KbImageLoaderNeverCrashes) {
+  namespace fs = std::filesystem;
+  Rng rng(GetParam());
+
+  // One genuine compiled image as the mutation substrate: a small random
+  // ontology plus a scaled-down knowledge base.
+  Ontology ontology{"fuzz"};
+  ASSERT_TRUE(ontology.AddRoot("Thing").ok());
+  ASSERT_TRUE(ontology.AddConcept("A", {"Thing"}, true).ok());
+  ASSERT_TRUE(ontology.AddConcept("B", {"Thing"}).ok());
+  ASSERT_TRUE(ontology.AddConcept("AB", {"A", "B"}).ok());
+  KnowledgeBaseOptions kb_options;
+  kb_options.num_proteins = 12;
+  kb_options.num_go_terms = 6;
+  kb_options.num_documents = 4;
+  KnowledgeBase kb(GetParam(), kb_options);
+  auto pristine = kbimage::CompileKbImage(ontology, kb);
+  ASSERT_TRUE(pristine.ok()) << pristine.status();
+
+  const fs::path path =
+      fs::path(::testing::TempDir()) /
+      ("dexa_fuzz_kbimage_" + std::to_string(GetParam()) + ".img");
+  auto write = [&path](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Arbitrary mutations (byte flips, deletions, duplications, swaps):
+  // Load either succeeds on an untouched image or fails with a typed
+  // kCorrupted — never a crash, never undefined behavior.
+  for (int i = 0; i < 40; ++i) {
+    std::string mutated =
+        Mutate(*pristine, rng, 1 + static_cast<int>(rng.NextBelow(10)));
+    write(mutated);
+    auto image = kbimage::CompiledKb::Load(path.string());
+    if (mutated == *pristine) {
+      EXPECT_TRUE(image.ok()) << image.status();
+    } else {
+      ASSERT_FALSE(image.ok());
+      EXPECT_TRUE(image.status().IsCorrupted()) << image.status();
+    }
+  }
+
+  // Single-bit flips and truncations (the ISSUE's damage ladder) are
+  // always detected by the seal, the CRCs, or the structural bounds.
+  for (int i = 0; i < 40; ++i) {
+    std::string flipped = *pristine;
+    flipped[rng.NextIndex(flipped.size())] ^=
+        static_cast<char>(1 << rng.NextBelow(8));
+    if (flipped == *pristine) continue;
+    write(flipped);
+    EXPECT_TRUE(
+        kbimage::CompiledKb::Load(path.string()).status().IsCorrupted());
+  }
+  for (int i = 0; i < 12; ++i) {
+    write(pristine->substr(0, rng.NextIndex(pristine->size())));
+    EXPECT_TRUE(
+        kbimage::CompiledKb::Load(path.string()).status().IsCorrupted());
+  }
+  fs::remove(path);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,

@@ -383,6 +383,98 @@ TEST(UnnamedSpanRuleTest, NamedGuardsAndObsDeclarationsAreSilent) {
   EXPECT_TRUE(report.findings.empty()) << Describe(report);
 }
 
+TEST(StringKeyedLookupRuleTest, FiresOnNameOfAndOntologyFindInHotLayers) {
+  LintReport report = Lint(
+      {{"src/core/a.cc",
+        "void F(const Ontology& ontology, ConceptId c) {\n"
+        "  std::string name = ontology.NameOf(c);\n"
+        "  ConceptId d = ontology.Find(\"ProteinSequence\");\n"
+        "}\n"},
+       {"src/workflow/b.cc",
+        "void G(const Ontology* ontology) {\n"
+        "  auto id = ontology->Require(\"GOTerm\");\n"
+        "}\n"}});
+  ASSERT_EQ(report.findings.size(), 3u) << Describe(report);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.rule, "string-keyed-lookup");
+  }
+}
+
+TEST(StringKeyedLookupRuleTest, OntologyLayerIoFilesAndOtherReceiversSilent) {
+  LintReport report = Lint(
+      {// The ontology layer owns the string APIs.
+       {"src/ontology/ontology.cc",
+        "const std::string& Ontology::NameOf(ConceptId c) const;\n"},
+       // Serialization boundaries are exempt wholesale: names ARE the
+       // wire format there.
+       {"src/workflow/workflow_io.cc",
+        "void W(const Ontology& ontology, ConceptId c) {\n"
+        "  Emit(ontology.NameOf(c));\n"
+        "}\n"},
+       // Find on a non-ontology receiver (registry, JSON) is fine.
+       {"src/core/c.cc",
+        "void H(const ModuleRegistry& registry) {\n"
+        "  auto m = registry.Find(\"EBI_GetUniprotRecord\");\n"
+        "}\n"},
+       // Layers outside the interned hot set are out of scope.
+       {"src/provenance/p.cc",
+        "void P(const Ontology& ontology, ConceptId c) {\n"
+        "  Log(ontology.NameOf(c));\n"
+        "}\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+TEST(StringKeyedLookupRuleTest, AllowCommentSuppresses) {
+  LintReport report = Lint(
+      {{"src/workflow/w.cc",
+        "void F(const Ontology& ontology, ConceptId c) {\n"
+        "  // dexa-lint: allow(string-keyed-lookup) — diagnostics only\n"
+        "  Diag(ontology.NameOf(c));\n"
+        "}\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+  EXPECT_EQ(report.suppressed, 1u);
+}
+
+TEST(UncachedReasoningRuleTest, FiresOnDirectPrimitivesInEngineAndCore) {
+  LintReport report = Lint(
+      {{"src/core/a.cc",
+        "bool F(const Ontology& ontology, ConceptId a, ConceptId b) {\n"
+        "  return ontology.IsSubsumedBy(a, b);\n"
+        "}\n"},
+       {"src/engine/b.cc",
+        "void G(const Ontology* ontology, ConceptId c) {\n"
+        "  auto down = ontology->Descendants(c);\n"
+        "  auto parts = ontology->Partitions(c);\n"
+        "}\n"}});
+  ASSERT_EQ(report.findings.size(), 3u) << Describe(report);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.rule, "uncached-reasoning");
+  }
+}
+
+TEST(UncachedReasoningRuleTest, CacheItselfOtherLayersAndCacheCallsSilent) {
+  LintReport report = Lint(
+      {// The cache is the sanctioned caller of the backing view.
+       {"src/engine/concept_cache.cc",
+        "bool ConceptCache::IsSubsumedBy(ConceptId a, ConceptId b) const {\n"
+        "  return view_ontology_.IsSubsumedBy(a, b);\n"
+        "}\n"},
+       // Calls through the cache are the point of the rule.
+       {"src/core/c.cc",
+        "bool H(const ConceptCache& cache, ConceptId a, ConceptId b) {\n"
+        "  return cache.IsSubsumedBy(a, b) && cache.Comparable(a, b);\n"
+        "}\n"},
+       // The ontology layer implements the primitives.
+       {"src/ontology/ontology.cc",
+        "bool Ontology::IsSubsumedBy(ConceptId a, ConceptId b) const;\n"},
+       // Workflow/repair may reason directly (they are not hot loops).
+       {"src/workflow/w.cc",
+        "bool W(const Ontology& ontology, ConceptId a, ConceptId b) {\n"
+        "  return ontology.IsSubsumedBy(a, b);\n"
+        "}\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------

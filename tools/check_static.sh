@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # The one-command static + dynamic gate:
 #
-#   1. dexa-lint over src/ tests/ bench/ tools/ examples/ (must be clean);
-#   2. the tier-1 ctest suite built with DEXA_SANITIZE=address;
-#   3. the tier-1 ctest suite built with DEXA_SANITIZE=undefined
+#   1. schema check over every committed BENCH_*.json (stale or
+#      hand-edited bench output fails the gate);
+#   2. dexa-lint over src/ tests/ bench/ tools/ examples/ (must be clean);
+#   3. the tier-1 ctest suite built with DEXA_SANITIZE=address;
+#   4. the tier-1 ctest suite built with DEXA_SANITIZE=undefined
 #      (every UB report is fatal: -fno-sanitize-recover).
 #
 # The tier-1 suite includes the observability tests (obs_test, `ctest -L
@@ -23,7 +25,45 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-static}"
 JOBS="$(nproc)"
 
-echo "== [1/3] dexa-lint =============================================="
+echo "== [1/4] committed BENCH_*.json schema =========================="
+# Committed bench outputs must match the bench_env::BenchReport schema
+# ({"bench","threads","metrics":[{"name","value","unit"}]}); a file from
+# an older schema or a hand edit fails here before anything is built.
+shopt -s nullglob
+bench_jsons=(BENCH_*.json)
+shopt -u nullglob
+if ((${#bench_jsons[@]})); then
+  python3 - "${bench_jsons[@]}" <<'PY'
+import json, sys
+
+bad = 0
+for path in sys.argv[1:]:
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert isinstance(doc.get("bench"), str) and doc["bench"], "bench"
+        assert isinstance(doc.get("threads"), int) and doc["threads"] >= 1, \
+            "threads"
+        metrics = doc.get("metrics")
+        assert isinstance(metrics, list) and metrics, "metrics"
+        for m in metrics:
+            assert isinstance(m.get("name"), str) and m["name"], "metric name"
+            assert isinstance(m.get("value"), (int, float)), "metric value"
+            assert isinstance(m.get("unit"), str), "metric unit"
+        expected = f"BENCH_{doc['bench']}.json"
+        assert path == expected, f"filename (want {expected})"
+    except (OSError, ValueError, AssertionError) as err:
+        print(f"STALE BENCH SCHEMA: {path}: {err}", file=sys.stderr)
+        bad += 1
+print(f"{len(sys.argv) - 1 - bad}/{len(sys.argv) - 1} BENCH_*.json files "
+      "match the BenchReport schema")
+sys.exit(1 if bad else 0)
+PY
+else
+  echo "no committed BENCH_*.json files (run build/bench/bench_* to emit them)"
+fi
+
+echo "== [2/4] dexa-lint =============================================="
 cmake -B "${PREFIX}-lint" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "${PREFIX}-lint" --target dexa-lint -j"$JOBS"
 "${PREFIX}-lint/tools/dexa-lint" \
@@ -39,12 +79,12 @@ run_sanitized_suite() {
   (cd "$dir" && ctest --output-on-failure -j"$JOBS")
 }
 
-echo "== [2/3] AddressSanitizer ======================================="
+echo "== [3/4] AddressSanitizer ======================================="
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
   run_sanitized_suite address "${PREFIX}-asan"
 
-echo "== [3/3] UndefinedBehaviorSanitizer ============================="
+echo "== [4/4] UndefinedBehaviorSanitizer ============================="
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   run_sanitized_suite undefined "${PREFIX}-ubsan"
 
-echo "Static + sanitizer gate passed (lint clean, ASan green, UBSan green)."
+echo "Static + sanitizer gate passed (BENCH schema ok, lint clean, ASan green, UBSan green)."

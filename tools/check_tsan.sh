@@ -23,7 +23,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DDEXA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target engine_test generator_test fault_test \
-  durability_test io_test obs_test -j"$(nproc)"
+  durability_test io_test obs_test kbimage_test -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/engine_test"
@@ -32,5 +32,9 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/durability_test"
 "$BUILD_DIR/tests/io_test"
 "$BUILD_DIR/tests/obs_test"
+# kbimage_test: the ConceptCache shared across engine threads can be
+# backed by the mmap'd image; the equivalence sweep runs here so TSan
+# sees the image-backed read path too.
+"$BUILD_DIR/tests/kbimage_test"
 
 echo "TSan check passed."

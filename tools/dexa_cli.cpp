@@ -3,6 +3,10 @@
 // Builds the evaluation environment (corpus, workflow corpus, provenance,
 // pool, annotations) once, then executes one subcommand:
 //
+//   dexa compile-kb <file>           compile the ontology + synthetic KB
+//                                    into a relocatable binary image
+//   dexa --kb-image=<file> <cmd>     run any subcommand against a compiled
+//                                    image (mmap-backed, interned ids)
 //   dexa tables                      regenerate the paper's tables
 //   dexa annotate <module-name>      print a module's data examples
 //   dexa annotate --trace-out=<f> --metrics-out=<f>
@@ -42,7 +46,11 @@
 #include "core/matcher.h"
 #include "core/metrics.h"
 #include "corpus/corpus.h"
+#include "kb/knowledge_base.h"
+#include "kbimage/builder.h"
+#include "kbimage/compiled_kb.h"
 #include "modules/registry_io.h"
+#include "ontology/mygrid.h"
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -61,6 +69,17 @@ struct CliEnv {
   WorkflowCorpus workflows;
   ProvenanceCorpus provenance;
   std::unique_ptr<AnnotatedInstancePool> pool;
+
+  /// The compiled image backing this run, or null for the in-memory
+  /// backend.
+  std::shared_ptr<const kbimage::CompiledKb> kb_image;
+  /// Shared reasoning cache for every component the commands construct;
+  /// backed by the image's bitsets when kb_image is set, by the in-memory
+  /// ontology otherwise. Either way all hot-path reasoning keys on
+  /// ConceptId, so the two backends produce byte-identical output.
+  std::shared_ptr<const ConceptCache> cache;
+  /// Image seal, recorded in durable run headers; 0 for in-memory runs.
+  uint64_t kb_checksum = 0;
 };
 
 int Fail(const Status& status) {
@@ -71,11 +90,38 @@ int Fail(const Status& status) {
 /// Builds the evaluation environment. `annotate` is false for the durable
 /// subcommands, which run (or resume) the annotation themselves through a
 /// journal instead of inline.
-Result<CliEnv> BuildEnv(bool retire, bool annotate = true) {
+Result<CliEnv> BuildEnv(bool retire, bool annotate = true,
+                        const std::string& kb_image_path = "") {
   CliEnv env;
-  auto corpus = BuildCorpus();
+  CorpusOptions corpus_options;
+  if (!kb_image_path.empty()) {
+    auto image = kbimage::CompiledKb::Load(kb_image_path);
+    if (!image.ok()) return image.status();
+    env.kb_image = std::shared_ptr<const kbimage::CompiledKb>(std::move(image).value());
+    env.kb_checksum = env.kb_image->checksum();
+    InvocationEngine::Serial().metrics().RecordKbImageLoad();
+    // The corpus adopts the image's ontology and KB instead of rebuilding
+    // them; concept ids are dense insertion indices in both, so the
+    // materialized ontology and the image view agree on every ConceptId.
+    auto ontology = env.kb_image->MaterializeOntology();
+    if (!ontology.ok()) return ontology.status();
+    corpus_options.prebuilt_ontology =
+        std::make_shared<Ontology>(std::move(ontology).value());
+    auto kb = env.kb_image->MaterializeKnowledgeBase();
+    if (!kb.ok()) return kb.status();
+    corpus_options.prebuilt_kb = std::move(kb).value();
+    corpus_options.seed = env.kb_image->kb_seed();
+  }
+  auto corpus = BuildCorpus(corpus_options);
   if (!corpus.ok()) return corpus.status();
   env.corpus = std::move(corpus).value();
+  if (env.kb_image != nullptr) {
+    env.cache = std::make_shared<ConceptCache>(
+        env.kb_image, &InvocationEngine::Serial().metrics());
+  } else {
+    env.cache = std::make_shared<ConceptCache>(
+        env.corpus.ontology.get(), &InvocationEngine::Serial().metrics());
+  }
   auto workflows = GenerateWorkflowCorpus(env.corpus);
   if (!workflows.ok()) return workflows.status();
   env.workflows = std::move(workflows).value();
@@ -85,7 +131,7 @@ Result<CliEnv> BuildEnv(bool retire, bool annotate = true) {
   env.pool = std::make_unique<AnnotatedInstancePool>(HarvestPool(
       env.provenance, *env.corpus.registry, *env.corpus.ontology));
   if (annotate) {
-    ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+    ExampleGenerator generator(env.cache, env.pool.get());
     auto annotated = AnnotateRegistry(generator, *env.corpus.registry);
     if (!annotated.ok()) return annotated.status();
     if (!annotated->complete()) return annotated->run_status;
@@ -108,7 +154,7 @@ int CmdTables(const CliEnv& env) {
   std::map<ModuleKind, int> census;
   std::map<std::string, int, std::greater<std::string>> completeness;
   std::map<std::string, int, std::greater<std::string>> conciseness;
-  CoverageAnalyzer analyzer(env.corpus.ontology.get());
+  CoverageAnalyzer analyzer(env.cache);
   size_t exceptions = 0;
   for (const std::string& id : env.corpus.available_ids) {
     ModulePtr module = *env.corpus.registry->Find(id);
@@ -179,7 +225,7 @@ int CmdAnnotate(const CliEnv& env, const std::string& name) {
 /// schedule.
 int CmdAnnotateTraced(CliEnv& env, const std::string& trace_path,
                       const std::string& metrics_path) {
-  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+  ExampleGenerator generator(env.cache, env.pool.get());
   obs::Tracer tracer(&generator.engine().clock());
   auto report = AnnotateRegistry(generator, *env.corpus.registry, &tracer);
   if (!report.ok()) return Fail(report.status());
@@ -231,12 +277,13 @@ int FinishDurableRun(CliEnv& env, const std::string& dir,
 
 int CmdAnnotateDurable(CliEnv& env, const std::string& dir,
                        const CrashPlan& crash) {
-  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+  ExampleGenerator generator(env.cache, env.pool.get());
   auto journal =
       RunJournal::Create(dir, {}, &generator.engine().metrics());
   if (!journal.ok()) return Fail(journal.status());
   DurableAnnotateOptions options;
   options.crash = crash;
+  options.kb_checksum = env.kb_checksum;
   auto report = AnnotateRegistryDurable(generator, *env.corpus.registry,
                                         *env.corpus.ontology, *journal,
                                         options);
@@ -245,7 +292,7 @@ int CmdAnnotateDurable(CliEnv& env, const std::string& dir,
 }
 
 int CmdResume(CliEnv& env, const std::string& dir) {
-  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
+  ExampleGenerator generator(env.cache, env.pool.get());
   auto recovery = RecoverJournal(dir, &generator.engine().metrics());
   if (!recovery.ok()) return Fail(recovery.status());
   std::cout << "recovered " << recovery->records.size() << " record(s) from "
@@ -259,9 +306,12 @@ int CmdResume(CliEnv& env, const std::string& dir) {
   auto journal = RunJournal::Resume(dir, *recovery, {},
                                     &generator.engine().metrics());
   if (!journal.ok()) return Fail(journal.status());
-  auto report = AnnotateRegistry(generator, *env.corpus.registry,
-                                 *env.corpus.ontology, *journal,
-                                 ResumeFrom(*recovery));
+  DurableAnnotateOptions resume_options;
+  resume_options.resume = &*recovery;
+  resume_options.kb_checksum = env.kb_checksum;
+  auto report = AnnotateRegistryDurable(generator, *env.corpus.registry,
+                                        *env.corpus.ontology, *journal,
+                                        resume_options);
   if (!report.ok()) return Fail(report.status());
   return FinishDurableRun(env, dir, *report);
 }
@@ -271,8 +321,8 @@ int CmdCompare(const CliEnv& env, const std::string& a, const std::string& b) {
   auto right = env.corpus.registry->FindByName(b);
   if (!left.ok()) return Fail(left.status());
   if (!right.ok()) return Fail(right.status());
-  ExampleGenerator generator(env.corpus.ontology.get(), env.pool.get());
-  ModuleMatcher matcher(env.corpus.ontology.get(), &generator);
+  ExampleGenerator generator(env.cache, env.pool.get());
+  ModuleMatcher matcher(env.cache, &generator);
   auto result = matcher.Compare(**left, **right);
   if (!result.ok()) return Fail(result.status());
   std::cout << a << " vs " << b << ": "
@@ -308,8 +358,7 @@ int CmdDiscover(const CliEnv& env, const std::string& in,
   if (in_concept == kInvalidConcept || out_concept == kInvalidConcept) {
     return Fail(Status::NotFound("unknown concept (see export-ontology)"));
   }
-  BehaviorDiscovery discovery(env.corpus.ontology.get(),
-                              env.corpus.registry.get());
+  BehaviorDiscovery discovery(env.cache, env.corpus.registry.get());
   DiscoveryQuery query;
   query.input_concept = in_concept;
   query.input_type = DefaultTypeFor(in);
@@ -334,8 +383,8 @@ int CmdCompose(const CliEnv& env, const std::string& in,
   if (in_concept == kInvalidConcept || out_concept == kInvalidConcept) {
     return Fail(Status::NotFound("unknown concept (see export-ontology)"));
   }
-  ExampleGuidedComposer composer(env.corpus.ontology.get(),
-                                 env.corpus.registry.get(), env.pool.get());
+  ExampleGuidedComposer composer(env.cache, env.corpus.registry.get(),
+                                 env.pool.get());
   CompositionRequest request;
   request.source_concept = in_concept;
   request.source_type = DefaultTypeFor(in);
@@ -406,9 +455,28 @@ int CmdExportWorkflow(const CliEnv& env, const std::string& id,
   return Fail(Status::NotFound("no workflow with id '" + id + "'"));
 }
 
+/// Compiles the ontology + synthetic KB into a binary image, then loads
+/// it back (mmap + full validation) to report the sealed checksum. Uses
+/// the corpus defaults, so `dexa --kb-image=<file> <cmd>` reproduces the
+/// in-memory runs byte for byte.
+int CmdCompileKb(const std::string& path) {
+  const CorpusOptions defaults;
+  Ontology ontology = BuildMyGridOntology();
+  KnowledgeBase kb(defaults.seed, defaults.kb_options);
+  Status written = kbimage::WriteKbImage(ontology, kb, path);
+  if (!written.ok()) return Fail(written);
+  auto image = kbimage::CompiledKb::Load(path);
+  if (!image.ok()) return Fail(image.status());
+  std::cout << "compiled " << (*image)->ConceptCount() << " concept(s), "
+            << (*image)->image_bytes() << " bytes to " << path
+            << " (checksum " << (*image)->checksum() << ")\n";
+  return 0;
+}
+
 int Usage() {
   std::cerr
-      << "usage: dexa <command> [args]\n"
+      << "usage: dexa [--kb-image=<file>] <command> [args]\n"
+         "  compile-kb <file>\n"
          "  tables | annotate <module> | compare <a> <b>\n"
          "  annotate [--trace-out=<file>] [--metrics-out=<file>]\n"
          "  annotate --journal <dir> [--crash before|after|torn <module-id>]\n"
@@ -423,8 +491,26 @@ int Usage() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+
+  // `--kb-image=<file>` may appear anywhere; it selects the backend for
+  // the whole run, independent of the subcommand.
+  std::string kb_image_path;
+  for (size_t i = 0; i < args.size();) {
+    if (args[i].rfind("--kb-image=", 0) == 0) {
+      kb_image_path = args[i].substr(11);
+      args.erase(args.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
   if (args.empty()) return Usage();
   const std::string& command = args[0];
+
+  // compile-kb builds the image straight from the generators — no corpus
+  // environment needed.
+  if (command == "compile-kb" && args.size() == 2) {
+    return CmdCompileKb(args[1]);
+  }
 
   // The durable subcommands run (or resume) the annotation through a
   // journal themselves; inline annotation would hide the work to recover.
@@ -454,7 +540,8 @@ int main(int argc, char** argv) {
   // the healthy one.
   auto env = BuildEnv(
       /*retire=*/command == "repair",
-      /*annotate=*/!(durable_annotate || durable_resume || traced_annotate));
+      /*annotate=*/!(durable_annotate || durable_resume || traced_annotate),
+      kb_image_path);
   if (!env.ok()) return Fail(env.status());
 
   if (traced_annotate) return CmdAnnotateTraced(*env, trace_out, metrics_out);

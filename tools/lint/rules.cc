@@ -425,6 +425,84 @@ void CheckUnnamedSpan(const SourceFile& f, const GlobalContext&,
   }
 }
 
+// --------------------------------------------------------------------------
+// Family 7: concept interning (ConceptId end-to-end)
+// --------------------------------------------------------------------------
+
+/// True when the identifier token looks like an ontology-ish receiver
+/// (`ontology`, `ontology_`, `the_ontology`...). Registries and JSON
+/// objects also have Find(); the receiver check keeps them out of scope.
+bool IsOntologyReceiver(const Token& t) {
+  return t.kind == TokenKind::kIdentifier &&
+         t.text.find("ontology") != std::string::npos;
+}
+
+/// Consumer layers must key concepts by ConceptId: names are resolved once
+/// at boundaries (construction, serialization, diagnostics — `_io.` files
+/// are exempt wholesale). `KbView::ConceptName`/`FindConcept` are the
+/// sanctioned spellings for those boundaries, so only the Ontology string
+/// APIs (`NameOf`, and `Find`/`Require` on an ontology receiver) are
+/// flagged.
+void CheckStringKeyedLookup(const SourceFile& f, const GlobalContext&,
+                            std::vector<Finding>& out) {
+  static const std::set<std::string> kLayers = {"engine", "core", "workflow",
+                                                "repair"};
+  if (kLayers.count(f.layer) == 0) return;
+  if (f.path.find("_io.") != std::string::npos) return;
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier || !IsPunct(t[i + 1], "(")) {
+      continue;
+    }
+    const std::string& name = t[i].text;
+    if (name == "NameOf") {
+      out.push_back({"string-keyed-lookup", f.path, t[i].line,
+                     "Ontology::NameOf on a consumer hot path; key on "
+                     "ConceptId and resolve names once at the boundary "
+                     "(KbView::ConceptName)"});
+      continue;
+    }
+    if (name != "Find" && name != "Require") continue;
+    // Receiver check: `<ontology-ish> . Find (` / `-> Find (`.
+    if (i < 2) continue;
+    if (!IsPunct(t[i - 1], ".") && !IsPunct(t[i - 1], "->")) continue;
+    if (!IsOntologyReceiver(t[i - 2])) continue;
+    out.push_back({"string-keyed-lookup", f.path, t[i].line,
+                   "string-keyed ontology lookup `" + name +
+                       "` outside src/ontology|kb|kbimage; intern to a "
+                       "ConceptId at the boundary (KbView::FindConcept) and "
+                       "pass ids"});
+  }
+}
+
+/// Reasoning primitives in the hot layers must route through ConceptCache
+/// (which memoizes and is backed by either ontology DFS or compiled-image
+/// bitsets). A direct call on an ontology receiver bypasses both the memo
+/// and the image backend.
+void CheckUncachedReasoning(const SourceFile& f, const GlobalContext&,
+                            std::vector<Finding>& out) {
+  if (f.layer != "engine" && f.layer != "core") return;
+  // concept_cache.cc is the cache: it is the one sanctioned caller of the
+  // backing view's reasoning primitives.
+  if (f.path.find("concept_cache") != std::string::npos) return;
+  static const std::set<std::string> kPrimitives = {
+      "IsSubsumedBy", "Descendants", "Partitions", "LeastCommonSubsumer",
+      "Comparable"};
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 2; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier || kPrimitives.count(t[i].text) == 0)
+      continue;
+    if (!IsPunct(t[i + 1], "(")) continue;
+    if (!IsPunct(t[i - 1], ".") && !IsPunct(t[i - 1], "->")) continue;
+    if (!IsOntologyReceiver(t[i - 2])) continue;
+    out.push_back({"uncached-reasoning", f.path, t[i].line,
+                   "direct ontology reasoning call `" + t[i].text +
+                       "` in a hot layer; route through ConceptCache so the "
+                       "answer is memoized and backend-agnostic (in-memory "
+                       "or compiled KB image)"});
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -461,6 +539,14 @@ const std::vector<RuleInfo>& Rules() {
       {"unnamed-span", "observability",
        "ScopedSpan guards must be named locals, not immediate temporaries",
        &CheckUnnamedSpan},
+      {"string-keyed-lookup", "concept-interning",
+       "consumer layers key concepts by ConceptId; names resolve once at "
+       "boundaries (KbView::ConceptName/FindConcept)",
+       &CheckStringKeyedLookup},
+      {"uncached-reasoning", "concept-interning",
+       "subsumption/partition reasoning in src/engine+src/core routes "
+       "through ConceptCache, never the raw ontology",
+       &CheckUncachedReasoning},
   };
   return kRules;
 }
@@ -475,17 +561,18 @@ const std::map<std::string, std::set<std::string>>& LayerDependencies() {
       {"ontology", {"common", "types"}},
       {"formats", {"common", "types"}},
       {"kb", {"common", "types", "formats"}},
+      {"kbimage", {"common", "types", "ontology", "kb"}},
       {"modules", {"common", "types", "ontology"}},
       {"pool", {"common", "types", "ontology"}},
-      {"engine", {"common", "types", "ontology", "modules"}},
+      {"engine", {"common", "types", "ontology", "kbimage", "modules"}},
       {"obs", {"common", "engine"}},
       {"corpus",
        {"common", "types", "ontology", "formats", "kb", "modules", "engine"}},
       {"workflow",
        {"common", "types", "ontology", "modules", "engine", "obs"}},
       {"core",
-       {"common", "types", "ontology", "formats", "kb", "modules", "pool",
-        "engine", "obs"}},
+       {"common", "types", "ontology", "formats", "kb", "kbimage", "modules",
+        "pool", "engine", "obs"}},
       {"study",
        {"common", "types", "ontology", "formats", "kb", "modules", "corpus"}},
       {"provenance",
@@ -495,8 +582,8 @@ const std::map<std::string, std::set<std::string>>& LayerDependencies() {
        {"common", "types", "ontology", "formats", "kb", "modules", "pool",
         "engine", "corpus", "workflow", "core", "provenance"}},
       {"durability",
-       {"common", "types", "ontology", "formats", "kb", "modules", "pool",
-        "engine", "obs", "corpus", "workflow", "core", "provenance"}},
+       {"common", "types", "ontology", "formats", "kb", "kbimage", "modules",
+        "pool", "engine", "obs", "corpus", "workflow", "core", "provenance"}},
   };
   return kDeps;
 }

@@ -1,0 +1,187 @@
+// Acceptance harness for the serve layer: an in-process run-manager daemon
+// over one shared engine + corpus is loaded with C concurrent clients
+// (distinct tenants, one annotate run each) for C in {1..32}. Reports
+// per-run latency (p50/p99, measured submit -> batch completion) and
+// sustained throughput at each concurrency, then drives the manager past
+// its admission capacity to find the saturation point and verify typed
+// kOverloaded load-shedding. Emits BENCH_serve.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_env.h"
+#include "common/table.h"
+#include "serve/run_manager.h"
+#include "serve/serve_env.h"
+
+namespace dexa {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kThreads = 8;
+constexpr size_t kChunkModules = 8;  ///< Modules annotated per client run.
+
+[[noreturn]] void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "serve bench failed at %s: %s\n", what,
+               status.ToString().c_str());
+  std::abort();
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double rank = p * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+struct ConcurrencyCell {
+  size_t clients = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double runs_per_s = 0.0;
+};
+
+/// C clients submit one annotate run each, then the daemon drains them in
+/// fair-scheduled batches. Latency for a run is submit time to the end of
+/// the batch that completed it — what a waiting client would observe.
+ConcurrencyCell RunCell(serve::ServeEnv& env, size_t clients) {
+  serve::RunManagerOptions options;
+  options.capacity = clients;
+  options.execute_batch = kThreads;
+  serve::RunManager manager(env.engine(), options);
+
+  std::vector<uint64_t> ids;
+  std::vector<Clock::time_point> submitted;
+  const size_t slots = env.available_modules() / kChunkModules;
+  for (size_t i = 0; i < clients; ++i) {
+    auto run = env.PrepareAnnotate((i % slots) * kChunkModules, kChunkModules,
+                                   /*traced=*/false);
+    if (!run.ok()) Die("PrepareAnnotate", run.status());
+    auto id = manager.Submit("client-" + std::to_string(i), std::move(*run));
+    if (!id.ok()) Die("Submit", id.status());
+    ids.push_back(*id);
+    submitted.push_back(Clock::now());
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::vector<double> latencies_ms(clients, 0.0);
+  while (manager.queued() > 0) {
+    std::vector<uint64_t> batch = manager.ExecuteBatch();
+    const Clock::time_point batch_done = Clock::now();
+    for (uint64_t id : batch) {
+      size_t index = static_cast<size_t>(
+          std::find(ids.begin(), ids.end(), id) - ids.begin());
+      latencies_ms[index] = std::chrono::duration<double, std::milli>(
+                                batch_done - submitted[index])
+                                .count();
+    }
+  }
+  const Clock::time_point end = Clock::now();
+  if (manager.counters().completed != clients) {
+    Die("completion",
+        Status::Internal("expected " + std::to_string(clients) +
+                         " completed runs, saw " +
+                         std::to_string(manager.counters().completed)));
+  }
+
+  ConcurrencyCell cell;
+  cell.clients = clients;
+  cell.p50_ms = Percentile(latencies_ms, 0.50);
+  cell.p99_ms = Percentile(latencies_ms, 0.99);
+  double elapsed_s =
+      std::chrono::duration<double>(end - start).count();
+  cell.runs_per_s =
+      elapsed_s > 0 ? static_cast<double>(clients) / elapsed_s : 0.0;
+  return cell;
+}
+
+int RunBench() {
+  serve::ServeEnvOptions env_options;
+  env_options.threads = kThreads;
+  fs::path journal_root = fs::temp_directory_path() / "dexa_bench_serve";
+  fs::remove_all(journal_root);
+  fs::create_directories(journal_root);
+  env_options.journal_root = journal_root.string();
+  auto env = serve::ServeEnv::Create(env_options);
+  if (!env.ok()) Die("ServeEnv::Create", env.status());
+
+  const std::vector<size_t> client_counts = {1, 2, 4, 8, 16, 32};
+  std::vector<ConcurrencyCell> cells;
+  for (size_t clients : client_counts) {
+    cells.push_back(RunCell(**env, clients));
+  }
+
+  // Saturation probe: a daemon with capacity 32 offered 64 runs must shed
+  // the overflow with typed kOverloaded — no crash, no deadlock, and every
+  // admitted run still completes.
+  constexpr size_t kCapacity = 32;
+  constexpr size_t kOffered = 64;
+  serve::RunManagerOptions options;
+  options.capacity = kCapacity;
+  options.execute_batch = kThreads;
+  serve::RunManager manager((*env)->engine(), options);
+  size_t rejected = 0;
+  const size_t slots = (*env)->available_modules() / kChunkModules;
+  for (size_t i = 0; i < kOffered; ++i) {
+    auto run = (*env)->PrepareAnnotate((i % slots) * kChunkModules,
+                                       kChunkModules, /*traced=*/false);
+    if (!run.ok()) Die("PrepareAnnotate", run.status());
+    auto id = manager.Submit("burst-" + std::to_string(i), std::move(*run));
+    if (!id.ok()) {
+      if (!id.status().IsOverloaded()) Die("saturation submit", id.status());
+      ++rejected;
+    }
+  }
+  size_t drained = manager.Drain();
+  bool saturation_ok = rejected > 0 && rejected == kOffered - kCapacity &&
+                       drained == kCapacity &&
+                       manager.counters().completed == kCapacity &&
+                       manager.counters().rejected_overloaded == rejected;
+
+  TablePrinter table({"clients", "p50 (ms)", "p99 (ms)", "runs/s"});
+  for (const ConcurrencyCell& cell : cells) {
+    table.AddRow({std::to_string(cell.clients), FormatFixed(cell.p50_ms, 2),
+                  FormatFixed(cell.p99_ms, 2),
+                  FormatFixed(cell.runs_per_s, 1)});
+  }
+  table.Print(std::cout,
+              "dexa serve: per-run latency and throughput vs concurrent "
+              "clients (" + std::to_string(kChunkModules) +
+                  " modules per run, " + std::to_string(kThreads) +
+                  " engine threads).");
+  std::cout << "saturation: capacity " << kCapacity << ", offered " << kOffered
+            << ", shed " << rejected << " with kOverloaded; admitted runs "
+            << (saturation_ok ? "all completed" : "DID NOT complete")
+            << "\n\n";
+
+  bench_env::BenchReport report("serve", kThreads);
+  for (const ConcurrencyCell& cell : cells) {
+    const std::string suffix = "_c" + std::to_string(cell.clients);
+    report.Add("p50_ms" + suffix, cell.p50_ms, "ms");
+    report.Add("p99_ms" + suffix, cell.p99_ms, "ms");
+    report.Add("runs_per_s" + suffix, cell.runs_per_s, "runs/s");
+  }
+  report.Add("capacity", static_cast<double>(kCapacity), "runs");
+  report.Add("offered", static_cast<double>(kOffered), "runs");
+  report.Add("overloaded_rejections", static_cast<double>(rejected), "count");
+  report.Add("accepted", saturation_ok ? 1.0 : 0.0, "bool");
+  report.Write();
+  return saturation_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dexa
+
+int main() { return dexa::RunBench(); }

@@ -59,6 +59,14 @@ enum class StatusCode {
   /// in flight or at rest; recovery discards the damaged tail and resumes
   /// from the last record that checks out.
   kCorrupted = 12,
+
+  /// The run manager is saturated: admission control rejected the request
+  /// because the bounded run table (active + queued) is full. Unlike
+  /// kTransient this is not retried by the engine — it is backpressure the
+  /// *client* is expected to react to (back off and resubmit). Shedding
+  /// load with a typed code instead of queueing unboundedly is what keeps
+  /// the serve daemon's latency bounded under overload.
+  kOverloaded = 13,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -116,6 +124,9 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status Corrupted(std::string msg) {
     return Status(StatusCode::kCorrupted, std::move(msg));
   }
+  [[nodiscard]] static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -135,6 +146,7 @@ class [[nodiscard]] Status {
   bool IsDecayed() const { return code_ == StatusCode::kDecayed; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsCorrupted() const { return code_ == StatusCode::kCorrupted; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// True for the transient error class: retrying the same invocation may
   /// succeed. The engine's RetryPolicy dispatches on this predicate.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "durability/commit_codec.h"
+#include "durability/run_api_internal.h"
 #include "obs/trace.h"
 
 namespace dexa {
@@ -67,7 +68,7 @@ Result<std::vector<ModuleCommit>> ValidateResume(
 
 }  // namespace
 
-Result<AnnotateReport> AnnotateRegistryDurable(
+Result<AnnotateReport> internal::AnnotateDurableImpl(
     const ExampleGenerator& generator, ModuleRegistry& registry,
     const Ontology& ontology, RunJournal& journal,
     const DurableAnnotateOptions& options) {
@@ -87,18 +88,15 @@ Result<AnnotateReport> AnnotateRegistryDurable(
     fresh = options.resume->records.empty();
   }
 
-  // Route commits through the engine's ordered commit hook into the
-  // journal; cleared on every exit path so the journal does not outlive
-  // this run inside a shared engine.
-  engine.SetCommitHook([&journal](uint64_t, const std::string& payload) {
-    return journal.Append(payload);
-  });
-  struct HookClearer {
-    InvocationEngine* engine;
-    ~HookClearer() { engine->SetCommitHook(nullptr); }
-  } clearer{&engine};
+  // Route commits through this run's own ordered stream into the journal:
+  // streams are per-run state, so concurrent durable runs sharing one
+  // engine cannot interleave each other's journals.
+  CommitStream commits(engine,
+                       [&journal](uint64_t, const std::string& payload) {
+                         return journal.Append(payload);
+                       });
 
-  obs::Tracer* tracer = options.tracer;
+  obs::Tracer* tracer = options.obs.tracer;
   obs::ScopedSpan run(tracer, obs::SpanKind::kRun,
                       "annotate_registry_durable");
   const EngineMetricsSnapshot run_before = engine.metrics().Snapshot();
@@ -110,7 +108,7 @@ Result<AnnotateReport> AnnotateRegistryDurable(
     header.fingerprint =
         AnnotateConfigFingerprint(registry, generator.options());
     header.kb_checksum = options.kb_checksum;
-    Status appended = engine.Commit(EncodeAnnotateRunHeader(header));
+    Status appended = commits.Commit(EncodeAnnotateRunHeader(header));
     if (!appended.ok()) return appended;
   }
 
@@ -209,7 +207,7 @@ Result<AnnotateReport> AnnotateRegistryDurable(
     commit.transient_exhausted = outcome->stats.transient_exhausted;
     commit.examples = std::move(outcome->examples);
 
-    Status appended = engine.Commit(EncodeModuleCommit(commit, ontology));
+    Status appended = commits.Commit(EncodeModuleCommit(commit, ontology));
     if (!appended.ok()) {
       report.run_status = appended;
       break;

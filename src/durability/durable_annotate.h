@@ -6,6 +6,7 @@
 #include "corpus/fault_injector.h"
 #include "durability/journal.h"
 #include "modules/registry.h"
+#include "obs/run_observability.h"
 #include "ontology/ontology.h"
 
 namespace dexa {
@@ -40,15 +41,20 @@ struct DurableAnnotateOptions {
   /// commits derived from different knowledge.
   uint64_t kb_checksum = 0;
 
-  /// Optional run tracing (obs/trace.h). The durable run records the same
+  /// Optional run observability. The durable run records the same
   /// run → phase → batch tree as plain AnnotateRegistry plus a "replay"
   /// phase whose batch spans are marked replayed — served from the journal,
   /// not live work.
-  obs::Tracer* tracer = nullptr;
+  obs::RunObservability obs;
 };
 
+/// DEPRECATED: legacy entry point, kept as a thin shim over the RunRequest
+/// facade (core/run_api.h). New call sites must build a
+/// RunKind::kAnnotateDurable request and call SubmitRun instead — dexa-lint
+/// rule `legacy-run-entry` bans direct calls outside the durability layer.
+///
 /// AnnotateRegistry with a write-ahead journal: every module's annotation
-/// is appended to `journal` (through the engine's ordered commit hook)
+/// is appended to `journal` (through a per-run ordered CommitStream)
 /// before it is committed to the registry, in registration order — so a
 /// process that dies mid-run can resume from the last committed module.
 ///
@@ -67,7 +73,8 @@ struct DurableAnnotateOptions {
     const Ontology& ontology, RunJournal& journal,
     const DurableAnnotateOptions& options = {});
 
-/// Sugar: the resume spelling from the durability design notes.
+/// DEPRECATED sugar: the resume spelling from the durability design notes;
+/// same shim status as AnnotateRegistryDurable above.
 [[nodiscard]] inline Result<AnnotateReport> AnnotateRegistry(
     const ExampleGenerator& generator, ModuleRegistry& registry,
     const Ontology& ontology, RunJournal& journal, ResumeFrom resume) {

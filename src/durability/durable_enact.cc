@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "durability/commit_codec.h"
+#include "durability/run_api_internal.h"
 
 namespace dexa {
 
@@ -52,7 +53,7 @@ Result<std::vector<std::optional<InvocationRecord>>> ValidateResume(
 
 }  // namespace
 
-Result<ResilientEnactmentResult> EnactResilientDurable(
+Result<ResilientEnactmentResult> internal::EnactDurableImpl(
     const Workflow& workflow, const ModuleRegistry& registry,
     const std::vector<Value>& inputs, InvocationEngine& engine,
     RunJournal& journal, const DurableEnactOptions& options) {
@@ -69,26 +70,25 @@ Result<ResilientEnactmentResult> EnactResilientDurable(
     if (slot.has_value()) engine.metrics().RecordModuleReplayed();
   }
 
-  engine.SetCommitHook([&journal](uint64_t, const std::string& payload) {
-    return journal.Append(payload);
-  });
-  struct HookClearer {
-    InvocationEngine* engine;
-    ~HookClearer() { engine->SetCommitHook(nullptr); }
-  } clearer{&engine};
+  // Per-run commit stream: see durable_annotate.cc — concurrent durable
+  // runs sharing one engine must not interleave journals.
+  CommitStream commits(engine,
+                       [&journal](uint64_t, const std::string& payload) {
+                         return journal.Append(payload);
+                       });
 
   if (fresh) {
     EnactRunHeader header;
     header.workflow_id = workflow.id;
     header.processors = workflow.processors.size();
     header.fingerprint = EnactConfigFingerprint(workflow.id, inputs);
-    DEXA_RETURN_IF_ERROR(engine.Commit(EncodeEnactRunHeader(header)));
+    DEXA_RETURN_IF_ERROR(commits.Commit(EncodeEnactRunHeader(header)));
   }
 
   const CrashPlan& crash = options.crash;
   EnactHooks hooks;
   hooks.replayed = &replayed;
-  hooks.tracer = options.tracer;
+  hooks.obs = options.obs;
   hooks.on_commit = [&](int processor,
                         const InvocationRecord& record) -> Status {
     if (crash.point == CrashPoint::kCrashBeforeCommit &&
@@ -99,7 +99,7 @@ Result<ResilientEnactmentResult> EnactResilientDurable(
     StepCommit commit;
     commit.processor = processor;
     commit.record = record;
-    DEXA_RETURN_IF_ERROR(engine.Commit(EncodeStepCommit(commit)));
+    DEXA_RETURN_IF_ERROR(commits.Commit(EncodeStepCommit(commit)));
     engine.metrics().RecordModuleReinvoked();
     if (crash.Matches(record.module_id)) {
       if (crash.point == CrashPoint::kCrashAfterCommit) {

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "corpus/fault_injector.h"
 #include "durability/journal.h"
+#include "obs/run_observability.h"
 #include "workflow/enactor.h"
 #include "workflow/workflow.h"
 
@@ -23,12 +24,17 @@ struct DurableEnactOptions {
   /// torn variant, after damaging the journal tail).
   CrashPlan crash;
 
-  /// Optional run tracing, forwarded to EnactHooks::tracer: replayed steps
-  /// are marked replayed in the span tree, live steps carry their stable
-  /// engine-counter deltas.
-  obs::Tracer* tracer = nullptr;
+  /// Optional run observability, forwarded as-is to EnactHooks::obs:
+  /// replayed steps are marked replayed in the span tree, live steps carry
+  /// their stable engine-counter deltas.
+  obs::RunObservability obs;
 };
 
+/// DEPRECATED: legacy entry point, kept as a thin shim over the RunRequest
+/// facade (core/run_api.h). New call sites must build a
+/// RunKind::kEnactDurable request and call SubmitRun instead — dexa-lint
+/// rule `legacy-run-entry` bans direct calls outside the durability layer.
+///
 /// EnactResilient with a write-ahead journal: every completed step is
 /// appended to `journal` before its outputs feed downstream processors, so
 /// a killed enactment resumes from the last committed step. Outputs and

@@ -1,0 +1,216 @@
+#include "core/run_api.h"
+
+#include <utility>
+
+#include "corpus/fault_injector.h"
+#include "durability/journal.h"
+#include "durability/run_api_internal.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace dexa {
+
+namespace {
+
+/// Checks the fields `kind` requires. Pointer presence only — the run
+/// implementations validate semantics (arity, fingerprints, ...).
+Status ValidateRequest(const RunRequest& request) {
+  auto require = [&](const void* field, const char* name) -> Status {
+    if (field != nullptr) return Status::OK();
+    return Status::InvalidArgument(std::string(RunKindName(request.kind)) +
+                                   " run requires " + name);
+  };
+  switch (request.kind) {
+    case RunKind::kAnnotate:
+      DEXA_RETURN_IF_ERROR(require(request.generator, "generator"));
+      DEXA_RETURN_IF_ERROR(require(request.registry, "registry"));
+      return Status::OK();
+    case RunKind::kAnnotateDurable:
+      DEXA_RETURN_IF_ERROR(require(request.generator, "generator"));
+      DEXA_RETURN_IF_ERROR(require(request.registry, "registry"));
+      DEXA_RETURN_IF_ERROR(require(request.ontology, "ontology"));
+      DEXA_RETURN_IF_ERROR(require(request.journal, "journal"));
+      return Status::OK();
+    case RunKind::kEnact:
+      DEXA_RETURN_IF_ERROR(require(request.workflow, "workflow"));
+      DEXA_RETURN_IF_ERROR(require(request.registry, "registry"));
+      DEXA_RETURN_IF_ERROR(require(request.engine, "engine"));
+      return Status::OK();
+    case RunKind::kEnactDurable:
+      DEXA_RETURN_IF_ERROR(require(request.workflow, "workflow"));
+      DEXA_RETURN_IF_ERROR(require(request.registry, "registry"));
+      DEXA_RETURN_IF_ERROR(require(request.engine, "engine"));
+      DEXA_RETURN_IF_ERROR(require(request.journal, "journal"));
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown run kind");
+}
+
+/// Exports the finished run into `obs.metrics` when the caller attached a
+/// registry: the engine snapshot, and the trace when one was recorded.
+void ExportObservability(const obs::RunObservability& obs,
+                         const EngineMetricsSnapshot& snapshot) {
+  if (obs.metrics == nullptr) return;
+  obs.metrics->ImportEngineSnapshot(snapshot);
+  if (obs.tracer != nullptr) obs.metrics->ImportTrace(*obs.tracer);
+}
+
+}  // namespace
+
+const char* RunKindName(RunKind kind) {
+  switch (kind) {
+    case RunKind::kAnnotate:
+      return "annotate";
+    case RunKind::kAnnotateDurable:
+      return "annotate_durable";
+    case RunKind::kEnact:
+      return "enact";
+    case RunKind::kEnactDurable:
+      return "enact_durable";
+  }
+  return "unknown";
+}
+
+Result<RunResult> SubmitRun(const RunRequest& request) {
+  DEXA_RETURN_IF_ERROR(ValidateRequest(request));
+
+  RunResult result;
+  result.kind = request.kind;
+
+  switch (request.kind) {
+    case RunKind::kAnnotate: {
+      auto report = AnnotateRegistry(*request.generator, *request.registry,
+                                     request.obs.tracer);
+      if (!report.ok()) return report.status();
+      result.annotate = std::move(report).value();
+      result.run_status = result.annotate.run_status;
+      ExportObservability(request.obs, result.annotate.metrics);
+      return result;
+    }
+    case RunKind::kAnnotateDurable: {
+      DurableAnnotateOptions options;
+      options.resume = request.resume;
+      if (request.crash != nullptr) options.crash = *request.crash;
+      options.kb_checksum = request.kb_checksum;
+      options.obs = request.obs;
+      auto report = internal::AnnotateDurableImpl(
+          *request.generator, *request.registry, *request.ontology,
+          *request.journal, options);
+      if (!report.ok()) return report.status();
+      result.annotate = std::move(report).value();
+      result.run_status = result.annotate.run_status;
+      ExportObservability(request.obs, result.annotate.metrics);
+      return result;
+    }
+    case RunKind::kEnact: {
+      EnactHooks hooks;
+      hooks.obs = request.obs;
+      auto enacted = EnactResilient(*request.workflow, *request.registry,
+                                    request.inputs, *request.engine, hooks);
+      if (!enacted.ok()) return enacted.status();
+      result.enact = std::move(enacted).value();
+      ExportObservability(request.obs, request.engine->metrics().Snapshot());
+      return result;
+    }
+    case RunKind::kEnactDurable: {
+      DurableEnactOptions options;
+      options.resume = request.resume;
+      if (request.crash != nullptr) options.crash = *request.crash;
+      options.obs = request.obs;
+      auto enacted = internal::EnactDurableImpl(
+          *request.workflow, *request.registry, request.inputs,
+          *request.engine, *request.journal, options);
+      if (!enacted.ok()) return enacted.status();
+      result.enact = std::move(enacted).value();
+      ExportObservability(request.obs, request.engine->metrics().Snapshot());
+      return result;
+    }
+  }
+  return Status::InvalidArgument("unknown run kind");
+}
+
+RunRequest MakeAnnotateRun(const ExampleGenerator& generator,
+                           ModuleRegistry& registry) {
+  RunRequest request;
+  request.kind = RunKind::kAnnotate;
+  request.generator = &generator;
+  request.registry = &registry;
+  return request;
+}
+
+RunRequest MakeDurableAnnotateRun(const ExampleGenerator& generator,
+                                  ModuleRegistry& registry,
+                                  const Ontology& ontology,
+                                  RunJournal& journal) {
+  RunRequest request;
+  request.kind = RunKind::kAnnotateDurable;
+  request.generator = &generator;
+  request.registry = &registry;
+  request.ontology = &ontology;
+  request.journal = &journal;
+  return request;
+}
+
+RunRequest MakeEnactRun(const Workflow& workflow, ModuleRegistry& registry,
+                        std::vector<Value> inputs, InvocationEngine& engine) {
+  RunRequest request;
+  request.kind = RunKind::kEnact;
+  request.workflow = &workflow;
+  request.registry = &registry;
+  request.inputs = std::move(inputs);
+  request.engine = &engine;
+  return request;
+}
+
+RunRequest MakeDurableEnactRun(const Workflow& workflow,
+                               ModuleRegistry& registry,
+                               std::vector<Value> inputs,
+                               InvocationEngine& engine, RunJournal& journal) {
+  RunRequest request = MakeEnactRun(workflow, registry, std::move(inputs),
+                                    engine);
+  request.kind = RunKind::kEnactDurable;
+  request.journal = &journal;
+  return request;
+}
+
+// -- Legacy shims ----------------------------------------------------------
+// The deprecated signatures delegate through the facade, so there is
+// exactly one implementation path for every run family.
+
+Result<AnnotateReport> AnnotateRegistryDurable(
+    const ExampleGenerator& generator, ModuleRegistry& registry,
+    const Ontology& ontology, RunJournal& journal,
+    const DurableAnnotateOptions& options) {
+  RunRequest request =
+      MakeDurableAnnotateRun(generator, registry, ontology, journal);
+  request.resume = options.resume;
+  request.crash = &options.crash;
+  request.kb_checksum = options.kb_checksum;
+  request.obs = options.obs;
+  auto result = SubmitRun(request);
+  if (!result.ok()) return result.status();
+  return std::move(result->annotate);
+}
+
+Result<ResilientEnactmentResult> EnactResilientDurable(
+    const Workflow& workflow, const ModuleRegistry& registry,
+    const std::vector<Value>& inputs, InvocationEngine& engine,
+    RunJournal& journal, const DurableEnactOptions& options) {
+  RunRequest request;
+  request.kind = RunKind::kEnactDurable;
+  request.workflow = &workflow;
+  // The enact path only reads the registry; the const_cast keeps the legacy
+  // const-ref signature intact over the shared RunRequest field.
+  request.registry = const_cast<ModuleRegistry*>(&registry);
+  request.inputs = inputs;
+  request.engine = &engine;
+  request.journal = &journal;
+  request.resume = options.resume;
+  request.crash = &options.crash;
+  request.obs = options.obs;
+  auto result = SubmitRun(request);
+  if (!result.ok()) return result.status();
+  return std::move(result->enact);
+}
+
+}  // namespace dexa

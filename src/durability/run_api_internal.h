@@ -1,0 +1,35 @@
+#ifndef DEXA_DURABILITY_RUN_API_INTERNAL_H_
+#define DEXA_DURABILITY_RUN_API_INTERNAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/example_generator.h"
+#include "durability/durable_annotate.h"
+#include "durability/durable_enact.h"
+#include "durability/journal.h"
+#include "modules/registry.h"
+#include "ontology/ontology.h"
+#include "workflow/enactor.h"
+#include "workflow/workflow.h"
+
+namespace dexa::internal {
+
+// The real bodies of the durable run families. Only the SubmitRun facade
+// (durability/run_api.cc) may call these; the public legacy signatures in
+// durable_annotate.h / durable_enact.h are shims that route through the
+// facade, and everything else goes through RunRequest.
+
+[[nodiscard]] Result<AnnotateReport> AnnotateDurableImpl(
+    const ExampleGenerator& generator, ModuleRegistry& registry,
+    const Ontology& ontology, RunJournal& journal,
+    const DurableAnnotateOptions& options);
+
+[[nodiscard]] Result<ResilientEnactmentResult> EnactDurableImpl(
+    const Workflow& workflow, const ModuleRegistry& registry,
+    const std::vector<Value>& inputs, InvocationEngine& engine,
+    RunJournal& journal, const DurableEnactOptions& options);
+
+}  // namespace dexa::internal
+
+#endif  // DEXA_DURABILITY_RUN_API_INTERNAL_H_

@@ -297,19 +297,6 @@ std::vector<Result<std::vector<Value>>> InvocationEngine::InvokeBatch(
   return results;
 }
 
-void InvocationEngine::SetCommitHook(CommitHook hook) {
-  std::lock_guard<std::mutex> lock(commit_mutex_);
-  commit_hook_ = std::move(hook);
-  commit_sequence_ = 0;
-}
-
-Status InvocationEngine::Commit(const std::string& payload) {
-  std::lock_guard<std::mutex> lock(commit_mutex_);
-  if (!commit_hook_) return Status::OK();
-  metrics_.RecordCommit();
-  return commit_hook_(commit_sequence_++, payload);
-}
-
 InvocationEngine& InvocationEngine::Serial() {
   static InvocationEngine* engine = [] {
     EngineOptions options;

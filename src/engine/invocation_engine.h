@@ -163,27 +163,11 @@ class InvocationEngine {
     return Rng(options_.seed).Fork(task_index);
   }
 
-  /// Durable-commit hook: receives every committed unit of work, in commit
-  /// order, with a strictly increasing sequence number. The durability
-  /// layer attaches a RunJournal appender here; consumers with a
-  /// sequential-commit phase (AnnotateRegistry, the durable enactor) push
-  /// each committed unit through Commit() from that phase, so the hook
-  /// inherits the existing deterministic commit order — it is never called
-  /// from the parallel fan-out.
+  /// Durable-commit hook: receives every committed unit of work of one
+  /// run, in commit order, with a strictly increasing sequence number. The
+  /// durability layer attaches a RunJournal appender; see CommitStream.
   using CommitHook =
       std::function<Status(uint64_t sequence, const std::string& payload)>;
-
-  /// Installs (or clears, with nullptr) the commit hook. Not thread-safe
-  /// against in-flight Commit() calls; install before the run starts.
-  void SetCommitHook(CommitHook hook);
-
-  bool HasCommitHook() const { return static_cast<bool>(commit_hook_); }
-
-  /// Pushes one committed unit through the hook (no-op without one),
-  /// assigning the next sequence number and counting the commit into the
-  /// metrics. Callers must invoke this from their sequential-commit phase;
-  /// the engine serializes hook invocations but cannot invent an order.
-  [[nodiscard]] Status Commit(const std::string& payload);
 
   /// Invokes `module` once, counting the invocation into the engine
   /// metrics. The single-combination path every sequential consumer
@@ -273,10 +257,6 @@ class InvocationEngine {
   EngineMetrics metrics_;
   VirtualClock clock_;
 
-  std::mutex commit_mutex_;
-  CommitHook commit_hook_;
-  uint64_t commit_sequence_ = 0;
-
   mutable std::mutex breaker_mutex_;
   std::unordered_map<std::string, Breaker> breakers_;
 
@@ -284,6 +264,44 @@ class InvocationEngine {
   std::condition_variable_any queue_cv_;
   std::deque<std::shared_ptr<Batch>> queue_;
   std::vector<std::jthread> workers_;
+};
+
+/// The ordered commit channel of one durable run. Each stream owns its own
+/// hook, mutex and sequence counter, so many durable runs can share one
+/// engine without interleaving their journals (the original engine-global
+/// SetCommitHook allowed exactly one durable run per engine — the shape the
+/// serve daemon cannot live with). Consumers with a sequential-commit phase
+/// push each committed unit through Commit(), which assigns the stream's
+/// next sequence number and counts the commit into the engine metrics; the
+/// stream serializes hook invocations but cannot invent an order, so
+/// Commit() must never be called from the parallel fan-out.
+class CommitStream {
+ public:
+  CommitStream(InvocationEngine& engine, InvocationEngine::CommitHook hook)
+      : engine_(&engine), hook_(std::move(hook)) {}
+
+  CommitStream(const CommitStream&) = delete;
+  CommitStream& operator=(const CommitStream&) = delete;
+
+  /// Pushes one committed unit through the hook (no-op without one).
+  [[nodiscard]] Status Commit(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!hook_) return Status::OK();
+    engine_->metrics().RecordCommit();
+    return hook_(sequence_++, payload);
+  }
+
+  /// Units committed so far.
+  uint64_t committed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sequence_;
+  }
+
+ private:
+  InvocationEngine* engine_;
+  InvocationEngine::CommitHook hook_;
+  mutable std::mutex mutex_;
+  uint64_t sequence_ = 0;
 };
 
 }  // namespace dexa

@@ -1,0 +1,32 @@
+#ifndef DEXA_OBS_RUN_OBSERVABILITY_H_
+#define DEXA_OBS_RUN_OBSERVABILITY_H_
+
+namespace dexa::obs {
+
+class Tracer;
+class MetricsRegistry;
+
+/// The observability attachment of one run: where its span tree and its
+/// metrics sections go. Both pointers are optional and non-owning; a
+/// default-constructed RunObservability is a run nobody is watching.
+///
+/// This is the one struct every run entry point (RunRequest, the durable
+/// annotate/enact options, EnactHooks) references instead of each
+/// hand-plumbing its own `tracer` field — so a new sink is added in one
+/// place, and the serve daemon can hand every admitted run its own section
+/// of the shared registry without touching the run implementations.
+struct RunObservability {
+  /// Span-tree sink (obs/trace.h). Spans are recorded only at sequential
+  /// points of a run, so the tree is byte-identical at any thread count.
+  Tracer* tracer = nullptr;
+
+  /// Metrics sink (obs/metrics_registry.h). Run entry points that finish a
+  /// run import its engine snapshot and trace-derived counters here.
+  MetricsRegistry* metrics = nullptr;
+
+  bool enabled() const { return tracer != nullptr || metrics != nullptr; }
+};
+
+}  // namespace dexa::obs
+
+#endif  // DEXA_OBS_RUN_OBSERVABILITY_H_

@@ -1,0 +1,257 @@
+#include "serve/run_manager.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace dexa::serve {
+
+namespace {
+
+/// Marks a durable run's journal directory as finished so the startup
+/// crash-resume scan skips it.
+void WriteDoneMarker(const std::string& journal_dir) {
+  if (journal_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(journal_dir, ec);
+  std::ofstream marker(std::filesystem::path(journal_dir) / "DONE",
+                       std::ios::binary | std::ios::trunc);
+  marker << "done\n";
+}
+
+}  // namespace
+
+const char* RunStateName(RunState state) {
+  switch (state) {
+    case RunState::kQueued:
+      return "queued";
+    case RunState::kRunning:
+      return "running";
+    case RunState::kDone:
+      return "done";
+    case RunState::kFailed:
+      return "failed";
+    case RunState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+RunManager::RunManager(InvocationEngine& engine, RunManagerOptions options)
+    : engine_(engine), options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.execute_batch == 0) options_.execute_batch = 1;
+}
+
+Result<uint64_t> RunManager::Submit(const std::string& tenant,
+                                    PreparedRun run) {
+  if (queue_.size() >= options_.capacity) {
+    ++counters_.rejected_overloaded;
+    return Status::Overloaded("run table at capacity (" +
+                              std::to_string(options_.capacity) +
+                              " queued); retry after a drain");
+  }
+  uint64_t id = next_id_++;
+  uint64_t tenant_seq = tenant_counts_[tenant]++;
+  uint64_t submit_seq = submit_sequence_++;
+
+  RunRecord record;
+  record.id = id;
+  record.tenant = tenant;
+  record.state = RunState::kQueued;
+  record.run = std::move(run);
+  records_.emplace(id, std::move(record));
+  queue_.emplace(std::make_pair(tenant_seq, submit_seq), id);
+  ++counters_.submitted;
+  counters_.queued = queue_.size();
+  return id;
+}
+
+Result<RunStatusView> RunManager::StatusOf(uint64_t id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("run " + std::to_string(id) +
+                            " unknown (never submitted, or evicted)");
+  }
+  const RunRecord& record = it->second;
+  RunStatusView view;
+  view.id = record.id;
+  view.tenant = record.tenant;
+  view.state = record.state;
+  view.kind = record.run.request.kind;
+  view.label = record.run.label;
+  if (record.state == RunState::kDone || record.state == RunState::kFailed) {
+    view.outcome = record.outcome.ToString();
+  } else if (record.state == RunState::kCancelled) {
+    view.outcome = "cancelled before execution";
+  }
+  return view;
+}
+
+Result<const RunResult*> RunManager::ResultOf(uint64_t id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("run " + std::to_string(id) + " unknown");
+  }
+  const RunRecord& record = it->second;
+  if (record.state == RunState::kQueued || record.state == RunState::kRunning) {
+    return Status::Unavailable("run " + std::to_string(id) +
+                               " still " + RunStateName(record.state));
+  }
+  if (record.state == RunState::kCancelled) {
+    return Status::Cancelled("run " + std::to_string(id) + " was cancelled");
+  }
+  if (!record.outcome.ok()) return record.outcome;
+  return &record.result;
+}
+
+Result<const PreparedRun*> RunManager::RunOf(uint64_t id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("run " + std::to_string(id) + " unknown");
+  }
+  const RunRecord& record = it->second;
+  if (record.state == RunState::kQueued || record.state == RunState::kRunning) {
+    return Status::Unavailable("run " + std::to_string(id) +
+                               " still " + RunStateName(record.state));
+  }
+  return &record.run;
+}
+
+Status RunManager::Cancel(uint64_t id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("run " + std::to_string(id) + " unknown");
+  }
+  RunRecord& record = it->second;
+  if (record.state != RunState::kQueued) {
+    if (record.state == RunState::kCancelled) return Status::OK();
+    return Status::Unavailable("run " + std::to_string(id) + " already " +
+                               std::string(RunStateName(record.state)) +
+                               "; only queued runs can be cancelled");
+  }
+  for (auto queue_it = queue_.begin(); queue_it != queue_.end(); ++queue_it) {
+    if (queue_it->second == id) {
+      queue_.erase(queue_it);
+      break;
+    }
+  }
+  record.state = RunState::kCancelled;
+  record.finish_sequence = finish_sequence_++;
+  ++counters_.cancelled;
+  counters_.queued = queue_.size();
+  EvictRetained();
+  return Status::OK();
+}
+
+std::vector<uint64_t> RunManager::ExecuteBatch() {
+  std::vector<uint64_t> batch;
+  while (batch.size() < options_.execute_batch && !queue_.empty()) {
+    auto first = queue_.begin();
+    batch.push_back(first->second);
+    queue_.erase(first);
+  }
+  if (batch.empty()) return batch;
+  counters_.queued = queue_.size();
+
+  std::vector<RunRecord*> running;
+  running.reserve(batch.size());
+  for (uint64_t id : batch) {
+    RunRecord& record = records_.at(id);
+    record.state = RunState::kRunning;
+    running.push_back(&record);
+    started_order_.push_back(id);
+  }
+
+  // Execute the batch concurrently over the shared pool; each slot writes
+  // only its own index, and all bookkeeping is folded in sequentially after
+  // the barrier so the run table mutates deterministically.
+  std::vector<Result<RunResult>> outcomes(running.size(),
+                                          Status::Internal("run not executed"));
+  engine_.ForEach(running.size(), [&](size_t i) {
+    outcomes[i] = SubmitRun(running[i]->run.request);
+  });
+
+  for (size_t i = 0; i < running.size(); ++i) {
+    FinishRun(*running[i], std::move(outcomes[i]));
+  }
+  EvictRetained();
+  return batch;
+}
+
+size_t RunManager::Drain() {
+  size_t executed = 0;
+  while (!queue_.empty()) {
+    executed += ExecuteBatch().size();
+  }
+  return executed;
+}
+
+void RunManager::FinishRun(RunRecord& record, Result<RunResult> result) {
+  record.finish_sequence = finish_sequence_++;
+  if (!result.ok()) {
+    record.state = RunState::kFailed;
+    record.outcome = result.status();
+    ++counters_.failed;
+    return;
+  }
+  record.result = std::move(*result);
+  record.outcome = record.result.run_status;
+  if (record.result.complete()) {
+    record.state = RunState::kDone;
+    ++counters_.completed;
+    WriteDoneMarker(record.run.journal_dir);
+  } else {
+    // The facade returned a result but the run itself stopped short (e.g. a
+    // planned crash in a durable run): keep the partial result inspectable
+    // but do not mark the journal finished — restart will resume it.
+    record.state = RunState::kFailed;
+    ++counters_.failed;
+  }
+}
+
+void RunManager::EvictRetained() {
+  size_t retained = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.state != RunState::kQueued &&
+        record.state != RunState::kRunning) {
+      ++retained;
+    }
+  }
+  counters_.retained = retained;
+  while (retained > options_.retain_results) {
+    // Evict the finished record with the oldest finish sequence.
+    auto victim = records_.end();
+    for (auto it = records_.begin(); it != records_.end(); ++it) {
+      const RunRecord& record = it->second;
+      if (record.state == RunState::kQueued ||
+          record.state == RunState::kRunning) {
+        continue;
+      }
+      if (victim == records_.end() ||
+          record.finish_sequence < victim->second.finish_sequence) {
+        victim = it;
+      }
+    }
+    if (victim == records_.end()) break;
+    records_.erase(victim);
+    --retained;
+    counters_.retained = retained;
+  }
+}
+
+void RunManager::ExportMetrics(obs::MetricsRegistry& registry) const {
+  registry.SetCounter("serve_submitted", counters_.submitted);
+  registry.SetCounter("serve_completed", counters_.completed);
+  registry.SetCounter("serve_failed", counters_.failed);
+  registry.SetCounter("serve_cancelled", counters_.cancelled);
+  registry.SetCounter("serve_rejected_overloaded",
+                      counters_.rejected_overloaded);
+  registry.SetGauge("serve_queued", static_cast<uint64_t>(counters_.queued));
+  registry.SetGauge("serve_retained",
+                    static_cast<uint64_t>(counters_.retained));
+  registry.SetGauge("serve_capacity",
+                    static_cast<uint64_t>(options_.capacity));
+}
+
+}  // namespace dexa::serve

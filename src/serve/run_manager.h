@@ -1,0 +1,191 @@
+#ifndef DEXA_SERVE_RUN_MANAGER_H_
+#define DEXA_SERVE_RUN_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/run_api.h"
+#include "corpus/fault_injector.h"
+#include "durability/journal.h"
+#include "engine/invocation_engine.h"
+#include "modules/registry.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace dexa::serve {
+
+/// Lifecycle of one admitted run.
+enum class RunState {
+  kQueued = 0,     ///< Admitted, waiting for a scheduler slot.
+  kRunning = 1,    ///< Executing on the shared engine.
+  kDone = 2,       ///< Completed; result retained until evicted.
+  kFailed = 3,     ///< SubmitRun returned an error, or run_status is non-OK.
+  kCancelled = 4,  ///< Cancelled while still queued.
+};
+
+const char* RunStateName(RunState state);
+
+/// One run, fully prepared: the RunRequest plus ownership of everything the
+/// request points at. The request's pointers target the owned members below
+/// (or longer-lived shared state such as the ServeEnv corpus), so a
+/// PreparedRun can be moved into the run table and executed later.
+struct PreparedRun {
+  RunRequest request;
+
+  /// Human-readable description for `status` responses (e.g.
+  /// "annotate[0,32)" or "enact wf-17").
+  std::string label;
+
+  // -- Owned per-run state the request references --------------------------
+  std::unique_ptr<ExampleGenerator> generator;
+  std::unique_ptr<ModuleRegistry> registry;
+  std::unique_ptr<RunJournal> journal;
+  std::unique_ptr<JournalRecovery> recovery;
+  std::unique_ptr<CrashPlan> crash;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+
+  /// Journal directory of a durable run ("" otherwise). On successful
+  /// completion the manager drops a DONE marker here so the startup
+  /// crash-resume scan knows the run does not need resuming.
+  std::string journal_dir;
+};
+
+/// Tuning of a RunManager.
+struct RunManagerOptions {
+  /// Admission bound: Submit rejects with kOverloaded once this many runs
+  /// are queued or running. The bound is what keeps latency finite under
+  /// overload — the daemon sheds load instead of queueing without limit.
+  size_t capacity = 64;
+
+  /// Completed/failed runs retained for `result` queries; the oldest are
+  /// evicted beyond this, keeping the run table bounded.
+  size_t retain_results = 256;
+
+  /// Runs executed concurrently per ExecuteBatch call (fanned across the
+  /// shared engine's pool; each run's own fan-out nests re-entrantly).
+  size_t execute_batch = 8;
+};
+
+/// Point-in-time view of one run for `status` responses.
+struct RunStatusView {
+  uint64_t id = 0;
+  std::string tenant;
+  RunState state = RunState::kQueued;
+  RunKind kind = RunKind::kAnnotate;
+  std::string label;
+  /// ToString of the run's outcome status; "" while queued/running.
+  std::string outcome;
+};
+
+/// Aggregate counters for the `metrics` response and the serve bench.
+struct RunManagerCounters {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+  uint64_t rejected_overloaded = 0;
+  size_t queued = 0;
+  size_t retained = 0;
+};
+
+/// The multi-tenant run table of the serve daemon: admits PreparedRuns up
+/// to a bound, schedules them fairly across tenants, executes them in
+/// batches over one shared InvocationEngine, and retains results for
+/// retrieval — every run routed through the SubmitRun facade.
+///
+/// Fair scheduling: a tenant's k-th submitted run carries fairness key
+/// (k, submit_sequence); the scheduler always pops the lowest key, so a
+/// tenant that bursts 100 runs cannot starve a tenant that submits one —
+/// round-robin emerges from the ordering, with submit order breaking ties.
+/// The schedule is a pure function of the submit sequence: deterministic,
+/// independent of thread count and timing.
+///
+/// Threading: the manager is driven by one thread (the daemon's poll loop);
+/// it is not itself thread-safe. ExecuteBatch fans run *execution* across
+/// the engine's workers, but all bookkeeping happens on the driving thread.
+class RunManager {
+ public:
+  RunManager(InvocationEngine& engine, RunManagerOptions options = {});
+
+  RunManager(const RunManager&) = delete;
+  RunManager& operator=(const RunManager&) = delete;
+
+  /// Admits one run for `tenant`. Fails with kOverloaded when the table is
+  /// at capacity — the typed backpressure clients are expected to react to.
+  [[nodiscard]] Result<uint64_t> Submit(const std::string& tenant,
+                                        PreparedRun run);
+
+  /// The run's current state; kNotFound for unknown/evicted ids.
+  [[nodiscard]] Result<RunStatusView> StatusOf(uint64_t id) const;
+
+  /// The finished run's result; kUnavailable while queued/running.
+  [[nodiscard]] Result<const RunResult*> ResultOf(uint64_t id) const;
+
+  /// The finished run's owned state (for rendering annotations, traces,
+  /// per-run metrics); kUnavailable while queued/running.
+  [[nodiscard]] Result<const PreparedRun*> RunOf(uint64_t id) const;
+
+  /// Cancels a queued run. Running runs cannot be preempted (kUnavailable);
+  /// finished runs fail with kAlreadyExists (the result is in).
+  [[nodiscard]] Status Cancel(uint64_t id);
+
+  /// Pops up to options.execute_batch runs in fairness order and executes
+  /// them concurrently over the shared engine. Returns the executed run ids
+  /// in scheduling order (empty when the queue is idle).
+  std::vector<uint64_t> ExecuteBatch();
+
+  /// Executes until the queue is empty — the graceful-drain path of
+  /// shutdown. Returns the number of runs executed.
+  size_t Drain();
+
+  size_t queued() const { return queue_.size(); }
+  const RunManagerCounters& counters() const { return counters_; }
+
+  /// Every run id ever started, in scheduling order — the fairness tests
+  /// assert on this.
+  const std::vector<uint64_t>& started_order() const { return started_order_; }
+
+  /// Writes the manager-level counters into `registry` under "serve_*".
+  void ExportMetrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct RunRecord {
+    uint64_t id = 0;
+    std::string tenant;
+    RunState state = RunState::kQueued;
+    PreparedRun run;
+    Status outcome;
+    RunResult result;
+    uint64_t finish_sequence = 0;  ///< Eviction order for retained results.
+  };
+
+  void FinishRun(RunRecord& record, Result<RunResult> result);
+  void EvictRetained();
+
+  InvocationEngine& engine_;
+  RunManagerOptions options_;
+
+  uint64_t next_id_ = 1;
+  uint64_t submit_sequence_ = 0;
+  uint64_t finish_sequence_ = 0;
+  std::map<std::string, uint64_t> tenant_counts_;
+
+  /// Fairness key (tenant_seq, submit_seq) -> run id; begin() is the next
+  /// run to schedule.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> queue_;
+
+  /// Run table: queued + running + retained results, keyed by id.
+  std::map<uint64_t, RunRecord> records_;
+
+  std::vector<uint64_t> started_order_;
+  RunManagerCounters counters_;
+};
+
+}  // namespace dexa::serve
+
+#endif  // DEXA_SERVE_RUN_MANAGER_H_

@@ -1,0 +1,423 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+namespace dexa::serve {
+
+namespace {
+
+WireMessage ErrorResponse(const Status& status) {
+  WireMessage response;
+  response["ok"] = "0";
+  response["code"] = StatusCodeName(status.code());
+  response["error"] = status.message();
+  return response;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Unavailable("fcntl(O_NONBLOCK): " +
+                               std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Server::Server(ServeEnv& env, ServerOptions options)
+    : env_(env), options_(std::move(options)),
+      manager_(env.engine(), options_.manager) {}
+
+Server::~Server() {
+  CloseAll();
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    ::unlink(options_.unix_path.c_str());
+  }
+}
+
+Status Server::Listen() {
+  if (options_.port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) {
+      return Status::Unavailable("socket: " +
+                                 std::string(std::strerror(errno)));
+    }
+    int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return Status::Unavailable("bind 127.0.0.1:" +
+                                 std::to_string(options_.port) + ": " +
+                                 std::string(std::strerror(errno)));
+    }
+    if (::listen(tcp_fd_, 64) < 0) {
+      return Status::Unavailable("listen: " +
+                                 std::string(std::strerror(errno)));
+    }
+    DEXA_RETURN_IF_ERROR(SetNonBlocking(tcp_fd_));
+  }
+  if (!options_.unix_path.empty()) {
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) {
+      return Status::Unavailable("socket(AF_UNIX): " +
+                                 std::string(std::strerror(errno)));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return Status::Unavailable("bind " + options_.unix_path + ": " +
+                                 std::string(std::strerror(errno)));
+    }
+    if (::listen(unix_fd_, 64) < 0) {
+      return Status::Unavailable("listen: " +
+                                 std::string(std::strerror(errno)));
+    }
+    DEXA_RETURN_IF_ERROR(SetNonBlocking(unix_fd_));
+  }
+  if (tcp_fd_ < 0 && unix_fd_ < 0) {
+    return Status::InvalidArgument(
+        "no listener configured (need --port or --unix)");
+  }
+  return Status::OK();
+}
+
+Result<size_t> Server::ResumeInFlightRuns() {
+  size_t resumed = 0;
+  for (const std::string& dir : env_.UnfinishedJournalDirs()) {
+    auto run = env_.PrepareResume(dir);
+    if (!run.ok()) return run.status();
+    auto id = manager_.Submit("recovery", std::move(*run));
+    if (!id.ok()) return id.status();
+    ++resumed;
+  }
+  return resumed;
+}
+
+WireMessage Server::HandleSubmit(const WireMessage& request) {
+  const std::string tenant = WireGet(request, "tenant", "default");
+  const std::string kind = WireGet(request, "kind", "annotate");
+
+  Result<PreparedRun> run = Status::InvalidArgument("unhandled kind");
+  if (kind == "annotate") {
+    uint64_t offset = 0, count = 0;
+    if (request.count("offset") != 0) {
+      auto parsed = WireUint(request, "offset");
+      if (!parsed.ok()) return ErrorResponse(parsed.status());
+      offset = *parsed;
+    }
+    if (request.count("count") != 0) {
+      auto parsed = WireUint(request, "count");
+      if (!parsed.ok()) return ErrorResponse(parsed.status());
+      count = *parsed;
+    }
+    run = env_.PrepareAnnotate(offset, count,
+                               WireGet(request, "traced") == "1");
+  } else if (kind == "annotate_durable") {
+    CrashPlan crash;
+    const std::string crash_point = WireGet(request, "crash");
+    if (!crash_point.empty()) {
+      if (crash_point == "before") {
+        crash.point = CrashPoint::kCrashBeforeCommit;
+      } else if (crash_point == "after") {
+        crash.point = CrashPoint::kCrashAfterCommit;
+      } else if (crash_point == "torn") {
+        crash.point = CrashPoint::kTornWrite;
+      } else {
+        return ErrorResponse(Status::InvalidArgument(
+            "crash must be before|after|torn, got '" + crash_point + "'"));
+      }
+      crash.key = WireGet(request, "crash_key");
+      if (crash.key.empty()) {
+        return ErrorResponse(
+            Status::InvalidArgument("crash injection needs crash_key"));
+      }
+    }
+    run = env_.PrepareDurableAnnotate(crash.armed() ? &crash : nullptr);
+  } else if (kind == "enact" || kind == "enact_durable") {
+    auto workflow = WireUint(request, "workflow");
+    if (!workflow.ok()) return ErrorResponse(workflow.status());
+    run = env_.PrepareEnact(*workflow, kind == "enact_durable");
+  } else {
+    return ErrorResponse(
+        Status::InvalidArgument("unknown kind '" + kind + "'"));
+  }
+  if (!run.ok()) return ErrorResponse(run.status());
+
+  const std::string journal_dir = run->journal_dir;
+  auto id = manager_.Submit(tenant, std::move(*run));
+  if (!id.ok()) return ErrorResponse(id.status());
+
+  WireMessage response;
+  response["ok"] = "1";
+  response["id"] = std::to_string(*id);
+  response["state"] = RunStateName(RunState::kQueued);
+  if (!journal_dir.empty()) response["journal"] = journal_dir;
+  return response;
+}
+
+WireMessage Server::HandleStatus(const WireMessage& request) {
+  auto id = WireUint(request, "id");
+  if (!id.ok()) return ErrorResponse(id.status());
+  auto view = manager_.StatusOf(*id);
+  if (!view.ok()) return ErrorResponse(view.status());
+  WireMessage response;
+  response["ok"] = "1";
+  response["id"] = std::to_string(view->id);
+  response["tenant"] = view->tenant;
+  response["state"] = RunStateName(view->state);
+  response["kind"] = RunKindName(view->kind);
+  response["label"] = view->label;
+  if (!view->outcome.empty()) response["outcome"] = view->outcome;
+  return response;
+}
+
+WireMessage Server::HandleResult(const WireMessage& request) {
+  auto id = WireUint(request, "id");
+  if (!id.ok()) return ErrorResponse(id.status());
+  auto result = manager_.ResultOf(*id);
+  if (!result.ok()) return ErrorResponse(result.status());
+  auto run = manager_.RunOf(*id);
+  if (!run.ok()) return ErrorResponse(run.status());
+
+  WireMessage response;
+  response["ok"] = "1";
+  response["id"] = std::to_string(*id);
+  response["kind"] = RunKindName((*result)->kind);
+  switch ((*result)->kind) {
+    case RunKind::kAnnotate:
+    case RunKind::kAnnotateDurable: {
+      const AnnotateReport& report = (*result)->annotate;
+      response["annotated"] = std::to_string(report.annotated);
+      response["decayed"] = std::to_string(report.decayed);
+      response["examples"] = std::to_string(report.examples);
+      response["replayed"] = std::to_string(report.replayed);
+      if ((*run)->registry != nullptr) {
+        response["digest"] =
+            std::to_string(env_.AnnotationsDigest(*(*run)->registry));
+      }
+      break;
+    }
+    case RunKind::kEnact:
+    case RunKind::kEnactDurable: {
+      const ResilientEnactmentResult& enact = (*result)->enact;
+      response["outputs"] = std::to_string(enact.outputs.size());
+      response["missing"] = std::to_string(enact.missing_outputs);
+      response["invocations"] = std::to_string(enact.invocations.size());
+      response["decayed"] = std::to_string(enact.decayed_modules.size());
+      response["digest"] = std::to_string(ServeEnv::EnactDigest(enact));
+      break;
+    }
+  }
+  return response;
+}
+
+WireMessage Server::HandleMetrics() {
+  const RunManagerCounters& counters = manager_.counters();
+  WireMessage response;
+  response["ok"] = "1";
+  response["submitted"] = std::to_string(counters.submitted);
+  response["completed"] = std::to_string(counters.completed);
+  response["failed"] = std::to_string(counters.failed);
+  response["cancelled"] = std::to_string(counters.cancelled);
+  response["rejected_overloaded"] =
+      std::to_string(counters.rejected_overloaded);
+  response["queued"] = std::to_string(counters.queued);
+  response["retained"] = std::to_string(counters.retained);
+  response["capacity"] = std::to_string(options_.manager.capacity);
+  return response;
+}
+
+WireMessage Server::Handle(const WireMessage& request) {
+  const std::string op = WireGet(request, "op");
+  if (op == "submit") return HandleSubmit(request);
+  if (op == "status") return HandleStatus(request);
+  if (op == "result") return HandleResult(request);
+  if (op == "metrics") return HandleMetrics();
+  if (op == "cancel") {
+    auto id = WireUint(request, "id");
+    if (!id.ok()) return ErrorResponse(id.status());
+    Status cancelled = manager_.Cancel(*id);
+    if (!cancelled.ok()) return ErrorResponse(cancelled);
+    WireMessage response;
+    response["ok"] = "1";
+    response["id"] = std::to_string(*id);
+    response["state"] = RunStateName(RunState::kCancelled);
+    return response;
+  }
+  if (op == "drain") {
+    size_t executed = manager_.Drain();
+    WireMessage response;
+    response["ok"] = "1";
+    response["executed"] = std::to_string(executed);
+    return response;
+  }
+  if (op == "shutdown") {
+    // Graceful drain: everything admitted before the shutdown request still
+    // runs to completion; only new work is refused (the loop exits).
+    size_t executed = manager_.Drain();
+    RequestShutdown();
+    WireMessage response;
+    response["ok"] = "1";
+    response["executed"] = std::to_string(executed);
+    response["state"] = "shutdown";
+    return response;
+  }
+  return ErrorResponse(Status::InvalidArgument("unknown op '" + op + "'"));
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  auto request = ParseWire(line);
+  if (!request.ok()) return EncodeWire(ErrorResponse(request.status()));
+  return EncodeWire(Handle(*request));
+}
+
+void Server::AcceptPending(int listener) {
+  while (true) {
+    int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    Connection connection;
+    connection.fd = fd;
+    connections_.emplace(fd, std::move(connection));
+  }
+}
+
+size_t Server::ReadConnection(Connection& connection) {
+  size_t handled = 0;
+  char buffer[4096];
+  while (true) {
+    ssize_t n = ::read(connection.fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      connection.in.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) connection.closing = true;
+    break;
+  }
+  size_t start = 0;
+  while (true) {
+    size_t newline = connection.in.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = connection.in.substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    connection.out += HandleLine(line);
+    connection.out += '\n';
+    ++handled;
+  }
+  connection.in.erase(0, start);
+  return handled;
+}
+
+void Server::FlushConnection(Connection& connection) {
+  while (!connection.out.empty()) {
+    ssize_t n = ::write(connection.fd, connection.out.data(),
+                        connection.out.size());
+    if (n <= 0) break;
+    connection.out.erase(0, static_cast<size_t>(n));
+  }
+}
+
+size_t Server::PollOnce() {
+  std::vector<pollfd> fds;
+  if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+  if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
+  for (const auto& [fd, connection] : connections_) {
+    short events = POLLIN;
+    if (!connection.out.empty()) events |= POLLOUT;
+    fds.push_back({fd, events, 0});
+  }
+  // Never block while work is queued or responses are pending: I/O is
+  // checked between run batches, not instead of them.
+  int timeout = options_.idle_timeout_ms;
+  if (manager_.queued() > 0) timeout = 0;
+  for (const auto& [fd, connection] : connections_) {
+    if (!connection.out.empty()) timeout = 0;
+  }
+  ::poll(fds.data(), fds.size(), timeout);
+
+  size_t handled = 0;
+  for (const pollfd& p : fds) {
+    if (p.fd == tcp_fd_ || p.fd == unix_fd_) {
+      if ((p.revents & POLLIN) != 0) AcceptPending(p.fd);
+      continue;
+    }
+    auto it = connections_.find(p.fd);
+    if (it == connections_.end()) continue;
+    if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      handled += ReadConnection(it->second);
+    }
+    FlushConnection(it->second);
+  }
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->second.closing && it->second.out.empty()) {
+      ::close(it->second.fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  manager_.ExecuteBatch();
+  return handled;
+}
+
+void Server::Run() {
+  while (!shutdown_requested_) {
+    PollOnce();
+  }
+  manager_.Drain();
+  // Flush any responses still buffered (the shutdown reply among them).
+  for (auto& [fd, connection] : connections_) {
+    FlushConnection(connection);
+  }
+  CloseAll();
+}
+
+void Server::RunStdio() {
+  std::string line;
+  while (!shutdown_requested_ && std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::cout << HandleLine(line) << "\n" << std::flush;
+  }
+  manager_.Drain();
+}
+
+void Server::CloseAll() {
+  for (auto& [fd, connection] : connections_) {
+    ::close(connection.fd);
+  }
+  connections_.clear();
+}
+
+}  // namespace dexa::serve

@@ -152,7 +152,7 @@ Result<ResilientEnactmentResult> EnactResilient(
     result.decayed_modules.push_back(module_id);
   };
 
-  obs::Tracer* tracer = hooks.tracer;
+  obs::Tracer* tracer = hooks.obs.tracer;
   obs::ScopedSpan run(tracer, obs::SpanKind::kRun,
                       "enact_resilient:" + workflow.name);
   obs::ScopedSpan enact_phase(tracer, obs::SpanKind::kPhase, "enact",

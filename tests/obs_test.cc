@@ -577,7 +577,7 @@ std::string TracedResume(size_t threads, const std::string& dir,
   obs::Tracer tracer(&engine->clock());
   DurableAnnotateOptions options;
   options.resume = &*recovery;
-  options.tracer = &tracer;
+  options.obs.tracer = &tracer;
   auto report = AnnotateRegistryDurable(generator, *registry,
                                         *env.corpus.ontology, *journal,
                                         options);

@@ -1,0 +1,509 @@
+// Serve-layer suite: wire codec round-trips, multi-tenant fair scheduling,
+// admission control (typed kOverloaded backpressure), concurrent runs
+// byte-identical to the one-shot facade path, graceful drain, the line
+// protocol (in-process and over a unix socket), and crash-resume of
+// durable runs across a daemon restart.
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/run_api.h"
+#include "serve/run_manager.h"
+#include "serve/serve_env.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace dexa::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / "dexa_serve" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::unique_ptr<ServeEnv> MakeEnv(const std::string& journal_dir,
+                                  size_t threads) {
+  ServeEnvOptions options;
+  options.journal_root = journal_dir;
+  options.threads = threads;
+  auto env = ServeEnv::Create(options);
+  EXPECT_TRUE(env.ok()) << env.status();
+  if (!env.ok()) std::abort();
+  return std::move(env).value();
+}
+
+/// One environment shared by the suites that don't restart the daemon
+/// (building the corpus + workflow corpus is the expensive part).
+ServeEnv& SharedEnv() {
+  static ServeEnv* env =
+      MakeEnv(FreshDir("shared_journal"), /*threads=*/4).release();
+  return *env;
+}
+
+// -- Wire codec -------------------------------------------------------------
+
+TEST(WireTest, EncodeIsSortedAndDeterministic) {
+  WireMessage message;
+  message["op"] = "submit";
+  message["kind"] = "annotate";
+  message["count"] = "8";
+  EXPECT_EQ(EncodeWire(message),
+            "{\"count\":\"8\",\"kind\":\"annotate\",\"op\":\"submit\"}");
+}
+
+TEST(WireTest, RoundTripsEscapesAndScalars) {
+  WireMessage message;
+  message["text"] = "line\nbreak \"quoted\" back\\slash\ttab";
+  message["tiny"] = std::string(1, '\x01');
+  auto parsed = ParseWire(EncodeWire(message));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, message);
+
+  // Bare integers and booleans normalize to their string spellings.
+  auto bare = ParseWire("{\"n\": 42, \"flag\": true, \"s\":\"x\"}");
+  ASSERT_TRUE(bare.ok()) << bare.status();
+  EXPECT_EQ(bare->at("n"), "42");
+  EXPECT_EQ(bare->at("flag"), "true");
+  EXPECT_EQ(bare->at("s"), "x");
+}
+
+TEST(WireTest, RejectsMalformedLines) {
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "{\"a\":\"b\"", "{\"a\":[1]}",
+        "{\"a\":{\"b\":1}}", "{\"a\":1.5}", "{\"a\":\"b\"} trailing",
+        "{\"a\" \"b\"}", "{\"a\":\"\\x\"}"}) {
+    auto parsed = ParseWire(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(WireTest, WireUintParsesAndRejects) {
+  WireMessage message;
+  message["id"] = "17";
+  message["name"] = "x";
+  auto id = WireUint(message, "id");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 17u);
+  EXPECT_FALSE(WireUint(message, "name").ok());
+  EXPECT_FALSE(WireUint(message, "missing").ok());
+  EXPECT_EQ(WireGet(message, "missing", "fallback"), "fallback");
+}
+
+// -- RunManager -------------------------------------------------------------
+
+TEST(RunManagerTest, FairSchedulingInterleavesTenants) {
+  ServeEnv& env = SharedEnv();
+  RunManagerOptions options;
+  options.execute_batch = 8;
+  RunManager manager(env.engine(), options);
+
+  // Tenant a bursts four runs; b and c submit one each afterwards. Fair
+  // scheduling still runs b's and c's first runs right after a's first.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto run = env.PrepareAnnotate(static_cast<size_t>(i) * 2, 2, false);
+    ASSERT_TRUE(run.ok()) << run.status();
+    auto id = manager.Submit("a", std::move(*run));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(*id);
+  }
+  for (const char* tenant : {"b", "c"}) {
+    auto run = env.PrepareAnnotate(8, 2, false);
+    ASSERT_TRUE(run.ok()) << run.status();
+    auto id = manager.Submit(tenant, std::move(*run));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(manager.Drain(), 6u);
+
+  // Fairness keys: a gets (0..3, seq), b (0, seq), c (0, seq) — so the
+  // schedule is a's first, b's, c's, then the rest of a's burst.
+  const std::vector<uint64_t> expected = {ids[0], ids[4], ids[5],
+                                          ids[1], ids[2], ids[3]};
+  EXPECT_EQ(manager.started_order(), expected);
+  EXPECT_EQ(manager.counters().completed, 6u);
+}
+
+TEST(RunManagerTest, SubmitShedsLoadWithTypedOverloaded) {
+  ServeEnv& env = SharedEnv();
+  RunManagerOptions options;
+  options.capacity = 3;
+  RunManager manager(env.engine(), options);
+
+  for (int i = 0; i < 3; ++i) {
+    auto run = env.PrepareAnnotate(0, 1, false);
+    ASSERT_TRUE(run.ok()) << run.status();
+    ASSERT_TRUE(manager.Submit("t", std::move(*run)).ok());
+  }
+  auto rejected_run = env.PrepareAnnotate(0, 1, false);
+  ASSERT_TRUE(rejected_run.ok()) << rejected_run.status();
+  auto rejected = manager.Submit("t", std::move(*rejected_run));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+  EXPECT_TRUE(rejected.status().IsOverloaded());
+  EXPECT_EQ(manager.counters().rejected_overloaded, 1u);
+
+  // Backpressure clears once the queue drains: same submit now admits.
+  EXPECT_EQ(manager.Drain(), 3u);
+  auto retry_run = env.PrepareAnnotate(0, 1, false);
+  ASSERT_TRUE(retry_run.ok()) << retry_run.status();
+  EXPECT_TRUE(manager.Submit("t", std::move(*retry_run)).ok());
+}
+
+TEST(RunManagerTest, CancelsQueuedRunsOnly) {
+  ServeEnv& env = SharedEnv();
+  RunManager manager(env.engine(), {});
+  auto first = env.PrepareAnnotate(0, 1, false);
+  auto second = env.PrepareAnnotate(1, 1, false);
+  ASSERT_TRUE(first.ok() && second.ok());
+  auto keep = manager.Submit("t", std::move(*first));
+  auto cancel = manager.Submit("t", std::move(*second));
+  ASSERT_TRUE(keep.ok() && cancel.ok());
+
+  ASSERT_TRUE(manager.Cancel(*cancel).ok());
+  EXPECT_EQ(manager.Drain(), 1u);
+
+  auto cancelled_view = manager.StatusOf(*cancel);
+  ASSERT_TRUE(cancelled_view.ok());
+  EXPECT_EQ(cancelled_view->state, RunState::kCancelled);
+  EXPECT_EQ(manager.ResultOf(*cancel).status().code(), StatusCode::kCancelled);
+
+  auto done_view = manager.StatusOf(*keep);
+  ASSERT_TRUE(done_view.ok());
+  EXPECT_EQ(done_view->state, RunState::kDone);
+  // A finished run cannot be cancelled.
+  EXPECT_FALSE(manager.Cancel(*keep).ok());
+  EXPECT_FALSE(manager.StatusOf(999).ok());
+}
+
+TEST(RunManagerTest, EvictsOldestRetainedResults) {
+  ServeEnv& env = SharedEnv();
+  RunManagerOptions options;
+  options.retain_results = 2;
+  RunManager manager(env.engine(), options);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto run = env.PrepareAnnotate(static_cast<size_t>(i), 1, false);
+    ASSERT_TRUE(run.ok());
+    auto id = manager.Submit("t", std::move(*run));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(manager.Drain(), 4u);
+  // The two oldest finished runs were evicted; the two newest remain.
+  EXPECT_FALSE(manager.StatusOf(ids[0]).ok());
+  EXPECT_FALSE(manager.StatusOf(ids[1]).ok());
+  EXPECT_TRUE(manager.StatusOf(ids[2]).ok());
+  EXPECT_TRUE(manager.StatusOf(ids[3]).ok());
+}
+
+/// The headline acceptance test: >= 32 concurrent annotate runs from four
+/// tenants, executed in concurrent batches over the shared engine, each
+/// byte-identical to submitting the same request one-shot through the
+/// facade with no manager involved.
+TEST(RunManagerTest, ThirtyTwoConcurrentRunsMatchOneShotFacade) {
+  ServeEnv& env = SharedEnv();
+  constexpr size_t kRuns = 32;
+  constexpr size_t kChunk = 8;
+
+  RunManagerOptions options;
+  options.capacity = kRuns;
+  options.execute_batch = 8;
+  RunManager manager(env.engine(), options);
+
+  const char* tenants[] = {"alice", "bob", "carol", "dave"};
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < kRuns; ++i) {
+    auto run = env.PrepareAnnotate(i * kChunk, kChunk, false);
+    ASSERT_TRUE(run.ok()) << run.status();
+    auto id = manager.Submit(tenants[i % 4], std::move(*run));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(manager.Drain(), kRuns);
+  EXPECT_EQ(manager.counters().completed, kRuns);
+
+  for (size_t i = 0; i < kRuns; ++i) {
+    auto managed = manager.RunOf(ids[i]);
+    ASSERT_TRUE(managed.ok()) << managed.status();
+    auto managed_result = manager.ResultOf(ids[i]);
+    ASSERT_TRUE(managed_result.ok()) << managed_result.status();
+
+    // One-shot path: same request, straight through the facade.
+    auto oneshot = env.PrepareAnnotate(i * kChunk, kChunk, false);
+    ASSERT_TRUE(oneshot.ok()) << oneshot.status();
+    auto oneshot_result = SubmitRun(oneshot->request);
+    ASSERT_TRUE(oneshot_result.ok()) << oneshot_result.status();
+    ASSERT_TRUE(oneshot_result->complete()) << oneshot_result->run_status;
+
+    EXPECT_EQ(env.AnnotationsDigest(*(*managed)->registry),
+              env.AnnotationsDigest(*oneshot->registry))
+        << "run " << i << " diverged from the one-shot path";
+    EXPECT_EQ((*managed_result)->annotate.examples,
+              oneshot_result->annotate.examples);
+  }
+}
+
+/// The schedule and every per-run digest are a pure function of the submit
+/// sequence: two daemons with different engine thread counts produce the
+/// same started_order and the same annotations.
+TEST(RunManagerTest, ScheduleAndResultsIdenticalAcrossThreadCounts) {
+  std::vector<std::vector<uint64_t>> orders;
+  std::vector<std::vector<uint64_t>> digests;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    auto env = MakeEnv(FreshDir("threads" + std::to_string(threads)), threads);
+    RunManagerOptions options;
+    options.execute_batch = 4;
+    RunManager manager(env->engine(), options);
+    std::vector<uint64_t> ids;
+    for (size_t i = 0; i < 8; ++i) {
+      auto run = env->PrepareAnnotate(i * 4, 4, false);
+      ASSERT_TRUE(run.ok()) << run.status();
+      auto id = manager.Submit(i % 2 == 0 ? "even" : "odd", std::move(*run));
+      ASSERT_TRUE(id.ok()) << id.status();
+      ids.push_back(*id);
+    }
+    EXPECT_EQ(manager.Drain(), 8u);
+    orders.push_back(manager.started_order());
+    std::vector<uint64_t> run_digests;
+    for (uint64_t id : ids) {
+      auto run = manager.RunOf(id);
+      ASSERT_TRUE(run.ok()) << run.status();
+      run_digests.push_back(env->AnnotationsDigest(*(*run)->registry));
+    }
+    digests.push_back(std::move(run_digests));
+  }
+  EXPECT_EQ(orders[0], orders[1]);
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+// -- Server protocol --------------------------------------------------------
+
+WireMessage Response(Server& server, const std::string& line) {
+  auto parsed = ParseWire(server.HandleLine(line));
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed.ok() ? *parsed : WireMessage{};
+}
+
+TEST(ServerTest, ProtocolSubmitStatusDrainResult) {
+  ServeEnv& env = SharedEnv();
+  Server server(env, {});
+
+  WireMessage submitted = Response(
+      server,
+      "{\"op\":\"submit\",\"kind\":\"annotate\",\"offset\":\"0\","
+      "\"count\":\"3\",\"tenant\":\"alice\"}");
+  ASSERT_EQ(submitted["ok"], "1") << submitted["error"];
+  const std::string id = submitted["id"];
+  EXPECT_EQ(submitted["state"], "queued");
+
+  WireMessage queued =
+      Response(server, "{\"op\":\"status\",\"id\":\"" + id + "\"}");
+  EXPECT_EQ(queued["state"], "queued");
+  EXPECT_EQ(queued["tenant"], "alice");
+  EXPECT_EQ(queued["kind"], "annotate");
+  EXPECT_EQ(queued["label"], "annotate[0,3)");
+
+  // Result before execution: typed Unavailable, not a hang or a crash.
+  WireMessage early =
+      Response(server, "{\"op\":\"result\",\"id\":\"" + id + "\"}");
+  EXPECT_EQ(early["ok"], "0");
+  EXPECT_EQ(early["code"], "Unavailable");
+
+  WireMessage drained = Response(server, "{\"op\":\"drain\"}");
+  EXPECT_EQ(drained["executed"], "1");
+
+  WireMessage done =
+      Response(server, "{\"op\":\"status\",\"id\":\"" + id + "\"}");
+  EXPECT_EQ(done["state"], "done");
+
+  WireMessage result =
+      Response(server, "{\"op\":\"result\",\"id\":\"" + id + "\"}");
+  EXPECT_EQ(result["ok"], "1");
+  EXPECT_EQ(result["annotated"], "3");
+  EXPECT_FALSE(result["digest"].empty());
+
+  WireMessage metrics = Response(server, "{\"op\":\"metrics\"}");
+  EXPECT_EQ(metrics["submitted"], "1");
+  EXPECT_EQ(metrics["completed"], "1");
+
+  // Malformed line and unknown op come back as typed protocol errors.
+  WireMessage bad = Response(server, "not json");
+  EXPECT_EQ(bad["ok"], "0");
+  EXPECT_EQ(bad["code"], "ParseError");
+  WireMessage unknown = Response(server, "{\"op\":\"nope\"}");
+  EXPECT_EQ(unknown["ok"], "0");
+  EXPECT_EQ(unknown["code"], "InvalidArgument");
+}
+
+TEST(ServerTest, ProtocolEnactRun) {
+  ServeEnv& env = SharedEnv();
+  ASSERT_GT(env.workflow_count(), 0u);
+  Server server(env, {});
+  WireMessage submitted = Response(
+      server, "{\"op\":\"submit\",\"kind\":\"enact\",\"workflow\":\"0\"}");
+  ASSERT_EQ(submitted["ok"], "1") << submitted["error"];
+  Response(server, "{\"op\":\"drain\"}");
+  WireMessage result = Response(
+      server, "{\"op\":\"result\",\"id\":\"" + submitted["id"] + "\"}");
+  EXPECT_EQ(result["ok"], "1") << result["error"];
+  EXPECT_EQ(result["kind"], "enact");
+  EXPECT_FALSE(result["digest"].empty());
+}
+
+TEST(ServerTest, ProtocolShedsLoadWithOverloadedCode) {
+  ServeEnv& env = SharedEnv();
+  ServerOptions options;
+  options.manager.capacity = 2;
+  Server server(env, options);
+  for (int i = 0; i < 2; ++i) {
+    WireMessage ok = Response(
+        server,
+        "{\"op\":\"submit\",\"kind\":\"annotate\",\"count\":\"1\"}");
+    ASSERT_EQ(ok["ok"], "1");
+  }
+  WireMessage shed = Response(
+      server, "{\"op\":\"submit\",\"kind\":\"annotate\",\"count\":\"1\"}");
+  EXPECT_EQ(shed["ok"], "0");
+  EXPECT_EQ(shed["code"], "Overloaded");
+
+  WireMessage metrics = Response(server, "{\"op\":\"metrics\"}");
+  EXPECT_EQ(metrics["rejected_overloaded"], "1");
+
+  // Graceful shutdown drains the admitted runs.
+  WireMessage shutdown = Response(server, "{\"op\":\"shutdown\"}");
+  EXPECT_EQ(shutdown["executed"], "2");
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(ServerTest, ServesOverUnixSocket) {
+  ServeEnv& env = SharedEnv();
+  ServerOptions options;
+  options.unix_path = FreshDir("socket") + "/dexa.sock";
+  options.idle_timeout_ms = 1;
+  Server server(env, options);
+  ASSERT_TRUE(server.Listen().ok());
+
+  int client = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options.unix_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(
+      ::connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request =
+      "{\"op\":\"submit\",\"kind\":\"annotate\",\"count\":\"2\"}\n"
+      "{\"op\":\"drain\"}\n";
+  ASSERT_EQ(::write(client, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  int flags = ::fcntl(client, F_GETFL, 0);
+  ::fcntl(client, F_SETFL, flags | O_NONBLOCK);
+
+  // Single-threaded everywhere: pump the server loop until both responses
+  // arrive on the client socket.
+  std::string received;
+  for (int i = 0; i < 100 && std::count(received.begin(), received.end(),
+                                        '\n') < 2; ++i) {
+    server.PollOnce();
+    char buffer[4096];
+    ssize_t n = ::read(client, buffer, sizeof(buffer));
+    if (n > 0) received.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(client);
+  ASSERT_EQ(std::count(received.begin(), received.end(), '\n'), 2)
+      << "received: " << received;
+  size_t newline = received.find('\n');
+  auto first = ParseWire(received.substr(0, newline));
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ((*first)["ok"], "1");
+  auto second = ParseWire(
+      received.substr(newline + 1, received.size() - newline - 2));
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ((*second)["executed"], "1");
+}
+
+// -- Crash-resume across a daemon restart -----------------------------------
+
+TEST(ServerTest, ResumesInFlightDurableRunsAfterRestart) {
+  const std::string journal_root = FreshDir("restart");
+
+  // Baseline: an uninterrupted durable run in a daemon of its own.
+  uint64_t baseline_digest = 0;
+  {
+    auto env = MakeEnv(journal_root + "/baseline", 2);
+    Server server(*env, {});
+    WireMessage submitted = Response(
+        server, "{\"op\":\"submit\",\"kind\":\"annotate_durable\"}");
+    ASSERT_EQ(submitted["ok"], "1") << submitted["error"];
+    Response(server, "{\"op\":\"drain\"}");
+    WireMessage result = Response(
+        server, "{\"op\":\"result\",\"id\":\"" + submitted["id"] + "\"}");
+    ASSERT_EQ(result["ok"], "1") << result["error"];
+    baseline_digest = std::stoull(result["digest"]);
+    // The finished run's journal dir carries the DONE marker.
+    EXPECT_TRUE(fs::exists(fs::path(submitted["journal"]) / "DONE"));
+  }
+
+  // First daemon: durable run crashes mid-way (injected, before-commit).
+  std::string crashed_dir;
+  {
+    auto env = MakeEnv(journal_root + "/live", 2);
+    const std::string crash_key = env->corpus().available_ids[7];
+    Server server(*env, {});
+    WireMessage submitted = Response(
+        server, "{\"op\":\"submit\",\"kind\":\"annotate_durable\","
+                "\"crash\":\"before\",\"crash_key\":\"" + crash_key + "\"}");
+    ASSERT_EQ(submitted["ok"], "1") << submitted["error"];
+    crashed_dir = submitted["journal"];
+    Response(server, "{\"op\":\"drain\"}");
+    WireMessage status = Response(
+        server, "{\"op\":\"status\",\"id\":\"" + submitted["id"] + "\"}");
+    EXPECT_EQ(status["state"], "failed");
+    EXPECT_FALSE(fs::exists(fs::path(crashed_dir) / "DONE"));
+  }
+
+  // Second daemon over the same journal root: startup scan finds the
+  // unfinished run, resumes it, and completes it to the baseline bytes.
+  {
+    auto env = MakeEnv(journal_root + "/live", 2);
+    EXPECT_EQ(env->UnfinishedJournalDirs(),
+              std::vector<std::string>{crashed_dir});
+    Server server(*env, {});
+    auto resumed = server.ResumeInFlightRuns();
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    EXPECT_EQ(*resumed, 1u);
+    EXPECT_EQ(server.manager().Drain(), 1u);
+
+    const std::vector<uint64_t>& order = server.manager().started_order();
+    ASSERT_EQ(order.size(), 1u);
+    auto result = server.manager().ResultOf(order[0]);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GT((*result)->annotate.replayed, 0u);
+    auto run = server.manager().RunOf(order[0]);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(env->AnnotationsDigest(*(*run)->registry), baseline_digest);
+
+    // The resumed run is now finished: DONE written, nothing left to scan.
+    EXPECT_TRUE(fs::exists(fs::path(crashed_dir) / "DONE"));
+    EXPECT_TRUE(env->UnfinishedJournalDirs().empty());
+  }
+}
+
+}  // namespace
+}  // namespace dexa::serve

@@ -52,6 +52,14 @@ for path in sys.argv[1:]:
             assert isinstance(m.get("unit"), str), "metric unit"
         expected = f"BENCH_{doc['bench']}.json"
         assert path == expected, f"filename (want {expected})"
+        if doc["bench"] == "serve":
+            # The serve bench must report the saturation sweep: latency at
+            # the 32-client point plus the load-shedding counter.
+            names = {m["name"] for m in metrics}
+            required = {"p50_ms_c32", "p99_ms_c32", "runs_per_s_c32",
+                        "overloaded_rejections"}
+            missing = required - names
+            assert not missing, f"serve metrics missing: {sorted(missing)}"
     except (OSError, ValueError, AssertionError) as err:
         print(f"STALE BENCH SCHEMA: {path}: {err}", file=sys.stderr)
         bad += 1

@@ -23,7 +23,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DDEXA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target engine_test generator_test fault_test \
-  durability_test io_test obs_test kbimage_test -j"$(nproc)"
+  durability_test io_test obs_test kbimage_test serve_test run_api_test \
+  -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/engine_test"
@@ -36,5 +37,10 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # backed by the mmap'd image; the equivalence sweep runs here so TSan
 # sees the image-backed read path too.
 "$BUILD_DIR/tests/kbimage_test"
+# run_api_test + serve_test: the RunRequest facade and the run-manager
+# daemon fan concurrent runs (separate registries, one shared engine and
+# concept cache) over the pool — the serve layer's entire racy surface.
+"$BUILD_DIR/tests/run_api_test"
+"$BUILD_DIR/tests/serve_test"
 
 echo "TSan check passed."

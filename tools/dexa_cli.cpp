@@ -1,62 +1,55 @@
 // dexa — command-line front end over the library.
 //
-// Builds the evaluation environment (corpus, workflow corpus, provenance,
-// pool, annotations) once, then executes one subcommand:
+// Dispatch is table-driven: every subcommand is one Command row (name,
+// synopsis, arity, handler) in kCommands, and main() only parses the shared
+// global flags, finds the row, and calls it. Global flags may appear
+// anywhere on the line and apply to every subcommand:
 //
-//   dexa compile-kb <file>           compile the ontology + synthetic KB
-//                                    into a relocatable binary image
-//   dexa --kb-image=<file> <cmd>     run any subcommand against a compiled
-//                                    image (mmap-backed, interned ids)
-//   dexa tables                      regenerate the paper's tables
-//   dexa annotate <module-name>      print a module's data examples
-//   dexa annotate --trace-out=<f> --metrics-out=<f>
-//                                    annotate the registry with run tracing;
-//                                    write a Chrome-trace JSON (open in
-//                                    chrome://tracing) and/or metrics.json
-//   dexa annotate --journal <dir> [--crash before|after|torn <module-id>]
-//                                    durable annotation run journaled in
-//                                    <dir>, optionally killed at a crash
-//                                    point for recovery drills
-//   dexa resume <dir>                recover the journal in <dir> and
-//                                    resume the crashed annotation run
-//   dexa compare <name-a> <name-b>   compare two modules' behavior
-//   dexa discover <in> <out>         rank modules by signature
-//   dexa compose <in> <out> [depth]  assemble validated pipelines
-//   dexa repair                      run the Section 6 repair experiment
-//   dexa export-registry <file>      write the data-example annotations
-//   dexa export-ontology <file>      write the myGrid ontology DSL
-//   dexa export-pool <file>          write the annotated instance pool
-//   dexa export-workflow <id> <file> write one generated workflow's DSL
+//   --kb-image=<file>   serve all reasoning from a compiled KB image
+//                       (mmap-backed, interned ids) instead of the
+//                       in-memory corpus
+//   --threads=<n>       worker threads of the invocation engine
+//                       (default 1 = serial; runs are byte-identical at
+//                       any thread count)
+//   --seed=<n>          engine seed (per-task RNG streams + retry jitter)
+//
+// Every run family routes through the RunRequest facade (core/run_api.h):
+// the annotate/resume/serve commands all build a RunRequest and call
+// SubmitRun — the legacy durable entry points are not called here
+// (dexa-lint rule `legacy-run-entry` enforces it).
 
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "core/composition.h"
-#include "corpus/fault_injector.h"
-#include "durability/durable_annotate.h"
-#include "durability/journal.h"
-#include "durability/snapshot.h"
 #include "core/coverage.h"
 #include "core/discovery.h"
+#include "core/engine_config.h"
 #include "core/example_generator.h"
 #include "core/matcher.h"
 #include "core/metrics.h"
+#include "core/run_api.h"
 #include "corpus/corpus.h"
+#include "corpus/fault_injector.h"
+#include "durability/journal.h"
+#include "durability/snapshot.h"
 #include "kb/knowledge_base.h"
 #include "kbimage/builder.h"
 #include "kbimage/compiled_kb.h"
 #include "modules/registry_io.h"
-#include "ontology/mygrid.h"
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "ontology/mygrid.h"
 #include "pool/pool_io.h"
 #include "provenance/workflow_corpus.h"
 #include "repair/repair.h"
+#include "serve/server.h"
 #include "study/study.h"
 #include "workflow/workflow_io.h"
 
@@ -82,24 +75,37 @@ struct CliEnv {
   uint64_t kb_checksum = 0;
 };
 
+/// Everything a command handler gets: the parsed global flags, the engine
+/// they configure, and a lazily-built evaluation environment.
+struct CliContext {
+  std::string kb_image_path;
+  EngineConfig config;
+  std::unique_ptr<InvocationEngine> engine;
+  std::optional<CliEnv> env;
+
+  ExampleGenerator MakeGenerator() const {
+    return config.MakeGenerator(env->cache, env->pool.get(), engine.get());
+  }
+};
+
 int Fail(const Status& status) {
   std::cerr << "error: " << status << "\n";
   return 1;
 }
 
-/// Builds the evaluation environment. `annotate` is false for the durable
-/// subcommands, which run (or resume) the annotation themselves through a
-/// journal instead of inline.
-Result<CliEnv> BuildEnv(bool retire, bool annotate = true,
-                        const std::string& kb_image_path = "") {
+/// Builds the evaluation environment into `ctx.env`. `annotate` is false
+/// for the durable/traced subcommands, which run (or resume) the
+/// annotation themselves through the facade instead of inline.
+Status BuildEnv(CliContext& ctx, bool retire, bool annotate) {
   CliEnv env;
   CorpusOptions corpus_options;
-  if (!kb_image_path.empty()) {
-    auto image = kbimage::CompiledKb::Load(kb_image_path);
+  if (!ctx.kb_image_path.empty()) {
+    auto image = kbimage::CompiledKb::Load(ctx.kb_image_path);
     if (!image.ok()) return image.status();
-    env.kb_image = std::shared_ptr<const kbimage::CompiledKb>(std::move(image).value());
+    env.kb_image =
+        std::shared_ptr<const kbimage::CompiledKb>(std::move(image).value());
     env.kb_checksum = env.kb_image->checksum();
-    InvocationEngine::Serial().metrics().RecordKbImageLoad();
+    ctx.engine->metrics().RecordKbImageLoad();
     // The corpus adopts the image's ontology and KB instead of rebuilding
     // them; concept ids are dense insertion indices in both, so the
     // materialized ontology and the image view agree on every ConceptId.
@@ -116,11 +122,11 @@ Result<CliEnv> BuildEnv(bool retire, bool annotate = true,
   if (!corpus.ok()) return corpus.status();
   env.corpus = std::move(corpus).value();
   if (env.kb_image != nullptr) {
-    env.cache = std::make_shared<ConceptCache>(
-        env.kb_image, &InvocationEngine::Serial().metrics());
+    env.cache = std::make_shared<ConceptCache>(env.kb_image,
+                                               &ctx.engine->metrics());
   } else {
-    env.cache = std::make_shared<ConceptCache>(
-        env.corpus.ontology.get(), &InvocationEngine::Serial().metrics());
+    env.cache = std::make_shared<ConceptCache>(env.corpus.ontology.get(),
+                                               &ctx.engine->metrics());
   }
   auto workflows = GenerateWorkflowCorpus(env.corpus);
   if (!workflows.ok()) return workflows.status();
@@ -130,16 +136,18 @@ Result<CliEnv> BuildEnv(bool retire, bool annotate = true,
   env.provenance = std::move(provenance).value();
   env.pool = std::make_unique<AnnotatedInstancePool>(HarvestPool(
       env.provenance, *env.corpus.registry, *env.corpus.ontology));
+  ctx.env.emplace(std::move(env));
   if (annotate) {
-    ExampleGenerator generator(env.cache, env.pool.get());
-    auto annotated = AnnotateRegistry(generator, *env.corpus.registry);
-    if (!annotated.ok()) return annotated.status();
-    if (!annotated->complete()) return annotated->run_status;
+    ExampleGenerator generator = ctx.MakeGenerator();
+    auto result =
+        SubmitRun(MakeAnnotateRun(generator, *ctx.env->corpus.registry));
+    if (!result.ok()) return result.status();
+    if (!result->complete()) return result->run_status;
   }
   if (retire) {
-    DEXA_RETURN_IF_ERROR(RetireDecayedModules(env.corpus));
+    DEXA_RETURN_IF_ERROR(RetireDecayedModules(ctx.env->corpus));
   }
-  return env;
+  return Status::OK();
 }
 
 int WriteFile(const std::string& path, const std::string& content) {
@@ -150,7 +158,8 @@ int WriteFile(const std::string& path, const std::string& content) {
   return 0;
 }
 
-int CmdTables(const CliEnv& env) {
+int CmdTables(CliContext& ctx, const std::vector<std::string>&) {
+  const CliEnv& env = *ctx.env;
   std::map<ModuleKind, int> census;
   std::map<std::string, int, std::greater<std::string>> completeness;
   std::map<std::string, int, std::greater<std::string>> conciseness;
@@ -191,7 +200,8 @@ int CmdTables(const CliEnv& env) {
   return 0;
 }
 
-int CmdAnnotate(const CliEnv& env, const std::string& name) {
+int CmdShowModule(CliContext& ctx, const std::string& name) {
+  const CliEnv& env = *ctx.env;
   auto module = env.corpus.registry->FindByName(name);
   if (!module.ok()) return Fail(module.status());
   const ModuleSpec& spec = (*module)->spec();
@@ -219,19 +229,22 @@ int CmdAnnotate(const CliEnv& env, const std::string& name) {
 }
 
 /// Annotates the whole registry with run tracing enabled and writes the
-/// Chrome-trace and/or metrics exports. Runs on the serial engine: the
-/// trace and the stable metrics section are byte-identical at any thread
-/// count anyway (ctest -L obs pins that), so the CLI keeps the simplest
-/// schedule.
-int CmdAnnotateTraced(CliEnv& env, const std::string& trace_path,
+/// Chrome-trace and/or metrics exports.
+int CmdAnnotateTraced(CliContext& ctx, const std::string& trace_path,
                       const std::string& metrics_path) {
-  ExampleGenerator generator(env.cache, env.pool.get());
+  ExampleGenerator generator = ctx.MakeGenerator();
   obs::Tracer tracer(&generator.engine().clock());
-  auto report = AnnotateRegistry(generator, *env.corpus.registry, &tracer);
-  if (!report.ok()) return Fail(report.status());
-  if (!report->complete()) return Fail(report->run_status);
-  std::cout << "annotated " << report->annotated << " module(s), "
-            << report->decayed << " decayed, " << report->examples
+  obs::MetricsRegistry metrics;
+  RunRequest request =
+      MakeAnnotateRun(generator, *ctx.env->corpus.registry);
+  request.obs.tracer = &tracer;
+  request.obs.metrics = &metrics;
+  auto result = SubmitRun(request);
+  if (!result.ok()) return Fail(result.status());
+  if (!result->complete()) return Fail(result->run_status);
+  const AnnotateReport& report = result->annotate;
+  std::cout << "annotated " << report.annotated << " module(s), "
+            << report.decayed << " decayed, " << report.examples
             << " data example(s); " << tracer.spans().size()
             << " trace span(s)\n";
   int failed = 0;
@@ -239,9 +252,6 @@ int CmdAnnotateTraced(CliEnv& env, const std::string& trace_path,
     failed |= WriteFile(trace_path, obs::WriteChromeTrace(tracer));
   }
   if (!metrics_path.empty()) {
-    obs::MetricsRegistry metrics;
-    metrics.ImportEngineSnapshot(report->metrics);
-    metrics.ImportTrace(tracer);
     failed |= WriteFile(metrics_path, obs::WriteMetricsJson(metrics));
   }
   return failed;
@@ -250,8 +260,9 @@ int CmdAnnotateTraced(CliEnv& env, const std::string& trace_path,
 /// Prints a durable run's report and, when the run completed, writes the
 /// run-state snapshot (pool + annotations + provenance) next to the
 /// journal.
-int FinishDurableRun(CliEnv& env, const std::string& dir,
+int FinishDurableRun(CliContext& ctx, const std::string& dir,
                      const AnnotateReport& report) {
+  CliEnv& env = *ctx.env;
   TablePrinter table({"metric", "value"});
   table.AddRow({"modules annotated", std::to_string(report.annotated)});
   table.AddRow({"modules decayed", std::to_string(report.decayed)});
@@ -275,24 +286,72 @@ int FinishDurableRun(CliEnv& env, const std::string& dir,
   return 0;
 }
 
-int CmdAnnotateDurable(CliEnv& env, const std::string& dir,
+int CmdAnnotateDurable(CliContext& ctx, const std::string& dir,
                        const CrashPlan& crash) {
-  ExampleGenerator generator(env.cache, env.pool.get());
+  ExampleGenerator generator = ctx.MakeGenerator();
   auto journal =
       RunJournal::Create(dir, {}, &generator.engine().metrics());
   if (!journal.ok()) return Fail(journal.status());
-  DurableAnnotateOptions options;
-  options.crash = crash;
-  options.kb_checksum = env.kb_checksum;
-  auto report = AnnotateRegistryDurable(generator, *env.corpus.registry,
-                                        *env.corpus.ontology, *journal,
-                                        options);
-  if (!report.ok()) return Fail(report.status());
-  return FinishDurableRun(env, dir, *report);
+  RunRequest request = MakeDurableAnnotateRun(
+      generator, *ctx.env->corpus.registry, *ctx.env->corpus.ontology,
+      *journal);
+  request.crash = &crash;
+  request.kb_checksum = ctx.env->kb_checksum;
+  auto result = SubmitRun(request);
+  if (!result.ok()) return Fail(result.status());
+  return FinishDurableRun(ctx, dir, result->annotate);
 }
 
-int CmdResume(CliEnv& env, const std::string& dir) {
-  ExampleGenerator generator(env.cache, env.pool.get());
+/// The three annotate modes share one subcommand: `annotate <module>`
+/// prints a module, `annotate --trace-out/--metrics-out` runs traced,
+/// `annotate --journal <dir>` runs durable.
+int CmdAnnotate(CliContext& ctx, const std::vector<std::string>& args) {
+  if (args.size() == 1 && args[0].rfind("--", 0) != 0) {
+    return CmdShowModule(ctx, args[0]);
+  }
+  if (!args.empty() && args[0] == "--journal") {
+    CrashPlan crash;
+    if (args.size() == 5 && args[2] == "--crash") {
+      if (args[3] == "before") {
+        crash.point = CrashPoint::kCrashBeforeCommit;
+      } else if (args[3] == "after") {
+        crash.point = CrashPoint::kCrashAfterCommit;
+      } else if (args[3] == "torn") {
+        crash.point = CrashPoint::kTornWrite;
+      } else {
+        return Fail(Status::InvalidArgument(
+            "--crash takes before|after|torn, got '" + args[3] + "'"));
+      }
+      crash.key = args[4];
+    } else if (args.size() != 2) {
+      return Fail(Status::InvalidArgument(
+          "usage: annotate --journal <dir> "
+          "[--crash before|after|torn <module-id>]"));
+    }
+    return CmdAnnotateDurable(ctx, args[1], crash);
+  }
+  std::string trace_out, metrics_out;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else {
+      return Fail(Status::InvalidArgument("unknown annotate argument '" +
+                                          arg + "'"));
+    }
+  }
+  if (trace_out.empty() && metrics_out.empty()) {
+    return Fail(Status::InvalidArgument(
+        "usage: annotate <module> | annotate [--trace-out=<f>] "
+        "[--metrics-out=<f>] | annotate --journal <dir>"));
+  }
+  return CmdAnnotateTraced(ctx, trace_out, metrics_out);
+}
+
+int CmdResume(CliContext& ctx, const std::vector<std::string>& args) {
+  const std::string& dir = args[0];
+  ExampleGenerator generator = ctx.MakeGenerator();
   auto recovery = RecoverJournal(dir, &generator.engine().metrics());
   if (!recovery.ok()) return Fail(recovery.status());
   std::cout << "recovered " << recovery->records.size() << " record(s) from "
@@ -306,26 +365,27 @@ int CmdResume(CliEnv& env, const std::string& dir) {
   auto journal = RunJournal::Resume(dir, *recovery, {},
                                     &generator.engine().metrics());
   if (!journal.ok()) return Fail(journal.status());
-  DurableAnnotateOptions resume_options;
-  resume_options.resume = &*recovery;
-  resume_options.kb_checksum = env.kb_checksum;
-  auto report = AnnotateRegistryDurable(generator, *env.corpus.registry,
-                                        *env.corpus.ontology, *journal,
-                                        resume_options);
-  if (!report.ok()) return Fail(report.status());
-  return FinishDurableRun(env, dir, *report);
+  RunRequest request = MakeDurableAnnotateRun(
+      generator, *ctx.env->corpus.registry, *ctx.env->corpus.ontology,
+      *journal);
+  request.resume = &*recovery;
+  request.kb_checksum = ctx.env->kb_checksum;
+  auto result = SubmitRun(request);
+  if (!result.ok()) return Fail(result.status());
+  return FinishDurableRun(ctx, dir, result->annotate);
 }
 
-int CmdCompare(const CliEnv& env, const std::string& a, const std::string& b) {
-  auto left = env.corpus.registry->FindByName(a);
-  auto right = env.corpus.registry->FindByName(b);
+int CmdCompare(CliContext& ctx, const std::vector<std::string>& args) {
+  const CliEnv& env = *ctx.env;
+  auto left = env.corpus.registry->FindByName(args[0]);
+  auto right = env.corpus.registry->FindByName(args[1]);
   if (!left.ok()) return Fail(left.status());
   if (!right.ok()) return Fail(right.status());
-  ExampleGenerator generator(env.cache, env.pool.get());
+  ExampleGenerator generator = ctx.MakeGenerator();
   ModuleMatcher matcher(env.cache, &generator);
   auto result = matcher.Compare(**left, **right);
   if (!result.ok()) return Fail(result.status());
-  std::cout << a << " vs " << b << ": "
+  std::cout << args[0] << " vs " << args[1] << ": "
             << BehaviorRelationName(result->relation) << " ("
             << result->examples_agreeing << "/" << result->examples_compared
             << " aligned examples agree"
@@ -351,22 +411,22 @@ StructuralType DefaultTypeFor(const std::string& concept_name) {
   return StructuralType::String();
 }
 
-int CmdDiscover(const CliEnv& env, const std::string& in,
-                const std::string& out) {
-  ConceptId in_concept = env.corpus.ontology->Find(in);
-  ConceptId out_concept = env.corpus.ontology->Find(out);
+int CmdDiscover(CliContext& ctx, const std::vector<std::string>& args) {
+  const CliEnv& env = *ctx.env;
+  ConceptId in_concept = env.corpus.ontology->Find(args[0]);
+  ConceptId out_concept = env.corpus.ontology->Find(args[1]);
   if (in_concept == kInvalidConcept || out_concept == kInvalidConcept) {
     return Fail(Status::NotFound("unknown concept (see export-ontology)"));
   }
   BehaviorDiscovery discovery(env.cache, env.corpus.registry.get());
   DiscoveryQuery query;
   query.input_concept = in_concept;
-  query.input_type = DefaultTypeFor(in);
+  query.input_type = DefaultTypeFor(args[0]);
   query.output_concept = out_concept;
-  query.output_type = DefaultTypeFor(out);
+  query.output_type = DefaultTypeFor(args[1]);
   auto hits = discovery.Search(query, 10);
   if (hits.empty()) {
-    std::cout << "no modules match " << in << " -> " << out << "\n";
+    std::cout << "no modules match " << args[0] << " -> " << args[1] << "\n";
     return 0;
   }
   for (const DiscoveryHit& hit : hits) {
@@ -376,25 +436,27 @@ int CmdDiscover(const CliEnv& env, const std::string& in,
   return 0;
 }
 
-int CmdCompose(const CliEnv& env, const std::string& in,
-               const std::string& out, size_t depth) {
-  ConceptId in_concept = env.corpus.ontology->Find(in);
-  ConceptId out_concept = env.corpus.ontology->Find(out);
+int CmdCompose(CliContext& ctx, const std::vector<std::string>& args) {
+  const CliEnv& env = *ctx.env;
+  ConceptId in_concept = env.corpus.ontology->Find(args[0]);
+  ConceptId out_concept = env.corpus.ontology->Find(args[1]);
   if (in_concept == kInvalidConcept || out_concept == kInvalidConcept) {
     return Fail(Status::NotFound("unknown concept (see export-ontology)"));
   }
+  size_t depth = 3;
+  if (args.size() == 3) depth = static_cast<size_t>(std::stoul(args[2]));
   ExampleGuidedComposer composer(env.cache, env.corpus.registry.get(),
                                  env.pool.get());
   CompositionRequest request;
   request.source_concept = in_concept;
-  request.source_type = DefaultTypeFor(in);
+  request.source_type = DefaultTypeFor(args[0]);
   request.target_concept = out_concept;
-  request.target_type = DefaultTypeFor(out);
+  request.target_type = DefaultTypeFor(args[1]);
   request.max_depth = depth;
   auto candidates = composer.Compose(request);
   if (!candidates.ok()) return Fail(candidates.status());
   if (candidates->empty()) {
-    std::cout << "no validated chain from " << in << " to " << out
+    std::cout << "no validated chain from " << args[0] << " to " << args[1]
               << " within depth " << depth << "\n";
     return 0;
   }
@@ -409,8 +471,8 @@ int CmdCompose(const CliEnv& env, const std::string& in,
   return 0;
 }
 
-int CmdStudy(const CliEnv& env) {
-  auto result = RunUnderstandingStudy(env.corpus, DefaultStudyUsers());
+int CmdStudy(CliContext& ctx, const std::vector<std::string>&) {
+  auto result = RunUnderstandingStudy(ctx.env->corpus, DefaultStudyUsers());
   if (!result.ok()) return Fail(result.status());
   TablePrinter table({"participant", "without examples", "with examples"});
   for (const StudyUserResult& user : result->users) {
@@ -426,7 +488,8 @@ int CmdStudy(const CliEnv& env) {
   return 0;
 }
 
-int CmdRepair(CliEnv& env) {
+int CmdRepair(CliContext& ctx, const std::vector<std::string>&) {
+  CliEnv& env = *ctx.env;
   auto matching = MatchRetiredModules(env.corpus, env.provenance);
   if (!matching.ok()) return Fail(matching.status());
   std::cout << "retired modules: " << matching->retired_total
@@ -444,46 +507,164 @@ int CmdRepair(CliEnv& env) {
   return 0;
 }
 
-int CmdExportWorkflow(const CliEnv& env, const std::string& id,
-                      const std::string& path) {
-  for (const GeneratedWorkflow& item : env.workflows.items) {
-    if (item.workflow.id == id) {
-      return WriteFile(path,
-                       RenderWorkflowDsl(item.workflow, *env.corpus.ontology));
+int CmdExportRegistry(CliContext& ctx, const std::vector<std::string>& args) {
+  return WriteFile(args[0], SaveAnnotations(*ctx.env->corpus.registry,
+                                            *ctx.env->corpus.ontology));
+}
+
+int CmdExportOntology(CliContext& ctx, const std::vector<std::string>& args) {
+  return WriteFile(args[0], ctx.env->corpus.ontology->ToDsl());
+}
+
+int CmdExportPool(CliContext& ctx, const std::vector<std::string>& args) {
+  return WriteFile(args[0], SavePool(*ctx.env->pool));
+}
+
+int CmdExportWorkflow(CliContext& ctx, const std::vector<std::string>& args) {
+  for (const GeneratedWorkflow& item : ctx.env->workflows.items) {
+    if (item.workflow.id == args[0]) {
+      return WriteFile(args[1], RenderWorkflowDsl(item.workflow,
+                                                  *ctx.env->corpus.ontology));
     }
   }
-  return Fail(Status::NotFound("no workflow with id '" + id + "'"));
+  return Fail(Status::NotFound("no workflow with id '" + args[0] + "'"));
 }
 
 /// Compiles the ontology + synthetic KB into a binary image, then loads
 /// it back (mmap + full validation) to report the sealed checksum. Uses
 /// the corpus defaults, so `dexa --kb-image=<file> <cmd>` reproduces the
 /// in-memory runs byte for byte.
-int CmdCompileKb(const std::string& path) {
+int CmdCompileKb(CliContext&, const std::vector<std::string>& args) {
   const CorpusOptions defaults;
   Ontology ontology = BuildMyGridOntology();
   KnowledgeBase kb(defaults.seed, defaults.kb_options);
-  Status written = kbimage::WriteKbImage(ontology, kb, path);
+  Status written = kbimage::WriteKbImage(ontology, kb, args[0]);
   if (!written.ok()) return Fail(written);
-  auto image = kbimage::CompiledKb::Load(path);
+  auto image = kbimage::CompiledKb::Load(args[0]);
   if (!image.ok()) return Fail(image.status());
   std::cout << "compiled " << (*image)->ConceptCount() << " concept(s), "
-            << (*image)->image_bytes() << " bytes to " << path
+            << (*image)->image_bytes() << " bytes to " << args[0]
             << " (checksum " << (*image)->checksum() << ")\n";
   return 0;
 }
 
+/// `dexa serve`: the multi-tenant run-manager daemon. One ServeEnv is
+/// built (same recipe as every other command), then a poll()-driven Server
+/// admits runs over the line protocol until shutdown.
+int CmdServe(CliContext& ctx, const std::vector<std::string>& args) {
+  serve::ServeEnvOptions env_options;
+  env_options.kb_image_path = ctx.kb_image_path;
+  env_options.threads = ctx.config.engine_options().threads;
+  env_options.seed = ctx.config.engine_options().seed;
+  serve::ServerOptions server_options;
+  bool stdio = false;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--port=", 0) == 0) {
+      server_options.port = std::stoi(arg.substr(7));
+    } else if (arg.rfind("--unix=", 0) == 0) {
+      server_options.unix_path = arg.substr(7);
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg.rfind("--journal-root=", 0) == 0) {
+      env_options.journal_root = arg.substr(15);
+    } else if (arg.rfind("--capacity=", 0) == 0) {
+      server_options.manager.capacity =
+          static_cast<size_t>(std::stoul(arg.substr(11)));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      server_options.manager.execute_batch =
+          static_cast<size_t>(std::stoul(arg.substr(8)));
+    } else {
+      return Fail(Status::InvalidArgument("unknown serve argument '" + arg +
+                                          "'"));
+    }
+  }
+  auto env = serve::ServeEnv::Create(env_options);
+  if (!env.ok()) return Fail(env.status());
+  serve::Server server(**env, server_options);
+  auto resumed = server.ResumeInFlightRuns();
+  if (!resumed.ok()) return Fail(resumed.status());
+  if (*resumed > 0) {
+    std::cerr << "resuming " << *resumed << " in-flight durable run(s)\n";
+  }
+  if (stdio) {
+    server.RunStdio();
+    return 0;
+  }
+  Status listening = server.Listen();
+  if (!listening.ok()) return Fail(listening);
+  std::cerr << "dexa serve: listening"
+            << (server_options.port >= 0
+                    ? " on 127.0.0.1:" + std::to_string(server_options.port)
+                    : "")
+            << (!server_options.unix_path.empty()
+                    ? " on " + server_options.unix_path
+                    : "")
+            << "\n";
+  server.Run();
+  return 0;
+}
+
+// -- Command table ----------------------------------------------------------
+
+using Handler = int (*)(CliContext&, const std::vector<std::string>&);
+
+struct Command {
+  const char* name;
+  const char* synopsis;  ///< Argument synopsis for the usage screen.
+  size_t min_args;
+  size_t max_args;   ///< SIZE_MAX = unbounded.
+  bool needs_env;    ///< Build the evaluation environment before dispatch.
+  bool retire;       ///< BuildEnv retires the decayed modules.
+  bool annotate;     ///< BuildEnv annotates the registry inline.
+  Handler handler;
+};
+
+constexpr size_t kUnbounded = static_cast<size_t>(-1);
+
+const Command kCommands[] = {
+    {"compile-kb", "<file>", 1, 1, false, false, false, CmdCompileKb},
+    {"tables", "", 0, 0, true, false, true, CmdTables},
+    {"annotate",
+     "<module> | [--trace-out=<f>] [--metrics-out=<f>] | --journal <dir> "
+     "[--crash before|after|torn <module-id>]",
+     1, 5, true, false, false, CmdAnnotate},
+    {"resume", "<dir>", 1, 1, true, false, false, CmdResume},
+    {"compare", "<name-a> <name-b>", 2, 2, true, false, true, CmdCompare},
+    {"discover", "<in-concept> <out-concept>", 2, 2, true, false, true,
+     CmdDiscover},
+    {"compose", "<in-concept> <out-concept> [depth]", 2, 3, true, false, true,
+     CmdCompose},
+    {"repair", "", 0, 0, true, true, true, CmdRepair},
+    {"study", "", 0, 0, true, false, true, CmdStudy},
+    {"serve",
+     "[--port=<n>] [--unix=<path>] [--stdio] [--journal-root=<dir>] "
+     "[--capacity=<n>] [--batch=<n>]",
+     0, kUnbounded, false, false, false, CmdServe},
+    {"export-registry", "<file>", 1, 1, true, false, true, CmdExportRegistry},
+    {"export-ontology", "<file>", 1, 1, true, false, false,
+     CmdExportOntology},
+    {"export-pool", "<file>", 1, 1, true, false, false, CmdExportPool},
+    {"export-workflow", "<id> <file>", 2, 2, true, false, false,
+     CmdExportWorkflow},
+};
+
+/// The annotate subcommand skips the inline annotation when it runs the
+/// annotation itself (traced, durable) — `annotate <module>` is the one
+/// form that needs the registry pre-annotated.
+bool AnnotateInline(const Command& command,
+                    const std::vector<std::string>& args) {
+  if (std::string(command.name) != "annotate") return command.annotate;
+  return args.size() == 1 && args[0].rfind("--", 0) != 0;
+}
+
 int Usage() {
-  std::cerr
-      << "usage: dexa [--kb-image=<file>] <command> [args]\n"
-         "  compile-kb <file>\n"
-         "  tables | annotate <module> | compare <a> <b>\n"
-         "  annotate [--trace-out=<file>] [--metrics-out=<file>]\n"
-         "  annotate --journal <dir> [--crash before|after|torn <module-id>]\n"
-         "  resume <dir>\n"
-         "  discover <in-concept> <out-concept> | compose <in> <out> [depth]\n"
-         "  repair | study | export-registry <file> | export-ontology <file>\n"
-         "  export-pool <file> | export-workflow <id> <file>\n";
+  std::cerr << "usage: dexa [--kb-image=<file>] [--threads=<n>] "
+               "[--seed=<n>] <command> [args]\n";
+  for (const Command& command : kCommands) {
+    std::cerr << "  " << command.name;
+    if (command.synopsis[0] != '\0') std::cerr << " " << command.synopsis;
+    std::cerr << "\n";
+  }
   return 2;
 }
 
@@ -492,109 +673,40 @@ int Usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
 
-  // `--kb-image=<file>` may appear anywhere; it selects the backend for
-  // the whole run, independent of the subcommand.
-  std::string kb_image_path;
+  // Global flags may appear anywhere; they configure the backend and the
+  // engine for the whole run, independent of the subcommand.
+  CliContext ctx;
+  ctx.config.Threads(1);
   for (size_t i = 0; i < args.size();) {
     if (args[i].rfind("--kb-image=", 0) == 0) {
-      kb_image_path = args[i].substr(11);
-      args.erase(args.begin() + static_cast<long>(i));
+      ctx.kb_image_path = args[i].substr(11);
+    } else if (args[i].rfind("--threads=", 0) == 0) {
+      ctx.config.Threads(static_cast<size_t>(std::stoul(args[i].substr(10))));
+    } else if (args[i].rfind("--seed=", 0) == 0) {
+      ctx.config.Seed(std::stoull(args[i].substr(7)));
     } else {
       ++i;
+      continue;
     }
+    args.erase(args.begin() + static_cast<long>(i));
   }
   if (args.empty()) return Usage();
-  const std::string& command = args[0];
+  const std::string command_name = args[0];
+  args.erase(args.begin());
 
-  // compile-kb builds the image straight from the generators — no corpus
-  // environment needed.
-  if (command == "compile-kb" && args.size() == 2) {
-    return CmdCompileKb(args[1]);
-  }
-
-  // The durable subcommands run (or resume) the annotation through a
-  // journal themselves; inline annotation would hide the work to recover.
-  const bool durable_annotate =
-      command == "annotate" && args.size() >= 3 && args[1] == "--journal";
-  const bool durable_resume = command == "resume" && args.size() == 2;
-
-  // Traced annotation (`annotate --trace-out=... --metrics-out=...`): the
-  // run itself is instrumented, so inline annotation is skipped too.
-  std::string trace_out, metrics_out;
-  bool traced_annotate = command == "annotate" && args.size() >= 2 &&
-                         args.size() <= 3 && !durable_annotate;
-  if (traced_annotate) {
-    for (size_t i = 1; i < args.size(); ++i) {
-      if (args[i].rfind("--trace-out=", 0) == 0) {
-        trace_out = args[i].substr(12);
-      } else if (args[i].rfind("--metrics-out=", 0) == 0) {
-        metrics_out = args[i].substr(14);
-      } else {
-        traced_annotate = false;
-      }
-    }
-    if (trace_out.empty() && metrics_out.empty()) traced_annotate = false;
-  }
-
-  // The repair command needs the decayed corpus; everything else works on
-  // the healthy one.
-  auto env = BuildEnv(
-      /*retire=*/command == "repair",
-      /*annotate=*/!(durable_annotate || durable_resume || traced_annotate),
-      kb_image_path);
-  if (!env.ok()) return Fail(env.status());
-
-  if (traced_annotate) return CmdAnnotateTraced(*env, trace_out, metrics_out);
-
-  if (durable_annotate) {
-    CrashPlan crash;
-    if (args.size() == 6 && args[3] == "--crash") {
-      if (args[4] == "before") {
-        crash.point = CrashPoint::kCrashBeforeCommit;
-      } else if (args[4] == "after") {
-        crash.point = CrashPoint::kCrashAfterCommit;
-      } else if (args[4] == "torn") {
-        crash.point = CrashPoint::kTornWrite;
-      } else {
-        return Usage();
-      }
-      crash.key = args[5];
-    } else if (args.size() != 3) {
+  for (const Command& command : kCommands) {
+    if (command_name != command.name) continue;
+    if (args.size() < command.min_args ||
+        (command.max_args != kUnbounded && args.size() > command.max_args)) {
       return Usage();
     }
-    return CmdAnnotateDurable(*env, args[2], crash);
-  }
-  if (durable_resume) return CmdResume(*env, args[1]);
-
-  if (command == "tables") return CmdTables(*env);
-  if (command == "annotate" && args.size() == 2) {
-    return CmdAnnotate(*env, args[1]);
-  }
-  if (command == "compare" && args.size() == 3) {
-    return CmdCompare(*env, args[1], args[2]);
-  }
-  if (command == "discover" && args.size() == 3) {
-    return CmdDiscover(*env, args[1], args[2]);
-  }
-  if (command == "compose" && (args.size() == 3 || args.size() == 4)) {
-    size_t depth = 3;
-    if (args.size() == 4) depth = static_cast<size_t>(std::stoul(args[3]));
-    return CmdCompose(*env, args[1], args[2], depth);
-  }
-  if (command == "repair") return CmdRepair(*env);
-  if (command == "study") return CmdStudy(*env);
-  if (command == "export-registry" && args.size() == 2) {
-    return WriteFile(args[1], SaveAnnotations(*env->corpus.registry,
-                                              *env->corpus.ontology));
-  }
-  if (command == "export-ontology" && args.size() == 2) {
-    return WriteFile(args[1], env->corpus.ontology->ToDsl());
-  }
-  if (command == "export-pool" && args.size() == 2) {
-    return WriteFile(args[1], SavePool(*env->pool));
-  }
-  if (command == "export-workflow" && args.size() == 3) {
-    return CmdExportWorkflow(*env, args[1], args[2]);
+    ctx.engine = ctx.config.BuildEngine();
+    if (command.needs_env) {
+      Status built =
+          BuildEnv(ctx, command.retire, AnnotateInline(command, args));
+      if (!built.ok()) return Fail(built);
+    }
+    return command.handler(ctx, args);
   }
   return Usage();
 }

@@ -1,0 +1,195 @@
+#ifndef DEXA_COMMON_IO_ENV_H_
+#define DEXA_COMMON_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace dexa {
+
+/// The injectable I/O seam. Every durable byte the system writes or maps —
+/// journal segments, snapshots, KB images, run descriptors — goes through an
+/// `IoEnv` instead of calling open/write/fsync/rename/mmap directly (the
+/// `raw-io` dexa-lint rule polices this). Production uses `IoEnv::Real()`;
+/// tests and the chaos harness wrap it in a `FaultyIoEnv` whose seed-driven
+/// profile injects ENOSPC, EIO, short writes, and fsync failures
+/// deterministically, so "the disk filled up mid-journal" is a reproducible
+/// unit test rather than an ops incident.
+///
+/// Error taxonomy at the seam (both real errno and injected faults):
+///   - ENOSPC/EDQUOT-class  → kResourceExhausted (bytes on disk are valid;
+///                            free space and resume byte-identically)
+///   - EIO-class, failed fsync → kCorrupted (the tail is untrustworthy;
+///                            recovery re-validates the CRC'd prefix)
+///   - missing file         → kNotFound
+///   - anything else        → kInternal
+
+/// A writable file handle produced by IoEnv::NewWritableFile. Appends go to
+/// the end; Sync flushes through to the OS (the fsync stand-in the fault
+/// profile can fail). Close is implied by destruction but returns no status
+/// there — call Close explicitly when the outcome matters.
+class WritableIoFile {
+ public:
+  virtual ~WritableIoFile() = default;
+  [[nodiscard]] virtual Status Append(std::string_view data) = 0;
+  [[nodiscard]] virtual Status Sync() = 0;
+  [[nodiscard]] virtual Status Close() = 0;
+};
+
+/// A read-only memory mapping (RAII: unmaps on destruction). Movable so it
+/// can live inside a Result and be stored by the mapping's consumer.
+class MmapRegion {
+ public:
+  MmapRegion() = default;
+  /// Takes ownership of `[data, data+size)`; `unmap` selects munmap (true)
+  /// or heap delete[] (false, used by fault wrappers that copy).
+  MmapRegion(void* data, size_t size, bool unmap);
+  ~MmapRegion();
+  MmapRegion(MmapRegion&& other) noexcept;
+  MmapRegion& operator=(MmapRegion&& other) noexcept;
+  MmapRegion(const MmapRegion&) = delete;
+  MmapRegion& operator=(const MmapRegion&) = delete;
+
+  const void* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  void Release();
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  bool unmap_ = false;
+};
+
+/// The seam interface. All paths are plain filesystem paths; directory
+/// *listing* stays on std::filesystem (read-only metadata — not a fault
+/// surface worth modeling), but every data-plane byte goes through here.
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  /// Opens `path` truncated for writing.
+  [[nodiscard]] virtual Result<std::unique_ptr<WritableIoFile>>
+  NewWritableFile(const std::string& path) = 0;
+
+  /// Reads `path` whole. kNotFound when missing.
+  [[nodiscard]] virtual Result<std::string> ReadFile(
+      const std::string& path) = 0;
+
+  /// Maps `path` read-only. kNotFound when missing.
+  [[nodiscard]] virtual Result<MmapRegion> MapReadOnly(
+      const std::string& path) = 0;
+
+  [[nodiscard]] virtual Status Rename(const std::string& from,
+                                      const std::string& to) = 0;
+  [[nodiscard]] virtual Status RemoveFile(const std::string& path) = 0;
+  [[nodiscard]] virtual Status Truncate(const std::string& path,
+                                        uint64_t size) = 0;
+  [[nodiscard]] virtual Status CreateDirs(const std::string& dir) = 0;
+
+  /// The process-wide real (POSIX) environment.
+  static IoEnv& Real();
+};
+
+/// Writes `content` to `path` atomically through `io`: bytes land in
+/// `<path>.tmp`, are synced, and the temp is renamed over the target — a
+/// crash (or injected fault) leaves the old file or the new one, never a
+/// torn hybrid. On failure the temp file is removed best-effort and the
+/// typed seam status is returned.
+[[nodiscard]] Status WriteFileAtomic(IoEnv& io, const std::string& path,
+                                     const std::string& content);
+
+/// A deterministic, seed-driven fault plan for a FaultyIoEnv. All counters
+/// are 1-based and global across the env instance (each durable run owns
+/// its own env, so profiles are per-run reproducible). Zero disables a
+/// fault axis.
+struct IoFaultProfile {
+  uint64_t seed = 0x10E4;
+
+  /// Total payload bytes the env accepts across all writes before the disk
+  /// "fills": the write that crosses the cap lands a short prefix up to the
+  /// cap (when short_writes) and fails kResourceExhausted, as real ENOSPC
+  /// does.
+  uint64_t enospc_after_bytes = 0;
+
+  /// The Kth Append (across all files) fails kCorrupted — a flaky device
+  /// returning EIO. With short_writes a seeded prefix lands first (a torn
+  /// frame for the CRC scan to discard).
+  uint64_t eio_write_at = 0;
+
+  /// Per-write probability of a random EIO, drawn from `seed`.
+  double write_fault_rate = 0.0;
+
+  /// The Kth Sync fails kCorrupted — fsync reporting lost writeback.
+  uint64_t fsync_fail_at = 0;
+
+  /// The Kth ReadFile/MapReadOnly fails kCorrupted.
+  uint64_t eio_read_at = 0;
+
+  /// The Kth Rename fails kResourceExhausted (metadata ENOSPC).
+  uint64_t rename_fail_at = 0;
+
+  /// When a write faults, land a deterministic prefix of the data first
+  /// (true models torn writes; false fails cleanly at a record boundary).
+  bool short_writes = true;
+
+  bool armed() const {
+    return enospc_after_bytes != 0 || eio_write_at != 0 ||
+           write_fault_rate > 0.0 || fsync_fail_at != 0 || eio_read_at != 0 ||
+           rename_fail_at != 0;
+  }
+};
+
+/// Wraps a base env (default: Real) and injects the faults of `profile`
+/// deterministically: the same profile over the same operation sequence
+/// produces the same faults at the same byte offsets. Not thread-safe —
+/// one FaultyIoEnv per (sequentially-committing) run.
+class FaultyIoEnv final : public IoEnv {
+ public:
+  explicit FaultyIoEnv(IoFaultProfile profile, IoEnv* base = nullptr);
+
+  [[nodiscard]] Result<std::unique_ptr<WritableIoFile>> NewWritableFile(
+      const std::string& path) override;
+  [[nodiscard]] Result<std::string> ReadFile(const std::string& path) override;
+  [[nodiscard]] Result<MmapRegion> MapReadOnly(
+      const std::string& path) override;
+  [[nodiscard]] Status Rename(const std::string& from,
+                              const std::string& to) override;
+  [[nodiscard]] Status RemoveFile(const std::string& path) override;
+  [[nodiscard]] Status Truncate(const std::string& path,
+                                uint64_t size) override;
+  [[nodiscard]] Status CreateDirs(const std::string& dir) override;
+
+  const IoFaultProfile& profile() const { return profile_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t bytes_accepted() const { return bytes_accepted_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+
+  // Fate machine, public for the file wrapper (implementation detail —
+  // not part of the seam contract). Decides the fate of the next Append of
+  // `size` bytes: OK to pass through, or the typed injected fault;
+  // `*short_bytes` is how many leading bytes to land before failing
+  // (0 = fail cleanly at the boundary).
+  [[nodiscard]] Status NextWriteFate(size_t size, size_t* short_bytes);
+  [[nodiscard]] Status NextSyncFate();
+  [[nodiscard]] Status NextReadFate(const std::string& path);
+
+ private:
+
+  IoFaultProfile profile_;
+  IoEnv* base_;
+  uint64_t rng_state_;
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t renames_ = 0;
+  uint64_t bytes_accepted_ = 0;
+  uint64_t faults_injected_ = 0;
+};
+
+}  // namespace dexa
+
+#endif  // DEXA_COMMON_IO_ENV_H_

@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Corrupted";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -67,6 +67,15 @@ enum class StatusCode {
   /// load with a typed code instead of queueing unboundedly is what keeps
   /// the serve daemon's latency bounded under overload.
   kOverloaded = 13,
+
+  /// A finite resource ran out underneath the operation: the disk filled
+  /// (ENOSPC/EDQUOT) mid-journal, a quota was hit, an allocation budget is
+  /// gone. Unlike kOverloaded (admission backpressure, resubmit later) the
+  /// operation *started* and stopped against a hard limit; unlike
+  /// kCorrupted the bytes already written are trustworthy — a durable run
+  /// keeps its valid journal prefix and resumes byte-identically once the
+  /// resource is freed.
+  kResourceExhausted = 14,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -127,6 +136,9 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -147,6 +159,9 @@ class [[nodiscard]] Status {
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsCorrupted() const { return code_ == StatusCode::kCorrupted; }
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// True for the transient error class: retrying the same invocation may
   /// succeed. The engine's RetryPolicy dispatches on this predicate.

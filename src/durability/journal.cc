@@ -1,10 +1,7 @@
 #include "durability/journal.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "common/rng.h"
@@ -23,6 +20,8 @@ constexpr char kRecordMagic1 = 'R';
 std::string SegmentName(size_t index) {
   return "wal-" + ZeroPad(index, 5) + ".seg";
 }
+
+IoEnv& EnvOrReal(IoEnv* io) { return io != nullptr ? *io : IoEnv::Real(); }
 
 /// Parses the numeric index out of a segment filename ("wal-00012.seg").
 /// Returns false for names that do not follow the scheme.
@@ -91,17 +90,6 @@ uint32_t GetU32Le(std::string_view bytes, size_t at) {
          static_cast<uint32_t>(static_cast<uint8_t>(bytes[at + 3])) << 24;
 }
 
-Result<std::string> ReadWholeFile(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::Internal("cannot read journal segment '" + path.string() +
-                            "'");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return std::move(buffer).str();
-}
-
 }  // namespace
 
 SegmentScan ScanSegment(std::string_view bytes) {
@@ -152,13 +140,14 @@ SegmentScan ScanSegment(std::string_view bytes) {
 }
 
 Result<JournalRecovery> RecoverJournal(const std::string& dir,
-                                       EngineMetrics* metrics) {
+                                       EngineMetrics* metrics, IoEnv* io) {
+  IoEnv& env = EnvOrReal(io);
   auto segments = ListSegments(dir);
   if (!segments.ok()) return segments.status();
 
   JournalRecovery recovery;
   for (size_t s = 0; s < segments->size(); ++s) {
-    auto bytes = ReadWholeFile((*segments)[s]);
+    auto bytes = env.ReadFile((*segments)[s].string());
     if (!bytes.ok()) return bytes.status();
     ++recovery.segments_scanned;
     SegmentScan scan = ScanSegment(*bytes);
@@ -187,22 +176,17 @@ Result<JournalRecovery> RecoverJournal(const std::string& dir,
   return recovery;
 }
 
-Status RunJournal::OpenSegment(size_t index, bool fresh) {
+Status RunJournal::OpenSegment(size_t index) {
   const fs::path path = fs::path(dir_) / SegmentName(index);
-  out_.open(path, std::ios::binary |
-                      (fresh ? std::ios::trunc : std::ios::app));
-  if (!out_) {
-    return Status::Internal("cannot open journal segment '" + path.string() +
-                            "'");
-  }
-  if (fresh) {
-    out_.write(kJournalSegmentMagic,
-               static_cast<std::streamsize>(kJournalSegmentMagicLen));
-    out_.flush();
-    if (!out_) {
-      return Status::Internal("cannot write journal segment header to '" +
-                              path.string() + "'");
-    }
+  auto file = io_->NewWritableFile(path.string());
+  if (!file.ok()) return file.status();
+  out_ = std::move(*file);
+  Status header = out_->Append(
+      std::string_view(kJournalSegmentMagic, kJournalSegmentMagicLen));
+  if (header.ok()) header = out_->Sync();
+  if (!header.ok()) {
+    out_.reset();
+    return header;
   }
   segment_open_ = true;
   segment_index_ = index;
@@ -212,31 +196,31 @@ Status RunJournal::OpenSegment(size_t index, bool fresh) {
 
 Result<RunJournal> RunJournal::Create(const std::string& dir,
                                       JournalOptions options,
-                                      EngineMetrics* metrics) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create journal directory '" + dir +
-                            "': " + ec.message());
-  }
+                                      EngineMetrics* metrics, IoEnv* io) {
+  IoEnv& env = EnvOrReal(io);
+  DEXA_RETURN_IF_ERROR(env.CreateDirs(dir));
   // A fresh journal owns the directory's WAL namespace: stale segments of a
   // previous run would otherwise replay into this one.
   auto stale = ListSegments(dir);
   if (!stale.ok()) return stale.status();
-  for (const fs::path& segment : *stale) fs::remove(segment, ec);
+  for (const fs::path& segment : *stale) {
+    DEXA_RETURN_IF_ERROR(env.RemoveFile(segment.string()));
+  }
 
   RunJournal journal;
   journal.dir_ = dir;
   journal.options_ = options;
   journal.metrics_ = metrics;
-  DEXA_RETURN_IF_ERROR(journal.OpenSegment(0, /*fresh=*/true));
+  journal.io_ = &env;
+  DEXA_RETURN_IF_ERROR(journal.OpenSegment(0));
   return journal;
 }
 
 Result<RunJournal> RunJournal::Resume(const std::string& dir,
                                       const JournalRecovery& recovery,
                                       JournalOptions options,
-                                      EngineMetrics* metrics) {
+                                      EngineMetrics* metrics, IoEnv* io) {
+  IoEnv& env = EnvOrReal(io);
   auto segments = ListSegments(dir);
   if (!segments.ok()) return segments.status();
   if (segments->empty()) {
@@ -253,16 +237,13 @@ Result<RunJournal> RunJournal::Resume(const std::string& dir,
     if (recovery.damaged_segment_valid_bytes < kJournalSegmentMagicLen) {
       // Even the header is damaged: the segment holds no valid records, and
       // a truncated stub would read as damage forever. Drop it whole.
-      fs::remove(damaged, ec);
+      DEXA_RETURN_IF_ERROR(env.RemoveFile(damaged.string()));
     } else {
-      fs::resize_file(damaged, recovery.damaged_segment_valid_bytes, ec);
-    }
-    if (ec) {
-      return Status::Internal("cannot truncate damaged segment '" +
-                              damaged.string() + "': " + ec.message());
+      DEXA_RETURN_IF_ERROR(
+          env.Truncate(damaged.string(), recovery.damaged_segment_valid_bytes));
     }
     for (size_t s = recovery.damaged_segment + 1; s < segments->size(); ++s) {
-      fs::remove((*segments)[s], ec);
+      DEXA_RETURN_IF_ERROR(env.RemoveFile((*segments)[s].string()));
     }
   }
 
@@ -278,18 +259,35 @@ Result<RunJournal> RunJournal::Resume(const std::string& dir,
   journal.dir_ = dir;
   journal.options_ = options;
   journal.metrics_ = metrics;
+  journal.io_ = &env;
   // Appends of the resumed run go into a fresh segment after the last valid
   // one; the crashed run's segments are sealed history.
-  DEXA_RETURN_IF_ERROR(journal.OpenSegment(next_index, /*fresh=*/true));
+  DEXA_RETURN_IF_ERROR(journal.OpenSegment(next_index));
   return journal;
 }
 
 Status RunJournal::Append(std::string_view payload) {
+  if (failed_) {
+    // A faulted journal stays faulted: appending past a torn tail would
+    // bury damage behind valid-looking frames and break the valid-prefix
+    // contract recovery depends on.
+    return Status::Unavailable(
+        "journal in '" + dir_ +
+        "' is failed after a disk fault; resume to continue");
+  }
   if (!segment_open_) {
-    DEXA_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1, /*fresh=*/true));
+    Status opened = OpenSegment(segment_index_ + 1);
+    if (!opened.ok()) {
+      failed_ = true;
+      return opened;
+    }
   } else if (segment_payload_bytes_ >= options_.segment_bytes) {
-    DEXA_RETURN_IF_ERROR(Seal());
-    DEXA_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1, /*fresh=*/true));
+    Status rolled = Seal();
+    if (rolled.ok()) rolled = OpenSegment(segment_index_ + 1);
+    if (!rolled.ok()) {
+      failed_ = true;
+      return rolled;
+    }
   }
 
   std::string frame;
@@ -300,11 +298,11 @@ Status RunJournal::Append(std::string_view payload) {
   PutU32Le(frame, Crc32(payload));
   frame.append(payload);
 
-  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  out_.flush();
-  if (!out_) {
-    return Status::Internal("journal append failed in segment " +
-                            std::to_string(segment_index_));
+  Status written = out_->Append(frame);
+  if (written.ok()) written = out_->Sync();
+  if (!written.ok()) {
+    failed_ = true;
+    return written;
   }
   segment_payload_bytes_ += frame.size();
   ++records_appended_;
@@ -314,8 +312,13 @@ Status RunJournal::Append(std::string_view payload) {
 
 Status RunJournal::Seal() {
   if (!segment_open_) return Status::OK();
-  out_.close();
+  Status closed = out_->Close();
+  out_.reset();
   segment_open_ = false;
+  if (!closed.ok()) {
+    failed_ = true;
+    return closed;
+  }
   ++segments_sealed_;
   if (metrics_ != nullptr) metrics_->RecordSegmentSealed();
   return Status::OK();
@@ -323,6 +326,7 @@ Status RunJournal::Seal() {
 
 Status TearJournalTail(const std::string& dir, uint64_t seed, int flips,
                        size_t truncate_bytes) {
+  IoEnv& env = IoEnv::Real();
   auto segments = ListSegments(dir);
   if (!segments.ok()) return segments.status();
   if (segments->empty()) {
@@ -330,7 +334,7 @@ Status TearJournalTail(const std::string& dir, uint64_t seed, int flips,
   }
   const fs::path& last = segments->back();
 
-  auto bytes = ReadWholeFile(last);
+  auto bytes = env.ReadFile(last.string());
   if (!bytes.ok()) return bytes.status();
   std::string content = std::move(bytes).value();
 
@@ -345,16 +349,11 @@ Status TearJournalTail(const std::string& dir, uint64_t seed, int flips,
     content[pos] = static_cast<char>(content[pos] ^ 0x5A);
   }
 
-  std::ofstream out(last, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot rewrite segment '" + last.string() + "'");
-  }
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  out.flush();
-  if (!out) {
-    return Status::Internal("cannot rewrite segment '" + last.string() + "'");
-  }
-  return Status::OK();
+  auto out = env.NewWritableFile(last.string());
+  if (!out.ok()) return out.status();
+  Status written = (*out)->Append(content);
+  if (written.ok()) written = (*out)->Close();
+  return written;
 }
 
 }  // namespace dexa

@@ -2,11 +2,12 @@
 #define DEXA_DURABILITY_JOURNAL_H_
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/result.h"
 #include "engine/metrics.h"
 
@@ -40,16 +41,24 @@ inline constexpr size_t kJournalFrameOverhead = 10;  // magic+length+crc.
 /// dies mid-run loses at most the record being written — and a torn or
 /// bit-flipped tail is detected, not trusted.
 ///
+/// All bytes go through an IoEnv (default: IoEnv::Real()), so disk faults —
+/// injected by a FaultyIoEnv or real — surface as the seam's typed codes:
+/// Append returns kResourceExhausted when the disk fills (the journal on
+/// disk stays a valid prefix; resume after space is freed replays it
+/// byte-identically) and kCorrupted on EIO/fsync loss.
+///
 /// Not thread-safe: the engine's commit hook serializes appends (commits
 /// happen on the sequential-commit phase only).
 class RunJournal {
  public:
   /// Starts a fresh journal in `dir` (created if missing); any segments of
   /// a previous journal in the directory are removed. `metrics` (optional)
-  /// receives RecordJournalRecord/RecordSegmentSealed.
+  /// receives RecordJournalRecord/RecordSegmentSealed. `io` (optional)
+  /// carries every byte; nullptr means the real filesystem.
   [[nodiscard]] static Result<RunJournal> Create(const std::string& dir,
                                    JournalOptions options = {},
-                                   EngineMetrics* metrics = nullptr);
+                                   EngineMetrics* metrics = nullptr,
+                                   IoEnv* io = nullptr);
 
   /// Re-opens the journal in `dir` for appending after a crash: truncates
   /// the damaged tail identified by `recovery` (RecoverJournal), removes
@@ -58,13 +67,17 @@ class RunJournal {
   [[nodiscard]] static Result<RunJournal> Resume(const std::string& dir,
                                    const struct JournalRecovery& recovery,
                                    JournalOptions options = {},
-                                   EngineMetrics* metrics = nullptr);
+                                   EngineMetrics* metrics = nullptr,
+                                   IoEnv* io = nullptr);
 
   RunJournal(RunJournal&&) = default;
   RunJournal& operator=(RunJournal&&) = default;
 
   /// Appends one record (frame + CRC32) and flushes it to the OS. Rolls to
-  /// a new segment first when the current one is past the size cap.
+  /// a new segment first when the current one is past the size cap. On a
+  /// disk fault the typed seam status comes back verbatim
+  /// (kResourceExhausted / kCorrupted) and the journal refuses further
+  /// appends — the valid prefix on disk is the contract.
   [[nodiscard]] Status Append(std::string_view payload);
 
   /// Seals the current segment; the next Append opens a new one. Idempotent.
@@ -78,13 +91,15 @@ class RunJournal {
  private:
   RunJournal() = default;
 
-  [[nodiscard]] Status OpenSegment(size_t index, bool fresh);
+  [[nodiscard]] Status OpenSegment(size_t index);
 
   std::string dir_;
   JournalOptions options_;
   EngineMetrics* metrics_ = nullptr;
-  std::ofstream out_;
+  IoEnv* io_ = nullptr;
+  std::unique_ptr<WritableIoFile> out_;
   bool segment_open_ = false;
+  bool failed_ = false;
   size_t segment_index_ = 0;
   size_t segment_payload_bytes_ = 0;
   uint64_t records_appended_ = 0;
@@ -125,7 +140,8 @@ struct JournalRecovery {
 /// Fails (as a Result error) only on environmental problems: missing or
 /// unreadable directory.
 [[nodiscard]] Result<JournalRecovery> RecoverJournal(const std::string& dir,
-                                       EngineMetrics* metrics = nullptr);
+                                       EngineMetrics* metrics = nullptr,
+                                       IoEnv* io = nullptr);
 
 /// One segment's in-memory scan (exposed for fuzzing and tests): parses
 /// `bytes` as a segment file image and returns the records of the valid

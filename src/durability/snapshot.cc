@@ -1,8 +1,6 @@
 #include "durability/snapshot.h"
 
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "durability/trace_io.h"
@@ -13,58 +11,39 @@ namespace dexa {
 
 namespace fs = std::filesystem;
 
-Status AtomicWriteFile(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal("cannot open temporary file '" + tmp + "'");
-    }
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
-      return Status::Internal("cannot write temporary file '" + tmp + "'");
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return Status::Internal("cannot rename '" + tmp + "' over '" + path +
-                            "'");
-  }
-  return Status::OK();
+namespace {
+IoEnv& EnvOrReal(IoEnv* io) { return io != nullptr ? *io : IoEnv::Real(); }
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       IoEnv* io) {
+  return WriteFileAtomic(EnvOrReal(io), path, content);
 }
 
-Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+Result<std::string> ReadFileToString(const std::string& path, IoEnv* io) {
+  auto bytes = EnvOrReal(io).ReadFile(path);
+  if (!bytes.ok() && bytes.status().IsNotFound()) {
+    // Preserve the historical message shape callers print.
     return Status::NotFound("cannot read file '" + path + "'");
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return std::move(buffer).str();
+  return bytes;
 }
 
 Status WriteRunStateSnapshot(const std::string& dir,
                              const AnnotatedInstancePool& pool,
                              const ModuleRegistry& registry,
                              const Ontology& ontology,
-                             const ProvenanceCorpus& provenance) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create snapshot directory '" + dir +
-                            "': " + ec.message());
-  }
+                             const ProvenanceCorpus& provenance, IoEnv* io) {
+  IoEnv& env = EnvOrReal(io);
+  DEXA_RETURN_IF_ERROR(env.CreateDirs(dir));
   const fs::path base(dir);
-  DEXA_RETURN_IF_ERROR(
-      AtomicWriteFile((base / kSnapshotPoolFile).string(), SavePool(pool)));
+  DEXA_RETURN_IF_ERROR(AtomicWriteFile((base / kSnapshotPoolFile).string(),
+                                       SavePool(pool), &env));
   DEXA_RETURN_IF_ERROR(
       AtomicWriteFile((base / kSnapshotAnnotationsFile).string(),
-                      SaveAnnotations(registry, ontology)));
+                      SaveAnnotations(registry, ontology), &env));
   DEXA_RETURN_IF_ERROR(AtomicWriteFile((base / kSnapshotTracesFile).string(),
-                                       SaveTraces(provenance)));
+                                       SaveTraces(provenance), &env));
   return Status::OK();
 }
 

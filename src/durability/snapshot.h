@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/io_env.h"
 #include "common/result.h"
 #include "modules/registry.h"
 #include "ontology/ontology.h"
@@ -15,11 +16,16 @@ namespace dexa {
 /// sibling file (`<path>.tmp`) which is flushed and then renamed over the
 /// target. A crash mid-write leaves either the old file or the new one —
 /// never a truncated hybrid — because rename(2) within one directory is
-/// atomic on POSIX filesystems.
-[[nodiscard]] Status AtomicWriteFile(const std::string& path, const std::string& content);
+/// atomic on POSIX filesystems. Bytes travel through `io` (nullptr = the
+/// real filesystem), so injected disk faults surface as the seam's typed
+/// kResourceExhausted/kCorrupted codes with no torn target file.
+[[nodiscard]] Status AtomicWriteFile(const std::string& path,
+                                     const std::string& content,
+                                     IoEnv* io = nullptr);
 
 /// Reads `path` whole. NotFound when the file does not exist.
-[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path,
+                                                   IoEnv* io = nullptr);
 
 /// File names of the three run-state artifacts inside a snapshot directory.
 inline constexpr const char* kSnapshotPoolFile = "pool.dexa";
@@ -35,7 +41,8 @@ inline constexpr const char* kSnapshotTracesFile = "traces.dexa";
                              const AnnotatedInstancePool& pool,
                              const ModuleRegistry& registry,
                              const Ontology& ontology,
-                             const ProvenanceCorpus& provenance);
+                             const ProvenanceCorpus& provenance,
+                             IoEnv* io = nullptr);
 
 /// What RestoreRunState recovered from a snapshot directory.
 struct RestoredRunState {

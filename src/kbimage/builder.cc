@@ -1,9 +1,7 @@
 #include "kbimage/builder.h"
 
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <vector>
 
 #include "common/crc32.h"
@@ -243,24 +241,10 @@ Result<std::string> CompileKbImage(const Ontology& ontology,
 }
 
 Status WriteKbImage(const Ontology& ontology, const KnowledgeBase& kb,
-                    const std::string& path) {
+                    const std::string& path, IoEnv* io) {
   auto image = CompileKbImage(ontology, kb);
   if (!image.ok()) return image.status();
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      return Status::Internal("cannot open '" + tmp + "' for writing");
-    }
-    out.write(image->data(), static_cast<std::streamsize>(image->size()));
-    out.flush();
-    if (!out.good()) return Status::Internal("short write to '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal("cannot move '" + tmp + "' into place at '" +
-                           path + "'");
-  }
-  return Status::OK();
+  return WriteFileAtomic(io != nullptr ? *io : IoEnv::Real(), path, *image);
 }
 
 }  // namespace dexa::kbimage

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/io_env.h"
 #include "common/result.h"
 #include "kb/knowledge_base.h"
 #include "ontology/ontology.h"
@@ -22,10 +23,13 @@ namespace dexa::kbimage {
 [[nodiscard]] Result<std::string> CompileKbImage(const Ontology& ontology,
                                                  const KnowledgeBase& kb);
 
-/// CompileKbImage + atomic write (tmp file + rename) to `path`.
+/// CompileKbImage + atomic write (tmp file + rename) to `path` through the
+/// I/O seam (`io` nullptr = real filesystem): disk faults surface typed
+/// with no torn image file left behind.
 [[nodiscard]] Status WriteKbImage(const Ontology& ontology,
                                   const KnowledgeBase& kb,
-                                  const std::string& path);
+                                  const std::string& path,
+                                  IoEnv* io = nullptr);
 
 }  // namespace dexa::kbimage
 

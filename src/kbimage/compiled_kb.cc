@@ -1,14 +1,10 @@
 #include "kbimage/compiled_kb.h"
 
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <cstring>
 #include <utility>
 
 #include "common/crc32.h"
+#include "common/io_env.h"
 #include "common/rng.h"
 #include "kbimage/entity_codec.h"
 #include "kbimage/format.h"
@@ -27,35 +23,25 @@ bool Aligned(const char* p) {
 
 }  // namespace
 
-CompiledKb::~CompiledKb() {
-  if (map_ != nullptr) ::munmap(map_, map_size_);
-}
+CompiledKb::~CompiledKb() = default;
 
-Result<std::unique_ptr<CompiledKb>> CompiledKb::Load(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::NotFound("cannot open KB image '" + path + "'");
+Result<std::unique_ptr<CompiledKb>> CompiledKb::Load(const std::string& path,
+                                                     IoEnv* io) {
+  IoEnv& env = io != nullptr ? *io : IoEnv::Real();
+  auto region = env.MapReadOnly(path);
+  if (!region.ok()) {
+    if (region.status().IsNotFound()) {
+      return Status::NotFound("cannot open KB image '" + path + "'");
+    }
+    return region.status();
   }
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return Status::Internal("cannot stat KB image '" + path + "'");
-  }
-  const size_t size = static_cast<size_t>(st.st_size);
-  if (size < sizeof(ImageHeader)) {
-    ::close(fd);
+  if (region->size() < sizeof(ImageHeader)) {
     return Status::Corrupted("KB image '" + path +
                              "' is shorter than its header");
   }
-  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);
-  if (map == MAP_FAILED) {
-    return Status::Internal("cannot mmap KB image '" + path + "'");
-  }
 
   std::unique_ptr<CompiledKb> kb(new CompiledKb());
-  kb->map_ = map;
-  kb->map_size_ = size;
+  kb->map_ = std::move(*region);
   Status parsed = kb->Parse();
   if (!parsed.ok()) return parsed;
   return kb;
@@ -69,7 +55,7 @@ const char* CompiledKb::Section(uint32_t id, size_t* size) const {
 }
 
 Status CompiledKb::Parse() {
-  const char* base = static_cast<const char*>(map_);
+  const char* base = static_cast<const char*>(map_.data());
 
   ImageHeader header;
   std::memcpy(&header, base, sizeof(header));
@@ -89,11 +75,11 @@ Status CompiledKb::Parse() {
       return Status::Corrupted("KB image header reserved bytes are not zero");
     }
   }
-  if (header.file_size != map_size_) {
+  if (header.file_size != map_.size()) {
     return Status::Corrupted("KB image truncated: header declares " +
                              std::to_string(header.file_size) +
                              " bytes, file has " +
-                             std::to_string(map_size_));
+                             std::to_string(map_.size()));
   }
   // Whole-image seal first: any byte of any section (or the table) that
   // changed since compile time fails here, before anything is trusted.
@@ -103,18 +89,18 @@ Status CompiledKb::Parse() {
   // not two; see bench_kb_coldstart).
   const size_t table_bytes =
       static_cast<size_t>(header.sections) * sizeof(SectionEntry);
-  if (sizeof(ImageHeader) + table_bytes > map_size_) {
+  if (sizeof(ImageHeader) + table_bytes > map_.size()) {
     return Status::Corrupted("KB image section table exceeds the file");
   }
   const uint64_t seal = SealHash64(std::string_view(
-      base + sizeof(ImageHeader), map_size_ - sizeof(ImageHeader)));
+      base + sizeof(ImageHeader), map_.size() - sizeof(ImageHeader)));
   const bool sealed = seal == header.seal;
   for (uint32_t i = 0; i < header.sections; ++i) {
     SectionEntry entry;
     std::memcpy(&entry, base + sizeof(ImageHeader) + i * sizeof(SectionEntry),
                 sizeof(entry));
-    if (entry.offset % kSectionAlign != 0 || entry.offset > map_size_ ||
-        entry.size > map_size_ - entry.offset) {
+    if (entry.offset % kSectionAlign != 0 || entry.offset > map_.size() ||
+        entry.size > map_.size() - entry.offset) {
       return Status::Corrupted("KB image section " + std::to_string(entry.id) +
                                " lies outside the file or is misaligned");
     }

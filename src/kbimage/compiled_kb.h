@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/result.h"
 #include "kb/knowledge_base.h"
 #include "kbimage/kb_view.h"
@@ -33,7 +34,7 @@ namespace dexa::kbimage {
 class CompiledKb final : public KbView {
  public:
   [[nodiscard]] static Result<std::unique_ptr<CompiledKb>> Load(
-      const std::string& path);
+      const std::string& path, IoEnv* io = nullptr);
 
   ~CompiledKb() override;
 
@@ -56,7 +57,7 @@ class CompiledKb final : public KbView {
   // -- Image metadata ------------------------------------------------
   uint64_t kb_seed() const { return kb_seed_; }
   std::string_view ontology_name() const;
-  size_t image_bytes() const { return map_size_; }
+  size_t image_bytes() const { return map_.size(); }
 
   /// Rebuilds a full in-memory Ontology from the concept section. The
   /// reconstruction inserts concepts in stored id order, so it
@@ -78,8 +79,7 @@ class CompiledKb final : public KbView {
   const char* Section(uint32_t id, size_t* size) const;
 
   // Mapping.
-  void* map_ = nullptr;
-  size_t map_size_ = 0;
+  MmapRegion map_;
 
   // Parsed views into the mapping.
   struct SectionView {

@@ -1,7 +1,6 @@
 #include "serve/run_manager.h"
 
 #include <filesystem>
-#include <fstream>
 #include <utility>
 
 namespace dexa::serve {
@@ -9,14 +8,15 @@ namespace dexa::serve {
 namespace {
 
 /// Marks a durable run's journal directory as finished so the startup
-/// crash-resume scan skips it.
-void WriteDoneMarker(const std::string& journal_dir) {
-  if (journal_dir.empty()) return;
-  std::error_code ec;
-  std::filesystem::create_directories(journal_dir, ec);
-  std::ofstream marker(std::filesystem::path(journal_dir) / "DONE",
-                       std::ios::binary | std::ios::trunc);
-  marker << "done\n";
+/// crash-resume scan skips it. Routed through the run's I/O env so an
+/// injected (or real) full disk fails typed — the caller keeps the result
+/// and restart re-resumes the journal idempotently.
+Status WriteDoneMarker(IoEnv& io, const std::string& journal_dir) {
+  if (journal_dir.empty()) return Status::OK();
+  DEXA_RETURN_IF_ERROR(io.CreateDirs(journal_dir));
+  const std::string path =
+      (std::filesystem::path(journal_dir) / "DONE").string();
+  return WriteFileAtomic(io, path, "done\n");
 }
 
 }  // namespace
@@ -51,17 +51,33 @@ Result<uint64_t> RunManager::Submit(const std::string& tenant,
                               std::to_string(options_.capacity) +
                               " queued); retry after a drain");
   }
+  if (options_.per_tenant_max_queued != 0 &&
+      tenant_queued_[tenant] >= options_.per_tenant_max_queued) {
+    ++counters_.rejected_quota;
+    return Status::Overloaded(
+        "tenant '" + tenant + "' is over its queued-run quota (" +
+        std::to_string(options_.per_tenant_max_queued) +
+        "); other tenants' runs are unaffected");
+  }
   uint64_t id = next_id_++;
   uint64_t tenant_seq = tenant_counts_[tenant]++;
   uint64_t submit_seq = submit_sequence_++;
+
+  const uint64_t deadline_ns = run.deadline_ns != 0
+                                   ? run.deadline_ns
+                                   : options_.default_deadline_ns;
 
   RunRecord record;
   record.id = id;
   record.tenant = tenant;
   record.state = RunState::kQueued;
   record.run = std::move(run);
+  if (deadline_ns != 0) {
+    record.deadline_at = engine_.clock().Now() + deadline_ns;
+  }
   records_.emplace(id, std::move(record));
   queue_.emplace(std::make_pair(tenant_seq, submit_seq), id);
+  ++tenant_queued_[tenant];
   ++counters_.submitted;
   counters_.queued = queue_.size();
   return id;
@@ -133,6 +149,7 @@ Status RunManager::Cancel(uint64_t id) {
   for (auto queue_it = queue_.begin(); queue_it != queue_.end(); ++queue_it) {
     if (queue_it->second == id) {
       queue_.erase(queue_it);
+      --tenant_queued_[record.tenant];
       break;
     }
   }
@@ -145,13 +162,35 @@ Status RunManager::Cancel(uint64_t id) {
 }
 
 std::vector<uint64_t> RunManager::ExecuteBatch() {
+  const uint64_t now = engine_.clock().Now();
   std::vector<uint64_t> batch;
-  while (batch.size() < options_.execute_batch && !queue_.empty()) {
-    auto first = queue_.begin();
-    batch.push_back(first->second);
-    queue_.erase(first);
+  std::map<std::string, size_t> batch_per_tenant;
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < options_.execute_batch;) {
+    RunRecord& record = records_.at(it->second);
+    if (record.deadline_at != 0 && now >= record.deadline_at) {
+      // Expired while queued: finish typed without burning a slot on it.
+      --tenant_queued_[record.tenant];
+      it = queue_.erase(it);
+      ExpireRun(record);
+      continue;
+    }
+    if (options_.per_tenant_max_concurrent != 0 &&
+        batch_per_tenant[record.tenant] >= options_.per_tenant_max_concurrent) {
+      // Over the tenant's concurrency quota for this batch: leave it queued
+      // and let other tenants' runs fill the remaining slots.
+      ++it;
+      continue;
+    }
+    ++batch_per_tenant[record.tenant];
+    --tenant_queued_[record.tenant];
+    batch.push_back(it->second);
+    it = queue_.erase(it);
   }
-  if (batch.empty()) return batch;
+  if (batch.empty()) {
+    counters_.queued = queue_.size();
+    return batch;
+  }
   counters_.queued = queue_.size();
 
   std::vector<RunRecord*> running;
@@ -175,6 +214,9 @@ std::vector<uint64_t> RunManager::ExecuteBatch() {
   for (size_t i = 0; i < running.size(); ++i) {
     FinishRun(*running[i], std::move(outcomes[i]));
   }
+  // Charge the batch to the virtual clock so queue-wait deadlines are a
+  // deterministic function of the schedule, not of wall time.
+  engine_.clock().Advance(options_.run_cost_ns * batch.size());
   EvictRetained();
   return batch;
 }
@@ -182,6 +224,8 @@ std::vector<uint64_t> RunManager::ExecuteBatch() {
 size_t RunManager::Drain() {
   size_t executed = 0;
   while (!queue_.empty()) {
+    // A batch may legitimately execute nothing (every queued run expired);
+    // the loop still terminates because each pass shrinks the queue.
     executed += ExecuteBatch().size();
   }
   return executed;
@@ -193,6 +237,9 @@ void RunManager::FinishRun(RunRecord& record, Result<RunResult> result) {
     record.state = RunState::kFailed;
     record.outcome = result.status();
     ++counters_.failed;
+    if (record.outcome.IsResourceExhausted() || record.outcome.IsCorrupted()) {
+      ++counters_.failed_io;
+    }
     return;
   }
   record.result = std::move(*result);
@@ -200,14 +247,35 @@ void RunManager::FinishRun(RunRecord& record, Result<RunResult> result) {
   if (record.result.complete()) {
     record.state = RunState::kDone;
     ++counters_.completed;
-    WriteDoneMarker(record.run.journal_dir);
+    IoEnv& io = record.run.io != nullptr ? *record.run.io : IoEnv::Real();
+    Status marked = WriteDoneMarker(io, record.run.journal_dir);
+    if (!marked.ok()) {
+      // The run's result stands; a missing DONE marker only means restart
+      // replays the (complete) journal — idempotent, so degrade quietly.
+      ++counters_.done_marker_failed;
+    }
   } else {
     // The facade returned a result but the run itself stopped short (e.g. a
-    // planned crash in a durable run): keep the partial result inspectable
-    // but do not mark the journal finished — restart will resume it.
+    // planned crash in a durable run, or a disk fault mid-commit): keep the
+    // partial result inspectable but do not mark the journal finished —
+    // restart will resume it.
     record.state = RunState::kFailed;
     ++counters_.failed;
+    if (record.outcome.IsResourceExhausted() || record.outcome.IsCorrupted()) {
+      ++counters_.failed_io;
+    }
   }
+}
+
+void RunManager::ExpireRun(RunRecord& record) {
+  record.finish_sequence = finish_sequence_++;
+  record.state = RunState::kFailed;
+  record.outcome = Status::Timeout(
+      "run " + std::to_string(record.id) +
+      " expired in queue: virtual-clock deadline passed before a scheduler "
+      "slot was free");
+  ++counters_.failed;
+  ++counters_.deadline_expired;
 }
 
 void RunManager::EvictRetained() {
@@ -247,6 +315,11 @@ void RunManager::ExportMetrics(obs::MetricsRegistry& registry) const {
   registry.SetCounter("serve_cancelled", counters_.cancelled);
   registry.SetCounter("serve_rejected_overloaded",
                       counters_.rejected_overloaded);
+  registry.SetCounter("serve_rejected_quota", counters_.rejected_quota);
+  registry.SetCounter("serve_deadline_expired", counters_.deadline_expired);
+  registry.SetCounter("serve_failed_io", counters_.failed_io);
+  registry.SetCounter("serve_done_marker_failed",
+                      counters_.done_marker_failed);
   registry.SetGauge("serve_queued", static_cast<uint64_t>(counters_.queued));
   registry.SetGauge("serve_retained",
                     static_cast<uint64_t>(counters_.retained));

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/result.h"
 #include "core/run_api.h"
 #include "corpus/fault_injector.h"
@@ -49,10 +50,19 @@ struct PreparedRun {
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricsRegistry> metrics;
 
+  /// The run's I/O environment when it carries an injected fault profile
+  /// (a FaultyIoEnv the journal and DONE marker route through); nullptr
+  /// means the real filesystem. Owned here so the seam outlives execution.
+  std::unique_ptr<IoEnv> io;
+
   /// Journal directory of a durable run ("" otherwise). On successful
   /// completion the manager drops a DONE marker here so the startup
   /// crash-resume scan knows the run does not need resuming.
   std::string journal_dir;
+
+  /// Virtual-clock deadline budget for this run in nanoseconds; 0 uses
+  /// RunManagerOptions::default_deadline_ns (which may also be 0 = none).
+  uint64_t deadline_ns = 0;
 };
 
 /// Tuning of a RunManager.
@@ -69,6 +79,27 @@ struct RunManagerOptions {
   /// Runs executed concurrently per ExecuteBatch call (fanned across the
   /// shared engine's pool; each run's own fan-out nests re-entrantly).
   size_t execute_batch = 8;
+
+  /// Per-tenant admission quota: one tenant may hold at most this many
+  /// queued runs (0 = unlimited). Breach is typed kOverloaded — the global
+  /// capacity bound protects the daemon, this bound protects the *other*
+  /// tenants from a bursting one.
+  size_t per_tenant_max_queued = 0;
+
+  /// Per-tenant concurrency quota: at most this many of one tenant's runs
+  /// execute in a single batch (0 = unlimited); excess stays queued and
+  /// other tenants' runs fill the batch instead.
+  size_t per_tenant_max_concurrent = 0;
+
+  /// Default virtual-clock deadline for admitted runs in nanoseconds
+  /// (0 = none). A run still queued when the clock passes its admission
+  /// reading + deadline finishes typed kTimeout without executing.
+  uint64_t default_deadline_ns = 0;
+
+  /// Virtual nanoseconds the clock advances per executed run, making
+  /// queue-wait deadlines a deterministic function of the schedule rather
+  /// than of wall time.
+  uint64_t run_cost_ns = 1'000'000;
 };
 
 /// Point-in-time view of one run for `status` responses.
@@ -89,6 +120,18 @@ struct RunManagerCounters {
   uint64_t failed = 0;
   uint64_t cancelled = 0;
   uint64_t rejected_overloaded = 0;
+  /// Admissions rejected by the per-tenant queued quota (also typed
+  /// kOverloaded on the wire, counted separately for the health probe).
+  uint64_t rejected_quota = 0;
+  /// Queued runs that finished kTimeout because their virtual-clock
+  /// deadline passed before a scheduler slot arrived.
+  uint64_t deadline_expired = 0;
+  /// Runs whose outcome was a disk-fault class status (kResourceExhausted
+  /// or kCorrupted) — the "disk" column of the health probe.
+  uint64_t failed_io = 0;
+  /// Completed durable runs whose DONE marker could not be written (the
+  /// run's result stands; restart re-resumes it idempotently).
+  uint64_t done_marker_failed = 0;
   size_t queued = 0;
   size_t retained = 0;
 };
@@ -144,6 +187,9 @@ class RunManager {
   size_t Drain();
 
   size_t queued() const { return queue_.size(); }
+  /// Distinct tenants ever admitted (the run-table row of the health probe).
+  size_t tenants() const { return tenant_counts_.size(); }
+  const RunManagerOptions& options() const { return options_; }
   const RunManagerCounters& counters() const { return counters_; }
 
   /// Every run id ever started, in scheduling order — the fairness tests
@@ -162,9 +208,14 @@ class RunManager {
     Status outcome;
     RunResult result;
     uint64_t finish_sequence = 0;  ///< Eviction order for retained results.
+    /// Virtual-clock reading past which a still-queued run expires
+    /// (0 = no deadline).
+    uint64_t deadline_at = 0;
   };
 
   void FinishRun(RunRecord& record, Result<RunResult> result);
+  /// Finishes a queued run typed kTimeout without executing it.
+  void ExpireRun(RunRecord& record);
   void EvictRetained();
 
   InvocationEngine& engine_;
@@ -174,6 +225,9 @@ class RunManager {
   uint64_t submit_sequence_ = 0;
   uint64_t finish_sequence_ = 0;
   std::map<std::string, uint64_t> tenant_counts_;
+  /// Currently-queued run count per tenant (the per_tenant_max_queued
+  /// admission quota dispatches on this).
+  std::map<std::string, size_t> tenant_queued_;
 
   /// Fairness key (tenant_seq, submit_seq) -> run id; begin() is the next
   /// run to schedule.

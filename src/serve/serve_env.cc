@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <utility>
 
 #include "common/rng.h"
@@ -17,27 +16,16 @@ constexpr char kRunDescriptor[] = "RUN";
 constexpr char kDoneMarker[] = "DONE";
 constexpr char kRunDirPrefix[] = "run-";
 
-Status WriteTextFile(const std::filesystem::path& path,
+Status WriteTextFile(IoEnv& io, const std::filesystem::path& path,
                      const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Unavailable("cannot write " + path.string());
-  }
-  out << content;
-  out.flush();
-  if (!out) {
-    return Status::Unavailable("short write to " + path.string());
-  }
-  return Status::OK();
+  return WriteFileAtomic(io, path.string(), content);
 }
 
 Result<std::string> ReadTextFile(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  auto content = IoEnv::Real().ReadFile(path.string());
+  if (!content.ok() && content.status().IsNotFound()) {
     return Status::NotFound("cannot read " + path.string());
   }
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
   return content;
 }
 
@@ -180,7 +168,8 @@ Result<PreparedRun> ServeEnv::PrepareAnnotate(size_t offset, size_t count,
   return run;
 }
 
-Result<PreparedRun> ServeEnv::PrepareDurableAnnotate(const CrashPlan* crash) {
+Result<PreparedRun> ServeEnv::PrepareDurableAnnotate(
+    const CrashPlan* crash, const IoFaultProfile* io_fault) {
   if (options_.journal_root.empty()) {
     return Status::InvalidArgument(
         "durable runs need a journal root (--journal-root)");
@@ -193,15 +182,19 @@ Result<PreparedRun> ServeEnv::PrepareDurableAnnotate(const CrashPlan* crash) {
   run.generator = MakeGenerator();
   run.metrics = std::make_unique<obs::MetricsRegistry>();
   run.journal_dir = NextRunDir();
+  if (io_fault != nullptr && io_fault->armed()) {
+    run.io = std::make_unique<FaultyIoEnv>(*io_fault);
+  }
+  IoEnv& io = run.io != nullptr ? *run.io : IoEnv::Real();
   auto journal =
-      RunJournal::Create(run.journal_dir, {}, &engine_->metrics());
+      RunJournal::Create(run.journal_dir, {}, &engine_->metrics(), &io);
   if (!journal.ok()) return journal.status();
   run.journal = std::make_unique<RunJournal>(std::move(*journal));
   WireMessage descriptor;
   descriptor["kind"] = "annotate_durable";
-  DEXA_RETURN_IF_ERROR(
-      WriteTextFile(std::filesystem::path(run.journal_dir) / kRunDescriptor,
-                    EncodeWire(descriptor) + "\n"));
+  DEXA_RETURN_IF_ERROR(WriteTextFile(
+      io, std::filesystem::path(run.journal_dir) / kRunDescriptor,
+      EncodeWire(descriptor) + "\n"));
 
   run.request = MakeDurableAnnotateRun(*run.generator, *run.registry,
                                        *corpus_.ontology, *run.journal);
@@ -216,7 +209,8 @@ Result<PreparedRun> ServeEnv::PrepareDurableAnnotate(const CrashPlan* crash) {
 }
 
 Result<PreparedRun> ServeEnv::PrepareEnact(size_t workflow_index,
-                                           bool durable) {
+                                           bool durable,
+                                           const IoFaultProfile* io_fault) {
   if (workflow_index >= workflows_.items.size()) {
     return Status::InvalidArgument(
         "workflow index " + std::to_string(workflow_index) + " out of range (" +
@@ -238,16 +232,20 @@ Result<PreparedRun> ServeEnv::PrepareEnact(size_t workflow_index,
         "durable runs need a journal root (--journal-root)");
   }
   run.journal_dir = NextRunDir();
+  if (io_fault != nullptr && io_fault->armed()) {
+    run.io = std::make_unique<FaultyIoEnv>(*io_fault);
+  }
+  IoEnv& io = run.io != nullptr ? *run.io : IoEnv::Real();
   auto journal =
-      RunJournal::Create(run.journal_dir, {}, &engine_->metrics());
+      RunJournal::Create(run.journal_dir, {}, &engine_->metrics(), &io);
   if (!journal.ok()) return journal.status();
   run.journal = std::make_unique<RunJournal>(std::move(*journal));
   WireMessage descriptor;
   descriptor["kind"] = "enact_durable";
   descriptor["workflow"] = std::to_string(workflow_index);
-  DEXA_RETURN_IF_ERROR(
-      WriteTextFile(std::filesystem::path(run.journal_dir) / kRunDescriptor,
-                    EncodeWire(descriptor) + "\n"));
+  DEXA_RETURN_IF_ERROR(WriteTextFile(
+      io, std::filesystem::path(run.journal_dir) / kRunDescriptor,
+      EncodeWire(descriptor) + "\n"));
   run.request = MakeDurableEnactRun(item.workflow, *corpus_.registry,
                                     item.seeds, *engine_, *run.journal);
   run.request.obs.metrics = run.metrics.get();

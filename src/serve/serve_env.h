@@ -65,14 +65,19 @@ class ServeEnv {
   /// Durable full-registry annotation journaled under a fresh
   /// `run-<n>` directory. The per-run registry is a full copy in
   /// registration order, so the journal fingerprint matches across daemon
-  /// restarts. `crash` (optional) arms in-process crash injection.
+  /// restarts. `crash` (optional) arms in-process crash injection;
+  /// `io_fault` (optional) arms a per-run FaultyIoEnv the journal, RUN
+  /// descriptor, and DONE marker all route through — injected disk faults
+  /// fail the run typed while the daemon and other tenants carry on.
   [[nodiscard]] Result<PreparedRun> PrepareDurableAnnotate(
-      const CrashPlan* crash);
+      const CrashPlan* crash, const IoFaultProfile* io_fault = nullptr);
 
   /// Resilient enactment of workflow `workflow_index` of the generated
   /// corpus on its recorded seeds; `durable` journals every step.
-  [[nodiscard]] Result<PreparedRun> PrepareEnact(size_t workflow_index,
-                                                 bool durable);
+  /// `io_fault` as in PrepareDurableAnnotate (durable runs only).
+  [[nodiscard]] Result<PreparedRun> PrepareEnact(
+      size_t workflow_index, bool durable,
+      const IoFaultProfile* io_fault = nullptr);
 
   /// Resumes the durable run journaled in `dir`: recovers the journal,
   /// reads the run's RUN descriptor, and rebuilds the same request with

@@ -34,6 +34,33 @@ Status SetNonBlocking(int fd) {
   return Status::OK();
 }
 
+/// Parses the optional injected-I/O-fault wire fields of a submit request
+/// into a profile (unarmed when none are present).
+Result<IoFaultProfile> ParseIoFault(const WireMessage& request) {
+  IoFaultProfile profile;
+  const struct {
+    const char* key;
+    uint64_t* dst;
+  } fields[] = {
+      {"io_seed", &profile.seed},
+      {"io_enospc_after", &profile.enospc_after_bytes},
+      {"io_eio_write", &profile.eio_write_at},
+      {"io_fsync_fail", &profile.fsync_fail_at},
+      {"io_rename_fail", &profile.rename_fail_at},
+      {"io_eio_read", &profile.eio_read_at},
+  };
+  for (const auto& field : fields) {
+    if (request.count(field.key) == 0) continue;
+    auto value = WireUint(request, field.key);
+    if (!value.ok()) return value.status();
+    *field.dst = *value;
+  }
+  if (request.count("io_short") != 0) {
+    profile.short_writes = WireGet(request, "io_short") != "0";
+  }
+  return profile;
+}
+
 }  // namespace
 
 Server::Server(ServeEnv& env, ServerOptions options)
@@ -123,6 +150,23 @@ WireMessage Server::HandleSubmit(const WireMessage& request) {
   const std::string tenant = WireGet(request, "tenant", "default");
   const std::string kind = WireGet(request, "kind", "annotate");
 
+  auto io_fault = ParseIoFault(request);
+  if (!io_fault.ok()) return ErrorResponse(io_fault.status());
+  const bool durable_kind = kind == "annotate_durable" || kind == "enact_durable";
+  if (io_fault->armed() && !durable_kind) {
+    return ErrorResponse(Status::InvalidArgument(
+        "io_* fault injection applies to durable kinds only"));
+  }
+  const IoFaultProfile* fault =
+      io_fault->armed() ? &io_fault.value() : nullptr;
+
+  uint64_t deadline_ns = 0;
+  if (request.count("deadline_ns") != 0) {
+    auto parsed = WireUint(request, "deadline_ns");
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    deadline_ns = *parsed;
+  }
+
   Result<PreparedRun> run = Status::InvalidArgument("unhandled kind");
   if (kind == "annotate") {
     uint64_t offset = 0, count = 0;
@@ -158,16 +202,17 @@ WireMessage Server::HandleSubmit(const WireMessage& request) {
             Status::InvalidArgument("crash injection needs crash_key"));
       }
     }
-    run = env_.PrepareDurableAnnotate(crash.armed() ? &crash : nullptr);
+    run = env_.PrepareDurableAnnotate(crash.armed() ? &crash : nullptr, fault);
   } else if (kind == "enact" || kind == "enact_durable") {
     auto workflow = WireUint(request, "workflow");
     if (!workflow.ok()) return ErrorResponse(workflow.status());
-    run = env_.PrepareEnact(*workflow, kind == "enact_durable");
+    run = env_.PrepareEnact(*workflow, kind == "enact_durable", fault);
   } else {
     return ErrorResponse(
         Status::InvalidArgument("unknown kind '" + kind + "'"));
   }
   if (!run.ok()) return ErrorResponse(run.status());
+  run->deadline_ns = deadline_ns;
 
   const std::string journal_dir = run->journal_dir;
   auto id = manager_.Submit(tenant, std::move(*run));
@@ -253,12 +298,49 @@ WireMessage Server::HandleMetrics() {
   return response;
 }
 
+WireMessage Server::HandleHealth() {
+  const RunManagerCounters& counters = manager_.counters();
+  const EngineMetricsSnapshot engine = env_.engine().metrics().Snapshot();
+  WireMessage response;
+  response["ok"] = "1";
+  response["state"] = shutdown_requested_ ? "draining" : "serving";
+  // Run table.
+  response["queued"] = std::to_string(counters.queued);
+  response["capacity"] = std::to_string(options_.manager.capacity);
+  response["retained"] = std::to_string(counters.retained);
+  response["tenants"] = std::to_string(manager_.tenants());
+  response["connections"] = std::to_string(connections_.size());
+  // Disk: degraded once any run has failed on a disk-fault class status or
+  // a DONE marker could not be written — the signal an operator watches
+  // before the journal volume actually fills.
+  const bool disk_degraded =
+      counters.failed_io > 0 || counters.done_marker_failed > 0;
+  response["disk"] = disk_degraded ? "degraded" : "ok";
+  response["failed_io"] = std::to_string(counters.failed_io);
+  response["done_marker_failed"] = std::to_string(counters.done_marker_failed);
+  if (!env_.journal_root().empty()) {
+    response["journal_root"] = env_.journal_root();
+  }
+  // Admission pressure.
+  response["rejected_overloaded"] =
+      std::to_string(counters.rejected_overloaded);
+  response["rejected_quota"] = std::to_string(counters.rejected_quota);
+  response["deadline_expired"] = std::to_string(counters.deadline_expired);
+  // Breaker state of the shared engine.
+  response["breaker_trips"] = std::to_string(engine.breaker_trips);
+  response["breaker_short_circuits"] =
+      std::to_string(engine.breaker_short_circuits);
+  response["virtual_now_ns"] = std::to_string(env_.engine().clock().Now());
+  return response;
+}
+
 WireMessage Server::Handle(const WireMessage& request) {
   const std::string op = WireGet(request, "op");
   if (op == "submit") return HandleSubmit(request);
   if (op == "status") return HandleStatus(request);
   if (op == "result") return HandleResult(request);
   if (op == "metrics") return HandleMetrics();
+  if (op == "health") return HandleHealth();
   if (op == "cancel") {
     auto id = WireUint(request, "id");
     if (!id.ok()) return ErrorResponse(id.status());
@@ -314,7 +396,10 @@ void Server::AcceptPending(int listener) {
 size_t Server::ReadConnection(Connection& connection) {
   size_t handled = 0;
   char buffer[4096];
-  while (true) {
+  // Bounded read: never pull more than one max-size line past what is
+  // already pending, so a firehosing client cannot balloon the buffer
+  // before the oversized check below sheds it.
+  while (connection.in.size() <= options_.max_line_bytes) {
     ssize_t n = ::read(connection.fd, buffer, sizeof(buffer));
     if (n > 0) {
       connection.in.append(buffer, static_cast<size_t>(n));
@@ -331,11 +416,33 @@ size_t Server::ReadConnection(Connection& connection) {
     start = newline + 1;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    if (line.size() > options_.max_line_bytes) {
+      connection.out += EncodeWire(ErrorResponse(Status::ResourceExhausted(
+          "request line of " + std::to_string(line.size()) +
+          " bytes exceeds the " + std::to_string(options_.max_line_bytes) +
+          "-byte limit; closing connection")));
+      connection.out += '\n';
+      connection.closing = true;
+      connection.in.clear();
+      return handled;
+    }
     connection.out += HandleLine(line);
     connection.out += '\n';
     ++handled;
   }
   connection.in.erase(0, start);
+  if (connection.in.size() > options_.max_line_bytes) {
+    // An unterminated line already over the cap can never become valid:
+    // reject typed and shed the connection instead of buffering forever.
+    connection.out += EncodeWire(ErrorResponse(Status::ResourceExhausted(
+        std::to_string(connection.in.size()) +
+        " bytes pending without a newline exceeds the " +
+        std::to_string(options_.max_line_bytes) +
+        "-byte line limit; closing connection")));
+    connection.out += '\n';
+    connection.closing = true;
+    connection.in.clear();
+  }
   return handled;
 }
 
@@ -380,6 +487,12 @@ size_t Server::PollOnce() {
     FlushConnection(it->second);
   }
   for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->second.out.size() > options_.max_pending_out_bytes) {
+      // The client stopped reading; drop the buffered responses and shed
+      // the connection rather than let one slow reader grow daemon memory.
+      it->second.out.clear();
+      it->second.closing = true;
+    }
     if (it->second.closing && it->second.out.empty()) {
       ::close(it->second.fd);
       it = connections_.erase(it);
@@ -408,6 +521,18 @@ void Server::RunStdio() {
   while (!shutdown_requested_ && std::getline(std::cin, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    if (line.size() > options_.max_line_bytes) {
+      // Same bound the socket connections enforce; stdio just answers the
+      // typed error without anything to close.
+      std::cout << EncodeWire(ErrorResponse(Status::ResourceExhausted(
+                       "request line of " + std::to_string(line.size()) +
+                       " bytes exceeds the " +
+                       std::to_string(options_.max_line_bytes) +
+                       "-byte limit")))
+                << "\n"
+                << std::flush;
+      continue;
+    }
     std::cout << HandleLine(line) << "\n" << std::flush;
   }
   manager_.Drain();

@@ -25,6 +25,17 @@ struct ServerOptions {
   /// by them).
   int idle_timeout_ms = 200;
 
+  /// Cap on one request line (and on the pending unterminated bytes of a
+  /// connection). A client that streams more than this without a newline —
+  /// or sends a longer line — gets a typed ResourceExhausted response and
+  /// the connection is closed: the read buffer never grows unboundedly.
+  size_t max_line_bytes = 64 * 1024;
+
+  /// Cap on buffered response bytes per connection. A client that stops
+  /// reading is shed (connection closed, buffer dropped) once its pending
+  /// output exceeds this — slow readers cannot balloon daemon memory.
+  size_t max_pending_out_bytes = 1 << 20;
+
   RunManagerOptions manager;
 };
 
@@ -45,12 +56,20 @@ struct ServerOptions {
 ///   {"op":"result","id":I}                digests + counts of a done run
 ///   {"op":"cancel","id":I}                cancel a queued run
 ///   {"op":"metrics"}                      run-table counters
+///   {"op":"health"}                       run-table / disk / breaker probe
 ///   {"op":"drain"}                        execute everything queued now
 ///   {"op":"shutdown"}                     drain, then stop the daemon
 ///
+/// Durable submits additionally accept an injected I/O fault profile
+/// ("io_enospc_after":BYTES, "io_eio_write":K, "io_fsync_fail":K,
+/// "io_rename_fail":K, "io_seed":S, "io_short":"0|1") and every submit a
+/// virtual-clock "deadline_ns":N — the chaos harness drives both.
+///
 /// Errors come back as {"ok":"0","code":<StatusCodeName>,"error":...}; an
 /// admission rejection carries code "Overloaded" — the typed backpressure
-/// clients react to by retrying after a drain.
+/// clients react to by retrying after a drain. Quota breaches are also
+/// "Overloaded"; oversized request lines are "ResourceExhausted" followed
+/// by connection close.
 ///
 /// Threading: deliberately single-threaded. Concurrency lives in the
 /// RunManager's batches (fanned over the shared engine's pool), not in
@@ -108,6 +127,7 @@ class Server {
   WireMessage HandleStatus(const WireMessage& request);
   WireMessage HandleResult(const WireMessage& request);
   WireMessage HandleMetrics();
+  WireMessage HandleHealth();
 
   void AcceptPending(int listener);
   /// Reads from one connection, handling every complete line. Returns the

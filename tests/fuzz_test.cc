@@ -28,6 +28,7 @@
 #include "obs/trace.h"
 #include "ontology/ontology_parser.h"
 #include "pool/pool_io.h"
+#include "serve/wire.h"
 #include "tests/test_util.h"
 #include "tools/lint/lint.h"
 #include "workflow/workflow_io.h"
@@ -378,6 +379,58 @@ TEST_P(ParserFuzzTest, MetricsExportReaderNeverCrashes) {
   // The readers are not interchangeable: each rejects the other's schema.
   EXPECT_TRUE(obs::ReadMetricsJson(SampleTraceExport()).status().IsCorrupted());
   EXPECT_TRUE(obs::ReadChromeTrace(pristine).status().IsCorrupted());
+}
+
+TEST_P(ParserFuzzTest, WireCodecNeverCrashes) {
+  Rng rng(GetParam());
+
+  // Genuine protocol lines as the mutation substrate — every op the daemon
+  // dispatches, including the fault-injection and deadline fields.
+  const std::vector<std::string> pristine = {
+      "{\"op\":\"submit\",\"kind\":\"annotate\",\"offset\":\"0\","
+      "\"count\":\"8\",\"tenant\":\"alice\",\"traced\":\"1\"}",
+      "{\"op\":\"submit\",\"kind\":\"enact_durable\",\"workflow\":\"3\","
+      "\"io_enospc_after\":\"4096\",\"io_seed\":\"99\","
+      "\"deadline_ns\":\"5000000\"}",
+      "{\"op\":\"status\",\"id\":\"17\"}",
+      "{\"op\":\"health\"}",
+  };
+
+  // The pristine lines round-trip byte-stably through the codec.
+  for (const std::string& line : pristine) {
+    auto parsed = serve::ParseWire(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    auto again = serve::ParseWire(serve::EncodeWire(*parsed));
+    ASSERT_TRUE(again.ok()) << again.status();
+    EXPECT_EQ(*again, *parsed);
+  }
+
+  // Truncated/mutated valid request lines: parse success (and the result
+  // re-encodes stably) or a typed ParseError — never a crash or a hang.
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = Mutate(pristine[rng.NextIndex(pristine.size())],
+                                 rng, 1 + static_cast<int>(rng.NextBelow(8)));
+    auto parsed = serve::ParseWire(mutated);
+    if (parsed.ok()) {
+      auto again = serve::ParseWire(serve::EncodeWire(*parsed));
+      ASSERT_TRUE(again.ok()) << again.status();
+      EXPECT_EQ(*again, *parsed);
+    } else {
+      EXPECT_TRUE(parsed.status().IsParseError()) << parsed.status();
+    }
+  }
+
+  // Raw random bytes — NULs, high bits, broken escapes included.
+  for (int i = 0; i < 200; ++i) {
+    std::string garbage(rng.NextIndex(160), '\0');
+    for (char& byte : garbage) {
+      byte = static_cast<char>(rng.NextBelow(256));
+    }
+    auto parsed = serve::ParseWire(garbage);
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsParseError()) << parsed.status();
+    }
+  }
 }
 
 TEST_P(ParserFuzzTest, KbImageLoaderNeverCrashes) {

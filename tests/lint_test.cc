@@ -522,6 +522,63 @@ TEST(LegacyRunEntryRuleTest, SuppressibleWithAllowComment) {
 }
 
 // ---------------------------------------------------------------------------
+// Family 9: io — file bytes go through the IoEnv seam
+// ---------------------------------------------------------------------------
+
+TEST(RawIoRuleTest, FiresOnDirectPosixCallsInSrc) {
+  LintReport report = Lint(
+      {{"src/durability/bad.cc",
+        "void F(int fd, const char* p, size_t n) {\n"
+        "  ::write(fd, p, n);\n"
+        "  ::fsync(fd);\n"
+        "}\n"}});
+  ASSERT_EQ(report.findings.size(), 2u) << Describe(report);
+  EXPECT_EQ(RuleSet(report), std::set<std::string>{"raw-io"});
+  EXPECT_NE(report.findings[0].message.find("IoEnv"), std::string::npos);
+}
+
+TEST(RawIoRuleTest, FiresOnFilesystemRename) {
+  LintReport report = Lint(
+      {{"src/kbimage/swap.cc",
+        "void G(const std::string& a, const std::string& b) {\n"
+        "  std::filesystem::rename(a, b);\n"
+        "}\n"},
+       {"src/durability/swap.cc",
+        "namespace fs = std::filesystem;\n"
+        "void H(const std::string& a, const std::string& b) {\n"
+        "  fs::rename(a, b);\n"
+        "}\n"}});
+  ASSERT_EQ(report.findings.size(), 2u) << Describe(report);
+  EXPECT_EQ(RuleSet(report), std::set<std::string>{"raw-io"});
+  EXPECT_NE(report.findings[0].message.find("IoEnv::Rename"), std::string::npos);
+}
+
+TEST(RawIoRuleTest, SeamSocketLoopTestsAndQualifiedCallsAreExempt) {
+  LintReport report = Lint(
+      {// The seam implementation itself owns the raw syscalls.
+       {"src/common/io_env.cc", "void F(int fd) { ::fsync(fd); }\n"},
+       // The serve socket loop reads and writes fds, not files.
+       {"src/serve/server.cc", "void G(int fd, char* b) { ::read(fd, b, 1); }\n"},
+       // Tests and benches exercise sockets and raw files deliberately.
+       {"tests/x_test.cc", "void H(int fd) { ::write(fd, \"x\", 1); }\n"},
+       {"bench/bench_x.cc", "void I(int fd) { ::close(fd); }\n"},
+       // Qualified member / scoped calls are not the POSIX symbols.
+       {"src/core/member.cc",
+        "void J(File* f, char* p) { f->file_::write(p, 1); }\n"
+        "void K() { Writer::rename(\"a\", \"b\"); }\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+}
+
+TEST(RawIoRuleTest, SuppressibleWithAllowComment) {
+  LintReport report = Lint(
+      {{"src/core/probe.cc",
+        "// dexa-lint: allow(raw-io) — feature probe, bytes discarded\n"
+        "void F(int fd) { ::fsync(fd); }\n"}});
+  EXPECT_TRUE(report.findings.empty()) << Describe(report);
+  EXPECT_EQ(report.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 

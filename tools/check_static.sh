@@ -60,6 +60,15 @@ for path in sys.argv[1:]:
                         "overloaded_rejections"}
             missing = required - names
             assert not missing, f"serve metrics missing: {sorted(missing)}"
+        if doc["bench"] == "chaos":
+            # The chaos bench must report the fault sweep: how many runs
+            # were faulted, how fully they converged after resume, and the
+            # recovery latency.
+            names = {m["name"] for m in metrics}
+            required = {"faulted_runs", "converged_fraction",
+                        "recovery_ms_mean", "untyped_failures"}
+            missing = required - names
+            assert not missing, f"chaos metrics missing: {sorted(missing)}"
     except (OSError, ValueError, AssertionError) as err:
         print(f"STALE BENCH SCHEMA: {path}: {err}", file=sys.stderr)
         bad += 1

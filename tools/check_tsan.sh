@@ -24,7 +24,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DDEXA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target engine_test generator_test fault_test \
   durability_test io_test obs_test kbimage_test serve_test run_api_test \
-  -j"$(nproc)"
+  chaos_test -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/engine_test"
@@ -42,5 +42,9 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # concept cache) over the pool — the serve layer's entire racy surface.
 "$BUILD_DIR/tests/run_api_test"
 "$BUILD_DIR/tests/serve_test"
+# chaos_test: concurrent tenants over the shared engine while per-run
+# FaultyIoEnvs inject disk faults — the degraded paths (typed failure,
+# resume after restart) run under TSan here.
+"$BUILD_DIR/tests/chaos_test"
 
 echo "TSan check passed."

@@ -573,6 +573,18 @@ int CmdServe(CliContext& ctx, const std::vector<std::string>& args) {
     } else if (arg.rfind("--batch=", 0) == 0) {
       server_options.manager.execute_batch =
           static_cast<size_t>(std::stoul(arg.substr(8)));
+    } else if (arg.rfind("--tenant-queued=", 0) == 0) {
+      server_options.manager.per_tenant_max_queued =
+          static_cast<size_t>(std::stoul(arg.substr(16)));
+    } else if (arg.rfind("--tenant-concurrent=", 0) == 0) {
+      server_options.manager.per_tenant_max_concurrent =
+          static_cast<size_t>(std::stoul(arg.substr(20)));
+    } else if (arg.rfind("--deadline-ns=", 0) == 0) {
+      server_options.manager.default_deadline_ns =
+          std::stoull(arg.substr(14));
+    } else if (arg.rfind("--max-line-bytes=", 0) == 0) {
+      server_options.max_line_bytes =
+          static_cast<size_t>(std::stoul(arg.substr(17)));
     } else {
       return Fail(Status::InvalidArgument("unknown serve argument '" + arg +
                                           "'"));
@@ -638,7 +650,8 @@ const Command kCommands[] = {
     {"study", "", 0, 0, true, false, true, CmdStudy},
     {"serve",
      "[--port=<n>] [--unix=<path>] [--stdio] [--journal-root=<dir>] "
-     "[--capacity=<n>] [--batch=<n>]",
+     "[--capacity=<n>] [--batch=<n>] [--tenant-queued=<n>] "
+     "[--tenant-concurrent=<n>] [--deadline-ns=<n>] [--max-line-bytes=<n>]",
      0, kUnbounded, false, false, false, CmdServe},
     {"export-registry", "<file>", 1, 1, true, false, true, CmdExportRegistry},
     {"export-ontology", "<file>", 1, 1, true, false, false,

@@ -533,6 +533,59 @@ void CheckLegacyRunEntry(const SourceFile& f, const GlobalContext&,
   }
 }
 
+// --------------------------------------------------------------------------
+// Family 9: io (every durable byte through the IoEnv seam)
+// --------------------------------------------------------------------------
+
+/// Production code does its file I/O through the IoEnv seam
+/// (src/common/io_env.h), so disk faults are injectable and surface as the
+/// typed taxonomy (kResourceExhausted/kCorrupted) instead of a raw errno.
+/// Direct global-qualified POSIX calls and std/filesystem renames in src/
+/// are findings. Exempt: the seam implementation itself, and the serve
+/// socket loop (sockets are a network transport, not durable-byte I/O).
+/// tests/, bench/ and tools/ drive sockets and fixtures freely.
+void CheckRawIo(const SourceFile& f, const GlobalContext&,
+                std::vector<Finding>& out) {
+  if (f.layer.empty()) return;
+  if (f.path.find("common/io_env") != std::string::npos) return;
+  if (f.path == "src/serve/server.cc") return;
+  static const std::set<std::string> kPosixIo = {
+      "open",  "read",   "write", "close",     "fsync", "fdatasync",
+      "pread", "pwrite", "mmap",  "munmap",    "rename"};
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    // Global-qualified POSIX call: `::write(...)` where the `::` is not the
+    // tail of a longer qualification (`std::`, `fs::`, `SomeClass::`).
+    if (IsPunct(t[i], "::") && i + 2 < t.size() &&
+        t[i + 1].kind == TokenKind::kIdentifier &&
+        kPosixIo.count(t[i + 1].text) != 0 && IsPunct(t[i + 2], "(")) {
+      bool qualified = i > 0 && (t[i - 1].kind == TokenKind::kIdentifier ||
+                                 IsPunct(t[i - 1], ">") ||
+                                 IsPunct(t[i - 1], ")"));
+      if (!qualified) {
+        out.push_back({"raw-io", f.path, t[i + 1].line,
+                       "direct `::" + t[i + 1].text +
+                           "` call outside the I/O seam; route the bytes "
+                           "through an IoEnv (src/common/io_env.h) so disk "
+                           "faults are injectable and typed"});
+      }
+      continue;
+    }
+    // Namespaced renames bypass the seam's Rename just as thoroughly.
+    if (t[i].kind == TokenKind::kIdentifier &&
+        (t[i].text == "std" || t[i].text == "fs" ||
+         t[i].text == "filesystem") &&
+        IsPunct(t[i + 1], "::") && i + 3 < t.size() &&
+        IsIdent(t[i + 2], "rename") && IsPunct(t[i + 3], "(")) {
+      out.push_back({"raw-io", f.path, t[i + 2].line,
+                     "`" + t[i].text +
+                         "::rename` outside the I/O seam; use "
+                         "IoEnv::Rename (src/common/io_env.h) so the "
+                         "swap is fault-injectable and typed"});
+    }
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -581,6 +634,10 @@ const std::vector<RuleInfo>& Rules() {
        "runs are submitted through the RunRequest facade (SubmitRun); the "
        "pre-facade durable entries are shims for src/durability only",
        &CheckLegacyRunEntry},
+      {"raw-io", "io",
+       "src/ file I/O goes through the IoEnv seam (common/io_env.h), never "
+       "raw ::open/::write/::fsync/rename",
+       &CheckRawIo},
   };
   return kRules;
 }

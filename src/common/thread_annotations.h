@@ -1,0 +1,42 @@
+#ifndef DEXA_COMMON_THREAD_ANNOTATIONS_H_
+#define DEXA_COMMON_THREAD_ANNOTATIONS_H_
+
+// Lock-discipline annotations for clang's -Wthread-safety analysis.
+//
+// Under clang with -DDEXA_THREAD_SAFETY=ON (CMake option, adds
+// -Wthread-safety and defines DEXA_THREAD_SAFETY_ANALYSIS) these expand to
+// the thread-safety attributes and the compiler proves every annotated
+// field is only touched with its mutex held. Everywhere else they expand
+// to nothing and serve as checked documentation: dexa-lint's
+// `guarded-field` rule requires every mutable field of a mutex-owning
+// class in src/engine + src/serve to carry DEXA_GUARDED_BY or an
+// allow-listed contract comment, on any compiler.
+//
+//   std::mutex mu_;
+//   std::deque<Item> queue_ DEXA_GUARDED_BY(mu_);
+//   Item& Slot(Key k) DEXA_REQUIRES(mu_);   // caller must hold mu_
+
+#if defined(DEXA_THREAD_SAFETY_ANALYSIS) && defined(__clang__)
+#define DEXA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DEXA_THREAD_ANNOTATION(x)
+#endif
+
+/// Field is protected by the given mutex: every read/write must hold it.
+#define DEXA_GUARDED_BY(x) DEXA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define DEXA_PT_GUARDED_BY(x) DEXA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called with the given mutex(es) held exclusively.
+#define DEXA_REQUIRES(...) \
+  DEXA_THREAD_ANNOTATION(exclusive_locks_required(__VA_ARGS__))
+
+/// Function may only be called with the given mutex(es) held shared.
+#define DEXA_REQUIRES_SHARED(...) \
+  DEXA_THREAD_ANNOTATION(shared_locks_required(__VA_ARGS__))
+
+/// Function body must not be entered with the given mutex(es) held.
+#define DEXA_EXCLUDES(...) DEXA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#endif  // DEXA_COMMON_THREAD_ANNOTATIONS_H_

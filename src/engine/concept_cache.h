@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/metrics.h"
 #include "kbimage/kb_view.h"
 #include "ontology/ontology.h"
@@ -89,14 +90,18 @@ class ConceptCache {
   void CountMiss() const;
   void CountQuery() const;
 
+  // dexa-lint: allow(guarded-field) — set in the ctor, immutable after.
   std::shared_ptr<const KbView> view_;
+  // dexa-lint: allow(guarded-field) — rebound only between runs, before sharing.
   EngineMetrics* metrics_;
 
   mutable std::shared_mutex mutex_;
-  mutable std::unordered_map<uint64_t, bool> subsumes_;
-  mutable std::unordered_map<ConceptId, std::vector<ConceptId>> descendants_;
-  mutable std::unordered_map<ConceptId, std::vector<ConceptId>> partitions_;
-  mutable std::unordered_map<uint64_t, ConceptId> lcs_;
+  mutable std::unordered_map<uint64_t, bool> subsumes_ DEXA_GUARDED_BY(mutex_);
+  mutable std::unordered_map<ConceptId, std::vector<ConceptId>> descendants_
+      DEXA_GUARDED_BY(mutex_);
+  mutable std::unordered_map<ConceptId, std::vector<ConceptId>> partitions_
+      DEXA_GUARDED_BY(mutex_);
+  mutable std::unordered_map<uint64_t, ConceptId> lcs_ DEXA_GUARDED_BY(mutex_);
 
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};

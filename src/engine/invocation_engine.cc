@@ -182,20 +182,25 @@ Result<std::vector<Value>> InvocationEngine::InvokeWithRetries(
   }
 }
 
+InvocationEngine::Breaker& InvocationEngine::BreakerSlot(
+    const std::string& module_id) {
+  return breakers_[module_id];
+}
+
 bool InvocationEngine::BreakerAdmits(const std::string& module_id) {
   if (!options_.retry.breaker_enabled()) return true;
   std::lock_guard<std::mutex> lock(breaker_mutex_);
-  auto it = breakers_.find(module_id);
-  if (it == breakers_.end() || !it->second.open) return true;
+  const Breaker& breaker = BreakerSlot(module_id);
+  if (!breaker.open) return true;
   // Open: admit a half-open probe once the cooldown elapsed.
-  return clock_.Now() >= it->second.reopen_at;
+  return clock_.Now() >= breaker.reopen_at;
 }
 
 void InvocationEngine::BreakerObserve(const std::string& module_id,
                                       const Status& status) {
   if (!options_.retry.breaker_enabled()) return;
   std::lock_guard<std::mutex> lock(breaker_mutex_);
-  Breaker& breaker = breakers_[module_id];
+  Breaker& breaker = BreakerSlot(module_id);
   if (status.ok()) {
     // Success closes the breaker (a successful half-open probe included).
     breaker.consecutive_permanent = 0;

@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "engine/metrics.h"
 #include "engine/virtual_clock.h"
 #include "modules/module.h"
@@ -252,17 +253,28 @@ class InvocationEngine {
   /// Advances the breaker with one invocation outcome.
   void BreakerObserve(const std::string& module_id, const Status& status);
 
+  /// The breaker record of `module_id`, created closed on first touch.
+  /// Callers hold breaker_mutex_ for the whole read-modify-write.
+  Breaker& BreakerSlot(const std::string& module_id)
+      DEXA_REQUIRES(breaker_mutex_);
+
+  // dexa-lint: allow(guarded-field) — set in the ctor, immutable after.
   EngineOptions options_;
+  // dexa-lint: allow(guarded-field) — set in the ctor, immutable after.
   size_t threads_ = 1;
+  // dexa-lint: allow(guarded-field) — internally synchronized (atomics).
   EngineMetrics metrics_;
+  // dexa-lint: allow(guarded-field) — internally synchronized (own mutex).
   VirtualClock clock_;
 
   mutable std::mutex breaker_mutex_;
-  std::unordered_map<std::string, Breaker> breakers_;
+  std::unordered_map<std::string, Breaker> breakers_
+      DEXA_GUARDED_BY(breaker_mutex_);
 
   std::mutex queue_mutex_;
   std::condition_variable_any queue_cv_;
-  std::deque<std::shared_ptr<Batch>> queue_;
+  std::deque<std::shared_ptr<Batch>> queue_ DEXA_GUARDED_BY(queue_mutex_);
+  // dexa-lint: allow(guarded-field) — written once in the ctor, joined in the dtor.
   std::vector<std::jthread> workers_;
 };
 
@@ -298,10 +310,11 @@ class CommitStream {
   }
 
  private:
+  // dexa-lint: allow(guarded-field) — set in the ctor, immutable after.
   InvocationEngine* engine_;
-  InvocationEngine::CommitHook hook_;
   mutable std::mutex mutex_;
-  uint64_t sequence_ = 0;
+  InvocationEngine::CommitHook hook_ DEXA_GUARDED_BY(mutex_);
+  uint64_t sequence_ DEXA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dexa

@@ -260,12 +260,17 @@ TEST_P(ParserFuzzTest, LintLexerNeverCrashes) {
     std::string mutated =
         Mutate(pristine, rng, 1 + static_cast<int>(rng.NextBelow(40)));
     // Splice in hostile fragments the text mutator rarely produces:
-    // truncated UTF-8, unterminated literals, NUL bytes, half directives.
+    // truncated UTF-8, unterminated literals, NUL bytes, half directives,
+    // and declarator soup aimed at the symbol indexer (dangling scope
+    // qualifiers, unclosed class heads, template debris, orphan braces).
     static const std::vector<std::string> kHostile = {
         "\xC3",     "\xE2\x82", "R\"(",        "R\"verylongdelimiter",
         "\"unterm", "'x",       "#include \"", "/*",
         "//\\\n",   std::string("\x00\x01\x7f", 3),
-        "#define A(", "::::"};
+        "#define A(", "::::",
+        "A::B::",   "class {",  "struct X : ", "template <typename",
+        "namespace {", "operator()(", ") { { {", "} } )",
+        "for (auto& x :", "Out::Of::Line::F() {"};
     size_t pos = rng.NextIndex(mutated.size() + 1);
     mutated.insert(pos, kHostile[rng.NextBelow(kHostile.size())]);
 
@@ -276,11 +281,22 @@ TEST_P(ParserFuzzTest, LintLexerNeverCrashes) {
       EXPECT_GE(t.line, 1);
       EXPECT_FALSE(t.text.empty());
     }
-    // And the full rule pass over garbage must be equally unkillable.
-    lint::Linter linter;
-    linter.AddSource("src/core/fuzzed.cc", mutated);
-    lint::LintReport report = linter.Run();
+    // And the full pipeline over garbage — per-file rules, symbol index,
+    // call graph, taint propagation — must be equally unkillable.
+    lint::AnalyzedFile summary =
+        lint::AnalyzeSource("src/core/fuzzed.cc", mutated);
+    lint::LintReport report = lint::FinishAnalysis({summary});
     EXPECT_EQ(report.files_scanned, 1u);
+
+    // So must the warm-cache record codec: a damaged record either fails
+    // to parse or parses into a summary the whole-program passes digest.
+    std::string record = lint::SerializeAnalyzedFile(summary);
+    std::string damaged =
+        Mutate(record, rng, 1 + static_cast<int>(rng.NextBelow(12)));
+    lint::AnalyzedFile reparsed;
+    if (lint::ParseAnalyzedFile(damaged, reparsed)) {
+      lint::FinishAnalysis({reparsed});
+    }
   }
 }
 

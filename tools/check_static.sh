@@ -60,6 +60,18 @@ for path in sys.argv[1:]:
                         "overloaded_rejections"}
             missing = required - names
             assert not missing, f"serve metrics missing: {sorted(missing)}"
+        if doc["bench"] == "lint":
+            # The lint bench must report the warm-cache contract: cold and
+            # warm wall time, the speedup between them, and the cost of the
+            # whole-program taint pass.
+            names = {m["name"] for m in metrics}
+            required = {"cold_ms", "warm_ms", "warm_speedup", "taint_ms"}
+            missing = required - names
+            assert not missing, f"lint metrics missing: {sorted(missing)}"
+            speedup = next(m["value"] for m in metrics
+                           if m["name"] == "warm_speedup")
+            assert speedup >= 5.0, \
+                f"warm lint must be >=5x faster than cold (got {speedup}x)"
         if doc["bench"] == "chaos":
             # The chaos bench must report the fault sweep: how many runs
             # were faulted, how fully they converged after resume, and the
@@ -85,6 +97,8 @@ cmake -B "${PREFIX}-lint" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "${PREFIX}-lint" --target dexa-lint -j"$JOBS"
 "${PREFIX}-lint/tools/dexa-lint" \
   --json="${PREFIX}-lint/lint_report.json" \
+  --sarif="${PREFIX}-lint/lint_report.sarif" \
+  --cache-dir="${PREFIX}-lint/lint-cache" \
   src tests bench tools examples
 
 run_sanitized_suite() {

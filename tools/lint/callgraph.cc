@@ -1,0 +1,80 @@
+#include "tools/lint/callgraph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dexa::lint {
+namespace {
+
+/// Every `::`-suffix of a qualified name, including the full name and the
+/// bare last component: "A::B::f" -> {"A::B::f", "B::f", "f"}.
+std::vector<std::string> QualSuffixes(const std::string& qual) {
+  std::vector<std::string> out;
+  out.push_back(qual);
+  size_t pos = 0;
+  while ((pos = qual.find("::", pos)) != std::string::npos) {
+    pos += 2;
+    out.push_back(qual.substr(pos));
+  }
+  return out;
+}
+
+}  // namespace
+
+CallGraph BuildCallGraph(const std::vector<const FileIndex*>& files) {
+  CallGraph graph;
+  // Pass 1: one node per function definition in a src/ layer.
+  for (const FileIndex* fp : files) {
+    const FileIndex& file = *fp;
+    if (file.layer.empty()) continue;
+    for (const FunctionDef& def : file.functions) {
+      CallNode node;
+      node.qual = def.name;
+      node.file = file.path;
+      node.layer = file.layer;
+      node.line = def.line;
+      node.sources = def.sources;
+      graph.nodes.push_back(std::move(node));
+    }
+  }
+  // Resolution map: every suffix of every definition's qualified name.
+  // (The synthetic <file-scope> pseudo-function is never a call target.)
+  std::map<std::string, std::vector<size_t>> by_suffix;
+  for (size_t id = 0; id < graph.nodes.size(); ++id) {
+    if (graph.nodes[id].qual == kFileScopeFunction) continue;
+    for (const std::string& suffix : QualSuffixes(graph.nodes[id].qual)) {
+      by_suffix[suffix].push_back(id);
+    }
+  }
+  // Pass 2: resolve call sites into edges.
+  size_t id = 0;
+  for (const FileIndex* fp : files) {
+    const FileIndex& file = *fp;
+    if (file.layer.empty()) continue;
+    for (const FunctionDef& def : file.functions) {
+      CallNode& node = graph.nodes[id++];
+      std::set<size_t> seen;
+      for (const CallSite& call : def.calls) {
+        auto it = by_suffix.find(call.name);
+        if (it == by_suffix.end()) continue;
+        std::vector<size_t> targets;
+        if (call.name.find("::") == std::string::npos) {
+          // Unqualified: same-file definitions win; otherwise fan out.
+          for (size_t t : it->second) {
+            if (graph.nodes[t].file == file.path) targets.push_back(t);
+          }
+          if (targets.empty()) targets = it->second;
+        } else {
+          targets = it->second;
+        }
+        for (size_t t : targets) {
+          if (seen.insert(t).second) node.calls.push_back({t, call.line});
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace dexa::lint

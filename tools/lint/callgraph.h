@@ -1,0 +1,50 @@
+#ifndef DEXA_TOOLS_LINT_CALLGRAPH_H_
+#define DEXA_TOOLS_LINT_CALLGRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/lint/index.h"
+
+namespace dexa::lint {
+
+/// A resolved call edge: `callee` is a node id in CallGraph::nodes, `line`
+/// the call site in the *caller*.
+struct CallEdge {
+  size_t callee = 0;
+  int line = 0;
+};
+
+/// One function in the whole-program graph (self-contained copy of the
+/// FileIndex facts, so the graph outlives the per-file indexes).
+struct CallNode {
+  std::string qual;   ///< spelled qualification, e.g. "RunManager::Submit"
+  std::string file;
+  std::string layer;
+  int line = 0;  ///< definition line
+  std::vector<TaintSource> sources;
+  std::vector<CallEdge> calls;  ///< resolved, deduplicated per callee
+};
+
+struct CallGraph {
+  std::vector<CallNode> nodes;  ///< file order, files in input order
+};
+
+/// Links per-file indexes into one graph. Only `src/` files (non-empty
+/// layer) participate: tests/bench/tools deliberately redefine common names
+/// and would pollute resolution.
+///
+/// Call-name resolution is heuristic (no types, no overload sets):
+///   - a qualified call `A::f` matches any definition whose qualified name
+///     is `A::f` or ends with `::A::f` (so `Outer::A::f` resolves too);
+///   - an unqualified call `f` (free or member `x.f(...)`) prefers
+///     definitions in the *same file*; only when the file defines no `f`
+///     does it fan out to every definition of `f` in the tree.
+/// Fan-out overapproximates (taint stays conservative); unresolvable names
+/// (std::, locals, macros) simply produce no edge.
+CallGraph BuildCallGraph(const std::vector<const FileIndex*>& files);
+
+}  // namespace dexa::lint
+
+#endif  // DEXA_TOOLS_LINT_CALLGRAPH_H_

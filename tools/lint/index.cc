@@ -1,0 +1,533 @@
+#include "tools/lint/index.h"
+
+#include <set>
+
+namespace dexa::lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Keywords that can precede a `(` without naming a callable (control flow,
+/// casts, allocation) — never a call edge, never a definition.
+const std::set<std::string>& NonCallKeywords() {
+  static const std::set<std::string> kKeywords = {
+      "if",        "for",          "while",     "switch",     "catch",
+      "sizeof",    "alignof",      "alignas",   "decltype",   "typeid",
+      "new",       "delete",       "static_assert",           "noexcept",
+      "return",    "co_return",    "co_await",  "co_yield",   "throw",
+      "assert",    "static_cast",  "dynamic_cast",
+      "const_cast","reinterpret_cast"};
+  return kKeywords;
+}
+
+/// `return f(...)` is a use of f, not a declaration of a variable f.
+const std::set<std::string>& UseKeywords() {
+  static const std::set<std::string> kUse = {"return", "co_return", "co_await",
+                                             "co_yield", "throw", "case"};
+  return kUse;
+}
+
+const std::set<std::string>& ClockTypes() {
+  static const std::set<std::string> kTypes = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "utc_clock",    "file_clock",   "tai_clock"};
+  return kTypes;
+}
+
+const std::set<std::string>& TimeCalls() {
+  static const std::set<std::string> kCalls = {
+      "gettimeofday", "timespec_get", "localtime", "gmtime", "mktime",
+      "strftime",     "ctime",        "asctime",   "time",   "clock"};
+  return kCalls;
+}
+
+const std::set<std::string>& EntropyTypes() {
+  static const std::set<std::string> kTypes = {
+      "random_device", "mt19937", "mt19937_64", "minstd_rand",
+      "default_random_engine"};
+  return kTypes;
+}
+
+const std::set<std::string>& EntropyCalls() {
+  static const std::set<std::string> kCalls = {"rand", "srand", "random",
+                                               "drand48"};
+  return kCalls;
+}
+
+bool IsUnorderedContainer(const std::string& name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+bool IsAssociativeContainer(const std::string& name) {
+  return IsUnorderedContainer(name) || name == "map" || name == "set" ||
+         name == "multimap" || name == "multiset";
+}
+
+/// Skips a balanced (), [] or {} group starting at `i`; see rules.cc.
+size_t SkipBalanced(const Tokens& t, size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "(" || p == "[" || p == "{") {
+      ++depth;
+    } else if (p == ")" || p == "]" || p == "}") {
+      if (--depth == 0) return i + 1;
+      if (depth < 0) return t.size();
+    }
+  }
+  return t.size();
+}
+
+/// Skips a `<...>` template argument/parameter list starting at the `<`.
+/// Returns one past the matching `>`, or `i + 1` when the list is
+/// malformed (so the caller just steps over the `<`).
+size_t SkipAngles(const Tokens& t, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < t.size() && j < i + 256; ++j) {
+    if (IsPunct(t[j], "<")) ++depth;
+    if (IsPunct(t[j], ">") && --depth == 0) return j + 1;
+    if (IsPunct(t[j], ";") || IsPunct(t[j], "{")) break;  // malformed
+  }
+  return i + 1;
+}
+
+/// The indexer: one forward pass over the token stream with a scope stack
+/// (namespaces, classes, function bodies). Function definitions are
+/// recognized by their header shape — identifier chain, balanced parameter
+/// list, optional trailing qualifiers / ctor-initializer list, then `{` —
+/// which is robust against the lexer's token soup without a real parser.
+class Indexer {
+ public:
+  Indexer(const std::string& path, const std::string& layer,
+          const LexedSource& lex)
+      : lex_(lex), t_(lex.tokens) {
+    index_.path = path;
+    index_.layer = layer;
+  }
+
+  FileIndex Build() {
+    CollectHashOrderedNames();
+    size_t i = 0;
+    while (i < t_.size()) {
+      size_t before = i;
+      Step(i);
+      if (i <= before) i = before + 1;  // fuzz contract: always progress
+    }
+    if (!file_scope_.calls.empty() || !file_scope_.sources.empty()) {
+      file_scope_.name = kFileScopeFunction;
+      index_.functions.push_back(std::move(file_scope_));
+    }
+    return std::move(index_);
+  }
+
+ private:
+  struct Scope {
+    enum Kind { kNamespace, kClass, kFunction, kBlock } kind;
+    std::string name;  ///< class name / function qualified name
+    int depth;         ///< brace depth *inside* the scope
+  };
+
+  bool InFunction() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction) return true;
+      if (it->kind == Scope::kClass) return false;
+    }
+    return false;
+  }
+
+  bool InClassBody() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return true;
+      if (it->kind == Scope::kFunction) return false;
+    }
+    return false;
+  }
+
+  /// Enclosing class scopes joined with `::` (innermost last).
+  std::string ClassQualifier() const {
+    std::string out;
+    for (const Scope& s : scopes_) {
+      if (s.kind != Scope::kClass || s.name.empty()) continue;
+      if (!out.empty()) out += "::";
+      out += s.name;
+    }
+    return out;
+  }
+
+  FunctionDef* CurrentFunction() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction) return &functions_.back();
+      if (it->kind == Scope::kClass) return nullptr;
+    }
+    return &file_scope_;  // namespace scope: static initializers
+  }
+
+  /// True when `line` (or the line above, matching finding-suppression
+  /// placement) or the whole file allows `rule` or `determinism-taint`.
+  bool SourceSuppressed(int line, const std::string& rule) const {
+    auto allows = [&](const std::set<std::string>& rules) {
+      return rules.count("*") || rules.count("determinism-taint") ||
+             rules.count(rule);
+    };
+    if (allows(lex_.file_suppressions)) return true;
+    for (int l : {line, line - 1}) {
+      auto it = lex_.line_suppressions.find(l);
+      if (it != lex_.line_suppressions.end() && allows(it->second)) return true;
+    }
+    return false;
+  }
+
+  void AddSource(FunctionDef* fn, const char* kind, const std::string& what,
+                 int line) {
+    if (fn == nullptr || SourceSuppressed(line, kind)) return;
+    fn->sources.push_back({kind, what, line});
+  }
+
+  /// Pass 0: names declared anywhere in the file with an unordered
+  /// container type, or with an associative container keyed on a pointer
+  /// (hash order and address order are both nondeterministic).
+  void CollectHashOrderedNames() {
+    for (size_t i = 0; i + 1 < t_.size(); ++i) {
+      if (t_[i].kind != TokenKind::kIdentifier ||
+          !IsAssociativeContainer(t_[i].text) || !IsPunct(t_[i + 1], "<")) {
+        continue;
+      }
+      bool unordered = IsUnorderedContainer(t_[i].text);
+      // Pointer key: a `*` at angle depth 1 before the first top-level `,`.
+      bool pointer_key = false;
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < t_.size() && j < i + 257; ++j) {
+        if (IsPunct(t_[j], "<")) ++depth;
+        if (IsPunct(t_[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+        if (IsPunct(t_[j], ";") || IsPunct(t_[j], "{")) break;  // malformed
+        if (depth == 1 && IsPunct(t_[j], ",")) depth = -1000;   // past the key
+        if (depth == 1 && IsPunct(t_[j], "*")) pointer_key = true;
+      }
+      if (!unordered && !pointer_key) continue;
+      while (j < t_.size() &&
+             (IsPunct(t_[j], "&") || IsPunct(t_[j], "*") ||
+              (t_[j].kind == TokenKind::kIdentifier && t_[j].text == "const"))) {
+        ++j;
+      }
+      if (j < t_.size() && t_[j].kind == TokenKind::kIdentifier) {
+        if (pointer_key) pointer_keyed_names_.insert(t_[j].text);
+        if (unordered) unordered_names_.insert(t_[j].text);
+      }
+    }
+  }
+
+  void Step(size_t& i) {
+    const Token& tok = t_[i];
+    if (IsPunct(tok, "{")) {
+      ++depth_;
+      scopes_.push_back({Scope::kBlock, "", depth_});
+      ++i;
+      return;
+    }
+    if (IsPunct(tok, "}")) {
+      while (!scopes_.empty() && scopes_.back().depth >= depth_) {
+        scopes_.pop_back();
+      }
+      if (depth_ > 0) --depth_;
+      ++i;
+      return;
+    }
+    if (tok.kind != TokenKind::kIdentifier) {
+      ++i;
+      return;
+    }
+    // Skip template parameter lists so `template <class T>` never opens a
+    // class scope.
+    if (tok.text == "template" && i + 1 < t_.size() && IsPunct(t_[i + 1], "<")) {
+      i = SkipAngles(t_, i + 1);
+      return;
+    }
+    if (!InFunction()) {
+      if (tok.text == "namespace") {
+        ParseNamespace(i);
+        return;
+      }
+      if ((tok.text == "class" || tok.text == "struct" ||
+           tok.text == "union") &&
+          (i == 0 || !(t_[i - 1].kind == TokenKind::kIdentifier &&
+                       t_[i - 1].text == "enum"))) {
+        ParseClassHead(i);
+        return;
+      }
+      if (!InClassBody() || true) {
+        // Definition headers appear at namespace scope and at class scope
+        // (inline members); TryFunctionDef leaves `i` untouched when the
+        // shape does not match.
+        if (TryFunctionDef(i)) return;
+      }
+    }
+    // Calls and sources: inside function bodies, and at namespace scope
+    // (static initializers -> <file-scope>). Class-scope default member
+    // initializers are deliberately skipped (they run per-constructor).
+    if (InFunction() || (!InClassBody() && !scopes_.empty()) ||
+        scopes_.empty()) {
+      if (!InClassBody()) ScanCallOrSource(i);
+    }
+    ++i;
+  }
+
+  void ParseNamespace(size_t& i) {
+    size_t j = i + 1;
+    std::string name;
+    while (j < t_.size()) {
+      if (t_[j].kind == TokenKind::kIdentifier) {
+        ++j;
+      } else if (IsPunct(t_[j], "::")) {
+        ++j;
+      } else {
+        break;
+      }
+    }
+    if (j < t_.size() && IsPunct(t_[j], "{")) {
+      ++depth_;
+      scopes_.push_back({Scope::kNamespace, name, depth_});
+      i = j + 1;
+      return;
+    }
+    i = j;  // `namespace x = y;` or malformed: no scope
+  }
+
+  void ParseClassHead(size_t& i) {
+    // First identifier after class/struct is the name; then scan (bounded)
+    // for `{` (definition) or `;` (forward declaration / friend).
+    size_t j = i + 1;
+    std::string name;
+    for (size_t guard = 0; j < t_.size() && guard < 128; ++j, ++guard) {
+      const Token& tok = t_[j];
+      if (tok.kind == TokenKind::kIdentifier && name.empty() &&
+          tok.text != "final" && tok.text != "alignas") {
+        name = tok.text;
+        continue;
+      }
+      if (IsPunct(tok, "<")) {
+        j = SkipAngles(t_, j) - 1;  // specialization args
+        continue;
+      }
+      if (IsPunct(tok, "{")) {
+        ++depth_;
+        scopes_.push_back({Scope::kClass, name, depth_});
+        i = j + 1;
+        return;
+      }
+      if (IsPunct(tok, ";") || IsPunct(tok, "(") || IsPunct(tok, ")") ||
+          IsPunct(tok, "=")) {
+        break;  // forward decl, `struct tm*`, template-arg position, ...
+      }
+    }
+    i = i + 1;
+  }
+
+  /// Walks the identifier chain ending at `last` (inclusive) backwards:
+  /// `a::b::c` with optional `~` on the final component. Returns the chain
+  /// joined with `::` and sets `head` to the index of its first token.
+  std::string ChainEndingAt(size_t last, size_t& head) const {
+    std::string name = t_[last].text;
+    size_t j = last;
+    if (j >= 1 && IsPunct(t_[j - 1], "~")) {
+      name = "~" + name;
+      --j;
+    }
+    while (j >= 2 && IsPunct(t_[j - 1], "::") &&
+           t_[j - 2].kind == TokenKind::kIdentifier) {
+      name = t_[j - 2].text + "::" + name;
+      j -= 2;
+    }
+    head = j;
+    return name;
+  }
+
+  /// Tries to parse a function definition whose parameter list opens at
+  /// the `(` following the identifier at `i`. On success pushes the
+  /// function scope, appends a FunctionDef, advances `i` past the body `{`
+  /// and returns true.
+  bool TryFunctionDef(size_t& i) {
+    if (i + 1 >= t_.size() || !IsPunct(t_[i + 1], "(")) return false;
+    if (NonCallKeywords().count(t_[i].text)) return false;
+    size_t head = 0;
+    std::string chain = ChainEndingAt(i, head);
+    // `x.f(` / `x->f(` is a member call, never a definition header.
+    if (head >= 1 && (IsPunct(t_[head - 1], ".") || IsPunct(t_[head - 1], "->")))
+      return false;
+    size_t j = SkipBalanced(t_, i + 1);  // past the parameter list
+    if (j >= t_.size()) return false;
+    // Trailing qualifiers, trailing return type, ctor-initializer list.
+    bool in_init_list = false;
+    size_t guard = 0;
+    while (j < t_.size() && ++guard < 512) {
+      const Token& tok = t_[j];
+      if (IsPunct(tok, "{")) {
+        if (in_init_list && j >= 1 &&
+            (t_[j - 1].kind == TokenKind::kIdentifier || IsPunct(t_[j - 1], ">"))) {
+          // Brace-init of a member: `: a_{1}` — skip it, stay in the list.
+          j = SkipBalanced(t_, j);
+          continue;
+        }
+        // The body.
+        std::string qual = ClassQualifier();
+        FunctionDef def;
+        def.name = qual.empty() ? chain : qual + "::" + chain;
+        def.line = t_[i].line;
+        functions_.push_back(std::move(def));
+        ++depth_;
+        scopes_.push_back({Scope::kFunction, chain, depth_});
+        i = j + 1;
+        return true;
+      }
+      if (IsPunct(tok, ";") || IsPunct(tok, "=") || IsPunct(tok, ",") ||
+          IsPunct(tok, ")")) {
+        return false;  // declaration, `= default`, expression context
+      }
+      if (IsPunct(tok, ":")) {
+        in_init_list = true;
+        ++j;
+        continue;
+      }
+      if (IsPunct(tok, "(")) {
+        j = SkipBalanced(t_, j);  // noexcept(...), member init `a_(x)`
+        continue;
+      }
+      if (IsPunct(tok, "<")) {
+        j = SkipAngles(t_, j);
+        continue;
+      }
+      if (tok.kind == TokenKind::kIdentifier || IsPunct(tok, "::") ||
+          IsPunct(tok, "->") || IsPunct(tok, "*") || IsPunct(tok, "&") ||
+          IsPunct(tok, ">") || IsPunct(tok, "[") || IsPunct(tok, "]")) {
+        ++j;
+        continue;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  /// Records call edges and nondeterminism sources at token `i` into the
+  /// enclosing function (or <file-scope> at namespace scope).
+  void ScanCallOrSource(size_t i) {
+    const Token& tok = t_[i];
+    FunctionDef* fn = CurrentFunction();
+    if (fn == nullptr) return;
+    bool call_shaped = i + 1 < t_.size() && IsPunct(t_[i + 1], "(");
+
+    // -- Sources ----------------------------------------------------------
+    if (ClockTypes().count(tok.text)) {
+      AddSource(fn, "wall-clock", tok.text, tok.line);
+    } else if (EntropyTypes().count(tok.text)) {
+      AddSource(fn, "entropy", tok.text, tok.line);
+    } else if (call_shaped && !PrecededByDeclaration(i)) {
+      if (TimeCalls().count(tok.text)) {
+        AddSource(fn, "wall-clock", tok.text + "()", tok.line);
+      } else if (EntropyCalls().count(tok.text)) {
+        AddSource(fn, "entropy", tok.text + "()", tok.line);
+      } else if (tok.text == "get_id") {
+        AddSource(fn, "thread-id", "get_id()", tok.line);
+      }
+    }
+    // `std::thread::id` as a type (hashing/comparing thread identity).
+    if (tok.text == "thread" && i + 2 < t_.size() && IsPunct(t_[i + 1], "::") &&
+        t_[i + 2].kind == TokenKind::kIdentifier && t_[i + 2].text == "id") {
+      AddSource(fn, "thread-id", "std::thread::id", tok.line);
+    }
+    if (tok.text == "for" && call_shaped) ScanRangeFor(i, fn);
+
+    // -- Call edges -------------------------------------------------------
+    if (!call_shaped || tok.text == "for") return;
+    if (NonCallKeywords().count(tok.text)) return;
+    size_t head = 0;
+    std::string chain = ChainEndingAt(i, head);
+    if (head >= 1 && (IsPunct(t_[head - 1], ".") || IsPunct(t_[head - 1], "->"))) {
+      fn->calls.push_back({chain, tok.line});  // member call: bare name
+      return;
+    }
+    if (PrecededByDeclarationAt(head)) return;  // `Foo x(...)` declares x
+    fn->calls.push_back({chain, tok.line});
+  }
+
+  /// `Type name(...)` declares; `name(...)` after `return` etc. calls.
+  bool PrecededByDeclaration(size_t i) const { return PrecededByDeclarationAt(i); }
+
+  bool PrecededByDeclarationAt(size_t head) const {
+    if (head == 0) return false;
+    const Token& prev = t_[head - 1];
+    if (prev.kind == TokenKind::kIdentifier)
+      return UseKeywords().count(prev.text) == 0;
+    return false;
+  }
+
+  /// Range-for over a hash-ordered container: `for (decl : range)` where
+  /// the range expression mentions an unordered container type, a name
+  /// declared with one, or a pointer-keyed associative container.
+  void ScanRangeFor(size_t i, FunctionDef* fn) {
+    size_t end = SkipBalanced(t_, i + 1);
+    size_t colon = 0;
+    int depth = 0;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (t_[j].kind != TokenKind::kPunct) continue;
+      const std::string& p = t_[j].text;
+      if (p == "(" || p == "[" || p == "{" || p == "<") {
+        ++depth;
+      } else if (p == ")" || p == "]" || p == "}" || p == ">") {
+        --depth;
+      } else if (p == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) return;
+    for (size_t j = colon + 1; j + 1 < end; ++j) {
+      if (t_[j].kind != TokenKind::kIdentifier) continue;
+      if (IsUnorderedContainer(t_[j].text) ||
+          unordered_names_.count(t_[j].text)) {
+        AddSource(fn, "unordered-iteration", t_[j].text, t_[j].line);
+        return;
+      }
+      if (pointer_keyed_names_.count(t_[j].text)) {
+        AddSource(fn, "pointer-keyed", t_[j].text, t_[j].line);
+        return;
+      }
+    }
+  }
+
+  const LexedSource& lex_;
+  const Tokens& t_;
+  FileIndex index_;
+  std::vector<FunctionDef>& functions_ = index_.functions;
+  FunctionDef file_scope_;
+  std::vector<Scope> scopes_;
+  int depth_ = 0;
+  std::set<std::string> unordered_names_;
+  std::set<std::string> pointer_keyed_names_;
+};
+
+}  // namespace
+
+FileIndex BuildFileIndex(const std::string& path, const std::string& layer,
+                         const LexedSource& lex) {
+  return Indexer(path, layer, lex).Build();
+}
+
+uint64_t HashBytes(std::string_view content, uint64_t salt) {
+  uint64_t h = 1469598103934665603ull ^ salt;
+  for (unsigned char c : content) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace dexa::lint

@@ -1,0 +1,75 @@
+#ifndef DEXA_TOOLS_LINT_INDEX_H_
+#define DEXA_TOOLS_LINT_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace dexa::lint {
+
+/// One nondeterminism *source* found inside a function body: a construct
+/// whose value or order depends on the environment (wall time, ambient
+/// entropy, thread identity, hash/address ordering). A source is harmless
+/// on its own — it becomes a finding only when the taint pass proves a
+/// call path from it into a committed-byte sink.
+struct TaintSource {
+  std::string kind;  ///< "wall-clock" | "entropy" | "thread-id" |
+                     ///< "unordered-iteration" | "pointer-keyed"
+  std::string what;  ///< offending spelling, e.g. "steady_clock"
+  int line = 0;
+};
+
+/// One call site inside a function body, as spelled: `f`, `Class::f`,
+/// `ns::Class::f` for free/qualified calls, the bare member name for
+/// `x.f(...)` / `x->f(...)`.
+struct CallSite {
+  std::string name;
+  int line = 0;
+};
+
+/// One function definition (a body, not a bare declaration). `name` is the
+/// spelled qualification: enclosing class scopes joined with `::` for
+/// inline members (`RunManager::Submit`), the declarator chain as written
+/// for out-of-line members. Namespaces are deliberately excluded so the
+/// inline and out-of-line spellings of one function agree.
+struct FunctionDef {
+  std::string name;
+  int line = 0;
+  std::vector<CallSite> calls;
+  std::vector<TaintSource> sources;
+};
+
+/// Synthetic function name for calls/sources at namespace scope (static
+/// initializers). Treated as a sink when its file is a sink file, and as
+/// a taint root like any other function.
+inline constexpr const char* kFileScopeFunction = "<file-scope>";
+
+/// The whole-program facts extracted from one translation unit: every
+/// function body with its call edges and nondeterminism sources. This is
+/// the unit of the warm-run cache — serialized per file, keyed by content
+/// hash, so an unchanged file is never re-lexed or re-indexed.
+struct FileIndex {
+  std::string path;   ///< repo-relative, forward slashes
+  std::string layer;  ///< "engine" for src/engine/..., "" outside src/
+  std::vector<FunctionDef> functions;
+};
+
+/// Builds the symbol index for one lexed file. Sources whose line (or the
+/// line above, matching finding-suppression placement) carries a
+/// `dexa-lint: allow(...)` for `determinism-taint` or for the matching
+/// first-order rule (`wall-clock`, `entropy`, `unordered-iteration`) are
+/// dropped here, so a justified first-order suppression also severs the
+/// taint flow it would otherwise seed.
+FileIndex BuildFileIndex(const std::string& path, const std::string& layer,
+                         const LexedSource& lex);
+
+/// FNV-1a 64-bit over `content`, mixed with `salt` (the cache mixes in the
+/// path and format version so a renamed or stale record never matches).
+uint64_t HashBytes(std::string_view content, uint64_t salt = 0);
+
+}  // namespace dexa::lint
+
+#endif  // DEXA_TOOLS_LINT_INDEX_H_

@@ -138,12 +138,15 @@ const std::set<std::string>& StatementKeywords() {
   return kKeywords;
 }
 
-/// Flags statement-level calls whose final callee is a known
-/// `Status`/`Result`-returning function: the returned error is discarded on
-/// the floor. The compiler's `[[nodiscard]]` is the backstop; this rule
-/// keeps fixture-level tests and non-attributed call sites honest.
-void CheckUncheckedStatus(const SourceFile& f, const GlobalContext& ctx,
-                          std::vector<Finding>& out) {
+}  // namespace
+
+/// Collects statement-level calls whose result is discarded. The matching
+/// rule (`unchecked-status`) flags the ones whose final callee is a known
+/// `Status`/`Result`-returning function — but that registry is global, so
+/// the driver evaluates these candidates after every file is analyzed
+/// (and caches the candidates, which are pure per-file syntax).
+std::vector<DiscardedCall> CollectDiscardedCalls(const SourceFile& f) {
+  std::vector<DiscardedCall> out;
   const Tokens& t = f.lex.tokens;
   bool at_statement_start = true;
   for (size_t i = 0; i < t.size();) {
@@ -200,15 +203,13 @@ void CheckUncheckedStatus(const SourceFile& f, const GlobalContext& ctx,
       }
       break;  // operator, declaration, etc.
     }
-    if (chain_ok && ctx.status_functions.count(last_call)) {
-      out.push_back({"unchecked-status", f.path, t[i].line,
-                     "call to `" + last_call +
-                         "` discards its Status/Result; check it, or cast "
-                         "to void with a reason"});
-    }
+    if (chain_ok) out.push_back({t[i].line, last_call});
     ++i;
   }
+  return out;
 }
+
+namespace {
 
 // --------------------------------------------------------------------------
 // Family 3: concurrency discipline
@@ -586,6 +587,214 @@ void CheckRawIo(const SourceFile& f, const GlobalContext&,
   }
 }
 
+// --------------------------------------------------------------------------
+// Family 10: lock discipline (guarded fields)
+// --------------------------------------------------------------------------
+
+/// Skips a `<...>` group starting at the `<`; returns one past the matching
+/// `>`, or `i + 1` when unbalanced (comparison operator, malformed).
+size_t SkipAngleGroup(const Tokens& t, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < t.size() && j < i + 256; ++j) {
+    if (IsPunct(t[j], "<")) ++depth;
+    if (IsPunct(t[j], ">") && --depth == 0) return j + 1;
+    if (IsPunct(t[j], ";") || IsPunct(t[j], "{")) break;
+  }
+  return i + 1;
+}
+
+/// One member declaration statement inside a class body, already split at
+/// the class's brace depth.
+struct MemberStmt {
+  size_t begin = 0;
+  size_t end = 0;  ///< exclusive
+};
+
+/// Every mutable field of a class that owns a `std::mutex`/`shared_mutex`
+/// must be annotated with `DEXA_GUARDED_BY(<mutex>)` (which expands to the
+/// clang thread-safety attribute when available) or carry an
+/// `allow(guarded-field)` contract comment. Scope: `src/engine` +
+/// `src/serve`, the layers where a missed guard is a data race on the hot
+/// path. Exempt by type: synchronization primitives themselves, atomics,
+/// `const`/`static` members (immutable after construction).
+void CheckGuardedField(const SourceFile& f, const GlobalContext&,
+                       std::vector<Finding>& out) {
+  if (f.layer != "engine" && f.layer != "serve") return;
+  static const std::set<std::string> kMutexTypes = {
+      "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+      "recursive_timed_mutex"};
+  static const std::set<std::string> kExemptTypes = {
+      "atomic",        "atomic_flag",
+      "mutex",         "shared_mutex",
+      "recursive_mutex",               "timed_mutex",
+      "recursive_timed_mutex",         "condition_variable",
+      "condition_variable_any",        "once_flag"};
+  static const std::set<std::string> kNonFieldLead = {
+      "using", "typedef", "friend", "static", "constexpr", "enum",
+      "template", "operator", "public", "private", "protected"};
+  const Tokens& t = f.lex.tokens;
+  // Find every class/struct definition; nested classes are collected too
+  // and processed as their own entry (their span is brace-skipped when
+  // walking the enclosing class's members).
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier ||
+        (t[i].text != "class" && t[i].text != "struct")) {
+      continue;
+    }
+    if (i > 0 && (IsIdent(t[i - 1], "enum") || IsPunct(t[i - 1], "<") ||
+                  IsPunct(t[i - 1], ","))) {
+      continue;  // enum class / template parameter
+    }
+    std::string class_name;
+    size_t open = 0;
+    for (size_t j = i + 1; j < t.size() && j < i + 64; ++j) {
+      if (t[j].kind == TokenKind::kIdentifier && class_name.empty() &&
+          t[j].text != "final" && t[j].text != "alignas") {
+        class_name = t[j].text;
+        continue;
+      }
+      if (IsPunct(t[j], "<")) {
+        j = SkipAngleGroup(t, j) - 1;
+        continue;
+      }
+      if (IsPunct(t[j], "{")) {
+        open = j;
+        break;
+      }
+      if (IsPunct(t[j], ";") || IsPunct(t[j], "(") || IsPunct(t[j], ")") ||
+          IsPunct(t[j], "=")) {
+        break;  // forward declaration / template argument position
+      }
+    }
+    if (open == 0 || class_name.empty()) continue;
+    size_t close = SkipBalanced(t, open);  // one past the closing `}`
+
+    // Split the class body into member statements at the class's depth.
+    std::vector<MemberStmt> stmts;
+    std::vector<char> is_method;  // parallel: statement had a call-shaped `(`
+    size_t start = open + 1;
+    bool method = false;
+    bool after_eq = false;  // past `=`: initializer calls are not methods
+    for (size_t j = open + 1; j + 1 < close;) {
+      if (IsPunct(t[j], "(") || IsPunct(t[j], "[")) {
+        // `(` directly after the annotation macro or inside an initializer
+        // is part of a field decl; any other top-level paren means a
+        // method/ctor declaration.
+        if (IsPunct(t[j], "(") && !after_eq &&
+            !(j > 0 && (IsIdent(t[j - 1], "DEXA_GUARDED_BY") ||
+                        IsIdent(t[j - 1], "DEXA_PT_GUARDED_BY")))) {
+          method = true;
+        }
+        j = SkipBalanced(t, j);
+        continue;
+      }
+      if (IsPunct(t[j], "=")) {
+        after_eq = true;
+        ++j;
+        continue;
+      }
+      if (IsPunct(t[j], "<")) {
+        j = SkipAngleGroup(t, j);
+        continue;
+      }
+      if (IsPunct(t[j], "{")) {
+        // Method body or nested class body ends the statement; a brace
+        // initializer (`int x_{0};`) continues it.
+        bool brace_init =
+            after_eq || (j > 0 && t[j - 1].kind == TokenKind::kIdentifier &&
+                         !method && !IsIdent(t[j - 1], "const") &&
+                         !IsIdent(t[j - 1], "noexcept") &&
+                         !IsIdent(t[j - 1], "override") &&
+                         !IsIdent(t[j - 1], "final"));
+        j = SkipBalanced(t, j);
+        if (!brace_init) {
+          start = j;
+          method = false;
+          after_eq = false;
+        }
+        continue;
+      }
+      if (IsPunct(t[j], ";")) {
+        if (!method && j > start) stmts.push_back({start, j});
+        start = j + 1;
+        method = false;
+        after_eq = false;
+        ++j;
+        continue;
+      }
+      if (t[j].kind == TokenKind::kIdentifier && j + 1 < close &&
+          kNonFieldLead.count(t[j].text) && IsPunct(t[j + 1], ":") &&
+          (t[j].text == "public" || t[j].text == "private" ||
+           t[j].text == "protected")) {
+        start = j + 2;
+        j += 2;
+        continue;
+      }
+      ++j;
+    }
+
+    // Pass 1 over statements: does this class own a mutex?
+    auto stmt_mentions = [&](const MemberStmt& s,
+                             const std::set<std::string>& names) {
+      for (size_t j = s.begin; j < s.end; ++j) {
+        if (t[j].kind == TokenKind::kIdentifier && names.count(t[j].text))
+          return true;
+      }
+      return false;
+    };
+    bool owns_mutex = false;
+    for (const MemberStmt& s : stmts) {
+      if (stmt_mentions(s, kMutexTypes)) owns_mutex = true;
+    }
+    if (!owns_mutex) continue;
+
+    // Pass 2: every remaining field must be annotated or exempt.
+    static const std::set<std::string> kOperatorKw = {"operator"};
+    for (const MemberStmt& s : stmts) {
+      // `T& operator=(...) = delete;` has its `(` after the `=` token and
+      // dodges the method classifier; the keyword is the reliable tell.
+      if (stmt_mentions(s, kOperatorKw)) continue;
+      size_t b = s.begin;
+      while (b < s.end && (IsIdent(t[b], "mutable") || IsIdent(t[b], "inline")))
+        ++b;
+      if (b >= s.end || t[b].kind != TokenKind::kIdentifier) continue;
+      if (kNonFieldLead.count(t[b].text) || t[b].text == "const") continue;
+      if (t[b].text == "class" || t[b].text == "struct" ||
+          t[b].text == "union") {
+        continue;  // nested forward declaration
+      }
+      if (stmt_mentions(s, kExemptTypes)) continue;
+      bool annotated = false;
+      std::string field_name;
+      int field_line = t[b].line;
+      for (size_t j = b; j < s.end; ++j) {
+        if (IsIdent(t[j], "DEXA_GUARDED_BY") ||
+            IsIdent(t[j], "DEXA_PT_GUARDED_BY")) {
+          annotated = true;
+          break;
+        }
+        if (IsPunct(t[j], "<")) {
+          j = SkipAngleGroup(t, j) - 1;
+          continue;
+        }
+        if (IsPunct(t[j], "=")) break;
+        if (t[j].kind == TokenKind::kIdentifier) {
+          field_name = t[j].text;
+          field_line = t[j].line;
+        }
+      }
+      if (annotated || field_name.empty()) continue;
+      out.push_back(
+          {"guarded-field", f.path, field_line,
+           "field `" + field_name + "` of mutex-owning class `" + class_name +
+               "` has no DEXA_GUARDED_BY annotation "
+               "(src/common/thread_annotations.h); annotate the guarding "
+               "mutex, or allow-list with a contract comment explaining why "
+               "it needs no lock"});
+    }
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -602,13 +811,22 @@ const std::vector<RuleInfo>& Rules() {
        "no ambient entropy in deterministic layers (seeded common/rng only)",
        &CheckEntropy},
       {"unchecked-status", "unchecked-errors",
-       "a discarded Status/Result is a swallowed failure", &CheckUncheckedStatus},
+       "a discarded Status/Result is a swallowed failure", nullptr},
+      {"determinism-taint", "determinism",
+       "no call path from a nondeterminism source (wall clock, entropy, "
+       "thread id, hash/address-ordered iteration) into a committed-byte "
+       "sink, in any layer",
+       nullptr},
       {"raw-thread", "concurrency",
        "all threads are spawned by the InvocationEngine (src/engine)",
        &CheckRawThread},
       {"naked-lock", "concurrency",
        "mutexes are held through RAII guards, never naked lock()/unlock()",
        &CheckNakedLock},
+      {"guarded-field", "concurrency",
+       "every mutable field of a mutex-owning class in src/engine+src/serve "
+       "carries DEXA_GUARDED_BY or an allow-listed contract comment",
+       &CheckGuardedField},
       {"layering", "layering",
        "src/ include edges must follow the DESIGN.md layer DAG",
        &CheckLayering},

@@ -4,18 +4,39 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tools/lint/lexer.h"
 
 namespace dexa::lint {
 
-/// One diagnostic: a rule violation at a file/line.
+/// One hop of a cross-file taint chain attached to a finding: where the
+/// flow passes through and why (sink definition, call site, source).
+struct FlowStep {
+  std::string file;
+  int line = 0;
+  std::string note;
+};
+
+/// One diagnostic: a rule violation at a file/line. `flow` is empty for
+/// per-file findings; whole-program findings (determinism-taint) carry the
+/// full sink -> ... -> source chain.
 struct Finding {
+  Finding() = default;
+  Finding(std::string rule_in, std::string file_in, int line_in,
+          std::string message_in, std::vector<FlowStep> flow_in = {})
+      : rule(std::move(rule_in)),
+        file(std::move(file_in)),
+        line(line_in),
+        message(std::move(message_in)),
+        flow(std::move(flow_in)) {}
+
   std::string rule;
   std::string file;  ///< repo-relative path with forward slashes
   int line = 0;
   std::string message;
+  std::vector<FlowStep> flow;
 };
 
 /// A scanned source file plus everything rules need to know about it.
@@ -36,6 +57,9 @@ struct GlobalContext {
 
 /// A registered rule. `check` appends findings; suppression filtering is the
 /// driver's job, so rules stay oblivious to `// dexa-lint: allow(...)`.
+/// Whole-program rules (`unchecked-status`, `determinism-taint`) have a
+/// null `check`: the driver evaluates them from cached per-file facts after
+/// all files are analyzed, so a cache hit never stales them.
 struct RuleInfo {
   const char* name;
   const char* family;
@@ -57,6 +81,20 @@ const std::map<std::string, std::set<std::string>>& LayerDependencies();
 /// return type are recorded in `ctx` as ambiguous by the caller.
 void CollectStatusFunctions(const SourceFile& file, GlobalContext& ctx,
                             std::set<std::string>& ambiguous);
+
+/// A statement-level call chain whose result is discarded on the floor:
+/// `f(x);`, `a.b().c();` — `callee` is the final callee name. Collected
+/// per file (cacheable); whether the discard is a finding depends on the
+/// global Status/Result registry, so the driver evaluates candidates after
+/// every file is analyzed.
+struct DiscardedCall {
+  int line = 0;
+  std::string callee;
+};
+
+/// Scans one file for statement-level call chains (the unchecked-status
+/// candidates). Pure per-file syntax — no registry lookup here.
+std::vector<DiscardedCall> CollectDiscardedCalls(const SourceFile& file);
 
 }  // namespace dexa::lint
 

@@ -1,0 +1,19 @@
+#ifndef DEXA_TOOLS_LINT_SARIF_H_
+#define DEXA_TOOLS_LINT_SARIF_H_
+
+#include <string>
+
+#include "tools/lint/lint.h"
+
+namespace dexa::lint {
+
+/// Renders `report` as a SARIF 2.1.0 document: one `rule` per registered
+/// dexa-lint rule, one `result` per finding, taint call chains as
+/// `codeFlows` (one threadFlow location per hop: sink definition, each call
+/// site, the source). Output is deterministic byte-for-byte for a given
+/// report.
+std::string ReportToSarif(const LintReport& report);
+
+}  // namespace dexa::lint
+
+#endif  // DEXA_TOOLS_LINT_SARIF_H_

@@ -1,0 +1,101 @@
+#include "tools/lint/taint.h"
+
+#include <deque>
+#include <limits>
+
+namespace dexa::lint {
+namespace {
+
+constexpr size_t kNone = std::numeric_limits<size_t>::max();
+
+const char* SinkPrefixes[] = {
+    "src/durability/commit_codec", "src/durability/snapshot",
+    "src/durability/trace_io",     "src/obs/export",
+    "src/serve/wire",              "src/kbimage/builder",
+};
+
+/// Short display name for a node: the qualified spelling, with the
+/// synthetic file-scope pseudo-function rendered as its file.
+std::string DisplayName(const CallNode& node) {
+  if (node.qual == kFileScopeFunction) return "<file scope of " + node.file + ">";
+  return node.qual;
+}
+
+}  // namespace
+
+bool IsDeterminismSinkFile(const std::string& path) {
+  for (const char* prefix : SinkPrefixes) {
+    if (path.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> RunDeterminismTaint(const CallGraph& graph) {
+  const size_t n = graph.nodes.size();
+  // Reverse adjacency: taint flows callee -> caller.
+  std::vector<std::vector<CallEdge>> callers(n);
+  for (size_t c = 0; c < n; ++c) {
+    for (const CallEdge& e : graph.nodes[c].calls) {
+      callers[e.callee].push_back({c, e.line});
+    }
+  }
+  // Multi-source BFS from every source-bearing function. `next[u]` points
+  // one step along u's chain *toward* the source (the callee taint arrived
+  // through); `via_line[u]` is the call site in u.
+  std::vector<size_t> next(n, kNone);
+  std::vector<int> via_line(n, 0);
+  std::vector<char> tainted(n, 0);
+  std::deque<size_t> queue;
+  for (size_t u = 0; u < n; ++u) {
+    if (!graph.nodes[u].sources.empty()) {
+      tainted[u] = 1;
+      queue.push_back(u);
+    }
+  }
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop_front();
+    for (const CallEdge& e : callers[u]) {
+      if (tainted[e.callee]) continue;  // e.callee is the *caller* here
+      tainted[e.callee] = 1;
+      next[e.callee] = u;
+      via_line[e.callee] = e.line;
+      queue.push_back(e.callee);
+    }
+  }
+  // Report every tainted sink function with its chain.
+  std::vector<Finding> out;
+  for (size_t s = 0; s < n; ++s) {
+    const CallNode& sink = graph.nodes[s];
+    if (!tainted[s] || !IsDeterminismSinkFile(sink.file)) continue;
+    Finding finding;
+    finding.rule = "determinism-taint";
+    finding.file = sink.file;
+    finding.line = sink.line;
+    finding.flow.push_back(
+        {sink.file, sink.line, "sink function `" + DisplayName(sink) + "`"});
+    std::string chain = DisplayName(sink);
+    size_t u = s;
+    while (next[u] != kNone) {
+      size_t v = next[u];
+      finding.flow.push_back({graph.nodes[u].file, via_line[u],
+                              "calls `" + DisplayName(graph.nodes[v]) + "`"});
+      chain += " -> " + DisplayName(graph.nodes[v]);
+      u = v;
+    }
+    const CallNode& origin = graph.nodes[u];
+    const TaintSource& src = origin.sources.front();
+    finding.flow.push_back({origin.file, src.line,
+                            src.kind + " source: `" + src.what + "`"});
+    finding.message = "committed-byte sink `" + DisplayName(sink) +
+                      "` reaches a " + src.kind + " source (`" + src.what +
+                      "`, " + origin.file + ":" + std::to_string(src.line) +
+                      ") via " + chain +
+                      "; nondeterminism here becomes bytes that differ "
+                      "across runs";
+    out.push_back(std::move(finding));
+  }
+  return out;
+}
+
+}  // namespace dexa::lint

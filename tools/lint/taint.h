@@ -1,0 +1,32 @@
+#ifndef DEXA_TOOLS_LINT_TAINT_H_
+#define DEXA_TOOLS_LINT_TAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/callgraph.h"
+#include "tools/lint/rules.h"
+
+namespace dexa::lint {
+
+/// True when `path` is a committed-byte sink file: every function defined
+/// there turns in-memory state into durable or exported bytes (journal
+/// commit codec, snapshot writer, trace/metrics exporters, the serve wire
+/// encoder, the KB image builder). Nondeterminism reaching these functions
+/// becomes bytes that differ across runs.
+bool IsDeterminismSinkFile(const std::string& path);
+
+/// The determinism-taint pass: propagates nondeterminism sources
+/// (wall-clock, entropy, thread-id, unordered-iteration, pointer-keyed)
+/// transitively callee->caller through the call graph, and reports every
+/// sink function that a source can reach — in any layer. Each finding is
+/// anchored at the sink function's definition line and carries the full
+/// call chain (sink -> ... -> source) in `Finding::flow`.
+///
+/// Deterministic: BFS seeds and edges are processed in node order, so the
+/// reported chain is a stable shortest path.
+std::vector<Finding> RunDeterminismTaint(const CallGraph& graph);
+
+}  // namespace dexa::lint
+
+#endif  // DEXA_TOOLS_LINT_TAINT_H_

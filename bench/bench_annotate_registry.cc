@@ -14,12 +14,22 @@
 #include "bench/bench_env.h"
 #include "common/table.h"
 #include "core/example_generator.h"
+#include "corpus/scale.h"
 #include "engine/invocation_engine.h"
 #include "modules/registry_io.h"
 #include "provenance/workflow_corpus.h"
 
 namespace dexa {
 namespace {
+
+/// DEXA_SCALE_BENCH_MODULES=<n> swaps the 252-module paper corpus for an
+/// n-module synthetic scale corpus — the opt-in for measuring the engine
+/// at 10k+ modules without hardcoding a second census anywhere.
+size_t ScaleBenchModules() {
+  const char* env = std::getenv("DEXA_SCALE_BENCH_MODULES");
+  if (env == nullptr) return 0;
+  return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+}
 
 struct AnnotateRun {
   std::string annotations;  ///< SaveAnnotations() of the annotated registry.
@@ -34,25 +44,16 @@ struct AnnotateRun {
   std::abort();
 }
 
-/// Builds a fresh (unannotated) corpus and pool, then runs AnnotateRegistry
-/// through an engine with `threads` workers.
-AnnotateRun RunWithThreads(size_t threads) {
-  auto corpus = BuildCorpus();
-  if (!corpus.ok()) Die("BuildCorpus", corpus.status());
-  auto workflows = GenerateWorkflowCorpus(*corpus);
-  if (!workflows.ok()) Die("GenerateWorkflowCorpus", workflows.status());
-  auto provenance = BuildProvenanceCorpus(*corpus, *workflows);
-  if (!provenance.ok()) Die("BuildProvenanceCorpus", provenance.status());
-  AnnotatedInstancePool pool =
-      HarvestPool(*provenance, *corpus->registry, *corpus->ontology);
-
+/// Runs AnnotateRegistry over a fresh registry through an engine with
+/// `threads` workers and captures timing + serialized annotations.
+AnnotateRun Annotate(const Ontology& ontology, ModuleRegistry& registry,
+                     const AnnotatedInstancePool& pool, size_t threads) {
   InvocationEngine engine(EngineOptions{.threads = threads});
-  ExampleGenerator generator(corpus->ontology.get(), &pool, GeneratorOptions{},
-                             &engine);
+  ExampleGenerator generator(&ontology, &pool, GeneratorOptions{}, &engine);
 
   AnnotateRun run;
   auto start = std::chrono::steady_clock::now();
-  auto annotated = AnnotateRegistry(generator, *corpus->registry);
+  auto annotated = AnnotateRegistry(generator, registry);
   auto end = std::chrono::steady_clock::now();
   if (!annotated.ok()) Die("AnnotateRegistry", annotated.status());
   if (!annotated->complete()) {
@@ -61,9 +62,31 @@ AnnotateRun RunWithThreads(size_t threads) {
   run.modules_annotated = annotated->annotated;
   run.elapsed_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
-  run.annotations = SaveAnnotations(*corpus->registry, *corpus->ontology);
+  run.annotations = SaveAnnotations(registry, ontology);
   run.metrics = engine.metrics().Snapshot();
   return run;
+}
+
+/// Builds a fresh (unannotated) corpus and pool — the paper corpus by
+/// default, the synthetic scale corpus under DEXA_SCALE_BENCH_MODULES —
+/// then annotates it with `threads` workers.
+AnnotateRun RunWithThreads(size_t threads) {
+  const size_t scale_modules = ScaleBenchModules();
+  if (scale_modules > 0) {
+    auto corpus = BuildScaleCorpus({/*seed=*/42, scale_modules});
+    if (!corpus.ok()) Die("BuildScaleCorpus", corpus.status());
+    return Annotate(*corpus->ontology, *corpus->registry, *corpus->pool,
+                    threads);
+  }
+  auto corpus = BuildCorpus();
+  if (!corpus.ok()) Die("BuildCorpus", corpus.status());
+  auto workflows = GenerateWorkflowCorpus(*corpus);
+  if (!workflows.ok()) Die("GenerateWorkflowCorpus", workflows.status());
+  auto provenance = BuildProvenanceCorpus(*corpus, *workflows);
+  if (!provenance.ok()) Die("BuildProvenanceCorpus", provenance.status());
+  AnnotatedInstancePool pool =
+      HarvestPool(*provenance, *corpus->registry, *corpus->ontology);
+  return Annotate(*corpus->ontology, *corpus->registry, pool, threads);
 }
 
 int RunComparison() {
@@ -95,6 +118,8 @@ int RunComparison() {
   report.Add("speedup_t8_over_t1", speedup, "ratio");
   report.Add("identical", identical ? 1.0 : 0.0, "bool");
   report.Add("modules_annotated",
+             static_cast<double>(pooled.modules_annotated), "count");
+  report.Add("corpus_modules",
              static_cast<double>(pooled.modules_annotated), "count");
   report.Add("invocations", static_cast<double>(pooled.metrics.invocations),
              "count");

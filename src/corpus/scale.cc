@@ -1,0 +1,367 @@
+#include "corpus/scale.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "corpus/synthetic_module.h"
+#include "types/structural_type.h"
+#include "types/value.h"
+
+namespace dexa {
+
+namespace {
+
+/// Deterministic per-(module, input) draw: every behavioral decision in the
+/// scale corpus derives from this, never from call order or wall time.
+uint64_t Mix(uint64_t salt, const std::string& s) {
+  return HashCombine(salt, StableHash64(s));
+}
+
+constexpr ModuleKind kScaleKinds[] = {
+    ModuleKind::kFormatTransformation, ModuleKind::kDataRetrieval,
+    ModuleKind::kMappingIdentifiers,   ModuleKind::kFiltering,
+    ModuleKind::kDataAnalysis,         ModuleKind::kStatefulService,
+    ModuleKind::kPaginatedRetrieval,   ModuleKind::kRateLimited,
+    ModuleKind::kSchemaDrifting,
+};
+constexpr size_t kScaleKindCount =
+    sizeof(kScaleKinds) / sizeof(kScaleKinds[0]);
+
+const char* ScaleKindSlug(ModuleKind kind) {
+  switch (kind) {
+    case ModuleKind::kFormatTransformation:
+      return "fmt";
+    case ModuleKind::kDataRetrieval:
+      return "get";
+    case ModuleKind::kMappingIdentifiers:
+      return "map";
+    case ModuleKind::kFiltering:
+      return "filter";
+    case ModuleKind::kDataAnalysis:
+      return "score";
+    case ModuleKind::kStatefulService:
+      return "session";
+    case ModuleKind::kPaginatedRetrieval:
+      return "page";
+    case ModuleKind::kRateLimited:
+      return "limited";
+    case ModuleKind::kSchemaDrifting:
+      return "drift";
+  }
+  return "unknown";
+}
+
+/// Parses the "s:<k>:<tag>" session-state format; returns false on anything
+/// else (the module rejects such inputs with kInvalidArgument).
+bool ParseSessionState(const std::string& state, uint64_t& step) {
+  if (!StartsWith(state, "s:")) return false;
+  size_t i = 2;
+  if (i >= state.size() || state[i] < '0' || state[i] > '9') return false;
+  uint64_t value = 0;
+  while (i < state.size() && state[i] >= '0' && state[i] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(state[i] - '0');
+    ++i;
+  }
+  if (i < state.size() && state[i] != ':') return false;
+  step = value;
+  return true;
+}
+
+/// Parses "cursor:<k>" / "cursor:end"; `exhausted` reports the end marker.
+bool ParseCursor(const std::string& cursor, uint64_t& page, bool& exhausted) {
+  if (!StartsWith(cursor, "cursor:")) return false;
+  const std::string rest = cursor.substr(7);
+  if (rest == "end") {
+    exhausted = true;
+    return true;
+  }
+  if (rest.empty()) return false;
+  uint64_t value = 0;
+  for (char c : rest) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  page = value;
+  exhausted = false;
+  return true;
+}
+
+/// A rate-limited endpoint: a deterministic half of its inputs answer the
+/// first attempt with kTransient (HTTP 429 semantics) and succeed from the
+/// second attempt on. The draw keys on (module salt, input, attempt) only,
+/// so outcomes are schedule-independent: a retrying engine always recovers
+/// the example, a fail-fast one deterministically records the exhaustion.
+class RateLimitedModule : public SyntheticModule {
+ public:
+  RateLimitedModule(ModuleSpec spec, Behavior behavior, uint64_t salt)
+      : SyntheticModule(std::move(spec), std::move(behavior)), salt_(salt) {}
+
+ protected:
+  [[nodiscard]] Result<std::vector<Value>> InvokeWithContext(
+      const std::vector<Value>& inputs,
+      InvocationContext& context) const override {
+    if (context.attempt == 0 && !inputs.empty() && inputs[0].is_string() &&
+        Mix(salt_, inputs[0].AsString()) % 2 == 0) {
+      context.charged_ns += 1000;  // throttled attempts are slow attempts
+      return Status::Transient("rate limited (429): retry after backoff");
+    }
+    return SyntheticModule::InvokeWithContext(inputs, context);
+  }
+
+ private:
+  uint64_t salt_;
+};
+
+struct ScaleConcepts {
+  ConceptId token = kInvalidConcept;
+  ConceptId cursor = kInvalidConcept;
+  ConceptId session = kInvalidConcept;
+  ConceptId record_v1 = kInvalidConcept;
+  ConceptId score = kInvalidConcept;
+};
+
+Parameter P(std::string name, ConceptId semantic,
+            StructuralType type = StructuralType::String()) {
+  Parameter p;
+  p.name = std::move(name);
+  p.structural_type = std::move(type);
+  p.semantic_type = semantic;
+  return p;
+}
+
+}  // namespace
+
+ModuleKind ScaleKindOf(size_t index) {
+  return kScaleKinds[index % kScaleKindCount];
+}
+
+Result<ScaleCorpus> BuildScaleCorpus(const ScaleCorpusOptions& options) {
+  if (options.modules == 0) {
+    return Status::InvalidArgument("scale corpus needs at least one module");
+  }
+  ScaleCorpus corpus;
+  corpus.ontology = std::make_shared<Ontology>("scale-ontology");
+  Ontology& onto = *corpus.ontology;
+
+  // Dedicated small ontology: one covered token family (three realizable
+  // partitions), flat cursor/session/score domains, and a covered record
+  // family whose versions the drifting modules migrate between.
+  auto token = onto.AddRoot("Token", /*covered=*/true);
+  if (!token.ok()) return token.status();
+  auto alpha = onto.AddConcept("AlphaToken", {"Token"});
+  if (!alpha.ok()) return alpha.status();
+  auto num = onto.AddConcept("NumToken", {"Token"});
+  if (!num.ok()) return num.status();
+  auto hex = onto.AddConcept("HexToken", {"Token"});
+  if (!hex.ok()) return hex.status();
+  auto cursor = onto.AddRoot("Cursor");
+  if (!cursor.ok()) return cursor.status();
+  auto session = onto.AddRoot("SessionState");
+  if (!session.ok()) return session.status();
+  auto record = onto.AddRoot("RecordDoc", /*covered=*/true);
+  if (!record.ok()) return record.status();
+  auto record_v1 = onto.AddConcept("RecordV1", {"RecordDoc"});
+  if (!record_v1.ok()) return record_v1.status();
+  auto record_v2 = onto.AddConcept("RecordV2", {"RecordDoc"});
+  if (!record_v2.ok()) return record_v2.status();
+  auto score = onto.AddRoot("Score");
+  if (!score.ok()) return score.status();
+
+  ScaleConcepts ids;
+  ids.token = *token;
+  ids.cursor = *cursor;
+  ids.session = *session;
+  ids.record_v1 = *record_v1;
+  ids.score = *score;
+
+  // One realization per partition, pooled directly: the generator then
+  // enumerates exactly one combination per realizable partition, keeping
+  // per-module cost flat as the corpus grows.
+  corpus.pool = std::make_shared<AnnotatedInstancePool>(corpus.ontology.get());
+  corpus.pool->Add(*alpha, Value::Str("alpha"));
+  corpus.pool->Add(*num, Value::Str("12345"));
+  corpus.pool->Add(*hex, Value::Str("0xbeef"));
+  corpus.pool->Add(*cursor, Value::Str("cursor:0"));
+  corpus.pool->Add(*session, Value::Str("s:0:init"));
+  corpus.pool->Add(*record_v1, Value::Str("v1|id=seed"));
+  corpus.pool->Add(*record_v2, Value::Str("v2|id=seed;rev=2"));
+  corpus.pool->Add(*score, Value::Real(0.5));
+
+  corpus.world = std::make_shared<ScaleWorld>();
+  corpus.registry = std::make_shared<ModuleRegistry>();
+  corpus.module_ids.reserve(options.modules);
+
+  const std::shared_ptr<ScaleWorld> world = corpus.world;
+  for (size_t n = 0; n < options.modules; ++n) {
+    const ModuleKind kind = ScaleKindOf(n);
+    const std::string id = "s" + ZeroPad(n, 6);
+    const uint64_t salt = HashCombine(options.seed, StableHash64(id));
+
+    ModuleSpec spec;
+    spec.id = id;
+    spec.name = std::string("scale-") + ScaleKindSlug(kind) + "-" +
+                ZeroPad(n, 6);
+    spec.kind = kind;
+
+    ModulePtr module;
+    switch (kind) {
+      case ModuleKind::kFormatTransformation: {
+        spec.inputs = {P("value", ids.token)};
+        spec.outputs = {P("formatted", ids.token)};
+        module = std::make_shared<SyntheticModule>(
+            std::move(spec),
+            [salt](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              const std::string& v = in[0].AsString();
+              return std::vector<Value>{Value::Str(
+                  "fmt:" + v + ":" + std::to_string(Mix(salt, v) % 1000))};
+            },
+            /*num_classes=*/3, [](const std::vector<Value>& in) {
+              const std::string& v = in[0].AsString();
+              if (StartsWith(v, "0x")) return 2;
+              return (!v.empty() && v[0] >= '0' && v[0] <= '9') ? 1 : 0;
+            });
+        break;
+      }
+      case ModuleKind::kDataRetrieval: {
+        spec.inputs = {P("key", ids.token)};
+        spec.outputs = {P("record", ids.record_v1)};
+        module = std::make_shared<SyntheticModule>(
+            std::move(spec),
+            [salt](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              const std::string& key = in[0].AsString();
+              return std::vector<Value>{Value::Str(
+                  "v1|key=" + key + "|ver=" +
+                  std::to_string(Mix(salt, key) % 7))};
+            });
+        break;
+      }
+      case ModuleKind::kMappingIdentifiers: {
+        spec.inputs = {P("from", ids.token)};
+        spec.outputs = {P("to", ids.token)};
+        module = std::make_shared<SyntheticModule>(
+            std::move(spec),
+            [salt](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              return std::vector<Value>{Value::Str(
+                  "id:" +
+                  std::to_string(Mix(salt, in[0].AsString()) % 100000))};
+            });
+        break;
+      }
+      case ModuleKind::kFiltering: {
+        spec.inputs = {P("candidate", ids.token)};
+        spec.outputs = {P("kept", ids.token)};
+        module = std::make_shared<SyntheticModule>(
+            std::move(spec),
+            [salt](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              const std::string& v = in[0].AsString();
+              if (Mix(salt ^ 0xF117, v) % 2 != 0) {
+                return Status::InvalidArgument("filtered out: " + v);
+              }
+              return std::vector<Value>{in[0]};
+            });
+        break;
+      }
+      case ModuleKind::kDataAnalysis: {
+        spec.inputs = {P("sample", ids.token)};
+        spec.outputs = {P("score", ids.score, StructuralType::Double())};
+        module = std::make_shared<SyntheticModule>(
+            std::move(spec),
+            [salt](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              const uint64_t draw = Mix(salt, in[0].AsString()) % 1000;
+              return std::vector<Value>{
+                  Value::Real(static_cast<double>(draw) / 1000.0)};
+            });
+        break;
+      }
+      case ModuleKind::kStatefulService: {
+        spec.inputs = {P("state", ids.session)};
+        spec.outputs = {P("next", ids.session)};
+        module = std::make_shared<SyntheticModule>(
+            std::move(spec),
+            [salt](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              const std::string& state = in[0].AsString();
+              uint64_t step = 0;
+              if (!ParseSessionState(state, step)) {
+                return Status::InvalidArgument("unparseable session state '" +
+                                               state + "'");
+              }
+              // A pure transition function: the output is itself a valid
+              // input, so state carries over by chaining invocations.
+              return std::vector<Value>{Value::Str(
+                  "s:" + std::to_string(step + 1) + ":" +
+                  std::to_string(Mix(salt, state) % 9973))};
+            });
+        break;
+      }
+      case ModuleKind::kPaginatedRetrieval: {
+        spec.inputs = {P("cursor", ids.cursor)};
+        spec.outputs = {P("page", ids.record_v1), P("next", ids.cursor)};
+        module = std::make_shared<SyntheticModule>(
+            std::move(spec),
+            [salt](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              const std::string& cursor = in[0].AsString();
+              uint64_t page = 0;
+              bool exhausted = false;
+              if (!ParseCursor(cursor, page, exhausted)) {
+                return Status::InvalidArgument("unparseable cursor '" +
+                                               cursor + "'");
+              }
+              if (exhausted) {
+                return Status::InvalidArgument("cursor exhausted");
+              }
+              const std::string body =
+                  "v1|page=" + std::to_string(page) + "|ref=" +
+                  std::to_string(Mix(salt, cursor) % 997);
+              const std::string next =
+                  page >= 2 ? std::string("cursor:end")
+                            : "cursor:" + std::to_string(page + 1);
+              return std::vector<Value>{Value::Str(body), Value::Str(next)};
+            });
+        break;
+      }
+      case ModuleKind::kRateLimited: {
+        spec.inputs = {P("request", ids.token)};
+        spec.outputs = {P("response", ids.token)};
+        module = std::make_shared<RateLimitedModule>(
+            std::move(spec),
+            [salt](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              return std::vector<Value>{
+                  Value::Str("ok:" + in[0].AsString() + ":" +
+                             std::to_string(Mix(salt, "ok") % 100))};
+            },
+            salt);
+        break;
+      }
+      case ModuleKind::kSchemaDrifting: {
+        spec.inputs = {P("key", ids.token)};
+        spec.outputs = {P("record", ids.record_v1)};
+        module = std::make_shared<SyntheticModule>(
+            std::move(spec),
+            [salt,
+             world](const std::vector<Value>& in) -> Result<std::vector<Value>> {
+              const uint64_t epoch = world->epoch();
+              if (epoch != 0) {
+                // The provider rolled an incompatible schema out from under
+                // its consumers: permanent-class decay, exactly what
+                // repair/ScanForDecay probes for.
+                return Status::Permanent(
+                    "schema drift: provider now emits record schema v" +
+                    std::to_string(epoch + 1) +
+                    ", incompatible with the annotated v1 contract");
+              }
+              const std::string& key = in[0].AsString();
+              return std::vector<Value>{Value::Str(
+                  "v1|key=" + key + "|rev=" +
+                  std::to_string(Mix(salt, key) % 13))};
+            });
+        break;
+      }
+    }
+    DEXA_RETURN_IF_ERROR(corpus.registry->Register(std::move(module)));
+    corpus.module_ids.push_back(id);
+  }
+  return corpus;
+}
+
+}  // namespace dexa

@@ -1,0 +1,73 @@
+#ifndef DEXA_CORPUS_SCALE_H_
+#define DEXA_CORPUS_SCALE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "modules/module.h"
+#include "modules/registry.h"
+#include "ontology/ontology.h"
+#include "pool/instance_pool.h"
+
+namespace dexa {
+
+/// Sizing of the synthetic scale corpus. Unlike BuildCorpus — which is
+/// calibrated to reproduce the paper's 252-module evaluation numbers and
+/// hard-fails on any other census — this builder targets 10k–100k modules:
+/// everything is a pure deterministic function of (seed, module index), so
+/// two builds with equal options are byte-identical, and a sub-registry of
+/// any module subset annotates exactly like the full registry does (the
+/// property the sharded runner's byte-equality contract rests on).
+struct ScaleCorpusOptions {
+  uint64_t seed = 42;
+  /// Total synthetic modules, spread round-robin across the nine kinds
+  /// (the five Table-3 kinds plus the four service-shaped ones).
+  size_t modules = 10'000;
+};
+
+/// Shared mutable world state of a scale corpus: the schema epoch the
+/// kSchemaDrifting modules consult. Advancing the epoch models a provider
+/// rolling out an incompatible output format: every drifting module starts
+/// failing with a permanent-class error, which is exactly the dynamic decay
+/// repair/ScanForDecay probes for. The counter is atomic so a concurrent
+/// annotation run observes a coherent value, but epoch changes are meant to
+/// happen between runs (a mid-run flip would be schedule-dependent).
+class ScaleWorld {
+ public:
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+};
+
+/// A built scale corpus: dedicated small ontology (token/cursor/session/
+/// record/score concepts), a directly-populated instance pool (no KB or
+/// provenance harvest — at 10k+ modules the paper's harvesting pipeline is
+/// the wrong tool), the module registry, and the shared drift world.
+struct ScaleCorpus {
+  std::shared_ptr<Ontology> ontology;
+  std::shared_ptr<ModuleRegistry> registry;
+  std::shared_ptr<AnnotatedInstancePool> pool;
+  std::shared_ptr<ScaleWorld> world;
+  /// Module ids in registration order ("s000000", "s000001", ...).
+  std::vector<std::string> module_ids;
+};
+
+/// The kind module index `index` is assigned (round-robin over the nine
+/// kinds); exposed so tests can locate modules of a given kind without
+/// scanning the registry.
+ModuleKind ScaleKindOf(size_t index);
+
+/// Builds the scale corpus. Fails only on internal errors; any module count
+/// >= 1 is valid.
+[[nodiscard]] Result<ScaleCorpus> BuildScaleCorpus(
+    const ScaleCorpusOptions& options = {});
+
+}  // namespace dexa
+
+#endif  // DEXA_CORPUS_SCALE_H_

@@ -20,6 +20,14 @@ struct JournalOptions {
   /// exercise multi-segment recovery; the default keeps a 252-module
   /// annotation run in a handful of segments.
   size_t segment_bytes = 64 * 1024;
+  /// When true (the default, and the right setting for every live durable
+  /// run), each Append fsyncs before the commit is acknowledged. Bulk
+  /// writers of *derived* journals — the shard merge, whose output is
+  /// deterministically rebuildable from the per-shard journals that were
+  /// themselves synced record-by-record — may clear this to sync once per
+  /// segment (at Seal) instead. The on-disk bytes are identical either
+  /// way; only the crash-durability granularity changes.
+  bool sync_each_record = true;
 };
 
 /// The on-disk framing of the journal (see docs/DURABILITY.md):
@@ -98,6 +106,10 @@ class RunJournal {
   EngineMetrics* metrics_ = nullptr;
   IoEnv* io_ = nullptr;
   std::unique_ptr<WritableIoFile> out_;
+  /// Frames staged for the batched-sync path (!sync_each_record): written
+  /// and synced as one unit when the segment rolls or seals. Bounded by
+  /// the segment size cap.
+  std::string pending_;
   bool segment_open_ = false;
   bool failed_ = false;
   size_t segment_index_ = 0;

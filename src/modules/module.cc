@@ -14,6 +14,14 @@ const char* ModuleKindName(ModuleKind kind) {
       return "Filtering";
     case ModuleKind::kDataAnalysis:
       return "Data analysis";
+    case ModuleKind::kStatefulService:
+      return "Stateful service";
+    case ModuleKind::kPaginatedRetrieval:
+      return "Paginated retrieval";
+    case ModuleKind::kRateLimited:
+      return "Rate-limited endpoint";
+    case ModuleKind::kSchemaDrifting:
+      return "Schema-drifting format";
   }
   return "Unknown";
 }

@@ -13,13 +13,20 @@
 namespace dexa {
 
 /// The five kinds of data manipulation the paper's Table 3 classifies
-/// scientific modules into (Section 5).
+/// scientific modules into (Section 5), plus four service-shaped kinds the
+/// scale corpus adds for realistic workload diversity beyond the paper's
+/// census: session-carrying services, cursor-paginated retrieval,
+/// rate-limited endpoints, and formats whose output schema drifts over time.
 enum class ModuleKind {
   kFormatTransformation,
   kDataRetrieval,
   kMappingIdentifiers,
   kFiltering,
   kDataAnalysis,
+  kStatefulService,
+  kPaginatedRetrieval,
+  kRateLimited,
+  kSchemaDrifting,
 };
 
 const char* ModuleKindName(ModuleKind kind);

@@ -19,6 +19,23 @@ Status WriteDoneMarker(IoEnv& io, const std::string& journal_dir) {
   return WriteFileAtomic(io, path, "done\n");
 }
 
+/// Executes one prepared run: sharded annotate runs go through the shard
+/// runner (which submits one RunRequest per shard internally); everything
+/// else is a single SubmitRun. The adapter shapes the sharded result like a
+/// durable annotate RunResult so status/result handling stays uniform.
+Result<RunResult> ExecutePrepared(PreparedRun& run) {
+  if (run.sharded == nullptr) return SubmitRun(run.request);
+  const ShardedRunSpec& spec = *run.sharded;
+  auto sharded = RunShardedAnnotate(*run.registry, *spec.ontology, *spec.pool,
+                                    spec.config, spec.options, run.io.get());
+  if (!sharded.ok()) return sharded.status();
+  RunResult result;
+  result.kind = RunKind::kAnnotateDurable;
+  result.annotate = std::move(sharded->merged);
+  result.run_status = result.annotate.run_status;
+  return result;
+}
+
 }  // namespace
 
 const char* RunStateName(RunState state) {
@@ -208,7 +225,7 @@ std::vector<uint64_t> RunManager::ExecuteBatch() {
   std::vector<Result<RunResult>> outcomes(running.size(),
                                           Status::Internal("run not executed"));
   engine_.ForEach(running.size(), [&](size_t i) {
-    outcomes[i] = SubmitRun(running[i]->run.request);
+    outcomes[i] = ExecutePrepared(running[i]->run);
   });
 
   for (size_t i = 0; i < running.size(); ++i) {

@@ -16,8 +16,19 @@
 #include "modules/registry.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "shard/sharded_annotate.h"
 
 namespace dexa::serve {
+
+/// Description of a sharded annotate run (serve kind "shard"): everything
+/// RunShardedAnnotate needs besides the PreparedRun's own registry. The
+/// pointers target ServeEnv-owned shared state and must outlive the run.
+struct ShardedRunSpec {
+  ShardOptions options;
+  EngineConfig config;
+  const Ontology* ontology = nullptr;
+  const AnnotatedInstancePool* pool = nullptr;
+};
 
 /// Lifecycle of one admitted run.
 enum class RunState {
@@ -49,6 +60,12 @@ struct PreparedRun {
   std::unique_ptr<CrashPlan> crash;
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricsRegistry> metrics;
+
+  /// Set for sharded annotate runs: ExecuteBatch routes the run through
+  /// RunShardedAnnotate (shard/sharded_annotate.h) instead of SubmitRun;
+  /// `request` then only carries the kind for status views. The spec's
+  /// registry is this PreparedRun's `registry`.
+  std::unique_ptr<ShardedRunSpec> sharded;
 
   /// The run's I/O environment when it carries an injected fault profile
   /// (a FaultyIoEnv the journal and DONE marker route through); nullptr

@@ -208,6 +208,53 @@ Result<PreparedRun> ServeEnv::PrepareDurableAnnotate(
   return run;
 }
 
+Result<PreparedRun> ServeEnv::PrepareShardedAnnotate(uint32_t shards,
+                                                     const CrashPlan* crash) {
+  if (options_.journal_root.empty()) {
+    return Status::InvalidArgument(
+        "sharded runs need a journal root (--journal-root)");
+  }
+  if (shards == 0) {
+    return Status::InvalidArgument("sharded runs need at least one shard");
+  }
+  auto registry = FullRegistry();
+  if (!registry.ok()) return registry.status();
+
+  PreparedRun run;
+  run.registry = std::move(*registry);
+  run.metrics = std::make_unique<obs::MetricsRegistry>();
+  run.journal_dir = NextRunDir();
+
+  run.sharded = std::make_unique<ShardedRunSpec>();
+  run.sharded->options.shards = shards;
+  run.sharded->options.root = run.journal_dir;
+  run.sharded->options.kb_checksum = kb_checksum_;
+  run.sharded->options.orchestrator = engine_.get();
+  run.sharded->config = config_;
+  run.sharded->ontology = corpus_.ontology.get();
+  run.sharded->pool = pool_.get();
+  if (crash != nullptr && crash->armed()) {
+    run.crash = std::make_unique<CrashPlan>(*crash);
+    run.sharded->options.crash = run.crash.get();
+  }
+
+  // The request itself is never submitted (the shard runner submits one
+  // RunRequest per shard); it carries the kind for status views.
+  run.request.kind = RunKind::kAnnotateDurable;
+
+  WireMessage descriptor;
+  descriptor["kind"] = "shard";
+  descriptor["shards"] = std::to_string(shards);
+  IoEnv& io = IoEnv::Real();
+  DEXA_RETURN_IF_ERROR(io.CreateDirs(run.journal_dir));
+  DEXA_RETURN_IF_ERROR(WriteTextFile(
+      io, std::filesystem::path(run.journal_dir) / kRunDescriptor,
+      EncodeWire(descriptor) + "\n"));
+  run.label = "annotate-sharded x" + std::to_string(shards) + " " +
+              run.journal_dir;
+  return run;
+}
+
 Result<PreparedRun> ServeEnv::PrepareEnact(size_t workflow_index,
                                            bool durable,
                                            const IoFaultProfile* io_fault) {
@@ -264,6 +311,36 @@ Result<PreparedRun> ServeEnv::PrepareResume(const std::string& dir) {
   auto descriptor = ParseWire(line);
   if (!descriptor.ok()) return descriptor.status();
   const std::string kind = WireGet(*descriptor, "kind");
+
+  if (kind == "shard") {
+    // The run root holds a MANIFEST and per-shard journal directories, not
+    // wal segments — no root-level journal to recover. The shard runner
+    // resumes each shard from its own journal prefix; shards that already
+    // completed replay, the rest re-run.
+    auto shards = WireUint(*descriptor, "shards");
+    if (!shards.ok()) return shards.status();
+    if (*shards == 0) {
+      return Status::Corrupted("RUN descriptor in " + dir +
+                               " pins zero shards");
+    }
+    auto registry = FullRegistry();
+    if (!registry.ok()) return registry.status();
+    PreparedRun run;
+    run.registry = std::move(*registry);
+    run.metrics = std::make_unique<obs::MetricsRegistry>();
+    run.journal_dir = dir;
+    run.sharded = std::make_unique<ShardedRunSpec>();
+    run.sharded->options.shards = static_cast<uint32_t>(*shards);
+    run.sharded->options.root = dir;
+    run.sharded->options.kb_checksum = kb_checksum_;
+    run.sharded->options.orchestrator = engine_.get();
+    run.sharded->config = config_;
+    run.sharded->ontology = corpus_.ontology.get();
+    run.sharded->pool = pool_.get();
+    run.request.kind = RunKind::kAnnotateDurable;
+    run.label = "resume " + dir;
+    return run;
+  }
 
   auto recovery = RecoverJournal(dir, &engine_->metrics());
   if (!recovery.ok()) return recovery.status();

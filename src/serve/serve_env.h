@@ -72,6 +72,16 @@ class ServeEnv {
   [[nodiscard]] Result<PreparedRun> PrepareDurableAnnotate(
       const CrashPlan* crash, const IoFaultProfile* io_fault = nullptr);
 
+  /// Sharded durable full-registry annotation (serve kind "shard"): the
+  /// registry is partitioned across `shards` deterministic shards, each
+  /// journaled under `run-<n>/shard-<k>`, and the per-shard journals are
+  /// merged into the canonical `run-<n>/merged` journal — byte-identical to
+  /// a one-shot durable run. `crash` arms per-module crash injection (only
+  /// the owning shard crashes); resubmitting after a crash resumes the
+  /// unfinished shard subset.
+  [[nodiscard]] Result<PreparedRun> PrepareShardedAnnotate(
+      uint32_t shards, const CrashPlan* crash = nullptr);
+
   /// Resilient enactment of workflow `workflow_index` of the generated
   /// corpus on its recorded seeds; `durable` journals every step.
   /// `io_fault` as in PrepareDurableAnnotate (durable runs only).

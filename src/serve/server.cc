@@ -203,6 +203,38 @@ WireMessage Server::HandleSubmit(const WireMessage& request) {
       }
     }
     run = env_.PrepareDurableAnnotate(crash.armed() ? &crash : nullptr, fault);
+  } else if (kind == "shard") {
+    uint64_t shards = 1;
+    if (request.count("shards") != 0) {
+      auto parsed = WireUint(request, "shards");
+      if (!parsed.ok()) return ErrorResponse(parsed.status());
+      shards = *parsed;
+    }
+    if (shards == 0 || shards > 4096) {
+      return ErrorResponse(
+          Status::InvalidArgument("shards must be in [1, 4096]"));
+    }
+    CrashPlan crash;
+    const std::string crash_point = WireGet(request, "crash");
+    if (!crash_point.empty()) {
+      if (crash_point == "before") {
+        crash.point = CrashPoint::kCrashBeforeCommit;
+      } else if (crash_point == "after") {
+        crash.point = CrashPoint::kCrashAfterCommit;
+      } else if (crash_point == "torn") {
+        crash.point = CrashPoint::kTornWrite;
+      } else {
+        return ErrorResponse(Status::InvalidArgument(
+            "crash must be before|after|torn, got '" + crash_point + "'"));
+      }
+      crash.key = WireGet(request, "crash_key");
+      if (crash.key.empty()) {
+        return ErrorResponse(
+            Status::InvalidArgument("crash injection needs crash_key"));
+      }
+    }
+    run = env_.PrepareShardedAnnotate(static_cast<uint32_t>(shards),
+                                      crash.armed() ? &crash : nullptr);
   } else if (kind == "enact" || kind == "enact_durable") {
     auto workflow = WireUint(request, "workflow");
     if (!workflow.ok()) return ErrorResponse(workflow.status());

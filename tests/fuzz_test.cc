@@ -29,6 +29,7 @@
 #include "ontology/ontology_parser.h"
 #include "pool/pool_io.h"
 #include "serve/wire.h"
+#include "shard/manifest.h"
 #include "tests/test_util.h"
 #include "tools/lint/lint.h"
 #include "workflow/workflow_io.h"
@@ -509,6 +510,65 @@ TEST_P(ParserFuzzTest, KbImageLoaderNeverCrashes) {
         kbimage::CompiledKb::Load(path.string()).status().IsCorrupted());
   }
   fs::remove(path);
+}
+
+TEST_P(ParserFuzzTest, ShardManifestCodecNeverCrashes) {
+  Rng rng(GetParam());
+
+  // A genuine manifest as the mutation substrate.
+  ShardManifest manifest;
+  manifest.shards = 4;
+  manifest.modules_total = 96;
+  manifest.fingerprint = 0x9E3779B97F4A7C15ull;
+  manifest.kb_checksum = 0xB5297A4D;
+  manifest.partition_salt = 0x5A17;
+  manifest.segment_bytes = 64 * 1024;
+  manifest.entries = {{25, 11}, {22, 12}, {30, 13}, {19, 14}};
+  const std::string pristine = EncodeShardManifest(manifest);
+  {
+    auto decoded = DecodeShardManifest(pristine);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(EncodeShardManifest(*decoded), pristine);
+  }
+
+  // Arbitrary mutations: decode either succeeds — in which case the
+  // canonical re-encode is a byte fixed point — or fails with a typed
+  // kCorrupted. Never UB, never a crash, never an accepted manifest whose
+  // re-encode drifts.
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated =
+        Mutate(pristine, rng, 1 + static_cast<int>(rng.NextBelow(10)));
+    auto decoded = DecodeShardManifest(mutated);
+    if (decoded.ok()) {
+      const std::string encoded = EncodeShardManifest(*decoded);
+      auto again = DecodeShardManifest(encoded);
+      ASSERT_TRUE(again.ok()) << again.status();
+      EXPECT_EQ(EncodeShardManifest(*again), encoded);
+    } else {
+      EXPECT_TRUE(decoded.status().IsCorrupted()) << decoded.status();
+    }
+  }
+
+  // Every proper-prefix truncation is rejected (the format ends with an
+  // explicit terminator line, so a cut manifest can never look complete).
+  for (int i = 0; i < 40; ++i) {
+    auto truncated = DecodeShardManifest(
+        std::string_view(pristine).substr(0, rng.NextIndex(pristine.size())));
+    ASSERT_FALSE(truncated.ok());
+    EXPECT_TRUE(truncated.status().IsCorrupted()) << truncated.status();
+  }
+
+  // Raw random bytes.
+  for (int i = 0; i < 100; ++i) {
+    std::string garbage(rng.NextIndex(200), '\0');
+    for (char& byte : garbage) {
+      byte = static_cast<char>(rng.NextBelow(256));
+    }
+    auto decoded = DecodeShardManifest(garbage);
+    if (!decoded.ok()) {
+      EXPECT_TRUE(decoded.status().IsCorrupted()) << decoded.status();
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,

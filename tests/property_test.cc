@@ -15,11 +15,14 @@
 #include "corpus/fault_injector.h"
 #include "durability/durable_annotate.h"
 #include "durability/journal.h"
+#include "core/run_api.h"
+#include "corpus/scale.h"
 #include "engine/concept_cache.h"
 #include "engine/invocation_engine.h"
 #include "formats/sniffer.h"
 #include "kb/accessions.h"
 #include "kb/render.h"
+#include "shard/sharded_annotate.h"
 #include "tests/test_util.h"
 
 namespace dexa {
@@ -394,6 +397,95 @@ TEST(JournalAccountingProperty, CommitsJournalRecordsAndReplayBalance) {
   EXPECT_EQ(m.modules_reinvoked, report->annotated + report->decayed);
   EXPECT_EQ(report->replayed, 0u);
 }
+
+// ---------------------------------------------------------------------
+// Shard conservation: partitioning a run can move work between shards but
+// never create or destroy it. Summed per-shard counters must equal the
+// one-shot totals, and the merged journal must hold exactly the shard
+// records minus the duplicate per-shard headers — swept over randomized
+// corpus/engine seeds so the identities hold for arbitrary workloads,
+// not one golden corpus.
+
+class ShardConservationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardConservationProperty, ShardSumsMatchOneShotTotals) {
+  const uint64_t seed = GetParam();
+  auto corpus = BuildScaleCorpus({/*seed=*/seed, /*modules=*/48});
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  const auto fresh_registry = [&] {
+    auto registry = std::make_unique<ModuleRegistry>();
+    for (const ModulePtr& module : corpus->registry->AllModules()) {
+      EXPECT_TRUE(registry->Register(module).ok());
+    }
+    return registry;
+  };
+  EngineConfig config = EngineConfig().Threads(1).Seed(seed).MaxAttempts(4);
+  std::filesystem::path root =
+      std::filesystem::path(::testing::TempDir()) / "dexa_property_shard" /
+      std::to_string(seed);
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  // One-shot reference totals.
+  auto one_registry = fresh_registry();
+  AnnotateReport one;
+  {
+    auto engine = config.BuildEngine();
+    ExampleGenerator generator = config.MakeGenerator(
+        corpus->ontology.get(), corpus->pool.get(), engine.get());
+    auto journal =
+        RunJournal::Create((root / "oneshot").string(), {}, &engine->metrics());
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    auto run = SubmitRun(MakeDurableAnnotateRun(generator, *one_registry,
+                                                *corpus->ontology, *journal));
+    ASSERT_TRUE(run.ok()) << run.status();
+    ASSERT_TRUE(run->complete()) << run->run_status;
+    one = std::move(run->annotate);
+  }
+
+  ShardOptions options;
+  options.shards = 3;
+  options.root = (root / "sharded").string();
+  auto target = fresh_registry();
+  auto sharded = RunShardedAnnotate(*target, *corpus->ontology, *corpus->pool,
+                                    config, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  ASSERT_TRUE(sharded->merged.run_status.ok()) << sharded->merged.run_status;
+  ASSERT_EQ(sharded->shards.size(), options.shards);
+
+  // Counter conservation: no module, example, decay or retry exhaustion is
+  // created or lost by partitioning.
+  size_t annotated = 0, decayed = 0, examples = 0, exhausted = 0;
+  size_t shard_records = 0;
+  for (const ShardRunReport& shard : sharded->shards) {
+    annotated += shard.report.annotated;
+    decayed += shard.report.decayed;
+    examples += shard.report.examples;
+    exhausted += shard.report.transient_exhausted;
+    auto recovery = RecoverJournal(shard.journal_dir);
+    ASSERT_TRUE(recovery.ok()) << recovery.status();
+    EXPECT_FALSE(recovery->tail_discarded());
+    shard_records += recovery->records.size();
+  }
+  EXPECT_EQ(annotated, one.annotated);
+  EXPECT_EQ(decayed, one.decayed);
+  EXPECT_EQ(examples, one.examples);
+  EXPECT_EQ(exhausted, one.transient_exhausted);
+  EXPECT_EQ(annotated + decayed, corpus->module_ids.size());
+  // The merged report agrees with the shard sums, not just the reference.
+  EXPECT_EQ(sharded->merged.annotated, annotated);
+  EXPECT_EQ(sharded->merged.decayed, decayed);
+  EXPECT_EQ(sharded->merged.examples, examples);
+
+  // Journal record conservation: each shard journals one header plus its
+  // commits; the merge keeps every commit and collapses the headers into
+  // one.
+  EXPECT_EQ(shard_records, corpus->module_ids.size() + options.shards);
+  EXPECT_EQ(sharded->merged_records, shard_records - options.shards + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardConservationProperty,
+                         ::testing::Values(1, 7, 42, 1234, 0xC0FFEE));
 
 }  // namespace
 }  // namespace dexa

@@ -72,6 +72,23 @@ for path in sys.argv[1:]:
                            if m["name"] == "warm_speedup")
             assert speedup >= 5.0, \
                 f"warm lint must be >=5x faster than cold (got {speedup}x)"
+        if doc["bench"] == "scale":
+            # The scale bench must report the corpus-size x shard sweep
+            # summary: the acceptance corpus, the 4-shard throughput and
+            # merge cost, byte-identity of every merged journal against
+            # the one-shot reference, and the 4-shard speedup.
+            names = {m["name"] for m in metrics}
+            required = {"corpus_size", "shards", "runs_per_s", "merge_ms",
+                        "byte_identical", "speedup_4_shards"}
+            missing = required - names
+            assert not missing, f"scale metrics missing: {sorted(missing)}"
+            value = {m["name"]: m["value"] for m in metrics}
+            assert value["corpus_size"] >= 10_000, \
+                f"scale corpus must be >=10k modules (got {value['corpus_size']})"
+            assert value["byte_identical"] == 1, \
+                "sharded merge must be byte-identical to the one-shot run"
+            assert value["speedup_4_shards"] >= 2.0, \
+                f"4-shard throughput must be >=2x (got {value['speedup_4_shards']:.2f}x)"
         if doc["bench"] == "chaos":
             # The chaos bench must report the fault sweep: how many runs
             # were faulted, how fully they converged after resume, and the

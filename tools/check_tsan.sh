@@ -24,7 +24,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DDEXA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target engine_test generator_test fault_test \
   durability_test io_test obs_test kbimage_test serve_test run_api_test \
-  chaos_test -j"$(nproc)"
+  chaos_test shard_test -j"$(nproc)"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/engine_test"
@@ -46,5 +46,9 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # FaultyIoEnvs inject disk faults — the degraded paths (typed failure,
 # resume after restart) run under TSan here.
 "$BUILD_DIR/tests/chaos_test"
+# shard_test: whole-shard runs fanned out over the orchestrator engine
+# (concurrent durable runs, parallel journal recovery in the merge) —
+# the sharded runner's racy surface.
+"$BUILD_DIR/tests/shard_test"
 
 echo "TSan check passed."

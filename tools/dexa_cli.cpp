@@ -50,6 +50,7 @@
 #include "provenance/workflow_corpus.h"
 #include "repair/repair.h"
 #include "serve/server.h"
+#include "shard/sharded_annotate.h"
 #include "study/study.h"
 #include "workflow/workflow_io.h"
 
@@ -302,33 +303,95 @@ int CmdAnnotateDurable(CliContext& ctx, const std::string& dir,
   return FinishDurableRun(ctx, dir, result->annotate);
 }
 
-/// The three annotate modes share one subcommand: `annotate <module>`
-/// prints a module, `annotate --trace-out/--metrics-out` runs traced,
-/// `annotate --journal <dir>` runs durable.
+/// Sharded durable annotation: `annotate --journal <dir> --shards=N`.
+/// Partitions the registry over N shards, journals each under
+/// `<dir>/shard-<k>`, and merges to the canonical `<dir>/merged` journal —
+/// byte-identical to the one-shot durable run. Re-running the same command
+/// after a crash resumes the unfinished shard subset.
+int CmdAnnotateSharded(CliContext& ctx, const std::string& dir,
+                       uint32_t shards, const CrashPlan& crash) {
+  ShardOptions options;
+  options.shards = shards;
+  options.root = dir;
+  options.kb_checksum = ctx.env->kb_checksum;
+  options.orchestrator = ctx.engine.get();
+  if (crash.armed()) options.crash = &crash;
+  auto result = RunShardedAnnotate(*ctx.env->corpus.registry,
+                                   *ctx.env->corpus.ontology, *ctx.env->pool,
+                                   ctx.config, options);
+  if (!result.ok()) return Fail(result.status());
+  if (!result->merged.run_status.ok()) {
+    std::cout << "sharded annotate aborted ("
+              << result->merged.run_status.message()
+              << "); re-run the same command to resume the unfinished "
+                 "shard(s)\n";
+    return 1;
+  }
+  std::cout << "sharded annotate x" << shards << ": merged "
+            << result->merged_records << " record(s) into "
+            << result->merged_dir << "\n";
+  return FinishDurableRun(ctx, dir, result->merged);
+}
+
+/// The annotate modes share one subcommand: `annotate <module>` prints a
+/// module, `annotate --trace-out/--metrics-out` runs traced, `annotate
+/// --journal <dir>` runs durable, and `--journal <dir> --shards=N` runs
+/// sharded.
 int CmdAnnotate(CliContext& ctx, const std::vector<std::string>& args) {
   if (args.size() == 1 && args[0].rfind("--", 0) != 0) {
     return CmdShowModule(ctx, args[0]);
   }
   if (!args.empty() && args[0] == "--journal") {
-    CrashPlan crash;
-    if (args.size() == 5 && args[2] == "--crash") {
-      if (args[3] == "before") {
-        crash.point = CrashPoint::kCrashBeforeCommit;
-      } else if (args[3] == "after") {
-        crash.point = CrashPoint::kCrashAfterCommit;
-      } else if (args[3] == "torn") {
-        crash.point = CrashPoint::kTornWrite;
-      } else {
-        return Fail(Status::InvalidArgument(
-            "--crash takes before|after|torn, got '" + args[3] + "'"));
-      }
-      crash.key = args[4];
-    } else if (args.size() != 2) {
+    if (args.size() < 2) {
       return Fail(Status::InvalidArgument(
-          "usage: annotate --journal <dir> "
+          "usage: annotate --journal <dir> [--shards=<n>] "
           "[--crash before|after|torn <module-id>]"));
     }
-    return CmdAnnotateDurable(ctx, args[1], crash);
+    const std::string dir = args[1];
+    CrashPlan crash;
+    uint64_t shards = 0;  // 0 = plain (unsharded) durable run.
+    size_t i = 2;
+    while (i < args.size()) {
+      if (args[i] == "--crash" && i + 2 < args.size()) {
+        if (args[i + 1] == "before") {
+          crash.point = CrashPoint::kCrashBeforeCommit;
+        } else if (args[i + 1] == "after") {
+          crash.point = CrashPoint::kCrashAfterCommit;
+        } else if (args[i + 1] == "torn") {
+          crash.point = CrashPoint::kTornWrite;
+        } else {
+          return Fail(Status::InvalidArgument(
+              "--crash takes before|after|torn, got '" + args[i + 1] + "'"));
+        }
+        crash.key = args[i + 2];
+        i += 3;
+      } else if (args[i].rfind("--shards=", 0) == 0) {
+        const std::string value = args[i].substr(9);
+        shards = 0;
+        bool numeric = !value.empty();
+        for (char c : value) {
+          if (c < '0' || c > '9') {
+            numeric = false;
+            break;
+          }
+          shards = shards * 10 + static_cast<uint64_t>(c - '0');
+        }
+        if (!numeric || shards == 0 || shards > 4096) {
+          return Fail(Status::InvalidArgument(
+              "--shards takes a count in [1, 4096], got '" + value + "'"));
+        }
+        i += 1;
+      } else {
+        return Fail(Status::InvalidArgument(
+            "usage: annotate --journal <dir> [--shards=<n>] "
+            "[--crash before|after|torn <module-id>]"));
+      }
+    }
+    if (shards > 0) {
+      return CmdAnnotateSharded(ctx, dir, static_cast<uint32_t>(shards),
+                                crash);
+    }
+    return CmdAnnotateDurable(ctx, dir, crash);
   }
   std::string trace_out, metrics_out;
   for (const std::string& arg : args) {
@@ -638,8 +701,8 @@ const Command kCommands[] = {
     {"tables", "", 0, 0, true, false, true, CmdTables},
     {"annotate",
      "<module> | [--trace-out=<f>] [--metrics-out=<f>] | --journal <dir> "
-     "[--crash before|after|torn <module-id>]",
-     1, 5, true, false, false, CmdAnnotate},
+     "[--shards=<n>] [--crash before|after|torn <module-id>]",
+     1, 6, true, false, false, CmdAnnotate},
     {"resume", "<dir>", 1, 1, true, false, false, CmdResume},
     {"compare", "<name-a> <name-b>", 2, 2, true, false, true, CmdCompare},
     {"discover", "<in-concept> <out-concept>", 2, 2, true, false, true,

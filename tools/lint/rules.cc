@@ -876,7 +876,8 @@ const std::map<std::string, std::set<std::string>>& LayerDependencies() {
       {"engine", {"common", "types", "ontology", "kbimage", "modules"}},
       {"obs", {"common", "engine"}},
       {"corpus",
-       {"common", "types", "ontology", "formats", "kb", "modules", "engine"}},
+       {"common", "types", "ontology", "formats", "kb", "modules", "pool",
+        "engine"}},
       {"workflow",
        {"common", "types", "ontology", "modules", "engine", "obs"}},
       {"core",
@@ -893,10 +894,14 @@ const std::map<std::string, std::set<std::string>>& LayerDependencies() {
       {"durability",
        {"common", "types", "ontology", "formats", "kb", "kbimage", "modules",
         "pool", "engine", "obs", "corpus", "workflow", "core", "provenance"}},
-      {"serve",
+      {"shard",
        {"common", "types", "ontology", "formats", "kb", "kbimage", "modules",
         "pool", "engine", "obs", "corpus", "workflow", "core", "provenance",
         "durability"}},
+      {"serve",
+       {"common", "types", "ontology", "formats", "kb", "kbimage", "modules",
+        "pool", "engine", "obs", "corpus", "workflow", "core", "provenance",
+        "durability", "shard"}},
   };
   return kDeps;
 }
